@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure benches: the standard header
+ * block, kernel-campaign helpers, and finding lookup.
+ */
+
+#ifndef LFM_BENCH_BENCH_COMMON_HH
+#define LFM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "bugs/registry.hh"
+#include "explore/order_enforce.hh"
+#include "explore/runner.hh"
+#include "report/compare.hh"
+#include "report/table.hh"
+#include "sim/policy.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "study/findings.hh"
+#include "support/logging.hh"
+
+namespace lfm::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::cout
+        << "====================================================\n"
+        << "lfm reproduction | " << experiment << "\n"
+        << "paper: Lu et al., \"Learning from Mistakes\" "
+           "(ASPLOS 2008)\n"
+        << "claim: " << claim << "\n"
+        << "====================================================\n\n";
+}
+
+/** The finding with the given id (panics when missing). */
+inline study::Finding
+findingById(const study::Analysis &analysis, const std::string &id)
+{
+    for (const auto &f : study::headlineFindings(analysis)) {
+        if (f.id == id)
+            return f;
+    }
+    LFM_PANIC("unknown finding id ", id);
+}
+
+/** Stress one kernel variant under random scheduling. */
+inline explore::StressResult
+stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
+             std::size_t runs = 200)
+{
+    sim::RandomPolicy policy;
+    explore::StressOptions opt;
+    opt.runs = runs;
+    opt.exec.maxDecisions = 20000;
+    return explore::stressProgram(kernel.factory(variant), policy,
+                                  opt);
+}
+
+} // namespace lfm::bench
+
+#endif // LFM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure — testing implications: interleaving coverage by strategy.
+ *
+ * The study argues conventional stress testing rarely exercises the
+ * rare interleavings that trigger these bugs, while ordering a
+ * handful of accesses makes manifestation certain. This bench
+ * quantifies that on the kernel suite: per-kernel manifestation
+ * rates under random stress, round-robin, PCT(d=3),
+ * preemption-bounded random (b=2), and the certificate-enforcing
+ * scheduler. The expected shape: enforce ~= 1.0 >> pct >= random >>
+ * round-robin.
+ */
+
+#include "bench_common.hh"
+
+#include "explore/pbound.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+double
+rateUnder(const bugs::BugKernel &kernel, sim::SchedulePolicy &policy,
+          std::size_t runs)
+{
+    explore::StressOptions opt;
+    opt.runs = runs;
+    opt.exec.maxDecisions = 20000;
+    auto result = explore::stressProgram(
+        kernel.factory(bugs::Variant::Buggy), policy, opt);
+    return result.rate();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure: interleaving coverage by strategy",
+                  "guided/systematic scheduling finds in a few runs "
+                  "what stress testing rarely hits");
+
+    constexpr std::size_t kRuns = 120;
+
+    report::Table table("Manifestation rate per scheduling strategy");
+    table.setColumns({"kernel", "round-robin", "random", "pct(d=3)",
+                      "pbound(2)", "enforced"});
+
+    support::RunningStat rr, rnd, pct, pb, enf;
+    for (const auto *kernel : bugs::allKernels()) {
+        const auto &info = kernel->info();
+
+        sim::RoundRobinPolicy rrPolicy;
+        sim::RandomPolicy randomPolicy;
+        sim::PctPolicy pctPolicy(3, 64);
+        sim::RandomPolicy pbInner;
+        explore::PreemptionBoundPolicy pbPolicy(2, pbInner);
+
+        const double rateRr = rateUnder(*kernel, rrPolicy, kRuns);
+        const double rateRandom =
+            rateUnder(*kernel, randomPolicy, kRuns);
+        const double ratePct = rateUnder(*kernel, pctPolicy, kRuns);
+        const double ratePb = rateUnder(*kernel, pbPolicy, kRuns);
+
+        double rateEnforced = 0.0;
+        if (!info.manifestation.empty()) {
+            auto check = explore::checkCertificate(*kernel, 40);
+            rateEnforced = check.runs == 0
+                               ? 0.0
+                               : static_cast<double>(check.manifested) /
+                                     static_cast<double>(check.runs);
+            enf.add(rateEnforced);
+        }
+
+        rr.add(rateRr);
+        rnd.add(rateRandom);
+        pct.add(ratePct);
+        pb.add(ratePb);
+
+        table.addRow({info.id, report::Table::cell(rateRr, 2),
+                      report::Table::cell(rateRandom, 2),
+                      report::Table::cell(ratePct, 2),
+                      report::Table::cell(ratePb, 2),
+                      info.manifestation.empty()
+                          ? "-"
+                          : report::Table::cell(rateEnforced, 2)});
+    }
+    table.addSeparator();
+    table.addRow({"mean", report::Table::cell(rr.mean(), 2),
+                  report::Table::cell(rnd.mean(), 2),
+                  report::Table::cell(pct.mean(), 2),
+                  report::Table::cell(pb.mean(), 2),
+                  report::Table::cell(enf.mean(), 2)});
+    std::cout << table.ascii() << "\n";
+
+    std::cout << "expected shape (paper section 6): enforced ~ 1.0, "
+                 "guided strategies above plain stress,\n"
+                 "round-robin (the 'lucky' scheduler) lowest.\n\n";
+
+    const bool shapeHolds =
+        enf.mean() > 0.99 && enf.mean() >= rnd.mean() &&
+        rnd.mean() >= rr.mean();
+    std::cout << (shapeHolds ? "[OK] shape holds\n"
+                             : "[!!] shape violated\n");
+    return shapeHolds ? 0 : 1;
+}

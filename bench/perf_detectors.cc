@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Performance microbenchmarks (google-benchmark) for the offline
+ * detectors: throughput over synthetic traces of growing size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "detect/atomicity.hh"
+#include "detect/deadlock.hh"
+#include "detect/lockset.hh"
+#include "detect/multivar.hh"
+#include "detect/order.hh"
+#include "detect/race_hb.hh"
+#include "support/random.hh"
+#include "trace/hb.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace lfm;
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+/**
+ * Synthetic trace: `threads` threads doing a mix of locked and
+ * unlocked accesses over `vars` variables, `events` events total.
+ */
+Trace
+syntheticTrace(std::size_t events, int threads = 4, int vars = 8)
+{
+    support::Rng rng(42);
+    Trace t;
+    for (int i = 0; i < threads; ++i) {
+        Event e;
+        e.thread = i;
+        e.kind = EventKind::ThreadBegin;
+        e.aux = trace::kSpuriousWakeup;
+        t.append(e);
+    }
+    std::vector<bool> holds(static_cast<std::size_t>(threads), false);
+    const trace::ObjectId lockId = 1000;
+    while (t.size() < events) {
+        Event e;
+        e.thread = static_cast<trace::ThreadId>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        const auto tid = static_cast<std::size_t>(e.thread);
+        const auto roll = rng.below(10);
+        if (roll < 2) {
+            e.kind = holds[tid] ? EventKind::Unlock : EventKind::Lock;
+            e.obj = lockId;
+            holds[tid] = !holds[tid];
+        } else {
+            e.kind = rng.chance(0.5) ? EventKind::Read
+                                     : EventKind::Write;
+            e.obj = 1 + rng.below(static_cast<std::uint64_t>(vars));
+        }
+        t.append(e);
+    }
+    return t;
+}
+
+template <typename Detector>
+void
+BM_Detector(benchmark::State &state)
+{
+    Trace t = syntheticTrace(static_cast<std::size_t>(state.range(0)));
+    Detector d;
+    for (auto _ : state) {
+        auto findings = d.analyze(t);
+        benchmark::DoNotOptimize(findings.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_Detector<detect::HbRaceDetector>)
+    ->Name("BM_HbRace")
+    ->Arg(512)
+    ->Arg(2048);
+BENCHMARK(BM_Detector<detect::LocksetDetector>)
+    ->Name("BM_Lockset")
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192);
+BENCHMARK(BM_Detector<detect::AtomicityDetector>)
+    ->Name("BM_Atomicity")
+    ->Arg(512)
+    ->Arg(2048);
+BENCHMARK(BM_Detector<detect::MultiVarDetector>)
+    ->Name("BM_MultiVar")
+    ->Arg(512)
+    ->Arg(2048);
+BENCHMARK(BM_Detector<detect::OrderDetector>)
+    ->Name("BM_Order")
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192);
+BENCHMARK(BM_Detector<detect::DeadlockDetector>)
+    ->Name("BM_LockOrder")
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192);
+
+void
+BM_HbConstruction(benchmark::State &state)
+{
+    Trace t = syntheticTrace(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        trace::HbRelation hb(t);
+        benchmark::DoNotOptimize(&hb);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HbConstruction)->Arg(512)->Arg(2048)->Arg(8192);
+
+} // namespace
+
+BENCHMARK_MAIN();

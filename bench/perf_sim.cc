@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Performance microbenchmarks (google-benchmark) for the simulator:
+ * execution throughput by thread count and schedule length, policy
+ * overhead, and kernel instantiation cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bugs/registry.hh"
+#include "explore/order_enforce.hh"
+#include "sim/policy.hh"
+#include "sim/program.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+/** N threads, each performing `ops` locked increments. */
+sim::Program
+counterProgram(int threads, int ops)
+{
+    struct State
+    {
+        std::unique_ptr<sim::SimMutex> m;
+        std::unique_ptr<sim::SharedVar<int>> v;
+    };
+    auto s = std::make_shared<State>();
+    s->m = std::make_unique<sim::SimMutex>("m");
+    s->v = std::make_unique<sim::SharedVar<int>>("v", 0);
+    sim::Program p;
+    for (int t = 0; t < threads; ++t) {
+        p.threads.push_back({"t" + std::to_string(t), [s, ops] {
+                                 for (int i = 0; i < ops; ++i) {
+                                     sim::SimLock guard(*s->m);
+                                     s->v->add(1);
+                                 }
+                             }});
+    }
+    return p;
+}
+
+void
+BM_ExecutorThreads(benchmark::State &state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    sim::RandomPolicy policy;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        sim::ExecOptions opt;
+        opt.seed = ++seed;
+        auto exec = sim::runProgram(
+            [threads] { return counterProgram(threads, 4); }, policy,
+            opt);
+        benchmark::DoNotOptimize(exec.trace.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorThreads)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ExecutorScheduleLength(benchmark::State &state)
+{
+    const int ops = static_cast<int>(state.range(0));
+    sim::RandomPolicy policy;
+    std::uint64_t seed = 0;
+    std::size_t decisions = 0;
+    for (auto _ : state) {
+        sim::ExecOptions opt;
+        opt.seed = ++seed;
+        auto exec = sim::runProgram(
+            [ops] { return counterProgram(2, ops); }, policy, opt);
+        decisions += exec.steps();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(decisions));
+    state.counters["decisions/exec"] = benchmark::Counter(
+        static_cast<double>(decisions) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ExecutorScheduleLength)->Arg(4)->Arg(16)->Arg(64);
+
+template <typename Policy>
+void
+BM_Policy(benchmark::State &state)
+{
+    Policy policy;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        sim::ExecOptions opt;
+        opt.seed = ++seed;
+        auto exec = sim::runProgram(
+            [] { return counterProgram(3, 4); }, policy, opt);
+        benchmark::DoNotOptimize(exec.steps());
+    }
+}
+BENCHMARK(BM_Policy<sim::RandomPolicy>)->Name("BM_PolicyRandom");
+BENCHMARK(BM_Policy<sim::RoundRobinPolicy>)
+    ->Name("BM_PolicyRoundRobin");
+BENCHMARK(BM_Policy<sim::PctPolicy>)->Name("BM_PolicyPct");
+
+void
+BM_KernelBuggyExecution(benchmark::State &state)
+{
+    const auto *kernel = bugs::findKernel("apache-25520");
+    sim::RandomPolicy policy;
+    std::uint64_t seed = 0;
+    auto factory = kernel->factory(bugs::Variant::Buggy);
+    for (auto _ : state) {
+        sim::ExecOptions opt;
+        opt.seed = ++seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        benchmark::DoNotOptimize(exec.failed());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelBuggyExecution);
+
+void
+BM_CertificateEnforcedExecution(benchmark::State &state)
+{
+    const auto *kernel = bugs::findKernel("apache-25520");
+    auto factory = kernel->factory(bugs::Variant::Buggy);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        sim::RandomPolicy inner;
+        explore::OrderEnforcingPolicy policy(
+            kernel->info().manifestation, inner);
+        sim::ExecOptions opt;
+        opt.seed = ++seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        benchmark::DoNotOptimize(exec.failed());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CertificateEnforcedExecution);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Table 10 / §5 — implications for bug detection: the detector ×
+ * bug-pattern coverage matrix.
+ *
+ * The study's detection section argues each detector family covers a
+ * slice of the taxonomy: race detectors see unsynchronized accesses
+ * but miss lock-protected atomicity violations; single-variable
+ * atomicity detectors miss the 34% multi-variable bugs; order bugs
+ * need lifecycle/notification awareness; deadlocks need lock-order
+ * analysis; and the "other" residue escapes them all. This bench
+ * measures the matrix on manifesting kernel traces (true-positive
+ * side) and on fixed-variant traces (false-positive side).
+ */
+
+#include "bench_common.hh"
+
+#include "detect/detector.hh"
+#include "explore/dfs.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+std::optional<sim::Execution>
+manifesting(const bugs::BugKernel &kernel)
+{
+    auto factory = kernel.factory(bugs::Variant::Buggy);
+    sim::RandomPolicy random;
+    for (std::uint64_t seed = 0; seed < 300; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, random, opt);
+        if (explore::defaultManifest(exec))
+            return exec;
+    }
+    explore::DfsOptions dfs;
+    dfs.maxExecutions = 4000;
+    dfs.stopAtFirst = true;
+    auto result = explore::exploreDfs(factory, dfs);
+    if (result.firstManifestPath) {
+        sim::FixedSchedulePolicy policy(*result.firstManifestPath);
+        return sim::runProgram(factory, policy);
+    }
+    return std::nullopt;
+}
+
+/** Taxonomy cell of a kernel for the matrix rows. */
+std::string
+cellOf(const bugs::KernelInfo &info)
+{
+    if (info.isDeadlock())
+        return "deadlock";
+    if (info.patterns.count(study::Pattern::Other))
+        return "other";
+    const bool atom = info.patterns.count(study::Pattern::Atomicity);
+    const bool order = info.patterns.count(study::Pattern::Order);
+    if (atom && info.variables > 1)
+        return "atomicity-multivar";
+    if (atom && order)
+        return "atomicity+order";
+    if (atom)
+        return "atomicity-1var";
+    return "order";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 10: detector x pattern coverage matrix",
+                  "every detector family covers a slice of the "
+                  "taxonomy; none covers it all");
+
+    auto detectors = detect::allDetectors();
+    std::vector<std::string> detectorNames;
+    for (auto &d : detectors)
+        detectorNames.push_back(d->name());
+
+    // cell -> (kernels in cell, per-detector TP count, FP count)
+    struct Row
+    {
+        int kernels = 0;
+        std::map<std::string, int> tp;
+        std::map<std::string, int> fp;
+    };
+    std::map<std::string, Row> rows;
+
+    for (const auto *kernel : bugs::allKernels()) {
+        const auto &info = kernel->info();
+        const std::string cell = cellOf(info);
+        Row &row = rows[cell];
+        ++row.kernels;
+
+        if (auto exec = manifesting(*kernel)) {
+            for (auto &d : detect::allDetectors()) {
+                if (!d->analyze(exec->trace).empty())
+                    ++row.tp[d->name()];
+            }
+        }
+        // False-positive side: a benign fixed-variant execution.
+        sim::RandomPolicy random;
+        auto fixedExec =
+            sim::runProgram(kernel->factory(bugs::Variant::Fixed),
+                            random);
+        if (!fixedExec.failed()) {
+            for (auto &d : detect::allDetectors()) {
+                if (!d->analyze(fixedExec.trace).empty())
+                    ++row.fp[d->name()];
+            }
+        }
+    }
+
+    report::Table table(
+        "True positives per taxonomy cell (flagged/kernels)");
+    std::vector<std::string> headers = {"pattern cell", "kernels"};
+    for (const auto &name : detectorNames)
+        headers.push_back(name);
+    table.setColumns(headers);
+    for (auto &[cell, row] : rows) {
+        std::vector<std::string> cells = {
+            cell, report::Table::cell(row.kernels)};
+        for (const auto &name : detectorNames)
+            cells.push_back(std::to_string(row.tp[name]) + "/" +
+                            std::to_string(row.kernels));
+        table.addRow(cells);
+    }
+    std::cout << table.ascii() << "\n";
+
+    report::Table fpTable(
+        "False positives on benign fixed-variant traces");
+    fpTable.setColumns(headers);
+    for (auto &[cell, row] : rows) {
+        std::vector<std::string> cells = {
+            cell, report::Table::cell(row.kernels)};
+        for (const auto &name : detectorNames)
+            cells.push_back(std::to_string(row.fp[name]) + "/" +
+                            std::to_string(row.kernels));
+        fpTable.addRow(cells);
+    }
+    std::cout << fpTable.ascii() << "\n";
+
+    // The study's qualitative claims, checked quantitatively.
+    auto &atom1 = rows["atomicity-1var"];
+    auto &multi = rows["atomicity-multivar"];
+    auto &dl = rows["deadlock"];
+    auto &other = rows["other"];
+    bool claims = true;
+    // Single-variable atomicity: the atomicity family covers it.
+    claims &= atom1.tp.count("atomicity") &&
+              atom1.tp.at("atomicity") == atom1.kernels;
+    // Multi-variable bugs escape the single-variable detector...
+    claims &= multi.tp.count("atomicity") == 0 ||
+              multi.tp.at("atomicity") < multi.kernels;
+    // ...but the correlation detector sees them.
+    claims &= multi.tp.count("multivar") &&
+              multi.tp.at("multivar") >= multi.kernels - 1;
+    // Deadlock cycles are the lock-order analyzer's domain.
+    claims &= dl.tp.count("lock-order") &&
+              dl.tp.at("lock-order") >= dl.kernels - 3;
+    // The "other" residue: no order/deadlock detector has a category
+    // for it (race-family detectors may still flag its incidental
+    // races — but those findings do not describe the root cause,
+    // which is the study's point).
+    claims &= other.tp["order"] == 0 && other.tp["lock-order"] == 0;
+    std::cout << (claims ? "[OK] the study's coverage claims hold\n"
+                         : "[!!] coverage claims violated\n");
+    return claims ? 0 : 1;
+}

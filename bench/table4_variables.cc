@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Table 4 — shared variables involved in non-deadlock bugs.
+ *
+ * Regenerates the single- vs multi-variable split (66% involve one
+ * variable) and validates the multi-variable claim empirically: on
+ * the multi-variable kernels, the correlation-based detector must
+ * infer the variable pair and flag the inconsistent interleaving,
+ * while single-variable detectors see those bugs only partially.
+ */
+
+#include "bench_common.hh"
+
+#include "detect/multivar.hh"
+#include "explore/dfs.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 4: variables involved (non-deadlock)",
+                  "66% of non-deadlock bugs involve one variable; "
+                  "the remaining third defeats single-variable "
+                  "detectors");
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    report::Table table("Table 4: variable involvement (database)");
+    table.setColumns({"variables", "bugs", "share %"});
+    const auto &h = analysis.variablesHistogram();
+    for (const auto &[value, count] : h.bins()) {
+        table.addRow({report::Table::cell(value),
+                      report::Table::cell(count),
+                      report::Table::cell(
+                          100.0 * static_cast<double>(count) /
+                          static_cast<double>(h.total()))});
+    }
+    std::cout << table.ascii() << "\n";
+
+    // Empirical leg: multi-variable kernels and MUVI-style inference.
+    report::Table emp("Empirical: multi-variable kernels");
+    emp.setColumns({"kernel", "declared vars", "pairs inferred",
+                    "multivar finding"});
+    bool allFlagged = true;
+    for (const auto *kernel :
+         bugs::kernelsOfType(study::BugType::NonDeadlock)) {
+        const auto &info = kernel->info();
+        if (info.variables < 2 ||
+            info.patterns.count(study::Pattern::Other))
+            continue;
+        // Find a manifesting trace for analysis.
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        std::optional<sim::Execution> exec;
+        sim::RandomPolicy random;
+        for (std::uint64_t seed = 0; seed < 300 && !exec; ++seed) {
+            sim::ExecOptions opt;
+            opt.seed = seed;
+            auto e = sim::runProgram(factory, random, opt);
+            if (explore::defaultManifest(e))
+                exec = std::move(e);
+        }
+        std::size_t pairs = 0;
+        bool flagged = false;
+        if (exec) {
+            detect::MultiVarDetector d;
+            d.setMinSupport(1); // kernels are single-iteration
+            pairs = d.inferCorrelations(exec->trace).size();
+            flagged = !d.analyze(exec->trace).empty();
+        }
+        // Order-pattern multi-var kernels (relay chains) are not the
+        // detector's target shape; require flags on atomicity ones.
+        if (info.patterns.count(study::Pattern::Atomicity) && !flagged)
+            allFlagged = false;
+        emp.addRow({info.id, report::Table::cell(info.variables),
+                    report::Table::cell(pairs),
+                    flagged ? "yes" : "no"});
+    }
+    std::cout << emp.ascii() << "\n";
+
+    std::cout << "paper-vs-reproduced:\n";
+    auto finding = bench::findingById(analysis, "F3-variables");
+    std::cout << report::renderFindings({finding});
+    return finding.matches() && allFlagged ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 5 — memory accesses whose order guarantees manifestation.
+ *
+ * The study's key testing implication: 92% of the bugs are
+ * *guaranteed* to manifest once a partial order among at most four
+ * operations is enforced. The empirical leg runs every kernel's
+ * manifestation certificate through the order-enforcing scheduler:
+ * 100% manifestation required on every enforced run.
+ */
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 5: accesses involved in manifestation",
+                  "92% of the bugs manifest deterministically once "
+                  "at most 4 operations are ordered");
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    report::Table table("Table 5: access involvement (database)");
+    table.setColumns({"ordered ops", "bugs", "cumulative %"});
+    const auto &h = analysis.accessesHistogram();
+    for (const auto &[value, count] : h.bins()) {
+        table.addRow(
+            {report::Table::cell(value), report::Table::cell(count),
+             report::Table::cell(100.0 * h.fractionAtMost(value))});
+    }
+    std::cout << table.ascii() << "\n";
+
+    // Empirical leg: enforce every kernel's certificate.
+    report::Table emp("Empirical: certificate enforcement");
+    emp.setColumns({"kernel", "labeled ops", "enforced runs",
+                    "manifested", "verdict"});
+    int withCert = 0;
+    int certHolds = 0;
+    for (const auto *kernel : bugs::allKernels()) {
+        const auto &info = kernel->info();
+        if (info.manifestation.empty()) {
+            emp.addRow({info.id, "-", "-", "-",
+                        "no small certificate (by design)"});
+            continue;
+        }
+        ++withCert;
+        auto check = explore::checkCertificate(*kernel, 40);
+        if (check.holds())
+            ++certHolds;
+        emp.addRow({info.id,
+                    report::Table::cell(
+                        info.manifestationLabels().size()),
+                    report::Table::cell(check.runs),
+                    report::Table::cell(check.manifested),
+                    check.holds() ? "guaranteed" : "FAILED"});
+    }
+    std::cout << emp.ascii() << "\n";
+    std::cout << "certificates that guarantee manifestation: "
+              << certHolds << "/" << withCert << "\n\n";
+
+    std::cout << "paper-vs-reproduced:\n";
+    auto finding = bench::findingById(analysis, "F4-accesses");
+    std::cout << report::renderFindings({finding});
+    return finding.matches() && certHolds == withCert ? 0 : 1;
+}

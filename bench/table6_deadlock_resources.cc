@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 6 — resources involved in deadlock bugs.
+ *
+ * Regenerates the resource histogram (97% of deadlocks involve at
+ * most two resources) and validates it empirically: the lock-order
+ * graph built from a deadlocking execution of each lock-based kernel
+ * must contain a cycle of exactly the declared length.
+ */
+
+#include "bench_common.hh"
+
+#include "detect/deadlock.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+/** Deadlocking execution of the kernel's Buggy variant. */
+std::optional<sim::Execution>
+deadlocking(const bugs::BugKernel &kernel)
+{
+    auto factory = kernel.factory(bugs::Variant::Buggy);
+    sim::RandomPolicy random;
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, random, opt);
+        if (exec.deadlocked)
+            return exec;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 6: resources involved in deadlocks",
+                  "97% of the examined deadlock bugs involve at most "
+                  "two resources");
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    report::Table table("Table 6: deadlock resources (database)");
+    table.setColumns({"resources", "bugs", "share %"});
+    const auto &h = analysis.resourcesHistogram();
+    for (const auto &[value, count] : h.bins()) {
+        table.addRow({report::Table::cell(value),
+                      report::Table::cell(count),
+                      report::Table::cell(
+                          100.0 * static_cast<double>(count) /
+                          static_cast<double>(h.total()))});
+    }
+    std::cout << table.ascii() << "\n";
+
+    report::Table emp("Empirical: deadlock kernels vs cycle length");
+    emp.setColumns({"kernel", "declared resources", "deadlocked",
+                    "observed cycle"});
+    bool allConsistent = true;
+    for (const auto *kernel :
+         bugs::kernelsOfType(study::BugType::Deadlock)) {
+        const auto &info = kernel->info();
+        auto exec = deadlocking(*kernel);
+        std::string observed = "-";
+        if (exec) {
+            detect::LockOrderGraph graph(exec->trace);
+            std::size_t best = 0;
+            for (const auto &cycle : graph.cycles())
+                best = std::max(best, cycle.size());
+            if (best > 0) {
+                observed = std::to_string(best) + " resources";
+                // Join/condvar deadlocks involve non-lock resources
+                // the lock graph cannot see; lock-only kernels must
+                // match exactly.
+                const bool lockOnly =
+                    info.id != "generic-join-deadlock" &&
+                    info.id != "mysql-binlog-cond";
+                if (lockOnly &&
+                    best != static_cast<std::size_t>(info.resources))
+                    allConsistent = false;
+            } else {
+                observed = "blocked on non-lock resource";
+            }
+        } else {
+            allConsistent = false;
+        }
+        emp.addRow({info.id, report::Table::cell(info.resources),
+                    exec ? "yes" : "NO", observed});
+    }
+    std::cout << emp.ascii() << "\n";
+
+    std::cout << "paper-vs-reproduced:\n";
+    auto finding = bench::findingById(analysis, "F5-resources");
+    std::cout << report::renderFindings({finding});
+    return finding.matches() && allConsistent ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 7 — fix strategies for non-deadlock bugs.
+ *
+ * Regenerates the fix-strategy table (adding/changing locks fixes
+ * only 27% of the bugs — condition checks, code switches, and design
+ * changes fix the majority) and validates each strategy empirically:
+ * every non-deadlock kernel's Fixed variant, which implements the
+ * strategy its real developers used, must survive stress + bounded
+ * systematic search with zero manifestations.
+ */
+
+#include "bench_common.hh"
+
+#include "explore/dfs.hh"
+
+int
+main()
+{
+    using namespace lfm;
+    bench::banner("Table 7: non-deadlock fix strategies",
+                  "only 20 of 74 fixes add or change locks; COND/"
+                  "Switch/Design fix the majority");
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    report::Table table("Table 7: fix strategies (database)");
+    table.setColumns({"strategy", "atomicity", "order", "other",
+                      "total", "share %"});
+    for (const auto &row : analysis.ndFixTable()) {
+        table.addRow({study::nonDeadlockFixName(row.fix),
+                      report::Table::cell(row.atomicity),
+                      report::Table::cell(row.order),
+                      report::Table::cell(row.other),
+                      report::Table::cell(row.total),
+                      report::Table::cell(
+                          100.0 * row.total /
+                          analysis.totalNonDeadlock())});
+    }
+    std::cout << table.ascii() << "\n";
+
+    report::Table emp("Empirical: fixed variants under stress + DFS");
+    emp.setColumns({"kernel", "strategy", "stress fails",
+                    "dfs fails", "verdict"});
+    bool allClean = true;
+    for (const auto *kernel :
+         bugs::kernelsOfType(study::BugType::NonDeadlock)) {
+        const auto &info = kernel->info();
+        auto stress =
+            bench::stressKernel(*kernel, bugs::Variant::Fixed, 150);
+        explore::DfsOptions dfs;
+        dfs.maxExecutions = 800;
+        dfs.maxDecisions = 2000;
+        dfs.stopAtFirst = true;
+        auto dres =
+            explore::exploreDfs(kernel->factory(bugs::Variant::Fixed),
+                                dfs);
+        const bool clean =
+            stress.manifestations == 0 && dres.manifestations == 0;
+        allClean &= clean;
+        emp.addRow({info.id, study::nonDeadlockFixName(info.ndFix),
+                    report::Table::cell(stress.manifestations),
+                    report::Table::cell(dres.manifestations),
+                    clean ? "fix verified" : "FIX FAILED"});
+    }
+    std::cout << emp.ascii() << "\n";
+
+    std::cout << "paper-vs-reproduced:\n";
+    auto finding = bench::findingById(analysis, "F6-lock-fix");
+    std::cout << report::renderFindings({finding});
+    return finding.matches() && allClean ? 0 : 1;
+}

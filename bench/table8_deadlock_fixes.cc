@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 8 — fix strategies for deadlock bugs.
+ *
+ * Regenerates the deadlock fix-strategy table (61% fixed by *giving
+ * up* a resource acquisition rather than reordering locks) and
+ * verifies each deadlock kernel's Fixed variant: zero deadlocks
+ * under stress and bounded systematic search, and the lock-order
+ * graph of fixed executions must be cycle-free for the lock-order
+ * fixes.
+ */
+
+#include "bench_common.hh"
+
+#include "detect/deadlock.hh"
+#include "explore/dfs.hh"
+
+int
+main()
+{
+    using namespace lfm;
+    bench::banner("Table 8: deadlock fix strategies",
+                  "19 of 31 deadlocks fixed by giving up a resource "
+                  "acquisition");
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    report::Table table("Table 8: deadlock fixes (database)");
+    table.setColumns({"strategy", "bugs", "share %"});
+    for (const auto &[fix, count] : analysis.dlFixTable()) {
+        table.addRow({study::deadlockFixName(fix),
+                      report::Table::cell(count),
+                      report::Table::cell(100.0 * count /
+                                          analysis.totalDeadlock())});
+    }
+    std::cout << table.ascii() << "\n";
+
+    report::Table emp("Empirical: fixed deadlock kernels");
+    emp.setColumns({"kernel", "strategy", "stress deadlocks",
+                    "dfs deadlocks", "acyclic lock graph",
+                    "verdict"});
+    bool allClean = true;
+    for (const auto *kernel :
+         bugs::kernelsOfType(study::BugType::Deadlock)) {
+        const auto &info = kernel->info();
+        auto factory = kernel->factory(bugs::Variant::Fixed);
+
+        auto stress =
+            bench::stressKernel(*kernel, bugs::Variant::Fixed, 150);
+        explore::DfsOptions dfs;
+        dfs.maxExecutions = 800;
+        dfs.maxDecisions = 2000;
+        dfs.stopAtFirst = true;
+        auto dres = explore::exploreDfs(factory, dfs);
+
+        // Lock-graph check on one completed fixed execution.
+        sim::RandomPolicy random;
+        auto exec = sim::runProgram(factory, random);
+        detect::LockOrderGraph graph(exec.trace);
+        const bool acyclic = graph.cycles().empty();
+
+        // The GiveUp (tryLock) fix intentionally tolerates a cycle in
+        // the *order* graph: it breaks the "hold while waiting"
+        // condition instead.
+        const bool needAcyclic =
+            info.dlFix == study::DeadlockFix::ChangeAcqOrder;
+        const bool clean = stress.manifestations == 0 &&
+                           dres.manifestations == 0 &&
+                           (!needAcyclic || acyclic);
+        allClean &= clean;
+        emp.addRow({info.id, study::deadlockFixName(info.dlFix),
+                    report::Table::cell(stress.manifestations),
+                    report::Table::cell(dres.manifestations),
+                    acyclic ? "yes" : "no",
+                    clean ? "fix verified" : "FIX FAILED"});
+    }
+    std::cout << emp.ascii() << "\n";
+
+    std::cout << "paper-vs-reproduced:\n";
+    auto finding = bench::findingById(analysis, "F7-giveup-fix");
+    std::cout << report::renderFindings({finding});
+    return finding.matches() && allClean ? 0 : 1;
+}

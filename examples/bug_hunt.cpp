@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bug hunt: take any kernel from the suite, find a manifesting
+ * schedule (stress, then systematic DFS), print the interesting part
+ * of the failing trace, run every detector, and demonstrate the
+ * manifestation certificate.
+ *
+ * Usage:  bug_hunt [kernel-id] [--dump trace.txt]
+ *         bug_hunt --list
+ *
+ * The default kernel is moz-jsclearscope; --dump writes the failing
+ * trace in the lfm-trace v1 format for later offline analysis.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bugs/registry.hh"
+#include "detect/detector.hh"
+#include "explore/dfs.hh"
+#include "explore/order_enforce.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+#include "trace/serialize.hh"
+
+using namespace lfm;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = "moz-jsclearscope";
+    std::string dumpPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            for (const auto *k : bugs::allKernels()) {
+                std::cout << k->info().id << "  ["
+                          << study::appName(k->info().app) << ", "
+                          << study::bugTypeName(k->info().type)
+                          << "]  " << k->info().summary << "\n";
+            }
+            return 0;
+        }
+        if (arg == "--dump" && i + 1 < argc) {
+            dumpPath = argv[++i];
+            continue;
+        }
+        id = arg;
+    }
+
+    const bugs::BugKernel *kernel = bugs::findKernel(id);
+    if (!kernel) {
+        std::cerr << "unknown kernel '" << id
+                  << "' (try --list)\n";
+        return 2;
+    }
+    const auto &info = kernel->info();
+    std::cout << "hunting " << info.id << " — " << info.summary
+              << "\n\n";
+
+    // Phase 1: naive stress.
+    sim::RandomPolicy random;
+    explore::StressOptions stress;
+    stress.runs = 200;
+    stress.stopAtFirst = true;
+    auto sres = explore::stressProgram(
+        kernel->factory(bugs::Variant::Buggy), random, stress);
+    std::optional<sim::Execution> failing;
+    if (sres.firstManifestSeed) {
+        std::cout << "stress found it after "
+                  << *sres.firstManifestSeed + 1 << " runs\n";
+        sim::ExecOptions opt;
+        opt.seed = *sres.firstManifestSeed;
+        failing = sim::runProgram(kernel->factory(bugs::Variant::Buggy),
+                                  random, opt);
+    } else {
+        // Phase 2: systematic search.
+        std::cout << "stress (200 runs) missed it; running DFS...\n";
+        explore::DfsOptions dfs;
+        dfs.stopAtFirst = true;
+        auto dres = explore::exploreDfs(
+            kernel->factory(bugs::Variant::Buggy), dfs);
+        if (dres.firstManifestPath) {
+            std::cout << "DFS found it after " << dres.executions
+                      << " executions\n";
+            sim::FixedSchedulePolicy replay(*dres.firstManifestPath);
+            failing = sim::runProgram(
+                kernel->factory(bugs::Variant::Buggy), replay);
+        }
+    }
+    if (!failing) {
+        std::cout << "no manifestation found\n";
+        return 1;
+    }
+
+    if (!dumpPath.empty()) {
+        std::ofstream out(dumpPath);
+        if (out) {
+            trace::saveTrace(failing->trace, out);
+            std::cout << "failing trace written to " << dumpPath
+                      << "\n";
+        } else {
+            std::cerr << "cannot write " << dumpPath << "\n";
+        }
+    }
+
+    std::cout << "\nfailing trace (sync/access events):\n";
+    for (const auto &event : failing->trace.events())
+        std::cout << "  " << failing->trace.render(event) << "\n";
+
+    std::cout << "\ndetector findings:\n";
+    for (auto &detector : detect::allDetectors()) {
+        for (const auto &finding : detector->analyze(failing->trace))
+            std::cout << "  [" << finding.detector << "] "
+                      << finding.message << "\n";
+    }
+
+    if (!info.manifestation.empty()) {
+        std::cout << "\nmanifestation certificate ("
+                  << info.manifestationLabels().size()
+                  << " labeled ops):\n";
+        for (const auto &c : info.manifestation)
+            std::cout << "  " << c.before << "  before  " << c.after
+                      << "\n";
+        auto check = explore::checkCertificate(*kernel, 25);
+        std::cout << "enforced: " << check.manifested << "/"
+                  << check.runs << " runs manifested\n";
+    }
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Reproduce the whole study in one command: every table of the
+ * characteristics study plus the nine headline findings, rendered
+ * from the 105-bug database.
+ *
+ * Run with --markdown or --csv to emit machine-friendly formats.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "report/compare.hh"
+#include "report/table.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "study/findings.hh"
+
+using namespace lfm;
+
+namespace
+{
+
+enum class Format
+{
+    Ascii,
+    Markdown,
+    Csv,
+};
+
+void
+emit(const report::Table &table, Format format)
+{
+    switch (format) {
+      case Format::Ascii:
+        std::cout << table.ascii() << "\n";
+        break;
+      case Format::Markdown:
+        std::cout << table.markdown() << "\n";
+        break;
+      case Format::Csv:
+        std::cout << "# " << table.title() << "\n"
+                  << table.csv() << "\n";
+        break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Format format = Format::Ascii;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--markdown") == 0)
+            format = Format::Markdown;
+        else if (std::strcmp(argv[i], "--csv") == 0)
+            format = Format::Csv;
+    }
+
+    const auto &db = study::database();
+    study::Analysis analysis(db);
+
+    std::cout << "Learning from Mistakes (ASPLOS 2008) — "
+                 "reproduced characteristics study\n"
+              << "105 examined concurrency bugs: "
+              << analysis.totalNonDeadlock() << " non-deadlock, "
+              << analysis.totalDeadlock() << " deadlock\n\n";
+
+    {
+        report::Table t("Table 1: applications");
+        t.setColumns({"application", "non-deadlock", "deadlock",
+                      "total"});
+        for (const auto &row : analysis.appTable()) {
+            t.addRow({study::appName(row.app),
+                      report::Table::cell(row.nonDeadlock),
+                      report::Table::cell(row.deadlock),
+                      report::Table::cell(row.total())});
+        }
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 2: non-deadlock patterns");
+        t.setColumns({"application", "atomicity", "order", "both",
+                      "other"});
+        for (const auto &row : analysis.patternTable()) {
+            t.addRow({study::appName(row.app),
+                      report::Table::cell(row.atomicityOnly),
+                      report::Table::cell(row.orderOnly),
+                      report::Table::cell(row.both),
+                      report::Table::cell(row.other)});
+        }
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 3: threads in manifestation");
+        t.setColumns({"threads", "bugs"});
+        for (const auto &[v, c] : analysis.threadsHistogram().bins())
+            t.addRow({report::Table::cell(v), report::Table::cell(c)});
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 4: variables (non-deadlock)");
+        t.setColumns({"variables", "bugs"});
+        for (const auto &[v, c] :
+             analysis.variablesHistogram().bins())
+            t.addRow({report::Table::cell(v), report::Table::cell(c)});
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 5: accesses in manifestation");
+        t.setColumns({"ordered ops", "bugs"});
+        for (const auto &[v, c] : analysis.accessesHistogram().bins())
+            t.addRow({report::Table::cell(v), report::Table::cell(c)});
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 6: deadlock resources");
+        t.setColumns({"resources", "bugs"});
+        for (const auto &[v, c] :
+             analysis.resourcesHistogram().bins())
+            t.addRow({report::Table::cell(v), report::Table::cell(c)});
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 7: non-deadlock fix strategies");
+        t.setColumns({"strategy", "atomicity", "order", "other",
+                      "total"});
+        for (const auto &row : analysis.ndFixTable()) {
+            t.addRow({study::nonDeadlockFixName(row.fix),
+                      report::Table::cell(row.atomicity),
+                      report::Table::cell(row.order),
+                      report::Table::cell(row.other),
+                      report::Table::cell(row.total)});
+        }
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 8: deadlock fix strategies");
+        t.setColumns({"strategy", "bugs"});
+        for (const auto &[fix, count] : analysis.dlFixTable()) {
+            t.addRow({study::deadlockFixName(fix),
+                      report::Table::cell(count)});
+        }
+        emit(t, format);
+    }
+    {
+        report::Table t("Table 9: TM applicability");
+        t.setColumns({"verdict", "bugs"});
+        for (const auto &[tm, count] : analysis.tmTable()) {
+            t.addRow({study::tmHelpName(tm),
+                      report::Table::cell(count)});
+        }
+        emit(t, format);
+    }
+
+    if (format == Format::Ascii) {
+        std::cout << "headline findings (paper vs reproduced):\n"
+                  << report::renderFindings(
+                         study::headlineFindings(analysis));
+    }
+    return 0;
+}

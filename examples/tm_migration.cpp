@@ -1,0 +1,111 @@
+/**
+ * @file
+ * TM migration: the study's §7 claim, hands-on. Take the classic
+ * torn multi-variable update, show it failing with plain accesses,
+ * then migrate the region to the TL2-lite STM and show (a) the bug is
+ * gone and (b) the commit/abort counters prove real contention was
+ * exercised, not just avoided by luck.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+using namespace lfm;
+
+namespace
+{
+
+struct Pair
+{
+    std::unique_ptr<stm::StmSpace> space;
+    std::unique_ptr<stm::TVar> x;
+    std::unique_ptr<stm::TVar> y;
+};
+
+/** Writer updates x then y (invariant: x == y); reader checks. */
+sim::Program
+makeProgram(bool transactional, std::uint64_t *commits,
+            std::uint64_t *aborts)
+{
+    auto s = std::make_shared<Pair>();
+    s->space = std::make_unique<stm::StmSpace>();
+    s->x = std::make_unique<stm::TVar>("x", 0);
+    s->y = std::make_unique<stm::TVar>("y", 0);
+
+    sim::Program p;
+    p.threads.push_back(
+        {"writer", [s, transactional] {
+             for (int round = 1; round <= 2; ++round) {
+                 if (transactional) {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->x, round);
+                         tx.write(*s->y, round);
+                     });
+                 } else {
+                     s->x->writePlain(round);
+                     s->y->writePlain(round);
+                 }
+             }
+         }});
+    p.threads.push_back(
+        {"reader", [s, transactional] {
+             std::int64_t x = 0, y = 0;
+             if (transactional) {
+                 stm::atomically(*s->space, [&](stm::Txn &tx) {
+                     x = tx.read(*s->x);
+                     y = tx.read(*s->y);
+                 });
+             } else {
+                 x = s->x->readPlain();
+                 y = s->y->readPlain();
+             }
+             sim::simCheck(x == y, "invariant x == y violated: x=" +
+                                       std::to_string(x) + " y=" +
+                                       std::to_string(y));
+         }});
+    p.oracle = [s, commits, aborts]() -> std::optional<std::string> {
+        if (commits)
+            *commits += s->space->commits();
+        if (aborts)
+            *aborts += s->space->aborts();
+        return std::nullopt;
+    };
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "TM migration demo (study §7)\n\n";
+    sim::RandomPolicy policy;
+    explore::StressOptions stress;
+    stress.runs = 300;
+
+    auto plain = explore::stressProgram(
+        [] { return makeProgram(false, nullptr, nullptr); }, policy,
+        stress);
+    std::cout << "plain accesses:    " << plain.manifestations << "/"
+              << plain.runs << " runs violated the invariant\n";
+
+    std::uint64_t commits = 0, aborts = 0;
+    auto tx = explore::stressProgram(
+        [&] { return makeProgram(true, &commits, &aborts); }, policy,
+        stress);
+    std::cout << "transactional:     " << tx.manifestations << "/"
+              << tx.runs << " runs violated the invariant\n"
+              << "                   " << commits << " commits, "
+              << aborts << " aborts across the campaign\n\n";
+
+    const bool ok = plain.manifestations > 0 &&
+                    tx.manifestations == 0 && aborts > 0;
+    std::cout << (ok ? "TM removed the bug under real contention.\n"
+                     : "unexpected result!\n");
+    return ok ? 0 : 1;
+}

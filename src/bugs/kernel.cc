@@ -1,0 +1,34 @@
+#include "bugs/kernel.hh"
+
+#include <algorithm>
+
+namespace lfm::bugs
+{
+
+const char *
+variantName(Variant variant)
+{
+    switch (variant) {
+      case Variant::Buggy:   return "buggy";
+      case Variant::Fixed:   return "fixed";
+      case Variant::TmFixed: return "tm-fixed";
+    }
+    return "?";
+}
+
+std::vector<std::string>
+KernelInfo::manifestationLabels() const
+{
+    std::vector<std::string> labels;
+    auto addUnique = [&labels](const std::string &l) {
+        if (std::find(labels.begin(), labels.end(), l) == labels.end())
+            labels.push_back(l);
+    };
+    for (const auto &c : manifestation) {
+        addUnique(c.before);
+        addUnique(c.after);
+    }
+    return labels;
+}
+
+} // namespace lfm::bugs

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bug kernels: runnable extracts of the studied concurrency bugs.
+ *
+ * A kernel is the concurrency skeleton of one real bug class: the
+ * shared variables, locks, and thread bodies that make the bug
+ * possible, stripped of the surrounding application logic (which the
+ * study shows is irrelevant to manifestation). Each kernel provides
+ *
+ *  - a Buggy variant that manifests under the right interleaving,
+ *  - a Fixed variant applying the strategy the real developers used,
+ *  - optionally a TmFixed variant whose region runs as a transaction,
+ *
+ * plus a *manifestation certificate*: the set of label-order
+ * constraints that, when enforced by the scheduler, guarantees the
+ * Buggy variant manifests. The certificate's distinct labels are
+ * exactly what the paper counts as "accesses involved in the
+ * manifestation" (finding: at most 4 for 92% of bugs).
+ */
+
+#ifndef LFM_BUGS_KERNEL_HH
+#define LFM_BUGS_KERNEL_HH
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/program.hh"
+#include "study/taxonomy.hh"
+
+namespace lfm::bugs
+{
+
+/** Which variant of a kernel to instantiate. */
+enum class Variant
+{
+    Buggy,    ///< the original bug
+    Fixed,    ///< the developers' fix strategy applied
+    TmFixed,  ///< buggy region wrapped in a transaction
+};
+
+/** Printable variant name. */
+const char *variantName(Variant variant);
+
+/** "label A must execute before label B". */
+struct OrderConstraint
+{
+    std::string before;
+    std::string after;
+};
+
+/** Static description of one kernel. */
+struct KernelInfo
+{
+    /** Stable kernel id, e.g. "apache-25520". */
+    std::string id;
+
+    /** Citable report id when modelling a documented bug. */
+    std::string reportId;
+
+    study::App app = study::App::Mozilla;
+    study::BugType type = study::BugType::NonDeadlock;
+    std::set<study::Pattern> patterns;
+
+    /** Threads involved in the manifestation. */
+    int threads = 2;
+
+    /** Shared variables involved (non-deadlock kernels). */
+    int variables = 1;
+
+    /** Resources involved (deadlock kernels). */
+    int resources = 0;
+
+    /** Enforcing these label orders guarantees manifestation of the
+     * Buggy variant. Empty means the bug manifests unconditionally. */
+    std::vector<OrderConstraint> manifestation;
+
+    study::NonDeadlockFix ndFix = study::NonDeadlockFix::Other;
+    study::DeadlockFix dlFix = study::DeadlockFix::Other;
+    study::TmHelp tm = study::TmHelp::No;
+
+    /** True when a TmFixed variant exists. */
+    bool hasTmVariant = false;
+
+    /** One-line description of the modelled bug. */
+    std::string summary;
+
+    /** Distinct labels appearing in the manifestation constraints —
+     * the "accesses involved" count of the study. */
+    std::vector<std::string> manifestationLabels() const;
+
+    bool isDeadlock() const
+    {
+        return type == study::BugType::Deadlock;
+    }
+};
+
+/**
+ * One runnable bug kernel. Construct via the factory functions in
+ * kernels/kernels.hh; look kernels up through the registry.
+ */
+class BugKernel
+{
+  public:
+    BugKernel(KernelInfo info,
+              std::function<sim::Program(Variant)> builder)
+        : info_(std::move(info)), builder_(std::move(builder))
+    {
+    }
+
+    const KernelInfo &info() const { return info_; }
+
+    /** Build a fresh program instance of the given variant. */
+    sim::Program
+    instantiate(Variant variant) const
+    {
+        return builder_(variant);
+    }
+
+    /** A ProgramFactory for runners/explorers. */
+    sim::ProgramFactory
+    factory(Variant variant) const
+    {
+        auto builder = builder_;
+        return [builder, variant] { return builder(variant); };
+    }
+
+  private:
+    KernelInfo info_;
+    std::function<sim::Program(Variant)> builder_;
+};
+
+} // namespace lfm::bugs
+
+#endif // LFM_BUGS_KERNEL_HH

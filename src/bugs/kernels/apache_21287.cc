@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Apache #21287 — non-atomic reference-count decrement in the
+ * mod_mem_cache object cache.
+ *
+ *     if (--obj->refcount == 0)
+ *         cleanup_cache_object(obj);
+ *
+ * The decrement compiles to read-modify-write; two threads dropping
+ * their references concurrently can both observe the same old count,
+ * so the object's final release never runs (leak) — or, with the
+ * check reordered, runs twice. The study files it under atomicity
+ * violations; the fix made the decrement atomic (locked).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> refcount;
+    std::unique_ptr<sim::SharedVar<int>> object;
+    std::unique_ptr<sim::SimMutex> refLock;    // Fixed
+    std::unique_ptr<stm::StmSpace> space;      // TmFixed
+    std::unique_ptr<stm::TVar> refcountTx;
+    int frees = 0;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeApache21287()
+{
+    KernelInfo info;
+    info.id = "apache-21287";
+    info.reportId = "Apache#21287";
+    info.app = study::App::Apache;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.read", "b.read"},  // both see refcount == 2
+        {"b.read", "a.write"},
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "racy refcount decrement loses the final release "
+                   "of a cached object";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->refcount = std::make_unique<sim::SharedVar<int>>("refcnt", 2);
+        s->object = std::make_unique<sim::SharedVar<int>>("cache_obj", 1);
+        if (variant == Variant::Fixed)
+            s->refLock = std::make_unique<sim::SimMutex>("ref_lock");
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->refcountTx = std::make_unique<stm::TVar>("refcnt_tx", 2);
+        }
+
+        auto release = [s, variant](const char *r, const char *w,
+                                    const char *f) {
+            bool last = false;
+            switch (variant) {
+              case Variant::Buggy: {
+                const int old = s->refcount->get(r);
+                s->refcount->set(old - 1, w);
+                last = old - 1 == 0;
+                break;
+              }
+              case Variant::Fixed: {
+                sim::SimLock guard(*s->refLock);
+                const int old = s->refcount->get(r);
+                s->refcount->set(old - 1, w);
+                last = old - 1 == 0;
+                break;
+              }
+              case Variant::TmFixed:
+                stm::atomically(*s->space, [&](stm::Txn &tx) {
+                    const auto old = tx.read(*s->refcountTx);
+                    tx.write(*s->refcountTx, old - 1);
+                    last = old - 1 == 0;
+                });
+                break;
+            }
+            if (last) {
+                s->object->free(f);
+                ++s->frees;
+            }
+        };
+
+        sim::Program p;
+        p.threads.push_back({"conn1", [release] {
+                                 release("a.read", "a.write", "a.free");
+                             }});
+        p.threads.push_back({"conn2", [release] {
+                                 release("b.read", "b.write", "b.free");
+                             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->frees != 1) {
+                return "cached object released " +
+                       std::to_string(s->frees) +
+                       " times (expected exactly once)";
+            }
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Apache #25520 — corrupted multi-threaded access log.
+ *
+ * Two request threads append to the shared in-memory log buffer:
+ *
+ *     off = buf->outcnt;            // read
+ *     memcpy(buf->outbuf + off, s, len);
+ *     buf->outcnt = off + len;      // write
+ *
+ * Nothing orders the read-copy-update sequences, so two threads can
+ * read the same offset and overwrite each other's entry (lost log
+ * data / corrupted interleaved bytes). Classified by the study as a
+ * single-variable atomicity violation (the region around outcnt);
+ * developers fixed it with locking.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include <array>
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kLen1 = 2;
+constexpr int kLen2 = 3;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> outcnt;
+    std::unique_ptr<sim::SimMutex> logLock;       // Fixed
+    std::unique_ptr<stm::StmSpace> space;          // TmFixed
+    std::unique_ptr<stm::TVar> outcntTx;
+    std::array<int, 16> slots{};                   // write counts
+};
+
+void
+appendBuggy(State &s, int len, const char *readLabel,
+            const char *writeLabel)
+{
+    const int off = s.outcnt->get(readLabel);
+    for (int i = 0; i < len; ++i)
+        ++s.slots[static_cast<std::size_t>(off + i)];
+    s.outcnt->set(off + len, writeLabel);
+}
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeApache25520()
+{
+    KernelInfo info;
+    info.id = "apache-25520";
+    info.reportId = "Apache#25520";
+    info.app = study::App::Apache;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.read", "b.read"},   // both readers see the same offset
+        {"b.read", "a.write"},
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "log-buffer append loses entries when two request "
+                   "threads read the same offset";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->outcnt = std::make_unique<sim::SharedVar<int>>("outcnt", 0);
+        if (variant == Variant::Fixed)
+            s->logLock = std::make_unique<sim::SimMutex>("log_lock");
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->outcntTx = std::make_unique<stm::TVar>("outcnt_tx", 0);
+        }
+
+        auto worker = [s, variant](int len, const char *r,
+                                   const char *w) {
+            switch (variant) {
+              case Variant::Buggy:
+                appendBuggy(*s, len, r, w);
+                break;
+              case Variant::Fixed: {
+                sim::SimLock guard(*s->logLock);
+                appendBuggy(*s, len, r, w);
+                break;
+              }
+              case Variant::TmFixed:
+                stm::atomically(*s->space, [&](stm::Txn &tx) {
+                    const auto off = tx.read(*s->outcntTx);
+                    tx.write(*s->outcntTx, off + len);
+                });
+                break;
+            }
+        };
+
+        sim::Program p;
+        p.threads.push_back({"req1", [worker] {
+                                 worker(kLen1, "a.read", "a.write");
+                             }});
+        p.threads.push_back({"req2", [worker] {
+                                 worker(kLen2, "b.read", "b.write");
+                             }});
+        p.oracle = [s, variant]() -> std::optional<std::string> {
+            if (variant == Variant::TmFixed) {
+                if (s->outcntTx->peek() != kLen1 + kLen2)
+                    return "log cursor lost an append";
+                return std::nullopt;
+            }
+            if (s->outcnt->peek() != kLen1 + kLen2)
+                return "log cursor lost an append";
+            for (int i = 0; i < kLen1 + kLen2; ++i) {
+                if (s->slots[static_cast<std::size_t>(i)] != 1)
+                    return "log bytes overwritten or skipped";
+            }
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Apache — module callback inverts the core's lock order
+ * (rwlock vs mutex ABBA).
+ *
+ * The core takes the config rwlock (write side) and then the module
+ * mutex to notify a plugin; the plugin's own entry path takes its
+ * mutex first and then reads the config under the rwlock. Two
+ * resources, opposite orders — the shape the study's lock-order
+ * detectors catch statically. Fixed by a consistent order.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimRWLock> configRw;
+    std::unique_ptr<sim::SimMutex> moduleMutex;
+    std::unique_ptr<sim::SharedVar<int>> config;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeApachePluginAbba()
+{
+    KernelInfo info;
+    info.id = "apache-plugin-abba";
+    info.reportId = "Apache (module callback)";
+    info.app = study::App::Apache;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {
+        {"t1.rw", "t2.rw"},
+        {"t2.m", "t1.m"},
+    };
+    info.dlFix = study::DeadlockFix::ChangeAcqOrder;
+    info.tm = study::TmHelp::Maybe;
+    info.hasTmVariant = false;
+    info.summary = "core and plugin acquire the config rwlock and the "
+                   "module mutex in opposite orders";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->configRw = std::make_unique<sim::SimRWLock>("config_rw");
+        s->moduleMutex = std::make_unique<sim::SimMutex>("module_mu");
+        s->config = std::make_unique<sim::SharedVar<int>>("config", 1);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"core", [s] {
+                 s->configRw->wrLock("t1.rw");
+                 s->config->add(1);
+                 s->moduleMutex->lock("t1.m");
+                 // notify plugin ...
+                 s->moduleMutex->unlock();
+                 s->configRw->wrUnlock();
+             }});
+        p.threads.push_back(
+            {"plugin", [s, variant] {
+                 if (variant == Variant::Buggy) {
+                     s->moduleMutex->lock("t2.m");
+                     s->configRw->rdLock("t2.rw");
+                     (void)s->config->get();
+                     s->configRw->rdUnlock();
+                     s->moduleMutex->unlock();
+                 } else {
+                     // AcqOrder fix: rwlock before module mutex,
+                     // matching the core path.
+                     s->configRw->rdLock("t2.rw");
+                     s->moduleMutex->lock("t2.m");
+                     (void)s->config->get();
+                     s->moduleMutex->unlock();
+                     s->configRw->rdUnlock();
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Three-resource lock cycle — the study's rare >2-resource deadlock.
+ *
+ * Three pipeline stages each hold their stage lock and acquire the
+ * next stage's lock, forming the cycle L1->L2->L3->L1. Only 1 of the
+ * study's 31 deadlocks needed more than two resources, and this is
+ * that shape. Its manifestation also needs more than four ordered
+ * acquisitions — one of the 8% of bugs without a <=4-access
+ * certificate. Fixed by globally ordering the lock acquisitions.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> l1, l2, l3;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGeneric3LockCycle()
+{
+    KernelInfo info;
+    info.id = "generic-3lock-cycle";
+    info.app = study::App::OpenOffice;
+    info.type = study::BugType::Deadlock;
+    info.threads = 3;
+    info.resources = 3;
+    info.manifestation = {
+        {"t1.first", "t3.second"},
+        {"t2.first", "t1.second"},
+        {"t3.first", "t2.second"},
+    };
+    info.dlFix = study::DeadlockFix::ChangeAcqOrder;
+    info.tm = study::TmHelp::Maybe;
+    info.hasTmVariant = false;
+    info.summary = "three pipeline stages form the lock cycle "
+                   "L1->L2->L3->L1";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->l1 = std::make_unique<sim::SimMutex>("L1");
+        s->l2 = std::make_unique<sim::SimMutex>("L2");
+        s->l3 = std::make_unique<sim::SimMutex>("L3");
+
+        auto stage = [](sim::SimMutex &first, sim::SimMutex &second,
+                        const char *l1, const char *l2) {
+            first.lock(l1);
+            second.lock(l2);
+            second.unlock();
+            first.unlock();
+        };
+
+        sim::Program p;
+        if (variant == Variant::Buggy) {
+            p.threads.push_back({"stage1", [s, stage] {
+                                     stage(*s->l1, *s->l2, "t1.first",
+                                           "t1.second");
+                                 }});
+            p.threads.push_back({"stage2", [s, stage] {
+                                     stage(*s->l2, *s->l3, "t2.first",
+                                           "t2.second");
+                                 }});
+            p.threads.push_back({"stage3", [s, stage] {
+                                     stage(*s->l3, *s->l1, "t3.first",
+                                           "t3.second");
+                                 }});
+        } else {
+            // AcqOrder fix: every stage acquires in global L-number
+            // order, so no cycle can form.
+            p.threads.push_back({"stage1", [s, stage] {
+                                     stage(*s->l1, *s->l2, "t1.first",
+                                           "t1.second");
+                                 }});
+            p.threads.push_back({"stage2", [s, stage] {
+                                     stage(*s->l2, *s->l3, "t2.first",
+                                           "t2.second");
+                                 }});
+            p.threads.push_back({"stage3", [s, stage] {
+                                     stage(*s->l1, *s->l3, "t3.first",
+                                           "t3.second");
+                                 }});
+        }
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Broken double-checked lazy initialization.
+ *
+ * The classic pattern: check the flag without the lock, initialize,
+ * publish. Two request threads can both see the flag unset and both
+ * construct the singleton (leaking one instance and losing state) —
+ * or a reader can see the flag set while the object is still
+ * half-built. Counted by the study under multi-variable atomicity
+ * violations; the durable fix is a *design change* (eager/once
+ * initialization), not sprinkling the fast path with locks.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> inited;
+    std::unique_ptr<sim::SharedVar<int>> instance;
+    std::unique_ptr<stm::StmSpace> space;  // TmFixed
+    std::unique_ptr<stm::TVar> initedTx;
+    std::unique_ptr<stm::TVar> instanceTx;
+    int constructions = 0;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericDclLazyInit()
+{
+    KernelInfo info;
+    info.id = "generic-dcl-lazyinit";
+    info.app = study::App::Apache;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {
+        {"a.check", "b.check"},  // both see "not initialized"
+        {"b.check", "a.set"},
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "double-checked lazy init constructs the "
+                   "singleton twice under contention";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->inited = std::make_unique<sim::SharedVar<int>>("inited", 0);
+        s->instance =
+            std::make_unique<sim::SharedVar<int>>("instance", 0);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->initedTx = std::make_unique<stm::TVar>("inited_tx", 0);
+            s->instanceTx =
+                std::make_unique<stm::TVar>("instance_tx", 0);
+        }
+        if (variant == Variant::Fixed) {
+            // Design fix: eager initialization before any requests
+            // run — the lazy fast path is gone entirely.
+            s->inited->poke(1);
+            s->instance->poke(7);
+            ++s->constructions;
+        }
+
+        auto getInstance = [s, variant](const char *check,
+                                        const char *set) {
+            switch (variant) {
+              case Variant::Buggy:
+                if (s->inited->get(check) == 0) {
+                    s->instance->set(7); // "construct"
+                    ++s->constructions;
+                    s->inited->set(1, set);
+                }
+                return static_cast<std::int64_t>(s->instance->get());
+              case Variant::Fixed:
+                return static_cast<std::int64_t>(s->instance->get());
+              case Variant::TmFixed: {
+                std::int64_t value = 0;
+                stm::atomically(*s->space, [&](stm::Txn &tx) {
+                    if (tx.read(*s->initedTx) == 0) {
+                        tx.write(*s->instanceTx, 7);
+                        tx.write(*s->initedTx, 1);
+                    }
+                    value = tx.read(*s->instanceTx);
+                });
+                return value;
+              }
+            }
+            return std::int64_t{0};
+        };
+
+        sim::Program p;
+        p.threads.push_back({"req1", [getInstance] {
+                                 const auto v = getInstance(
+                                     "a.check", "a.set");
+                                 sim::simCheck(v == 7,
+                                               "used uninitialized "
+                                               "singleton");
+                             }});
+        p.threads.push_back({"req2", [getInstance] {
+                                 const auto v = getInstance(
+                                     "b.check", "b.set");
+                                 sim::simCheck(v == 7,
+                                               "used uninitialized "
+                                               "singleton");
+                             }});
+        p.oracle = [s, variant]() -> std::optional<std::string> {
+            if (variant == Variant::TmFixed)
+                return std::nullopt;
+            if (s->constructions != 1) {
+                return "singleton constructed " +
+                       std::to_string(s->constructions) + " times";
+            }
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

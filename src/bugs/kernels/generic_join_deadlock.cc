@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Join-while-holding-lock deadlock.
+ *
+ * A parent joins its worker while holding the mutex the worker needs
+ * to finish: a two-resource cycle between a lock and a thread —
+ * the study counts threads/conditions as deadlock resources too, not
+ * just locks. Manifests unconditionally once the parent reaches the
+ * join. Fixed by releasing the lock before joining (GiveUp).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> stateLock;
+    std::unique_ptr<sim::SharedVar<int>> progress;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericJoinDeadlock()
+{
+    KernelInfo info;
+    info.id = "generic-join-deadlock";
+    info.app = study::App::Apache;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {};  // unconditional once spawned
+    info.dlFix = study::DeadlockFix::GiveUpResource;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "parent joins the worker while holding the mutex "
+                   "the worker still needs";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->stateLock = std::make_unique<sim::SimMutex>("state_lock");
+        s->progress = std::make_unique<sim::SharedVar<int>>("progress",
+                                                            0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"parent", [s, variant] {
+                 s->stateLock->lock("p.lock");
+                 auto worker = sim::spawnThread("worker", [s] {
+                     s->stateLock->lock("w.lock");
+                     s->progress->add(1);
+                     s->stateLock->unlock();
+                 });
+                 if (variant != Variant::Buggy) {
+                     // GiveUp fix: never hold the lock across join.
+                     s->stateLock->unlock();
+                     worker.join();
+                 } else {
+                     worker.join(); // worker needs state_lock: cycle
+                     s->stateLock->unlock();
+                 }
+             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            // Reached only on a completed (non-deadlocked) run.
+            if (s->progress->peek() != 1)
+                return "worker never ran its critical section";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

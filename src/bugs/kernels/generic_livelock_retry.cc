@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Livelock kernel — one of the study's "other" non-deadlock bugs.
+ *
+ * Two threads implement ad-hoc mutual exclusion with set-check-back-
+ * off flags. Under an adversarial schedule both threads keep seeing
+ * each other's flag, backing off, and retrying: no one progresses.
+ * Neither an atomicity nor an order violation — the whole retry
+ * protocol is wrong. Manifestation needs a long adversarial
+ * interleaving (this is one of the study's >4-access bugs, so it has
+ * no small manifestation certificate).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kMaxRetries = 12;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> flagA;
+    std::unique_ptr<sim::SharedVar<int>> flagB;
+    std::unique_ptr<sim::SharedVar<int>> done;
+    std::unique_ptr<sim::SimSemaphore> turn;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericLivelockRetry()
+{
+    KernelInfo info;
+    info.id = "generic-livelock-retry";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Other};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {};  // no small certificate: >4 accesses
+    info.ndFix = study::NonDeadlockFix::Other;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "symmetric set-check-backoff flags livelock under "
+                   "an adversarial schedule";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->flagA = std::make_unique<sim::SharedVar<int>>("flagA", 0);
+        s->flagB = std::make_unique<sim::SharedVar<int>>("flagB", 0);
+        s->done = std::make_unique<sim::SharedVar<int>>("done", 0);
+        if (variant != Variant::Buggy)
+            s->turn = std::make_unique<sim::SimSemaphore>("turn", 0);
+
+        auto contender = [s, variant](sim::SharedVar<int> *mine,
+                                      sim::SharedVar<int> *theirs,
+                                      bool deferent) {
+            if (variant != Variant::Buggy && deferent) {
+                // Fix (Other): break the symmetry — the deferent side
+                // *blocks* until the peer finished (a spin here would
+                // itself livelock under an adversarial scheduler), so
+                // each contender sees an uncontended flag.
+                s->turn->wait();
+            }
+            for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+                mine->set(1);
+                if (theirs->get() == 0) {
+                    s->done->add(1); // critical section
+                    mine->set(0);
+                    if (variant != Variant::Buggy && !deferent)
+                        s->turn->post();
+                    return;
+                }
+                mine->set(0);
+                sim::yieldNow();
+            }
+            sim::bugManifested("livelock: gave up after " +
+                               std::to_string(kMaxRetries) +
+                               " retries");
+        };
+
+        sim::Program p;
+        p.threads.push_back({"peer1", [s, contender] {
+                                 contender(s->flagA.get(),
+                                           s->flagB.get(), false);
+                             }});
+        p.threads.push_back({"peer2", [s, contender] {
+                                 contender(s->flagB.get(),
+                                           s->flagA.get(), true);
+                             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Missed-notification kernel — the lost-wakeup order violation.
+ *
+ * The consumer checks the flag *outside* the lock and the producer
+ * signals without holding it, so the wakeup can fire in the window
+ * between the consumer's check and its wait; the consumer then waits
+ * forever. The fix is the study's COND strategy: check under the
+ * lock, in a while loop, with the signal under the same lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> ready;
+    std::unique_ptr<sim::SimMutex> m;
+    std::unique_ptr<sim::SimCondVar> cv;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericMissedNotify()
+{
+    KernelInfo info;
+    info.id = "generic-missed-notify";
+    info.app = study::App::Apache;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Order};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"c.check", "p.set"},
+        {"p.signal", "c.wait"},
+    };
+    info.ndFix = study::NonDeadlockFix::CondCheck;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "signal fires between the consumer's unlocked "
+                   "check and its wait; consumer hangs forever";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->ready = std::make_unique<sim::SharedVar<int>>("ready", 0);
+        s->m = std::make_unique<sim::SimMutex>("m");
+        s->cv = std::make_unique<sim::SimCondVar>("cv");
+
+        sim::Program p;
+        p.threads.push_back(
+            {"consumer", [s, variant] {
+                 if (variant == Variant::Buggy) {
+                     if (s->ready->get("c.check") == 0) {
+                         s->m->lock();
+                         s->cv->wait(*s->m, "c.wait");
+                         s->m->unlock();
+                     }
+                 } else {
+                     // COND fix: check under the lock, in a loop.
+                     s->m->lock();
+                     while (s->ready->get("c.check") == 0)
+                         s->cv->wait(*s->m, "c.wait");
+                     s->m->unlock();
+                 }
+             }});
+        p.threads.push_back(
+            {"producer", [s, variant] {
+                 if (variant == Variant::Buggy) {
+                     s->ready->set(1, "p.set");
+                     s->cv->signal("p.signal");
+                 } else {
+                     s->m->lock();
+                     s->ready->set(1, "p.set");
+                     s->cv->signal("p.signal");
+                     s->m->unlock();
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Three-thread relay order violation.
+ *
+ * T1 produces a value, T2 relays it, T3 consumes the relayed copy —
+ * and the code assumes scheduling alone provides the ordering. One of
+ * the study's rare bugs whose manifestation involves more than two
+ * threads (4 of 105), while still needing only two ordered accesses.
+ * Fixed by a redesigned hand-off using semaphores.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> produced;
+    std::unique_ptr<sim::SharedVar<int>> relayed;
+    std::unique_ptr<sim::SimSemaphore> s1;  // Fixed
+    std::unique_ptr<sim::SimSemaphore> s2;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericOrder3Thread()
+{
+    KernelInfo info;
+    info.id = "generic-order-3thread";
+    info.app = study::App::OpenOffice;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Order};
+    info.threads = 3;
+    info.variables = 2;
+    info.manifestation = {
+        {"t3.read", "t2.write"},  // consumer reads before the relay
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "three-stage relay relies on lucky scheduling; the "
+                   "consumer can read before the relay wrote";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->produced =
+            std::make_unique<sim::SharedVar<int>>("produced", 0);
+        s->relayed =
+            std::make_unique<sim::SharedVar<int>>("relayed", 0);
+        if (variant != Variant::Buggy) {
+            s->s1 = std::make_unique<sim::SimSemaphore>("s1", 0);
+            s->s2 = std::make_unique<sim::SimSemaphore>("s2", 0);
+        }
+
+        const bool fixed = variant != Variant::Buggy;
+        sim::Program p;
+        p.threads.push_back({"producer", [s, fixed] {
+                                 s->produced->set(1, "t1.write");
+                                 if (fixed)
+                                     s->s1->post();
+                             }});
+        p.threads.push_back({"relay", [s, fixed] {
+                                 if (fixed)
+                                     s->s1->wait();
+                                 const int v =
+                                     s->produced->get("t2.read");
+                                 s->relayed->set(v, "t2.write");
+                                 if (fixed)
+                                     s->s2->post();
+                             }});
+        p.threads.push_back({"consumer", [s, fixed] {
+                                 if (fixed)
+                                     s->s2->wait();
+                                 const int v =
+                                     s->relayed->get("t3.read");
+                                 sim::simCheck(v == 1,
+                                               "consumer saw a stale "
+                                               "relay value");
+                             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bounded-spin timing assumption — the study's second "other"
+ * non-deadlock shape.
+ *
+ * A polling thread spins a fixed number of times waiting for a peer
+ * that "always finishes quickly"; under an unfair schedule the peer
+ * is starved and the poller gives up, taking an error path that was
+ * never supposed to run. Not an atomicity or order bug: the protocol
+ * itself (bounded spin as synchronization) is broken. Fixed by
+ * switching to a blocking wait.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kSpinBudget = 6;
+constexpr int kPeerWork = 12;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> ready;
+    std::unique_ptr<sim::SimSemaphore> sem;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericStarvation()
+{
+    KernelInfo info;
+    info.id = "generic-starvation";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Other};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {};  // needs a long unfair schedule
+    info.ndFix = study::NonDeadlockFix::Other;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "bounded spin used as synchronization gives up "
+                   "when the peer is starved";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->ready = std::make_unique<sim::SharedVar<int>>("ready", 0);
+        if (variant != Variant::Buggy)
+            s->sem = std::make_unique<sim::SimSemaphore>("sem", 0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"poller", [s, variant] {
+                 if (variant != Variant::Buggy) {
+                     // Fix (Other): block instead of spinning.
+                     s->sem->wait();
+                     sim::simCheck(s->ready->get() == 1,
+                                   "woke without data");
+                     return;
+                 }
+                 for (int spin = 0; spin < kSpinBudget; ++spin) {
+                     if (s->ready->get() == 1)
+                         return;
+                     sim::yieldNow();
+                 }
+                 sim::bugManifested("spin budget exhausted: took the "
+                                    "unsupported timeout path");
+             }});
+        p.threads.push_back(
+            {"peer", [s, variant] {
+                 for (int i = 0; i < kPeerWork; ++i)
+                     sim::yieldNow(); // the "quick" work
+                 s->ready->set(1);
+                 if (variant != Variant::Buggy)
+                     s->sem->post();
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generic W-R-W kernel — intermediate value observed mid-update.
+ *
+ * A writer updates a field in two steps (sentinel, then final value —
+ * the shape of "clear then set" or pointer-swing updates); a reader
+ * interleaves between the steps and acts on the intermediate state.
+ * This is the fourth unserializable triple (W local, R remote,
+ * W local) of the AVIO taxonomy, modelled after several MySQL/Mozilla
+ * reports the study aggregates.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kSentinel = 999;
+constexpr int kFinal = 10;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> field;
+    std::unique_ptr<sim::SimMutex> lock;       // Fixed
+    std::unique_ptr<stm::StmSpace> space;      // TmFixed
+    std::unique_ptr<stm::TVar> fieldTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeGenericWrwInterm()
+{
+    KernelInfo info;
+    info.id = "generic-wrw-interm";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.w1", "b.read"},
+        {"b.read", "a.w2"},
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "two-step field update exposes an intermediate "
+                   "value to a concurrent reader";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->field = std::make_unique<sim::SharedVar<int>>("field", 0);
+        if (variant == Variant::Fixed)
+            s->lock = std::make_unique<sim::SimMutex>("field_lock");
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->fieldTx = std::make_unique<stm::TVar>("field_tx", 0);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"writer", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->field->set(kSentinel, "a.w1");
+                     s->field->set(kFinal, "a.w2");
+                     break;
+                   case Variant::Fixed: {
+                     sim::SimLock guard(*s->lock);
+                     s->field->set(kSentinel, "a.w1");
+                     s->field->set(kFinal, "a.w2");
+                     break;
+                   }
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->fieldTx, kSentinel);
+                         tx.write(*s->fieldTx, kFinal);
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"reader", [s, variant] {
+                 int v = 0;
+                 switch (variant) {
+                   case Variant::Buggy:
+                     v = s->field->get("b.read");
+                     break;
+                   case Variant::Fixed: {
+                     sim::SimLock guard(*s->lock);
+                     v = s->field->get("b.read");
+                     break;
+                   }
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         v = static_cast<int>(tx.read(*s->fieldTx));
+                     });
+                     break;
+                 }
+                 sim::simCheck(v != kSentinel,
+                               "reader observed the intermediate "
+                               "sentinel value");
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Factory declarations for every bug kernel in the suite.
+ *
+ * One factory per modelled bug; the registry builds its table from
+ * this list. Kernels named after a real report (e.g. apache-25520)
+ * model that documented bug's concurrency skeleton; generic-* kernels
+ * model a bug class the study counts but does not attach to a single
+ * citable report.
+ */
+
+#ifndef LFM_BUGS_KERNELS_KERNELS_HH
+#define LFM_BUGS_KERNELS_KERNELS_HH
+
+#include <memory>
+
+#include "bugs/kernel.hh"
+
+namespace lfm::bugs::kernels
+{
+
+/// @name Atomicity violations, single variable.
+/// @{
+std::unique_ptr<BugKernel> makeApache25520();      ///< log buffer
+std::unique_ptr<BugKernel> makeApache21287();      ///< refcount leak
+std::unique_ptr<BugKernel> makeMysql644();         ///< cache check/use
+std::unique_ptr<BugKernel> makeMozJsTotalStrings(); ///< lost update
+std::unique_ptr<BugKernel> makeMoz18025();         ///< double free
+std::unique_ptr<BugKernel> makeGenericWrwInterm(); ///< torn 2-phase
+std::unique_ptr<BugKernel> makeMysqlLogRotate();   ///< closed-fd write
+std::unique_ptr<BugKernel> makeOpenofficeListenerUaf(); ///< UAF
+std::unique_ptr<BugKernel> makeGenericDclLazyInit(); ///< DCL
+/// @}
+
+/// @name Atomicity violations, multiple variables.
+/// @{
+std::unique_ptr<BugKernel> makeMozJsClearScope();  ///< 2-field state
+std::unique_ptr<BugKernel> makeMysqlInnodbStats(); ///< count/sum pair
+std::unique_ptr<BugKernel> makeMozNsZipBufLen();   ///< len/data pair
+/// @}
+
+/// @name Order violations.
+/// @{
+std::unique_ptr<BugKernel> makeMozNsThreadInit();  ///< use-before-init
+std::unique_ptr<BugKernel> makeMoz61369();         ///< GC vs init
+std::unique_ptr<BugKernel> makeMysql791();         ///< binlog order
+std::unique_ptr<BugKernel> makeMoz50848Shutdown(); ///< teardown UAF
+std::unique_ptr<BugKernel> makeGenericMissedNotify(); ///< lost wakeup
+std::unique_ptr<BugKernel> makeGenericOrder3Thread(); ///< relay chain
+/// @}
+
+/// @name Other non-deadlock bugs.
+/// @{
+std::unique_ptr<BugKernel> makeGenericLivelockRetry();
+std::unique_ptr<BugKernel> makeGenericStarvation();
+/// @}
+
+/// @name Deadlocks.
+/// @{
+std::unique_ptr<BugKernel> makeMysql3596Abba();     ///< 2-mutex ABBA
+std::unique_ptr<BugKernel> makeMozRwlockSelf();     ///< self upgrade
+std::unique_ptr<BugKernel> makeMysqlBinlogCond();   ///< wait w/ lock
+std::unique_ptr<BugKernel> makeApachePluginAbba();  ///< rw vs mutex
+std::unique_ptr<BugKernel> makeGeneric3LockCycle(); ///< 3 resources
+std::unique_ptr<BugKernel> makeGenericJoinDeadlock(); ///< join w/ lock
+std::unique_ptr<BugKernel> makeOpenofficeClipboard(); ///< ABBA+tryLock
+std::unique_ptr<BugKernel> makeMozSplitBigLock();     ///< split fix
+std::unique_ptr<BugKernel> makeMysqlDlRollback();     ///< rollback fix
+/// @}
+
+} // namespace lfm::bugs::kernels
+
+#endif // LFM_BUGS_KERNELS_KERNELS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Mozilla #18025 — double free in the netlib cache teardown.
+ *
+ * Two teardown paths race through
+ *
+ *     if (entry->valid) { free(entry->data); entry->valid = 0; }
+ *
+ * The check-free-clear region is not atomic, so both threads can pass
+ * the check before either clears the flag, and the data is freed
+ * twice (crash). Fixed by putting the region under the cache lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> valid;
+    std::unique_ptr<sim::SharedVar<int>> data;
+    std::unique_ptr<sim::SimMutex> cacheLock;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMoz18025()
+{
+    KernelInfo info;
+    info.id = "moz-18025";
+    info.reportId = "Mozilla#18025";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.check", "b.clear"},  // a passes the check...
+        {"b.check", "a.clear"},  // ...and so does b
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Maybe; // free() inside the region
+    info.hasTmVariant = false;
+    info.summary = "check-free-clear region not atomic: cache entry "
+                   "freed twice by racing teardown paths";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->valid = std::make_unique<sim::SharedVar<int>>("valid", 1);
+        s->data = std::make_unique<sim::SharedVar<int>>("entry_data", 9);
+        if (variant != Variant::Buggy)
+            s->cacheLock = std::make_unique<sim::SimMutex>("cache_lock");
+
+        auto teardown = [s, variant](const char *check, const char *f,
+                                     const char *clear) {
+            auto region = [&] {
+                if (s->valid->get(check) == 1) {
+                    s->data->free(f);
+                    s->valid->set(0, clear);
+                }
+            };
+            if (variant == Variant::Buggy) {
+                region();
+            } else {
+                sim::SimLock guard(*s->cacheLock);
+                region();
+            }
+        };
+
+        sim::Program p;
+        p.threads.push_back({"teardown1", [teardown] {
+                                 teardown("a.check", "a.free",
+                                          "a.clear");
+                             }});
+        p.threads.push_back({"teardown2", [teardown] {
+                                 teardown("b.check", "b.free",
+                                          "b.clear");
+                             }});
+        // Double free is reported by the executor itself; the oracle
+        // additionally requires that exactly one path freed the data.
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->valid->peek() != 0)
+                return "entry still marked valid after teardown";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Mozilla #50848 — object freed at shutdown while a worker still
+ * uses it.
+ *
+ * The main thread tears down a shared service object assuming all
+ * workers are done; a straggler dereferences it afterwards
+ * (use-after-free crash). The real fix made teardown *wait for* the
+ * worker — a design change in the shutdown protocol, not a lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> service;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMoz50848Shutdown()
+{
+    KernelInfo info;
+    info.id = "moz-50848-shutdown";
+    info.reportId = "Mozilla#50848";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Order};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"m.free", "w.use"},
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "shutdown frees a service object while a worker "
+                   "thread still dereferences it";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->service = std::make_unique<sim::SharedVar<int>>("service", 3);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"main", [s, variant] {
+                 auto worker = sim::spawnThread("worker", [s] {
+                     (void)s->service->get("w.use");
+                 });
+                 if (variant != Variant::Buggy) {
+                     // Design fix: the shutdown protocol waits for
+                     // the worker before releasing shared state.
+                     worker.join();
+                     s->service->free("m.free");
+                 } else {
+                     s->service->free("m.free");
+                     worker.join();
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

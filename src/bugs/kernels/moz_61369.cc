@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mozilla #61369 — JS garbage collector visits a context that is
+ * still being initialized.
+ *
+ * A new JSContext is linked into the runtime's context list *before*
+ * its fields are initialized; a GC triggered from another thread
+ * walks the list and touches the half-built context. Both an order
+ * violation (init before publish) and an atomicity violation (the
+ * publish+init pair is not atomic) — one of the study's overlap
+ * cases. Fixed by reordering: initialize fully, then publish.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> published; // on runtime list
+    std::unique_ptr<sim::SharedVar<int>> initDone;  // fields ready
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMoz61369()
+{
+    KernelInfo info;
+    info.id = "moz-61369";
+    info.reportId = "Mozilla#61369";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity, study::Pattern::Order};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {
+        {"a.publish", "b.scan"},
+        {"b.visit", "a.init"},
+    };
+    info.ndFix = study::NonDeadlockFix::CodeSwitch;
+    info.tm = study::TmHelp::Maybe; // GC visit is not transactional
+    info.hasTmVariant = false;
+    info.summary = "context published on the runtime list before its "
+                   "initialization completes; GC visits it";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->published =
+            std::make_unique<sim::SharedVar<int>>("on_list", 0);
+        s->initDone =
+            std::make_unique<sim::SharedVar<int>>("init_done", 0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"newcontext", [s, variant] {
+                 if (variant == Variant::Buggy) {
+                     s->published->set(1, "a.publish");
+                     s->initDone->set(1, "a.init");
+                 } else {
+                     // Switch fix: finish init, then publish.
+                     s->initDone->set(1, "a.init");
+                     s->published->set(1, "a.publish");
+                 }
+             }});
+        p.threads.push_back(
+            {"gc", [s] {
+                 if (s->published->get("b.scan") == 1) {
+                     const int ok = s->initDone->get("b.visit");
+                     sim::simCheck(ok == 1,
+                                   "GC visited a half-initialized "
+                                   "context");
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

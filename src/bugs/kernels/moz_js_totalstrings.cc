@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Mozilla JS engine — racy global statistics counter.
+ *
+ * The SpiderMonkey allocator bumps gc-statistics counters
+ * (totalStrings and friends) without synchronization; two allocating
+ * threads lose increments. Harmless-looking but it corrupted GC
+ * heuristics. The fix in this class of bugs was a *design change*:
+ * per-thread counters aggregated on demand, rather than a hot global
+ * counter behind a new lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kIncsPerThread = 2;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> total;
+    std::unique_ptr<sim::SharedVar<int>> local1;  // Fixed
+    std::unique_ptr<sim::SharedVar<int>> local2;  // Fixed
+    std::unique_ptr<stm::StmSpace> space;         // TmFixed
+    std::unique_ptr<stm::TVar> totalTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozJsTotalStrings()
+{
+    KernelInfo info;
+    info.id = "moz-js-totalstrings";
+    info.reportId = "Mozilla (js gcstats)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.r1", "b.r1"},
+        {"b.r1", "a.w1"},
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "unsynchronized global allocation counter loses "
+                   "increments under concurrent allocation";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->total = std::make_unique<sim::SharedVar<int>>("totalStrings",
+                                                         0);
+        if (variant == Variant::Fixed) {
+            s->local1 =
+                std::make_unique<sim::SharedVar<int>>("perThread1", 0);
+            s->local2 =
+                std::make_unique<sim::SharedVar<int>>("perThread2", 0);
+        }
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->totalTx = std::make_unique<stm::TVar>("total_tx", 0);
+        }
+
+        auto alloc = [s, variant](sim::SharedVar<int> *mine,
+                                  const char *r, const char *w) {
+            for (int i = 0; i < kIncsPerThread; ++i) {
+                switch (variant) {
+                  case Variant::Buggy:
+                    s->total->add(1, i == 0 ? r : nullptr,
+                                  i == 0 ? w : nullptr);
+                    break;
+                  case Variant::Fixed:
+                    // Design change: only this thread writes `mine`.
+                    mine->add(1);
+                    break;
+                  case Variant::TmFixed:
+                    stm::atomically(*s->space, [&](stm::Txn &tx) {
+                        tx.add(*s->totalTx, 1);
+                    });
+                    break;
+                }
+            }
+        };
+
+        sim::Program p;
+        p.threads.push_back({"alloc1", [s, alloc] {
+                                 alloc(s->local1.get(), "a.r1", "a.w1");
+                             }});
+        p.threads.push_back({"alloc2", [s, alloc] {
+                                 alloc(s->local2.get(), "b.r1", "b.w1");
+                             }});
+        p.oracle = [s, variant]() -> std::optional<std::string> {
+            int total = 0;
+            switch (variant) {
+              case Variant::Buggy:
+                total = s->total->peek();
+                break;
+              case Variant::Fixed:
+                total = s->local1->peek() + s->local2->peek();
+                break;
+              case Variant::TmFixed:
+                total = static_cast<int>(s->totalTx->peek());
+                break;
+            }
+            if (total != 2 * kIncsPerThread) {
+                return "statistics counter lost " +
+                       std::to_string(2 * kIncsPerThread - total) +
+                       " increments";
+            }
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

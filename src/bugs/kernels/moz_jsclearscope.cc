@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Mozilla js_ClearScope — the study's flagship multi-variable bug.
+ *
+ * Clearing a JS scope updates two correlated fields: the property
+ * table pointer/count and the "emptied" flag. The two writes are each
+ * individually consistent, but a concurrent reader that looks at the
+ * pair between them observes (props == 0, emptied == 0): a state the
+ * program's invariant rules out. No single-variable detector can see
+ * this; it is the motivating case for correlation-based
+ * (MUVI-style) multi-variable analysis.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> props;
+    std::unique_ptr<sim::SharedVar<int>> emptied;
+    std::unique_ptr<sim::SimMutex> scopeLock;  // Fixed
+    std::unique_ptr<stm::StmSpace> space;      // TmFixed
+    std::unique_ptr<stm::TVar> propsTx;
+    std::unique_ptr<stm::TVar> emptiedTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozJsClearScope()
+{
+    KernelInfo info;
+    info.id = "moz-jsclearscope";
+    info.reportId = "Mozilla (js_ClearScope)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {
+        {"a.w1", "b.r1"},
+        {"b.r2", "a.w2"},
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "scope cleared in two writes; reader sees the "
+                   "props/emptied pair in an impossible state";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->props = std::make_unique<sim::SharedVar<int>>("props", 5);
+        s->emptied = std::make_unique<sim::SharedVar<int>>("emptied", 0);
+        if (variant == Variant::Fixed)
+            s->scopeLock = std::make_unique<sim::SimMutex>("scope_lock");
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->propsTx = std::make_unique<stm::TVar>("props_tx", 5);
+            s->emptiedTx = std::make_unique<stm::TVar>("emptied_tx", 0);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"clear", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->props->set(0, "a.w1");
+                     s->emptied->set(1, "a.w2");
+                     break;
+                   case Variant::Fixed: {
+                     sim::SimLock guard(*s->scopeLock);
+                     s->props->set(0, "a.w1");
+                     s->emptied->set(1, "a.w2");
+                     break;
+                   }
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->propsTx, 0);
+                         tx.write(*s->emptiedTx, 1);
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"reader", [s, variant] {
+                 int props = 0;
+                 int emptied = 0;
+                 switch (variant) {
+                   case Variant::Buggy:
+                     props = s->props->get("b.r1");
+                     emptied = s->emptied->get("b.r2");
+                     break;
+                   case Variant::Fixed: {
+                     sim::SimLock guard(*s->scopeLock);
+                     props = s->props->get("b.r1");
+                     emptied = s->emptied->get("b.r2");
+                     break;
+                   }
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         props = static_cast<int>(tx.read(*s->propsTx));
+                         emptied =
+                             static_cast<int>(tx.read(*s->emptiedTx));
+                     });
+                     break;
+                 }
+                 sim::simCheck(!(props == 0 && emptied == 0),
+                               "scope observed empty but not marked "
+                               "emptied (torn multi-var state)");
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mozilla nsThread — the paper's canonical order violation.
+ *
+ * PR_CreateThread() can schedule the new thread before it returns,
+ * but the parent stores the returned handle into mThread only after
+ * the call; the child reads mThread assuming it is already set:
+ *
+ *     parent:  mThread = PR_CreateThread(Main, ...);
+ *     child:   ... uses self->mThread ...   // may run first!
+ *
+ * Nothing enforces "write mThread before child reads it". The fix
+ * class is a condition flag the child checks (COND).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> mThread;
+    std::unique_ptr<sim::SharedVar<int>> ready;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozNsThreadInit()
+{
+    KernelInfo info;
+    info.id = "moz-nsthread-init";
+    info.reportId = "Mozilla (nsThread init)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Order};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"c.read", "p.write"},
+    };
+    info.ndFix = study::NonDeadlockFix::CondCheck;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "spawned thread uses mThread before the parent "
+                   "stores the handle";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->mThread = std::make_unique<sim::SharedVar<int>>(
+            "mThread", sim::kUninit);
+        if (variant == Variant::Fixed)
+            s->ready = std::make_unique<sim::SharedVar<int>>("ready", 0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"parent", [s, variant] {
+                 auto h = sim::spawnThread("child", [s, variant] {
+                     if (variant == Variant::Fixed) {
+                         // COND fix: spin until the handle is
+                         // published.
+                         while (s->ready->get() == 0)
+                             sim::yieldNow();
+                     }
+                     const int handle = s->mThread->get("c.read");
+                     sim::simCheck(handle == 7,
+                                   "child used uninitialized mThread "
+                                   "handle");
+                 });
+                 s->mThread->set(7, "p.write");
+                 if (variant == Variant::Fixed)
+                     s->ready->set(1);
+                 h.join();
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Mozilla nsZip-style buffer/length publication bug.
+ *
+ * The decompressor publishes the new length before filling the data
+ * buffer; a reader that trusts the length dereferences stale data.
+ * The developers' fix simply *reordered* the writes (data first,
+ * length last) — the study's code-Switch strategy, and a reminder
+ * that many multi-variable bugs are fixed without any new lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kPayload = 42;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> len;
+    std::unique_ptr<sim::SharedVar<int>> data;
+    std::unique_ptr<stm::StmSpace> space;   // TmFixed
+    std::unique_ptr<stm::TVar> lenTx;
+    std::unique_ptr<stm::TVar> dataTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozNsZipBufLen()
+{
+    KernelInfo info;
+    info.id = "moz-nszip-buflen";
+    info.reportId = "Mozilla (nsZip)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {
+        {"a.w1", "b.r1"},
+        {"b.r2", "a.w2"},
+    };
+    info.ndFix = study::NonDeadlockFix::CodeSwitch;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "length published before buffer contents; reader "
+                   "dereferences stale data";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->len = std::make_unique<sim::SharedVar<int>>("buf_len", 0);
+        s->data = std::make_unique<sim::SharedVar<int>>("buf_data", 0);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->lenTx = std::make_unique<stm::TVar>("buf_len_tx", 0);
+            s->dataTx = std::make_unique<stm::TVar>("buf_data_tx", 0);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"decompress", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->len->set(5, "a.w1");          // length first
+                     s->data->set(kPayload, "a.w2");  // data second
+                     break;
+                   case Variant::Fixed:
+                     // Switch fix: fill the buffer before exposing
+                     // the new length.
+                     s->data->set(kPayload, "a.w2");
+                     s->len->set(5, "a.w1");
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->lenTx, 5);
+                         tx.write(*s->dataTx, kPayload);
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"reader", [s, variant] {
+                 if (variant == Variant::TmFixed) {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         if (tx.read(*s->lenTx) > 0) {
+                             sim::simCheck(tx.read(*s->dataTx) ==
+                                               kPayload,
+                                           "stale data under tm");
+                         }
+                     });
+                     return;
+                 }
+                 if (s->len->get("b.r1") > 0) {
+                     const int d = s->data->get("b.r2");
+                     sim::simCheck(d == kPayload,
+                                   "read stale buffer for published "
+                                   "length");
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

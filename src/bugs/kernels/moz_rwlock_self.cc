@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Mozilla — single-resource self-deadlock: read-to-write lock
+ * upgrade on the same rwlock.
+ *
+ * A helper called with the read lock held tries to take the write
+ * lock on the same rwlock; the writer waits for all readers — which
+ * includes its own thread. One of the study's single-resource,
+ * single-thread deadlocks (deadlocks are not always two threads!).
+ * Fixed by giving up the read side before upgrading.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimRWLock> rw;
+    std::unique_ptr<sim::SharedVar<int>> table;
+    std::unique_ptr<stm::StmSpace> space;  // TmFixed
+    std::unique_ptr<stm::TVar> tableTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozRwlockSelf()
+{
+    KernelInfo info;
+    info.id = "moz-rwlock-self";
+    info.reportId = "Mozilla (rwlock upgrade)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::Deadlock;
+    info.threads = 1;
+    info.resources = 1;
+    info.manifestation = {};  // manifests unconditionally
+    info.dlFix = study::DeadlockFix::GiveUpResource;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "thread upgrades rd->wr on the same rwlock and "
+                   "waits for itself";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->rw = std::make_unique<sim::SimRWLock>("table_rw");
+        s->table = std::make_unique<sim::SharedVar<int>>("table", 0);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->tableTx = std::make_unique<stm::TVar>("table_tx", 0);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"updater", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->rw->rdLock("t.rd");
+                     (void)s->table->get();
+                     s->rw->wrLock("t.wr"); // waits for itself
+                     s->table->set(1);
+                     s->rw->wrUnlock();
+                     s->rw->rdUnlock();
+                     break;
+                   case Variant::Fixed:
+                     // GiveUp fix: drop the read lock, re-validate
+                     // after reacquiring as a writer.
+                     s->rw->rdLock("t.rd");
+                     (void)s->table->get();
+                     s->rw->rdUnlock();
+                     s->rw->wrLock("t.wr");
+                     s->table->set(1);
+                     s->rw->wrUnlock();
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         const auto v = tx.read(*s->tableTx);
+                         tx.write(*s->tableTx, v + 1);
+                     });
+                     break;
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

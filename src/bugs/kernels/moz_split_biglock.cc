@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Mozilla — self-deadlock on one coarse lock guarding two
+ * independent resources, fixed by *splitting* the lock.
+ *
+ * A single "big lock" protects both the image cache and its
+ * observer list. The cache-update path takes the big lock for the
+ * cache, then calls the notification helper, which takes the big
+ * lock again for the observer list: a non-recursive relock, i.e. a
+ * single-resource self-deadlock. The fix the study classifies as
+ * SplitResource: give each resource its own lock, after which the
+ * nested acquisition is of a different lock and the cycle vanishes.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> bigLock;      // Buggy
+    std::unique_ptr<sim::SimMutex> cacheLock;    // Fixed
+    std::unique_ptr<sim::SimMutex> observerLock; // Fixed
+    std::unique_ptr<sim::SharedVar<int>> cache;
+    std::unique_ptr<sim::SharedVar<int>> notified;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMozSplitBigLock()
+{
+    KernelInfo info;
+    info.id = "moz-split-biglock";
+    info.reportId = "Mozilla (imgCache big lock)";
+    info.app = study::App::Mozilla;
+    info.type = study::BugType::Deadlock;
+    info.threads = 1;
+    info.resources = 1;
+    info.manifestation = {};  // relock deadlocks unconditionally
+    info.dlFix = study::DeadlockFix::SplitResource;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "coarse lock guards two resources; the nested "
+                   "helper relocks it and deadlocks";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        if (variant == Variant::Buggy) {
+            s->bigLock = std::make_unique<sim::SimMutex>("big_lock");
+        } else {
+            // Split fix: one lock per resource.
+            s->cacheLock =
+                std::make_unique<sim::SimMutex>("cache_lock");
+            s->observerLock =
+                std::make_unique<sim::SimMutex>("observer_lock");
+        }
+        s->cache = std::make_unique<sim::SharedVar<int>>("cache", 0);
+        s->notified =
+            std::make_unique<sim::SharedVar<int>>("notified", 0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"updater", [s, variant] {
+                 auto notifyObservers = [&] {
+                     sim::SimMutex &lock = variant == Variant::Buggy
+                                               ? *s->bigLock
+                                               : *s->observerLock;
+                     lock.lock("t.observers");
+                     s->notified->add(1);
+                     lock.unlock();
+                 };
+                 sim::SimMutex &lock = variant == Variant::Buggy
+                                           ? *s->bigLock
+                                           : *s->cacheLock;
+                 lock.lock("t.cache");
+                 s->cache->add(1);
+                 notifyObservers(); // relock in the buggy variant
+                 lock.unlock();
+             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->notified->peek() != 1)
+                return "observers were never notified";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

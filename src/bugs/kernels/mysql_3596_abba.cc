@@ -1,0 +1,132 @@
+/**
+ * @file
+ * MySQL #3596-class ABBA deadlock: LOCK_open vs LOCK_log.
+ *
+ * The query path takes the table-cache lock then the log lock; the
+ * rotation path takes them in the opposite order. When each thread
+ * holds its first lock, both block forever. The developers made the
+ * acquisition order consistent (AcqOrder fix). The TM variant
+ * replaces both critical sections with transactions over the
+ * protected data, removing the locks entirely.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> lockOpen;
+    std::unique_ptr<sim::SimMutex> lockLog;
+    std::unique_ptr<sim::SharedVar<int>> tables;
+    std::unique_ptr<sim::SharedVar<int>> logPos;
+    std::unique_ptr<stm::StmSpace> space;  // TmFixed
+    std::unique_ptr<stm::TVar> tablesTx;
+    std::unique_ptr<stm::TVar> logPosTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysql3596Abba()
+{
+    KernelInfo info;
+    info.id = "mysql-3596-abba";
+    info.reportId = "MySQL#3596";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {
+        {"t1.open", "t2.open"},  // t1 holds LOCK_open first
+        {"t2.log", "t1.log"},    // t2 holds LOCK_log first
+    };
+    info.dlFix = study::DeadlockFix::ChangeAcqOrder;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "query path and rotation path acquire LOCK_open "
+                   "and LOCK_log in opposite orders";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->lockOpen = std::make_unique<sim::SimMutex>("LOCK_open");
+        s->lockLog = std::make_unique<sim::SimMutex>("LOCK_log");
+        s->tables = std::make_unique<sim::SharedVar<int>>("tables", 0);
+        s->logPos = std::make_unique<sim::SharedVar<int>>("log_pos", 0);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->tablesTx = std::make_unique<stm::TVar>("tables_tx", 0);
+            s->logPosTx = std::make_unique<stm::TVar>("log_pos_tx", 0);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"query", [s, variant] {
+                 if (variant == Variant::TmFixed) {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.add(*s->tablesTx, 1);
+                         tx.add(*s->logPosTx, 1);
+                     });
+                     return;
+                 }
+                 s->lockOpen->lock("t1.open");
+                 s->tables->add(1);
+                 s->lockLog->lock("t1.log");
+                 s->logPos->add(1);
+                 s->lockLog->unlock();
+                 s->lockOpen->unlock();
+             }});
+        p.threads.push_back(
+            {"rotate", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->lockLog->lock("t2.log");
+                     s->logPos->add(1);
+                     s->lockOpen->lock("t2.open");
+                     s->tables->add(1);
+                     s->lockOpen->unlock();
+                     s->lockLog->unlock();
+                     break;
+                   case Variant::Fixed:
+                     // AcqOrder fix: same order as the query path.
+                     s->lockOpen->lock("t2.open");
+                     s->tables->add(1);
+                     s->lockLog->lock("t2.log");
+                     s->logPos->add(1);
+                     s->lockLog->unlock();
+                     s->lockOpen->unlock();
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.add(*s->logPosTx, 1);
+                         tx.add(*s->tablesTx, 1);
+                     });
+                     break;
+                 }
+             }});
+        p.oracle = [s, variant]() -> std::optional<std::string> {
+            const int tables = variant == Variant::TmFixed
+                                   ? static_cast<int>(
+                                         s->tablesTx->peek())
+                                   : s->tables->peek();
+            if (tables != 2)
+                return "both paths should have updated the table "
+                       "count";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * MySQL #644 — table-cache entry invalidated between check and use.
+ *
+ * A query thread checks that a cached table handle is valid and then
+ * dereferences it; a concurrent FLUSH TABLES invalidates the entry
+ * between the two operations (classic RWR unserializable
+ * interleaving). The developers' fix re-checks the handle under the
+ * same critical region — the study's COND fix strategy.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> entry;
+    std::unique_ptr<stm::StmSpace> space;   // TmFixed
+    std::unique_ptr<stm::TVar> entryTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysql644()
+{
+    KernelInfo info;
+    info.id = "mysql-644";
+    info.reportId = "MySQL#644";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"a.check", "b.invalidate"},
+        {"b.invalidate", "a.use"},
+    };
+    info.ndFix = study::NonDeadlockFix::CondCheck;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "table-cache handle invalidated between validity "
+                   "check and dereference";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->entry = std::make_unique<sim::SharedVar<int>>("tc_entry", 1);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->entryTx = std::make_unique<stm::TVar>("tc_entry_tx", 1);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"query", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     if (s->entry->get("a.check") != 0) {
+                         const int handle = s->entry->get("a.use");
+                         sim::simCheck(handle != 0,
+                                       "dereferenced invalidated "
+                                       "table-cache entry");
+                     }
+                     break;
+                   case Variant::Fixed:
+                     // COND fix: re-validate the handle actually
+                     // read before using it.
+                     if (s->entry->get("a.check") != 0) {
+                         const int handle = s->entry->get("a.use");
+                         if (handle == 0)
+                             return; // entry vanished; retry path
+                         sim::simCheck(handle != 0, "unreachable");
+                     }
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         const auto v = tx.read(*s->entryTx);
+                         if (v != 0) {
+                             const auto handle = tx.read(*s->entryTx);
+                             sim::simCheck(handle != 0,
+                                           "tm saw torn entry");
+                         }
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"flush", [s, variant] {
+                 if (variant == Variant::TmFixed) {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->entryTx, 0);
+                     });
+                 } else {
+                     s->entry->set(0, "b.invalidate");
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * MySQL #791 — binlog events written in the wrong order.
+ *
+ * Two server threads append their events to the binary log; replica
+ * correctness requires the dependent event (B) to appear after the
+ * event it depends on (A), but nothing orders the appends. The
+ * developers redesigned log-position assignment so each event's slot
+ * is fixed before the race window (Design change).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include <array>
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kEventA = 1;
+constexpr int kEventB = 2;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> cursor;
+    std::array<int, 4> log{};
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysql791()
+{
+    KernelInfo info;
+    info.id = "mysql-791";
+    info.reportId = "MySQL#791";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Order};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"b.write", "a.read"},  // B claims its slot before A starts
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "dependent binlog event logged before its "
+                   "prerequisite; replica replay diverges";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->cursor = std::make_unique<sim::SharedVar<int>>("log_pos", 0);
+
+        auto append = [s](int event, const char *r, const char *w) {
+            const int pos = s->cursor->get(r);
+            s->log[static_cast<std::size_t>(pos)] = event;
+            s->cursor->set(pos + 1, w);
+        };
+
+        sim::Program p;
+        if (variant == Variant::Buggy) {
+            p.threads.push_back({"writerA", [append] {
+                                     append(kEventA, "a.read",
+                                            "a.write");
+                                 }});
+            p.threads.push_back({"writerB", [append] {
+                                     append(kEventB, "b.read",
+                                            "b.write");
+                                 }});
+        } else {
+            // Design fix: slots are assigned up front, so the append
+            // order cannot change the on-disk order.
+            p.threads.push_back({"writerA", [s] {
+                                     s->log[0] = kEventA;
+                                     s->cursor->add(1);
+                                 }});
+            p.threads.push_back({"writerB", [s] {
+                                     s->log[1] = kEventB;
+                                     s->cursor->add(1);
+                                 }});
+        }
+        p.oracle = [s, variant]() -> std::optional<std::string> {
+            if (variant != Variant::Buggy) {
+                if (s->log[0] != kEventA || s->log[1] != kEventB)
+                    return "pre-assigned slots corrupted";
+                return std::nullopt;
+            }
+            if (s->cursor->peek() != 2)
+                return "log cursor lost an append";
+            if (s->log[0] != kEventA || s->log[1] != kEventB)
+                return "dependent event precedes its prerequisite in "
+                       "the binlog";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MySQL — waiting on a condition variable while holding an unrelated
+ * mutex the signaller needs.
+ *
+ * The dump thread parks on the binlog condvar while still holding
+ * LOCK_status; the writer that would signal the condvar first needs
+ * LOCK_status and blocks. Mixed mutex/condvar deadlock over two
+ * resources. Fixed by releasing LOCK_status before waiting (GiveUp).
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> lockStatus;
+    std::unique_ptr<sim::SimMutex> lockBinlog;
+    std::unique_ptr<sim::SimCondVar> binlogCv;
+    std::unique_ptr<sim::SharedVar<int>> newEvents;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysqlBinlogCond()
+{
+    KernelInfo info;
+    info.id = "mysql-binlog-cond";
+    info.reportId = "MySQL (binlog dump wait)";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {
+        {"t1.status", "t2.status"},  // dump grabs LOCK_status first
+    };
+    info.dlFix = study::DeadlockFix::GiveUpResource;
+    info.tm = study::TmHelp::No;
+    info.hasTmVariant = false;
+    info.summary = "dump thread waits on the binlog condvar while "
+                   "holding a mutex its signaller needs";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->lockStatus = std::make_unique<sim::SimMutex>("LOCK_status");
+        s->lockBinlog = std::make_unique<sim::SimMutex>("LOCK_binlog");
+        s->binlogCv = std::make_unique<sim::SimCondVar>("binlog_cv");
+        s->newEvents =
+            std::make_unique<sim::SharedVar<int>>("new_events", 0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"dump", [s, variant] {
+                 s->lockStatus->lock("t1.status");
+                 if (variant != Variant::Buggy) {
+                     // GiveUp fix: do not hold LOCK_status across
+                     // the wait.
+                     s->lockStatus->unlock();
+                 }
+                 s->lockBinlog->lock("t1.binlog");
+                 while (s->newEvents->get("t1.check") == 0)
+                     s->binlogCv->wait(*s->lockBinlog, "t1.wait");
+                 s->lockBinlog->unlock();
+                 if (variant == Variant::Buggy)
+                     s->lockStatus->unlock();
+             }});
+        p.threads.push_back(
+            {"writer", [s] {
+                 s->lockStatus->lock("t2.status");
+                 // update status counters ...
+                 s->lockStatus->unlock();
+                 s->lockBinlog->lock("t2.binlog");
+                 s->newEvents->set(1, "t2.set");
+                 s->binlogCv->signal("t2.signal");
+                 s->lockBinlog->unlock();
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

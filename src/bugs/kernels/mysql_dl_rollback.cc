@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MySQL/InnoDB-style deadlock "fixed" by detection and rollback.
+ *
+ * Two transactions acquire row locks in opposite orders — the
+ * ordinary ABBA shape. InnoDB's resolution is neither reordering nor
+ * restructuring: the engine *detects* the wait cycle and rolls one
+ * transaction back to retry. The study's fix taxonomy counts such
+ * resolutions as "Other". The Fixed variant models it with a
+ * bounded-wait acquisition (tryLock), an explicit rollback of the
+ * partial work, and a retry loop.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> rowA;
+    std::unique_ptr<sim::SimMutex> rowB;
+    std::unique_ptr<sim::SharedVar<int>> balanceA;
+    std::unique_ptr<sim::SharedVar<int>> balanceB;
+    int rollbacks = 0;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysqlDlRollback()
+{
+    KernelInfo info;
+    info.id = "mysql-dl-rollback";
+    info.reportId = "MySQL (innodb row locks)";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {
+        {"t1.rowA", "t2.rowA"},
+        {"t2.rowB", "t1.rowB"},
+    };
+    info.dlFix = study::DeadlockFix::Other; // detect + rollback
+    info.tm = study::TmHelp::Maybe;
+    info.hasTmVariant = false;
+    info.summary = "two transactions take row locks in opposite "
+                   "orders; resolved by rollback, not reordering";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->rowA = std::make_unique<sim::SimMutex>("row_A");
+        s->rowB = std::make_unique<sim::SimMutex>("row_B");
+        s->balanceA =
+            std::make_unique<sim::SharedVar<int>>("balance_A", 100);
+        s->balanceB =
+            std::make_unique<sim::SharedVar<int>>("balance_B", 100);
+
+        // Transfer `amount` from -> to, locking `first` then
+        // `second` (deliberately opposite orders per thread).
+        auto transfer = [s, variant](sim::SimMutex &first,
+                                     sim::SimMutex &second,
+                                     sim::SharedVar<int> &from,
+                                     sim::SharedVar<int> &to,
+                                     const char *l1, const char *l2,
+                                     int amount) {
+            if (variant == Variant::Buggy) {
+                first.lock(l1);
+                from.add(-amount);
+                second.lock(l2); // ABBA: may deadlock
+                to.add(amount);
+                second.unlock();
+                first.unlock();
+                return;
+            }
+            // "Other" fix: bounded wait + rollback + retry, the
+            // InnoDB deadlock-resolution strategy in miniature.
+            for (;;) {
+                first.lock(l1);
+                from.add(-amount);
+                if (second.tryLock(l2)) {
+                    to.add(amount);
+                    second.unlock();
+                    first.unlock();
+                    return;
+                }
+                // Deadlock detected: roll the partial work back,
+                // release, and retry from scratch.
+                from.add(amount);
+                ++s->rollbacks;
+                first.unlock();
+                sim::yieldNow();
+            }
+        };
+
+        sim::Program p;
+        p.threads.push_back({"txn1", [s, transfer] {
+                                 transfer(*s->rowA, *s->rowB,
+                                          *s->balanceA, *s->balanceB,
+                                          "t1.rowA", "t1.rowB", 10);
+                             }});
+        p.threads.push_back({"txn2", [s, transfer] {
+                                 transfer(*s->rowB, *s->rowA,
+                                          *s->balanceB, *s->balanceA,
+                                          "t2.rowB", "t2.rowA", 25);
+                             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->balanceA->peek() + s->balanceB->peek() != 200)
+                return "money created or destroyed by the transfer";
+            if (s->balanceA->peek() != 100 - 10 + 25)
+                return "transfer amounts wrong after retries";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

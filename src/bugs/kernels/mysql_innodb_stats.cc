@@ -1,0 +1,140 @@
+/**
+ * @file
+ * MySQL/InnoDB — torn read of the (row count, byte sum) statistics
+ * pair.
+ *
+ * The statistics updater increments the row count and the byte sum
+ * in two writes; the query planner reads the pair concurrently and
+ * computes an average from one new and one old component. A
+ * multi-variable atomicity violation whose developer fix was a
+ * *design change*: a seqlock-style version counter around the pair
+ * instead of a new hot lock.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+constexpr int kRowBytes = 10;
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> count;
+    std::unique_ptr<sim::SharedVar<int>> sum;
+    std::unique_ptr<sim::SharedVar<int>> version;  // Fixed (seqlock)
+    std::unique_ptr<stm::StmSpace> space;          // TmFixed
+    std::unique_ptr<stm::TVar> countTx;
+    std::unique_ptr<stm::TVar> sumTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysqlInnodbStats()
+{
+    KernelInfo info;
+    info.id = "mysql-innodb-stats";
+    info.reportId = "MySQL (innodb stats)";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 2;
+    info.manifestation = {
+        {"a.w1", "b.r1"},
+        {"b.r2", "a.w2"},
+    };
+    info.ndFix = study::NonDeadlockFix::DesignChange;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "planner reads count after and sum before a "
+                   "concurrent stats update: impossible average";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->count = std::make_unique<sim::SharedVar<int>>("n_rows", 1);
+        s->sum = std::make_unique<sim::SharedVar<int>>("n_bytes",
+                                                       kRowBytes);
+        if (variant == Variant::Fixed)
+            s->version =
+                std::make_unique<sim::SharedVar<int>>("stats_ver", 0);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->countTx = std::make_unique<stm::TVar>("n_rows_tx", 1);
+            s->sumTx =
+                std::make_unique<stm::TVar>("n_bytes_tx", kRowBytes);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"update", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->count->set(2, "a.w1");
+                     s->sum->set(2 * kRowBytes, "a.w2");
+                     break;
+                   case Variant::Fixed:
+                     // seqlock writer: odd version while updating
+                     s->version->set(1);
+                     s->count->set(2, "a.w1");
+                     s->sum->set(2 * kRowBytes, "a.w2");
+                     s->version->set(2);
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->countTx, 2);
+                         tx.write(*s->sumTx, 2 * kRowBytes);
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"planner", [s, variant] {
+                 int c = 0;
+                 int b = 0;
+                 switch (variant) {
+                   case Variant::Buggy:
+                     c = s->count->get("b.r1");
+                     b = s->sum->get("b.r2");
+                     break;
+                   case Variant::Fixed:
+                     // seqlock reader: retry over odd/changed version
+                     for (;;) {
+                         const int v1 = s->version->get();
+                         if (v1 % 2 != 0) {
+                             sim::yieldNow();
+                             continue;
+                         }
+                         c = s->count->get("b.r1");
+                         b = s->sum->get("b.r2");
+                         if (s->version->get() == v1)
+                             break;
+                     }
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         c = static_cast<int>(tx.read(*s->countTx));
+                         b = static_cast<int>(tx.read(*s->sumTx));
+                     });
+                     break;
+                 }
+                 sim::simCheck(b == c * kRowBytes,
+                               "average computed from torn stats "
+                               "pair");
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

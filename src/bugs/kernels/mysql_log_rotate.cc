@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MySQL — binlog rotation races with a flushing writer.
+ *
+ * The rotation path closes the active log file and opens its
+ * successor in two steps; a flushing thread that reads the file
+ * handle between the steps writes into a closed descriptor. The
+ * developers' fix prepared the new descriptor first and published it
+ * with a single pointer swing — the study's code-Switch strategy.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> fd;
+    std::unique_ptr<stm::StmSpace> space;   // TmFixed
+    std::unique_ptr<stm::TVar> fdTx;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeMysqlLogRotate()
+{
+    KernelInfo info;
+    info.id = "mysql-log-rotate";
+    info.reportId = "MySQL (binlog rotate)";
+    info.app = study::App::MySQL;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 1;
+    info.manifestation = {
+        {"r.close", "w.read"},
+        {"w.read", "r.open"},
+    };
+    info.ndFix = study::NonDeadlockFix::CodeSwitch;
+    info.tm = study::TmHelp::Yes;
+    info.hasTmVariant = true;
+    info.summary = "log rotation exposes a closed file descriptor to "
+                   "a concurrent flush";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->fd = std::make_unique<sim::SharedVar<int>>("binlog_fd", 3);
+        if (variant == Variant::TmFixed) {
+            s->space = std::make_unique<stm::StmSpace>();
+            s->fdTx = std::make_unique<stm::TVar>("binlog_fd_tx", 3);
+        }
+
+        sim::Program p;
+        p.threads.push_back(
+            {"rotate", [s, variant] {
+                 switch (variant) {
+                   case Variant::Buggy:
+                     s->fd->set(0, "r.close"); // close old file
+                     s->fd->set(4, "r.open");  // open successor
+                     break;
+                   case Variant::Fixed:
+                     // Switch fix: prepare first, publish once; the
+                     // old descriptor is retired afterwards.
+                     s->fd->set(4, "r.open");
+                     break;
+                   case Variant::TmFixed:
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->fdTx, 0);
+                         tx.write(*s->fdTx, 4);
+                     });
+                     break;
+                 }
+             }});
+        p.threads.push_back(
+            {"flush", [s, variant] {
+                 int f = 0;
+                 if (variant == Variant::TmFixed) {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         f = static_cast<int>(tx.read(*s->fdTx));
+                     });
+                 } else {
+                     f = s->fd->get("w.read");
+                 }
+                 sim::simCheck(f != 0,
+                               "flush wrote to a closed binlog fd");
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

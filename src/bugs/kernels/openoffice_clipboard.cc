@@ -1,0 +1,107 @@
+/**
+ * @file
+ * OpenOffice — SolarMutex vs clipboard-mutex ABBA through a nested
+ * UNO call.
+ *
+ * The UI thread holds the global SolarMutex and calls into the
+ * clipboard service (which takes the clipboard mutex); the clipboard
+ * change-notification path takes its own mutex and calls back into
+ * UI code that needs the SolarMutex. The fix in this class of OOo
+ * bugs gives up the second resource when it cannot be acquired
+ * (tryLock + back off) instead of blocking.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SimMutex> solar;
+    std::unique_ptr<sim::SimMutex> clip;
+    std::unique_ptr<sim::SharedVar<int>> notified;
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeOpenofficeClipboard()
+{
+    KernelInfo info;
+    info.id = "openoffice-clipboard";
+    info.reportId = "OpenOffice (clipboard/SolarMutex)";
+    info.app = study::App::OpenOffice;
+    info.type = study::BugType::Deadlock;
+    info.threads = 2;
+    info.resources = 2;
+    info.manifestation = {
+        {"ui.solar", "cb.solar"},
+        {"cb.clip", "ui.clip"},
+    };
+    info.dlFix = study::DeadlockFix::GiveUpResource;
+    info.tm = study::TmHelp::Maybe;
+    info.hasTmVariant = false;
+    info.summary = "UI thread and clipboard notifier acquire "
+                   "SolarMutex and the clipboard mutex in opposite "
+                   "orders";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->solar = std::make_unique<sim::SimMutex>("SolarMutex");
+        s->clip = std::make_unique<sim::SimMutex>("clip_mu");
+        s->notified = std::make_unique<sim::SharedVar<int>>("notified",
+                                                            0);
+
+        sim::Program p;
+        p.threads.push_back(
+            {"ui", [s] {
+                 s->solar->lock("ui.solar");
+                 s->clip->lock("ui.clip"); // nested clipboard call
+                 // copy to clipboard ...
+                 s->clip->unlock();
+                 s->solar->unlock();
+             }});
+        p.threads.push_back(
+            {"notifier", [s, variant] {
+                 if (variant == Variant::Buggy) {
+                     s->clip->lock("cb.clip");
+                     s->solar->lock("cb.solar"); // callback into UI
+                     s->notified->add(1);
+                     s->solar->unlock();
+                     s->clip->unlock();
+                 } else {
+                     // GiveUp fix: back off when the second resource
+                     // is unavailable instead of blocking.
+                     for (;;) {
+                         s->clip->lock("cb.clip");
+                         if (s->solar->tryLock("cb.solar")) {
+                             s->notified->add(1);
+                             s->solar->unlock();
+                             s->clip->unlock();
+                             break;
+                         }
+                         s->clip->unlock();
+                         sim::yieldNow();
+                     }
+                 }
+             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->notified->peek() != 1)
+                return "clipboard notification was never delivered";
+            return std::nullopt;
+        };
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

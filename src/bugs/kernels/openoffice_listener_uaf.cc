@@ -1,0 +1,99 @@
+/**
+ * @file
+ * OpenOffice — event listener freed during dispatch.
+ *
+ * The VCL event loop checks that a listener is registered, then
+ * invokes it; a concurrent removeListener() both unregisters and
+ * destroys the listener object between the check and the call
+ * (check-then-act atomicity violation whose symptom is a
+ * use-after-free crash). Fixed by holding the listener-list mutex
+ * across the whole dispatch.
+ */
+
+#include "bugs/kernels/kernels.hh"
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace lfm::bugs::kernels
+{
+
+namespace
+{
+
+struct State
+{
+    std::unique_ptr<sim::SharedVar<int>> registered;
+    std::unique_ptr<sim::SharedVar<int>> listener;
+    std::unique_ptr<sim::SimMutex> listLock;  // Fixed
+};
+
+} // namespace
+
+std::unique_ptr<BugKernel>
+makeOpenofficeListenerUaf()
+{
+    KernelInfo info;
+    info.id = "openoffice-listener-uaf";
+    info.reportId = "OpenOffice (vcl listener)";
+    info.app = study::App::OpenOffice;
+    info.type = study::BugType::NonDeadlock;
+    info.patterns = {study::Pattern::Atomicity};
+    info.threads = 2;
+    info.variables = 2; // registration flag + listener object
+    info.manifestation = {
+        {"d.check", "r.clear"},
+        {"r.free", "d.use"},
+    };
+    info.ndFix = study::NonDeadlockFix::AddLock;
+    info.tm = study::TmHelp::Maybe; // destruction inside the region
+    info.hasTmVariant = false;
+    info.summary = "listener destroyed between registration check and "
+                   "dispatch call";
+
+    auto builder = [](Variant variant) -> sim::Program {
+        auto s = std::make_shared<State>();
+        s->registered =
+            std::make_unique<sim::SharedVar<int>>("registered", 1);
+        s->listener =
+            std::make_unique<sim::SharedVar<int>>("listener", 5);
+        if (variant != Variant::Buggy)
+            s->listLock = std::make_unique<sim::SimMutex>("list_lock");
+
+        sim::Program p;
+        p.threads.push_back(
+            {"dispatch", [s, variant] {
+                 auto body = [&] {
+                     if (s->registered->get("d.check") == 1) {
+                         // invoke the listener
+                         (void)s->listener->get("d.use");
+                     }
+                 };
+                 if (variant == Variant::Buggy) {
+                     body();
+                 } else {
+                     sim::SimLock guard(*s->listLock);
+                     body();
+                 }
+             }});
+        p.threads.push_back(
+            {"remove", [s, variant] {
+                 auto body = [&] {
+                     s->registered->set(0, "r.clear");
+                     s->listener->free("r.free");
+                 };
+                 if (variant == Variant::Buggy) {
+                     body();
+                 } else {
+                     sim::SimLock guard(*s->listLock);
+                     body();
+                 }
+             }});
+        return p;
+    };
+
+    return std::make_unique<BugKernel>(std::move(info),
+                                       std::move(builder));
+}
+
+} // namespace lfm::bugs::kernels

@@ -1,0 +1,106 @@
+#include "bugs/registry.hh"
+
+#include <memory>
+
+#include "bugs/kernels/kernels.hh"
+
+namespace lfm::bugs
+{
+
+namespace
+{
+
+/** Owns every kernel for the process lifetime. */
+const std::vector<std::unique_ptr<BugKernel>> &
+ownedKernels()
+{
+    using namespace kernels;
+    static const std::vector<std::unique_ptr<BugKernel>> table = [] {
+        std::vector<std::unique_ptr<BugKernel>> v;
+        // Atomicity, single variable.
+        v.push_back(makeApache25520());
+        v.push_back(makeApache21287());
+        v.push_back(makeMysql644());
+        v.push_back(makeMozJsTotalStrings());
+        v.push_back(makeMoz18025());
+        v.push_back(makeGenericWrwInterm());
+        v.push_back(makeMysqlLogRotate());
+        v.push_back(makeOpenofficeListenerUaf());
+        // Atomicity, multiple variables.
+        v.push_back(makeMozJsClearScope());
+        v.push_back(makeMysqlInnodbStats());
+        v.push_back(makeMozNsZipBufLen());
+        v.push_back(makeGenericDclLazyInit());
+        // Order violations.
+        v.push_back(makeMozNsThreadInit());
+        v.push_back(makeMoz61369());
+        v.push_back(makeMysql791());
+        v.push_back(makeMoz50848Shutdown());
+        v.push_back(makeGenericMissedNotify());
+        v.push_back(makeGenericOrder3Thread());
+        // Other non-deadlock.
+        v.push_back(makeGenericLivelockRetry());
+        v.push_back(makeGenericStarvation());
+        // Deadlocks.
+        v.push_back(makeMysql3596Abba());
+        v.push_back(makeMozRwlockSelf());
+        v.push_back(makeMysqlBinlogCond());
+        v.push_back(makeApachePluginAbba());
+        v.push_back(makeGeneric3LockCycle());
+        v.push_back(makeGenericJoinDeadlock());
+        v.push_back(makeOpenofficeClipboard());
+        v.push_back(makeMozSplitBigLock());
+        v.push_back(makeMysqlDlRollback());
+        return v;
+    }();
+    return table;
+}
+
+} // namespace
+
+const std::vector<const BugKernel *> &
+allKernels()
+{
+    static const std::vector<const BugKernel *> view = [] {
+        std::vector<const BugKernel *> v;
+        for (const auto &k : ownedKernels())
+            v.push_back(k.get());
+        return v;
+    }();
+    return view;
+}
+
+const BugKernel *
+findKernel(std::string_view id)
+{
+    for (const BugKernel *k : allKernels()) {
+        if (k->info().id == id)
+            return k;
+    }
+    return nullptr;
+}
+
+std::vector<const BugKernel *>
+kernelsOfType(study::BugType type)
+{
+    std::vector<const BugKernel *> out;
+    for (const BugKernel *k : allKernels()) {
+        if (k->info().type == type)
+            out.push_back(k);
+    }
+    return out;
+}
+
+std::vector<const BugKernel *>
+kernelsWithPattern(study::Pattern p)
+{
+    std::vector<const BugKernel *> out;
+    for (const BugKernel *k : allKernels()) {
+        if (k->info().type == study::BugType::NonDeadlock &&
+            k->info().patterns.count(p))
+            out.push_back(k);
+    }
+    return out;
+}
+
+} // namespace lfm::bugs

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The kernel registry: every modelled bug, queryable by id and by
+ * taxonomy cell.
+ */
+
+#ifndef LFM_BUGS_REGISTRY_HH
+#define LFM_BUGS_REGISTRY_HH
+
+#include <string_view>
+#include <vector>
+
+#include "bugs/kernel.hh"
+
+namespace lfm::bugs
+{
+
+/** All kernels, in a stable order. Built once, process-wide. */
+const std::vector<const BugKernel *> &allKernels();
+
+/** Kernel by id; nullptr when unknown. */
+const BugKernel *findKernel(std::string_view id);
+
+/** Kernels of one bug type. */
+std::vector<const BugKernel *> kernelsOfType(study::BugType type);
+
+/** Non-deadlock kernels exhibiting the given pattern. */
+std::vector<const BugKernel *> kernelsWithPattern(study::Pattern p);
+
+} // namespace lfm::bugs
+
+#endif // LFM_BUGS_REGISTRY_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deadlock detection: lock-order graph + cycle enumeration.
+ *
+ * Builds the classic lock-order graph (edge m1 -> m2 when some thread
+ * acquires m2 while holding m1) from one trace and reports every
+ * elementary cycle. A cycle is a *potential* deadlock even when the
+ * observed execution completed — which is precisely why the study
+ * argues lock-order analysis catches the 97% of deadlock bugs that
+ * involve at most two resources.
+ */
+
+#ifndef LFM_DETECT_DEADLOCK_HH
+#define LFM_DETECT_DEADLOCK_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** The lock-order graph of one trace. */
+class LockOrderGraph
+{
+  public:
+    /** Build from a trace (mutex and rwlock acquisitions). */
+    explicit LockOrderGraph(const Trace &trace);
+
+    /** Adjacency: held lock -> subsequently acquired locks. */
+    const std::map<ObjectId, std::set<ObjectId>> &edges() const
+    {
+        return edges_;
+    }
+
+    /** All elementary cycles (each rotated to smallest-first form,
+     * deduplicated; self-loops are relock cycles of length 1). */
+    std::vector<std::vector<ObjectId>> cycles() const;
+
+  private:
+    std::map<ObjectId, std::set<ObjectId>> edges_;
+};
+
+/** Lock-order-graph cycle detector. */
+class DeadlockDetector : public Detector
+{
+  public:
+    std::vector<Finding> analyze(const Trace &trace) override;
+    const char *name() const override { return "lock-order"; }
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_DEADLOCK_HH

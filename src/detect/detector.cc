@@ -1,0 +1,49 @@
+#include "detect/detector.hh"
+
+#include <sstream>
+
+#include "detect/atomicity.hh"
+#include "detect/deadlock.hh"
+#include "detect/lockset.hh"
+#include "detect/multivar.hh"
+#include "detect/order.hh"
+#include "detect/predictive.hh"
+#include "detect/race_hb.hh"
+
+namespace lfm::detect
+{
+
+std::vector<std::unique_ptr<Detector>>
+allDetectors()
+{
+    std::vector<std::unique_ptr<Detector>> out;
+    out.push_back(std::make_unique<HbRaceDetector>());
+    out.push_back(std::make_unique<LocksetDetector>());
+    out.push_back(std::make_unique<AtomicityDetector>());
+    out.push_back(std::make_unique<PredictiveAtomicityDetector>());
+    out.push_back(std::make_unique<MultiVarDetector>());
+    out.push_back(std::make_unique<OrderDetector>());
+    out.push_back(std::make_unique<DeadlockDetector>());
+    return out;
+}
+
+std::string
+renderFindings(const Trace &trace, const std::vector<Finding> &findings)
+{
+    (void)trace;
+    std::ostringstream os;
+    for (const auto &f : findings) {
+        os << "[" << f.detector << "] " << f.category << ": "
+           << f.message;
+        if (!f.events.empty()) {
+            os << " (events";
+            for (SeqNo s : f.events)
+                os << " #" << s;
+            os << ")";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace lfm::detect

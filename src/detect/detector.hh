@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Common detector vocabulary.
+ *
+ * Every detector in lfm is an offline analysis over one execution
+ * trace. This mirrors how the paper's "implications for bug detection"
+ * section treats detector families: given the same observed execution,
+ * which families can flag which bug patterns?
+ */
+
+#ifndef LFM_DETECT_DETECTOR_HH
+#define LFM_DETECT_DETECTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace lfm::detect
+{
+
+using trace::ObjectId;
+using trace::SeqNo;
+using trace::Trace;
+
+/** One report produced by a detector. */
+struct Finding
+{
+    /** Which detector produced it ("hb-race", "lockset", ...). */
+    std::string detector;
+
+    /**
+     * Finding category: "data-race", "atomicity-violation",
+     * "multivar-atomicity-violation", "order-violation",
+     * "deadlock-cycle", "stuck-wait", ...
+     */
+    std::string category;
+
+    /** The main variable/lock involved. */
+    ObjectId primaryObj = trace::kNoObject;
+
+    /** The witnessing events, in trace order. */
+    std::vector<SeqNo> events;
+
+    /** Human-readable explanation. */
+    std::string message;
+};
+
+/** Interface of an offline trace detector. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    /** Analyze one trace and return all findings. */
+    virtual std::vector<Finding> analyze(const Trace &trace) = 0;
+
+    /** Stable detector name (also used in Finding::detector). */
+    virtual const char *name() const = 0;
+};
+
+/** All built-in detectors, in a fixed order. */
+std::vector<std::unique_ptr<Detector>> allDetectors();
+
+/** Render findings as one line each, for reports and debugging. */
+std::string renderFindings(const Trace &trace,
+                           const std::vector<Finding> &findings);
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_DETECTOR_HH

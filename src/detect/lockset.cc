@@ -1,0 +1,134 @@
+#include "detect/lockset.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace lfm::detect
+{
+
+namespace
+{
+
+enum class VarState
+{
+    Virgin,
+    Exclusive,
+    Shared,
+    SharedModified,
+};
+
+struct VarInfo
+{
+    VarState state = VarState::Virgin;
+    trace::ThreadId firstThread = trace::kNoThread;
+    std::set<ObjectId> candidates;
+    bool candidatesInitialized = false;
+    bool reported = false;
+};
+
+} // namespace
+
+std::vector<Finding>
+LocksetDetector::analyze(const Trace &trace)
+{
+    std::vector<Finding> findings;
+
+    // Locks currently held by each thread (write side of rwlocks and
+    // plain mutexes; read side counts for checking reads).
+    std::map<trace::ThreadId, std::set<ObjectId>> held;
+    std::map<trace::ThreadId, std::set<ObjectId>> heldRead;
+    std::map<ObjectId, VarInfo> vars;
+
+    for (const auto &event : trace.events()) {
+        switch (event.kind) {
+          case trace::EventKind::Lock:
+            held[event.thread].insert(event.obj);
+            break;
+          case trace::EventKind::Unlock:
+            held[event.thread].erase(event.obj);
+            break;
+          case trace::EventKind::RdLock:
+            heldRead[event.thread].insert(event.obj);
+            break;
+          case trace::EventKind::RdUnlock:
+            heldRead[event.thread].erase(event.obj);
+            break;
+          case trace::EventKind::WaitBegin:
+            // cond wait releases its mutex for the park duration.
+            held[event.thread].erase(event.obj2);
+            break;
+          case trace::EventKind::WaitResume:
+            held[event.thread].insert(event.obj2);
+            break;
+          case trace::EventKind::Read:
+          case trace::EventKind::Write: {
+            VarInfo &vi = vars[event.obj];
+            if (vi.reported)
+                break;
+
+            // Effective lockset: write locks always count; read
+            // locks additionally protect reads.
+            std::set<ObjectId> locks = held[event.thread];
+            if (!event.isWrite()) {
+                const auto &r = heldRead[event.thread];
+                locks.insert(r.begin(), r.end());
+            }
+
+            // Candidate set: all locks at the first access, refined
+            // by intersection at every later one (Eraser).
+            if (!vi.candidatesInitialized) {
+                vi.candidates = locks;
+                vi.candidatesInitialized = true;
+            } else {
+                std::set<ObjectId> inter;
+                std::set_intersection(
+                    vi.candidates.begin(), vi.candidates.end(),
+                    locks.begin(), locks.end(),
+                    std::inserter(inter, inter.begin()));
+                vi.candidates = std::move(inter);
+            }
+
+            // State machine controls when an empty set is reported.
+            switch (vi.state) {
+              case VarState::Virgin:
+                vi.state = VarState::Exclusive;
+                vi.firstThread = event.thread;
+                break;
+              case VarState::Exclusive:
+                if (event.thread == vi.firstThread)
+                    break;
+                vi.state = event.isWrite() ? VarState::SharedModified
+                                           : VarState::Shared;
+                break;
+              case VarState::Shared:
+                if (event.isWrite())
+                    vi.state = VarState::SharedModified;
+                break;
+              case VarState::SharedModified:
+                break;
+            }
+
+            if (vi.state == VarState::SharedModified &&
+                vi.candidatesInitialized && vi.candidates.empty()) {
+                vi.reported = true;
+                Finding f;
+                f.detector = name();
+                f.category = "data-race";
+                f.primaryObj = event.obj;
+                f.events = {event.seq};
+                f.message = "empty lockset for shared-modified " +
+                            trace.objectName(event.obj) + " at " +
+                            trace.threadName(event.thread);
+                findings.push_back(std::move(f));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return findings;
+}
+
+} // namespace lfm::detect

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Eraser-style lockset data-race detector.
+ *
+ * Tracks, for every shared variable, the intersection of locks held
+ * across all accesses, refined through the classic Eraser state
+ * machine (virgin / exclusive / shared / shared-modified). A variable
+ * that reaches shared-modified with an empty candidate lockset is
+ * reported. Unlike the happens-before detector, lockset flags
+ * *potential* races in executions where the racy interleaving did not
+ * occur, at the price of false positives for fork/join- or
+ * signal-ordered accesses — exactly the trade-off the study discusses.
+ */
+
+#ifndef LFM_DETECT_LOCKSET_HH
+#define LFM_DETECT_LOCKSET_HH
+
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** Eraser lockset detector. */
+class LocksetDetector : public Detector
+{
+  public:
+    std::vector<Finding> analyze(const Trace &trace) override;
+    const char *name() const override { return "lockset"; }
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_LOCKSET_HH

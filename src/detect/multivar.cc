@@ -1,0 +1,116 @@
+#include "detect/multivar.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace lfm::detect
+{
+
+std::vector<std::pair<ObjectId, ObjectId>>
+MultiVarDetector::inferCorrelations(const Trace &trace) const
+{
+    // Count, for every ordered-normalised variable pair, how often
+    // one thread touches both within the window.
+    std::map<std::pair<ObjectId, ObjectId>, std::size_t> support;
+    const auto &events = trace.events();
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (!events[i].isAccess())
+            continue;
+        for (std::size_t j = i + 1;
+             j < events.size() && j - i <= window_; ++j) {
+            if (!events[j].isAccess())
+                continue;
+            if (events[j].thread != events[i].thread)
+                continue;
+            if (events[j].obj == events[i].obj)
+                continue;
+            auto key = std::minmax(events[i].obj, events[j].obj);
+            ++support[{key.first, key.second}];
+            break; // count the nearest companion only
+        }
+    }
+
+    std::vector<std::pair<ObjectId, ObjectId>> pairs;
+    for (const auto &[pair, count] : support) {
+        if (count >= minSupport_)
+            pairs.push_back(pair);
+    }
+    return pairs;
+}
+
+std::vector<Finding>
+MultiVarDetector::analyze(const Trace &trace)
+{
+    std::vector<Finding> findings;
+    const auto pairs = inferCorrelations(trace);
+    const auto &events = trace.events();
+
+    for (const auto &[x, y] : pairs) {
+        bool reportedPair = false;
+        // Local thread accesses x then y (or y then x) with a remote
+        // write to either variable in between: inconsistent view.
+        for (std::size_t i = 0;
+             i < events.size() && !reportedPair; ++i) {
+            const auto &a = events[i];
+            if (!a.isAccess() || (a.obj != x && a.obj != y))
+                continue;
+            const ObjectId other = a.obj == x ? y : x;
+            for (std::size_t j = i + 1;
+                 j < events.size() && j - i <= window_ * 2; ++j) {
+                const auto &b = events[j];
+                if (!b.isAccess())
+                    continue;
+                if (b.thread == a.thread) {
+                    if (b.obj == other)
+                        break; // clean local pair, no interleaving
+                    if (b.obj == a.obj)
+                        break; // local re-access resets the region
+                    continue;
+                }
+                // A remote access to either variable inside the
+                // local correlated region is a violation when it
+                // *conflicts*: the remote or the local access to the
+                // same variable writes. (A remote read torn across a
+                // local write-pair is the js_ClearScope shape; a
+                // remote write under a local read-pair is the torn
+                // statistics shape.)
+                const bool conflicts =
+                    b.isWrite() || (b.obj == a.obj && a.isWrite());
+                if ((b.obj == x || b.obj == y) && conflicts) {
+                    // Confirm the local thread completes the pair
+                    // afterwards.
+                    for (std::size_t k = j + 1;
+                         k < events.size() && k - i <= window_ * 2;
+                         ++k) {
+                        const auto &c = events[k];
+                        if (!c.isAccess() || c.thread != a.thread)
+                            continue;
+                        if (c.obj != other)
+                            break;
+                        Finding f;
+                        f.detector = name();
+                        f.category = "multivar-atomicity-violation";
+                        f.primaryObj = x;
+                        f.events = {a.seq, b.seq, c.seq};
+                        f.message =
+                            "correlated pair (" +
+                            trace.objectName(x) + ", " +
+                            trace.objectName(y) + ") updated by " +
+                            trace.threadName(b.thread) +
+                            " inside " + trace.threadName(a.thread) +
+                            "'s region";
+                        findings.push_back(std::move(f));
+                        reportedPair = true;
+                        break;
+                    }
+                    if (reportedPair)
+                        break;
+                }
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace lfm::detect

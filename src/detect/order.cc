@@ -1,0 +1,112 @@
+#include "detect/order.hh"
+
+#include <map>
+
+namespace lfm::detect
+{
+
+std::vector<Finding>
+OrderDetector::analyze(const Trace &trace)
+{
+    std::vector<Finding> findings;
+
+    struct Life
+    {
+        bool freed = false;
+        SeqNo freeSeq = 0;
+        bool reportedUaf = false;
+        bool reportedUninit = false;
+    };
+    std::map<ObjectId, Life> lives;
+
+    // Open waits per (thread): WaitBegin without a later WaitResume.
+    struct OpenWait
+    {
+        SeqNo seq = 0;
+        ObjectId cv = trace::kNoObject;
+        bool resumed = false;
+    };
+    std::map<trace::ThreadId, std::vector<OpenWait>> waits;
+
+    for (const auto &event : trace.events()) {
+        switch (event.kind) {
+          case trace::EventKind::Free:
+            lives[event.obj].freed = true;
+            lives[event.obj].freeSeq = event.seq;
+            break;
+          case trace::EventKind::Alloc:
+            lives[event.obj].freed = false;
+            break;
+          case trace::EventKind::Read:
+          case trace::EventKind::Write: {
+            Life &life = lives[event.obj];
+            if (life.freed && !life.reportedUaf) {
+                life.reportedUaf = true;
+                Finding f;
+                f.detector = name();
+                f.category = "order-violation";
+                f.primaryObj = event.obj;
+                f.events = {life.freeSeq, event.seq};
+                f.message = "use-after-free: " +
+                            trace.threadName(event.thread) +
+                            " accesses " +
+                            trace.objectName(event.obj) +
+                            " after it was freed";
+                findings.push_back(std::move(f));
+            }
+            // The executor marks reads of never-written,
+            // declared-uninitialized variables with aux = 1.
+            if (event.kind == trace::EventKind::Read &&
+                event.aux == 1 && !life.reportedUninit) {
+                life.reportedUninit = true;
+                Finding f;
+                f.detector = name();
+                f.category = "order-violation";
+                f.primaryObj = event.obj;
+                f.events = {event.seq};
+                f.message = "read-before-init: " +
+                            trace.threadName(event.thread) +
+                            " reads " + trace.objectName(event.obj) +
+                            " before its initialization";
+                findings.push_back(std::move(f));
+            }
+            break;
+          }
+          case trace::EventKind::WaitBegin:
+            waits[event.thread].push_back(
+                {event.seq, event.obj, false});
+            break;
+          case trace::EventKind::WaitResume:
+            for (auto it = waits[event.thread].rbegin();
+                 it != waits[event.thread].rend(); ++it) {
+                if (it->cv == event.obj && !it->resumed) {
+                    it->resumed = true;
+                    break;
+                }
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (const auto &[tid, list] : waits) {
+        for (const auto &w : list) {
+            if (w.resumed)
+                continue;
+            Finding f;
+            f.detector = name();
+            f.category = "stuck-wait";
+            f.primaryObj = w.cv;
+            f.events = {w.seq};
+            f.message = "missed notification: " +
+                        trace.threadName(tid) + " waits on " +
+                        trace.objectName(w.cv) +
+                        " but no signal ever wakes it";
+            findings.push_back(std::move(f));
+        }
+    }
+    return findings;
+}
+
+} // namespace lfm::detect

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Order-violation detector.
+ *
+ * The study attributes ~1/3 of its non-deadlock bugs to order
+ * violations: "A must happen before B" is assumed but never enforced.
+ * Three trace-observable shapes are covered:
+ *
+ *  - read-before-init: a read of a variable declared to start
+ *    uninitialized before any write reached it (Mozilla's
+ *    mThread-used-before-CreateThread-returns class);
+ *  - use-after-free: any access after the variable was freed without
+ *    an intervening re-allocation (teardown-order bugs);
+ *  - stuck-wait: a cond wait that never resumed because its only
+ *    signal fired before the wait began (missed notification).
+ */
+
+#ifndef LFM_DETECT_ORDER_HH
+#define LFM_DETECT_ORDER_HH
+
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** Lifecycle/notification order-violation detector. */
+class OrderDetector : public Detector
+{
+  public:
+    std::vector<Finding> analyze(const Trace &trace) override;
+    const char *name() const override { return "order"; }
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_ORDER_HH

@@ -1,0 +1,109 @@
+#include "detect/predictive.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "detect/atomicity.hh"
+#include "trace/hb.hh"
+
+namespace lfm::detect
+{
+
+std::vector<Finding>
+PredictiveAtomicityDetector::analyze(const Trace &trace)
+{
+    std::vector<Finding> findings;
+    if (trace.empty())
+        return findings;
+
+    trace::HbRelation hb(trace);
+
+    // Lock releases per thread: an intended-atomic region must not
+    // cross a critical-section boundary (same rule as the
+    // execution-sensitive detector).
+    std::map<trace::ThreadId, std::vector<SeqNo>> releases;
+    for (const auto &event : trace.events()) {
+        switch (event.kind) {
+          case trace::EventKind::Unlock:
+          case trace::EventKind::RdUnlock:
+          case trace::EventKind::WaitBegin:
+            releases[event.thread].push_back(event.seq);
+            break;
+          default:
+            break;
+        }
+    }
+    auto releaseBetween = [&releases](trace::ThreadId tid, SeqNo lo,
+                                      SeqNo hi) {
+        auto it = releases.find(tid);
+        if (it == releases.end())
+            return false;
+        auto pos = std::upper_bound(it->second.begin(),
+                                    it->second.end(), lo);
+        return pos != it->second.end() && *pos < hi;
+    };
+
+    for (ObjectId var : trace.accessedVariables()) {
+        const auto accesses = trace.accessesTo(var);
+        std::set<std::string> reported;
+
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            const auto &p = trace.ev(accesses[i]);
+            // The thread's next access c to the same variable.
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const auto &c = trace.ev(accesses[j]);
+                if (c.thread != p.thread)
+                    continue;
+                if (c.seq - p.seq > window_)
+                    break;
+                if (releaseBetween(p.thread, p.seq, c.seq))
+                    break;
+
+                // Any remote access anywhere in the trace that is
+                // not synchronization-ordered against the region can
+                // be scheduled inside it.
+                for (SeqNo rSeq : accesses) {
+                    const auto &r = trace.ev(rSeq);
+                    if (r.thread == p.thread)
+                        continue;
+                    if (!detect::unserializableTriple(
+                            p.isWrite(), r.isWrite(), c.isWrite()))
+                        continue;
+                    // r must be movable between p and c: neither
+                    // ordered before p's region start nor after its
+                    // end by happens-before... i.e. concurrent with
+                    // the whole region.
+                    if (!hb.concurrent(r.seq, p.seq) ||
+                        !hb.concurrent(r.seq, c.seq))
+                        continue;
+                    std::string pattern;
+                    pattern += p.isWrite() ? 'W' : 'R';
+                    pattern += r.isWrite() ? 'W' : 'R';
+                    pattern += c.isWrite() ? 'W' : 'R';
+                    std::string key =
+                        std::to_string(p.thread) + ":" +
+                        std::to_string(r.thread) + ":" + pattern;
+                    if (!reported.insert(key).second)
+                        continue;
+                    Finding f;
+                    f.detector = name();
+                    f.category = "atomicity-violation";
+                    f.primaryObj = var;
+                    f.events = {p.seq, r.seq, c.seq};
+                    f.message =
+                        "predicted unserializable " + pattern +
+                        " on " + trace.objectName(var) + ": " +
+                        trace.threadName(r.thread) +
+                        " can interleave the " +
+                        trace.threadName(p.thread) + " region";
+                    findings.push_back(std::move(f));
+                }
+                break; // c was the consecutive local access
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace lfm::detect

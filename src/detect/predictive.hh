@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Predictive atomicity-violation detection.
+ *
+ * The execution-sensitive AVIO detector (atomicity.hh) needs the bad
+ * interleaving to actually occur. The study's detection implication
+ * is that tools should instead *predict* violations from correct
+ * runs: if a thread's intended-atomic pair (p, c) and a remote
+ * access r are not ordered by synchronization, some legal schedule
+ * places r between them — and if the (p, r, c) kind-triple is
+ * unserializable, that schedule is a bug. This detector performs the
+ * prediction with the happens-before relation: it flags from benign
+ * traces what the plain detector only flags from failing ones.
+ */
+
+#ifndef LFM_DETECT_PREDICTIVE_HH
+#define LFM_DETECT_PREDICTIVE_HH
+
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** HB-based predictive single-variable atomicity detector. */
+class PredictiveAtomicityDetector : public Detector
+{
+  public:
+    std::vector<Finding> analyze(const Trace &trace) override;
+    const char *name() const override { return "predictive-atom"; }
+
+    /** Region window, as in AtomicityDetector. */
+    void setWindow(std::size_t window) { window_ = window; }
+
+  private:
+    std::size_t window_ = 64;
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_PREDICTIVE_HH

@@ -1,0 +1,58 @@
+#include "detect/race_hb.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "trace/hb.hh"
+
+namespace lfm::detect
+{
+
+std::vector<Finding>
+HbRaceDetector::analyze(const Trace &trace)
+{
+    std::vector<Finding> findings;
+    if (trace.empty())
+        return findings;
+
+    trace::HbRelation hb(trace);
+
+    for (ObjectId var : trace.accessedVariables()) {
+        const auto accesses = trace.accessesTo(var);
+        std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const auto &a = trace.ev(accesses[i]);
+                const auto &b = trace.ev(accesses[j]);
+                if (a.thread == b.thread)
+                    continue;
+                if (!a.isWrite() && !b.isWrite())
+                    continue;
+                if (!hb.concurrent(a.seq, b.seq))
+                    continue;
+                if (firstOnly_) {
+                    auto key = std::minmax(a.thread, b.thread);
+                    if (!reported.insert({key.first, key.second})
+                             .second)
+                        continue;
+                }
+                Finding f;
+                f.detector = name();
+                f.category = "data-race";
+                f.primaryObj = var;
+                f.events = {a.seq, b.seq};
+                f.message = "data race on " + trace.objectName(var) +
+                            ": " + trace.threadName(a.thread) +
+                            (a.isWrite() ? " writes" : " reads") +
+                            " concurrently with " +
+                            trace.threadName(b.thread) +
+                            (b.isWrite() ? " write" : " read");
+                findings.push_back(std::move(f));
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace lfm::detect

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Happens-before data-race detector.
+ *
+ * Two accesses to the same variable race when they come from
+ * different threads, at least one is a write, and neither
+ * happens-before the other. This is the family of vector-clock
+ * detectors the study's detection-implications section credits with
+ * finding data races (but not, by itself, atomicity or order bugs
+ * whose individual accesses are all lock-protected).
+ */
+
+#ifndef LFM_DETECT_RACE_HB_HH
+#define LFM_DETECT_RACE_HB_HH
+
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** Vector-clock happens-before race detector. */
+class HbRaceDetector : public Detector
+{
+  public:
+    std::vector<Finding> analyze(const Trace &trace) override;
+    const char *name() const override { return "hb-race"; }
+
+    /**
+     * When true (default), only the first race per variable pair of
+     * threads is reported to keep reports readable.
+     */
+    void setFirstOnly(bool firstOnly) { firstOnly_ = firstOnly; }
+
+  private:
+    bool firstOnly_ = true;
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_RACE_HB_HH

@@ -1,0 +1,112 @@
+#include "explore/active.hh"
+
+#include <set>
+#include <utility>
+
+#include "explore/order_enforce.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+
+namespace lfm::explore
+{
+
+ActiveResult
+activeTest(const sim::ProgramFactory &factory,
+           const ActiveOptions &options)
+{
+    ActiveResult result;
+
+    // 1. Observation run under the scheduler least likely to expose
+    //    anything: it approximates the "tests pass in-house" run the
+    //    study describes.
+    sim::RoundRobinPolicy benign;
+    auto observation = sim::runProgram(factory, benign);
+    ++result.totalRuns;
+    result.observationManifested = defaultManifest(observation);
+
+    // 2. Candidate flips, deduped by label pair:
+    //    - conflicting data-access pairs (Free counts as a write:
+    //      flipping a free before a use is how teardown UAFs fire);
+    //    - order-sensitive sync pairs on the same object
+    //      (signal/wait, post/wait): flipping them exercises the
+    //      missed-notification window.
+    const auto &events = observation.trace.events();
+    auto accessLike = [](const trace::Event &e) {
+        return e.isAccess() || e.kind == trace::EventKind::Free;
+    };
+    auto writeLike = [](const trace::Event &e) {
+        return e.isWrite() || e.kind == trace::EventKind::Free;
+    };
+    auto syncPair = [](const trace::Event &a, const trace::Event &b) {
+        using trace::EventKind;
+        auto isWaitish = [](EventKind k) {
+            return k == EventKind::WaitBegin ||
+                   k == EventKind::SemWait;
+        };
+        auto isWakeish = [](EventKind k) {
+            return k == EventKind::SignalOne ||
+                   k == EventKind::SignalAll ||
+                   k == EventKind::SemPost;
+        };
+        return (isWaitish(a.kind) && isWakeish(b.kind)) ||
+               (isWakeish(a.kind) && isWaitish(b.kind));
+    };
+    auto conflicting = [&](const trace::Event &a,
+                           const trace::Event &b) {
+        if (accessLike(a) && accessLike(b))
+            return writeLike(a) || writeLike(b);
+        return syncPair(a, b);
+    };
+
+    std::set<std::pair<std::string, std::string>> seen;
+    std::vector<FlipAttempt> candidates;
+    for (std::size_t i = 0;
+         i < events.size() && candidates.size() < options.maxCandidates;
+         ++i) {
+        const auto &a = events[i];
+        if (a.label.empty())
+            continue;
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const auto &b = events[j];
+            if (b.label.empty())
+                continue;
+            if (b.obj != a.obj || b.thread == a.thread)
+                continue;
+            if (!conflicting(a, b))
+                continue;
+            if (a.label == b.label)
+                continue;
+            if (!seen.insert({b.label, a.label}).second)
+                continue;
+            FlipAttempt attempt;
+            attempt.flip = {b.label, a.label}; // invert observed order
+            attempt.variable = observation.trace.objectName(a.obj);
+            candidates.push_back(std::move(attempt));
+            if (candidates.size() >= options.maxCandidates)
+                break;
+        }
+    }
+    result.candidates = candidates.size();
+
+    // 3. Actively test each flip.
+    for (auto &attempt : candidates) {
+        for (std::size_t run = 0; run < options.runsPerCandidate;
+             ++run) {
+            sim::RandomPolicy inner;
+            OrderEnforcingPolicy policy({attempt.flip}, inner);
+            sim::ExecOptions opt;
+            opt.seed = run + 1;
+            auto exec = sim::runProgram(factory, policy, opt);
+            ++attempt.runs;
+            ++result.totalRuns;
+            if (defaultManifest(exec))
+                ++attempt.manifestations;
+        }
+        result.attempts.push_back(attempt);
+        if (options.stopAtFirst && attempt.exposedBug())
+            break;
+    }
+    return result;
+}
+
+} // namespace lfm::explore

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Active interleaving testing guided by the study's findings.
+ *
+ * The study's testing implication: instead of rerunning a stress
+ * test and hoping, *observe* one (usually benign) execution, extract
+ * pairs of conflicting accesses, and actively drive schedules that
+ * flip their order — because 92% of bugs manifest once a handful of
+ * accesses are ordered, flipping observed orders exposes them in a
+ * bounded number of runs. This is the idea later built out by
+ * CTrigger-style tools, reconstructed here on top of the
+ * order-enforcing scheduler.
+ */
+
+#ifndef LFM_EXPLORE_ACTIVE_HH
+#define LFM_EXPLORE_ACTIVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bugs/kernel.hh"
+#include "sim/program.hh"
+
+namespace lfm::explore
+{
+
+/** One candidate order flip and what testing it produced. */
+struct FlipAttempt
+{
+    /** The constraint that inverts the observed order. */
+    bugs::OrderConstraint flip;
+
+    /** Variable the conflicting pair touched. */
+    std::string variable;
+
+    /** Enforced runs executed for this candidate. */
+    std::size_t runs = 0;
+
+    /** Runs that manifested a failure. */
+    std::size_t manifestations = 0;
+
+    bool exposedBug() const { return manifestations > 0; }
+};
+
+/** Outcome of an active-testing campaign. */
+struct ActiveResult
+{
+    /** Labeled conflicting pairs found in the observation run. */
+    std::size_t candidates = 0;
+
+    std::vector<FlipAttempt> attempts;
+
+    /** Total executions spent (observation + enforced runs). */
+    std::size_t totalRuns = 0;
+
+    /** The bug fired already in the benign observation run. */
+    bool observationManifested = false;
+
+    /** Number of candidates whose flip exposed a bug. */
+    std::size_t
+    exposing() const
+    {
+        std::size_t n = 0;
+        for (const auto &a : attempts)
+            n += a.exposedBug() ? 1 : 0;
+        return n;
+    }
+
+    /** The campaign found the bug one way or another. */
+    bool
+    foundBug() const
+    {
+        return observationManifested || exposing() > 0;
+    }
+};
+
+/** Options for activeTest(). */
+struct ActiveOptions
+{
+    /** Enforced executions per candidate flip. */
+    std::size_t runsPerCandidate = 8;
+
+    /** Upper bound on candidates tried. */
+    std::size_t maxCandidates = 32;
+
+    /** Stop the campaign at the first exposing flip. */
+    bool stopAtFirst = false;
+};
+
+/**
+ * Run one observation execution under a benign (round-robin)
+ * scheduler, derive candidate flips from labeled conflicting access
+ * pairs, and actively test each flip with the order-enforcing
+ * scheduler.
+ */
+ActiveResult activeTest(const sim::ProgramFactory &factory,
+                        const ActiveOptions &options = {});
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_ACTIVE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stateless systematic exploration (replay-based DFS).
+ *
+ * Every execution records its decision tree path; the explorer
+ * backtracks to the deepest decision with an untried alternative and
+ * replays the prefix. With a bounded program this enumerates every
+ * schedule — the exhaustive ideal against which the study's
+ * "interleavings are rarely exercised by stress testing" point is
+ * made quantitative.
+ */
+
+#ifndef LFM_EXPLORE_DFS_HH
+#define LFM_EXPLORE_DFS_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "explore/runner.hh"
+#include "sim/program.hh"
+
+namespace lfm::explore
+{
+
+/** Options for exploreDfs(). */
+struct DfsOptions
+{
+    /** Hard cap on executions (the tree can be huge). */
+    std::size_t maxExecutions = 10000;
+
+    /** Per-execution decision cap. */
+    std::size_t maxDecisions = 2000;
+
+    /** Allow spurious wakeups as explorable branches. */
+    bool spuriousWakeups = false;
+
+    /** Stop at the first manifesting execution. */
+    bool stopAtFirst = false;
+};
+
+/** Result of a DFS exploration. */
+struct DfsResult
+{
+    std::size_t executions = 0;
+    std::size_t manifestations = 0;
+
+    /** True when the whole schedule tree was enumerated. */
+    bool exhausted = false;
+
+    /** Decision-index path of the first manifesting execution. */
+    std::optional<std::vector<std::size_t>> firstManifestPath;
+};
+
+/**
+ * Systematically enumerate schedules of the program.
+ */
+DfsResult exploreDfs(const sim::ProgramFactory &factory,
+                     const DfsOptions &options = {},
+                     const ManifestPredicate &manifest =
+                         defaultManifest);
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_DFS_HH

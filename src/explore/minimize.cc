@@ -1,0 +1,121 @@
+#include "explore/minimize.hh"
+
+#include "sim/policy.hh"
+
+namespace lfm::explore
+{
+
+namespace
+{
+
+/** Replay a decision-index path (first-choice beyond it). */
+sim::Execution
+replay(const sim::ProgramFactory &factory,
+       const std::vector<std::size_t> &path)
+{
+    sim::FixedSchedulePolicy policy(path);
+    sim::ExecOptions opt;
+    opt.maxDecisions = 20000;
+    return sim::runProgram(factory, policy, opt);
+}
+
+/** Extract the chosen-index path of an execution. */
+std::vector<std::size_t>
+pathOf(const sim::Execution &execution)
+{
+    std::vector<std::size_t> path;
+    path.reserve(execution.decisions.size());
+    for (const auto &d : execution.decisions)
+        path.push_back(d.chosen);
+    return path;
+}
+
+} // namespace
+
+unsigned
+countPreemptions(const sim::Execution &execution)
+{
+    unsigned preemptions = 0;
+    trace::ThreadId last = trace::kNoThread;
+    for (const auto &d : execution.decisions) {
+        const auto &chosen = d.choices[d.chosen];
+        if (last != trace::kNoThread && chosen.tid != last) {
+            // A switch is a preemption only when the previous thread
+            // was still available.
+            for (const auto &c : d.choices) {
+                if (c.tid == last && !c.spuriousWake) {
+                    ++preemptions;
+                    break;
+                }
+            }
+        }
+        last = chosen.tid;
+    }
+    return preemptions;
+}
+
+MinimizeResult
+minimizeSchedule(const sim::ProgramFactory &factory,
+                 const std::vector<std::size_t> &failingPath,
+                 std::size_t maxReplays,
+                 const ManifestPredicate &manifest)
+{
+    MinimizeResult result;
+
+    auto current = replay(factory, failingPath);
+    ++result.replays;
+    result.preemptionsBefore = countPreemptions(current);
+    if (!manifest(current)) {
+        // Not failing to begin with; nothing to minimize.
+        result.schedule = failingPath;
+        result.preemptionsAfter = result.preemptionsBefore;
+        return result;
+    }
+
+    bool improved = true;
+    while (improved && result.replays < maxReplays) {
+        improved = false;
+        const auto &decisions = current.decisions;
+        trace::ThreadId last = trace::kNoThread;
+        for (std::size_t i = 0;
+             i < decisions.size() && result.replays < maxReplays;
+             ++i) {
+            const auto &d = decisions[i];
+            const auto &chosen = d.choices[d.chosen];
+            // Candidate: this decision preempted `last`.
+            std::size_t continueIdx = d.choices.size();
+            if (last != trace::kNoThread && chosen.tid != last) {
+                for (std::size_t c = 0; c < d.choices.size(); ++c) {
+                    if (d.choices[c].tid == last &&
+                        !d.choices[c].spuriousWake) {
+                        continueIdx = c;
+                        break;
+                    }
+                }
+            }
+            last = chosen.tid;
+            if (continueIdx == d.choices.size())
+                continue;
+
+            std::vector<std::size_t> candidate = pathOf(current);
+            candidate.resize(i);
+            candidate.push_back(continueIdx);
+            auto attempt = replay(factory, candidate);
+            ++result.replays;
+            if (manifest(attempt) &&
+                countPreemptions(attempt) <
+                    countPreemptions(current)) {
+                current = std::move(attempt);
+                improved = true;
+                break; // rescan from the start of the new schedule
+            }
+        }
+    }
+
+    result.schedule = pathOf(current);
+    result.preemptionsAfter = countPreemptions(current);
+    result.stillFails = manifest(current);
+    return result;
+}
+
+} // namespace lfm::explore

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Failing-schedule minimization.
+ *
+ * A schedule found by stress or DFS usually contains many incidental
+ * context switches. For the bug report a developer wants the
+ * *simplest* interleaving: the fewest preemptions that still fail —
+ * which, per the study's access-ordering finding, is small (the
+ * certificate needs at most ~4 ordered operations, i.e. a couple of
+ * forced switches). This greedy minimizer repeatedly tries to remove
+ * a preemption (continue the previous thread instead of switching)
+ * and keeps the change whenever the failure survives replay.
+ */
+
+#ifndef LFM_EXPLORE_MINIMIZE_HH
+#define LFM_EXPLORE_MINIMIZE_HH
+
+#include <vector>
+
+#include "explore/runner.hh"
+#include "sim/program.hh"
+
+namespace lfm::explore
+{
+
+/** Result of minimizeSchedule(). */
+struct MinimizeResult
+{
+    /** Decision-index path of the minimized failing schedule. */
+    std::vector<std::size_t> schedule;
+
+    /** Context switches away from a still-runnable thread. */
+    unsigned preemptionsBefore = 0;
+    unsigned preemptionsAfter = 0;
+
+    /** Replays spent minimizing. */
+    std::size_t replays = 0;
+
+    /** The minimized schedule still manifests (sanity). */
+    bool stillFails = false;
+};
+
+/** Preemption count of a recorded execution. */
+unsigned countPreemptions(const sim::Execution &execution);
+
+/**
+ * Greedily minimize a failing schedule.
+ *
+ * @param factory the program under test
+ * @param failingPath decision indices of a manifesting execution
+ * @param maxReplays replay budget
+ */
+MinimizeResult minimizeSchedule(const sim::ProgramFactory &factory,
+                                const std::vector<std::size_t>
+                                    &failingPath,
+                                std::size_t maxReplays = 500,
+                                const ManifestPredicate &manifest =
+                                    defaultManifest);
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_MINIMIZE_HH

@@ -1,0 +1,93 @@
+#include "explore/order_enforce.hh"
+
+#include "explore/runner.hh"
+#include "support/logging.hh"
+
+namespace lfm::explore
+{
+
+OrderEnforcingPolicy::OrderEnforcingPolicy(
+    std::vector<bugs::OrderConstraint> constraints,
+    sim::SchedulePolicy &inner)
+    : constraints_(std::move(constraints)), inner_(inner)
+{
+}
+
+void
+OrderEnforcingPolicy::beginExecution(std::uint64_t seed)
+{
+    executed_.clear();
+    infeasible_ = false;
+    inner_.beginExecution(seed);
+}
+
+bool
+OrderEnforcingPolicy::blocked(const std::string &label) const
+{
+    if (label.empty())
+        return false;
+    for (const auto &c : constraints_) {
+        if (c.after == label && !executed_.count(c.before))
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+OrderEnforcingPolicy::pick(const sim::SchedView &view)
+{
+    // Build the filtered view of non-blocked alternatives.
+    std::vector<std::size_t> allowed;
+    std::vector<sim::ChoiceRecord> filtered;
+    for (std::size_t i = 0; i < view.choices.size(); ++i) {
+        if (!blocked(view.choices[i].label)) {
+            allowed.push_back(i);
+            filtered.push_back(view.choices[i]);
+        }
+    }
+
+    std::size_t chosen;
+    if (allowed.empty()) {
+        // Cannot enforce the constraints on this path; fall back to
+        // the inner policy over all alternatives and remember.
+        infeasible_ = true;
+        chosen = inner_.pick(view);
+    } else if (allowed.size() == view.choices.size()) {
+        chosen = inner_.pick(view);
+    } else {
+        sim::SchedView sub{filtered, view.stepIndex, view.lastRun};
+        const std::size_t subIdx = inner_.pick(sub);
+        LFM_ASSERT(subIdx < allowed.size(),
+                   "inner policy picked outside the filtered view");
+        chosen = allowed[subIdx];
+    }
+
+    const auto &label = view.choices[chosen].label;
+    if (!label.empty())
+        executed_.insert(label);
+    return chosen;
+}
+
+CertificateCheck
+checkCertificate(const bugs::BugKernel &kernel, std::size_t runs)
+{
+    CertificateCheck check;
+    check.kernelId = kernel.info().id;
+
+    auto factory = kernel.factory(bugs::Variant::Buggy);
+    for (std::size_t i = 0; i < runs; ++i) {
+        sim::RandomPolicy inner;
+        OrderEnforcingPolicy policy(kernel.info().manifestation, inner);
+        sim::ExecOptions opt;
+        opt.seed = i + 1;
+        auto exec = sim::runProgram(factory, policy, opt);
+        ++check.runs;
+        if (defaultManifest(exec))
+            ++check.manifested;
+        if (policy.infeasible())
+            check.everInfeasible = true;
+    }
+    return check;
+}
+
+} // namespace lfm::explore

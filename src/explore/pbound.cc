@@ -1,0 +1,48 @@
+#include "explore/pbound.hh"
+
+#include "support/logging.hh"
+
+namespace lfm::explore
+{
+
+PreemptionBoundPolicy::PreemptionBoundPolicy(unsigned budget,
+                                             sim::SchedulePolicy &inner)
+    : budget_(budget), inner_(inner)
+{
+}
+
+void
+PreemptionBoundPolicy::beginExecution(std::uint64_t seed)
+{
+    used_ = 0;
+    inner_.beginExecution(seed);
+}
+
+std::size_t
+PreemptionBoundPolicy::pick(const sim::SchedView &view)
+{
+    // Is the previously running thread still an alternative?
+    std::size_t lastIdx = view.choices.size();
+    for (std::size_t i = 0; i < view.choices.size(); ++i) {
+        if (view.choices[i].tid == view.lastRun &&
+            !view.choices[i].spuriousWake) {
+            lastIdx = i;
+            break;
+        }
+    }
+
+    if (lastIdx == view.choices.size()) {
+        // The last thread blocked or finished: switching is free.
+        return inner_.pick(view);
+    }
+    if (used_ >= budget_) {
+        // Budget exhausted: must continue the current thread.
+        return lastIdx;
+    }
+    const std::size_t chosen = inner_.pick(view);
+    if (view.choices[chosen].tid != view.lastRun)
+        ++used_;
+    return chosen;
+}
+
+} // namespace lfm::explore

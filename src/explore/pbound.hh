@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Preemption-bounded scheduling (CHESS-style).
+ *
+ * Most concurrency bugs need only a small number of preemptions —
+ * the scheduling-side twin of the study's few-accesses finding. The
+ * wrapper policy charges one unit of budget whenever it moves off a
+ * thread that is still runnable; with the budget exhausted it must
+ * keep running the current thread until it blocks or finishes.
+ */
+
+#ifndef LFM_EXPLORE_PBOUND_HH
+#define LFM_EXPLORE_PBOUND_HH
+
+#include "sim/policy.hh"
+
+namespace lfm::explore
+{
+
+/** Preemption-budget wrapper around an inner policy. */
+class PreemptionBoundPolicy : public sim::SchedulePolicy
+{
+  public:
+    PreemptionBoundPolicy(unsigned budget, sim::SchedulePolicy &inner);
+
+    void beginExecution(std::uint64_t seed) override;
+    std::size_t pick(const sim::SchedView &view) override;
+    const char *name() const override { return "pbound"; }
+
+    /** Preemptions actually spent in the last execution. */
+    unsigned used() const { return used_; }
+
+  private:
+    unsigned budget_;
+    unsigned used_ = 0;
+    sim::SchedulePolicy &inner_;
+};
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_PBOUND_HH

@@ -1,0 +1,106 @@
+#include "explore/randprog.hh"
+
+#include <memory>
+#include <vector>
+
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "support/random.hh"
+
+namespace lfm::explore
+{
+
+namespace
+{
+
+/** One pre-drawn operation of a generated thread. */
+struct GenOp
+{
+    int var = 0;
+    int mutex = -1;  ///< -1 = unlocked access
+    bool write = false;
+};
+
+/** Everything the generated threads share. */
+struct GenState
+{
+    std::vector<std::unique_ptr<sim::SharedVar<int>>> vars;
+    std::vector<std::unique_ptr<sim::SimMutex>> mutexes;
+};
+
+} // namespace
+
+sim::Program
+makeRandomProgram(const RandProgConfig &config, std::uint64_t seed)
+{
+    // Draw the whole program shape first so the construction below
+    // is a pure function of (config, seed).
+    support::Rng rng(seed ^ 0x5eedf00dULL);
+    std::vector<std::vector<GenOp>> plan(
+        static_cast<std::size_t>(config.threads));
+    for (auto &threadOps : plan) {
+        for (int i = 0; i < config.opsPerThread; ++i) {
+            GenOp op;
+            op.var = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(
+                    config.variables)));
+            op.write = rng.chance(config.writeFraction);
+            const bool locked =
+                config.alwaysLock || rng.chance(config.lockedFraction);
+            if (locked) {
+                op.mutex =
+                    config.consistentLocking
+                        ? op.var % config.mutexes
+                        : static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(
+                                  config.mutexes)));
+            }
+            threadOps.push_back(op);
+        }
+    }
+
+    auto s = std::make_shared<GenState>();
+    for (int v = 0; v < config.variables; ++v) {
+        s->vars.push_back(std::make_unique<sim::SharedVar<int>>(
+            "v" + std::to_string(v), 0));
+    }
+    for (int m = 0; m < config.mutexes; ++m) {
+        s->mutexes.push_back(
+            std::make_unique<sim::SimMutex>("m" + std::to_string(m)));
+    }
+
+    sim::Program p;
+    for (std::size_t t = 0; t < plan.size(); ++t) {
+        auto ops = plan[t];
+        p.threads.push_back(
+            {"gen" + std::to_string(t), [s, ops] {
+                 for (const GenOp &op : ops) {
+                     auto &var =
+                         *s->vars[static_cast<std::size_t>(op.var)];
+                     if (op.mutex >= 0) {
+                         auto &mu = *s->mutexes[static_cast<
+                             std::size_t>(op.mutex)];
+                         sim::SimLock guard(mu);
+                         if (op.write)
+                             var.set(var.peek() + 1);
+                         else
+                             (void)var.get();
+                     } else {
+                         if (op.write)
+                             var.set(var.peek() + 1);
+                         else
+                             (void)var.get();
+                     }
+                 }
+             }});
+    }
+    return p;
+}
+
+sim::ProgramFactory
+randomProgramFactory(const RandProgConfig &config, std::uint64_t seed)
+{
+    return [config, seed] { return makeRandomProgram(config, seed); };
+}
+
+} // namespace lfm::explore

@@ -1,0 +1,40 @@
+#include "explore/runner.hh"
+
+namespace lfm::explore
+{
+
+bool
+defaultManifest(const sim::Execution &exec)
+{
+    return exec.failed();
+}
+
+StressResult
+stressProgram(const sim::ProgramFactory &factory,
+              sim::SchedulePolicy &policy, const StressOptions &options,
+              const ManifestPredicate &manifest)
+{
+    StressResult result;
+    double totalDecisions = 0.0;
+
+    for (std::size_t i = 0; i < options.runs; ++i) {
+        sim::ExecOptions exec = options.exec;
+        exec.seed = options.firstSeed + i;
+        auto execution = sim::runProgram(factory, policy, exec);
+        ++result.runs;
+        totalDecisions += static_cast<double>(execution.steps());
+        if (manifest(execution)) {
+            ++result.manifestations;
+            if (!result.firstManifestSeed)
+                result.firstManifestSeed = exec.seed;
+            if (options.stopAtFirst)
+                break;
+        }
+    }
+    if (result.runs > 0)
+        result.avgDecisions =
+            totalDecisions / static_cast<double>(result.runs);
+    return result;
+}
+
+} // namespace lfm::explore

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Stress runner: repeated seeded executions under one policy, with
+ * manifestation statistics. This is the "run the test 1000 times and
+ * pray" baseline the study's testing-implications section argues
+ * against — and the yardstick the systematic explorers beat.
+ */
+
+#ifndef LFM_EXPLORE_RUNNER_HH
+#define LFM_EXPLORE_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/policy.hh"
+#include "sim/program.hh"
+
+namespace lfm::explore
+{
+
+/** What counts as "the bug manifested" for a given execution. */
+using ManifestPredicate = std::function<bool(const sim::Execution &)>;
+
+/**
+ * The default predicate: failure mark, deadlock, or oracle complaint.
+ * A step-limit hit is deliberately *not* manifestation: an
+ * adversarial scheduler can starve any spin-based wait forever, and
+ * kernels whose real symptom is unbounded retry report it themselves
+ * via a failure mark after a bounded number of attempts.
+ */
+bool defaultManifest(const sim::Execution &exec);
+
+/** Aggregate result of a stress campaign. */
+struct StressResult
+{
+    std::size_t runs = 0;
+    std::size_t manifestations = 0;
+    std::optional<std::uint64_t> firstManifestSeed;
+    double avgDecisions = 0.0;
+
+    double
+    rate() const
+    {
+        return runs == 0 ? 0.0
+                         : static_cast<double>(manifestations) /
+                               static_cast<double>(runs);
+    }
+};
+
+/** Options for stressProgram(). */
+struct StressOptions
+{
+    std::size_t runs = 100;
+    std::uint64_t firstSeed = 0;
+    sim::ExecOptions exec;
+    /** Stop as soon as one manifestation is found. */
+    bool stopAtFirst = false;
+};
+
+/**
+ * Run the program `options.runs` times with seeds firstSeed,
+ * firstSeed+1, ... under the given policy.
+ */
+StressResult stressProgram(const sim::ProgramFactory &factory,
+                           sim::SchedulePolicy &policy,
+                           const StressOptions &options = {},
+                           const ManifestPredicate &manifest =
+                               defaultManifest);
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_RUNNER_HH

@@ -1,0 +1,61 @@
+#include "report/compare.hh"
+
+#include <sstream>
+
+#include "support/stats.hh"
+#include "support/string_utils.hh"
+
+namespace lfm::report
+{
+
+CompareRow
+fromFinding(const study::Finding &finding)
+{
+    CompareRow row;
+    row.label = finding.id + ": " + finding.statement;
+    row.paper = support::formatRatio(
+        static_cast<std::uint64_t>(finding.paperNumer),
+        static_cast<std::uint64_t>(finding.paperDenom));
+    row.reproduced = support::formatRatio(
+        static_cast<std::uint64_t>(finding.computedNumer),
+        static_cast<std::uint64_t>(finding.computedDenom));
+    row.match = finding.matches();
+    row.approximate = finding.approximate;
+    return row;
+}
+
+std::string
+renderComparison(const std::vector<CompareRow> &rows)
+{
+    std::size_t paperW = 5;
+    std::size_t reproW = 10;
+    for (const auto &row : rows) {
+        paperW = std::max(paperW, row.paper.size());
+        reproW = std::max(reproW, row.reproduced.size());
+    }
+
+    std::ostringstream os;
+    for (const auto &row : rows) {
+        os << "  [" << (row.match ? "OK" : "!!") << "] paper "
+           << support::padLeft(row.paper, paperW) << "  reproduced "
+           << support::padLeft(row.reproduced, reproW);
+        if (row.empirical)
+            os << "  empirical " << *row.empirical;
+        if (row.approximate)
+            os << "  (approx.)";
+        os << "\n       " << row.label << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderFindings(const std::vector<study::Finding> &findings)
+{
+    std::vector<CompareRow> rows;
+    rows.reserve(findings.size());
+    for (const auto &f : findings)
+        rows.push_back(fromFinding(f));
+    return renderComparison(rows);
+}
+
+} // namespace lfm::report

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper-vs-reproduced comparison rendering: the uniform footer every
+ * table bench prints, showing the published value, the database
+ * value, the empirical (kernel) value where one exists, and a match
+ * mark.
+ */
+
+#ifndef LFM_REPORT_COMPARE_HH
+#define LFM_REPORT_COMPARE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "study/findings.hh"
+
+namespace lfm::report
+{
+
+/** One paper-vs-reproduced comparison line. */
+struct CompareRow
+{
+    std::string label;
+    std::string paper;
+    std::string reproduced;
+    std::optional<std::string> empirical;
+    bool match = false;
+    bool approximate = false;
+};
+
+/** Build a row from a finding. */
+CompareRow fromFinding(const study::Finding &finding);
+
+/** Render rows as an aligned block with ✓ / ✗ marks. */
+std::string renderComparison(const std::vector<CompareRow> &rows);
+
+/** Render a whole findings list (convenience). */
+std::string renderFindings(const std::vector<study::Finding> &findings);
+
+} // namespace lfm::report
+
+#endif // LFM_REPORT_COMPARE_HH

@@ -1,0 +1,172 @@
+#include "report/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/string_utils.hh"
+
+namespace lfm::report
+{
+
+void
+Table::setColumns(std::vector<std::string> headers,
+                  std::vector<Align> aligns)
+{
+    headers_ = std::move(headers);
+    aligns_ = std::move(aligns);
+    if (aligns_.empty()) {
+        // Default: first column left, the rest right (label + data).
+        aligns_.assign(headers_.size(), Align::Right);
+        if (!aligns_.empty())
+            aligns_[0] = Align::Left;
+    }
+    LFM_ASSERT(aligns_.size() == headers_.size(),
+               "alignment count must match header count");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    LFM_ASSERT(cells.size() == headers_.size(),
+               "row width must match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::cell(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(std::size_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(int v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::cell(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Table::ascii() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto line = [&widths]() {
+        std::string out = "+";
+        for (std::size_t w : widths)
+            out += std::string(w + 2, '-') + "+";
+        return out + "\n";
+    };
+    auto render = [&](const std::vector<std::string> &cells) {
+        std::string out = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string &text = cells[c];
+            out += " ";
+            out += aligns_[c] == Align::Left
+                       ? support::padRight(text, widths[c])
+                       : support::padLeft(text, widths[c]);
+            out += " |";
+        }
+        return out + "\n";
+    };
+
+    std::ostringstream os;
+    os << title_ << "\n" << line() << render(headers_) << line();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << line();
+        else
+            os << render(row);
+    }
+    os << line();
+    return os.str();
+}
+
+std::string
+Table::markdown() const
+{
+    std::ostringstream os;
+    os << "### " << title_ << "\n\n|";
+    for (const auto &h : headers_)
+        os << " " << h << " |";
+    os << "\n|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (aligns_[c] == Align::Left ? " :--- |" : " ---: |");
+    os << "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        os << "|";
+        for (const auto &cellText : row)
+            os << " " << cellText << " |";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        return out + "\"";
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << quote(headers_[c]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace lfm::report

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Plain-text table rendering for benches and examples: fixed-width
+ * ASCII (the default), Markdown, and CSV.
+ */
+
+#ifndef LFM_REPORT_TABLE_HH
+#define LFM_REPORT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfm::report
+{
+
+/** Column alignment. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * A simple rows-of-strings table with a title and column headers.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Define the columns; must be called before addRow. */
+    void setColumns(std::vector<std::string> headers,
+                    std::vector<Align> aligns = {});
+
+    /** Append one row; must match the column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a visual separator row (ASCII rendering only). */
+    void addSeparator();
+
+    /// @name Cell helpers.
+    /// @{
+    static std::string cell(std::int64_t v);
+    static std::string cell(std::size_t v);
+    static std::string cell(int v);
+    static std::string cell(double v, int decimals = 1);
+    /// @}
+
+    /** Render as an ASCII box table. */
+    std::string ascii() const;
+
+    /** Render as GitHub-flavoured Markdown. */
+    std::string markdown() const;
+
+    /** Render as CSV (RFC-4180-ish quoting). */
+    std::string csv() const;
+
+    const std::string &title() const { return title_; }
+    std::size_t rowCount() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    /** Separator rows are encoded as empty vectors. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lfm::report
+
+#endif // LFM_REPORT_TABLE_HH

@@ -1,0 +1,1030 @@
+#include "sim/executor.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "sim/policy.hh"
+#include "support/logging.hh"
+#include "trace/event.hh"
+
+namespace lfm::sim
+{
+
+namespace
+{
+
+thread_local Executor *tExecutor = nullptr;
+thread_local ThreadId tTid = trace::kNoThread;
+
+} // namespace
+
+Executor::Executor() = default;
+
+Executor::~Executor()
+{
+    // run() always joins its host threads before returning, so there
+    // is nothing left to clean up here.
+}
+
+Executor &
+Executor::current()
+{
+    LFM_ASSERT(tExecutor != nullptr,
+               "simulator API used outside of a simulation");
+    return *tExecutor;
+}
+
+Executor *
+Executor::currentPtr()
+{
+    return tExecutor;
+}
+
+bool
+Executor::insideSimThread() const
+{
+    return tExecutor == this && tTid != trace::kNoThread;
+}
+
+// ------------------------------------------------------------------
+// Registration
+// ------------------------------------------------------------------
+
+ObjectId
+Executor::registerObject(trace::ObjectKind kind, std::string name,
+                         std::uint32_t flags)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    const ObjectId id = nextObjectId_++;
+    exec_.trace.registerObject({id, kind, std::move(name), flags});
+    if (kind == trace::ObjectKind::Variable)
+        cells_[id] = CellState{(flags & trace::kStartsUninit) == 0, false};
+    return id;
+}
+
+void
+Executor::setCellUninitialized(ObjectId cell)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    cells_[cell].initialized = false;
+}
+
+void
+Executor::initMutex(ObjectId m, bool recursive)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    mutexes_[m].recursive = recursive;
+}
+
+void
+Executor::initSemaphore(ObjectId sem, std::int64_t count)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    SemState &s = sems_[sem];
+    s.count = count;
+    s.postSeqs.assign(static_cast<std::size_t>(std::max<std::int64_t>(
+                          count, 0)),
+                      trace::kSpuriousWakeup);
+}
+
+void
+Executor::initBarrier(ObjectId bar, int parties)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    LFM_ASSERT(parties >= 1, "barrier needs at least one party");
+    barriers_[bar].parties = parties;
+}
+
+// ------------------------------------------------------------------
+// Run orchestration
+// ------------------------------------------------------------------
+
+Execution
+Executor::run(const ProgramFactory &factory, SchedulePolicy &policy,
+              const ExecOptions &options)
+{
+    LFM_ASSERT(!running_, "Executor::run is not reentrant");
+    running_ = true;
+
+    exec_ = Execution{};
+    threads_.clear();
+    mutexes_.clear();
+    rwlocks_.clear();
+    sems_.clear();
+    barriers_.clear();
+    cells_.clear();
+    threadObjToTid_.clear();
+    granted_ = trace::kNoThread;
+    abortFlag_ = false;
+    lastRun_ = trace::kNoThread;
+    nextObjectId_ = 1;
+    waitArrivalCounter_ = 0;
+
+    Executor *prevExec = tExecutor;
+    ThreadId prevTid = tTid;
+    tExecutor = this;
+    tTid = trace::kNoThread;
+
+    Program program = factory();
+    LFM_ASSERT(!program.threads.empty(), "program has no threads");
+
+    policy.beginExecution(options.seed);
+
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        for (auto &spec : program.threads) {
+            launchThread(std::move(spec.name), std::move(spec.body),
+                         false, 0);
+        }
+    }
+
+    schedulerLoop(policy, options);
+
+    for (auto &lt : threads_) {
+        if (lt->host.joinable())
+            lt->host.join();
+    }
+
+    // The oracle judges final state, which only exists for runs that
+    // actually completed; aborted (step-limit) and deadlocked runs
+    // are reported through their own flags instead.
+    if (program.oracle && !exec_.stepLimitHit && !exec_.deadlocked)
+        exec_.oracleFailure = program.oracle();
+
+    tExecutor = prevExec;
+    tTid = prevTid;
+    running_ = false;
+    return std::move(exec_);
+}
+
+ThreadId
+Executor::launchThread(std::string name, std::function<void()> body,
+                       bool hasParent, SeqNo spawnSeq)
+{
+    // Caller holds m_.
+    const ThreadId tid = static_cast<ThreadId>(threads_.size());
+    auto lt = std::make_unique<LogicalThread>();
+    lt->tid = tid;
+    lt->name = name.empty() ? "T" + std::to_string(tid) : std::move(name);
+    lt->body = std::move(body);
+    lt->status = ThreadStatus::Starting;
+    lt->hasParent = hasParent;
+    lt->spawnSeq = spawnSeq;
+
+    const ObjectId objId = nextObjectId_++;
+    lt->objId = objId;
+    exec_.trace.registerObject(
+        {objId, trace::ObjectKind::Thread, lt->name, 0});
+    exec_.trace.registerThread(tid, lt->name);
+    threadObjToTid_[objId] = tid;
+
+    LogicalThread *raw = lt.get();
+    threads_.push_back(std::move(lt));
+    raw->host = std::thread([this, raw] { threadMain(raw); });
+    return tid;
+}
+
+SeqNo
+Executor::record(trace::EventKind kind, ObjectId obj, ObjectId obj2,
+                 std::uint64_t aux, std::string label)
+{
+    // Caller holds m_.
+    trace::Event event;
+    event.thread = tTid;
+    event.kind = kind;
+    event.obj = obj;
+    event.obj2 = obj2;
+    event.aux = aux;
+    event.label = std::move(label);
+    return exec_.trace.append(std::move(event));
+}
+
+// ------------------------------------------------------------------
+// Scheduler-loop side
+// ------------------------------------------------------------------
+
+void
+Executor::waitQuiescent(std::unique_lock<std::mutex> &lk)
+{
+    cv_.wait(lk, [this] {
+        // An outstanding grant means the chosen thread has not woken
+        // yet (it is still flagged AtPoint); wait for it to consume
+        // the baton and park again.
+        if (granted_ != trace::kNoThread)
+            return false;
+        for (const auto &lt : threads_) {
+            if (lt->status != ThreadStatus::AtPoint &&
+                lt->status != ThreadStatus::Finished)
+                return false;
+        }
+        return true;
+    });
+}
+
+bool
+Executor::opEnabled(const LogicalThread &lt) const
+{
+    const PendingOp &op = lt.pending;
+    switch (op.kind) {
+      case OpKind::MutexLock: {
+        auto it = mutexes_.find(op.obj);
+        if (it == mutexes_.end())
+            return true;
+        const MutexState &s = it->second;
+        return s.holder == trace::kNoThread ||
+               (s.recursive && s.holder == lt.tid);
+      }
+      case OpKind::RwRdLock: {
+        auto it = rwlocks_.find(op.obj);
+        return it == rwlocks_.end() ||
+               it->second.writer == trace::kNoThread;
+      }
+      case OpKind::RwWrLock: {
+        auto it = rwlocks_.find(op.obj);
+        return it == rwlocks_.end() ||
+               (it->second.writer == trace::kNoThread &&
+                it->second.readers.empty());
+      }
+      case OpKind::Reacquire: {
+        auto it = mutexes_.find(op.obj2);
+        return it == mutexes_.end() ||
+               it->second.holder == trace::kNoThread;
+      }
+      case OpKind::SemWait: {
+        auto it = sems_.find(op.obj);
+        return it != sems_.end() && it->second.count > 0;
+      }
+      case OpKind::Join:
+        return byTid(op.target).status == ThreadStatus::Finished;
+      case OpKind::WaitBlock:
+      case OpKind::BarrierBlock:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::vector<ChoiceRecord>
+Executor::buildChoices(bool spuriousAllowed) const
+{
+    std::vector<ChoiceRecord> choices;
+    for (const auto &lt : threads_) {
+        if (lt->status != ThreadStatus::AtPoint)
+            continue;
+        if (opEnabled(*lt)) {
+            choices.push_back({lt->tid, false, lt->pending.kind,
+                               lt->pending.obj, lt->pending.label});
+        } else if (spuriousAllowed &&
+                   lt->pending.kind == OpKind::WaitBlock) {
+            choices.push_back({lt->tid, true, lt->pending.kind,
+                               lt->pending.obj, lt->pending.label});
+        }
+    }
+    return choices;
+}
+
+void
+Executor::captureWaitsFor()
+{
+    // Caller holds m_. Record why each at-point thread is stuck.
+    for (const auto &lt : threads_) {
+        if (lt->status != ThreadStatus::AtPoint)
+            continue;
+        WaitsForEdge edge;
+        edge.thread = lt->tid;
+        edge.wants = lt->pending.kind;
+        switch (lt->pending.kind) {
+          case OpKind::MutexLock: {
+            edge.obj = lt->pending.obj;
+            auto it = mutexes_.find(edge.obj);
+            if (it != mutexes_.end())
+                edge.holder = it->second.holder;
+            break;
+          }
+          case OpKind::Reacquire: {
+            edge.obj = lt->pending.obj2;
+            auto it = mutexes_.find(edge.obj);
+            if (it != mutexes_.end())
+                edge.holder = it->second.holder;
+            break;
+          }
+          case OpKind::RwRdLock:
+          case OpKind::RwWrLock: {
+            edge.obj = lt->pending.obj;
+            auto it = rwlocks_.find(edge.obj);
+            if (it != rwlocks_.end()) {
+                if (it->second.writer != trace::kNoThread)
+                    edge.holder = it->second.writer;
+                else if (!it->second.readers.empty())
+                    edge.holder = it->second.readers.front();
+            }
+            break;
+          }
+          case OpKind::Join:
+            edge.obj = byTid(lt->pending.target).objId;
+            edge.holder = lt->pending.target;
+            break;
+          default:
+            edge.obj = lt->pending.obj;
+            break;
+        }
+        exec_.blockedThreads.push_back(edge);
+
+        // Mirror the stuck acquisition into the trace so offline
+        // detectors (lock-order graph) see the attempted edge.
+        trace::Event event;
+        event.thread = lt->tid;
+        event.kind = trace::EventKind::Blocked;
+        event.obj = edge.obj;
+        event.aux = static_cast<std::uint64_t>(edge.holder);
+        exec_.trace.append(std::move(event));
+    }
+}
+
+void
+Executor::abortAll(std::unique_lock<std::mutex> &lk)
+{
+    abortFlag_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [this] {
+        for (const auto &lt : threads_) {
+            if (lt->status != ThreadStatus::Finished)
+                return false;
+        }
+        return true;
+    });
+}
+
+void
+Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    waitQuiescent(lk);
+
+    for (;;) {
+        auto choices = buildChoices(opt.spuriousWakeups);
+
+        if (choices.empty()) {
+            bool anyLive = false;
+            for (const auto &lt : threads_) {
+                if (lt->status != ThreadStatus::Finished)
+                    anyLive = true;
+            }
+            if (!anyLive)
+                break;
+            exec_.deadlocked = true;
+            captureWaitsFor();
+            abortAll(lk);
+            break;
+        }
+
+        if (exec_.decisions.size() >= opt.maxDecisions) {
+            exec_.stepLimitHit = true;
+            abortAll(lk);
+            break;
+        }
+
+        SchedView view{choices, exec_.decisions.size(), lastRun_};
+        const std::size_t idx = policy.pick(view);
+        LFM_ASSERT(idx < choices.size(), "policy picked out of range");
+        exec_.decisions.push_back({choices, idx});
+
+        const ChoiceRecord &choice = choices[idx];
+        if (choice.spuriousWake) {
+            LogicalThread &lt = byTid(choice.tid);
+            LFM_ASSERT(lt.pending.kind == OpKind::WaitBlock,
+                       "spurious wake of a non-waiter");
+            PendingOp op;
+            op.kind = OpKind::Reacquire;
+            op.obj = lt.pending.obj;
+            op.obj2 = lt.pending.obj2;
+            op.auxSeq = trace::kSpuriousWakeup;
+            lt.pending = std::move(op);
+            continue;
+        }
+
+        lastRun_ = choice.tid;
+        granted_ = choice.tid;
+        cv_.notify_all();
+        waitQuiescent(lk);
+    }
+}
+
+// ------------------------------------------------------------------
+// Simulated-thread side
+// ------------------------------------------------------------------
+
+Executor::LogicalThread &
+Executor::self()
+{
+    LFM_ASSERT(tTid != trace::kNoThread,
+               "operation requires a simulated thread");
+    return byTid(tTid);
+}
+
+Executor::LogicalThread &
+Executor::byTid(ThreadId tid)
+{
+    LFM_ASSERT(tid >= 0 &&
+                   static_cast<std::size_t>(tid) < threads_.size(),
+               "bad thread id");
+    return *threads_[static_cast<std::size_t>(tid)];
+}
+
+const Executor::LogicalThread &
+Executor::byTid(ThreadId tid) const
+{
+    LFM_ASSERT(tid >= 0 &&
+                   static_cast<std::size_t>(tid) < threads_.size(),
+               "bad thread id");
+    return *threads_[static_cast<std::size_t>(tid)];
+}
+
+void
+Executor::threadMain(LogicalThread *lt)
+{
+    tExecutor = this;
+    tTid = lt->tid;
+    try {
+        PendingOp begin;
+        begin.kind = OpKind::ThreadBegin;
+        schedulePoint(std::move(begin));
+
+        lt->body();
+
+        std::lock_guard<std::mutex> guard(m_);
+        lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
+        lt->status = ThreadStatus::Finished;
+        cv_.notify_all();
+    } catch (const ExecutionAborted &) {
+        std::lock_guard<std::mutex> guard(m_);
+        lt->aborted = true;
+        lt->status = ThreadStatus::Finished;
+        cv_.notify_all();
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> guard(m_);
+        record(trace::EventKind::FailureMark, trace::kNoObject,
+               trace::kNoObject, 0,
+               std::string("uncaught exception: ") + e.what());
+        exec_.failureMessages.emplace_back(
+            std::string("uncaught exception: ") + e.what());
+        lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
+        lt->status = ThreadStatus::Finished;
+        cv_.notify_all();
+    }
+}
+
+void
+Executor::parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
+{
+    lt.status = ThreadStatus::AtPoint;
+    cv_.notify_all();
+    cv_.wait(lk, [this, &lt] {
+        return abortFlag_ || granted_ == lt.tid;
+    });
+    if (abortFlag_)
+        throw ExecutionAborted{};
+    granted_ = trace::kNoThread;
+    lt.status = ThreadStatus::Running;
+}
+
+void
+Executor::schedulePoint(PendingOp op)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    LogicalThread &lt = self();
+    lt.pending = std::move(op);
+    parkAgain(lk, lt);
+    executeOp(lk, lt);
+}
+
+void
+Executor::executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
+{
+    using trace::EventKind;
+
+    for (;;) {
+        PendingOp &op = lt.pending;
+        switch (op.kind) {
+          case OpKind::ThreadBegin:
+            record(EventKind::ThreadBegin, lt.objId, trace::kNoObject,
+                   lt.hasParent ? lt.spawnSeq : trace::kSpuriousWakeup);
+            return;
+
+          case OpKind::Yield:
+            record(EventKind::Yield);
+            return;
+
+          case OpKind::Read:
+          case OpKind::Write: {
+            CellState &cell = cells_[op.obj];
+            std::uint64_t aux = 0;
+            if (cell.freed) {
+                const std::string msg =
+                    "use-after-free access to " +
+                    exec_.trace.objectName(op.obj);
+                record(EventKind::FailureMark, op.obj, trace::kNoObject,
+                       0, msg);
+                exec_.failureMessages.push_back(msg);
+            }
+            if (op.kind == OpKind::Read && !cell.initialized) {
+                aux = 1; // uninitialised read marker
+            }
+            if (op.kind == OpKind::Write)
+                cell.initialized = true;
+            record(op.kind == OpKind::Read ? EventKind::Read
+                                           : EventKind::Write,
+                   op.obj, trace::kNoObject, aux, op.label);
+            return;
+          }
+
+          case OpKind::Alloc: {
+            CellState &cell = cells_[op.obj];
+            cell.initialized = false;
+            cell.freed = false;
+            record(EventKind::Alloc, op.obj, trace::kNoObject, 0,
+                   op.label);
+            return;
+          }
+
+          case OpKind::Free: {
+            CellState &cell = cells_[op.obj];
+            if (cell.freed) {
+                const std::string msg =
+                    "double free of " + exec_.trace.objectName(op.obj);
+                record(EventKind::FailureMark, op.obj, trace::kNoObject,
+                       0, msg);
+                exec_.failureMessages.push_back(msg);
+            }
+            cell.freed = true;
+            record(EventKind::Free, op.obj, trace::kNoObject, 0,
+                   op.label);
+            return;
+          }
+
+          case OpKind::MutexLock: {
+            MutexState &s = mutexes_[op.obj];
+            if (s.holder == lt.tid) {
+                LFM_ASSERT(s.recursive,
+                           "relock of non-recursive mutex got enabled");
+                ++s.depth;
+            } else {
+                LFM_ASSERT(s.holder == trace::kNoThread,
+                           "lock granted while held");
+                s.holder = lt.tid;
+                s.depth = 1;
+                record(EventKind::Lock, op.obj, trace::kNoObject, 0,
+                       op.label);
+            }
+            return;
+          }
+
+          case OpKind::MutexTryLock: {
+            MutexState &s = mutexes_[op.obj];
+            if (s.holder == trace::kNoThread ||
+                (s.recursive && s.holder == lt.tid)) {
+                if (s.holder == lt.tid) {
+                    ++s.depth;
+                } else {
+                    s.holder = lt.tid;
+                    s.depth = 1;
+                    record(EventKind::Lock, op.obj, trace::kNoObject,
+                           0, op.label);
+                }
+                op.auxSeq = 1; // success, read back by mutexTryLock
+            } else {
+                op.auxSeq = 0;
+            }
+            return;
+          }
+
+          case OpKind::MutexUnlock: {
+            MutexState &s = mutexes_[op.obj];
+            LFM_ASSERT(s.holder == lt.tid,
+                       "unlock of mutex not held by caller");
+            if (--s.depth == 0) {
+                s.holder = trace::kNoThread;
+                record(EventKind::Unlock, op.obj, trace::kNoObject, 0,
+                       op.label);
+            }
+            return;
+          }
+
+          case OpKind::RwRdLock: {
+            RWLockState &s = rwlocks_[op.obj];
+            LFM_ASSERT(s.writer == trace::kNoThread,
+                       "rdlock granted under writer");
+            s.readers.push_back(lt.tid);
+            record(EventKind::RdLock, op.obj, trace::kNoObject, 0,
+                   op.label);
+            return;
+          }
+
+          case OpKind::RwRdUnlock: {
+            RWLockState &s = rwlocks_[op.obj];
+            auto it =
+                std::find(s.readers.begin(), s.readers.end(), lt.tid);
+            LFM_ASSERT(it != s.readers.end(),
+                       "rdunlock without matching rdlock");
+            s.readers.erase(it);
+            record(EventKind::RdUnlock, op.obj);
+            return;
+          }
+
+          case OpKind::RwWrLock: {
+            RWLockState &s = rwlocks_[op.obj];
+            LFM_ASSERT(s.writer == trace::kNoThread &&
+                           s.readers.empty(),
+                       "wrlock granted while held");
+            s.writer = lt.tid;
+            record(EventKind::Lock, op.obj, trace::kNoObject, 0,
+                   op.label);
+            return;
+          }
+
+          case OpKind::RwWrUnlock: {
+            RWLockState &s = rwlocks_[op.obj];
+            LFM_ASSERT(s.writer == lt.tid,
+                       "wrunlock by non-writer");
+            s.writer = trace::kNoThread;
+            record(EventKind::Unlock, op.obj);
+            return;
+          }
+
+          case OpKind::WaitBegin: {
+            MutexState &s = mutexes_[op.obj2];
+            LFM_ASSERT(s.holder == lt.tid,
+                       "cond wait without holding the mutex");
+            LFM_ASSERT(s.depth == 1,
+                       "cond wait with recursive lock depth > 1");
+            s.holder = trace::kNoThread;
+            s.depth = 0;
+            record(EventKind::WaitBegin, op.obj, op.obj2, 0, op.label);
+            lt.waitArrival = ++waitArrivalCounter_;
+            PendingOp block;
+            block.kind = OpKind::WaitBlock;
+            block.obj = op.obj;
+            block.obj2 = op.obj2;
+            lt.pending = std::move(block);
+            break; // park again and resume as Reacquire
+          }
+
+          case OpKind::Reacquire: {
+            MutexState &s = mutexes_[op.obj2];
+            LFM_ASSERT(s.holder == trace::kNoThread,
+                       "reacquire granted while mutex held");
+            s.holder = lt.tid;
+            s.depth = 1;
+            record(EventKind::WaitResume, op.obj, op.obj2, op.auxSeq);
+            return;
+          }
+
+          case OpKind::SignalOne:
+          case OpKind::SignalAll: {
+            const bool broadcast = op.kind == OpKind::SignalAll;
+            const SeqNo seq =
+                record(broadcast ? EventKind::SignalAll
+                                 : EventKind::SignalOne,
+                       op.obj, trace::kNoObject, 0, op.label);
+            // Collect waiters in FIFO arrival order.
+            std::vector<LogicalThread *> waiters;
+            for (auto &other : threads_) {
+                if (other->status == ThreadStatus::AtPoint &&
+                    other->pending.kind == OpKind::WaitBlock &&
+                    other->pending.obj == op.obj)
+                    waiters.push_back(other.get());
+            }
+            std::sort(waiters.begin(), waiters.end(),
+                      [](const LogicalThread *a, const LogicalThread *b) {
+                          return a->waitArrival < b->waitArrival;
+                      });
+            const std::size_t n =
+                broadcast ? waiters.size()
+                          : std::min<std::size_t>(1, waiters.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                PendingOp wake;
+                wake.kind = OpKind::Reacquire;
+                wake.obj = waiters[i]->pending.obj;
+                wake.obj2 = waiters[i]->pending.obj2;
+                wake.auxSeq = seq;
+                waiters[i]->pending = std::move(wake);
+            }
+            return;
+          }
+
+          case OpKind::SemWait: {
+            SemState &s = sems_[op.obj];
+            LFM_ASSERT(s.count > 0, "sem wait granted at zero");
+            --s.count;
+            SeqNo matched = trace::kSpuriousWakeup;
+            if (!s.postSeqs.empty()) {
+                matched = s.postSeqs.front();
+                s.postSeqs.pop_front();
+            }
+            record(EventKind::SemWait, op.obj, trace::kNoObject,
+                   matched, op.label);
+            return;
+          }
+
+          case OpKind::SemPost: {
+            SemState &s = sems_[op.obj];
+            ++s.count;
+            const SeqNo seq = record(EventKind::SemPost, op.obj,
+                                     trace::kNoObject, 0, op.label);
+            s.postSeqs.push_back(seq);
+            return;
+          }
+
+          case OpKind::BarrierArrive: {
+            BarrierState &b = barriers_[op.obj];
+            ++b.arrived;
+            if (b.arrived < b.parties) {
+                PendingOp block;
+                block.kind = OpKind::BarrierBlock;
+                block.obj = op.obj;
+                lt.pending = std::move(block);
+                break; // park until the last party arrives
+            }
+            // Last arrival: emit one consecutive run of crossings so
+            // the happens-before builder can group the generation.
+            for (auto &other : threads_) {
+                if (other->status == ThreadStatus::AtPoint &&
+                    other->pending.kind == OpKind::BarrierBlock &&
+                    other->pending.obj == op.obj) {
+                    trace::Event event;
+                    event.thread = other->tid;
+                    event.kind = EventKind::BarrierCross;
+                    event.obj = op.obj;
+                    event.aux = b.generation;
+                    exec_.trace.append(std::move(event));
+                    PendingOp resume;
+                    resume.kind = OpKind::BarrierResume;
+                    resume.obj = op.obj;
+                    other->pending = std::move(resume);
+                }
+            }
+            record(EventKind::BarrierCross, op.obj, trace::kNoObject,
+                   b.generation);
+            ++b.generation;
+            b.arrived = 0;
+            return;
+          }
+
+          case OpKind::BarrierResume:
+            // The crossing event was already recorded by the last
+            // arriver; nothing further to do.
+            return;
+
+          case OpKind::Join: {
+            const LogicalThread &child = byTid(op.target);
+            LFM_ASSERT(child.status == ThreadStatus::Finished,
+                       "join granted before child finished");
+            record(EventKind::Join, child.objId, trace::kNoObject,
+                   child.endSeq);
+            return;
+          }
+
+          case OpKind::Spawn: {
+            const ObjectId childObj = nextObjectId_; // assigned next
+            const SeqNo seq = record(EventKind::Spawn, childObj);
+            const ThreadId child =
+                launchThread(std::move(op.label),
+                             std::move(op.spawnBody), true, seq);
+            op.target = child;
+            return;
+          }
+
+          default:
+            LFM_PANIC("unexpected op kind granted: ",
+                      opKindName(op.kind));
+        }
+        parkAgain(lk, lt);
+    }
+}
+
+// ------------------------------------------------------------------
+// Public operations (simulated-thread entry points)
+// ------------------------------------------------------------------
+
+void
+Executor::access(ObjectId cell, bool isWrite, const char *label)
+{
+    PendingOp op;
+    op.kind = isWrite ? OpKind::Write : OpKind::Read;
+    op.obj = cell;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::cellAlloc(ObjectId cell)
+{
+    PendingOp op;
+    op.kind = OpKind::Alloc;
+    op.obj = cell;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::cellFree(ObjectId cell, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::Free;
+    op.obj = cell;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::mutexLock(ObjectId m, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::MutexLock;
+    op.obj = m;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+bool
+Executor::mutexTryLock(ObjectId m, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::MutexTryLock;
+    op.obj = m;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+    std::lock_guard<std::mutex> guard(m_);
+    return self().pending.auxSeq != 0;
+}
+
+void
+Executor::mutexUnlock(ObjectId m, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::MutexUnlock;
+    op.obj = m;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::rwRdLock(ObjectId rw, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::RwRdLock;
+    op.obj = rw;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::rwRdUnlock(ObjectId rw)
+{
+    PendingOp op;
+    op.kind = OpKind::RwRdUnlock;
+    op.obj = rw;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::rwWrLock(ObjectId rw, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::RwWrLock;
+    op.obj = rw;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::rwWrUnlock(ObjectId rw)
+{
+    PendingOp op;
+    op.kind = OpKind::RwWrUnlock;
+    op.obj = rw;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::condWait(ObjectId cv, ObjectId m, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::WaitBegin;
+    op.obj = cv;
+    op.obj2 = m;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::condSignal(ObjectId cv, bool broadcast, const char *label)
+{
+    PendingOp op;
+    op.kind = broadcast ? OpKind::SignalAll : OpKind::SignalOne;
+    op.obj = cv;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::semWait(ObjectId sem, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::SemWait;
+    op.obj = sem;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::semPost(ObjectId sem, const char *label)
+{
+    PendingOp op;
+    op.kind = OpKind::SemPost;
+    op.obj = sem;
+    if (label)
+        op.label = label;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::barrierArrive(ObjectId bar)
+{
+    PendingOp op;
+    op.kind = OpKind::BarrierArrive;
+    op.obj = bar;
+    schedulePoint(std::move(op));
+}
+
+ThreadHandle
+Executor::spawn(std::string name, std::function<void()> body)
+{
+    PendingOp op;
+    op.kind = OpKind::Spawn;
+    op.label = std::move(name);
+    op.spawnBody = std::move(body);
+    schedulePoint(std::move(op));
+    // executeOp stored the child's tid back into our pending op.
+    std::lock_guard<std::mutex> guard(m_);
+    return ThreadHandle(self().pending.target);
+}
+
+void
+Executor::joinThread(ThreadId tid)
+{
+    PendingOp op;
+    op.kind = OpKind::Join;
+    op.target = tid;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::yieldNow()
+{
+    PendingOp op;
+    op.kind = OpKind::Yield;
+    schedulePoint(std::move(op));
+}
+
+void
+Executor::failureMark(std::string message)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    record(trace::EventKind::FailureMark, trace::kNoObject,
+           trace::kNoObject, 0, message);
+    exec_.failureMessages.push_back(std::move(message));
+}
+
+void
+Executor::check(bool cond, const std::string &message)
+{
+    if (!cond)
+        failureMark(message);
+}
+
+void
+ThreadHandle::join()
+{
+    LFM_ASSERT(tid_ != trace::kNoThread, "join on empty handle");
+    Executor::current().joinThread(tid_);
+}
+
+Execution
+runProgram(const ProgramFactory &factory, SchedulePolicy &policy,
+           const ExecOptions &options)
+{
+    Executor executor;
+    return executor.run(factory, policy, options);
+}
+
+} // namespace lfm::sim

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The deterministic cooperative executor.
+ *
+ * Logical threads are hosted on real std::threads but exactly one of
+ * them runs at any moment: every instrumented operation first publishes
+ * itself as the thread's PendingOp and parks until the scheduler grants
+ * the baton. The scheduler loop (running on the caller's thread)
+ * repeatedly computes the set of *enabled* pending operations, asks the
+ * SchedulePolicy to pick one, and grants that thread until it reaches
+ * its next schedule point. This makes every interleaving a pure
+ * function of the policy's decisions: replayable, enumerable, and
+ * steerable.
+ *
+ * A global block (no enabled op while live threads remain) is the
+ * simulator's notion of deadlock / lost wakeup; the executor captures
+ * the waits-for edges and aborts the execution cleanly.
+ */
+
+#ifndef LFM_SIM_EXECUTOR_HH
+#define LFM_SIM_EXECUTOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/op.hh"
+#include "sim/program.hh"
+#include "trace/ids.hh"
+
+namespace lfm::sim
+{
+
+class SchedulePolicy;
+
+/** Handle to a dynamically spawned logical thread. */
+class ThreadHandle
+{
+  public:
+    ThreadHandle() = default;
+    explicit ThreadHandle(ThreadId tid) : tid_(tid) {}
+
+    /** The logical thread id, or kNoThread for an empty handle. */
+    ThreadId tid() const { return tid_; }
+
+    /** Block (at a schedule point) until the thread finishes. */
+    void join();
+
+  private:
+    ThreadId tid_ = trace::kNoThread;
+};
+
+/**
+ * Runs Programs deterministically; see the file comment.
+ *
+ * One Executor instance serves one run() call at a time. Simulated
+ * code reaches its executor through the thread-local current().
+ */
+class Executor
+{
+  public:
+    Executor();
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** The executor the calling thread is simulating under. */
+    static Executor &current();
+
+    /** Like current(), but nullptr when not inside a simulation. */
+    static Executor *currentPtr();
+
+    /** Execute one full run of the program; see runProgram(). */
+    Execution run(const ProgramFactory &factory, SchedulePolicy &policy,
+                  const ExecOptions &options);
+
+    /**
+     * Register an instrumented object (called from handle
+     * constructors while a run is being set up or executed).
+     *
+     * @param flags trace::ObjectInfo flags, e.g. kStartsUninit
+     * @return the fresh object's id
+     */
+    ObjectId registerObject(trace::ObjectKind kind, std::string name,
+                            std::uint32_t flags = 0);
+
+    /// @name Operations invoked by simulated threads.
+    ///
+    /// The optional label names the operation for order-enforcing
+    /// schedulers and trace readers.
+    /// @{
+    void access(ObjectId cell, bool isWrite, const char *label);
+    void cellAlloc(ObjectId cell);
+    void cellFree(ObjectId cell, const char *label);
+    void mutexLock(ObjectId m, const char *label = nullptr);
+    bool mutexTryLock(ObjectId m, const char *label = nullptr);
+    void mutexUnlock(ObjectId m, const char *label = nullptr);
+    void rwRdLock(ObjectId rw, const char *label = nullptr);
+    void rwRdUnlock(ObjectId rw);
+    void rwWrLock(ObjectId rw, const char *label = nullptr);
+    void rwWrUnlock(ObjectId rw);
+    void condWait(ObjectId cv, ObjectId m, const char *label = nullptr);
+    void condSignal(ObjectId cv, bool broadcast,
+                    const char *label = nullptr);
+    void semWait(ObjectId sem, const char *label = nullptr);
+    void semPost(ObjectId sem, const char *label = nullptr);
+    void barrierArrive(ObjectId bar);
+    ThreadHandle spawn(std::string name, std::function<void()> body);
+    void joinThread(ThreadId tid);
+    void yieldNow();
+    /// @}
+
+    /**
+     * Record a bug manifestation (FailureMark event). Not a schedule
+     * point; callable from simulated threads and from oracles.
+     */
+    void failureMark(std::string message);
+
+    /** Record a failure iff cond is false (assert-style oracle). */
+    void check(bool cond, const std::string &message);
+
+    /** True when invoked from inside a simulated thread. */
+    bool insideSimThread() const;
+
+    /** Declared initial lifecycle of a cell (see SharedVar). */
+    void setCellUninitialized(ObjectId cell);
+
+    /** Configure a registered mutex as recursive. */
+    void initMutex(ObjectId m, bool recursive);
+
+    /** Set a registered semaphore's initial token count. */
+    void initSemaphore(ObjectId sem, std::int64_t count);
+
+    /** Set a registered barrier's party count. */
+    void initBarrier(ObjectId bar, int parties);
+
+  private:
+    enum class ThreadStatus : std::uint8_t
+    {
+        Starting,  ///< std::thread launched, not yet at first point
+        AtPoint,   ///< parked at a schedule point
+        Running,   ///< holds the baton
+        Finished,
+    };
+
+    struct LogicalThread
+    {
+        ThreadId tid = trace::kNoThread;
+        ObjectId objId = trace::kNoObject;
+        std::string name;
+        std::function<void()> body;
+        std::thread host;
+        ThreadStatus status = ThreadStatus::Starting;
+        PendingOp pending;
+        SeqNo spawnSeq = 0;
+        bool hasParent = false;
+        SeqNo endSeq = 0;
+        std::uint64_t waitArrival = 0;
+        bool aborted = false;
+    };
+
+    struct MutexState
+    {
+        ThreadId holder = trace::kNoThread;
+        int depth = 0;
+        bool recursive = false;
+    };
+
+    struct RWLockState
+    {
+        ThreadId writer = trace::kNoThread;
+        std::vector<ThreadId> readers;
+    };
+
+    struct SemState
+    {
+        std::int64_t count = 0;
+        std::deque<SeqNo> postSeqs;  ///< unconsumed post events
+    };
+
+    struct BarrierState
+    {
+        int parties = 1;
+        int arrived = 0;
+        std::uint64_t generation = 0;
+    };
+
+    struct CellState
+    {
+        bool initialized = true;
+        bool freed = false;
+    };
+
+    // --- scheduler-loop side -------------------------------------
+    void schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt);
+    std::vector<ChoiceRecord>
+    buildChoices(bool spuriousAllowed) const;
+    bool opEnabled(const LogicalThread &lt) const;
+    void captureWaitsFor();
+    void abortAll(std::unique_lock<std::mutex> &lk);
+    void waitQuiescent(std::unique_lock<std::mutex> &lk);
+
+    // --- simulated-thread side -----------------------------------
+    void threadMain(LogicalThread *lt);
+    /** Publish op, park, then perform it once granted. */
+    void schedulePoint(PendingOp op);
+    /** Perform lt's granted pending op; may re-park internally. */
+    void executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt);
+    void parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt);
+    LogicalThread &self();
+    LogicalThread &byTid(ThreadId tid);
+    const LogicalThread &byTid(ThreadId tid) const;
+
+    ThreadId launchThread(std::string name, std::function<void()> body,
+                          bool hasParent, SeqNo spawnSeq);
+    SeqNo record(trace::EventKind kind, ObjectId obj = trace::kNoObject,
+                 ObjectId obj2 = trace::kNoObject, std::uint64_t aux = 0,
+                 std::string label = {});
+
+    // Everything below is guarded by m_.
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<LogicalThread>> threads_;
+    ThreadId granted_ = trace::kNoThread;
+    bool abortFlag_ = false;
+    ThreadId lastRun_ = trace::kNoThread;
+    std::uint64_t nextObjectId_ = 1;
+    std::uint64_t waitArrivalCounter_ = 0;
+
+    std::map<ObjectId, MutexState> mutexes_;
+    std::map<ObjectId, RWLockState> rwlocks_;
+    std::map<ObjectId, SemState> sems_;
+    std::map<ObjectId, BarrierState> barriers_;
+    std::map<ObjectId, CellState> cells_;
+    std::map<ObjectId, ThreadId> threadObjToTid_;
+
+    Execution exec_;
+    bool running_ = false;
+};
+
+/** Thrown inside simulated threads when the execution is aborted. */
+struct ExecutionAborted
+{
+};
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_EXECUTOR_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pending-operation descriptors and scheduling-decision records.
+ *
+ * A logical thread sitting at a schedule point has published the
+ * operation it will perform next (its PendingOp). The executor computes
+ * which pending operations are enabled, and a SchedulePolicy picks one.
+ * Each decision is recorded so an execution can be replayed exactly and
+ * systematically explored.
+ */
+
+#ifndef LFM_SIM_OP_HH
+#define LFM_SIM_OP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/ids.hh"
+
+namespace lfm::sim
+{
+
+using trace::ObjectId;
+using trace::SeqNo;
+using trace::ThreadId;
+
+/** What a thread intends to do at its current schedule point. */
+enum class OpKind : std::uint8_t
+{
+    None,          ///< not at a schedule point
+    ThreadBegin,   ///< first point of a thread; always enabled
+    Yield,         ///< pure interleaving point; always enabled
+    Read,          ///< shared-cell read; always enabled
+    Write,         ///< shared-cell write; always enabled
+    Alloc,         ///< shared-cell (re)allocation; always enabled
+    Free,          ///< shared-cell free; always enabled
+    MutexLock,     ///< enabled iff mutex free (or recursively held)
+    MutexTryLock,  ///< always enabled; acquisition may fail
+    MutexUnlock,   ///< always enabled
+    RwRdLock,      ///< enabled iff no writer holds the rwlock
+    RwRdUnlock,    ///< always enabled
+    RwWrLock,      ///< enabled iff no holder at all
+    RwWrUnlock,    ///< always enabled
+    WaitBegin,     ///< cond wait entry (releases mutex); always enabled
+    WaitBlock,     ///< parked on the condvar; enabled only spuriously
+    Reacquire,     ///< woken; enabled iff the mutex is free
+    SignalOne,     ///< always enabled
+    SignalAll,     ///< always enabled
+    SemWait,       ///< enabled iff semaphore count > 0
+    SemPost,       ///< always enabled
+    BarrierArrive, ///< always enabled (may park internally)
+    BarrierBlock,  ///< parked at barrier; never directly enabled
+    BarrierResume, ///< released from the barrier; always enabled
+    Join,          ///< enabled iff the target thread finished
+    Spawn,         ///< always enabled
+};
+
+/** Printable name of an OpKind. */
+const char *opKindName(OpKind kind);
+
+/** The operation a thread has published at its schedule point. */
+struct PendingOp
+{
+    OpKind kind = OpKind::None;
+    ObjectId obj = trace::kNoObject;   ///< primary object
+    ObjectId obj2 = trace::kNoObject;  ///< e.g. the mutex of a cond wait
+    std::string label;                 ///< kernel-assigned access label
+    ThreadId target = trace::kNoThread;  ///< join target / spawned child
+    SeqNo auxSeq = 0;                  ///< waking signal seq, etc.
+    std::function<void()> spawnBody;   ///< body of a Spawn's child
+};
+
+/**
+ * One selectable alternative at a decision point. spuriousWake = true
+ * means "wake this cond-waiting thread without a signal" rather than
+ * "run this thread".
+ */
+struct ChoiceRecord
+{
+    ThreadId tid = trace::kNoThread;
+    bool spuriousWake = false;
+    OpKind kind = OpKind::None;
+    ObjectId obj = trace::kNoObject;
+    std::string label;
+};
+
+/** One recorded decision: the alternatives and which one was taken. */
+struct DecisionRecord
+{
+    std::vector<ChoiceRecord> choices;
+    std::size_t chosen = 0;
+};
+
+/** What the policy may look at when picking. */
+struct SchedView
+{
+    const std::vector<ChoiceRecord> &choices;
+    std::size_t stepIndex;      ///< index of this decision
+    ThreadId lastRun;           ///< thread granted by the previous pick
+};
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_OP_HH

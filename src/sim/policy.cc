@@ -1,0 +1,188 @@
+#include "sim/policy.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace lfm::sim
+{
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::None:          return "none";
+      case OpKind::ThreadBegin:   return "thread_begin";
+      case OpKind::Yield:         return "yield";
+      case OpKind::Read:          return "read";
+      case OpKind::Write:         return "write";
+      case OpKind::Alloc:         return "alloc";
+      case OpKind::Free:          return "free";
+      case OpKind::MutexLock:     return "lock";
+      case OpKind::MutexTryLock:  return "trylock";
+      case OpKind::MutexUnlock:   return "unlock";
+      case OpKind::RwRdLock:      return "rdlock";
+      case OpKind::RwRdUnlock:    return "rdunlock";
+      case OpKind::RwWrLock:      return "wrlock";
+      case OpKind::RwWrUnlock:    return "wrunlock";
+      case OpKind::WaitBegin:     return "wait_begin";
+      case OpKind::WaitBlock:     return "wait_block";
+      case OpKind::Reacquire:     return "reacquire";
+      case OpKind::SignalOne:     return "signal";
+      case OpKind::SignalAll:     return "broadcast";
+      case OpKind::SemWait:       return "sem_wait";
+      case OpKind::SemPost:       return "sem_post";
+      case OpKind::BarrierArrive: return "barrier_arrive";
+      case OpKind::BarrierBlock:  return "barrier_block";
+      case OpKind::BarrierResume: return "barrier_resume";
+      case OpKind::Join:          return "join";
+      case OpKind::Spawn:         return "spawn";
+    }
+    return "?";
+}
+
+void
+RandomPolicy::beginExecution(std::uint64_t seed)
+{
+    rng_ = support::Rng(seed);
+}
+
+std::size_t
+RandomPolicy::pick(const SchedView &view)
+{
+    LFM_ASSERT(!view.choices.empty(), "pick with no choices");
+    return rng_.index(view.choices.size());
+}
+
+std::size_t
+RoundRobinPolicy::pick(const SchedView &view)
+{
+    LFM_ASSERT(!view.choices.empty(), "pick with no choices");
+    // Prefer continuing the thread that ran last.
+    for (std::size_t i = 0; i < view.choices.size(); ++i) {
+        if (view.choices[i].tid == view.lastRun &&
+            !view.choices[i].spuriousWake)
+            return i;
+    }
+    // Otherwise take the next thread id after lastRun, cyclically.
+    std::size_t best = 0;
+    bool found = false;
+    ThreadId bestKey = 0;
+    for (std::size_t i = 0; i < view.choices.size(); ++i) {
+        if (view.choices[i].spuriousWake)
+            continue;
+        ThreadId key = view.choices[i].tid;
+        ThreadId rel = key > view.lastRun
+                           ? key - view.lastRun
+                           : key + 1000000 - view.lastRun;
+        if (!found || rel < bestKey) {
+            best = i;
+            bestKey = rel;
+            found = true;
+        }
+    }
+    return found ? best : 0;
+}
+
+FixedSchedulePolicy::FixedSchedulePolicy(std::vector<std::size_t> prefix,
+                                         SchedulePolicy *fallback)
+    : prefix_(std::move(prefix)), fallback_(fallback)
+{
+}
+
+void
+FixedSchedulePolicy::beginExecution(std::uint64_t seed)
+{
+    pos_ = 0;
+    diverged_ = false;
+    if (fallback_)
+        fallback_->beginExecution(seed);
+}
+
+std::size_t
+FixedSchedulePolicy::pick(const SchedView &view)
+{
+    LFM_ASSERT(!view.choices.empty(), "pick with no choices");
+    if (pos_ < prefix_.size()) {
+        std::size_t want = prefix_[pos_++];
+        if (want < view.choices.size())
+            return want;
+        diverged_ = true;
+        return 0;
+    }
+    if (fallback_)
+        return fallback_->pick(view);
+    return 0;
+}
+
+PctPolicy::PctPolicy(unsigned depth, std::size_t expectedSteps)
+    : depth_(depth == 0 ? 1 : depth), expectedSteps_(expectedSteps)
+{
+}
+
+void
+PctPolicy::beginExecution(std::uint64_t seed)
+{
+    rng_ = support::Rng(seed);
+    priority_.clear();
+    changePoints_.clear();
+    // d-1 change points uniformly over the expected execution length.
+    for (unsigned i = 0; i + 1 < depth_; ++i) {
+        changePoints_.push_back(
+            static_cast<std::size_t>(rng_.below(expectedSteps_ + 1)));
+    }
+    std::sort(changePoints_.begin(), changePoints_.end());
+    nextLowPriority_ = 0;
+}
+
+std::uint64_t
+PctPolicy::priorityOf(ThreadId tid)
+{
+    const auto i = static_cast<std::size_t>(tid);
+    while (priority_.size() <= i) {
+        // Fresh threads get a random high priority band; low band
+        // (values < 1000) is reserved for demoted threads.
+        priority_.push_back(1000 + rng_.below(1000000));
+    }
+    return priority_[i];
+}
+
+std::size_t
+PctPolicy::pick(const SchedView &view)
+{
+    LFM_ASSERT(!view.choices.empty(), "pick with no choices");
+
+    // At a change point, demote the highest-priority enabled thread.
+    while (!changePoints_.empty() &&
+           view.stepIndex >= changePoints_.front()) {
+        changePoints_.erase(changePoints_.begin());
+        std::size_t hi = 0;
+        std::uint64_t hiPrio = 0;
+        for (std::size_t i = 0; i < view.choices.size(); ++i) {
+            std::uint64_t p = priorityOf(view.choices[i].tid);
+            if (i == 0 || p > hiPrio) {
+                hi = i;
+                hiPrio = p;
+            }
+        }
+        priority_[static_cast<std::size_t>(view.choices[hi].tid)] =
+            nextLowPriority_++;
+    }
+
+    std::size_t best = 0;
+    std::uint64_t bestPrio = 0;
+    for (std::size_t i = 0; i < view.choices.size(); ++i) {
+        std::uint64_t p = priorityOf(view.choices[i].tid);
+        // Spurious wakeups are de-prioritised: only taken when they
+        // are the sole alternative.
+        if (view.choices[i].spuriousWake)
+            p = 0;
+        if (i == 0 || p > bestPrio) {
+            best = i;
+            bestPrio = p;
+        }
+    }
+    return best;
+}
+
+} // namespace lfm::sim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Schedule policies: the pluggable "who runs next" strategies.
+ *
+ * A policy is consulted at every decision point of an execution with
+ * the full list of enabled alternatives. Policies must be deterministic
+ * functions of (seed, history) so executions are replayable.
+ */
+
+#ifndef LFM_SIM_POLICY_HH
+#define LFM_SIM_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/op.hh"
+#include "support/random.hh"
+
+namespace lfm::sim
+{
+
+/** Strategy interface consulted at every scheduling decision. */
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    /** Called once before each execution; seed varies per run. */
+    virtual void beginExecution(std::uint64_t seed) { (void)seed; }
+
+    /**
+     * Pick one alternative.
+     *
+     * @param view the enabled alternatives plus step context
+     * @return index into view.choices
+     */
+    virtual std::size_t pick(const SchedView &view) = 0;
+
+    /** Short policy name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Uniformly random choice; the baseline stress-testing scheduler. */
+class RandomPolicy : public SchedulePolicy
+{
+  public:
+    void beginExecution(std::uint64_t seed) override;
+    std::size_t pick(const SchedView &view) override;
+    const char *name() const override { return "random"; }
+
+  private:
+    support::Rng rng_{1};
+};
+
+/**
+ * Keep running the current thread while it stays enabled; rotate
+ * otherwise. Approximates the "lucky" schedule that hides most
+ * concurrency bugs, which makes it the natural baseline for
+ * manifestation-rate experiments.
+ */
+class RoundRobinPolicy : public SchedulePolicy
+{
+  public:
+    std::size_t pick(const SchedView &view) override;
+    const char *name() const override { return "round-robin"; }
+};
+
+/**
+ * Replay a recorded decision sequence, then fall back to an inner
+ * policy (first-choice when none given). The workhorse of systematic
+ * exploration.
+ */
+class FixedSchedulePolicy : public SchedulePolicy
+{
+  public:
+    explicit FixedSchedulePolicy(std::vector<std::size_t> prefix,
+                                 SchedulePolicy *fallback = nullptr);
+
+    void beginExecution(std::uint64_t seed) override;
+    std::size_t pick(const SchedView &view) override;
+    const char *name() const override { return "fixed"; }
+
+    /** True once a pick diverged because the recorded index was
+     * out of range for the offered choice list. */
+    bool diverged() const { return diverged_; }
+
+  private:
+    std::vector<std::size_t> prefix_;
+    SchedulePolicy *fallback_;
+    std::size_t pos_ = 0;
+    bool diverged_ = false;
+};
+
+/**
+ * PCT (probabilistic concurrency testing): random thread priorities
+ * with d-1 priority change points. Gives the classic probabilistic
+ * guarantee of hitting any depth-d ordering bug.
+ */
+class PctPolicy : public SchedulePolicy
+{
+  public:
+    /**
+     * @param depth bug depth budget d (number of change points + 1)
+     * @param expectedSteps rough execution length used to place
+     *        change points
+     */
+    explicit PctPolicy(unsigned depth = 3,
+                       std::size_t expectedSteps = 64);
+
+    void beginExecution(std::uint64_t seed) override;
+    std::size_t pick(const SchedView &view) override;
+    const char *name() const override { return "pct"; }
+
+  private:
+    unsigned depth_;
+    std::size_t expectedSteps_;
+    support::Rng rng_{1};
+    std::vector<std::uint64_t> priority_;   // indexed by ThreadId
+    std::vector<std::size_t> changePoints_; // sorted step indices
+    std::uint64_t nextLowPriority_ = 0;
+
+    std::uint64_t priorityOf(ThreadId tid);
+};
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_POLICY_HH

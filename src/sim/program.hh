@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Program and Execution: what the simulator runs and what it returns.
+ *
+ * A Program is one *instance* of a concurrent workload: fresh shared
+ * state captured by its thread bodies plus an oracle that inspects the
+ * final state. Because systematic exploration re-runs a workload many
+ * times, callers hand the runner a ProgramFactory that builds a fresh
+ * instance per execution.
+ */
+
+#ifndef LFM_SIM_PROGRAM_HH
+#define LFM_SIM_PROGRAM_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/op.hh"
+#include "trace/trace.hh"
+
+namespace lfm::sim
+{
+
+/** One root thread of a program: display name plus body. */
+struct ThreadSpec
+{
+    std::string name;
+    std::function<void()> body;
+};
+
+/** A fresh instance of a concurrent workload. */
+struct Program
+{
+    std::vector<ThreadSpec> threads;
+
+    /**
+     * Invoked after the execution ends (also after deadlock/abort);
+     * returns a failure description, or nullopt when the final state
+     * is acceptable. May be empty.
+     */
+    std::function<std::optional<std::string>()> oracle;
+};
+
+/** Builds a fresh Program instance; called once per execution. */
+using ProgramFactory = std::function<Program()>;
+
+/** Knobs for one execution. */
+struct ExecOptions
+{
+    /** Abort the execution after this many scheduling decisions. */
+    std::size_t maxDecisions = 100000;
+
+    /** Allow the scheduler to wake cond-waiters without a signal. */
+    bool spuriousWakeups = false;
+
+    /** Seed forwarded to the policy's beginExecution. */
+    std::uint64_t seed = 1;
+};
+
+/** Why a blocked thread cannot make progress (deadlock reporting). */
+struct WaitsForEdge
+{
+    ThreadId thread = trace::kNoThread;
+    OpKind wants = OpKind::None;
+    ObjectId obj = trace::kNoObject;
+    /** Current owner of obj, when the object has a single owner. */
+    ThreadId holder = trace::kNoThread;
+};
+
+/** Everything one execution produced. */
+struct Execution
+{
+    trace::Trace trace;
+
+    /** True when live threads remained but none was enabled. */
+    bool deadlocked = false;
+
+    /** The blocked threads at the moment of the global block. */
+    std::vector<WaitsForEdge> blockedThreads;
+
+    /** True when maxDecisions was exhausted (livelock guard). */
+    bool stepLimitHit = false;
+
+    /** Every decision taken, for replay and systematic search. */
+    std::vector<DecisionRecord> decisions;
+
+    /** Messages of all FailureMark events, in order. */
+    std::vector<std::string> failureMessages;
+
+    /** The oracle's verdict (nullopt when clean or absent). */
+    std::optional<std::string> oracleFailure;
+
+    /** True when anything went wrong: failure mark, deadlock,
+     * or oracle complaint. */
+    bool
+    failed() const
+    {
+        return deadlocked || !failureMessages.empty() ||
+               oracleFailure.has_value();
+    }
+
+    /** Number of scheduling decisions taken. */
+    std::size_t steps() const { return decisions.size(); }
+};
+
+class SchedulePolicy;
+
+/**
+ * Run one execution of the program under the given policy.
+ *
+ * Deterministic: the same (factory, policy, options.seed) triple
+ * always yields the identical trace and decision sequence.
+ */
+Execution runProgram(const ProgramFactory &factory,
+                     SchedulePolicy &policy,
+                     const ExecOptions &options = {});
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_PROGRAM_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Instrumented shared memory.
+ *
+ * SharedVar<T> is the unit of "shared variable" the study counts: every
+ * get/set is a schedule point and a trace event, optionally tagged with
+ * a kernel-assigned label so order-enforcing schedulers can steer the
+ * interleaving. A variable also carries a lifecycle (uninitialized /
+ * live / freed) so order-violation and use-after-free bugs are
+ * observable in traces.
+ *
+ * Oracles and setup code use peek()/poke(), which touch the value
+ * without scheduling or tracing.
+ */
+
+#ifndef LFM_SIM_SHARED_HH
+#define LFM_SIM_SHARED_HH
+
+#include <string>
+
+#include "sim/executor.hh"
+#include "trace/trace.hh"
+
+namespace lfm::sim
+{
+
+/** Tag type selecting an uninitialized SharedVar. */
+struct Uninit
+{
+};
+
+/** Inline constant for the Uninit tag. */
+inline constexpr Uninit kUninit{};
+
+/**
+ * One instrumented shared variable of value type T.
+ */
+template <typename T>
+class SharedVar
+{
+  public:
+    /** A variable that starts initialized with the given value. */
+    SharedVar(std::string name, T initial)
+        : id_(Executor::current().registerObject(
+              trace::ObjectKind::Variable, std::move(name))),
+          value_(std::move(initial))
+    {
+    }
+
+    /** A variable that starts *uninitialized*: a read before any
+     * write is an order-violation observable in the trace. */
+    SharedVar(std::string name, Uninit)
+        : id_(Executor::current().registerObject(
+              trace::ObjectKind::Variable, std::move(name),
+              trace::kStartsUninit)),
+          value_()
+    {
+    }
+
+    /** Instrumented read (schedule point + Read event). */
+    T
+    get(const char *label = nullptr)
+    {
+        Executor::current().access(id_, false, label);
+        return value_;
+    }
+
+    /** Instrumented write (schedule point + Write event). */
+    void
+    set(T v, const char *label = nullptr)
+    {
+        Executor::current().access(id_, true, label);
+        value_ = std::move(v);
+    }
+
+    /** Read-modify-write as two instrumented halves (not atomic —
+     * exactly the racy increment the studied bugs perform). */
+    T
+    add(T delta, const char *readLabel = nullptr,
+        const char *writeLabel = nullptr)
+    {
+        T tmp = get(readLabel);
+        tmp = tmp + delta;
+        set(tmp, writeLabel);
+        return tmp;
+    }
+
+    /** Free the variable; later accesses are use-after-free. */
+    void
+    free(const char *label = nullptr)
+    {
+        Executor::current().cellFree(id_, label);
+    }
+
+    /** Re-allocate: live again but uninitialized until written. */
+    void
+    realloc()
+    {
+        Executor::current().cellAlloc(id_);
+    }
+
+    /** Untraced read for oracles and setup code. */
+    const T &peek() const { return value_; }
+
+    /** Untraced write for setup code. */
+    void poke(T v) { value_ = std::move(v); }
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+    T value_;
+};
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_SHARED_HH

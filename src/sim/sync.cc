@@ -1,0 +1,148 @@
+#include "sim/sync.hh"
+
+namespace lfm::sim
+{
+
+SimMutex::SimMutex(std::string name, bool recursive)
+    : id_(Executor::current().registerObject(trace::ObjectKind::Mutex,
+                                             std::move(name)))
+{
+    Executor::current().initMutex(id_, recursive);
+}
+
+void
+SimMutex::lock(const char *label)
+{
+    Executor::current().mutexLock(id_, label);
+}
+
+bool
+SimMutex::tryLock(const char *label)
+{
+    return Executor::current().mutexTryLock(id_, label);
+}
+
+void
+SimMutex::unlock(const char *label)
+{
+    Executor::current().mutexUnlock(id_, label);
+}
+
+SimRWLock::SimRWLock(std::string name)
+    : id_(Executor::current().registerObject(trace::ObjectKind::RWLock,
+                                             std::move(name)))
+{
+}
+
+void
+SimRWLock::rdLock(const char *label)
+{
+    Executor::current().rwRdLock(id_, label);
+}
+
+void
+SimRWLock::rdUnlock()
+{
+    Executor::current().rwRdUnlock(id_);
+}
+
+void
+SimRWLock::wrLock(const char *label)
+{
+    Executor::current().rwWrLock(id_, label);
+}
+
+void
+SimRWLock::wrUnlock()
+{
+    Executor::current().rwWrUnlock(id_);
+}
+
+SimCondVar::SimCondVar(std::string name)
+    : id_(Executor::current().registerObject(trace::ObjectKind::CondVar,
+                                             std::move(name)))
+{
+}
+
+void
+SimCondVar::wait(SimMutex &m, const char *label)
+{
+    Executor::current().condWait(id_, m.id(), label);
+}
+
+void
+SimCondVar::waitWhile(SimMutex &m, const std::function<bool()> &pred)
+{
+    while (pred())
+        wait(m);
+}
+
+void
+SimCondVar::signal(const char *label)
+{
+    Executor::current().condSignal(id_, false, label);
+}
+
+void
+SimCondVar::broadcast(const char *label)
+{
+    Executor::current().condSignal(id_, true, label);
+}
+
+SimSemaphore::SimSemaphore(std::string name, std::int64_t initial)
+    : id_(Executor::current().registerObject(
+          trace::ObjectKind::Semaphore, std::move(name)))
+{
+    Executor::current().initSemaphore(id_, initial);
+}
+
+void
+SimSemaphore::wait(const char *label)
+{
+    Executor::current().semWait(id_, label);
+}
+
+void
+SimSemaphore::post(const char *label)
+{
+    Executor::current().semPost(id_, label);
+}
+
+SimBarrier::SimBarrier(std::string name, int parties)
+    : id_(Executor::current().registerObject(trace::ObjectKind::Barrier,
+                                             std::move(name)))
+{
+    Executor::current().initBarrier(id_, parties);
+}
+
+void
+SimBarrier::arrive()
+{
+    Executor::current().barrierArrive(id_);
+}
+
+ThreadHandle
+spawnThread(std::string name, std::function<void()> body)
+{
+    return Executor::current().spawn(std::move(name), std::move(body));
+}
+
+void
+yieldNow()
+{
+    Executor::current().yieldNow();
+}
+
+void
+bugManifested(const std::string &message)
+{
+    Executor::current().failureMark(message);
+}
+
+void
+simCheck(bool cond, const std::string &message)
+{
+    Executor::current().check(cond, message);
+}
+
+} // namespace lfm::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Synchronization handles for simulated code.
+ *
+ * These are the primitives the studied applications use: mutexes
+ * (pthread_mutex), reader-writer locks, condition variables,
+ * semaphores, barriers, and dynamic thread creation. Each handle is a
+ * lightweight id bound to the executor of the run that constructed it;
+ * all semantics live in the Executor so interleavings stay fully under
+ * scheduler control.
+ *
+ * Handles must be constructed inside a run (program factory or
+ * simulated thread) and must not outlive it.
+ */
+
+#ifndef LFM_SIM_SYNC_HH
+#define LFM_SIM_SYNC_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/executor.hh"
+
+namespace lfm::sim
+{
+
+/** A non-recursive (by default) mutex, pthread_mutex-style. */
+class SimMutex
+{
+  public:
+    /**
+     * @param name display name used in traces and reports
+     * @param recursive allow nested lock() by the owner
+     */
+    explicit SimMutex(std::string name = "mutex", bool recursive = false);
+
+    /** Acquire; blocks (a schedule point) while held by another
+     * thread. Self-relock of a non-recursive mutex deadlocks, exactly
+     * like PTHREAD_MUTEX_DEFAULT. */
+    void lock(const char *label = nullptr);
+
+    /** Non-blocking acquire; @return true when the lock was taken. */
+    bool tryLock(const char *label = nullptr);
+
+    /** Release; must be called by the owner. */
+    void unlock(const char *label = nullptr);
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+};
+
+/** RAII lock guard for SimMutex. */
+class SimLock
+{
+  public:
+    explicit SimLock(SimMutex &m) : m_(m) { m_.lock(); }
+    ~SimLock() { m_.unlock(); }
+
+    SimLock(const SimLock &) = delete;
+    SimLock &operator=(const SimLock &) = delete;
+
+  private:
+    SimMutex &m_;
+};
+
+/** Reader-writer lock; write side excludes everyone. */
+class SimRWLock
+{
+  public:
+    explicit SimRWLock(std::string name = "rwlock");
+
+    void rdLock(const char *label = nullptr);
+    void rdUnlock();
+    void wrLock(const char *label = nullptr);
+    void wrUnlock();
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+};
+
+/** Condition variable; always used with a SimMutex. */
+class SimCondVar
+{
+  public:
+    explicit SimCondVar(std::string name = "cond");
+
+    /**
+     * Atomically release m, park until signalled (or spuriously woken
+     * when the run allows it), then reacquire m. The caller must hold
+     * m with depth exactly 1.
+     */
+    void wait(SimMutex &m, const char *label = nullptr);
+
+    /** while (pred()) wait(m); — the correct usage pattern. */
+    void waitWhile(SimMutex &m, const std::function<bool()> &pred);
+
+    /** Wake one waiter (no-op when none: signals are not saved). */
+    void signal(const char *label = nullptr);
+
+    /** Wake all waiters. */
+    void broadcast(const char *label = nullptr);
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+};
+
+/** Counting semaphore. */
+class SimSemaphore
+{
+  public:
+    SimSemaphore(std::string name, std::int64_t initial);
+    explicit SimSemaphore(std::int64_t initial)
+        : SimSemaphore("sem", initial)
+    {
+    }
+
+    /** Decrement; blocks while the count is zero. */
+    void wait(const char *label = nullptr);
+
+    /** Increment and possibly release a waiter. */
+    void post(const char *label = nullptr);
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+};
+
+/** Cyclic barrier over a fixed number of parties. */
+class SimBarrier
+{
+  public:
+    SimBarrier(std::string name, int parties);
+    explicit SimBarrier(int parties) : SimBarrier("barrier", parties) {}
+
+    /** Park until all parties arrived; then everyone proceeds. */
+    void arrive();
+
+    ObjectId id() const { return id_; }
+
+  private:
+    ObjectId id_;
+};
+
+/** Spawn a new logical thread from inside a simulated thread. */
+ThreadHandle spawnThread(std::string name, std::function<void()> body);
+
+/** Pure schedule point: lets the scheduler interleave here. */
+void yieldNow();
+
+/**
+ * Record a bug manifestation observed by kernel code. This is how a
+ * kernel reports "the corruption/crash the real bug caused just
+ * happened in this interleaving".
+ */
+void bugManifested(const std::string &message);
+
+/** bugManifested(message) iff cond is false. */
+void simCheck(bool cond, const std::string &message);
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_SYNC_HH

@@ -1,0 +1,102 @@
+#include "stm/stm.hh"
+
+#include <algorithm>
+
+#include "sim/sync.hh"
+#include "support/logging.hh"
+
+namespace lfm::stm
+{
+
+void
+Txn::begin()
+{
+    snapshot_ = space_.clock_;
+    writeSet_.clear();
+    readSet_.clear();
+}
+
+std::int64_t
+Txn::read(TVar &var)
+{
+    auto it = writeSet_.find(&var);
+    if (it != writeSet_.end())
+        return it->second;
+    if (space_.commitLock_ || var.version_ > snapshot_) {
+        ++space_.aborts_;
+        throw TxConflict{};
+    }
+    const std::int64_t value = var.value_.get();
+    // Re-check: the instrumented read is a schedule point, so a
+    // competing commit may have slipped in.
+    if (space_.commitLock_ || var.version_ > snapshot_) {
+        ++space_.aborts_;
+        throw TxConflict{};
+    }
+    if (std::find(readSet_.begin(), readSet_.end(), &var) ==
+        readSet_.end())
+        readSet_.push_back(&var);
+    return value;
+}
+
+void
+Txn::write(TVar &var, std::int64_t value)
+{
+    writeSet_[&var] = value;
+}
+
+bool
+Txn::commit()
+{
+    // Another committer is mid-publish: conflict out conservatively.
+    if (space_.commitLock_) {
+        ++space_.aborts_;
+        return false;
+    }
+    // Validate the read set against the snapshot.
+    for (TVar *var : readSet_) {
+        if (var->version_ > snapshot_) {
+            ++space_.aborts_;
+            return false;
+        }
+    }
+    if (writeSet_.empty()) {
+        ++space_.commits_;
+        return true;
+    }
+    // Take the commit token and advance versions *before* the traced
+    // publishing writes (which are schedule points): any transaction
+    // that runs inside the publish window sees the token or a bumped
+    // version and conflicts out, so no one observes a torn commit.
+    space_.commitLock_ = true;
+    const std::uint64_t commitVersion = ++space_.clock_;
+    for (auto &[var, value] : writeSet_) {
+        (void)value;
+        var->version_ = commitVersion;
+    }
+    for (auto &[var, value] : writeSet_)
+        var->value_.set(value);
+    space_.commitLock_ = false;
+    ++space_.commits_;
+    return true;
+}
+
+void
+atomically(StmSpace &space, const std::function<void(Txn &)> &body)
+{
+    Txn tx(space);
+    for (;;) {
+        tx.begin();
+        try {
+            body(tx);
+            if (tx.commit())
+                return;
+        } catch (const TxConflict &) {
+            // fall through to retry
+        }
+        // Let the scheduler run the conflicting peer before retrying.
+        sim::yieldNow();
+    }
+}
+
+} // namespace lfm::stm

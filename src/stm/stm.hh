@@ -1,0 +1,152 @@
+/**
+ * @file
+ * A word-based software transactional memory (TL2-lite).
+ *
+ * The study's §"implications for transactional memory" argues that a
+ * large fraction of the examined bugs would disappear if the buggy
+ * region were a transaction: atomicity violations by construction,
+ * and many order violations via retry. This module makes that claim
+ * executable: kernels get a TmFixed variant whose critical region
+ * runs under atomically(), and the benches verify the bug no longer
+ * manifests under any explored schedule.
+ *
+ * Design: lazy versioning (write-back) with a global version clock.
+ * Reads validate against the transaction's snapshot; commits
+ * re-validate the read set, then publish buffered writes and advance
+ * the clock. Underlying storage is instrumented SharedVar<int64_t>,
+ * so transactional executions still produce analyzable traces.
+ */
+
+#ifndef LFM_STM_STM_HH
+#define LFM_STM_STM_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/shared.hh"
+
+namespace lfm::stm
+{
+
+class Txn;
+
+/** One transactional variable. */
+class TVar
+{
+  public:
+    /** Create inside a run (like SharedVar). */
+    TVar(std::string name, std::int64_t initial)
+        : value_(std::move(name), initial)
+    {
+    }
+
+    /** Untraced read for oracles. */
+    std::int64_t peek() const { return value_.peek(); }
+
+    /** Non-transactional instrumented access — this is exactly the
+     * unprotected access a buggy kernel performs. */
+    std::int64_t
+    readPlain(const char *label = nullptr)
+    {
+        return value_.get(label);
+    }
+
+    /** Non-transactional instrumented write. */
+    void
+    writePlain(std::int64_t v, const char *label = nullptr)
+    {
+        value_.set(v, label);
+    }
+
+  private:
+    friend class Txn;
+    sim::SharedVar<std::int64_t> value_;
+    std::uint64_t version_ = 0;
+};
+
+/** Shared STM metadata: the global version clock. */
+class StmSpace
+{
+  public:
+    StmSpace() = default;
+
+  private:
+    friend class Txn;
+    std::uint64_t clock_ = 0;
+    std::uint64_t commits_ = 0;
+    std::uint64_t aborts_ = 0;
+    /** Commit token: held across publish, which contains schedule
+     * points; readers and committers that observe it conflict out.
+     * Plain field: simulated threads are serialized by the executor,
+     * and the flag only changes while the holder runs. */
+    bool commitLock_ = false;
+
+  public:
+    /** Number of committed transactions so far. */
+    std::uint64_t commits() const { return commits_; }
+
+    /** Number of aborted (retried) transaction attempts so far. */
+    std::uint64_t aborts() const { return aborts_; }
+};
+
+/** Thrown by Txn::read on snapshot violation; atomically() retries. */
+struct TxConflict
+{
+};
+
+/**
+ * One transaction attempt. Use through atomically() unless a test
+ * needs to drive the lifecycle manually.
+ */
+class Txn
+{
+  public:
+    explicit Txn(StmSpace &space) : space_(space) {}
+
+    /** Start an attempt: snapshot the global clock. */
+    void begin();
+
+    /**
+     * Transactional read.
+     * @throws TxConflict when the variable changed after snapshot
+     */
+    std::int64_t read(TVar &var);
+
+    /** Transactional (buffered) write. */
+    void write(TVar &var, std::int64_t value);
+
+    /** read-modify-write convenience. */
+    void
+    add(TVar &var, std::int64_t delta)
+    {
+        write(var, read(var) + delta);
+    }
+
+    /**
+     * Validate and publish.
+     * @return true on commit; false when the read set went stale
+     *         (the attempt must be retried)
+     */
+    bool commit();
+
+  private:
+    StmSpace &space_;
+    std::uint64_t snapshot_ = 0;
+    std::map<TVar *, std::int64_t> writeSet_;
+    std::vector<TVar *> readSet_;
+};
+
+/**
+ * Run the body as a transaction, retrying on conflict until it
+ * commits. The body must be idempotent apart from its transactional
+ * reads/writes.
+ */
+void atomically(StmSpace &space, const std::function<void(Txn &)> &body);
+
+} // namespace lfm::stm
+
+#endif // LFM_STM_STM_HH

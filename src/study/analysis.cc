@@ -1,0 +1,214 @@
+#include "study/analysis.hh"
+
+namespace lfm::study
+{
+
+Analysis::Analysis(const Database &db) : db_(db)
+{
+    for (const auto &r : db_.records()) {
+        threads_.add(r.threads);
+        if (r.isDeadlock()) {
+            resources_.add(r.resources);
+        } else {
+            variables_.add(r.variables);
+        }
+        accesses_.add(r.accesses);
+    }
+}
+
+std::vector<AppRow>
+Analysis::appTable() const
+{
+    std::vector<AppRow> rows;
+    for (App app : kAllApps) {
+        AppRow row;
+        row.app = app;
+        for (const auto *r : db_.byApp(app)) {
+            if (r->isDeadlock())
+                ++row.deadlock;
+            else
+                ++row.nonDeadlock;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+int
+Analysis::totalBugs() const
+{
+    return static_cast<int>(db_.size());
+}
+
+int
+Analysis::totalNonDeadlock() const
+{
+    return static_cast<int>(db_.byType(BugType::NonDeadlock).size());
+}
+
+int
+Analysis::totalDeadlock() const
+{
+    return static_cast<int>(db_.byType(BugType::Deadlock).size());
+}
+
+std::vector<PatternRow>
+Analysis::patternTable() const
+{
+    std::vector<PatternRow> rows;
+    for (App app : kAllApps) {
+        PatternRow row;
+        row.app = app;
+        for (const auto *r : db_.byApp(app)) {
+            if (r->isDeadlock())
+                continue;
+            const bool a = r->hasPattern(Pattern::Atomicity);
+            const bool o = r->hasPattern(Pattern::Order);
+            if (a && o)
+                ++row.both;
+            else if (a)
+                ++row.atomicityOnly;
+            else if (o)
+                ++row.orderOnly;
+            else
+                ++row.other;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+int
+Analysis::withPattern(Pattern p) const
+{
+    int n = 0;
+    for (const auto &r : db_.records()) {
+        if (!r.isDeadlock() && r.hasPattern(p))
+            ++n;
+    }
+    return n;
+}
+
+int
+Analysis::atomicityOrOrder() const
+{
+    int n = 0;
+    for (const auto &r : db_.records()) {
+        if (!r.isDeadlock() && (r.hasPattern(Pattern::Atomicity) ||
+                                r.hasPattern(Pattern::Order)))
+            ++n;
+    }
+    return n;
+}
+
+int
+Analysis::atMostTwoThreads() const
+{
+    return static_cast<int>(threads_.atMost(2));
+}
+
+int
+Analysis::singleVariable() const
+{
+    return static_cast<int>(variables_.at(1));
+}
+
+int
+Analysis::atMostFourAccesses() const
+{
+    return static_cast<int>(accesses_.atMost(4));
+}
+
+int
+Analysis::atMostTwoResources() const
+{
+    return static_cast<int>(resources_.atMost(2));
+}
+
+std::vector<NdFixRow>
+Analysis::ndFixTable() const
+{
+    std::vector<NdFixRow> rows;
+    for (NonDeadlockFix fix : kAllNonDeadlockFixes) {
+        NdFixRow row;
+        row.fix = fix;
+        for (const auto &r : db_.records()) {
+            if (r.isDeadlock() || r.ndFix != fix)
+                continue;
+            ++row.total;
+            if (r.hasPattern(Pattern::Atomicity))
+                ++row.atomicity;
+            if (r.hasPattern(Pattern::Order))
+                ++row.order;
+            if (r.hasPattern(Pattern::Other))
+                ++row.other;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::map<DeadlockFix, int>
+Analysis::dlFixTable() const
+{
+    std::map<DeadlockFix, int> table;
+    for (DeadlockFix fix : kAllDeadlockFixes)
+        table[fix] = 0;
+    for (const auto &r : db_.records()) {
+        if (r.isDeadlock())
+            ++table[r.dlFix];
+    }
+    return table;
+}
+
+int
+Analysis::fixedBy(NonDeadlockFix fix) const
+{
+    int n = 0;
+    for (const auto &r : db_.records()) {
+        if (!r.isDeadlock() && r.ndFix == fix)
+            ++n;
+    }
+    return n;
+}
+
+int
+Analysis::fixedBy(DeadlockFix fix) const
+{
+    int n = 0;
+    for (const auto &r : db_.records()) {
+        if (r.isDeadlock() && r.dlFix == fix)
+            ++n;
+    }
+    return n;
+}
+
+int
+Analysis::buggyPatches() const
+{
+    int n = 0;
+    for (const auto &r : db_.records()) {
+        if (r.patchAttempts > 1)
+            ++n;
+    }
+    return n;
+}
+
+std::map<TmHelp, int>
+Analysis::tmTable() const
+{
+    std::map<TmHelp, int> table{{TmHelp::Yes, 0},
+                                {TmHelp::Maybe, 0},
+                                {TmHelp::No, 0}};
+    for (const auto &r : db_.records())
+        ++table[r.tm];
+    return table;
+}
+
+int
+Analysis::tmHelpable() const
+{
+    return tmTable().at(TmHelp::Yes);
+}
+
+} // namespace lfm::study

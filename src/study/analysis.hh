@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The study's aggregations: every table of the paper computed from
+ * the database (never hard-coded), so the bench binaries regenerate
+ * rather than replay the published numbers.
+ */
+
+#ifndef LFM_STUDY_ANALYSIS_HH
+#define LFM_STUDY_ANALYSIS_HH
+
+#include <map>
+
+#include "study/database.hh"
+#include "support/stats.hh"
+
+namespace lfm::study
+{
+
+/** Table 1 row: one application's examined bugs. */
+struct AppRow
+{
+    App app = App::Mozilla;
+    int nonDeadlock = 0;
+    int deadlock = 0;
+
+    int total() const { return nonDeadlock + deadlock; }
+};
+
+/** Table 2 row: one application's non-deadlock pattern split. */
+struct PatternRow
+{
+    App app = App::Mozilla;
+    int atomicityOnly = 0;
+    int orderOnly = 0;
+    int both = 0;
+    int other = 0;
+
+    int total() const
+    {
+        return atomicityOnly + orderOnly + both + other;
+    }
+};
+
+/** Fix-strategy counts split by pattern (Table 7). */
+struct NdFixRow
+{
+    NonDeadlockFix fix = NonDeadlockFix::Other;
+    int atomicity = 0;  ///< bugs exhibiting the atomicity pattern
+    int order = 0;      ///< bugs exhibiting the order pattern
+    int other = 0;
+    int total = 0;
+};
+
+/** Computes every aggregate of the study over a Database. */
+class Analysis
+{
+  public:
+    explicit Analysis(const Database &db);
+
+    /// @name Table 1: applications.
+    /// @{
+    std::vector<AppRow> appTable() const;
+    int totalBugs() const;
+    int totalNonDeadlock() const;
+    int totalDeadlock() const;
+    /// @}
+
+    /// @name Table 2: non-deadlock bug patterns.
+    /// @{
+    std::vector<PatternRow> patternTable() const;
+    int withPattern(Pattern p) const;
+    /** Bugs that are atomicity or order (or both). */
+    int atomicityOrOrder() const;
+    /// @}
+
+    /// @name Table 3: threads involved in manifestation.
+    /// @{
+    const support::IntHistogram &threadsHistogram() const
+    {
+        return threads_;
+    }
+    int atMostTwoThreads() const;
+    /// @}
+
+    /// @name Table 4: variables involved (non-deadlock).
+    /// @{
+    const support::IntHistogram &variablesHistogram() const
+    {
+        return variables_;
+    }
+    int singleVariable() const;
+    /// @}
+
+    /// @name Table 5: accesses whose order guarantees manifestation.
+    /// @{
+    const support::IntHistogram &accessesHistogram() const
+    {
+        return accesses_;
+    }
+    int atMostFourAccesses() const;
+    /// @}
+
+    /// @name Table 6: resources involved (deadlock).
+    /// @{
+    const support::IntHistogram &resourcesHistogram() const
+    {
+        return resources_;
+    }
+    int atMostTwoResources() const;
+    /// @}
+
+    /// @name Tables 7 and 8: fix strategies.
+    /// @{
+    std::vector<NdFixRow> ndFixTable() const;
+    std::map<DeadlockFix, int> dlFixTable() const;
+    int fixedBy(NonDeadlockFix fix) const;
+    int fixedBy(DeadlockFix fix) const;
+    /// @}
+
+    /// @name Buggy patches and TM applicability.
+    /// @{
+    int buggyPatches() const;  ///< records needing >1 patch attempt
+    std::map<TmHelp, int> tmTable() const;
+    int tmHelpable() const;    ///< TmHelp::Yes
+    /// @}
+
+  private:
+    const Database &db_;
+    support::IntHistogram threads_;
+    support::IntHistogram variables_;
+    support::IntHistogram accesses_;
+    support::IntHistogram resources_;
+};
+
+} // namespace lfm::study
+
+#endif // LFM_STUDY_ANALYSIS_HH

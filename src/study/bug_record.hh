@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One examined bug of the study, with every characteristic the
+ * paper's tables aggregate over.
+ */
+
+#ifndef LFM_STUDY_BUG_RECORD_HH
+#define LFM_STUDY_BUG_RECORD_HH
+
+#include <set>
+#include <string>
+
+#include "study/taxonomy.hh"
+
+namespace lfm::study
+{
+
+/**
+ * One of the 105 examined concurrency bugs.
+ *
+ * For non-deadlock bugs, `variables` and `accesses` describe the
+ * manifestation condition (how many shared variables are involved and
+ * how many memory accesses must be ordered for the bug to fire); for
+ * deadlock bugs, `resources` and `accesses` count the resources and
+ * the acquisition/release operations whose order matters.
+ */
+struct BugRecord
+{
+    /** Stable internal id, e.g. "mozilla-07". */
+    std::string id;
+
+    /** Citable report id when the record is anchored to a real,
+     * publicly documented bug (e.g. "Mozilla#73761"); empty for
+     * records reconstructed from the study's aggregate counts. */
+    std::string reportId;
+
+    App app = App::Mozilla;
+    BugType type = BugType::NonDeadlock;
+
+    /** Non-deadlock pattern set (a bug can be both A and O);
+     * empty for deadlock bugs. */
+    std::set<Pattern> patterns;
+
+    /** Threads the manifestation requires (the study: 96% need 2). */
+    int threads = 2;
+
+    /** Shared variables involved (non-deadlock; 0 for deadlock). */
+    int variables = 1;
+
+    /** Resources involved (deadlock; 0 for non-deadlock). */
+    int resources = 0;
+
+    /** Accesses/acquisitions whose partial order guarantees
+     * manifestation (the study: 92% need at most 4). */
+    int accesses = 3;
+
+    /** Fix strategy (non-deadlock bugs). */
+    NonDeadlockFix ndFix = NonDeadlockFix::Other;
+
+    /** Fix strategy (deadlock bugs). */
+    DeadlockFix dlFix = DeadlockFix::Other;
+
+    /** Number of patch attempts until correct; >1 = first patch was
+     * itself buggy (the study: 17 of 105). */
+    int patchAttempts = 1;
+
+    /** Transactional-memory applicability. */
+    TmHelp tm = TmHelp::No;
+
+    /** Id of the runnable kernel modelling this bug, when present. */
+    std::string kernelId;
+
+    /** One-line description. */
+    std::string description;
+
+    bool isDeadlock() const { return type == BugType::Deadlock; }
+
+    bool
+    hasPattern(Pattern p) const
+    {
+        return patterns.count(p) > 0;
+    }
+};
+
+} // namespace lfm::study
+
+#endif // LFM_STUDY_BUG_RECORD_HH

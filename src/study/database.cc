@@ -1,0 +1,497 @@
+#include "study/database.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace lfm::study
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Anchored records: the documented bugs modelled by runnable kernels
+// in lfm::bugs (kernelId links them; a test cross-checks every field
+// against the kernel's metadata so the two cannot drift apart).
+// ------------------------------------------------------------------
+
+struct Anchor
+{
+    const char *kernelId;
+    const char *reportId;
+    App app;
+    BugType type;
+    std::set<Pattern> patterns;
+    int threads;
+    int variables;
+    int resources;
+    int accesses;
+    NonDeadlockFix ndFix;
+    DeadlockFix dlFix;
+    int attempts;
+    TmHelp tm;
+    const char *description;
+};
+
+/**
+ * Function-local so cross-TU static initialization (e.g. a test's
+ * global Analysis) can never observe an unconstructed table.
+ */
+const std::vector<Anchor> &
+anchors()
+{
+    static const std::vector<Anchor> table = {
+    // --- non-deadlock, atomicity, single variable ---
+    {"apache-25520", "Apache#25520", App::Apache, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 1, 0, 3, NonDeadlockFix::AddLock,
+     DeadlockFix::Other, 2, TmHelp::Yes,
+     "log-buffer append loses entries: offset read-copy-update is "
+     "not atomic"},
+    {"apache-21287", "Apache#21287", App::Apache, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 1, 0, 3, NonDeadlockFix::AddLock,
+     DeadlockFix::Other, 1, TmHelp::Yes,
+     "racy refcount decrement skips the final release of a cached "
+     "object"},
+    {"mysql-644", "MySQL#644", App::MySQL, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 1, 0, 3, NonDeadlockFix::CondCheck,
+     DeadlockFix::Other, 1, TmHelp::Yes,
+     "table-cache entry invalidated between validity check and use"},
+    {"moz-js-totalstrings", "Mozilla (js gcstats)", App::Mozilla,
+     BugType::NonDeadlock, {Pattern::Atomicity}, 2, 1, 0, 3,
+     NonDeadlockFix::DesignChange, DeadlockFix::Other, 1, TmHelp::Yes,
+     "global allocation statistics counter loses increments"},
+    {"moz-18025", "Mozilla#18025", App::Mozilla, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 1, 0, 4, NonDeadlockFix::AddLock,
+     DeadlockFix::Other, 2, TmHelp::Maybe,
+     "check-free-clear region not atomic: cache entry freed twice"},
+    {"generic-wrw-interm", "", App::MySQL, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 1, 0, 3, NonDeadlockFix::AddLock,
+     DeadlockFix::Other, 1, TmHelp::Yes,
+     "two-step field update exposes an intermediate value"},
+    {"mysql-log-rotate", "MySQL (binlog rotate)", App::MySQL,
+     BugType::NonDeadlock, {Pattern::Atomicity}, 2, 1, 0, 3,
+     NonDeadlockFix::CodeSwitch, DeadlockFix::Other, 1, TmHelp::Yes,
+     "log rotation exposes a closed file descriptor to a flush"},
+    {"openoffice-listener-uaf", "OpenOffice (vcl listener)",
+     App::OpenOffice, BugType::NonDeadlock, {Pattern::Atomicity}, 2, 2,
+     0, 4, NonDeadlockFix::AddLock, DeadlockFix::Other, 1,
+     TmHelp::Maybe,
+     "listener destroyed between registration check and dispatch"},
+    {"generic-dcl-lazyinit", "", App::Apache, BugType::NonDeadlock,
+     {Pattern::Atomicity}, 2, 2, 0, 3, NonDeadlockFix::DesignChange,
+     DeadlockFix::Other, 1, TmHelp::Yes,
+     "double-checked lazy init constructs the singleton twice under "
+     "contention"},
+    // --- non-deadlock, atomicity, multiple variables ---
+    {"moz-jsclearscope", "Mozilla (js_ClearScope)", App::Mozilla,
+     BugType::NonDeadlock, {Pattern::Atomicity}, 2, 2, 0, 4,
+     NonDeadlockFix::AddLock, DeadlockFix::Other, 1, TmHelp::Yes,
+     "scope cleared in two writes; reader sees an impossible "
+     "props/emptied pair"},
+    {"mysql-innodb-stats", "MySQL (innodb stats)", App::MySQL,
+     BugType::NonDeadlock, {Pattern::Atomicity}, 2, 2, 0, 4,
+     NonDeadlockFix::DesignChange, DeadlockFix::Other, 1, TmHelp::Yes,
+     "planner reads a torn (row count, byte sum) statistics pair"},
+    {"moz-nszip-buflen", "Mozilla (nsZip)", App::Mozilla,
+     BugType::NonDeadlock, {Pattern::Atomicity}, 2, 2, 0, 4,
+     NonDeadlockFix::CodeSwitch, DeadlockFix::Other, 1, TmHelp::Yes,
+     "length published before buffer contents; reader dereferences "
+     "stale data"},
+    // --- non-deadlock, order ---
+    {"moz-nsthread-init", "Mozilla (nsThread init)", App::Mozilla,
+     BugType::NonDeadlock, {Pattern::Order}, 2, 1, 0, 2,
+     NonDeadlockFix::CondCheck, DeadlockFix::Other, 1, TmHelp::No,
+     "spawned thread uses mThread before the parent stores the "
+     "handle"},
+    {"moz-61369", "Mozilla#61369", App::Mozilla, BugType::NonDeadlock,
+     {Pattern::Atomicity, Pattern::Order}, 2, 2, 0, 4,
+     NonDeadlockFix::CodeSwitch, DeadlockFix::Other, 1, TmHelp::Maybe,
+     "context published on the runtime list before initialization "
+     "completes; GC visits it"},
+    {"mysql-791", "MySQL#791", App::MySQL, BugType::NonDeadlock,
+     {Pattern::Order}, 2, 1, 0, 2, NonDeadlockFix::DesignChange,
+     DeadlockFix::Other, 1, TmHelp::No,
+     "dependent binlog event logged before its prerequisite"},
+    {"moz-50848-shutdown", "Mozilla#50848", App::Mozilla,
+     BugType::NonDeadlock, {Pattern::Order}, 2, 1, 0, 2,
+     NonDeadlockFix::DesignChange, DeadlockFix::Other, 1, TmHelp::No,
+     "shutdown frees a service object a worker still dereferences"},
+    {"generic-missed-notify", "", App::Apache, BugType::NonDeadlock,
+     {Pattern::Order}, 2, 1, 0, 4, NonDeadlockFix::CondCheck,
+     DeadlockFix::Other, 2, TmHelp::No,
+     "signal fires between an unlocked check and the wait; consumer "
+     "hangs"},
+    {"generic-order-3thread", "", App::OpenOffice,
+     BugType::NonDeadlock, {Pattern::Order}, 3, 2, 0, 2,
+     NonDeadlockFix::DesignChange, DeadlockFix::Other, 1, TmHelp::No,
+     "three-stage relay relies on lucky scheduling"},
+    // --- non-deadlock, other ---
+    {"generic-livelock-retry", "", App::MySQL, BugType::NonDeadlock,
+     {Pattern::Other}, 2, 2, 0, 8, NonDeadlockFix::Other,
+     DeadlockFix::Other, 1, TmHelp::No,
+     "symmetric set-check-backoff flags livelock under an "
+     "adversarial schedule"},
+    {"generic-starvation", "", App::Mozilla, BugType::NonDeadlock,
+     {Pattern::Other}, 2, 1, 0, 6, NonDeadlockFix::Other,
+     DeadlockFix::Other, 1, TmHelp::No,
+     "bounded spin used as synchronization gives up when the peer "
+     "is starved"},
+    // --- deadlocks ---
+    {"mysql-3596-abba", "MySQL#3596", App::MySQL, BugType::Deadlock,
+     {}, 2, 0, 2, 4, NonDeadlockFix::Other,
+     DeadlockFix::ChangeAcqOrder, 2, TmHelp::Yes,
+     "query and rotation paths acquire LOCK_open/LOCK_log in "
+     "opposite orders"},
+    {"moz-rwlock-self", "Mozilla (rwlock upgrade)", App::Mozilla,
+     BugType::Deadlock, {}, 1, 0, 1, 2, NonDeadlockFix::Other,
+     DeadlockFix::GiveUpResource, 1, TmHelp::Yes,
+     "thread upgrades rd->wr on the same rwlock and waits for "
+     "itself"},
+    {"mysql-binlog-cond", "MySQL (binlog dump wait)", App::MySQL,
+     BugType::Deadlock, {}, 2, 0, 2, 2, NonDeadlockFix::Other,
+     DeadlockFix::GiveUpResource, 1, TmHelp::No,
+     "dump thread waits on a condvar holding a mutex its signaller "
+     "needs"},
+    {"apache-plugin-abba", "Apache (module callback)", App::Apache,
+     BugType::Deadlock, {}, 2, 0, 2, 4, NonDeadlockFix::Other,
+     DeadlockFix::ChangeAcqOrder, 1, TmHelp::Maybe,
+     "core and plugin acquire the config rwlock and module mutex in "
+     "opposite orders"},
+    {"generic-3lock-cycle", "", App::OpenOffice, BugType::Deadlock,
+     {}, 3, 0, 3, 6, NonDeadlockFix::Other,
+     DeadlockFix::ChangeAcqOrder, 1, TmHelp::Maybe,
+     "three pipeline stages form the lock cycle L1->L2->L3->L1"},
+    {"generic-join-deadlock", "", App::Apache, BugType::Deadlock, {},
+     2, 0, 2, 2, NonDeadlockFix::Other, DeadlockFix::GiveUpResource,
+     1, TmHelp::No,
+     "parent joins the worker while holding the mutex the worker "
+     "needs"},
+    {"openoffice-clipboard", "OpenOffice (clipboard/SolarMutex)",
+     App::OpenOffice, BugType::Deadlock, {}, 2, 0, 2, 4,
+     NonDeadlockFix::Other, DeadlockFix::GiveUpResource, 1,
+     TmHelp::Maybe,
+     "UI thread and clipboard notifier acquire SolarMutex and the "
+     "clipboard mutex in opposite orders"},
+    {"moz-split-biglock", "Mozilla (imgCache big lock)", App::Mozilla,
+     BugType::Deadlock, {}, 1, 0, 1, 2, NonDeadlockFix::Other,
+     DeadlockFix::SplitResource, 1, TmHelp::No,
+     "coarse lock guards two resources; the nested helper relocks it "
+     "and deadlocks"},
+    {"mysql-dl-rollback", "MySQL (innodb row locks)", App::MySQL,
+     BugType::Deadlock, {}, 2, 0, 2, 4, NonDeadlockFix::Other,
+     DeadlockFix::Other, 2, TmHelp::Maybe,
+     "row-lock ABBA resolved by deadlock detection and transaction "
+     "rollback"},
+    };
+    return table;
+}
+
+// ------------------------------------------------------------------
+// Synthesized records: fill every published marginal exactly.
+// The per-dimension quota sequences below are the published totals
+// minus what the anchored records already consume; a test asserts
+// every marginal, so any drift fails ctest.
+// ------------------------------------------------------------------
+
+/** Drains (value, count) quota pairs in order. */
+template <typename T>
+class Seq
+{
+  public:
+    Seq(std::initializer_list<std::pair<T, int>> quotas)
+        : quotas_(quotas)
+    {
+    }
+
+    T
+    next()
+    {
+        while (pos_ < quotas_.size() && quotas_[pos_].second == 0)
+            ++pos_;
+        LFM_ASSERT(pos_ < quotas_.size(), "quota sequence exhausted");
+        --quotas_[pos_].second;
+        return quotas_[pos_].first;
+    }
+
+  private:
+    std::vector<std::pair<T, int>> quotas_;
+    std::size_t pos_ = 0;
+};
+
+/** Non-deadlock pattern classes used by the synthesizer. */
+enum class NdClass
+{
+    AtomicityOnly,
+    OrderOnly,
+    Both,
+};
+
+const char *
+appPrefix(App app)
+{
+    switch (app) {
+      case App::MySQL:      return "mysql";
+      case App::Apache:     return "apache";
+      case App::Mozilla:    return "mozilla";
+      case App::OpenOffice: return "openoffice";
+    }
+    return "app";
+}
+
+std::string
+describeNd(NdClass cls, int variables, int accesses)
+{
+    std::string what;
+    switch (cls) {
+      case NdClass::AtomicityOnly:
+        what = variables > 1
+                   ? "multi-variable atomicity violation: correlated "
+                     "fields updated non-atomically"
+                   : "atomicity violation: intended-atomic region "
+                     "interleaved by a remote access";
+        break;
+      case NdClass::OrderOnly:
+        what = "order violation: assumed A-before-B never enforced";
+        break;
+      case NdClass::Both:
+        what = "combined atomicity and order violation around "
+               "publish/initialize";
+        break;
+    }
+    what += " (manifestation orders " + std::to_string(accesses) +
+            " accesses)";
+    return what;
+}
+
+} // namespace
+
+Database::Database()
+{
+    // Anchored records first.
+    for (const Anchor &a : anchors()) {
+        BugRecord r;
+        r.id = a.kernelId;
+        r.reportId = a.reportId;
+        r.app = a.app;
+        r.type = a.type;
+        r.patterns = a.patterns;
+        r.threads = a.threads;
+        r.variables = a.variables;
+        r.resources = a.resources;
+        r.accesses = a.accesses;
+        r.ndFix = a.ndFix;
+        r.dlFix = a.dlFix;
+        r.patchAttempts = a.attempts;
+        r.tm = a.tm;
+        r.kernelId = a.kernelId;
+        r.description = a.description;
+        records_.push_back(std::move(r));
+    }
+
+    // --- synthetic non-deadlock records (55) ---------------------
+
+    // Per-(app, class) counts = published per-app totals minus the
+    // anchored records above.
+    struct NdQuota
+    {
+        App app;
+        NdClass cls;
+        int count;
+    };
+    const NdQuota ndQuotas[] = {
+        {App::Mozilla, NdClass::AtomicityOnly, 15},
+        {App::Mozilla, NdClass::OrderOnly, 5},
+        {App::Mozilla, NdClass::Both, 1},
+        {App::MySQL, NdClass::AtomicityOnly, 9},
+        {App::MySQL, NdClass::OrderOnly, 4},
+        {App::Apache, NdClass::AtomicityOnly, 10},
+        {App::Apache, NdClass::OrderOnly, 6},
+        {App::Apache, NdClass::Both, 1},
+        {App::OpenOffice, NdClass::AtomicityOnly, 2},
+        {App::OpenOffice, NdClass::OrderOnly, 1},
+    };
+
+    // Per-class dimension sequences (values drained in order).
+    Seq<int> varsA{{1, 25}, {2, 6}, {3, 3}, {4, 1}, {5, 1}};
+    Seq<int> varsO{{1, 11}, {2, 3}, {3, 2}};
+    Seq<int> varsB{{1, 1}, {6, 1}};
+    Seq<int> accA{{2, 5}, {3, 13}, {4, 15}, {5, 2}, {6, 1}};
+    Seq<int> accO{{2, 9}, {3, 6}, {8, 1}};
+    Seq<int> accB{{4, 2}};
+    Seq<NonDeadlockFix> fixA{{NonDeadlockFix::AddLock, 14},
+                             {NonDeadlockFix::CondCheck, 10},
+                             {NonDeadlockFix::DesignChange, 7},
+                             {NonDeadlockFix::CodeSwitch, 5}};
+    Seq<NonDeadlockFix> fixO{{NonDeadlockFix::CondCheck, 6},
+                             {NonDeadlockFix::DesignChange, 8},
+                             {NonDeadlockFix::CodeSwitch, 2}};
+    Seq<NonDeadlockFix> fixB{{NonDeadlockFix::DesignChange, 1},
+                             {NonDeadlockFix::Other, 1}};
+    Seq<TmHelp> tmA{{TmHelp::Yes, 23}, {TmHelp::Maybe, 6},
+                    {TmHelp::No, 7}};
+    Seq<TmHelp> tmO{{TmHelp::Yes, 2}, {TmHelp::Maybe, 2},
+                    {TmHelp::No, 12}};
+    Seq<TmHelp> tmB{{TmHelp::No, 2}};
+    Seq<int> attemptsA{{2, 6}, {1, 30}};
+    Seq<int> attemptsO{{2, 3}, {1, 13}};
+    Seq<int> attemptsB{{1, 2}};
+    // One synthetic non-deadlock bug involves three threads.
+    Seq<int> threadsA{{3, 1}, {2, 35}};
+
+    std::map<App, int> appCounter;
+    for (const NdQuota &q : ndQuotas) {
+        for (int i = 0; i < q.count; ++i) {
+            BugRecord r;
+            r.app = q.app;
+            r.type = BugType::NonDeadlock;
+            switch (q.cls) {
+              case NdClass::AtomicityOnly:
+                r.patterns = {Pattern::Atomicity};
+                r.variables = varsA.next();
+                r.accesses = accA.next();
+                r.ndFix = fixA.next();
+                r.tm = tmA.next();
+                r.patchAttempts = attemptsA.next();
+                r.threads = threadsA.next();
+                break;
+              case NdClass::OrderOnly:
+                r.patterns = {Pattern::Order};
+                r.variables = varsO.next();
+                r.accesses = accO.next();
+                r.ndFix = fixO.next();
+                r.tm = tmO.next();
+                r.patchAttempts = attemptsO.next();
+                r.threads = 2;
+                break;
+              case NdClass::Both:
+                r.patterns = {Pattern::Atomicity, Pattern::Order};
+                r.variables = varsB.next();
+                r.accesses = accB.next();
+                r.ndFix = fixB.next();
+                r.tm = tmB.next();
+                r.patchAttempts = attemptsB.next();
+                r.threads = 2;
+                break;
+            }
+            const int n = ++appCounter[q.app];
+            r.id = std::string(appPrefix(q.app)) + "-b" +
+                   (n < 10 ? "0" : "") + std::to_string(n);
+            r.description = describeNd(q.cls, r.variables, r.accesses);
+            records_.push_back(std::move(r));
+        }
+    }
+
+    // --- synthetic deadlock records (24) -------------------------
+
+    struct DlQuota
+    {
+        App app;
+        int count;
+    };
+    const DlQuota dlQuotas[] = {
+        {App::Mozilla, 10},
+        {App::MySQL, 6},
+        {App::Apache, 2},
+        {App::OpenOffice, 4},
+    };
+
+    Seq<int> dlResources{{1, 5}, {2, 17}};
+    // Acquisitions to order for the two-resource cycles: one of them
+    // is a long nested chain needing six operations.
+    Seq<int> dlAcc{{4, 16}, {6, 1}};
+    Seq<DeadlockFix> dlFix{{DeadlockFix::GiveUpResource, 15},
+                           {DeadlockFix::ChangeAcqOrder, 3},
+                           {DeadlockFix::SplitResource, 1},
+                           {DeadlockFix::Other, 3}};
+    Seq<TmHelp> dlTm{{TmHelp::Yes, 4}, {TmHelp::Maybe, 5},
+                     {TmHelp::No, 13}};
+    Seq<int> dlAttempts{{2, 3}, {1, 19}};
+    Seq<int> dlThreads{{3, 1}, {2, 16}};
+
+    for (const DlQuota &q : dlQuotas) {
+        for (int i = 0; i < q.count; ++i) {
+            BugRecord r;
+            r.app = q.app;
+            r.type = BugType::Deadlock;
+            r.variables = 0;
+            r.resources = dlResources.next();
+            // Single-resource deadlocks need only the two operations
+            // on that resource; two-resource cycles need the four
+            // acquisitions (plus one long nested chain).
+            r.accesses = r.resources == 1 ? 2 : dlAcc.next();
+            r.dlFix = dlFix.next();
+            r.tm = dlTm.next();
+            r.patchAttempts = dlAttempts.next();
+            r.threads = r.resources == 1 ? 1 : dlThreads.next();
+            const int n = ++appCounter[q.app];
+            r.id = std::string(appPrefix(q.app)) + "-b" +
+                   (n < 10 ? "0" : "") + std::to_string(n);
+            r.description =
+                r.resources == 1
+                    ? "single-resource deadlock: blocking "
+                      "re-acquisition of a held resource"
+                    : "lock-order cycle over " +
+                          std::to_string(r.resources) + " resources";
+            records_.push_back(std::move(r));
+        }
+    }
+
+    LFM_ASSERT(records_.size() == 105,
+               "database must contain exactly 105 records, has ",
+               records_.size());
+}
+
+const BugRecord *
+Database::find(std::string_view id) const
+{
+    for (const auto &r : records_) {
+        if (r.id == id)
+            return &r;
+    }
+    return nullptr;
+}
+
+std::vector<const BugRecord *>
+Database::byApp(App app) const
+{
+    std::vector<const BugRecord *> out;
+    for (const auto &r : records_) {
+        if (r.app == app)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+std::vector<const BugRecord *>
+Database::byType(BugType type) const
+{
+    std::vector<const BugRecord *> out;
+    for (const auto &r : records_) {
+        if (r.type == type)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+std::vector<const BugRecord *>
+Database::anchored() const
+{
+    std::vector<const BugRecord *> out;
+    for (const auto &r : records_) {
+        if (!r.kernelId.empty())
+            out.push_back(&r);
+    }
+    return out;
+}
+
+const Database &
+database()
+{
+    static const Database db;
+    return db;
+}
+
+} // namespace lfm::study

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The 105-bug database.
+ *
+ * The records reproduce every aggregate the published study reports
+ * (totals per application, pattern distribution, manifestation
+ * histograms, fix strategies, buggy-patch rate, TM applicability).
+ * Twenty-six records are *anchored*: they carry the id of a runnable
+ * kernel in lfm::bugs that models the documented bug; the remaining
+ * records are synthesized so that every published marginal is matched
+ * exactly (the joint distribution across dimensions is not published
+ * and is therefore synthetic — see EXPERIMENTS.md).
+ */
+
+#ifndef LFM_STUDY_DATABASE_HH
+#define LFM_STUDY_DATABASE_HH
+
+#include <string_view>
+#include <vector>
+
+#include "study/bug_record.hh"
+
+namespace lfm::study
+{
+
+/** Query interface over the 105 examined bugs. */
+class Database
+{
+  public:
+    /** Build the full study database. */
+    Database();
+
+    /** All 105 records. */
+    const std::vector<BugRecord> &records() const { return records_; }
+
+    /** Record by id; nullptr when unknown. */
+    const BugRecord *find(std::string_view id) const;
+
+    /** All records for one application. */
+    std::vector<const BugRecord *> byApp(App app) const;
+
+    /** All records of one type. */
+    std::vector<const BugRecord *> byType(BugType type) const;
+
+    /** Records carrying a runnable kernel id. */
+    std::vector<const BugRecord *> anchored() const;
+
+    /** Number of records (105). */
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<BugRecord> records_;
+};
+
+/** The process-wide database instance. */
+const Database &database();
+
+} // namespace lfm::study
+
+#endif // LFM_STUDY_DATABASE_HH

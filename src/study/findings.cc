@@ -1,0 +1,72 @@
+#include "study/findings.hh"
+
+namespace lfm::study
+{
+
+std::vector<Finding>
+headlineFindings(const Analysis &a)
+{
+    std::vector<Finding> out;
+
+    auto add = [&out](std::string id, std::string statement,
+                      int paperNumer, int paperDenom, int numer,
+                      int denom, bool approx = false) {
+        Finding f;
+        f.id = std::move(id);
+        f.statement = std::move(statement);
+        f.paperNumer = paperNumer;
+        f.paperDenom = paperDenom;
+        f.computedNumer = numer;
+        f.computedDenom = denom;
+        f.approximate = approx;
+        out.push_back(std::move(f));
+    };
+
+    add("F1-patterns",
+        "almost all (97%) examined non-deadlock bugs are atomicity or "
+        "order violations",
+        72, 74, a.atomicityOrOrder(), a.totalNonDeadlock());
+
+    add("F2-threads",
+        "96% of the examined bugs manifest with at most two threads",
+        101, 105, a.atMostTwoThreads(), a.totalBugs());
+
+    add("F3-variables",
+        "66% of the examined non-deadlock bugs involve a single "
+        "variable",
+        49, 74, a.singleVariable(), a.totalNonDeadlock());
+
+    add("F4-accesses",
+        "92% of the examined bugs are guaranteed to manifest once a "
+        "partial order among at most 4 memory accesses is enforced",
+        97, 105, a.atMostFourAccesses(), a.totalBugs());
+
+    add("F5-resources",
+        "97% of the examined deadlock bugs involve at most two "
+        "resources",
+        30, 31, a.atMostTwoResources(), a.totalDeadlock());
+
+    add("F6-lock-fix",
+        "only 27% of non-deadlock bug fixes add or change locks",
+        20, 74, a.fixedBy(NonDeadlockFix::AddLock),
+        a.totalNonDeadlock());
+
+    add("F7-giveup-fix",
+        "61% of deadlock bugs were fixed by giving up a resource "
+        "acquisition rather than by lock-order changes",
+        19, 31, a.fixedBy(DeadlockFix::GiveUpResource),
+        a.totalDeadlock(), true);
+
+    add("F8-buggy-patches",
+        "16% of the first-release patches were themselves buggy",
+        17, 105, a.buggyPatches(), a.totalBugs(), true);
+
+    add("F9-tm",
+        "transactional memory could help avoid about 39% of the "
+        "examined bugs",
+        41, 105, a.tmHelpable(), a.totalBugs(), true);
+
+    return out;
+}
+
+} // namespace lfm::study

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The study's headline findings as checkable statements.
+ *
+ * Each Finding pairs the published claim (numerator/denominator as
+ * reported, flagged approximate where the publication gives only a
+ * percentage) with the value computed from our database, so benches
+ * and tests can show paper-vs-reproduced side by side.
+ */
+
+#ifndef LFM_STUDY_FINDINGS_HH
+#define LFM_STUDY_FINDINGS_HH
+
+#include <string>
+#include <vector>
+
+#include "study/analysis.hh"
+
+namespace lfm::study
+{
+
+/** One headline finding of the study. */
+struct Finding
+{
+    /** Stable id, e.g. "F1-patterns". */
+    std::string id;
+
+    /** The claim, paraphrased from the publication. */
+    std::string statement;
+
+    /** Published value. */
+    int paperNumer = 0;
+    int paperDenom = 0;
+
+    /** Value computed from the database. */
+    int computedNumer = 0;
+    int computedDenom = 0;
+
+    /** True when the published cell value is reconstructed from a
+     * percentage rather than stated as an exact count. */
+    bool approximate = false;
+
+    bool
+    matches() const
+    {
+        return paperNumer == computedNumer &&
+               paperDenom == computedDenom;
+    }
+};
+
+/** All headline findings, computed against the given analysis. */
+std::vector<Finding> headlineFindings(const Analysis &analysis);
+
+} // namespace lfm::study
+
+#endif // LFM_STUDY_FINDINGS_HH

@@ -1,0 +1,86 @@
+#include "study/taxonomy.hh"
+
+#include "support/string_utils.hh"
+
+namespace lfm::study
+{
+
+const char *
+appName(App app)
+{
+    switch (app) {
+      case App::MySQL:      return "MySQL";
+      case App::Apache:     return "Apache";
+      case App::Mozilla:    return "Mozilla";
+      case App::OpenOffice: return "OpenOffice";
+    }
+    return "?";
+}
+
+const char *
+bugTypeName(BugType type)
+{
+    switch (type) {
+      case BugType::NonDeadlock: return "non-deadlock";
+      case BugType::Deadlock:    return "deadlock";
+    }
+    return "?";
+}
+
+const char *
+patternName(Pattern pattern)
+{
+    switch (pattern) {
+      case Pattern::Atomicity: return "atomicity";
+      case Pattern::Order:     return "order";
+      case Pattern::Other:     return "other";
+    }
+    return "?";
+}
+
+const char *
+nonDeadlockFixName(NonDeadlockFix fix)
+{
+    switch (fix) {
+      case NonDeadlockFix::CondCheck:    return "COND";
+      case NonDeadlockFix::CodeSwitch:   return "Switch";
+      case NonDeadlockFix::DesignChange: return "Design";
+      case NonDeadlockFix::AddLock:      return "Lock";
+      case NonDeadlockFix::Other:        return "Other";
+    }
+    return "?";
+}
+
+const char *
+deadlockFixName(DeadlockFix fix)
+{
+    switch (fix) {
+      case DeadlockFix::GiveUpResource: return "GiveUp";
+      case DeadlockFix::ChangeAcqOrder: return "AcqOrder";
+      case DeadlockFix::SplitResource:  return "Split";
+      case DeadlockFix::Other:          return "Other";
+    }
+    return "?";
+}
+
+const char *
+tmHelpName(TmHelp tm)
+{
+    switch (tm) {
+      case TmHelp::Yes:   return "yes";
+      case TmHelp::Maybe: return "maybe";
+      case TmHelp::No:    return "no";
+    }
+    return "?";
+}
+
+std::string
+patternSetName(const std::set<Pattern> &patterns)
+{
+    std::vector<std::string> names;
+    for (Pattern p : patterns)
+        names.emplace_back(patternName(p));
+    return names.empty() ? "-" : support::join(names, "+");
+}
+
+} // namespace lfm::study

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The study's classification vocabulary.
+ *
+ * Dimensions follow Lu et al. (ASPLOS 2008): four applications, two
+ * top-level bug types, three non-deadlock patterns, the developers'
+ * fix strategies for each type, and transactional-memory
+ * applicability.
+ */
+
+#ifndef LFM_STUDY_TAXONOMY_HH
+#define LFM_STUDY_TAXONOMY_HH
+
+#include <array>
+#include <set>
+#include <string>
+
+namespace lfm::study
+{
+
+/** The four studied applications. */
+enum class App
+{
+    MySQL,
+    Apache,
+    Mozilla,
+    OpenOffice,
+};
+
+/** Top-level split: deadlock vs non-deadlock bugs. */
+enum class BugType
+{
+    NonDeadlock,
+    Deadlock,
+};
+
+/** Non-deadlock bug patterns (a bug may exhibit both A and O). */
+enum class Pattern
+{
+    Atomicity,  ///< intended-atomic region interleaved
+    Order,      ///< intended A-before-B never enforced
+    Other,      ///< neither shape (e.g. livelock, starvation)
+};
+
+/** How developers fixed the non-deadlock bugs. */
+enum class NonDeadlockFix
+{
+    CondCheck,     ///< add a condition check / retry (COND)
+    CodeSwitch,    ///< reorder or move code (Switch)
+    DesignChange,  ///< algorithm/data-structure change (Design)
+    AddLock,       ///< add or change a lock (Lock)
+    Other,
+};
+
+/** How developers fixed the deadlock bugs. */
+enum class DeadlockFix
+{
+    GiveUpResource,  ///< release/skip one resource acquisition
+    ChangeAcqOrder,  ///< make acquisition order consistent
+    SplitResource,   ///< split the contended resource
+    Other,
+};
+
+/** Could transactional memory have avoided the bug? */
+enum class TmHelp
+{
+    Yes,    ///< the buggy region is a clean transaction candidate
+    Maybe,  ///< helpable with caveats (I/O, long region, cond-sync)
+    No,     ///< TM does not address the root cause
+};
+
+/** All apps, in report order. */
+constexpr std::array<App, 4> kAllApps = {
+    App::MySQL, App::Apache, App::Mozilla, App::OpenOffice};
+
+/** All non-deadlock fix strategies, in report order. */
+constexpr std::array<NonDeadlockFix, 5> kAllNonDeadlockFixes = {
+    NonDeadlockFix::CondCheck, NonDeadlockFix::CodeSwitch,
+    NonDeadlockFix::DesignChange, NonDeadlockFix::AddLock,
+    NonDeadlockFix::Other};
+
+/** All deadlock fix strategies, in report order. */
+constexpr std::array<DeadlockFix, 4> kAllDeadlockFixes = {
+    DeadlockFix::GiveUpResource, DeadlockFix::ChangeAcqOrder,
+    DeadlockFix::SplitResource, DeadlockFix::Other};
+
+/// @name Printable names.
+/// @{
+const char *appName(App app);
+const char *bugTypeName(BugType type);
+const char *patternName(Pattern pattern);
+const char *nonDeadlockFixName(NonDeadlockFix fix);
+const char *deadlockFixName(DeadlockFix fix);
+const char *tmHelpName(TmHelp tm);
+/// @}
+
+/** Pattern set rendered like "atomicity+order". */
+std::string patternSetName(const std::set<Pattern> &patterns);
+
+} // namespace lfm::study
+
+#endif // LFM_STUDY_TAXONOMY_HH

@@ -1,0 +1,92 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace lfm::support
+{
+
+namespace
+{
+
+std::atomic<LogLevel> gLevel{LogLevel::Normal};
+
+/** Serializes interleaved writes from concurrently logging threads. */
+std::mutex &
+ioMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(ioMutex());
+        std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> guard(ioMutex());
+        std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (logLevel() == LogLevel::Silent)
+        return;
+    std::lock_guard<std::mutex> guard(ioMutex());
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logLevel() == LogLevel::Silent)
+        return;
+    std::lock_guard<std::mutex> guard(ioMutex());
+    std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() != LogLevel::Verbose)
+        return;
+    std::lock_guard<std::mutex> guard(ioMutex());
+    std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace lfm::support

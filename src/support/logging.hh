@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant of lfm itself was violated; aborts.
+ * fatal()  - the user asked for something impossible; exits with code 1.
+ * warn()   - something is dubious but execution can continue.
+ * inform() - plain status output for the user.
+ *
+ * All of them accept printf-style formatting via std::format-like
+ * composition built on string_utils.hh.
+ */
+
+#ifndef LFM_SUPPORT_LOGGING_HH
+#define LFM_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace lfm::support
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent,   ///< suppress inform() and warn()
+    Normal,   ///< default: warn() and inform() both shown
+    Verbose,  ///< additionally show debug() messages
+};
+
+/** Set the process-wide verbosity. Thread-safe. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold any streamable arguments into one string. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace lfm::support
+
+/** Abort: an lfm-internal invariant does not hold. */
+#define LFM_PANIC(...) \
+    ::lfm::support::detail::panicImpl( \
+        __FILE__, __LINE__, ::lfm::support::detail::fold(__VA_ARGS__))
+
+/** Exit(1): the condition is the user's fault (bad config/arguments). */
+#define LFM_FATAL(...) \
+    ::lfm::support::detail::fatalImpl( \
+        __FILE__, __LINE__, ::lfm::support::detail::fold(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define LFM_WARN(...) \
+    ::lfm::support::detail::warnImpl(::lfm::support::detail::fold(__VA_ARGS__))
+
+/** Status message to stdout. */
+#define LFM_INFORM(...) \
+    ::lfm::support::detail::informImpl( \
+        ::lfm::support::detail::fold(__VA_ARGS__))
+
+/** Verbose-only debug message to stderr. */
+#define LFM_DEBUG(...) \
+    ::lfm::support::detail::debugImpl( \
+        ::lfm::support::detail::fold(__VA_ARGS__))
+
+/** Panic unless the given internal invariant holds. */
+#define LFM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            LFM_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // LFM_SUPPORT_LOGGING_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in lfm that needs randomness (schedule policies, workload
+ * generators, property tests) takes an explicit Rng so that a (seed,
+ * policy) pair always reproduces the same execution. The generator is
+ * xoshiro256** seeded via SplitMix64, which is fast, high quality and
+ * trivially portable.
+ */
+
+#ifndef LFM_SUPPORT_RANDOM_HH
+#define LFM_SUPPORT_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace lfm::support
+{
+
+/** SplitMix64 step; used for seeding and as a cheap stateless mixer. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** deterministic PRNG.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * handed to <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    result_type next();
+
+    result_type operator()() { return next(); }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Pick a uniformly random element index for a container size. */
+    std::size_t index(std::size_t size);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Fork a statistically independent child generator. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_RANDOM_HH

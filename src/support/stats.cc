@@ -1,0 +1,147 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace lfm::support
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+IntHistogram::add(std::int64_t value, std::uint64_t weight)
+{
+    bins_[value] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+IntHistogram::at(std::int64_t value) const
+{
+    auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+IntHistogram::atMost(std::int64_t bound) const
+{
+    std::uint64_t acc = 0;
+    for (const auto &[value, count] : bins_) {
+        if (value > bound)
+            break;
+        acc += count;
+    }
+    return acc;
+}
+
+std::uint64_t
+IntHistogram::above(std::int64_t bound) const
+{
+    return total_ - atMost(bound);
+}
+
+double
+IntHistogram::fractionAtMost(std::int64_t bound) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(atMost(bound)) /
+           static_cast<double>(total_);
+}
+
+std::int64_t
+IntHistogram::minValue() const
+{
+    LFM_ASSERT(total_ > 0, "minValue on empty histogram");
+    return bins_.begin()->first;
+}
+
+std::int64_t
+IntHistogram::maxValue() const
+{
+    LFM_ASSERT(total_ > 0, "maxValue on empty histogram");
+    return bins_.rbegin()->first;
+}
+
+std::string
+formatRatio(std::uint64_t numer, std::uint64_t denom)
+{
+    char buf[64];
+    if (denom == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu/0 (n/a)",
+                      static_cast<unsigned long long>(numer));
+    } else {
+        const double pct =
+            100.0 * static_cast<double>(numer) / static_cast<double>(denom);
+        std::snprintf(buf, sizeof(buf), "%llu/%llu (%.0f%%)",
+                      static_cast<unsigned long long>(numer),
+                      static_cast<unsigned long long>(denom), pct);
+    }
+    return buf;
+}
+
+std::string
+formatPercent(std::uint64_t numer, std::uint64_t denom)
+{
+    if (denom == 0)
+        return "n/a";
+    char buf[32];
+    const double pct =
+        100.0 * static_cast<double>(numer) / static_cast<double>(denom);
+    std::snprintf(buf, sizeof(buf), "%.1f%%", pct);
+    return buf;
+}
+
+} // namespace lfm::support

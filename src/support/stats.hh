@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small statistics helpers used by the study analysis, the exploration
+ * runners, and the benchmark harnesses: streaming mean/variance, integer
+ * histograms, and ratio formatting.
+ */
+
+#ifndef LFM_SUPPORT_STATS_HH
+#define LFM_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lfm::support
+{
+
+/**
+ * Streaming mean / variance accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sparse integer histogram with cumulative queries, used for
+ * "how many bugs need <= k threads/accesses/resources" style tables.
+ */
+class IntHistogram
+{
+  public:
+    /** Count one occurrence of value. */
+    void add(std::int64_t value, std::uint64_t weight = 1);
+
+    /** Occurrences of exactly value. */
+    std::uint64_t at(std::int64_t value) const;
+
+    /** Occurrences of values <= bound. */
+    std::uint64_t atMost(std::int64_t bound) const;
+
+    /** Occurrences of values > bound. */
+    std::uint64_t above(std::int64_t bound) const;
+
+    /** Total occurrences. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction (0..1) of mass at values <= bound; 0 when empty. */
+    double fractionAtMost(std::int64_t bound) const;
+
+    /** Smallest recorded value; only valid when total() > 0. */
+    std::int64_t minValue() const;
+
+    /** Largest recorded value; only valid when total() > 0. */
+    std::int64_t maxValue() const;
+
+    /** Underlying sorted (value, count) pairs. */
+    const std::map<std::int64_t, std::uint64_t> &bins() const
+    {
+        return bins_;
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/** Format n/d as "n/d (p%)" the way the paper quotes its ratios. */
+std::string formatRatio(std::uint64_t numer, std::uint64_t denom);
+
+/** Percentage (0..100) with one decimal; "n/a" when denom is zero. */
+std::string formatPercent(std::uint64_t numer, std::uint64_t denom);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_STATS_HH

@@ -1,0 +1,88 @@
+#include "support/string_utils.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lfm::support
+{
+
+std::string
+join(const std::vector<std::string> &items, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            out.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view text)
+{
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return std::string(text.substr(b, e - b));
+}
+
+std::string
+padLeft(std::string_view text, std::size_t width)
+{
+    std::string out(text);
+    if (out.size() < width)
+        out.insert(0, width - out.size(), ' ');
+    return out;
+}
+
+std::string
+padRight(std::string_view text, std::size_t width)
+{
+    std::string out(text);
+    if (out.size() < width)
+        out.append(width - out.size(), ' ');
+    return out;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+} // namespace lfm::support

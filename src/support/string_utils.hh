@@ -1,0 +1,41 @@
+/**
+ * @file
+ * String helpers shared across modules: joining, splitting, padding,
+ * and simple case-insensitive comparisons used by taxonomy parsers.
+ */
+
+#ifndef LFM_SUPPORT_STRING_UTILS_HH
+#define LFM_SUPPORT_STRING_UTILS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfm::support
+{
+
+/** Join the items with the given separator. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+/** Split on a single-character separator; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(std::string_view text);
+
+/** Left-pad with spaces to at least width characters. */
+std::string padLeft(std::string_view text, std::size_t width);
+
+/** Right-pad with spaces to at least width characters. */
+std::string padRight(std::string_view text, std::size_t width);
+
+/** ASCII lower-casing. */
+std::string toLower(std::string_view text);
+
+/** Case-insensitive ASCII equality. */
+bool iequals(std::string_view a, std::string_view b);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_STRING_UTILS_HH

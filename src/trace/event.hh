@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The event vocabulary of an execution trace.
+ *
+ * The simulator appends one Event per instrumented operation; detectors
+ * and the happens-before builder consume the resulting sequence. Events
+ * are deliberately flat PODs so traces stay cheap to copy and index.
+ */
+
+#ifndef LFM_TRACE_EVENT_HH
+#define LFM_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/ids.hh"
+
+namespace lfm::trace
+{
+
+/** Discriminator for Event. */
+enum class EventKind : std::uint8_t
+{
+    ThreadBegin,   ///< first event of each logical thread
+    ThreadEnd,     ///< last event of each logical thread
+    Spawn,         ///< obj = Thread object of the child
+    Join,          ///< obj = Thread object of the joined child
+    Read,          ///< obj = variable
+    Write,         ///< obj = variable
+    Alloc,         ///< obj = variable: (re)initialised / made live
+    Free,          ///< obj = variable: freed; later access is a UAF
+    Lock,          ///< obj = mutex (write side for rwlocks)
+    Unlock,        ///< obj = mutex
+    RdLock,        ///< obj = rwlock, shared acquisition
+    RdUnlock,      ///< obj = rwlock, shared release
+    WaitBegin,     ///< obj = condvar, obj2 = mutex released by the wait
+    WaitResume,    ///< obj = condvar, obj2 = mutex; aux = seq of signal,
+                   ///< or kSpuriousWakeup when no signal woke the thread
+    SignalOne,     ///< obj = condvar
+    SignalAll,     ///< obj = condvar
+    SemWait,       ///< obj = semaphore; aux = seq of the matched post
+    SemPost,       ///< obj = semaphore
+    BarrierCross,  ///< obj = barrier; aux = generation index
+    Yield,         ///< pure schedule point, no object
+    FailureMark,   ///< a recorded bug manifestation; label = message
+    Blocked,       ///< at global block: thread waits for obj forever;
+                   ///< aux = holder thread id (as unsigned) when known
+};
+
+/** Printable name of an EventKind. */
+const char *eventKindName(EventKind kind);
+
+/** aux value of a WaitResume that was not caused by any signal. */
+constexpr std::uint64_t kSpuriousWakeup = ~std::uint64_t{0};
+
+/**
+ * One trace record. Meaning of obj / obj2 / aux depends on kind
+ * (see EventKind). The label carries the kernel-assigned access label
+ * used by order-enforcing schedulers, or a failure message.
+ */
+struct Event
+{
+    SeqNo seq = 0;              ///< position in the global total order
+    ThreadId thread = kNoThread;
+    EventKind kind = EventKind::Yield;
+    ObjectId obj = kNoObject;
+    ObjectId obj2 = kNoObject;
+    std::uint64_t aux = 0;
+    std::string label;
+
+    /** True for Read/Write data accesses. */
+    bool isAccess() const
+    {
+        return kind == EventKind::Read || kind == EventKind::Write;
+    }
+
+    /** True for Write accesses. */
+    bool isWrite() const { return kind == EventKind::Write; }
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_EVENT_HH

@@ -1,0 +1,149 @@
+#include "trace/hb.hh"
+
+#include <map>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace lfm::trace
+{
+
+namespace
+{
+
+/** Mutable per-lock release clocks while scanning. */
+struct LockClocks
+{
+    VectorClock writeRelease;  ///< last exclusive release
+    VectorClock readRelease;   ///< join of all shared releases so far
+};
+
+} // namespace
+
+HbRelation::HbRelation(const Trace &trace) : trace_(trace)
+{
+    const auto &events = trace.events();
+    clocks_.resize(events.size());
+
+    std::map<ThreadId, VectorClock> threadClock;
+    std::map<ObjectId, LockClocks> lockClock;
+
+    auto clockFor = [&](ThreadId tid) -> VectorClock & {
+        return threadClock[tid];
+    };
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &event = events[i];
+        VectorClock &c = clockFor(event.thread);
+        c.tick(event.thread);
+
+        switch (event.kind) {
+          case EventKind::ThreadBegin:
+            // aux = seq of the parent's Spawn event (if spawned).
+            if (event.aux != kSpuriousWakeup && event.aux < i)
+                c.join(clocks_[event.aux]);
+            break;
+          case EventKind::Join:
+            // aux = seq of the child's ThreadEnd event.
+            LFM_ASSERT(event.aux < i, "join before child ended");
+            c.join(clocks_[event.aux]);
+            break;
+          case EventKind::Lock:
+            c.join(lockClock[event.obj].writeRelease);
+            c.join(lockClock[event.obj].readRelease);
+            break;
+          case EventKind::RdLock:
+            c.join(lockClock[event.obj].writeRelease);
+            break;
+          case EventKind::WaitResume:
+            // The wait reacquires the mutex ...
+            c.join(lockClock[event.obj2].writeRelease);
+            c.join(lockClock[event.obj2].readRelease);
+            // ... and is ordered after the signal that woke it.
+            if (event.aux != kSpuriousWakeup) {
+                LFM_ASSERT(event.aux < i, "wakeup before its signal");
+                c.join(clocks_[event.aux]);
+            }
+            break;
+          case EventKind::SemWait:
+            if (event.aux != kSpuriousWakeup && event.aux < i)
+                c.join(clocks_[event.aux]);
+            break;
+          case EventKind::BarrierCross: {
+            // The executor emits all crossings of one generation as a
+            // consecutive run; join every participant's arrival clock.
+            std::size_t lo = i;
+            while (lo > 0) {
+                const Event &p = events[lo - 1];
+                if (p.kind != EventKind::BarrierCross ||
+                    p.obj != event.obj || p.aux != event.aux)
+                    break;
+                --lo;
+            }
+            std::size_t hi = i;
+            while (hi + 1 < events.size()) {
+                const Event &n = events[hi + 1];
+                if (n.kind != EventKind::BarrierCross ||
+                    n.obj != event.obj || n.aux != event.aux)
+                    break;
+                ++hi;
+            }
+            for (std::size_t k = lo; k <= hi; ++k) {
+                if (k == i)
+                    continue;
+                c.join(clockFor(events[k].thread));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+
+        clocks_[i] = c;
+
+        // Release-side bookkeeping happens after the event's clock is
+        // fixed so the edge carries everything up to and including it.
+        switch (event.kind) {
+          case EventKind::Unlock:
+            lockClock[event.obj].writeRelease = c;
+            break;
+          case EventKind::RdUnlock:
+            lockClock[event.obj].readRelease.join(c);
+            break;
+          case EventKind::WaitBegin:
+            // wait releases its mutex (obj2).
+            lockClock[event.obj2].writeRelease = c;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+bool
+HbRelation::happensBefore(SeqNo a, SeqNo b) const
+{
+    if (a == b)
+        return false;
+    LFM_ASSERT(a < clocks_.size() && b < clocks_.size(),
+               "hb query out of range");
+    const Event &ea = trace_.ev(a);
+    // a -> b iff b's clock already covers a's tick of its own thread
+    // component; with per-event self-ticks this is the standard test.
+    return clocks_[a].get(ea.thread) <= clocks_[b].get(ea.thread);
+}
+
+bool
+HbRelation::concurrent(SeqNo a, SeqNo b) const
+{
+    return !happensBefore(a, b) && !happensBefore(b, a);
+}
+
+const VectorClock &
+HbRelation::clockOf(SeqNo seq) const
+{
+    LFM_ASSERT(seq < clocks_.size(), "clockOf out of range");
+    return clocks_[seq];
+}
+
+} // namespace lfm::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Happens-before relation over an execution trace.
+ *
+ * The builder makes one pass over the trace, maintaining per-thread
+ * vector clocks and per-synchronization-object release clocks, and
+ * assigns every event the clock it holds after executing. Two events
+ * are then ordered iff their clocks are ordered.
+ *
+ * Edges modelled:
+ *  - program order within each thread;
+ *  - mutex unlock -> later lock (incl. the release inside cond wait);
+ *  - rwlock: write release -> any later acquire, read release ->
+ *    later write acquire;
+ *  - condvar signal/broadcast -> the wakeup(s) it caused (the
+ *    executor records the causing signal's seq in WaitResume.aux);
+ *  - semaphore post -> the wait that consumed it (SemWait.aux);
+ *  - spawn -> child's first event (ThreadBegin.aux = spawn seq);
+ *  - child's last event -> join (Join.aux = child's ThreadEnd seq);
+ *  - barrier: every arrival of a generation -> every departure.
+ */
+
+#ifndef LFM_TRACE_HB_HH
+#define LFM_TRACE_HB_HH
+
+#include <vector>
+
+#include "trace/trace.hh"
+#include "trace/vector_clock.hh"
+
+namespace lfm::trace
+{
+
+/**
+ * The computed happens-before relation; query by event sequence number.
+ */
+class HbRelation
+{
+  public:
+    /** Build the relation for the given trace. */
+    explicit HbRelation(const Trace &trace);
+
+    /** True iff event a happens-before event b (irreflexive). */
+    bool happensBefore(SeqNo a, SeqNo b) const;
+
+    /** True iff neither a hb b nor b hb a. */
+    bool concurrent(SeqNo a, SeqNo b) const;
+
+    /** The vector clock assigned to an event. */
+    const VectorClock &clockOf(SeqNo seq) const;
+
+  private:
+    const Trace &trace_;
+    std::vector<VectorClock> clocks_;
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_HB_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental identifier types shared by the simulator, the trace
+ * representation, and the detectors.
+ */
+
+#ifndef LFM_TRACE_IDS_HH
+#define LFM_TRACE_IDS_HH
+
+#include <cstdint>
+
+namespace lfm::trace
+{
+
+/** Logical (simulated) thread id; dense, starting at 0 per execution. */
+using ThreadId = std::int32_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId kNoThread = -1;
+
+/** Process-unique id of an instrumented object (variable, lock, ...). */
+using ObjectId = std::uint64_t;
+
+/** Sentinel for "no object". */
+constexpr ObjectId kNoObject = 0;
+
+/** Global sequence number of an event within one execution trace. */
+using SeqNo = std::uint64_t;
+
+/** What kind of instrumented object an ObjectId names. */
+enum class ObjectKind : std::uint8_t
+{
+    Variable,
+    Mutex,
+    RWLock,
+    CondVar,
+    Semaphore,
+    Barrier,
+    Thread,
+};
+
+/** Printable name of an ObjectKind. */
+const char *objectKindName(ObjectKind kind);
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_IDS_HH

@@ -1,0 +1,230 @@
+#include "trace/serialize.hh"
+
+#include <array>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/string_utils.hh"
+
+namespace lfm::trace
+{
+
+namespace
+{
+
+/** Every EventKind, for name lookup. */
+constexpr std::array<EventKind, 22> kAllEventKinds = {
+    EventKind::ThreadBegin, EventKind::ThreadEnd,  EventKind::Spawn,
+    EventKind::Join,        EventKind::Read,       EventKind::Write,
+    EventKind::Alloc,       EventKind::Free,       EventKind::Lock,
+    EventKind::Unlock,      EventKind::RdLock,     EventKind::RdUnlock,
+    EventKind::WaitBegin,   EventKind::WaitResume, EventKind::SignalOne,
+    EventKind::SignalAll,   EventKind::SemWait,    EventKind::SemPost,
+    EventKind::BarrierCross, EventKind::Yield,     EventKind::FailureMark,
+    EventKind::Blocked,
+};
+
+constexpr std::array<ObjectKind, 7> kAllObjectKinds = {
+    ObjectKind::Variable, ObjectKind::Mutex,     ObjectKind::RWLock,
+    ObjectKind::CondVar,  ObjectKind::Semaphore, ObjectKind::Barrier,
+    ObjectKind::Thread,
+};
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        if (c == '%' || c == ' ' || c == '\n' || c == '\r') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out.empty() ? "%" : out; // "%" alone encodes empty
+}
+
+std::optional<std::string>
+unescape(const std::string &text)
+{
+    if (text == "%")
+        return std::string();
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '%') {
+            out += text[i];
+            continue;
+        }
+        if (i + 2 >= text.size())
+            return std::nullopt;
+        int value = 0;
+        for (int k = 1; k <= 2; ++k) {
+            const char c = text[i + static_cast<std::size_t>(k)];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value += c - '0';
+            else if (c >= 'A' && c <= 'F')
+                value += c - 'A' + 10;
+            else if (c >= 'a' && c <= 'f')
+                value += c - 'a' + 10;
+            else
+                return std::nullopt;
+        }
+        out += static_cast<char>(value);
+        i += 2;
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<EventKind>
+eventKindFromName(const std::string &name)
+{
+    for (EventKind kind : kAllEventKinds) {
+        if (name == eventKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::optional<ObjectKind>
+objectKindFromName(const std::string &name)
+{
+    for (ObjectKind kind : kAllObjectKinds) {
+        if (name == objectKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+void
+saveTrace(const Trace &trace, std::ostream &os)
+{
+    os << "# lfm-trace v1\n";
+    for (const auto &[id, info] : trace.objects()) {
+        os << "object " << id << " " << objectKindName(info.kind)
+           << " " << info.flags << " " << escape(info.name) << "\n";
+    }
+    for (const auto &[tid, name] : trace.threadNames())
+        os << "thread " << tid << " " << escape(name) << "\n";
+    for (const auto &event : trace.events()) {
+        os << "event " << event.thread << " "
+           << eventKindName(event.kind) << " " << event.obj << " "
+           << event.obj2 << " " << event.aux << " "
+           << escape(event.label) << "\n";
+    }
+}
+
+std::string
+traceToString(const Trace &trace)
+{
+    std::ostringstream os;
+    saveTrace(trace, os);
+    return os.str();
+}
+
+std::optional<Trace>
+loadTrace(std::istream &is, std::string *error)
+{
+    auto fail = [error](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    Trace trace;
+    std::string line;
+    std::size_t lineNo = 0;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        const std::string trimmed = support::trim(line);
+        if (trimmed.empty())
+            continue;
+        if (trimmed[0] == '#') {
+            if (trimmed.find("lfm-trace v1") != std::string::npos)
+                sawHeader = true;
+            continue;
+        }
+        if (!sawHeader)
+            return fail("missing '# lfm-trace v1' header");
+
+        const auto fields = support::split(trimmed, ' ');
+        const std::string &tag = fields[0];
+        try {
+            if (tag == "object") {
+                if (fields.size() != 5)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": object needs 4 fields");
+                ObjectInfo info;
+                info.id = std::stoull(fields[1]);
+                auto kind = objectKindFromName(fields[2]);
+                if (!kind)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": unknown object kind " + fields[2]);
+                info.kind = *kind;
+                info.flags =
+                    static_cast<std::uint32_t>(std::stoul(fields[3]));
+                auto name = unescape(fields[4]);
+                if (!name)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": bad escape in name");
+                info.name = *name;
+                trace.registerObject(info);
+            } else if (tag == "thread") {
+                if (fields.size() != 3)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": thread needs 2 fields");
+                auto name = unescape(fields[2]);
+                if (!name)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": bad escape in name");
+                trace.registerThread(std::stoi(fields[1]), *name);
+            } else if (tag == "event") {
+                if (fields.size() != 7)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": event needs 6 fields");
+                Event event;
+                event.thread = std::stoi(fields[1]);
+                auto kind = eventKindFromName(fields[2]);
+                if (!kind)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": unknown event kind " + fields[2]);
+                event.kind = *kind;
+                event.obj = std::stoull(fields[3]);
+                event.obj2 = std::stoull(fields[4]);
+                event.aux = std::stoull(fields[5]);
+                auto label = unescape(fields[6]);
+                if (!label)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": bad escape in label");
+                event.label = *label;
+                trace.append(std::move(event));
+            } else {
+                return fail("line " + std::to_string(lineNo) +
+                            ": unknown record '" + tag + "'");
+            }
+        } catch (const std::exception &) {
+            return fail("line " + std::to_string(lineNo) +
+                        ": malformed number");
+        }
+    }
+    if (!sawHeader)
+        return fail("empty input");
+    return trace;
+}
+
+std::optional<Trace>
+traceFromString(const std::string &text, std::string *error)
+{
+    std::istringstream is(text);
+    return loadTrace(is, error);
+}
+
+} // namespace lfm::trace

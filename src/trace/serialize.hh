@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace serialization: a line-oriented text format for saving failing
+ * executions and loading them back for offline analysis.
+ *
+ * Format (one record per line, space-separated, names %-escaped):
+ *
+ *     # lfm-trace v1
+ *     object <id> <kind> <flags> <name>
+ *     thread <tid> <name>
+ *     event <tid> <kind> <obj> <obj2> <aux> <label>
+ *
+ * Event sequence numbers are implicit (line order). This is the
+ * artifact format the benches and the bug_hunt example emit so a
+ * failing interleaving can be shared and re-analyzed without
+ * re-running the simulator.
+ */
+
+#ifndef LFM_TRACE_SERIALIZE_HH
+#define LFM_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace lfm::trace
+{
+
+/** Write the trace in the v1 text format. */
+void saveTrace(const Trace &trace, std::ostream &os);
+
+/** Convenience: saveTrace into a string. */
+std::string traceToString(const Trace &trace);
+
+/**
+ * Parse a v1 text trace.
+ *
+ * @param error set to a human-readable message on failure
+ * @return the trace, or nullopt when the input is malformed
+ */
+std::optional<Trace> loadTrace(std::istream &is, std::string *error);
+
+/** Convenience: loadTrace from a string. */
+std::optional<Trace> traceFromString(const std::string &text,
+                                     std::string *error = nullptr);
+
+/** Parse an EventKind by its eventKindName(); nullopt if unknown. */
+std::optional<EventKind> eventKindFromName(const std::string &name);
+
+/** Parse an ObjectKind by its objectKindName(); nullopt if unknown. */
+std::optional<ObjectKind> objectKindFromName(const std::string &name);
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_SERIALIZE_HH

@@ -1,0 +1,184 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace lfm::trace
+{
+
+const char *
+objectKindName(ObjectKind kind)
+{
+    switch (kind) {
+      case ObjectKind::Variable:  return "var";
+      case ObjectKind::Mutex:     return "mutex";
+      case ObjectKind::RWLock:    return "rwlock";
+      case ObjectKind::CondVar:   return "cond";
+      case ObjectKind::Semaphore: return "sem";
+      case ObjectKind::Barrier:   return "barrier";
+      case ObjectKind::Thread:    return "thread";
+    }
+    return "?";
+}
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::ThreadBegin:  return "thread_begin";
+      case EventKind::ThreadEnd:    return "thread_end";
+      case EventKind::Spawn:        return "spawn";
+      case EventKind::Join:         return "join";
+      case EventKind::Read:         return "read";
+      case EventKind::Write:        return "write";
+      case EventKind::Alloc:        return "alloc";
+      case EventKind::Free:         return "free";
+      case EventKind::Lock:         return "lock";
+      case EventKind::Unlock:       return "unlock";
+      case EventKind::RdLock:       return "rdlock";
+      case EventKind::RdUnlock:     return "rdunlock";
+      case EventKind::WaitBegin:    return "wait_begin";
+      case EventKind::WaitResume:   return "wait_resume";
+      case EventKind::SignalOne:    return "signal";
+      case EventKind::SignalAll:    return "broadcast";
+      case EventKind::SemWait:      return "sem_wait";
+      case EventKind::SemPost:      return "sem_post";
+      case EventKind::BarrierCross: return "barrier_cross";
+      case EventKind::Yield:        return "yield";
+      case EventKind::FailureMark:  return "FAILURE";
+      case EventKind::Blocked:      return "blocked";
+    }
+    return "?";
+}
+
+SeqNo
+Trace::append(Event event)
+{
+    event.seq = events_.size();
+    events_.push_back(std::move(event));
+    return events_.back().seq;
+}
+
+void
+Trace::registerObject(const ObjectInfo &info)
+{
+    objects_[info.id] = info;
+}
+
+void
+Trace::registerThread(ThreadId tid, std::string name)
+{
+    threadNames_[tid] = std::move(name);
+}
+
+const Event &
+Trace::ev(SeqNo seq) const
+{
+    LFM_ASSERT(seq < events_.size(), "event seq out of range");
+    return events_[seq];
+}
+
+const ObjectInfo *
+Trace::objectInfo(ObjectId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::string
+Trace::objectName(ObjectId id) const
+{
+    auto it = objects_.find(id);
+    if (it != objects_.end() && !it->second.name.empty())
+        return it->second.name;
+    return "obj#" + std::to_string(id);
+}
+
+ObjectKind
+Trace::objectKind(ObjectId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? ObjectKind::Variable : it->second.kind;
+}
+
+std::string
+Trace::threadName(ThreadId tid) const
+{
+    auto it = threadNames_.find(tid);
+    if (it != threadNames_.end() && !it->second.empty())
+        return it->second;
+    return "T" + std::to_string(tid);
+}
+
+std::size_t
+Trace::threadCount() const
+{
+    std::set<ThreadId> tids;
+    for (const auto &event : events_)
+        tids.insert(event.thread);
+    return tids.size();
+}
+
+std::vector<SeqNo>
+Trace::accessesTo(ObjectId var) const
+{
+    std::vector<SeqNo> out;
+    for (const auto &event : events_) {
+        if (event.isAccess() && event.obj == var)
+            out.push_back(event.seq);
+    }
+    return out;
+}
+
+std::vector<ObjectId>
+Trace::accessedVariables() const
+{
+    std::set<ObjectId> vars;
+    for (const auto &event : events_) {
+        if (event.isAccess())
+            vars.insert(event.obj);
+    }
+    return {vars.begin(), vars.end()};
+}
+
+std::vector<ObjectId>
+Trace::lockedObjects() const
+{
+    std::set<ObjectId> locks;
+    for (const auto &event : events_) {
+        if (event.kind == EventKind::Lock || event.kind == EventKind::RdLock)
+            locks.insert(event.obj);
+    }
+    return {locks.begin(), locks.end()};
+}
+
+std::vector<SeqNo>
+Trace::failures() const
+{
+    std::vector<SeqNo> out;
+    for (const auto &event : events_) {
+        if (event.kind == EventKind::FailureMark)
+            out.push_back(event.seq);
+    }
+    return out;
+}
+
+std::string
+Trace::render(const Event &event) const
+{
+    std::ostringstream os;
+    os << "#" << event.seq << " " << threadName(event.thread) << " "
+       << eventKindName(event.kind);
+    if (event.obj != kNoObject)
+        os << " " << objectName(event.obj);
+    if (event.obj2 != kNoObject)
+        os << " / " << objectName(event.obj2);
+    if (!event.label.empty())
+        os << " [" << event.label << "]";
+    return os.str();
+}
+
+} // namespace lfm::trace

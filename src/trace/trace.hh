@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Append-only execution trace plus the object/thread name registry and
+ * the per-object access indices detectors rely on.
+ */
+
+#ifndef LFM_TRACE_TRACE_HH
+#define LFM_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+#include "trace/ids.hh"
+
+namespace lfm::trace
+{
+
+/** ObjectInfo flag: the variable starts life uninitialized. */
+constexpr std::uint32_t kStartsUninit = 1u << 0;
+
+/** Static description of one instrumented object. */
+struct ObjectInfo
+{
+    ObjectId id = kNoObject;
+    ObjectKind kind = ObjectKind::Variable;
+    std::string name;
+    std::uint32_t flags = 0;
+};
+
+/**
+ * One execution's event sequence.
+ *
+ * The simulator appends events in the global total order it created
+ * them; detectors receive the trace read-only and use the index helpers
+ * here rather than building their own maps.
+ */
+class Trace
+{
+  public:
+    /** Append an event; assigns and returns its sequence number. */
+    SeqNo append(Event event);
+
+    /** Register (or re-register) an object's static description. */
+    void registerObject(const ObjectInfo &info);
+
+    /** Register a logical thread's display name. */
+    void registerThread(ThreadId tid, std::string name);
+
+    /** All events in order; ev(i).seq == i. */
+    const std::vector<Event> &events() const { return events_; }
+
+    /** Event by sequence number. */
+    const Event &ev(SeqNo seq) const;
+
+    /** Number of events. */
+    std::size_t size() const { return events_.size(); }
+
+    bool empty() const { return events_.empty(); }
+
+    /** Static description of an object; nullptr when unregistered. */
+    const ObjectInfo *objectInfo(ObjectId id) const;
+
+    /** Display name for an object; "obj#N" when unregistered. */
+    std::string objectName(ObjectId id) const;
+
+    /** Kind for an object; Variable when unregistered. */
+    ObjectKind objectKind(ObjectId id) const;
+
+    /** Display name for a thread; "T<N>" when unregistered. */
+    std::string threadName(ThreadId tid) const;
+
+    /** Number of distinct logical threads that produced events. */
+    std::size_t threadCount() const;
+
+    /** Sequence numbers of Read/Write events on the given variable. */
+    std::vector<SeqNo> accessesTo(ObjectId var) const;
+
+    /** Ids of all variables with at least one access, sorted. */
+    std::vector<ObjectId> accessedVariables() const;
+
+    /** Ids of all mutexes/rwlocks with at least one acquisition. */
+    std::vector<ObjectId> lockedObjects() const;
+
+    /** Sequence numbers of all FailureMark events. */
+    std::vector<SeqNo> failures() const;
+
+    /** Human-readable one-line rendering of an event (debugging). */
+    std::string render(const Event &event) const;
+
+    /** All registered objects, by id (serialization support). */
+    const std::map<ObjectId, ObjectInfo> &objects() const
+    {
+        return objects_;
+    }
+
+    /** All registered thread names (serialization support). */
+    const std::map<ThreadId, std::string> &threadNames() const
+    {
+        return threadNames_;
+    }
+
+  private:
+    std::vector<Event> events_;
+    std::map<ObjectId, ObjectInfo> objects_;
+    std::map<ThreadId, std::string> threadNames_;
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_TRACE_HH

@@ -1,0 +1,153 @@
+#include "trace/validate.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace lfm::trace
+{
+
+namespace
+{
+
+std::string
+at(const Trace &trace, const Event &event, const std::string &what)
+{
+    std::ostringstream os;
+    os << "#" << event.seq << " (" << trace.render(event)
+       << "): " << what;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+validateTrace(const Trace &trace)
+{
+    std::vector<std::string> problems;
+    auto report = [&problems, &trace](const Event &event,
+                                      const std::string &what) {
+        problems.push_back(at(trace, event, what));
+    };
+
+    std::map<ThreadId, int> begins;
+    std::map<ThreadId, int> ends;
+    std::set<ThreadId> endedThreads;
+    // mutex -> holder (write side); rwlock readers share the map.
+    std::map<ObjectId, ThreadId> holder;
+    std::map<ObjectId, std::set<ThreadId>> readers;
+    // (thread) -> open WaitBegin count per condvar.
+    std::map<ThreadId, std::map<ObjectId, int>> openWaits;
+
+    for (const auto &event : trace.events()) {
+        if (endedThreads.count(event.thread) &&
+            event.kind != EventKind::ThreadEnd)
+            report(event, "event after the thread ended");
+
+        switch (event.kind) {
+          case EventKind::ThreadBegin:
+            if (++begins[event.thread] > 1)
+                report(event, "duplicate thread begin");
+            break;
+          case EventKind::ThreadEnd:
+            if (++ends[event.thread] > 1)
+                report(event, "duplicate thread end");
+            endedThreads.insert(event.thread);
+            break;
+          case EventKind::Lock: {
+            auto it = holder.find(event.obj);
+            if (it != holder.end() && it->second != kNoThread)
+                report(event, "lock acquired while held by " +
+                                  trace.threadName(it->second));
+            if (!readers[event.obj].empty())
+                report(event, "write lock acquired under readers");
+            holder[event.obj] = event.thread;
+            break;
+          }
+          case EventKind::Unlock: {
+            auto it = holder.find(event.obj);
+            if (it == holder.end() || it->second != event.thread)
+                report(event, "unlock by non-holder");
+            holder[event.obj] = kNoThread;
+            break;
+          }
+          case EventKind::RdLock:
+            if (holder.count(event.obj) &&
+                holder[event.obj] != kNoThread)
+                report(event, "read lock acquired under a writer");
+            if (!readers[event.obj].insert(event.thread).second)
+                report(event, "duplicate read lock by one thread");
+            break;
+          case EventKind::RdUnlock:
+            if (readers[event.obj].erase(event.thread) == 0)
+                report(event, "read unlock without read lock");
+            break;
+          case EventKind::WaitBegin: {
+            auto it = holder.find(event.obj2);
+            if (it == holder.end() || it->second != event.thread)
+                report(event, "wait without holding the mutex");
+            holder[event.obj2] = kNoThread; // wait releases
+            ++openWaits[event.thread][event.obj];
+            break;
+          }
+          case EventKind::WaitResume: {
+            if (openWaits[event.thread][event.obj] <= 0) {
+                report(event, "resume without matching wait");
+            } else {
+                --openWaits[event.thread][event.obj];
+            }
+            auto it = holder.find(event.obj2);
+            if (it != holder.end() && it->second != kNoThread)
+                report(event, "resume while mutex held elsewhere");
+            holder[event.obj2] = event.thread; // reacquired
+            if (event.aux != kSpuriousWakeup) {
+                if (event.aux >= event.seq)
+                    report(event, "waking signal after the resume");
+                else {
+                    const auto &sig = trace.ev(event.aux);
+                    if (sig.kind != EventKind::SignalOne &&
+                        sig.kind != EventKind::SignalAll)
+                        report(event,
+                               "aux does not reference a signal");
+                }
+            }
+            break;
+          }
+          case EventKind::SemWait:
+            if (event.aux != kSpuriousWakeup &&
+                event.aux >= event.seq)
+                report(event, "matched post after the wait");
+            break;
+          case EventKind::Join: {
+            // aux references the child's ThreadEnd.
+            if (event.aux >= event.seq) {
+                report(event, "join before the child ended");
+            } else {
+                const auto &end = trace.ev(event.aux);
+                if (end.kind != EventKind::ThreadEnd)
+                    report(event,
+                           "join aux does not reference a thread "
+                           "end");
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (const auto &[tid, n] : begins) {
+        if (ends[tid] == 0 && n > 0) {
+            // Aborted executions (deadlock/step limit) legitimately
+            // end without ThreadEnd events; only flag *extra* ends.
+            continue;
+        }
+    }
+    for (const auto &[tid, waits] : openWaits) {
+        (void)tid;
+        (void)waits; // open waits are legal in deadlocked traces
+    }
+    return problems;
+}
+
+} // namespace lfm::trace

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Trace well-formedness validation.
+ *
+ * A structurally valid execution trace satisfies invariants that any
+ * consumer (detectors, the HB builder, serialization) relies on:
+ * balanced lock/unlock per thread, mutual exclusion, single
+ * begin/end per thread, wait/resume pairing, sane event references.
+ * The validator reports every violation; it is used by the tests as
+ * an executor oracle and by analyze_trace to sanity-check loaded
+ * files.
+ */
+
+#ifndef LFM_TRACE_VALIDATE_HH
+#define LFM_TRACE_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace lfm::trace
+{
+
+/** All invariant violations found in the trace; empty = valid. */
+std::vector<std::string> validateTrace(const Trace &trace);
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_VALIDATE_HH

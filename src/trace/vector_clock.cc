@@ -1,0 +1,95 @@
+#include "trace/vector_clock.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace lfm::trace
+{
+
+std::uint64_t
+VectorClock::get(ThreadId tid) const
+{
+    LFM_ASSERT(tid >= 0, "negative thread id in vector clock");
+    const auto i = static_cast<std::size_t>(tid);
+    return i < c_.size() ? c_[i] : 0;
+}
+
+void
+VectorClock::set(ThreadId tid, std::uint64_t value)
+{
+    LFM_ASSERT(tid >= 0, "negative thread id in vector clock");
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= c_.size())
+        c_.resize(i + 1, 0);
+    c_[i] = value;
+}
+
+void
+VectorClock::tick(ThreadId tid)
+{
+    set(tid, get(tid) + 1);
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.c_.size() > c_.size())
+        c_.resize(other.c_.size(), 0);
+    for (std::size_t i = 0; i < other.c_.size(); ++i)
+        c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool
+VectorClock::lessEq(const VectorClock &other) const
+{
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+        const std::uint64_t mine = c_[i];
+        const std::uint64_t theirs = i < other.c_.size() ? other.c_[i] : 0;
+        if (mine > theirs)
+            return false;
+    }
+    return true;
+}
+
+bool
+VectorClock::lessThan(const VectorClock &other) const
+{
+    return lessEq(other) && !(*this == other);
+}
+
+bool
+VectorClock::concurrentWith(const VectorClock &other) const
+{
+    return !lessEq(other) && !other.lessEq(*this);
+}
+
+bool
+VectorClock::operator==(const VectorClock &other) const
+{
+    const std::size_t n = std::max(c_.size(), other.c_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t a = i < c_.size() ? c_[i] : 0;
+        const std::uint64_t b = i < other.c_.size() ? other.c_[i] : 0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << c_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace lfm::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Dense vector clocks over logical thread ids.
+ *
+ * Thread ids in one execution are dense and small (the studied bugs
+ * involve 2-4 threads), so a flat vector beats any sparse scheme.
+ */
+
+#ifndef LFM_TRACE_VECTOR_CLOCK_HH
+#define LFM_TRACE_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/ids.hh"
+
+namespace lfm::trace
+{
+
+/** A classic vector clock: component per thread. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Clock with the given number of components, all zero. */
+    explicit VectorClock(std::size_t threads) : c_(threads, 0) {}
+
+    /** Number of components (grows on demand). */
+    std::size_t size() const { return c_.size(); }
+
+    /** Component for a thread; 0 if beyond current size. */
+    std::uint64_t get(ThreadId tid) const;
+
+    /** Set a component, growing as needed. */
+    void set(ThreadId tid, std::uint64_t value);
+
+    /** Increment a thread's own component. */
+    void tick(ThreadId tid);
+
+    /** Pointwise maximum with another clock. */
+    void join(const VectorClock &other);
+
+    /** True when this <= other pointwise. */
+    bool lessEq(const VectorClock &other) const;
+
+    /** True when this <= other and this != other. */
+    bool lessThan(const VectorClock &other) const;
+
+    /** True when neither clock dominates the other. */
+    bool concurrentWith(const VectorClock &other) const;
+
+    bool operator==(const VectorClock &other) const;
+
+    /** "[a,b,c]" rendering for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> c_;
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_VECTOR_CLOCK_HH

@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Detector unit tests over hand-built traces plus simulator
+ * integration checks: each detector family flags exactly the bug
+ * shapes it is supposed to see.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "detect/atomicity.hh"
+#include "detect/deadlock.hh"
+#include "detect/detector.hh"
+#include "detect/lockset.hh"
+#include "detect/multivar.hh"
+#include "detect/order.hh"
+#include "detect/race_hb.hh"
+#include "sim/policy.hh"
+#include "sim/program.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::detect;
+using namespace lfm::trace;
+
+Event
+mk(ThreadId tid, EventKind kind, ObjectId obj = kNoObject,
+   ObjectId obj2 = kNoObject, std::uint64_t aux = 0)
+{
+    Event e;
+    e.thread = tid;
+    e.kind = kind;
+    e.obj = obj;
+    e.obj2 = obj2;
+    e.aux = aux;
+    return e;
+}
+
+void
+begin(Trace &t, ThreadId tid)
+{
+    t.append(mk(tid, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+}
+
+// ---------------------------------------------------------------
+// HB race detector
+// ---------------------------------------------------------------
+
+TEST(HbRace, FlagsUnorderedWriteWrite)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(1, EventKind::Write, 9));
+    HbRaceDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "data-race");
+    EXPECT_EQ(fs[0].primaryObj, 9u);
+}
+
+TEST(HbRace, IgnoresReadReadAndLockOrdered)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    // read-read is never a race
+    t.append(mk(0, EventKind::Read, 9));
+    t.append(mk(1, EventKind::Read, 9));
+    // lock-ordered write-write is not a race
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Write, 8));
+    t.append(mk(0, EventKind::Unlock, 5));
+    t.append(mk(1, EventKind::Lock, 5));
+    t.append(mk(1, EventKind::Write, 8));
+    t.append(mk(1, EventKind::Unlock, 5));
+    HbRaceDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(HbRace, FirstOnlyCollapsesDuplicates)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    for (int i = 0; i < 4; ++i) {
+        t.append(mk(0, EventKind::Write, 9));
+        t.append(mk(1, EventKind::Write, 9));
+    }
+    HbRaceDetector d;
+    EXPECT_EQ(d.analyze(t).size(), 1u);
+    d.setFirstOnly(false);
+    EXPECT_GT(d.analyze(t).size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Lockset detector
+// ---------------------------------------------------------------
+
+TEST(Lockset, EmptyInterectionFlagged)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(0, EventKind::Unlock, 5));
+    t.append(mk(1, EventKind::Lock, 6)); // different lock!
+    t.append(mk(1, EventKind::Write, 9));
+    t.append(mk(1, EventKind::Unlock, 6));
+    LocksetDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].primaryObj, 9u);
+}
+
+TEST(Lockset, ConsistentLockingClean)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    for (ThreadId tid : {0, 1}) {
+        t.append(mk(tid, EventKind::Lock, 5));
+        t.append(mk(tid, EventKind::Write, 9));
+        t.append(mk(tid, EventKind::Unlock, 5));
+    }
+    LocksetDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(Lockset, FlagsForkJoinFalsePositive)
+{
+    // Accesses ordered by spawn/join race under lockset discipline:
+    // the classic Eraser false positive the study discusses.
+    Trace t;
+    begin(t, 0);
+    t.append(mk(0, EventKind::Write, 9));          // 1
+    t.append(mk(0, EventKind::Spawn, 100));        // 2
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject, 2));
+    t.append(mk(1, EventKind::Write, 9));          // 4
+    LocksetDetector lockset;
+    HbRaceDetector hbrace;
+    EXPECT_EQ(lockset.analyze(t).size(), 1u); // false positive
+    EXPECT_TRUE(hbrace.analyze(t).empty());  // HB knows better
+}
+
+TEST(Lockset, ReadLockProtectsReads)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Lock, 5)); // writer takes write lock
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(0, EventKind::Unlock, 5));
+    t.append(mk(1, EventKind::RdLock, 5));
+    t.append(mk(1, EventKind::Read, 9));
+    t.append(mk(1, EventKind::RdUnlock, 5));
+    LocksetDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+// ---------------------------------------------------------------
+// Atomicity detector
+// ---------------------------------------------------------------
+
+TEST(Atomicity, TripleTable)
+{
+    // The four unserializable interleavings...
+    EXPECT_TRUE(unserializableTriple(false, true, false));  // RWR
+    EXPECT_TRUE(unserializableTriple(true, true, false));   // WWR
+    EXPECT_TRUE(unserializableTriple(false, true, true));   // RWW
+    EXPECT_TRUE(unserializableTriple(true, false, true));   // WRW
+    // ...and the four serializable ones.
+    EXPECT_FALSE(unserializableTriple(false, false, false)); // RRR
+    EXPECT_FALSE(unserializableTriple(true, false, false));  // WRR
+    EXPECT_FALSE(unserializableTriple(false, false, true));  // RRW
+    EXPECT_FALSE(unserializableTriple(true, true, true));    // WWW
+}
+
+TEST(Atomicity, FlagsInterleavedWriteBetweenReadAndWrite)
+{
+    // The lost-update shape: T0 reads, T1 writes, T0 writes.
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Read, 9));
+    t.append(mk(1, EventKind::Write, 9));
+    t.append(mk(0, EventKind::Write, 9));
+    AtomicityDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "atomicity-violation");
+    EXPECT_NE(fs[0].message.find("RWW"), std::string::npos);
+}
+
+TEST(Atomicity, SerializableInterleavingClean)
+{
+    // T1 only reads between T0's two reads: serializable.
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Read, 9));
+    t.append(mk(1, EventKind::Read, 9));
+    t.append(mk(0, EventKind::Read, 9));
+    AtomicityDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(Atomicity, NoRemoteInterleavingClean)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Read, 9));
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(1, EventKind::Write, 9));
+    AtomicityDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(Atomicity, WindowLimitsRegionSize)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Read, 9));
+    t.append(mk(1, EventKind::Write, 9));
+    for (int i = 0; i < 10; ++i)
+        t.append(mk(0, EventKind::Yield));
+    t.append(mk(0, EventKind::Write, 9));
+    AtomicityDetector d;
+    d.setWindow(4);
+    EXPECT_TRUE(d.analyze(t).empty());
+    d.setWindow(64);
+    EXPECT_EQ(d.analyze(t).size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Multi-variable detector
+// ---------------------------------------------------------------
+
+Trace
+correlatedPairTrace(bool interleaved)
+{
+    // T0 twice accesses the pair (8, 9) together (training the
+    // correlation); on the last pass T1 writes 9 in the middle.
+    Trace t;
+    t.registerObject({8, ObjectKind::Variable, "len", 0});
+    t.registerObject({9, ObjectKind::Variable, "buf", 0});
+    begin(t, 0);
+    begin(t, 1);
+    for (int round = 0; round < 2; ++round) {
+        t.append(mk(0, EventKind::Write, 8));
+        t.append(mk(0, EventKind::Write, 9));
+    }
+    t.append(mk(0, EventKind::Read, 8));
+    if (interleaved)
+        t.append(mk(1, EventKind::Write, 9));
+    t.append(mk(0, EventKind::Read, 9));
+    return t;
+}
+
+TEST(MultiVar, InfersCorrelationAndFlagsInterleaving)
+{
+    Trace t = correlatedPairTrace(true);
+    MultiVarDetector d;
+    auto pairs = d.inferCorrelations(t);
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0].first, 8u);
+    EXPECT_EQ(pairs[0].second, 9u);
+    auto fs = d.analyze(t);
+    ASSERT_GE(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "multivar-atomicity-violation");
+}
+
+TEST(MultiVar, CleanWithoutInterleaving)
+{
+    Trace t = correlatedPairTrace(false);
+    MultiVarDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(MultiVar, NoCorrelationNoFinding)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Write, 8));
+    t.append(mk(1, EventKind::Write, 9));
+    MultiVarDetector d;
+    EXPECT_TRUE(d.inferCorrelations(t).empty());
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+// ---------------------------------------------------------------
+// Order detector
+// ---------------------------------------------------------------
+
+TEST(Order, ReadBeforeInit)
+{
+    Trace t;
+    begin(t, 0);
+    Event e = mk(0, EventKind::Read, 9);
+    e.aux = 1; // executor's uninitialized-read marker
+    t.append(e);
+    OrderDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_NE(fs[0].message.find("read-before-init"),
+              std::string::npos);
+}
+
+TEST(Order, UseAfterFreeAndReallocReset)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Free, 9));
+    t.append(mk(1, EventKind::Write, 9)); // UAF
+    OrderDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "order-violation");
+
+    // After re-allocation the access is clean again.
+    Trace t2;
+    begin(t2, 0);
+    t2.append(mk(0, EventKind::Free, 9));
+    t2.append(mk(0, EventKind::Alloc, 9));
+    t2.append(mk(0, EventKind::Write, 9));
+    EXPECT_TRUE(d.analyze(t2).empty());
+}
+
+TEST(Order, StuckWaitReported)
+{
+    Trace t;
+    begin(t, 0);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::WaitBegin, 7, 5));
+    // no WaitResume: missed notification
+    OrderDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "stuck-wait");
+}
+
+TEST(Order, ResumedWaitClean)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::WaitBegin, 7, 5));
+    t.append(mk(1, EventKind::SignalOne, 7));
+    t.append(mk(0, EventKind::WaitResume, 7, 5, 4));
+    OrderDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+// ---------------------------------------------------------------
+// Deadlock detector
+// ---------------------------------------------------------------
+
+TEST(Deadlock, AbbaCycle)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Lock, 6));
+    t.append(mk(0, EventKind::Unlock, 6));
+    t.append(mk(0, EventKind::Unlock, 5));
+    t.append(mk(1, EventKind::Lock, 6));
+    t.append(mk(1, EventKind::Lock, 5));
+    t.append(mk(1, EventKind::Unlock, 5));
+    t.append(mk(1, EventKind::Unlock, 6));
+    DeadlockDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].category, "deadlock-cycle");
+    EXPECT_NE(fs[0].message.find("2 resources"), std::string::npos);
+}
+
+TEST(Deadlock, ConsistentOrderClean)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    for (ThreadId tid : {0, 1}) {
+        t.append(mk(tid, EventKind::Lock, 5));
+        t.append(mk(tid, EventKind::Lock, 6));
+        t.append(mk(tid, EventKind::Unlock, 6));
+        t.append(mk(tid, EventKind::Unlock, 5));
+    }
+    DeadlockDetector d;
+    EXPECT_TRUE(d.analyze(t).empty());
+}
+
+TEST(Deadlock, SelfRelockViaBlockedEvent)
+{
+    Trace t;
+    begin(t, 0);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Blocked, 5, kNoObject, 0));
+    DeadlockDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_NE(fs[0].message.find("1 resource"), std::string::npos);
+}
+
+TEST(Deadlock, ThreeLockCycle)
+{
+    Trace t;
+    begin(t, 0);
+    begin(t, 1);
+    begin(t, 2);
+    auto holdPair = [&](ThreadId tid, ObjectId a, ObjectId b) {
+        t.append(mk(tid, EventKind::Lock, a));
+        t.append(mk(tid, EventKind::Lock, b));
+        t.append(mk(tid, EventKind::Unlock, b));
+        t.append(mk(tid, EventKind::Unlock, a));
+    };
+    holdPair(0, 5, 6);
+    holdPair(1, 6, 7);
+    holdPair(2, 7, 5);
+    DeadlockDetector d;
+    auto fs = d.analyze(t);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_NE(fs[0].message.find("3 resources"), std::string::npos);
+}
+
+TEST(Deadlock, GraphEdgesExposed)
+{
+    Trace t;
+    begin(t, 0);
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Lock, 6));
+    LockOrderGraph g(t);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_TRUE(g.edges().at(5).count(6));
+}
+
+// ---------------------------------------------------------------
+// Simulator integration: run buggy programs, detect on the trace
+// ---------------------------------------------------------------
+
+TEST(Integration, RacyIncrementCaughtByRaceAndAtomicity)
+{
+    auto factory = [] {
+        auto v = std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("counter", 0);
+        sim::Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        return p;
+    };
+    sim::RandomPolicy policy;
+    // Find a seed where the interleaving actually happened.
+    bool atomicitySeen = false;
+    bool raceSeen = false;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        HbRaceDetector race;
+        AtomicityDetector atom;
+        raceSeen |= !race.analyze(exec.trace).empty();
+        atomicitySeen |= !atom.analyze(exec.trace).empty();
+    }
+    EXPECT_TRUE(raceSeen);
+    EXPECT_TRUE(atomicitySeen);
+}
+
+TEST(Integration, DeadlockedExecutionYieldsCycle)
+{
+    auto factory = [] {
+        struct State
+        {
+            std::unique_ptr<sim::SimMutex> a, b;
+        };
+        auto s = std::make_shared<State>();
+        s->a = std::make_unique<sim::SimMutex>("A");
+        s->b = std::make_unique<sim::SimMutex>("B");
+        sim::Program p;
+        p.threads.push_back({"t1", [s] {
+                                 s->a->lock();
+                                 s->b->lock();
+                                 s->b->unlock();
+                                 s->a->unlock();
+                             }});
+        p.threads.push_back({"t2", [s] {
+                                 s->b->lock();
+                                 s->a->lock();
+                                 s->a->unlock();
+                                 s->b->unlock();
+                             }});
+        return p;
+    };
+    sim::RandomPolicy policy;
+    bool cycleSeen = false;
+    for (std::uint64_t seed = 0; seed < 64 && !cycleSeen; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        DeadlockDetector d;
+        if (!d.analyze(exec.trace).empty())
+            cycleSeen = true;
+        // A cycle must be found at the latest when it deadlocked.
+        if (exec.deadlocked)
+            EXPECT_FALSE(d.analyze(exec.trace).empty());
+    }
+    EXPECT_TRUE(cycleSeen);
+}
+
+TEST(Integration, AllDetectorsRunCleanOnCleanProgram)
+{
+    auto factory = [] {
+        struct State
+        {
+            std::unique_ptr<sim::SimMutex> m;
+            std::unique_ptr<sim::SharedVar<int>> v;
+        };
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<sim::SimMutex>("m");
+        s->v = std::make_unique<sim::SharedVar<int>>("v", 0);
+        sim::Program p;
+        auto body = [s] {
+            sim::SimLock guard(*s->m);
+            s->v->add(1);
+        };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        return p;
+    };
+    sim::RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        for (auto &d : allDetectors()) {
+            EXPECT_TRUE(d->analyze(exec.trace).empty())
+                << d->name() << " false positive, seed " << seed;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Schedule minimization: failing schedules shrink to few
+ * preemptions, still fail after shrinking, and the study's
+ * prediction holds — kernels with a <=4-op certificate minimize to a
+ * couple of forced switches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bugs/registry.hh"
+#include "explore/dfs.hh"
+#include "explore/minimize.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+sim::ProgramFactory
+racyFactory()
+{
+    return [] {
+        auto v =
+            std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("c", 0);
+        sim::Program p;
+        auto body = [v] {
+            for (int i = 0; i < 2; ++i)
+                (*v)->add(1);
+        };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [v]() -> std::optional<std::string> {
+            if ((*v)->peek() != 4)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+}
+
+/** A failing path found by random stress (typically noisy). */
+std::vector<std::size_t>
+noisyFailingPath(const sim::ProgramFactory &factory)
+{
+    sim::RandomPolicy policy;
+    for (std::uint64_t seed = 0;; ++seed) {
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        auto exec = sim::runProgram(factory, policy, opt);
+        if (exec.failed()) {
+            std::vector<std::size_t> path;
+            for (const auto &d : exec.decisions)
+                path.push_back(d.chosen);
+            return path;
+        }
+        if (seed > 2000)
+            return {};
+    }
+}
+
+TEST(Minimize, ShrinksNoisyRandomSchedule)
+{
+    auto factory = racyFactory();
+    auto path = noisyFailingPath(factory);
+    ASSERT_FALSE(path.empty());
+
+    auto result = explore::minimizeSchedule(factory, path);
+    EXPECT_TRUE(result.stillFails);
+    EXPECT_LE(result.preemptionsAfter, result.preemptionsBefore);
+    // A lost update needs at most two forced switches.
+    EXPECT_LE(result.preemptionsAfter, 2u);
+}
+
+TEST(Minimize, NonFailingPathIsReturnedUnchanged)
+{
+    auto factory = racyFactory();
+    // Round-robin completes both threads serially: no failure.
+    sim::RoundRobinPolicy rr;
+    auto benign = sim::runProgram(factory, rr);
+    ASSERT_FALSE(benign.failed());
+    std::vector<std::size_t> path;
+    for (const auto &d : benign.decisions)
+        path.push_back(d.chosen);
+
+    auto result = explore::minimizeSchedule(factory, path);
+    EXPECT_FALSE(result.stillFails);
+    EXPECT_EQ(result.schedule, path);
+}
+
+TEST(Minimize, PreemptionCountingMatchesManualTrace)
+{
+    auto factory = racyFactory();
+    sim::RoundRobinPolicy rr;
+    auto serial = sim::runProgram(factory, rr);
+    // Round-robin never leaves a runnable thread: 0 preemptions.
+    EXPECT_EQ(explore::countPreemptions(serial), 0u);
+}
+
+class MinimizeKernelTest
+    : public ::testing::TestWithParam<const bugs::BugKernel *>
+{
+};
+
+std::string
+minName(const ::testing::TestParamInfo<const bugs::BugKernel *> &i)
+{
+    std::string name = i.param->info().id;
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+TEST_P(MinimizeKernelTest, KernelSchedulesMinimizeToFewPreemptions)
+{
+    const auto &kernel = *GetParam();
+    auto factory = kernel.factory(bugs::Variant::Buggy);
+
+    explore::DfsOptions opt;
+    opt.maxExecutions = 4000;
+    opt.stopAtFirst = true;
+    auto found = explore::exploreDfs(factory, opt);
+    ASSERT_TRUE(found.firstManifestPath.has_value())
+        << kernel.info().id;
+
+    auto result =
+        explore::minimizeSchedule(factory, *found.firstManifestPath);
+    EXPECT_TRUE(result.stillFails) << kernel.info().id;
+    // The study's finding: a handful of ordered operations — hence a
+    // handful of forced preemptions — suffices.
+    EXPECT_LE(result.preemptionsAfter, 4u) << kernel.info().id;
+}
+
+/** Certificate-carrying non-"other" kernels minimize predictably. */
+std::vector<const bugs::BugKernel *>
+minimizableKernels()
+{
+    std::vector<const bugs::BugKernel *> out;
+    for (const auto *k : bugs::allKernels()) {
+        if (k->info().patterns.count(study::Pattern::Other))
+            continue;
+        if (k->info().manifestation.empty() &&
+            !k->info().isDeadlock())
+            continue;
+        out.push_back(k);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, MinimizeKernelTest,
+                         ::testing::ValuesIn(minimizableKernels()),
+                         minName);
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Predictive atomicity detection: flags violations from *benign*
+ * traces (where the execution-sensitive detector sees nothing), and
+ * stays silent once the fix orders the remote access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugs/registry.hh"
+#include "detect/atomicity.hh"
+#include "detect/predictive.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+/** A benign (non-manifesting) execution of the kernel variant. */
+std::optional<sim::Execution>
+benignTrace(const bugs::BugKernel &kernel, bugs::Variant variant)
+{
+    // Round-robin runs each thread to completion: the classic
+    // in-house test schedule that hides these bugs.
+    sim::RoundRobinPolicy policy;
+    auto exec = sim::runProgram(kernel.factory(variant), policy);
+    if (explore::defaultManifest(exec))
+        return std::nullopt;
+    return exec;
+}
+
+TEST(Predictive, HandBuiltBenignTraceIsPredicted)
+{
+    using namespace lfm::trace;
+    Trace t;
+    auto begin = [&t](ThreadId tid) {
+        Event e;
+        e.thread = tid;
+        e.kind = EventKind::ThreadBegin;
+        e.aux = kSpuriousWakeup;
+        t.append(e);
+    };
+    auto access = [&t](ThreadId tid, EventKind kind, ObjectId obj) {
+        Event e;
+        e.thread = tid;
+        e.kind = kind;
+        e.obj = obj;
+        t.append(e);
+    };
+    begin(0);
+    begin(1);
+    // T0's read-then-write region executes untouched; T1's write
+    // happens after — benign order, but nothing synchronizes it.
+    access(0, EventKind::Read, 9);
+    access(0, EventKind::Write, 9);
+    access(1, EventKind::Write, 9);
+
+    detect::AtomicityDetector plain;
+    detect::PredictiveAtomicityDetector predictive;
+    EXPECT_TRUE(plain.analyze(t).empty())
+        << "no interleaving occurred, plain AVIO must be silent";
+    auto fs = predictive.analyze(t);
+    ASSERT_FALSE(fs.empty());
+    EXPECT_NE(fs[0].message.find("RWW"), std::string::npos);
+}
+
+TEST(Predictive, LockOrderedRemoteIsNotPredicted)
+{
+    using namespace lfm::trace;
+    Trace t;
+    Event e;
+    e.thread = 0;
+    e.kind = EventKind::ThreadBegin;
+    e.aux = kSpuriousWakeup;
+    t.append(e);
+    e.thread = 1;
+    t.append(e);
+
+    auto ev = [&t](ThreadId tid, EventKind kind, ObjectId obj) {
+        Event x;
+        x.thread = tid;
+        x.kind = kind;
+        x.obj = obj;
+        t.append(x);
+    };
+    // T0 region under lock 5; T1's write also under lock 5.
+    ev(0, EventKind::Lock, 5);
+    ev(0, EventKind::Read, 9);
+    ev(0, EventKind::Write, 9);
+    ev(0, EventKind::Unlock, 5);
+    ev(1, EventKind::Lock, 5);
+    ev(1, EventKind::Write, 9);
+    ev(1, EventKind::Unlock, 5);
+
+    detect::PredictiveAtomicityDetector predictive;
+    EXPECT_TRUE(predictive.analyze(t).empty());
+}
+
+class PredictiveKernelTest
+    : public ::testing::TestWithParam<const bugs::BugKernel *>
+{
+};
+
+std::string
+predName(const ::testing::TestParamInfo<const bugs::BugKernel *> &i)
+{
+    std::string name = i.param->info().id;
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+TEST_P(PredictiveKernelTest, PredictsFromBenignBuggyTrace)
+{
+    const auto &kernel = *GetParam();
+    auto exec = benignTrace(kernel, bugs::Variant::Buggy);
+    ASSERT_TRUE(exec.has_value())
+        << "round-robin unexpectedly manifested the bug";
+    detect::AtomicityDetector plain;
+    detect::PredictiveAtomicityDetector predictive;
+    EXPECT_TRUE(plain.analyze(exec->trace).empty())
+        << "benign trace should carry no actual interleaving";
+    EXPECT_FALSE(predictive.analyze(exec->trace).empty())
+        << kernel.info().id
+        << ": prediction missed the latent violation";
+}
+
+TEST_P(PredictiveKernelTest, SilentOnLockFixedVariant)
+{
+    const auto &kernel = *GetParam();
+    if (kernel.info().ndFix != study::NonDeadlockFix::AddLock)
+        GTEST_SKIP() << "fix does not order the remote access";
+    auto exec = benignTrace(kernel, bugs::Variant::Fixed);
+    ASSERT_TRUE(exec.has_value());
+    detect::PredictiveAtomicityDetector predictive;
+    EXPECT_TRUE(predictive.analyze(exec->trace).empty())
+        << kernel.info().id << ": false positive on the lock fix";
+}
+
+/** Single-variable atomicity kernels: prediction's target shape. */
+std::vector<const bugs::BugKernel *>
+predictableKernels()
+{
+    std::vector<const bugs::BugKernel *> out;
+    for (const auto *k : bugs::allKernels()) {
+        const auto &info = k->info();
+        if (info.type != study::BugType::NonDeadlock)
+            continue;
+        if (!info.patterns.count(study::Pattern::Atomicity))
+            continue;
+        if (info.variables != 1)
+            continue;
+        // The double-free kernel's region is check/free/clear over
+        // two cells; its single-variable projection is not a triple.
+        if (info.id == "moz-18025")
+            continue;
+        out.push_back(k);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(SingleVarAtomicity, PredictiveKernelTest,
+                         ::testing::ValuesIn(predictableKernels()),
+                         predName);
+
+} // namespace

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property-based suites over randomly generated concurrent programs
+ * (parameterized gtest sweeps): executor determinism and replay,
+ * happens-before relation laws, detector soundness on disciplined
+ * programs, and cross-detector containment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/atomicity.hh"
+#include "detect/deadlock.hh"
+#include "detect/lockset.hh"
+#include "detect/race_hb.hh"
+#include "explore/randprog.hh"
+#include "sim/policy.hh"
+#include "trace/hb.hh"
+
+namespace
+{
+
+using namespace lfm;
+using explore::RandProgConfig;
+
+/** Sweep parameter: the generator seed. */
+class RandomProgramTest : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    std::uint64_t seed() const { return GetParam(); }
+
+    sim::Execution
+    runOnce(const RandProgConfig &config, std::uint64_t execSeed)
+    {
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = execSeed;
+        return sim::runProgram(
+            explore::randomProgramFactory(config, seed()), policy,
+            opt);
+    }
+};
+
+TEST_P(RandomProgramTest, ExecutorIsDeterministicPerSeed)
+{
+    RandProgConfig config;
+    auto a = runOnce(config, 7);
+    auto b = runOnce(config, 7);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace.ev(i).thread, b.trace.ev(i).thread);
+        EXPECT_EQ(a.trace.ev(i).kind, b.trace.ev(i).kind);
+        EXPECT_EQ(a.trace.ev(i).obj, b.trace.ev(i).obj);
+    }
+}
+
+TEST_P(RandomProgramTest, ReplayReproducesTheTrace)
+{
+    RandProgConfig config;
+    auto original = runOnce(config, 11);
+    std::vector<std::size_t> prefix;
+    for (const auto &d : original.decisions)
+        prefix.push_back(d.chosen);
+    sim::FixedSchedulePolicy replay(prefix);
+    auto again = sim::runProgram(
+        explore::randomProgramFactory(config, seed()), replay);
+    EXPECT_FALSE(replay.diverged());
+    ASSERT_EQ(original.trace.size(), again.trace.size());
+    for (std::size_t i = 0; i < original.trace.size(); ++i) {
+        EXPECT_EQ(original.trace.ev(i).thread,
+                  again.trace.ev(i).thread);
+        EXPECT_EQ(original.trace.ev(i).kind, again.trace.ev(i).kind);
+    }
+}
+
+TEST_P(RandomProgramTest, HappensBeforeIsAPartialOrder)
+{
+    RandProgConfig config;
+    auto exec = runOnce(config, 3);
+    trace::HbRelation hb(exec.trace);
+    const std::size_t n = exec.trace.size();
+
+    for (std::size_t a = 0; a < n; ++a) {
+        // Irreflexive.
+        EXPECT_FALSE(hb.happensBefore(a, a));
+        for (std::size_t b = a + 1; b < n; ++b) {
+            // Antisymmetric; consistent with the linearization.
+            EXPECT_FALSE(hb.happensBefore(b, a))
+                << "hb against trace order: " << b << " -> " << a;
+            // Program order is contained in hb.
+            if (exec.trace.ev(a).thread == exec.trace.ev(b).thread)
+                EXPECT_TRUE(hb.happensBefore(a, b));
+        }
+    }
+
+    // Transitive (sampled pairs to keep it O(n^2)).
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            if (!hb.happensBefore(a, b))
+                continue;
+            for (std::size_t c = b + 1; c < n; c += 3) {
+                if (hb.happensBefore(b, c))
+                    EXPECT_TRUE(hb.happensBefore(a, c));
+            }
+        }
+    }
+}
+
+TEST_P(RandomProgramTest, FullyLockedProgramsNeverRace)
+{
+    RandProgConfig config;
+    config.alwaysLock = true;
+    config.consistentLocking = true;
+    for (std::uint64_t run = 0; run < 5; ++run) {
+        auto exec = runOnce(config, run);
+        EXPECT_FALSE(exec.deadlocked);
+        detect::HbRaceDetector race;
+        detect::LocksetDetector lockset;
+        detect::AtomicityDetector atomicity;
+        EXPECT_TRUE(race.analyze(exec.trace).empty())
+            << "hb race in locked program, seed " << seed();
+        EXPECT_TRUE(lockset.analyze(exec.trace).empty())
+            << "lockset report in locked program, seed " << seed();
+        // Single accesses under a lock form no unserializable
+        // triples either.
+        EXPECT_TRUE(atomicity.analyze(exec.trace).empty())
+            << "atomicity report in locked program, seed " << seed();
+    }
+}
+
+TEST_P(RandomProgramTest, HbWriteRaceImpliesLocksetReport)
+{
+    // Lockset is more conservative than happens-before — with one
+    // caveat its state machine imposes: Eraser only reports once a
+    // variable is shared *and modified*. So the containment property
+    // is: every HB race whose later access is a write must also be
+    // reported by Eraser (a write-then-read race can legitimately
+    // die in the Shared state).
+    RandProgConfig config;
+    config.lockedFraction = 0.4;
+    config.consistentLocking = false; // invite discipline violations
+    for (std::uint64_t run = 0; run < 5; ++run) {
+        auto exec = runOnce(config, run);
+        detect::HbRaceDetector race;
+        race.setFirstOnly(false);
+        detect::LocksetDetector lockset;
+        std::set<trace::ObjectId> raced;
+        for (const auto &f : race.analyze(exec.trace)) {
+            const auto &later = exec.trace.ev(f.events.back());
+            if (later.isWrite())
+                raced.insert(f.primaryObj);
+        }
+        std::set<trace::ObjectId> flagged;
+        for (const auto &f : lockset.analyze(exec.trace))
+            flagged.insert(f.primaryObj);
+        for (auto var : raced) {
+            EXPECT_TRUE(flagged.count(var))
+                << "HB write-race on var " << var
+                << " missed by lockset, gen seed " << seed()
+                << " run " << run;
+        }
+    }
+}
+
+TEST_P(RandomProgramTest, ConsistentLockingNeverDeadlocks)
+{
+    // The generator acquires at most one mutex at a time, so no
+    // hold-and-wait: the lock-order graph must be cycle-free and the
+    // execution must terminate.
+    RandProgConfig config;
+    config.alwaysLock = true;
+    auto exec = runOnce(config, 1);
+    EXPECT_FALSE(exec.deadlocked);
+    EXPECT_FALSE(exec.stepLimitHit);
+    detect::DeadlockDetector d;
+    EXPECT_TRUE(d.analyze(exec.trace).empty());
+}
+
+TEST_P(RandomProgramTest, TraceShapeInvariants)
+{
+    RandProgConfig config;
+    auto exec = runOnce(config, 5);
+    const auto &events = exec.trace.events();
+
+    std::map<trace::ThreadId, int> begins, ends;
+    std::map<trace::ThreadId, std::set<trace::ObjectId>> held;
+    for (const auto &event : events) {
+        switch (event.kind) {
+          case trace::EventKind::ThreadBegin:
+            ++begins[event.thread];
+            break;
+          case trace::EventKind::ThreadEnd:
+            ++ends[event.thread];
+            break;
+          case trace::EventKind::Lock:
+            // No double acquisition without release.
+            EXPECT_TRUE(
+                held[event.thread].insert(event.obj).second);
+            // Mutual exclusion: no other thread holds it.
+            for (const auto &[tid, locks] : held) {
+                if (tid != event.thread)
+                    EXPECT_FALSE(locks.count(event.obj));
+            }
+            break;
+          case trace::EventKind::Unlock:
+            EXPECT_EQ(held[event.thread].erase(event.obj), 1u);
+            break;
+          default:
+            break;
+        }
+    }
+    for (const auto &[tid, n] : begins) {
+        EXPECT_EQ(n, 1) << "thread " << tid;
+        EXPECT_EQ(ends[tid], 1) << "thread " << tid;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+} // namespace

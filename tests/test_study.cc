@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Database and analysis tests: every published aggregate must be
+ * reproduced exactly by the 105 records, every anchored record must
+ * agree with its kernel's metadata, and every headline finding must
+ * match its published value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugs/registry.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "study/findings.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::study;
+
+const Database &db = database();
+const Analysis analysis(db);
+
+TEST(Database, TotalsMatchThePaper)
+{
+    EXPECT_EQ(db.size(), 105u);
+    EXPECT_EQ(analysis.totalNonDeadlock(), 74);
+    EXPECT_EQ(analysis.totalDeadlock(), 31);
+}
+
+TEST(Database, PerApplicationCounts)
+{
+    auto rows = analysis.appTable();
+    ASSERT_EQ(rows.size(), 4u);
+    std::map<App, AppRow> byApp;
+    for (const auto &row : rows)
+        byApp[row.app] = row;
+
+    EXPECT_EQ(byApp[App::Mozilla].total(), 41);
+    EXPECT_EQ(byApp[App::MySQL].total(), 28);
+    EXPECT_EQ(byApp[App::Apache].total(), 25);
+    EXPECT_EQ(byApp[App::OpenOffice].total(), 11);
+
+    EXPECT_EQ(byApp[App::Mozilla].nonDeadlock, 29);
+    EXPECT_EQ(byApp[App::Mozilla].deadlock, 12);
+    EXPECT_EQ(byApp[App::MySQL].nonDeadlock, 19);
+    EXPECT_EQ(byApp[App::MySQL].deadlock, 9);
+    EXPECT_EQ(byApp[App::Apache].nonDeadlock, 21);
+    EXPECT_EQ(byApp[App::Apache].deadlock, 4);
+    EXPECT_EQ(byApp[App::OpenOffice].nonDeadlock, 5);
+    EXPECT_EQ(byApp[App::OpenOffice].deadlock, 6);
+}
+
+TEST(Database, PatternDistribution)
+{
+    EXPECT_EQ(analysis.withPattern(Pattern::Atomicity), 51);
+    EXPECT_EQ(analysis.withPattern(Pattern::Order), 24);
+    EXPECT_EQ(analysis.withPattern(Pattern::Other), 2);
+    EXPECT_EQ(analysis.atomicityOrOrder(), 72);
+
+    int totalFromRows = 0;
+    for (const auto &row : analysis.patternTable())
+        totalFromRows += row.total();
+    EXPECT_EQ(totalFromRows, 74);
+}
+
+TEST(Database, ThreadInvolvement)
+{
+    EXPECT_EQ(analysis.atMostTwoThreads(), 101);
+    EXPECT_EQ(analysis.threadsHistogram().total(), 105u);
+    EXPECT_EQ(analysis.threadsHistogram().above(2), 4u);
+}
+
+TEST(Database, VariableInvolvement)
+{
+    EXPECT_EQ(analysis.singleVariable(), 49);
+    EXPECT_EQ(analysis.variablesHistogram().total(), 74u);
+    EXPECT_EQ(analysis.variablesHistogram().above(1), 25u);
+}
+
+TEST(Database, AccessInvolvement)
+{
+    EXPECT_EQ(analysis.atMostFourAccesses(), 97);
+    EXPECT_EQ(analysis.accessesHistogram().total(), 105u);
+    EXPECT_EQ(analysis.accessesHistogram().above(4), 8u);
+}
+
+TEST(Database, DeadlockResources)
+{
+    EXPECT_EQ(analysis.atMostTwoResources(), 30);
+    EXPECT_EQ(analysis.resourcesHistogram().at(1), 7u);
+    EXPECT_EQ(analysis.resourcesHistogram().at(2), 23u);
+    EXPECT_EQ(analysis.resourcesHistogram().above(2), 1u);
+}
+
+TEST(Database, NonDeadlockFixStrategies)
+{
+    EXPECT_EQ(analysis.fixedBy(NonDeadlockFix::CondCheck), 19);
+    EXPECT_EQ(analysis.fixedBy(NonDeadlockFix::CodeSwitch), 10);
+    EXPECT_EQ(analysis.fixedBy(NonDeadlockFix::DesignChange), 22);
+    EXPECT_EQ(analysis.fixedBy(NonDeadlockFix::AddLock), 20);
+    EXPECT_EQ(analysis.fixedBy(NonDeadlockFix::Other), 3);
+
+    int total = 0;
+    for (const auto &row : analysis.ndFixTable())
+        total += row.total;
+    EXPECT_EQ(total, 74);
+}
+
+TEST(Database, DeadlockFixStrategies)
+{
+    auto table = analysis.dlFixTable();
+    EXPECT_EQ(table[DeadlockFix::GiveUpResource], 19);
+    EXPECT_EQ(table[DeadlockFix::ChangeAcqOrder], 6);
+    EXPECT_EQ(table[DeadlockFix::SplitResource], 2);
+    EXPECT_EQ(table[DeadlockFix::Other], 4);
+}
+
+TEST(Database, BuggyPatchesAndTm)
+{
+    EXPECT_EQ(analysis.buggyPatches(), 17);
+    auto tm = analysis.tmTable();
+    EXPECT_EQ(tm[TmHelp::Yes], 41);
+    EXPECT_EQ(tm[TmHelp::Maybe], 20);
+    EXPECT_EQ(tm[TmHelp::No], 44);
+}
+
+TEST(Database, RecordInvariants)
+{
+    std::set<std::string> ids;
+    for (const auto &r : db.records()) {
+        EXPECT_TRUE(ids.insert(r.id).second)
+            << "duplicate id " << r.id;
+        EXPECT_FALSE(r.description.empty()) << r.id;
+        EXPECT_GE(r.threads, 1) << r.id;
+        EXPECT_GE(r.accesses, 2) << r.id;
+        EXPECT_GE(r.patchAttempts, 1) << r.id;
+        if (r.isDeadlock()) {
+            EXPECT_TRUE(r.patterns.empty()) << r.id;
+            EXPECT_GE(r.resources, 1) << r.id;
+            EXPECT_EQ(r.variables, 0) << r.id;
+        } else {
+            EXPECT_FALSE(r.patterns.empty()) << r.id;
+            EXPECT_GE(r.variables, 1) << r.id;
+            EXPECT_EQ(r.resources, 0) << r.id;
+        }
+    }
+}
+
+TEST(Database, LookupWorks)
+{
+    const BugRecord *r = db.find("apache-25520");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->app, App::Apache);
+    EXPECT_EQ(db.find("nonexistent"), nullptr);
+    EXPECT_EQ(db.byApp(App::Mozilla).size(), 41u);
+    EXPECT_EQ(db.byType(BugType::Deadlock).size(), 31u);
+}
+
+TEST(Database, AnchoredRecordsAgreeWithKernels)
+{
+    auto anchored = db.anchored();
+    EXPECT_EQ(anchored.size(), bugs::allKernels().size());
+    for (const auto *r : anchored) {
+        const bugs::BugKernel *k = bugs::findKernel(r->kernelId);
+        ASSERT_NE(k, nullptr) << r->id << " names unknown kernel "
+                              << r->kernelId;
+        const auto &info = k->info();
+        EXPECT_EQ(r->app, info.app) << r->id;
+        EXPECT_EQ(r->type, info.type) << r->id;
+        EXPECT_EQ(r->patterns, info.patterns) << r->id;
+        EXPECT_EQ(r->threads, info.threads) << r->id;
+        if (r->isDeadlock())
+            EXPECT_EQ(r->resources, info.resources) << r->id;
+        else
+            EXPECT_EQ(r->variables, info.variables) << r->id;
+        // The record's access count must match the kernel's
+        // manifestation certificate when one exists.
+        if (!info.manifestation.empty()) {
+            EXPECT_EQ(static_cast<std::size_t>(r->accesses),
+                      info.manifestationLabels().size())
+                << r->id;
+        }
+        if (r->isDeadlock())
+            EXPECT_EQ(r->dlFix, info.dlFix) << r->id;
+        else
+            EXPECT_EQ(r->ndFix, info.ndFix) << r->id;
+        EXPECT_EQ(r->tm, info.tm) << r->id;
+    }
+}
+
+TEST(Findings, AllHeadlineFindingsMatch)
+{
+    auto findings = headlineFindings(analysis);
+    ASSERT_EQ(findings.size(), 9u);
+    for (const auto &f : findings) {
+        EXPECT_TRUE(f.matches())
+            << f.id << ": paper " << f.paperNumer << "/"
+            << f.paperDenom << " vs computed " << f.computedNumer
+            << "/" << f.computedDenom;
+    }
+}
+
+TEST(Taxonomy, Names)
+{
+    EXPECT_STREQ(appName(App::MySQL), "MySQL");
+    EXPECT_STREQ(bugTypeName(BugType::Deadlock), "deadlock");
+    EXPECT_STREQ(patternName(Pattern::Atomicity), "atomicity");
+    EXPECT_STREQ(nonDeadlockFixName(NonDeadlockFix::CondCheck),
+                 "COND");
+    EXPECT_STREQ(deadlockFixName(DeadlockFix::GiveUpResource),
+                 "GiveUp");
+    EXPECT_STREQ(tmHelpName(TmHelp::Maybe), "maybe");
+    EXPECT_EQ(patternSetName({Pattern::Atomicity, Pattern::Order}),
+              "atomicity+order");
+    EXPECT_EQ(patternSetName({}), "-");
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the support substrate: PRNG, statistics, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/string_utils.hh"
+
+namespace
+{
+
+using namespace lfm::support;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.below(5);
+        EXPECT_LT(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(13);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng child = a.split();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, a, b;
+    for (int i = 0; i < 50; ++i) {
+        double x = i * 0.7 - 3;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(IntHistogram, CumulativeQueries)
+{
+    IntHistogram h;
+    h.add(1, 49);  // e.g. single-variable bugs
+    h.add(2, 16);
+    h.add(3, 5);
+    h.add(7, 4);
+    EXPECT_EQ(h.total(), 74u);
+    EXPECT_EQ(h.at(2), 16u);
+    EXPECT_EQ(h.atMost(1), 49u);
+    EXPECT_EQ(h.atMost(2), 65u);
+    EXPECT_EQ(h.above(2), 9u);
+    EXPECT_NEAR(h.fractionAtMost(1), 49.0 / 74.0, 1e-12);
+    EXPECT_EQ(h.minValue(), 1);
+    EXPECT_EQ(h.maxValue(), 7);
+}
+
+TEST(Stats, RatioFormatting)
+{
+    EXPECT_EQ(formatRatio(101, 105), "101/105 (96%)");
+    EXPECT_EQ(formatRatio(0, 0), "0/0 (n/a)");
+    EXPECT_EQ(formatPercent(49, 74), "66.2%");
+    EXPECT_EQ(formatPercent(1, 0), "n/a");
+}
+
+TEST(Strings, JoinSplitTrim)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(trim("  hi \n"), "hi");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, PaddingAndCase)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("xyz", 2), "xyz");
+    EXPECT_EQ(toLower("AtOmIcItY"), "atomicity");
+    EXPECT_TRUE(iequals("MySQL", "mysql"));
+    EXPECT_FALSE(iequals("apache", "apach"));
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for traces, vector clocks, and the happens-before
+ * relation, using hand-built event sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/hb.hh"
+#include "trace/trace.hh"
+#include "trace/vector_clock.hh"
+
+namespace
+{
+
+using namespace lfm::trace;
+
+Event
+mk(ThreadId tid, EventKind kind, ObjectId obj = kNoObject,
+   ObjectId obj2 = kNoObject, std::uint64_t aux = 0)
+{
+    Event e;
+    e.thread = tid;
+    e.kind = kind;
+    e.obj = obj;
+    e.obj2 = obj2;
+    e.aux = aux;
+    return e;
+}
+
+TEST(VectorClock, BasicOrdering)
+{
+    VectorClock a, b;
+    a.tick(0);
+    b = a;
+    b.tick(1);
+    EXPECT_TRUE(a.lessEq(b));
+    EXPECT_TRUE(a.lessThan(b));
+    EXPECT_FALSE(b.lessEq(a));
+    EXPECT_FALSE(a.concurrentWith(b));
+}
+
+TEST(VectorClock, Concurrency)
+{
+    VectorClock a, b;
+    a.tick(0);
+    b.tick(1);
+    EXPECT_TRUE(a.concurrentWith(b));
+    a.join(b);
+    EXPECT_TRUE(b.lessEq(a));
+    EXPECT_EQ(a.get(0), 1u);
+    EXPECT_EQ(a.get(1), 1u);
+}
+
+TEST(VectorClock, JoinGrowsAndEquality)
+{
+    VectorClock a;
+    VectorClock b;
+    b.set(5, 3);
+    a.join(b);
+    EXPECT_EQ(a.get(5), 3u);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.toString(), "[0,0,0,0,0,3]");
+}
+
+TEST(Trace, NamesAndIndices)
+{
+    Trace t;
+    t.registerObject({1, ObjectKind::Variable, "buf", 0});
+    t.registerObject({2, ObjectKind::Mutex, "lock", 0});
+    t.registerThread(0, "main");
+    t.append(mk(0, EventKind::ThreadBegin));
+    t.append(mk(0, EventKind::Write, 1));
+    t.append(mk(0, EventKind::Lock, 2));
+    t.append(mk(0, EventKind::Read, 1));
+    t.append(mk(0, EventKind::Unlock, 2));
+
+    EXPECT_EQ(t.objectName(1), "buf");
+    EXPECT_EQ(t.objectName(99), "obj#99");
+    EXPECT_EQ(t.objectKind(2), ObjectKind::Mutex);
+    EXPECT_EQ(t.threadName(0), "main");
+    EXPECT_EQ(t.threadName(3), "T3");
+    EXPECT_EQ(t.threadCount(), 1u);
+    EXPECT_EQ(t.accessesTo(1).size(), 2u);
+    EXPECT_EQ(t.accessedVariables(), std::vector<ObjectId>{1});
+    EXPECT_EQ(t.lockedObjects(), std::vector<ObjectId>{2});
+    EXPECT_TRUE(t.failures().empty());
+    EXPECT_FALSE(t.render(t.ev(1)).empty());
+}
+
+TEST(Hb, ProgramOrder)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(0, EventKind::Write, 1));
+    t.append(mk(0, EventKind::Read, 1));
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(1, 2));
+    EXPECT_FALSE(hb.happensBefore(2, 1));
+    EXPECT_FALSE(hb.happensBefore(1, 1));
+}
+
+TEST(Hb, UnsyncedAccessesAreConcurrent)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(1, EventKind::Write, 9));
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.concurrent(2, 3));
+}
+
+TEST(Hb, LockReleaseAcquireOrders)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 1
+    t.append(mk(0, EventKind::Lock, 5));                 // 2
+    t.append(mk(0, EventKind::Write, 9));                // 3
+    t.append(mk(0, EventKind::Unlock, 5));               // 4
+    t.append(mk(1, EventKind::Lock, 5));                 // 5
+    t.append(mk(1, EventKind::Read, 9));                 // 6
+    t.append(mk(1, EventKind::Unlock, 5));               // 7
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(3, 6));
+    EXPECT_TRUE(hb.happensBefore(4, 5));
+    EXPECT_FALSE(hb.concurrent(3, 6));
+}
+
+TEST(Hb, SpawnAndJoinEdges)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(0, EventKind::Write, 9));                // 1
+    t.append(mk(0, EventKind::Spawn, 100));              // 2
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                2));                                     // 3: aux=spawn
+    t.append(mk(1, EventKind::Read, 9));                 // 4
+    t.append(mk(1, EventKind::ThreadEnd, 100));          // 5
+    t.append(mk(0, EventKind::Join, 100, kNoObject, 5)); // 6
+    t.append(mk(0, EventKind::Read, 9));                 // 7
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(1, 4)); // write before child's read
+    EXPECT_TRUE(hb.happensBefore(4, 7)); // child's read before join'd
+    EXPECT_FALSE(hb.happensBefore(4, 2));
+}
+
+TEST(Hb, SignalWaitEdge)
+{
+    Trace t;
+    // waiter: lock, wait_begin (releases), resumes after signal.
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 1
+    t.append(mk(0, EventKind::Lock, 5));                 // 2
+    t.append(mk(0, EventKind::WaitBegin, 7, 5));         // 3
+    t.append(mk(1, EventKind::Lock, 5));                 // 4
+    t.append(mk(1, EventKind::Write, 9));                // 5
+    t.append(mk(1, EventKind::SignalOne, 7));            // 6
+    t.append(mk(1, EventKind::Unlock, 5));               // 7
+    t.append(mk(0, EventKind::WaitResume, 7, 5, 6));     // 8
+    t.append(mk(0, EventKind::Read, 9));                 // 9
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(5, 9));
+    EXPECT_TRUE(hb.happensBefore(6, 8));
+}
+
+TEST(Hb, SemaphorePostWaitEdge)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 1
+    t.append(mk(0, EventKind::Write, 9));                // 2
+    t.append(mk(0, EventKind::SemPost, 6));              // 3
+    t.append(mk(1, EventKind::SemWait, 6, kNoObject, 3)); // 4
+    t.append(mk(1, EventKind::Read, 9));                 // 5
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(2, 5));
+}
+
+TEST(Hb, BarrierGenerationOrders)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 1
+    t.append(mk(0, EventKind::Write, 8));                // 2
+    t.append(mk(1, EventKind::Write, 9));                // 3
+    t.append(mk(0, EventKind::BarrierCross, 4, kNoObject, 0)); // 4
+    t.append(mk(1, EventKind::BarrierCross, 4, kNoObject, 0)); // 5
+    t.append(mk(0, EventKind::Read, 9));                 // 6
+    t.append(mk(1, EventKind::Read, 8));                 // 7
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(3, 6)); // t1's write visible after bar
+    EXPECT_TRUE(hb.happensBefore(2, 7)); // t0's write visible after bar
+    EXPECT_TRUE(hb.concurrent(2, 3));
+}
+
+TEST(Hb, RWLockReadersConcurrentWritersOrdered)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 0
+    t.append(mk(1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 1
+    t.append(mk(2, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));                       // 2
+    t.append(mk(0, EventKind::Lock, 5));                 // 3 writer
+    t.append(mk(0, EventKind::Write, 9));                // 4
+    t.append(mk(0, EventKind::Unlock, 5));               // 5
+    t.append(mk(1, EventKind::RdLock, 5));               // 6
+    t.append(mk(2, EventKind::RdLock, 5));               // 7
+    t.append(mk(1, EventKind::Read, 9));                 // 8
+    t.append(mk(2, EventKind::Read, 9));                 // 9
+    t.append(mk(1, EventKind::RdUnlock, 5));             // 10
+    t.append(mk(2, EventKind::RdUnlock, 5));             // 11
+    HbRelation hb(t);
+    EXPECT_TRUE(hb.happensBefore(4, 8));
+    EXPECT_TRUE(hb.happensBefore(4, 9));
+    EXPECT_TRUE(hb.concurrent(8, 9)); // two readers unordered
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Trace-validator tests: hand-built violations are caught, and —
+ * the real payoff — every execution the simulator produces across
+ * all kernels, variants, and policies is structurally valid
+ * (parameterized executor-oracle sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugs/registry.hh"
+#include "sim/policy.hh"
+#include "trace/validate.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::trace;
+
+Event
+mk(ThreadId tid, EventKind kind, ObjectId obj = kNoObject,
+   ObjectId obj2 = kNoObject, std::uint64_t aux = 0)
+{
+    Event e;
+    e.thread = tid;
+    e.kind = kind;
+    e.obj = obj;
+    e.obj2 = obj2;
+    e.aux = aux;
+    return e;
+}
+
+TEST(Validate, CleanTraceHasNoProblems)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::Write, 9));
+    t.append(mk(0, EventKind::Unlock, 5));
+    t.append(mk(0, EventKind::ThreadEnd));
+    EXPECT_TRUE(validateTrace(t).empty());
+}
+
+TEST(Validate, DoubleAcquisitionCaught)
+{
+    Trace t;
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(1, EventKind::Lock, 5));
+    auto problems = validateTrace(t);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("while held"), std::string::npos);
+}
+
+TEST(Validate, UnlockByNonHolderCaught)
+{
+    Trace t;
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(1, EventKind::Unlock, 5));
+    auto problems = validateTrace(t);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("non-holder"), std::string::npos);
+}
+
+TEST(Validate, WriterUnderReadersCaught)
+{
+    Trace t;
+    t.append(mk(0, EventKind::RdLock, 5));
+    t.append(mk(1, EventKind::Lock, 5));
+    auto problems = validateTrace(t);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("under readers"), std::string::npos);
+}
+
+TEST(Validate, WaitWithoutMutexCaught)
+{
+    Trace t;
+    t.append(mk(0, EventKind::WaitBegin, 7, 5));
+    auto problems = validateTrace(t);
+    ASSERT_GE(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("without holding"),
+              std::string::npos);
+}
+
+TEST(Validate, ResumeAuxMustReferenceASignal)
+{
+    Trace t;
+    t.append(mk(0, EventKind::Lock, 5));
+    t.append(mk(0, EventKind::WaitBegin, 7, 5));
+    t.append(mk(1, EventKind::Write, 9)); // not a signal
+    t.append(mk(0, EventKind::WaitResume, 7, 5, 2));
+    auto problems = validateTrace(t);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("does not reference a signal"),
+              std::string::npos);
+}
+
+TEST(Validate, EventAfterThreadEndCaught)
+{
+    Trace t;
+    t.append(mk(0, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(0, EventKind::ThreadEnd));
+    t.append(mk(0, EventKind::Write, 9));
+    auto problems = validateTrace(t);
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("after the thread ended"),
+              std::string::npos);
+}
+
+// -----------------------------------------------------------------
+// Executor oracle: every trace the simulator produces is valid.
+// -----------------------------------------------------------------
+
+struct SweepParam
+{
+    const bugs::BugKernel *kernel;
+    bugs::Variant variant;
+};
+
+class ExecutorOracleTest : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    std::string name = info.param.kernel->info().id;
+    name += std::string("_") +
+            bugs::variantName(info.param.variant);
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name;
+}
+
+TEST_P(ExecutorOracleTest, AllProducedTracesAreWellFormed)
+{
+    const auto &[kernel, variant] = GetParam();
+    sim::RandomPolicy random;
+    sim::RoundRobinPolicy rr;
+    sim::PctPolicy pct(3, 64);
+    sim::SchedulePolicy *policies[] = {&random, &rr, &pct};
+    for (auto *policy : policies) {
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+            sim::ExecOptions opt;
+            opt.seed = seed;
+            opt.maxDecisions = 20000;
+            auto exec = sim::runProgram(kernel->factory(variant),
+                                        *policy, opt);
+            auto problems = validateTrace(exec.trace);
+            EXPECT_TRUE(problems.empty())
+                << kernel->info().id << "/"
+                << bugs::variantName(variant) << " under "
+                << policy->name() << " seed " << seed << ":\n  "
+                << (problems.empty() ? "" : problems.front());
+        }
+    }
+}
+
+std::vector<SweepParam>
+sweep()
+{
+    std::vector<SweepParam> out;
+    for (const auto *k : bugs::allKernels()) {
+        out.push_back({k, bugs::Variant::Buggy});
+        out.push_back({k, bugs::Variant::Fixed});
+        if (k->info().hasTmVariant)
+            out.push_back({k, bugs::Variant::TmFixed});
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelsTimesVariants, ExecutorOracleTest,
+                         ::testing::ValuesIn(sweep()), sweepName);
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atomicity_window.dir/ablation_atomicity_window.cc.o"
+  "CMakeFiles/ablation_atomicity_window.dir/ablation_atomicity_window.cc.o.d"
+  "ablation_atomicity_window"
+  "ablation_atomicity_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atomicity_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

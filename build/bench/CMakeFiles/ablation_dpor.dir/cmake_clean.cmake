@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpor.dir/ablation_dpor.cc.o"
+  "CMakeFiles/ablation_dpor.dir/ablation_dpor.cc.o.d"
+  "ablation_dpor"
+  "ablation_dpor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

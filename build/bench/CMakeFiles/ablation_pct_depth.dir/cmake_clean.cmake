@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pct_depth.dir/ablation_pct_depth.cc.o"
+  "CMakeFiles/ablation_pct_depth.dir/ablation_pct_depth.cc.o.d"
+  "ablation_pct_depth"
+  "ablation_pct_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pct_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_active_testing.dir/fig_active_testing.cc.o"
+  "CMakeFiles/fig_active_testing.dir/fig_active_testing.cc.o.d"
+  "fig_active_testing"
+  "fig_active_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_active_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bug_examples.dir/fig_bug_examples.cc.o"
+  "CMakeFiles/fig_bug_examples.dir/fig_bug_examples.cc.o.d"
+  "fig_bug_examples"
+  "fig_bug_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bug_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_bug_examples.
+# This may be replaced when dependencies are built.

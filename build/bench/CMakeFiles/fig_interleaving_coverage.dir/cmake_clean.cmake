@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_interleaving_coverage.dir/fig_interleaving_coverage.cc.o"
+  "CMakeFiles/fig_interleaving_coverage.dir/fig_interleaving_coverage.cc.o.d"
+  "fig_interleaving_coverage"
+  "fig_interleaving_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_interleaving_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

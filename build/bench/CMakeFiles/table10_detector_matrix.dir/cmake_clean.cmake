@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_detector_matrix.dir/table10_detector_matrix.cc.o"
+  "CMakeFiles/table10_detector_matrix.dir/table10_detector_matrix.cc.o.d"
+  "table10_detector_matrix"
+  "table10_detector_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_detector_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_applications.dir/table1_applications.cc.o"
+  "CMakeFiles/table1_applications.dir/table1_applications.cc.o.d"
+  "table1_applications"
+  "table1_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_patterns.dir/table2_patterns.cc.o"
+  "CMakeFiles/table2_patterns.dir/table2_patterns.cc.o.d"
+  "table2_patterns"
+  "table2_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

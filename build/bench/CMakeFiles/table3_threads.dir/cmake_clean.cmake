@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_threads.dir/table3_threads.cc.o"
+  "CMakeFiles/table3_threads.dir/table3_threads.cc.o.d"
+  "table3_threads"
+  "table3_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

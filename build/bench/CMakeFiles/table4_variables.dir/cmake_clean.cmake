@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_variables.dir/table4_variables.cc.o"
+  "CMakeFiles/table4_variables.dir/table4_variables.cc.o.d"
+  "table4_variables"
+  "table4_variables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_variables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

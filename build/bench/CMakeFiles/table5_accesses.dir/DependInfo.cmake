@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_accesses.cc" "bench/CMakeFiles/table5_accesses.dir/table5_accesses.cc.o" "gcc" "bench/CMakeFiles/table5_accesses.dir/table5_accesses.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/lfm_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/lfm_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugs/CMakeFiles/lfm_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/lfm_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/lfm_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/lfm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_accesses.dir/table5_accesses.cc.o"
+  "CMakeFiles/table5_accesses.dir/table5_accesses.cc.o.d"
+  "table5_accesses"
+  "table5_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

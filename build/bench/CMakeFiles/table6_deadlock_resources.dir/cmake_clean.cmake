@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_deadlock_resources.dir/table6_deadlock_resources.cc.o"
+  "CMakeFiles/table6_deadlock_resources.dir/table6_deadlock_resources.cc.o.d"
+  "table6_deadlock_resources"
+  "table6_deadlock_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_deadlock_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_nondeadlock_fixes.dir/table7_nondeadlock_fixes.cc.o"
+  "CMakeFiles/table7_nondeadlock_fixes.dir/table7_nondeadlock_fixes.cc.o.d"
+  "table7_nondeadlock_fixes"
+  "table7_nondeadlock_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_nondeadlock_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_deadlock_fixes.dir/table8_deadlock_fixes.cc.o"
+  "CMakeFiles/table8_deadlock_fixes.dir/table8_deadlock_fixes.cc.o.d"
+  "table8_deadlock_fixes"
+  "table8_deadlock_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_deadlock_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_tm_implications.dir/table9_tm_implications.cc.o"
+  "CMakeFiles/table9_tm_implications.dir/table9_tm_implications.cc.o.d"
+  "table9_tm_implications"
+  "table9_tm_implications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_tm_implications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_report.dir/study_report.cpp.o"
+  "CMakeFiles/study_report.dir/study_report.cpp.o.d"
+  "study_report"
+  "study_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

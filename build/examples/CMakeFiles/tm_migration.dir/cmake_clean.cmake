@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_migration.dir/tm_migration.cpp.o"
+  "CMakeFiles/tm_migration.dir/tm_migration.cpp.o.d"
+  "tm_migration"
+  "tm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bugs/kernel.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernel.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernel.cc.o.d"
+  "/root/repo/src/bugs/kernels/apache_21287.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_21287.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_21287.cc.o.d"
+  "/root/repo/src/bugs/kernels/apache_25520.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_25520.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_25520.cc.o.d"
+  "/root/repo/src/bugs/kernels/apache_plugin_abba.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_plugin_abba.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/apache_plugin_abba.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_3lock_cycle.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_3lock_cycle.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_3lock_cycle.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_dcl_lazyinit.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_dcl_lazyinit.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_dcl_lazyinit.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_join_deadlock.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_join_deadlock.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_join_deadlock.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_livelock_retry.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_livelock_retry.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_livelock_retry.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_missed_notify.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_missed_notify.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_missed_notify.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_order_3thread.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_order_3thread.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_order_3thread.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_starvation.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_starvation.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_starvation.cc.o.d"
+  "/root/repo/src/bugs/kernels/generic_wrw_interm.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_wrw_interm.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/generic_wrw_interm.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_18025.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_18025.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_18025.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_50848_shutdown.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_50848_shutdown.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_50848_shutdown.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_61369.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_61369.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_61369.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_js_totalstrings.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_js_totalstrings.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_js_totalstrings.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_jsclearscope.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_jsclearscope.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_jsclearscope.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_nsthread_init.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_nsthread_init.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_nsthread_init.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_nszip_buflen.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_nszip_buflen.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_nszip_buflen.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_rwlock_self.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_rwlock_self.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_rwlock_self.cc.o.d"
+  "/root/repo/src/bugs/kernels/moz_split_biglock.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_split_biglock.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/moz_split_biglock.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_3596_abba.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_3596_abba.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_3596_abba.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_644.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_644.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_644.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_791.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_791.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_791.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_binlog_cond.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_binlog_cond.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_binlog_cond.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_dl_rollback.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_dl_rollback.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_dl_rollback.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_innodb_stats.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_innodb_stats.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_innodb_stats.cc.o.d"
+  "/root/repo/src/bugs/kernels/mysql_log_rotate.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_log_rotate.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/mysql_log_rotate.cc.o.d"
+  "/root/repo/src/bugs/kernels/openoffice_clipboard.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/openoffice_clipboard.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/openoffice_clipboard.cc.o.d"
+  "/root/repo/src/bugs/kernels/openoffice_listener_uaf.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/openoffice_listener_uaf.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/kernels/openoffice_listener_uaf.cc.o.d"
+  "/root/repo/src/bugs/registry.cc" "src/bugs/CMakeFiles/lfm_bugs.dir/registry.cc.o" "gcc" "src/bugs/CMakeFiles/lfm_bugs.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/lfm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/lfm_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

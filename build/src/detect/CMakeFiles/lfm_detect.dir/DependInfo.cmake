@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/atomicity.cc" "src/detect/CMakeFiles/lfm_detect.dir/atomicity.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/atomicity.cc.o.d"
+  "/root/repo/src/detect/deadlock.cc" "src/detect/CMakeFiles/lfm_detect.dir/deadlock.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/deadlock.cc.o.d"
+  "/root/repo/src/detect/detector.cc" "src/detect/CMakeFiles/lfm_detect.dir/detector.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/detector.cc.o.d"
+  "/root/repo/src/detect/lockset.cc" "src/detect/CMakeFiles/lfm_detect.dir/lockset.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/lockset.cc.o.d"
+  "/root/repo/src/detect/multivar.cc" "src/detect/CMakeFiles/lfm_detect.dir/multivar.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/multivar.cc.o.d"
+  "/root/repo/src/detect/order.cc" "src/detect/CMakeFiles/lfm_detect.dir/order.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/order.cc.o.d"
+  "/root/repo/src/detect/predictive.cc" "src/detect/CMakeFiles/lfm_detect.dir/predictive.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/predictive.cc.o.d"
+  "/root/repo/src/detect/race_hb.cc" "src/detect/CMakeFiles/lfm_detect.dir/race_hb.cc.o" "gcc" "src/detect/CMakeFiles/lfm_detect.dir/race_hb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_detect.dir/atomicity.cc.o"
+  "CMakeFiles/lfm_detect.dir/atomicity.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/deadlock.cc.o"
+  "CMakeFiles/lfm_detect.dir/deadlock.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/detector.cc.o"
+  "CMakeFiles/lfm_detect.dir/detector.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/lockset.cc.o"
+  "CMakeFiles/lfm_detect.dir/lockset.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/multivar.cc.o"
+  "CMakeFiles/lfm_detect.dir/multivar.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/order.cc.o"
+  "CMakeFiles/lfm_detect.dir/order.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/predictive.cc.o"
+  "CMakeFiles/lfm_detect.dir/predictive.cc.o.d"
+  "CMakeFiles/lfm_detect.dir/race_hb.cc.o"
+  "CMakeFiles/lfm_detect.dir/race_hb.cc.o.d"
+  "liblfm_detect.a"
+  "liblfm_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/active.cc" "src/explore/CMakeFiles/lfm_explore.dir/active.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/active.cc.o.d"
+  "/root/repo/src/explore/dfs.cc" "src/explore/CMakeFiles/lfm_explore.dir/dfs.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/dfs.cc.o.d"
+  "/root/repo/src/explore/dpor.cc" "src/explore/CMakeFiles/lfm_explore.dir/dpor.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/dpor.cc.o.d"
+  "/root/repo/src/explore/minimize.cc" "src/explore/CMakeFiles/lfm_explore.dir/minimize.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/minimize.cc.o.d"
+  "/root/repo/src/explore/order_enforce.cc" "src/explore/CMakeFiles/lfm_explore.dir/order_enforce.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/order_enforce.cc.o.d"
+  "/root/repo/src/explore/pbound.cc" "src/explore/CMakeFiles/lfm_explore.dir/pbound.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/pbound.cc.o.d"
+  "/root/repo/src/explore/randprog.cc" "src/explore/CMakeFiles/lfm_explore.dir/randprog.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/randprog.cc.o.d"
+  "/root/repo/src/explore/runner.cc" "src/explore/CMakeFiles/lfm_explore.dir/runner.cc.o" "gcc" "src/explore/CMakeFiles/lfm_explore.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugs/CMakeFiles/lfm_bugs.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/lfm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/lfm_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_explore.dir/active.cc.o"
+  "CMakeFiles/lfm_explore.dir/active.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/dfs.cc.o"
+  "CMakeFiles/lfm_explore.dir/dfs.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/dpor.cc.o"
+  "CMakeFiles/lfm_explore.dir/dpor.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/minimize.cc.o"
+  "CMakeFiles/lfm_explore.dir/minimize.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/order_enforce.cc.o"
+  "CMakeFiles/lfm_explore.dir/order_enforce.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/pbound.cc.o"
+  "CMakeFiles/lfm_explore.dir/pbound.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/randprog.cc.o"
+  "CMakeFiles/lfm_explore.dir/randprog.cc.o.d"
+  "CMakeFiles/lfm_explore.dir/runner.cc.o"
+  "CMakeFiles/lfm_explore.dir/runner.cc.o.d"
+  "liblfm_explore.a"
+  "liblfm_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_report.dir/compare.cc.o"
+  "CMakeFiles/lfm_report.dir/compare.cc.o.d"
+  "CMakeFiles/lfm_report.dir/table.cc.o"
+  "CMakeFiles/lfm_report.dir/table.cc.o.d"
+  "liblfm_report.a"
+  "liblfm_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

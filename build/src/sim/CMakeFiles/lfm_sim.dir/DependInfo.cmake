@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/lfm_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/policy.cc" "src/sim/CMakeFiles/lfm_sim.dir/policy.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/policy.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/sim/CMakeFiles/lfm_sim.dir/sync.cc.o" "gcc" "src/sim/CMakeFiles/lfm_sim.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

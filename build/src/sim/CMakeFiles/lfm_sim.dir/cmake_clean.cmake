@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_sim.dir/executor.cc.o"
+  "CMakeFiles/lfm_sim.dir/executor.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/policy.cc.o"
+  "CMakeFiles/lfm_sim.dir/policy.cc.o.d"
+  "CMakeFiles/lfm_sim.dir/sync.cc.o"
+  "CMakeFiles/lfm_sim.dir/sync.cc.o.d"
+  "liblfm_sim.a"
+  "liblfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

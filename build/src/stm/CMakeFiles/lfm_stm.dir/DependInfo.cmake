@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/stm.cc" "src/stm/CMakeFiles/lfm_stm.dir/stm.cc.o" "gcc" "src/stm/CMakeFiles/lfm_stm.dir/stm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

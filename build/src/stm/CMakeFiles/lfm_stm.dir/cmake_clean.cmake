@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_stm.dir/stm.cc.o"
+  "CMakeFiles/lfm_stm.dir/stm.cc.o.d"
+  "liblfm_stm.a"
+  "liblfm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/analysis.cc" "src/study/CMakeFiles/lfm_study.dir/analysis.cc.o" "gcc" "src/study/CMakeFiles/lfm_study.dir/analysis.cc.o.d"
+  "/root/repo/src/study/database.cc" "src/study/CMakeFiles/lfm_study.dir/database.cc.o" "gcc" "src/study/CMakeFiles/lfm_study.dir/database.cc.o.d"
+  "/root/repo/src/study/findings.cc" "src/study/CMakeFiles/lfm_study.dir/findings.cc.o" "gcc" "src/study/CMakeFiles/lfm_study.dir/findings.cc.o.d"
+  "/root/repo/src/study/taxonomy.cc" "src/study/CMakeFiles/lfm_study.dir/taxonomy.cc.o" "gcc" "src/study/CMakeFiles/lfm_study.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

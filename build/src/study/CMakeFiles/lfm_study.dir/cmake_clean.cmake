@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_study.dir/analysis.cc.o"
+  "CMakeFiles/lfm_study.dir/analysis.cc.o.d"
+  "CMakeFiles/lfm_study.dir/database.cc.o"
+  "CMakeFiles/lfm_study.dir/database.cc.o.d"
+  "CMakeFiles/lfm_study.dir/findings.cc.o"
+  "CMakeFiles/lfm_study.dir/findings.cc.o.d"
+  "CMakeFiles/lfm_study.dir/taxonomy.cc.o"
+  "CMakeFiles/lfm_study.dir/taxonomy.cc.o.d"
+  "liblfm_study.a"
+  "liblfm_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_support.dir/logging.cc.o"
+  "CMakeFiles/lfm_support.dir/logging.cc.o.d"
+  "CMakeFiles/lfm_support.dir/random.cc.o"
+  "CMakeFiles/lfm_support.dir/random.cc.o.d"
+  "CMakeFiles/lfm_support.dir/stats.cc.o"
+  "CMakeFiles/lfm_support.dir/stats.cc.o.d"
+  "CMakeFiles/lfm_support.dir/string_utils.cc.o"
+  "CMakeFiles/lfm_support.dir/string_utils.cc.o.d"
+  "liblfm_support.a"
+  "liblfm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/hb.cc" "src/trace/CMakeFiles/lfm_trace.dir/hb.cc.o" "gcc" "src/trace/CMakeFiles/lfm_trace.dir/hb.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/trace/CMakeFiles/lfm_trace.dir/serialize.cc.o" "gcc" "src/trace/CMakeFiles/lfm_trace.dir/serialize.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/lfm_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/lfm_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/validate.cc" "src/trace/CMakeFiles/lfm_trace.dir/validate.cc.o" "gcc" "src/trace/CMakeFiles/lfm_trace.dir/validate.cc.o.d"
+  "/root/repo/src/trace/vector_clock.cc" "src/trace/CMakeFiles/lfm_trace.dir/vector_clock.cc.o" "gcc" "src/trace/CMakeFiles/lfm_trace.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

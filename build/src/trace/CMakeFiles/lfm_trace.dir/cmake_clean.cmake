@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfm_trace.dir/hb.cc.o"
+  "CMakeFiles/lfm_trace.dir/hb.cc.o.d"
+  "CMakeFiles/lfm_trace.dir/serialize.cc.o"
+  "CMakeFiles/lfm_trace.dir/serialize.cc.o.d"
+  "CMakeFiles/lfm_trace.dir/trace.cc.o"
+  "CMakeFiles/lfm_trace.dir/trace.cc.o.d"
+  "CMakeFiles/lfm_trace.dir/validate.cc.o"
+  "CMakeFiles/lfm_trace.dir/validate.cc.o.d"
+  "CMakeFiles/lfm_trace.dir/vector_clock.cc.o"
+  "CMakeFiles/lfm_trace.dir/vector_clock.cc.o.d"
+  "liblfm_trace.a"
+  "liblfm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpor.dir/test_dpor.cc.o"
+  "CMakeFiles/test_dpor.dir/test_dpor.cc.o.d"
+  "test_dpor"
+  "test_dpor.pdb"
+  "test_dpor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_primitives.dir/test_sim_primitives.cc.o"
+  "CMakeFiles/test_sim_primitives.dir/test_sim_primitives.cc.o.d"
+  "test_sim_primitives"
+  "test_sim_primitives.pdb"
+  "test_sim_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_study[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_stm[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_active[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_predictive[1]_include.cmake")
+include("/root/repo/build/tests/test_dpor[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")

@@ -29,6 +29,12 @@ main()
     support::RunningStat dfsFirst, dporFirst;
     bool dporNeverWorse = true;
     constexpr std::size_t kBudget = 6000;
+
+    // Cost-to-first-bug is defined by the sequential visit order, so
+    // it runs on one worker; executions-to-exhaustion is worker-count
+    // independent, so it uses every core. Both skip trace collection.
+    explore::ParallelRunner sequential(1);
+    explore::ParallelRunner wide;
     for (const auto *kernel : bugs::allKernels()) {
         const auto &info = kernel->info();
         if (info.patterns.count(study::Pattern::Other))
@@ -38,18 +44,20 @@ main()
 
         explore::DfsOptions dfsOpt;
         dfsOpt.maxExecutions = kBudget;
+        dfsOpt.countOnly = true;
         dfsOpt.stopAtFirst = true;
-        auto dfsHit = explore::exploreDfs(factory, dfsOpt);
+        auto dfsHit = sequential.dfs(factory, dfsOpt);
 
         explore::DporOptions dporOpt;
         dporOpt.maxExecutions = kBudget;
+        dporOpt.countOnly = true;
         dporOpt.stopAtFirst = true;
-        auto dporHit = explore::exploreDpor(factory, dporOpt);
+        auto dporHit = sequential.dpor(factory, dporOpt);
 
         dfsOpt.stopAtFirst = false;
-        auto dfsAll = explore::exploreDfs(factory, dfsOpt);
+        auto dfsAll = wide.dfs(factory, dfsOpt);
         dporOpt.stopAtFirst = false;
-        auto dporAll = explore::exploreDpor(factory, dporOpt);
+        auto dporAll = wide.dpor(factory, dporOpt);
 
         if (dfsHit.manifestations > 0)
             dfsFirst.add(static_cast<double>(dfsHit.executions));

@@ -7,11 +7,15 @@
 #ifndef LFM_BENCH_BENCH_COMMON_HH
 #define LFM_BENCH_BENCH_COMMON_HH
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bugs/registry.hh"
 #include "explore/order_enforce.hh"
+#include "explore/parallel.hh"
 #include "explore/runner.hh"
 #include "report/compare.hh"
 #include "report/table.hh"
@@ -48,17 +52,162 @@ findingById(const study::Analysis &analysis, const std::string &id)
     LFM_PANIC("unknown finding id ", id);
 }
 
-/** Stress one kernel variant under random scheduling. */
+/**
+ * Stress one kernel variant under random scheduling. Runs on the
+ * parallel engine (all available workers) in count-only mode; the
+ * result is bit-identical to the sequential traced campaign.
+ */
 inline explore::StressResult
 stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
              std::size_t runs = 200)
 {
-    sim::RandomPolicy policy;
     explore::StressOptions opt;
     opt.runs = runs;
     opt.exec.maxDecisions = 20000;
-    return explore::stressProgram(kernel.factory(variant), policy,
-                                  opt);
+    opt.countOnly = true;
+    return explore::ParallelRunner().stress(
+        kernel.factory(variant),
+        explore::makePolicy<sim::RandomPolicy>(), opt);
+}
+
+/**
+ * Minimal JSON value for machine-readable bench output — just
+ * enough for flat metric documents (objects, arrays, numbers,
+ * strings, booleans), with stable key order.
+ */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Object) {}
+    Json(double v) : kind_(Kind::Number), num_(v) {}
+    Json(int v) : Json(static_cast<double>(v)) {}
+    Json(unsigned v) : Json(static_cast<double>(v)) {}
+    Json(std::size_t v) : Json(static_cast<double>(v)) {}
+    Json(bool v) : kind_(Kind::Bool), flag_(v) {}
+    Json(const char *v) : kind_(Kind::String), str_(v) {}
+    Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}
+
+    static Json array()
+    {
+        Json j;
+        j.kind_ = Kind::Array;
+        return j;
+    }
+
+    Json &set(const std::string &key, Json value)
+    {
+        for (auto &kv : members_) {
+            if (kv.first == key) {
+                kv.second = std::move(value);
+                return *this;
+            }
+        }
+        members_.emplace_back(key, std::move(value));
+        return *this;
+    }
+
+    Json &push(Json value)
+    {
+        items_.push_back(std::move(value));
+        return *this;
+    }
+
+    void dump(std::ostream &os, int indent = 0) const
+    {
+        const std::string pad(static_cast<std::size_t>(indent), ' ');
+        const std::string inner(static_cast<std::size_t>(indent) + 2,
+                                ' ');
+        switch (kind_) {
+        case Kind::Number: {
+            // Integral values print without a trailing ".0".
+            const auto asInt = static_cast<long long>(num_);
+            if (static_cast<double>(asInt) == num_)
+                os << asInt;
+            else
+                os << num_;
+            break;
+        }
+        case Kind::Bool:
+            os << (flag_ ? "true" : "false");
+            break;
+        case Kind::String:
+            escape(os, str_);
+            break;
+        case Kind::Object:
+            os << "{";
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                os << (i ? ",\n" : "\n") << inner;
+                escape(os, members_[i].first);
+                os << ": ";
+                members_[i].second.dump(os, indent + 2);
+            }
+            os << (members_.empty() ? "" : "\n" + pad) << "}";
+            break;
+        case Kind::Array:
+            os << "[";
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                os << (i ? ",\n" : "\n") << inner;
+                items_[i].dump(os, indent + 2);
+            }
+            os << (items_.empty() ? "" : "\n" + pad) << "]";
+            break;
+        }
+    }
+
+  private:
+    enum class Kind
+    {
+        Number,
+        Bool,
+        String,
+        Object,
+        Array
+    };
+
+    static void escape(std::ostream &os, const std::string &s)
+    {
+        os << '"';
+        for (char c : s) {
+            switch (c) {
+            case '"':
+                os << "\\\"";
+                break;
+            case '\\':
+                os << "\\\\";
+                break;
+            case '\n':
+                os << "\\n";
+                break;
+            case '\t':
+                os << "\\t";
+                break;
+            default:
+                os << c;
+            }
+        }
+        os << '"';
+    }
+
+    Kind kind_;
+    double num_ = 0.0;
+    bool flag_ = false;
+    std::string str_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> items_;
+};
+
+/** Write a bench's metrics document and tell the user where. */
+inline void
+writeBenchJson(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cout << "[!!] could not write " << path << "\n";
+        return;
+    }
+    doc.dump(out);
+    out << "\n";
+    std::cout << "machine-readable results: " << path << "\n";
 }
 
 } // namespace lfm::bench

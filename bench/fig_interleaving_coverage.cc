@@ -21,15 +21,38 @@ namespace
 
 using namespace lfm;
 
+/** Random scheduling under a preemption budget of two, bundled so
+ * the parallel engine can mint one instance per worker. */
+class PboundRandomPolicy : public sim::SchedulePolicy
+{
+  public:
+    PboundRandomPolicy() : pbound_(2, inner_) {}
+
+    void beginExecution(std::uint64_t seed) override
+    {
+        pbound_.beginExecution(seed);
+    }
+    std::size_t pick(const sim::SchedView &view) override
+    {
+        return pbound_.pick(view);
+    }
+    const char *name() const override { return "pbound-random"; }
+
+  private:
+    sim::RandomPolicy inner_;
+    explore::PreemptionBoundPolicy pbound_;
+};
+
 double
-rateUnder(const bugs::BugKernel &kernel, sim::SchedulePolicy &policy,
-          std::size_t runs)
+rateUnder(const bugs::BugKernel &kernel,
+          const explore::PolicyFactory &makePolicy, std::size_t runs)
 {
     explore::StressOptions opt;
     opt.runs = runs;
     opt.exec.maxDecisions = 20000;
-    auto result = explore::stressProgram(
-        kernel.factory(bugs::Variant::Buggy), policy, opt);
+    opt.countOnly = true;
+    auto result = explore::ParallelRunner().stress(
+        kernel.factory(bugs::Variant::Buggy), makePolicy, opt);
     return result.rate();
 }
 
@@ -52,17 +75,16 @@ main()
     for (const auto *kernel : bugs::allKernels()) {
         const auto &info = kernel->info();
 
-        sim::RoundRobinPolicy rrPolicy;
-        sim::RandomPolicy randomPolicy;
-        sim::PctPolicy pctPolicy(3, 64);
-        sim::RandomPolicy pbInner;
-        explore::PreemptionBoundPolicy pbPolicy(2, pbInner);
-
-        const double rateRr = rateUnder(*kernel, rrPolicy, kRuns);
-        const double rateRandom =
-            rateUnder(*kernel, randomPolicy, kRuns);
-        const double ratePct = rateUnder(*kernel, pctPolicy, kRuns);
-        const double ratePb = rateUnder(*kernel, pbPolicy, kRuns);
+        const double rateRr = rateUnder(
+            *kernel, explore::makePolicy<sim::RoundRobinPolicy>(),
+            kRuns);
+        const double rateRandom = rateUnder(
+            *kernel, explore::makePolicy<sim::RandomPolicy>(), kRuns);
+        const double ratePct = rateUnder(
+            *kernel, explore::makePolicy<sim::PctPolicy>(3u, 64u),
+            kRuns);
+        const double ratePb = rateUnder(
+            *kernel, explore::makePolicy<PboundRandomPolicy>(), kRuns);
 
         double rateEnforced = 0.0;
         if (!info.manifestation.empty()) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the full test suite, then
+# re-check the genuinely multithreaded pieces (executor handoff,
+# parallel engine) under ThreadSanitizer.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== configure + build (RelWithDebInfo) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir build --output-on-failure
+
+echo "== TSan build (sim + explore + parallel tests) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_TSAN=ON
+cmake --build build-tsan -j "$JOBS" --target test_sim test_parallel
+
+echo "== TSan: executor + parallel engine =="
+./build-tsan/tests/test_sim
+./build-tsan/tests/test_parallel
+
+echo "CI OK"

@@ -1,6 +1,6 @@
 #include "explore/dfs.hh"
 
-#include "sim/policy.hh"
+#include "explore/parallel.hh"
 
 namespace lfm::explore
 {
@@ -9,50 +9,11 @@ DfsResult
 exploreDfs(const sim::ProgramFactory &factory, const DfsOptions &options,
            const ManifestPredicate &manifest)
 {
-    DfsResult result;
-    std::vector<std::size_t> prefix;
-
-    for (;;) {
-        if (result.executions >= options.maxExecutions)
-            return result; // not exhausted
-
-        sim::FixedSchedulePolicy policy(prefix);
-        sim::ExecOptions exec;
-        exec.maxDecisions = options.maxDecisions;
-        exec.spuriousWakeups = options.spuriousWakeups;
-        auto execution = sim::runProgram(factory, policy, exec);
-        ++result.executions;
-
-        if (manifest(execution)) {
-            ++result.manifestations;
-            if (!result.firstManifestPath) {
-                std::vector<std::size_t> path;
-                for (const auto &d : execution.decisions)
-                    path.push_back(d.chosen);
-                result.firstManifestPath = std::move(path);
-            }
-            if (options.stopAtFirst)
-                return result;
-        }
-
-        // Backtrack: deepest decision with an untried alternative.
-        const auto &decisions = execution.decisions;
-        std::size_t level = decisions.size();
-        while (level > 0) {
-            const auto &d = decisions[level - 1];
-            if (d.chosen + 1 < d.choices.size())
-                break;
-            --level;
-        }
-        if (level == 0) {
-            result.exhausted = true;
-            return result;
-        }
-        prefix.clear();
-        for (std::size_t i = 0; i + 1 < level; ++i)
-            prefix.push_back(decisions[i].chosen);
-        prefix.push_back(decisions[level - 1].chosen + 1);
-    }
+    // With one worker the frontier-split engine pops tasks in the
+    // exact order the old recursive backtracking visited schedules,
+    // so this wrapper is behavior-preserving, budget semantics
+    // included.
+    return ParallelRunner(1).dfs(factory, options, manifest);
 }
 
 } // namespace lfm::explore

@@ -36,6 +36,10 @@ struct DfsOptions
 
     /** Stop at the first manifesting execution. */
     bool stopAtFirst = false;
+
+    /** Suppress trace collection (decisions are still recorded —
+     * the search needs them); verdicts are unaffected. */
+    bool countOnly = false;
 };
 
 /** Result of a DFS exploration. */

@@ -1,7 +1,6 @@
 #include "explore/dpor.hh"
 
-#include <set>
-
+#include "explore/parallel.hh"
 #include "support/logging.hh"
 
 namespace lfm::explore
@@ -91,115 +90,11 @@ exploreDpor(const sim::ProgramFactory &factory,
             const DporOptions &options,
             const ManifestPredicate &manifest)
 {
-    struct Node
-    {
-        std::vector<sim::ChoiceRecord> choices;
-        std::set<sim::ThreadId> backtrack;
-        std::set<sim::ThreadId> done;
-    };
-
-    DporResult result;
-    std::vector<Node> stack;
-    std::vector<sim::ThreadId> plan;
-
-    for (;;) {
-        if (result.executions >= options.maxExecutions)
-            return result; // not exhausted
-
-        ThreadPlanPolicy policy(plan);
-        sim::ExecOptions exec;
-        exec.maxDecisions = options.maxDecisions;
-        auto execution = sim::runProgram(factory, policy, exec);
-        ++result.executions;
-
-        const auto &decisions = execution.decisions;
-        const std::size_t n = decisions.size();
-
-        // Executed thread per level, and node bookkeeping.
-        std::vector<sim::ThreadId> tids(n);
-        std::vector<sim::ChoiceRecord> ops(n);
-        if (stack.size() > n)
-            stack.resize(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            const auto &d = decisions[i];
-            tids[i] = d.choices[d.chosen].tid;
-            ops[i] = d.choices[d.chosen];
-            if (i < stack.size()) {
-                stack[i].choices = d.choices;
-            } else {
-                Node node;
-                node.choices = d.choices;
-                node.backtrack = {tids[i]};
-                node.done = {tids[i]};
-                stack.push_back(std::move(node));
-            }
-        }
-
-        // Backtrack-point computation: for each step i, the latest
-        // earlier dependent step j of another thread gets a
-        // backtracking obligation for tids[i] (or everyone enabled
-        // there when tids[i] was not enabled at j).
-        for (std::size_t i = 1; i < n; ++i) {
-            for (std::size_t j = i; j-- > 0;) {
-                if (tids[j] == tids[i])
-                    continue;
-                if (!dependentOps(ops[j], ops[i]))
-                    continue;
-                if (neverCoEnabled(ops[j], ops[i]))
-                    continue; // forced order, not a reversible race
-                bool enabledAtJ = false;
-                for (const auto &c : stack[j].choices) {
-                    if (c.tid == tids[i] && !c.spuriousWake) {
-                        enabledAtJ = true;
-                        break;
-                    }
-                }
-                if (enabledAtJ) {
-                    stack[j].backtrack.insert(tids[i]);
-                } else {
-                    for (const auto &c : stack[j].choices) {
-                        if (!c.spuriousWake)
-                            stack[j].backtrack.insert(c.tid);
-                    }
-                }
-                break; // only the latest dependent step
-            }
-        }
-
-        if (manifest(execution)) {
-            ++result.manifestations;
-            if (!result.firstManifestPlan)
-                result.firstManifestPlan = tids;
-            if (options.stopAtFirst)
-                return result;
-        }
-
-        // Pop to the deepest node with an unexplored obligation.
-        std::size_t level = stack.size();
-        sim::ThreadId next = trace::kNoThread;
-        while (level > 0) {
-            Node &node = stack[level - 1];
-            for (sim::ThreadId tid : node.backtrack) {
-                if (!node.done.count(tid)) {
-                    next = tid;
-                    break;
-                }
-            }
-            if (next != trace::kNoThread)
-                break;
-            --level;
-        }
-        if (level == 0) {
-            result.exhausted = true;
-            return result;
-        }
-        stack[level - 1].done.insert(next);
-        stack.resize(level);
-        plan.assign(tids.begin(),
-                    tids.begin() +
-                        static_cast<std::ptrdiff_t>(level - 1));
-        plan.push_back(next);
-    }
+    // The explored set is the least fixpoint of the backtrack
+    // obligations, so counts and verdicts at exhaustion are those of
+    // the classic stack-based loop; only the visit order differs
+    // (the engine services the newest run's obligations first).
+    return ParallelRunner(1).dpor(factory, options, manifest);
 }
 
 } // namespace lfm::explore

@@ -72,6 +72,10 @@ struct DporOptions
     std::size_t maxExecutions = 10000;
     std::size_t maxDecisions = 2000;
     bool stopAtFirst = false;
+
+    /** Suppress trace collection (decisions are still recorded —
+     * the search needs them); verdicts are unaffected. */
+    bool countOnly = false;
 };
 
 /** Result of a DPOR exploration. */

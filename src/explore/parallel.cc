@@ -1,0 +1,585 @@
+#include "explore/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace lfm::explore
+{
+
+namespace
+{
+
+unsigned
+resolveWorkers(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * Work-stealing task pool for the frontier-split searches.
+ *
+ * Each worker owns a deque: it pushes and pops at the back (LIFO, so
+ * exploration stays depth-first and memory-bounded) and steals from
+ * the front of a victim (FIFO, so thieves take the shallowest — i.e.
+ * largest — subtrees). With one worker run() degenerates to an
+ * inline loop on the calling thread, which reproduces the sequential
+ * algorithms' visit order exactly.
+ *
+ * pending_ counts queued + running tasks; it can only reach zero
+ * when no task is left anywhere and none is running that could push
+ * more, which makes it a race-free termination signal.
+ */
+class WorkStealingPool
+{
+  public:
+    using Task = std::function<void(unsigned)>;
+
+    explicit WorkStealingPool(unsigned workers)
+    {
+        deques_.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            deques_.push_back(std::make_unique<Deque>());
+    }
+
+    void push(unsigned worker, Task task)
+    {
+        pending_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> guard(deques_[worker]->m);
+        deques_[worker]->q.push_back(std::move(task));
+    }
+
+    void run()
+    {
+        if (deques_.size() == 1) {
+            workerLoop(0);
+            return;
+        }
+        std::vector<std::thread> team;
+        team.reserve(deques_.size());
+        for (unsigned w = 0;
+             w < static_cast<unsigned>(deques_.size()); ++w)
+            team.emplace_back([this, w] { workerLoop(w); });
+        for (auto &t : team)
+            t.join();
+    }
+
+  private:
+    struct Deque
+    {
+        std::mutex m;
+        std::deque<Task> q;
+    };
+
+    bool pop(unsigned w, Task &out)
+    {
+        {
+            Deque &own = *deques_[w];
+            std::lock_guard<std::mutex> guard(own.m);
+            if (!own.q.empty()) {
+                out = std::move(own.q.back());
+                own.q.pop_back();
+                return true;
+            }
+        }
+        for (std::size_t off = 1; off < deques_.size(); ++off) {
+            Deque &victim = *deques_[(w + off) % deques_.size()];
+            std::lock_guard<std::mutex> guard(victim.m);
+            if (!victim.q.empty()) {
+                out = std::move(victim.q.front());
+                victim.q.pop_front();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void workerLoop(unsigned w)
+    {
+        Task task;
+        for (;;) {
+            if (pop(w, task)) {
+                task(w);
+                task = nullptr;
+                pending_.fetch_sub(1, std::memory_order_release);
+                continue;
+            }
+            if (pending_.load(std::memory_order_acquire) == 0)
+                return;
+            std::this_thread::yield();
+        }
+    }
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::atomic<std::size_t> pending_{0};
+};
+
+/** Lexicographic "a < b" over index/thread paths. */
+template <typename T>
+bool
+lexLess(const std::vector<T> &a, const std::vector<T> &b)
+{
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+}
+
+// ------------------------------------------------------------------
+// Frontier-split DFS
+// ------------------------------------------------------------------
+
+/**
+ * Shared state of one parallel DFS campaign. Each task is one
+ * execution identified by its schedule prefix; completed executions
+ * enqueue every untried alternative of their path as new tasks.
+ * Every (node, alternative) pair is enqueued by exactly one task —
+ * the one that first ran through the node — so each schedule runs
+ * exactly once and counts are order-independent.
+ */
+struct DfsEngine
+{
+    const sim::ProgramFactory &factory;
+    const DfsOptions &opt;
+    const ManifestPredicate &manifest;
+    WorkStealingPool pool;
+
+    std::mutex m;
+    std::size_t started = 0;
+    std::size_t executions = 0;
+    std::size_t manifestations = 0;
+    bool budgetHit = false;
+    bool stopped = false;
+    std::optional<std::vector<std::size_t>> best;
+
+    DfsEngine(const sim::ProgramFactory &f, const DfsOptions &o,
+              const ManifestPredicate &mp, unsigned workers)
+        : factory(f), opt(o), manifest(mp), pool(workers)
+    {
+    }
+
+    void enqueue(unsigned worker, std::vector<std::size_t> prefix)
+    {
+        pool.push(worker, [this, prefix = std::move(prefix)](
+                              unsigned w) { runOne(w, prefix); });
+    }
+
+    void runOne(unsigned worker, const std::vector<std::size_t> &prefix)
+    {
+        {
+            std::lock_guard<std::mutex> guard(m);
+            // After stopAtFirst fires, only subtrees that can still
+            // contain a lexicographically smaller manifesting path
+            // keep running; this refines `best` toward the canonical
+            // (lex-min) answer and, with one worker, skips everything
+            // (pending prefixes are all lex-greater in DFS order).
+            if (stopped && (!best || !lexLess(prefix, *best)))
+                return;
+            if (started >= opt.maxExecutions) {
+                budgetHit = true;
+                return;
+            }
+            ++started;
+        }
+
+        sim::FixedSchedulePolicy policy(prefix);
+        sim::ExecOptions exec;
+        exec.maxDecisions = opt.maxDecisions;
+        exec.spuriousWakeups = opt.spuriousWakeups;
+        exec.collectTrace = !opt.countOnly;
+        auto execution = sim::runProgram(factory, policy, exec);
+
+        const auto &decisions = execution.decisions;
+        std::vector<std::size_t> path;
+        path.reserve(decisions.size());
+        for (const auto &d : decisions)
+            path.push_back(d.chosen);
+
+        bool pruneChildren;
+        {
+            std::lock_guard<std::mutex> guard(m);
+            ++executions;
+            if (manifest(execution)) {
+                ++manifestations;
+                if (!best || lexLess(path, *best))
+                    best = path;
+                if (opt.stopAtFirst)
+                    stopped = true;
+            }
+            pruneChildren = stopped;
+        }
+
+        // Push alternatives (level ascending, alternative descending)
+        // so a LIFO pop explores deepest-level-smallest-alternative
+        // first: exactly the sequential backtracking order. Levels
+        // below the task's own prefix belong to ancestor tasks.
+        for (std::size_t i = prefix.size(); i < decisions.size(); ++i) {
+            const auto &d = decisions[i];
+            for (std::size_t j = d.choices.size(); j-- > d.chosen + 1;) {
+                std::vector<std::size_t> child(path.begin(),
+                                               path.begin() +
+                                                   static_cast<
+                                                       std::ptrdiff_t>(
+                                                       i));
+                child.push_back(j);
+                if (pruneChildren) {
+                    std::lock_guard<std::mutex> guard(m);
+                    if (!best || !lexLess(child, *best))
+                        continue;
+                }
+                enqueue(worker, std::move(child));
+            }
+        }
+    }
+
+    DfsResult finish()
+    {
+        DfsResult result;
+        result.executions = executions;
+        result.manifestations = manifestations;
+        result.exhausted = !budgetHit && !stopped;
+        result.firstManifestPath = best;
+        return result;
+    }
+};
+
+// ------------------------------------------------------------------
+// Parallel DPOR
+// ------------------------------------------------------------------
+
+/**
+ * Shared state of one parallel DPOR campaign.
+ *
+ * The sequential algorithm's explicit stack becomes a trie keyed by
+ * thread-plan prefixes; backtrack/done sets live in the trie nodes.
+ * Obligations derived from a completed run are a pure function of
+ * that run's decisions, and a claim (inserting into a node's done
+ * set) hands each plan to exactly one task, so the explored set is
+ * the least fixpoint of the obligation relation — independent of
+ * execution order and hence of the worker count.
+ *
+ * One true race remains: a claim can be registered concurrently with
+ * the run whose fallback would cover the same plan; the loser would
+ * re-execute an already-seen path. The executedPaths set drops such
+ * duplicates without counting them, which restores the sequential
+ * counts.
+ */
+struct DporEngine
+{
+    struct NodeSets
+    {
+        std::set<sim::ThreadId> backtrack;
+        std::set<sim::ThreadId> done;
+    };
+
+    const sim::ProgramFactory &factory;
+    const DporOptions &opt;
+    const ManifestPredicate &manifest;
+    WorkStealingPool pool;
+
+    std::mutex m;
+    std::map<std::vector<sim::ThreadId>, NodeSets> trie;
+    std::set<std::vector<sim::ThreadId>> executedPaths;
+    std::size_t started = 0;
+    std::size_t executions = 0;
+    std::size_t manifestations = 0;
+    bool budgetHit = false;
+    bool stopped = false;
+    std::optional<std::vector<sim::ThreadId>> best;
+
+    DporEngine(const sim::ProgramFactory &f, const DporOptions &o,
+               const ManifestPredicate &mp, unsigned workers)
+        : factory(f), opt(o), manifest(mp), pool(workers)
+    {
+    }
+
+    void enqueue(unsigned worker, std::vector<sim::ThreadId> plan)
+    {
+        pool.push(worker,
+                  [this, plan = std::move(plan)](unsigned w) {
+                      runOne(w, plan);
+                  });
+    }
+
+    void runOne(unsigned worker, const std::vector<sim::ThreadId> &plan)
+    {
+        {
+            std::lock_guard<std::mutex> guard(m);
+            if (stopped)
+                return;
+            if (started >= opt.maxExecutions) {
+                budgetHit = true;
+                return;
+            }
+            ++started;
+        }
+
+        ThreadPlanPolicy policy(plan);
+        sim::ExecOptions exec;
+        exec.maxDecisions = opt.maxDecisions;
+        exec.collectTrace = !opt.countOnly;
+        auto execution = sim::runProgram(factory, policy, exec);
+
+        const auto &decisions = execution.decisions;
+        const std::size_t n = decisions.size();
+        std::vector<sim::ThreadId> tids(n);
+        std::vector<const sim::ChoiceRecord *> ops(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &d = decisions[i];
+            tids[i] = d.choices[d.chosen].tid;
+            ops[i] = &d.choices[d.chosen];
+        }
+
+        // Backtrack obligations: for each step i, the latest earlier
+        // dependent step j of another thread gets an obligation for
+        // tids[i] (or everyone enabled there when tids[i] was not
+        // enabled at j). Computed lock-free: it only reads this
+        // run's own decision records.
+        std::map<std::size_t, std::set<sim::ThreadId>> obligations;
+        for (std::size_t i = 1; i < n; ++i) {
+            for (std::size_t j = i; j-- > 0;) {
+                if (tids[j] == tids[i])
+                    continue;
+                if (!dependentOps(*ops[j], *ops[i]))
+                    continue;
+                if (neverCoEnabled(*ops[j], *ops[i]))
+                    continue; // forced order, not a reversible race
+                bool enabledAtJ = false;
+                for (const auto &c : decisions[j].choices) {
+                    if (c.tid == tids[i] && !c.spuriousWake) {
+                        enabledAtJ = true;
+                        break;
+                    }
+                }
+                if (enabledAtJ) {
+                    obligations[j].insert(tids[i]);
+                } else {
+                    for (const auto &c : decisions[j].choices) {
+                        if (!c.spuriousWake)
+                            obligations[j].insert(c.tid);
+                    }
+                }
+                break; // only the latest dependent step
+            }
+        }
+
+        std::vector<std::vector<sim::ThreadId>> fresh;
+        {
+            std::lock_guard<std::mutex> guard(m);
+            if (!executedPaths.insert(tids).second) {
+                // Duplicate of a path another task already ran
+                // (claim raced with that run's registration); drop
+                // it uncounted so totals match the sequential run.
+                --started;
+                return;
+            }
+            ++executions;
+            if (manifest(execution)) {
+                ++manifestations;
+                if (!best || lexLess(tids, *best))
+                    best = tids;
+                if (opt.stopAtFirst)
+                    stopped = true;
+            }
+
+            // Register the executed path: every level's chosen
+            // thread joins its node's backtrack and done sets.
+            std::vector<sim::ThreadId> prefix;
+            prefix.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                NodeSets &node = trie[prefix];
+                node.backtrack.insert(tids[i]);
+                node.done.insert(tids[i]);
+                prefix.push_back(tids[i]);
+            }
+
+            if (!stopped) {
+                // Claim-on-enqueue: an obligation spawns a task only
+                // if its thread is new to the node's done set, so
+                // each plan is claimed exactly once globally.
+                prefix.clear();
+                auto ob = obligations.begin();
+                for (std::size_t i = 0;
+                     i < n && ob != obligations.end(); ++i) {
+                    if (ob->first == i) {
+                        NodeSets &node = trie[prefix];
+                        // Reverse tid order: combined with ascending
+                        // levels, LIFO pops deepest-smallest first.
+                        for (auto it = ob->second.rbegin();
+                             it != ob->second.rend(); ++it) {
+                            node.backtrack.insert(*it);
+                            if (node.done.insert(*it).second) {
+                                std::vector<sim::ThreadId> next =
+                                    prefix;
+                                next.push_back(*it);
+                                fresh.push_back(std::move(next));
+                            }
+                        }
+                        ++ob;
+                    }
+                    prefix.push_back(tids[i]);
+                }
+            }
+        }
+        for (auto &next : fresh)
+            enqueue(worker, std::move(next));
+    }
+
+    DporResult finish()
+    {
+        DporResult result;
+        result.executions = executions;
+        result.manifestations = manifestations;
+        result.exhausted = !budgetHit && !stopped;
+        result.firstManifestPlan = best;
+        return result;
+    }
+};
+
+} // namespace
+
+PolicyFactory
+borrowPolicy(sim::SchedulePolicy &policy)
+{
+    sim::SchedulePolicy *raw = &policy;
+    return [raw]() -> std::shared_ptr<sim::SchedulePolicy> {
+        // Aliasing constructor: non-owning handle to the caller's
+        // policy. Only valid for single-worker campaigns.
+        return std::shared_ptr<sim::SchedulePolicy>(
+            std::shared_ptr<sim::SchedulePolicy>{}, raw);
+    };
+}
+
+ParallelRunner::ParallelRunner(unsigned workers)
+    : workers_(resolveWorkers(workers))
+{
+}
+
+StressResult
+ParallelRunner::stress(const sim::ProgramFactory &factory,
+                       const PolicyFactory &makePolicy,
+                       const StressOptions &options,
+                       const ManifestPredicate &manifest) const
+{
+    StressResult result;
+    const std::size_t runs = options.runs;
+    if (runs == 0)
+        return result;
+
+    struct RunRecord
+    {
+        std::uint64_t steps = 0;
+        bool manifested = false;
+    };
+    std::vector<RunRecord> records(runs);
+
+    // Blocks of consecutive seeds are handed out atomically; with
+    // stopAtFirst, stopIndex is the earliest manifesting seed index
+    // found so far and later seeds are abandoned (every seed below
+    // it still completes, which the merge below relies on).
+    const std::size_t block = std::max<std::size_t>(
+        1, std::min<std::size_t>(64, runs / (workers_ * 4) + 1));
+    std::atomic<std::size_t> nextBlock{0};
+    std::atomic<std::uint64_t> stopIndex{~std::uint64_t{0}};
+
+    auto worker = [&]() {
+        auto policy = makePolicy();
+        LFM_ASSERT(policy != nullptr, "policy factory returned null");
+        for (;;) {
+            const std::size_t lo =
+                nextBlock.fetch_add(1, std::memory_order_relaxed) *
+                block;
+            if (lo >= runs)
+                return;
+            if (options.stopAtFirst &&
+                lo > stopIndex.load(std::memory_order_acquire))
+                return;
+            const std::size_t hi = std::min(runs, lo + block);
+            for (std::size_t i = lo; i < hi; ++i) {
+                if (options.stopAtFirst &&
+                    i > stopIndex.load(std::memory_order_acquire))
+                    break;
+                sim::ExecOptions exec = options.exec;
+                exec.seed = options.firstSeed + i;
+                if (options.countOnly) {
+                    exec.collectTrace = false;
+                    exec.recordDecisions = false;
+                }
+                auto execution =
+                    sim::runProgram(factory, *policy, exec);
+                records[i].steps = execution.steps();
+                records[i].manifested = manifest(execution);
+                if (records[i].manifested && options.stopAtFirst) {
+                    std::uint64_t cur =
+                        stopIndex.load(std::memory_order_relaxed);
+                    while (i < cur &&
+                           !stopIndex.compare_exchange_weak(
+                               cur, i, std::memory_order_acq_rel))
+                        ;
+                }
+            }
+        }
+    };
+
+    if (workers_ <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> team;
+        team.reserve(workers_);
+        for (unsigned w = 0; w < workers_; ++w)
+            team.emplace_back(worker);
+        for (auto &t : team)
+            t.join();
+    }
+
+    // Merge in seed order, replicating the sequential loop: the
+    // result is bit-identical for every worker count.
+    double totalDecisions = 0.0;
+    for (std::size_t i = 0; i < runs; ++i) {
+        ++result.runs;
+        totalDecisions += static_cast<double>(records[i].steps);
+        if (records[i].manifested) {
+            ++result.manifestations;
+            if (!result.firstManifestSeed)
+                result.firstManifestSeed = options.firstSeed + i;
+            if (options.stopAtFirst)
+                break;
+        }
+    }
+    if (result.runs > 0)
+        result.avgDecisions =
+            totalDecisions / static_cast<double>(result.runs);
+    return result;
+}
+
+DfsResult
+ParallelRunner::dfs(const sim::ProgramFactory &factory,
+                    const DfsOptions &options,
+                    const ManifestPredicate &manifest) const
+{
+    DfsEngine engine(factory, options, manifest, workers_);
+    engine.enqueue(0, {});
+    engine.pool.run();
+    return engine.finish();
+}
+
+DporResult
+ParallelRunner::dpor(const sim::ProgramFactory &factory,
+                     const DporOptions &options,
+                     const ManifestPredicate &manifest) const
+{
+    DporEngine engine(factory, options, manifest, workers_);
+    engine.enqueue(0, {});
+    engine.pool.run();
+    return engine.finish();
+}
+
+} // namespace lfm::explore

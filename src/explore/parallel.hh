@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Work-stealing parallel exploration engine.
+ *
+ * Every exploration strategy in this repo reduces to "run many
+ * independent executions of one program and merge the verdicts":
+ * stress/PCT campaigns shard naturally by seed, and the systematic
+ * searches (DFS, preemption-bounded stress, DPOR) shard by
+ * schedule-prefix frontier splitting — each completed execution
+ * yields the set of untried branch points, which become new work
+ * items any worker can claim.
+ *
+ * The engine is deterministic by construction:
+ *  - stress: per-seed records are written to disjoint slots and
+ *    merged in seed order, replicating the sequential loop exactly;
+ *  - DFS: the first-failure schedule is the lexicographically
+ *    smallest manifesting decision path (the canonical tie-break),
+ *    which is precisely what sequential DFS finds first because it
+ *    visits paths in lexicographic order;
+ *  - DPOR: the explored set is the least fixpoint of the backtrack
+ *    obligations, which is order-independent, so execution and
+ *    manifestation counts match the sequential algorithm whenever
+ *    the space is exhausted.
+ *
+ * With workers=1 the pool degenerates to an inline LIFO loop on the
+ * calling thread and reproduces the sequential algorithms step for
+ * step; the sequential entry points (stressProgram, exploreDfs,
+ * exploreDpor) are thin wrappers over this engine.
+ */
+
+#ifndef LFM_EXPLORE_PARALLEL_HH
+#define LFM_EXPLORE_PARALLEL_HH
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "explore/dfs.hh"
+#include "explore/dpor.hh"
+#include "explore/runner.hh"
+
+namespace lfm::explore
+{
+
+/**
+ * Builds one schedule-policy instance per worker. Policies carry
+ * per-execution state (RNGs, priority tables), so workers cannot
+ * share one instance; any policy whose behavior is a pure function
+ * of (seed, execution history) — all policies in sim/policy.hh —
+ * shards correctly.
+ */
+using PolicyFactory =
+    std::function<std::shared_ptr<sim::SchedulePolicy>()>;
+
+/**
+ * Adapt an existing policy instance for single-worker use (the
+ * sequential wrappers). The returned factory hands out non-owning
+ * references; using it with more than one worker is a bug.
+ */
+PolicyFactory borrowPolicy(sim::SchedulePolicy &policy);
+
+/** Factory for a default-constructible or value-captured policy. */
+template <typename Policy, typename... Args>
+PolicyFactory
+makePolicy(Args... args)
+{
+    return [args...]() -> std::shared_ptr<sim::SchedulePolicy> {
+        return std::make_shared<Policy>(args...);
+    };
+}
+
+/**
+ * The parallel exploration engine; see the file comment.
+ *
+ * One instance is reusable across campaigns; it owns no threads
+ * between calls (workers are spawned per campaign and joined before
+ * the call returns).
+ */
+class ParallelRunner
+{
+  public:
+    /** @param workers worker count; 0 = hardware concurrency. */
+    explicit ParallelRunner(unsigned workers = 0);
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * Seed-sharded stress campaign; bit-identical to the sequential
+     * stressProgram for any worker count (including stopAtFirst,
+     * which cuts at the earliest manifesting seed).
+     */
+    StressResult stress(const sim::ProgramFactory &factory,
+                        const PolicyFactory &makePolicy,
+                        const StressOptions &options = {},
+                        const ManifestPredicate &manifest =
+                            defaultManifest) const;
+
+    /**
+     * Frontier-split DFS. Counts are bit-identical to sequential
+     * exploreDfs for every worker count when the tree is exhausted
+     * (and for workers=1 always); firstManifestPath is canonical:
+     * the lexicographically smallest manifesting path.
+     */
+    DfsResult dfs(const sim::ProgramFactory &factory,
+                  const DfsOptions &options = {},
+                  const ManifestPredicate &manifest =
+                      defaultManifest) const;
+
+    /**
+     * Parallel DPOR over a shared prefix trie with claim-on-enqueue
+     * deduplication. Counts match sequential exploreDpor whenever
+     * the space is exhausted.
+     */
+    DporResult dpor(const sim::ProgramFactory &factory,
+                    const DporOptions &options = {},
+                    const ManifestPredicate &manifest =
+                        defaultManifest) const;
+
+  private:
+    unsigned workers_;
+};
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_PARALLEL_HH

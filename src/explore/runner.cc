@@ -1,5 +1,7 @@
 #include "explore/runner.hh"
 
+#include "explore/parallel.hh"
+
 namespace lfm::explore
 {
 
@@ -14,27 +16,8 @@ stressProgram(const sim::ProgramFactory &factory,
               sim::SchedulePolicy &policy, const StressOptions &options,
               const ManifestPredicate &manifest)
 {
-    StressResult result;
-    double totalDecisions = 0.0;
-
-    for (std::size_t i = 0; i < options.runs; ++i) {
-        sim::ExecOptions exec = options.exec;
-        exec.seed = options.firstSeed + i;
-        auto execution = sim::runProgram(factory, policy, exec);
-        ++result.runs;
-        totalDecisions += static_cast<double>(execution.steps());
-        if (manifest(execution)) {
-            ++result.manifestations;
-            if (!result.firstManifestSeed)
-                result.firstManifestSeed = exec.seed;
-            if (options.stopAtFirst)
-                break;
-        }
-    }
-    if (result.runs > 0)
-        result.avgDecisions =
-            totalDecisions / static_cast<double>(result.runs);
-    return result;
+    return ParallelRunner(1).stress(factory, borrowPolicy(policy),
+                                    options, manifest);
 }
 
 } // namespace lfm::explore

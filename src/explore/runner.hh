@@ -56,6 +56,13 @@ struct StressOptions
     sim::ExecOptions exec;
     /** Stop as soon as one manifestation is found. */
     bool stopAtFirst = false;
+    /**
+     * Skip trace and decision recording (sim count-only mode): the
+     * manifest predicate then sees an Execution with an empty trace
+     * and no decisions, which the default verdict-based predicate
+     * never looks at anyway. Big win for pure rate measurements.
+     */
+    bool countOnly = false;
 };
 
 /**

@@ -16,6 +16,33 @@ namespace
 thread_local Executor *tExecutor = nullptr;
 thread_local ThreadId tTid = trace::kNoThread;
 
+/** Baton values for the fast atomic handoff. */
+constexpr std::uint32_t kBatonGo = 1;
+constexpr std::uint32_t kBatonAbort = 2;
+
+/** Busy-poll iterations before falling back to a futex wait. On a
+ * single-hardware-thread machine spinning can only delay the peer,
+ * so the budget collapses to zero there. */
+int
+spinBudget()
+{
+    static const int budget =
+        std::thread::hardware_concurrency() > 1 ? 128 : 0;
+    return budget;
+}
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 } // namespace
 
 Executor::Executor() = default;
@@ -119,6 +146,12 @@ Executor::run(const ProgramFactory &factory, SchedulePolicy &policy,
     lastRun_ = trace::kNoThread;
     nextObjectId_ = 1;
     waitArrivalCounter_ = 0;
+    fastHandoff_ = !options.legacyHandoff;
+    collectTrace_ = options.collectTrace;
+    recordDecisions_ = options.recordDecisions;
+    seqCounter_ = 0;
+    unparked_.store(0, std::memory_order_relaxed);
+    choicesScratch_.clear();
 
     Executor *prevExec = tExecutor;
     ThreadId prevTid = tTid;
@@ -180,6 +213,9 @@ Executor::launchThread(std::string name, std::function<void()> body,
 
     LogicalThread *raw = lt.get();
     threads_.push_back(std::move(lt));
+    // The fresh host counts as unparked until it reaches its first
+    // schedule point; increment before it can possibly park.
+    unparked_.fetch_add(1, std::memory_order_relaxed);
     raw->host = std::thread([this, raw] { threadMain(raw); });
     return tid;
 }
@@ -189,6 +225,8 @@ Executor::record(trace::EventKind kind, ObjectId obj, ObjectId obj2,
                  std::uint64_t aux, std::string label)
 {
     // Caller holds m_.
+    if (!collectTrace_)
+        return seqCounter_++;
     trace::Event event;
     event.thread = tTid;
     event.kind = kind;
@@ -219,6 +257,50 @@ Executor::waitQuiescent(std::unique_lock<std::mutex> &lk)
         }
         return true;
     });
+}
+
+void
+Executor::awaitQuiescentFast(std::unique_lock<std::mutex> &lk)
+{
+    lk.unlock();
+    for (int spins = spinBudget();;) {
+        const std::uint32_t v =
+            unparked_.load(std::memory_order_acquire);
+        if (v == 0)
+            break;
+        if (spins > 0) {
+            --spins;
+            cpuRelax();
+        } else {
+            // Returns immediately if the value moved past v; the
+            // last decrement to zero always notifies.
+            unparked_.wait(v, std::memory_order_acquire);
+        }
+    }
+    lk.lock();
+}
+
+void
+Executor::grantAndWait(std::unique_lock<std::mutex> &lk,
+                       LogicalThread &lt)
+{
+    unparked_.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    lt.baton.store(kBatonGo, std::memory_order_release);
+    lt.baton.notify_one();
+    for (int spins = spinBudget();;) {
+        const std::uint32_t v =
+            unparked_.load(std::memory_order_acquire);
+        if (v == 0)
+            break;
+        if (spins > 0) {
+            --spins;
+            cpuRelax();
+        } else {
+            unparked_.wait(v, std::memory_order_acquire);
+        }
+    }
+    lk.lock();
 }
 
 bool
@@ -264,23 +346,23 @@ Executor::opEnabled(const LogicalThread &lt) const
     }
 }
 
-std::vector<ChoiceRecord>
-Executor::buildChoices(bool spuriousAllowed) const
+void
+Executor::buildChoices(std::vector<ChoiceRecord> &out,
+                       bool spuriousAllowed) const
 {
-    std::vector<ChoiceRecord> choices;
+    out.clear();
     for (const auto &lt : threads_) {
         if (lt->status != ThreadStatus::AtPoint)
             continue;
         if (opEnabled(*lt)) {
-            choices.push_back({lt->tid, false, lt->pending.kind,
-                               lt->pending.obj, lt->pending.label});
+            out.push_back({lt->tid, false, lt->pending.kind,
+                           lt->pending.obj, lt->pending.label});
         } else if (spuriousAllowed &&
                    lt->pending.kind == OpKind::WaitBlock) {
-            choices.push_back({lt->tid, true, lt->pending.kind,
-                               lt->pending.obj, lt->pending.label});
+            out.push_back({lt->tid, true, lt->pending.kind,
+                           lt->pending.obj, lt->pending.label});
         }
     }
-    return choices;
 }
 
 void
@@ -332,12 +414,16 @@ Executor::captureWaitsFor()
 
         // Mirror the stuck acquisition into the trace so offline
         // detectors (lock-order graph) see the attempted edge.
-        trace::Event event;
-        event.thread = lt->tid;
-        event.kind = trace::EventKind::Blocked;
-        event.obj = edge.obj;
-        event.aux = static_cast<std::uint64_t>(edge.holder);
-        exec_.trace.append(std::move(event));
+        if (collectTrace_) {
+            trace::Event event;
+            event.thread = lt->tid;
+            event.kind = trace::EventKind::Blocked;
+            event.obj = edge.obj;
+            event.aux = static_cast<std::uint64_t>(edge.holder);
+            exec_.trace.append(std::move(event));
+        } else {
+            ++seqCounter_;
+        }
     }
 }
 
@@ -345,24 +431,41 @@ void
 Executor::abortAll(std::unique_lock<std::mutex> &lk)
 {
     abortFlag_ = true;
-    cv_.notify_all();
-    cv_.wait(lk, [this] {
-        for (const auto &lt : threads_) {
-            if (lt->status != ThreadStatus::Finished)
-                return false;
-        }
-        return true;
-    });
+    if (!fastHandoff_) {
+        cv_.notify_all();
+        cv_.wait(lk, [this] {
+            for (const auto &lt : threads_) {
+                if (lt->status != ThreadStatus::Finished)
+                    return false;
+            }
+            return true;
+        });
+        return;
+    }
+    // abortAll only runs at quiescence, so every live thread is
+    // parked on its baton; hand each an abort token.
+    for (const auto &lt : threads_) {
+        if (lt->status == ThreadStatus::Finished)
+            continue;
+        unparked_.fetch_add(1, std::memory_order_relaxed);
+        lt->baton.store(kBatonAbort, std::memory_order_release);
+        lt->baton.notify_one();
+    }
+    awaitQuiescentFast(lk);
 }
 
 void
 Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
 {
     std::unique_lock<std::mutex> lk(m_);
-    waitQuiescent(lk);
+    if (fastHandoff_)
+        awaitQuiescentFast(lk);
+    else
+        waitQuiescent(lk);
 
     for (;;) {
-        auto choices = buildChoices(opt.spuriousWakeups);
+        buildChoices(choicesScratch_, opt.spuriousWakeups);
+        const auto &choices = choicesScratch_;
 
         if (choices.empty()) {
             bool anyLive = false;
@@ -378,16 +481,18 @@ Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
             break;
         }
 
-        if (exec_.decisions.size() >= opt.maxDecisions) {
+        if (exec_.decisionCount >= opt.maxDecisions) {
             exec_.stepLimitHit = true;
             abortAll(lk);
             break;
         }
 
-        SchedView view{choices, exec_.decisions.size(), lastRun_};
+        SchedView view{choices, exec_.decisionCount, lastRun_};
         const std::size_t idx = policy.pick(view);
         LFM_ASSERT(idx < choices.size(), "policy picked out of range");
-        exec_.decisions.push_back({choices, idx});
+        ++exec_.decisionCount;
+        if (recordDecisions_)
+            exec_.decisions.push_back({choices, idx});
 
         const ChoiceRecord &choice = choices[idx];
         if (choice.spuriousWake) {
@@ -404,9 +509,13 @@ Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
         }
 
         lastRun_ = choice.tid;
-        granted_ = choice.tid;
-        cv_.notify_all();
-        waitQuiescent(lk);
+        if (fastHandoff_) {
+            grantAndWait(lk, byTid(choice.tid));
+        } else {
+            granted_ = choice.tid;
+            cv_.notify_all();
+            waitQuiescent(lk);
+        }
     }
 }
 
@@ -452,25 +561,43 @@ Executor::threadMain(LogicalThread *lt)
 
         lt->body();
 
-        std::lock_guard<std::mutex> guard(m_);
-        lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
-        lt->status = ThreadStatus::Finished;
-        cv_.notify_all();
+        {
+            std::lock_guard<std::mutex> guard(m_);
+            lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
+            lt->status = ThreadStatus::Finished;
+            if (!fastHandoff_)
+                cv_.notify_all();
+        }
+        if (fastHandoff_ &&
+            unparked_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            unparked_.notify_all();
     } catch (const ExecutionAborted &) {
-        std::lock_guard<std::mutex> guard(m_);
-        lt->aborted = true;
-        lt->status = ThreadStatus::Finished;
-        cv_.notify_all();
+        {
+            std::lock_guard<std::mutex> guard(m_);
+            lt->aborted = true;
+            lt->status = ThreadStatus::Finished;
+            if (!fastHandoff_)
+                cv_.notify_all();
+        }
+        if (fastHandoff_ &&
+            unparked_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            unparked_.notify_all();
     } catch (const std::exception &e) {
-        std::lock_guard<std::mutex> guard(m_);
-        record(trace::EventKind::FailureMark, trace::kNoObject,
-               trace::kNoObject, 0,
-               std::string("uncaught exception: ") + e.what());
-        exec_.failureMessages.emplace_back(
-            std::string("uncaught exception: ") + e.what());
-        lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
-        lt->status = ThreadStatus::Finished;
-        cv_.notify_all();
+        {
+            std::lock_guard<std::mutex> guard(m_);
+            record(trace::EventKind::FailureMark, trace::kNoObject,
+                   trace::kNoObject, 0,
+                   std::string("uncaught exception: ") + e.what());
+            exec_.failureMessages.emplace_back(
+                std::string("uncaught exception: ") + e.what());
+            lt->endSeq = record(trace::EventKind::ThreadEnd, lt->objId);
+            lt->status = ThreadStatus::Finished;
+            if (!fastHandoff_)
+                cv_.notify_all();
+        }
+        if (fastHandoff_ &&
+            unparked_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            unparked_.notify_all();
     }
 }
 
@@ -478,13 +605,41 @@ void
 Executor::parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
 {
     lt.status = ThreadStatus::AtPoint;
-    cv_.notify_all();
-    cv_.wait(lk, [this, &lt] {
-        return abortFlag_ || granted_ == lt.tid;
-    });
-    if (abortFlag_)
+    if (!fastHandoff_) {
+        cv_.notify_all();
+        cv_.wait(lk, [this, &lt] {
+            return abortFlag_ || granted_ == lt.tid;
+        });
+        if (abortFlag_)
+            throw ExecutionAborted{};
+        granted_ = trace::kNoThread;
+        lt.status = ThreadStatus::Running;
+        return;
+    }
+
+    // Fast path: drop the lock, report quiescence, then wait on our
+    // private baton. The scheduler writes all shared state before it
+    // stores the baton, and we re-lock before touching any, so the
+    // mutex still orders every cross-thread access.
+    lk.unlock();
+    if (unparked_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        unparked_.notify_all();
+    std::uint32_t token;
+    for (int spins = spinBudget();;) {
+        token = lt.baton.load(std::memory_order_acquire);
+        if (token != 0)
+            break;
+        if (spins > 0) {
+            --spins;
+            cpuRelax();
+        } else {
+            lt.baton.wait(0, std::memory_order_acquire);
+        }
+    }
+    lt.baton.store(0, std::memory_order_relaxed);
+    if (token == kBatonAbort)
         throw ExecutionAborted{};
-    granted_ = trace::kNoThread;
+    lk.lock();
     lt.status = ThreadStatus::Running;
 }
 
@@ -751,12 +906,16 @@ Executor::executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
                 if (other->status == ThreadStatus::AtPoint &&
                     other->pending.kind == OpKind::BarrierBlock &&
                     other->pending.obj == op.obj) {
-                    trace::Event event;
-                    event.thread = other->tid;
-                    event.kind = EventKind::BarrierCross;
-                    event.obj = op.obj;
-                    event.aux = b.generation;
-                    exec_.trace.append(std::move(event));
+                    if (collectTrace_) {
+                        trace::Event event;
+                        event.thread = other->tid;
+                        event.kind = EventKind::BarrierCross;
+                        event.obj = op.obj;
+                        event.aux = b.generation;
+                        exec_.trace.append(std::move(event));
+                    } else {
+                        ++seqCounter_;
+                    }
                     PendingOp resume;
                     resume.kind = OpKind::BarrierResume;
                     resume.obj = op.obj;

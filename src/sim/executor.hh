@@ -20,6 +20,7 @@
 #ifndef LFM_SIM_EXECUTOR_HH
 #define LFM_SIM_EXECUTOR_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -165,6 +166,9 @@ class Executor
         SeqNo endSeq = 0;
         std::uint64_t waitArrival = 0;
         bool aborted = false;
+        /** Fast-path handoff flag: 0 parked, kBatonGo, kBatonAbort.
+         * Written by the scheduler, consumed by the parked host. */
+        std::atomic<std::uint32_t> baton{0};
     };
 
     struct MutexState
@@ -201,12 +205,17 @@ class Executor
 
     // --- scheduler-loop side -------------------------------------
     void schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt);
-    std::vector<ChoiceRecord>
-    buildChoices(bool spuriousAllowed) const;
+    void buildChoices(std::vector<ChoiceRecord> &out,
+                      bool spuriousAllowed) const;
     bool opEnabled(const LogicalThread &lt) const;
     void captureWaitsFor();
     void abortAll(std::unique_lock<std::mutex> &lk);
     void waitQuiescent(std::unique_lock<std::mutex> &lk);
+    /** Fast path: hand the baton to lt and wait for quiescence. */
+    void grantAndWait(std::unique_lock<std::mutex> &lk,
+                      LogicalThread &lt);
+    /** Fast path: block until every live thread is parked again. */
+    void awaitQuiescentFast(std::unique_lock<std::mutex> &lk);
 
     // --- simulated-thread side -----------------------------------
     void threadMain(LogicalThread *lt);
@@ -225,15 +234,26 @@ class Executor
                  ObjectId obj2 = trace::kNoObject, std::uint64_t aux = 0,
                  std::string label = {});
 
-    // Everything below is guarded by m_.
+    // Everything below is guarded by m_ unless noted otherwise.
     mutable std::mutex m_;
-    std::condition_variable cv_;
+    std::condition_variable cv_;  ///< legacy handoff mode only
     std::vector<std::unique_ptr<LogicalThread>> threads_;
     ThreadId granted_ = trace::kNoThread;
     bool abortFlag_ = false;
     ThreadId lastRun_ = trace::kNoThread;
     std::uint64_t nextObjectId_ = 1;
     std::uint64_t waitArrivalCounter_ = 0;
+
+    /** Count of threads holding the baton or not yet parked; the
+     * scheduler proceeds when it drops to zero. Lock-free. */
+    std::atomic<std::uint32_t> unparked_{0};
+    bool fastHandoff_ = true;      ///< constant during one run()
+    bool collectTrace_ = true;     ///< constant during one run()
+    bool recordDecisions_ = true;  ///< constant during one run()
+    /** Monotonic stand-in for trace seq numbers in count-only mode. */
+    SeqNo seqCounter_ = 0;
+    /** Reused per-step choice buffer (scheduler side). */
+    std::vector<ChoiceRecord> choicesScratch_;
 
     std::map<ObjectId, MutexState> mutexes_;
     std::map<ObjectId, RWLockState> rwlocks_;

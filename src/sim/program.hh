@@ -58,6 +58,28 @@ struct ExecOptions
 
     /** Seed forwarded to the policy's beginExecution. */
     std::uint64_t seed = 1;
+
+    /**
+     * Record trace events. Turning this off ("count-only" mode) skips
+     * all event and label allocation; verdicts (failure marks,
+     * deadlock, oracle) are unaffected, but detectors get an empty
+     * trace. Exploration phases that only need pass/fail use this.
+     */
+    bool collectTrace = true;
+
+    /**
+     * Record per-decision choice lists (needed for replay and
+     * systematic search). Off saves the per-step choice copies for
+     * pure stress campaigns; steps() stays correct either way.
+     */
+    bool recordDecisions = true;
+
+    /**
+     * Use the legacy condition-variable baton handoff instead of the
+     * per-thread atomic baton fast path. Kept for A/B benchmarking
+     * (bench/perf_parallel) and as a fallback while debugging.
+     */
+    bool legacyHandoff = false;
 };
 
 /** Why a blocked thread cannot make progress (deadlock reporting). */
@@ -84,8 +106,13 @@ struct Execution
     /** True when maxDecisions was exhausted (livelock guard). */
     bool stepLimitHit = false;
 
-    /** Every decision taken, for replay and systematic search. */
+    /** Every decision taken, for replay and systematic search.
+     * Empty when ExecOptions::recordDecisions was off. */
     std::vector<DecisionRecord> decisions;
+
+    /** Number of scheduling decisions taken (valid even when
+     * decisions were not recorded). */
+    std::size_t decisionCount = 0;
 
     /** Messages of all FailureMark events, in order. */
     std::vector<std::string> failureMessages;
@@ -103,7 +130,7 @@ struct Execution
     }
 
     /** Number of scheduling decisions taken. */
-    std::size_t steps() const { return decisions.size(); }
+    std::size_t steps() const { return decisionCount; }
 };
 
 class SchedulePolicy;

@@ -18,56 +18,92 @@ struct LockClocks
     VectorClock readRelease;   ///< join of all shared releases so far
 };
 
+/** Mutable per-thread state while scanning. */
+struct ThreadState
+{
+    VectorClock c;
+    std::uint32_t base = 0;  ///< pool index of the last snapshot
+};
+
 } // namespace
 
-HbRelation::HbRelation(const Trace &trace) : trace_(trace)
+HbRelation::HbRelation(const Trace &trace)
 {
     const auto &events = trace.events();
-    clocks_.resize(events.size());
+    const std::size_t n = events.size();
+    ev_.resize(n);
 
-    std::map<ThreadId, VectorClock> threadClock;
+    // pool_[0] is the zero clock: the base of every thread that has
+    // not yet been the target of a synchronization edge.
+    pool_.reserve(64);
+    pool_.emplace_back();
+
+    std::vector<ThreadState> threads;
+    threads.reserve(trace.threadNames().size() + 1);
     std::map<ObjectId, LockClocks> lockClock;
 
-    auto clockFor = [&](ThreadId tid) -> VectorClock & {
-        return threadClock[tid];
+    auto stateFor = [&](ThreadId tid) -> ThreadState & {
+        LFM_ASSERT(tid >= 0, "negative thread id in trace");
+        const auto i = static_cast<std::size_t>(tid);
+        if (i >= threads.size())
+            threads.resize(i + 1);
+        return threads[i];
     };
 
-    for (std::size_t i = 0; i < events.size(); ++i) {
+    // Join the clock of a previously processed event: its pool base
+    // plus its own-component epoch.
+    auto joinEvent = [&](VectorClock &c, SeqNo seq) -> bool {
+        const EventClock &e = ev_[seq];
+        bool changed = c.join(pool_[e.base]);
+        if (e.own > c.get(e.tid)) {
+            c.set(e.tid, e.own);
+            changed = true;
+        }
+        return changed;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
         const Event &event = events[i];
-        VectorClock &c = clockFor(event.thread);
+        ThreadState &ts = stateFor(event.thread);
+        VectorClock &c = ts.c;
         c.tick(event.thread);
+        bool joined = false;
 
         switch (event.kind) {
           case EventKind::ThreadBegin:
             // aux = seq of the parent's Spawn event (if spawned).
             if (event.aux != kSpuriousWakeup && event.aux < i)
-                c.join(clocks_[event.aux]);
+                joined |= joinEvent(c, event.aux);
             break;
           case EventKind::Join:
             // aux = seq of the child's ThreadEnd event.
             LFM_ASSERT(event.aux < i, "join before child ended");
-            c.join(clocks_[event.aux]);
+            joined |= joinEvent(c, event.aux);
             break;
-          case EventKind::Lock:
-            c.join(lockClock[event.obj].writeRelease);
-            c.join(lockClock[event.obj].readRelease);
+          case EventKind::Lock: {
+            LockClocks &lc = lockClock[event.obj];
+            joined |= c.join(lc.writeRelease);
+            joined |= c.join(lc.readRelease);
             break;
+          }
           case EventKind::RdLock:
-            c.join(lockClock[event.obj].writeRelease);
+            joined |= c.join(lockClock[event.obj].writeRelease);
             break;
-          case EventKind::WaitResume:
+          case EventKind::WaitResume: {
             // The wait reacquires the mutex ...
-            c.join(lockClock[event.obj2].writeRelease);
-            c.join(lockClock[event.obj2].readRelease);
+            LockClocks &lc = lockClock[event.obj2];
+            joined |= c.join(lc.writeRelease);
+            joined |= c.join(lc.readRelease);
             // ... and is ordered after the signal that woke it.
             if (event.aux != kSpuriousWakeup) {
                 LFM_ASSERT(event.aux < i, "wakeup before its signal");
-                c.join(clocks_[event.aux]);
+                joined |= joinEvent(c, event.aux);
             }
             break;
+          }
           case EventKind::SemWait:
             if (event.aux != kSpuriousWakeup && event.aux < i)
-                c.join(clocks_[event.aux]);
+                joined |= joinEvent(c, event.aux);
             break;
           case EventKind::BarrierCross: {
             // The executor emits all crossings of one generation as a
@@ -81,17 +117,17 @@ HbRelation::HbRelation(const Trace &trace) : trace_(trace)
                 --lo;
             }
             std::size_t hi = i;
-            while (hi + 1 < events.size()) {
-                const Event &n = events[hi + 1];
-                if (n.kind != EventKind::BarrierCross ||
-                    n.obj != event.obj || n.aux != event.aux)
+            while (hi + 1 < n) {
+                const Event &nx = events[hi + 1];
+                if (nx.kind != EventKind::BarrierCross ||
+                    nx.obj != event.obj || nx.aux != event.aux)
                     break;
                 ++hi;
             }
             for (std::size_t k = lo; k <= hi; ++k) {
                 if (k == i)
                     continue;
-                c.join(clockFor(events[k].thread));
+                joined |= c.join(stateFor(events[k].thread).c);
             }
             break;
           }
@@ -99,7 +135,14 @@ HbRelation::HbRelation(const Trace &trace) : trace_(trace)
             break;
         }
 
-        clocks_[i] = c;
+        // Only a join that actually advanced the clock needs a fresh
+        // pool snapshot; otherwise the previous base is still exact
+        // for every component but our own (which ev_[i].own carries).
+        if (joined) {
+            pool_.push_back(c);
+            ts.base = static_cast<std::uint32_t>(pool_.size() - 1);
+        }
+        ev_[i] = {event.thread, ts.base, c.get(event.thread)};
 
         // Release-side bookkeeping happens after the event's clock is
         // fixed so the edge carries everything up to and including it.
@@ -125,25 +168,24 @@ HbRelation::happensBefore(SeqNo a, SeqNo b) const
 {
     if (a == b)
         return false;
-    LFM_ASSERT(a < clocks_.size() && b < clocks_.size(),
+    LFM_ASSERT(a < ev_.size() && b < ev_.size(),
                "hb query out of range");
-    const Event &ea = trace_.ev(a);
+    const EventClock &ea = ev_[a];
+    const EventClock &eb = ev_[b];
     // a -> b iff b's clock already covers a's tick of its own thread
     // component; with per-event self-ticks this is the standard test.
-    return clocks_[a].get(ea.thread) <= clocks_[b].get(ea.thread);
+    // Same-thread pairs compare epochs directly; cross-thread pairs
+    // read a's component out of b's base snapshot (exact for every
+    // component other than b's own).
+    const std::uint64_t bComponent =
+        eb.tid == ea.tid ? eb.own : pool_[eb.base].get(ea.tid);
+    return ea.own <= bComponent;
 }
 
 bool
 HbRelation::concurrent(SeqNo a, SeqNo b) const
 {
     return !happensBefore(a, b) && !happensBefore(b, a);
-}
-
-const VectorClock &
-HbRelation::clockOf(SeqNo seq) const
-{
-    LFM_ASSERT(seq < clocks_.size(), "clockOf out of range");
-    return clocks_[seq];
 }
 
 } // namespace lfm::trace

@@ -3,9 +3,14 @@
  * Happens-before relation over an execution trace.
  *
  * The builder makes one pass over the trace, maintaining per-thread
- * vector clocks and per-synchronization-object release clocks, and
- * assigns every event the clock it holds after executing. Two events
- * are then ordered iff their clocks are ordered.
+ * vector clocks and per-synchronization-object release clocks. Instead
+ * of materialising a full vector clock per event (O(events * threads)
+ * memory and a clock copy per event), every event stores a FastTrack-
+ * style epoch: its thread, its thread's own component, and an index
+ * into a pool of *distinct* base clocks. A new pool entry is only
+ * created when a synchronization edge actually advances the thread's
+ * clock, so the pool stays proportional to the number of effective
+ * sync joins, not to the trace length.
  *
  * Edges modelled:
  *  - program order within each thread;
@@ -23,6 +28,7 @@
 #ifndef LFM_TRACE_HB_HH
 #define LFM_TRACE_HB_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -46,12 +52,17 @@ class HbRelation
     /** True iff neither a hb b nor b hb a. */
     bool concurrent(SeqNo a, SeqNo b) const;
 
-    /** The vector clock assigned to an event. */
-    const VectorClock &clockOf(SeqNo seq) const;
-
   private:
-    const Trace &trace_;
-    std::vector<VectorClock> clocks_;
+    /** Epoch of one event: thread + own component + shared base. */
+    struct EventClock
+    {
+        ThreadId tid = kNoThread;
+        std::uint32_t base = 0;  ///< index into pool_
+        std::uint64_t own = 0;   ///< clock's component for tid
+    };
+
+    std::vector<EventClock> ev_;
+    std::vector<VectorClock> pool_;
 };
 
 } // namespace lfm::trace

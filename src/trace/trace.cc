@@ -54,14 +54,6 @@ eventKindName(EventKind kind)
     return "?";
 }
 
-SeqNo
-Trace::append(Event event)
-{
-    event.seq = events_.size();
-    events_.push_back(std::move(event));
-    return events_.back().seq;
-}
-
 void
 Trace::registerObject(const ObjectInfo &info)
 {

@@ -8,6 +8,7 @@
 #define LFM_TRACE_TRACE_HH
 
 #include <cstddef>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +32,102 @@ struct ObjectInfo
 };
 
 /**
+ * Chunked, append-only event storage.
+ *
+ * Events live in fixed-capacity chunks that are reserved up front, so
+ * an append never moves existing events (stable addresses for the
+ * executor's hot loop) and never pays a large vector reallocation.
+ * Random access stays O(1): seq -> (chunk, offset) is a shift/mask.
+ */
+class EventArena
+{
+  public:
+    static constexpr std::size_t kChunkShift = 9;
+    static constexpr std::size_t kChunkSize = std::size_t{1}
+                                              << kChunkShift;
+
+    /** Append an event; assigns and returns its sequence number. */
+    SeqNo append(Event &&event)
+    {
+        if (size_ == chunks_.size() * kChunkSize) {
+            chunks_.emplace_back();
+            chunks_.back().reserve(kChunkSize);
+        }
+        event.seq = size_;
+        chunks_.back().push_back(std::move(event));
+        return size_++;
+    }
+
+    const Event &operator[](std::size_t i) const
+    {
+        return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void clear()
+    {
+        chunks_.clear();
+        size_ = 0;
+    }
+
+    /** Forward iterator (enough for range-for over the trace). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Event;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Event *;
+        using reference = const Event &;
+
+        const_iterator() = default;
+        const_iterator(const EventArena *arena, std::size_t pos)
+            : arena_(arena), pos_(pos)
+        {
+        }
+
+        reference operator*() const { return (*arena_)[pos_]; }
+        pointer operator->() const { return &(*arena_)[pos_]; }
+
+        const_iterator &operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+
+        const_iterator operator++(int)
+        {
+            const_iterator old = *this;
+            ++pos_;
+            return old;
+        }
+
+        bool operator==(const const_iterator &other) const
+        {
+            return pos_ == other.pos_;
+        }
+
+        bool operator!=(const const_iterator &other) const
+        {
+            return pos_ != other.pos_;
+        }
+
+      private:
+        const EventArena *arena_ = nullptr;
+        std::size_t pos_ = 0;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size_}; }
+
+  private:
+    std::vector<std::vector<Event>> chunks_;
+    std::size_t size_ = 0;
+};
+
+/**
  * One execution's event sequence.
  *
  * The simulator appends events in the global total order it created
@@ -41,7 +138,10 @@ class Trace
 {
   public:
     /** Append an event; assigns and returns its sequence number. */
-    SeqNo append(Event event);
+    SeqNo append(Event event)
+    {
+        return events_.append(std::move(event));
+    }
 
     /** Register (or re-register) an object's static description. */
     void registerObject(const ObjectInfo &info);
@@ -50,7 +150,7 @@ class Trace
     void registerThread(ThreadId tid, std::string name);
 
     /** All events in order; ev(i).seq == i. */
-    const std::vector<Event> &events() const { return events_; }
+    const EventArena &events() const { return events_; }
 
     /** Event by sequence number. */
     const Event &ev(SeqNo seq) const;
@@ -103,7 +203,7 @@ class Trace
     }
 
   private:
-    std::vector<Event> events_;
+    EventArena events_;
     std::map<ObjectId, ObjectInfo> objects_;
     std::map<ThreadId, std::string> threadNames_;
 };

@@ -32,13 +32,21 @@ VectorClock::tick(ThreadId tid)
     set(tid, get(tid) + 1);
 }
 
-void
+bool
 VectorClock::join(const VectorClock &other)
 {
+    if (other.c_.empty())
+        return false;
     if (other.c_.size() > c_.size())
         c_.resize(other.c_.size(), 0);
-    for (std::size_t i = 0; i < other.c_.size(); ++i)
-        c_[i] = std::max(c_[i], other.c_[i]);
+    bool changed = false;
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+        if (other.c_[i] > c_[i]) {
+            c_[i] = other.c_[i];
+            changed = true;
+        }
+    }
+    return changed;
 }
 
 bool

@@ -39,8 +39,17 @@ class VectorClock
     /** Increment a thread's own component. */
     void tick(ThreadId tid);
 
-    /** Pointwise maximum with another clock. */
-    void join(const VectorClock &other);
+    /** Pre-size the component vector (avoids growth reallocations). */
+    void reserve(std::size_t threads) { c_.reserve(threads); }
+
+    /**
+     * Pointwise maximum with another clock.
+     *
+     * @return true when any component actually grew — i.e. other was
+     *         not already dominated by this clock. Callers use this to
+     *         skip downstream work (FastTrack-style fast path).
+     */
+    bool join(const VectorClock &other);
 
     /** True when this <= other pointwise. */
     bool lessEq(const VectorClock &other) const;

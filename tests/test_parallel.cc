@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Parallel exploration engine tests: worker-count invariance of
+ * stress/DFS/DPOR results, determinism across identical campaigns,
+ * count-only vs traced verdict agreement, and equivalence of the two
+ * executor handoff implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "explore/parallel.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+/** Two threads, each: one unlocked increment on a shared counter. */
+sim::ProgramFactory
+racyFactory()
+{
+    return [] {
+        auto v =
+            std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("c", 0);
+        sim::Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [v]() -> std::optional<std::string> {
+            if ((*v)->peek() != 2)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+}
+
+/** Threads touching disjoint variables: everything independent. */
+sim::ProgramFactory
+independentFactory(int threads)
+{
+    return [threads] {
+        auto vars = std::make_shared<
+            std::vector<std::unique_ptr<sim::SharedVar<int>>>>();
+        for (int i = 0; i < threads; ++i) {
+            vars->push_back(std::make_unique<sim::SharedVar<int>>(
+                "v" + std::to_string(i), 0));
+        }
+        sim::Program p;
+        for (int i = 0; i < threads; ++i) {
+            p.threads.push_back(
+                {"t" + std::to_string(i), [vars, i] {
+                     (*vars)[static_cast<std::size_t>(i)]->add(1);
+                     (*vars)[static_cast<std::size_t>(i)]->add(1);
+                 }});
+        }
+        return p;
+    };
+}
+
+/** A slice of the kernel suite large enough to exercise every
+ * synchronization primitive the parallel engine must reproduce. */
+std::vector<const bugs::BugKernel *>
+kernelSample()
+{
+    const auto &all = bugs::allKernels();
+    std::vector<const bugs::BugKernel *> sample;
+    for (const auto *kernel : all) {
+        sample.push_back(kernel);
+        if (sample.size() == 8)
+            break;
+    }
+    return sample;
+}
+
+explore::StressResult
+stressWith(const sim::ProgramFactory &factory, unsigned workers,
+           bool countOnly = false, bool stopAtFirst = false)
+{
+    explore::StressOptions opt;
+    opt.runs = 25;
+    opt.exec.maxDecisions = 4000;
+    opt.countOnly = countOnly;
+    opt.stopAtFirst = stopAtFirst;
+    return explore::ParallelRunner(workers).stress(
+        factory, explore::makePolicy<sim::RandomPolicy>(), opt);
+}
+
+void
+expectSameStress(const explore::StressResult &a,
+                 const explore::StressResult &b)
+{
+    EXPECT_EQ(a.runs, b.runs);
+    EXPECT_EQ(a.manifestations, b.manifestations);
+    EXPECT_EQ(a.firstManifestSeed, b.firstManifestSeed);
+    EXPECT_DOUBLE_EQ(a.avgDecisions, b.avgDecisions);
+}
+
+TEST(ParallelStress, WorkerCountInvariantOnKernelSample)
+{
+    const auto sample = kernelSample();
+    ASSERT_GE(sample.size(), 6u);
+    for (const auto *kernel : sample) {
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        const auto base = stressWith(factory, 1);
+        for (unsigned workers : {2u, 8u}) {
+            SCOPED_TRACE(kernel->info().id + " workers=" +
+                         std::to_string(workers));
+            expectSameStress(base, stressWith(factory, workers));
+        }
+    }
+}
+
+TEST(ParallelStress, StopAtFirstCutsAtTheEarliestSeed)
+{
+    auto factory = racyFactory();
+    const auto base = stressWith(factory, 1, false, true);
+    for (unsigned workers : {2u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        expectSameStress(base,
+                         stressWith(factory, workers, false, true));
+    }
+}
+
+TEST(ParallelStress, DeterministicAcrossIdenticalCampaigns)
+{
+    auto factory = racyFactory();
+    expectSameStress(stressWith(factory, 8), stressWith(factory, 8));
+}
+
+TEST(ParallelStress, CountOnlyAgreesWithTraced)
+{
+    for (const auto *kernel : kernelSample()) {
+        SCOPED_TRACE(kernel->info().id);
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        expectSameStress(stressWith(factory, 1, false),
+                         stressWith(factory, 1, true));
+    }
+}
+
+explore::DfsResult
+dfsWith(const sim::ProgramFactory &factory, unsigned workers,
+        bool countOnly = false)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 20000;
+    opt.countOnly = countOnly;
+    return explore::ParallelRunner(workers).dfs(factory, opt);
+}
+
+TEST(ParallelDfs, WorkerCountInvariantWhenExhausted)
+{
+    // independentFactory(3)'s DFS tree is exponential (that is
+    // DPOR's selling point), so the exhaustible case uses 2 threads.
+    for (const auto &factory :
+         {racyFactory(), independentFactory(2)}) {
+        const auto base = dfsWith(factory, 1);
+        ASSERT_TRUE(base.exhausted);
+        for (unsigned workers : {2u, 8u}) {
+            SCOPED_TRACE("workers=" + std::to_string(workers));
+            const auto got = dfsWith(factory, workers);
+            EXPECT_TRUE(got.exhausted);
+            EXPECT_EQ(base.executions, got.executions);
+            EXPECT_EQ(base.manifestations, got.manifestations);
+            EXPECT_EQ(base.firstManifestPath, got.firstManifestPath);
+        }
+    }
+}
+
+TEST(ParallelDfs, MatchesTheSequentialEntryPoint)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 20000;
+    const auto seq = explore::exploreDfs(racyFactory(), opt);
+    const auto par = dfsWith(racyFactory(), 1);
+    EXPECT_EQ(seq.executions, par.executions);
+    EXPECT_EQ(seq.manifestations, par.manifestations);
+    EXPECT_EQ(seq.exhausted, par.exhausted);
+    EXPECT_EQ(seq.firstManifestPath, par.firstManifestPath);
+}
+
+TEST(ParallelDfs, CountOnlyAgreesWithTraced)
+{
+    const auto traced = dfsWith(racyFactory(), 1, false);
+    const auto counted = dfsWith(racyFactory(), 1, true);
+    EXPECT_EQ(traced.executions, counted.executions);
+    EXPECT_EQ(traced.manifestations, counted.manifestations);
+    EXPECT_EQ(traced.exhausted, counted.exhausted);
+    EXPECT_EQ(traced.firstManifestPath, counted.firstManifestPath);
+}
+
+explore::DporResult
+dporWith(const sim::ProgramFactory &factory, unsigned workers,
+         bool countOnly = false)
+{
+    explore::DporOptions opt;
+    opt.maxExecutions = 20000;
+    opt.countOnly = countOnly;
+    return explore::ParallelRunner(workers).dpor(factory, opt);
+}
+
+TEST(ParallelDpor, WorkerCountInvariantWhenExhausted)
+{
+    for (const auto &factory :
+         {racyFactory(), independentFactory(3)}) {
+        const auto base = dporWith(factory, 1);
+        ASSERT_TRUE(base.exhausted);
+        for (unsigned workers : {2u, 8u}) {
+            SCOPED_TRACE("workers=" + std::to_string(workers));
+            const auto got = dporWith(factory, workers);
+            EXPECT_TRUE(got.exhausted);
+            EXPECT_EQ(base.executions, got.executions);
+            EXPECT_EQ(base.manifestations, got.manifestations);
+            EXPECT_EQ(base.firstManifestPlan, got.firstManifestPlan);
+        }
+    }
+}
+
+TEST(ParallelDpor, CountOnlyAgreesWithTraced)
+{
+    const auto traced = dporWith(racyFactory(), 1, false);
+    const auto counted = dporWith(racyFactory(), 1, true);
+    EXPECT_EQ(traced.executions, counted.executions);
+    EXPECT_EQ(traced.manifestations, counted.manifestations);
+    EXPECT_EQ(traced.exhausted, counted.exhausted);
+    EXPECT_EQ(traced.firstManifestPlan, counted.firstManifestPlan);
+}
+
+/** The baton fast path and the legacy condvar handoff must produce
+ * identical executions: same choice sets, same decisions, same
+ * verdicts, for any seed. */
+TEST(ExecutorHandoff, FastAndLegacyProduceIdenticalExecutions)
+{
+    for (const auto *kernel : kernelSample()) {
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(kernel->info().id + " seed=" +
+                         std::to_string(seed));
+            sim::RandomPolicy fastPolicy, legacyPolicy;
+            sim::ExecOptions opt;
+            opt.maxDecisions = 4000;
+            opt.seed = seed;
+            auto fast = sim::runProgram(factory, fastPolicy, opt);
+            opt.legacyHandoff = true;
+            auto legacy =
+                sim::runProgram(factory, legacyPolicy, opt);
+
+            EXPECT_EQ(fast.failed(), legacy.failed());
+            EXPECT_EQ(fast.deadlocked, legacy.deadlocked);
+            EXPECT_EQ(fast.steps(), legacy.steps());
+            ASSERT_EQ(fast.decisions.size(),
+                      legacy.decisions.size());
+            for (std::size_t i = 0; i < fast.decisions.size(); ++i) {
+                EXPECT_EQ(fast.decisions[i].chosen,
+                          legacy.decisions[i].chosen);
+                EXPECT_EQ(fast.decisions[i].choices.size(),
+                          legacy.decisions[i].choices.size());
+            }
+            EXPECT_EQ(fast.trace.size(), legacy.trace.size());
+        }
+    }
+}
+
+/** Count-only executions keep verdicts and step counts while
+ * producing an empty trace. */
+TEST(CountOnlyExecution, VerdictsMatchTracedRuns)
+{
+    for (const auto *kernel : kernelSample()) {
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            SCOPED_TRACE(kernel->info().id + " seed=" +
+                         std::to_string(seed));
+            sim::RandomPolicy tracedPolicy, countPolicy;
+            sim::ExecOptions opt;
+            opt.maxDecisions = 4000;
+            opt.seed = seed;
+            auto traced = sim::runProgram(factory, tracedPolicy, opt);
+            opt.collectTrace = false;
+            opt.recordDecisions = false;
+            auto counted = sim::runProgram(factory, countPolicy, opt);
+
+            EXPECT_EQ(traced.failed(), counted.failed());
+            EXPECT_EQ(traced.deadlocked, counted.deadlocked);
+            EXPECT_EQ(traced.oracleFailure, counted.oracleFailure);
+            EXPECT_EQ(traced.failureMessages,
+                      counted.failureMessages);
+            EXPECT_EQ(traced.steps(), counted.steps());
+            EXPECT_TRUE(counted.trace.events().empty());
+            EXPECT_TRUE(counted.decisions.empty());
+        }
+    }
+}
+
+} // namespace

@@ -14,7 +14,7 @@
 
 #include "bench_common.hh"
 
-#include "detect/detector.hh"
+#include "detect/pipeline.hh"
 #include "explore/dfs.hh"
 
 namespace
@@ -73,6 +73,7 @@ main()
                   "detected, and its real fix verifies");
 
     bool allGood = true;
+    detect::Pipeline pipeline;
     for (const auto *kernel : bugs::allKernels()) {
         const auto &info = kernel->info();
         if (info.reportId.empty())
@@ -91,8 +92,9 @@ main()
                   << "\n";
 
         std::string flagged;
-        for (auto &d : detect::allDetectors()) {
-            if (!d->analyze(exec->trace).empty())
+        const auto findings = pipeline.run(exec->trace);
+        for (const auto &d : pipeline.detectors()) {
+            if (!detect::findingsFrom(findings, d->name()).empty())
                 flagged += std::string(d->name()) + " ";
         }
         std::cout << "    detected by: "

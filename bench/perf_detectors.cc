@@ -1,16 +1,40 @@
 /**
  * @file
- * Performance microbenchmarks (google-benchmark) for the offline
- * detectors: throughput over synthetic traces of growing size.
+ * Perf bench for the fused detection pipeline. Three timed
+ * configurations over one reference trace mix, each validated for
+ * result equivalence before any timing is believed:
+ *
+ *  - separate_legacy: every detector as it ran before the pipeline —
+ *    the O(n^2)-pairwise race pass, the scan-everything predictive
+ *    pass, and one private happens-before relation / access index
+ *    per detector (the pre-pipeline bodies are kept verbatim below
+ *    as the baseline);
+ *  - separate: today's detectors invoked one by one via analyze(),
+ *    each still building its own AnalysisContext;
+ *  - fused: one detect::Pipeline pass — one shared context, one
+ *    happens-before construction, every detector reads it.
+ *
+ * A fourth section shards a trace corpus over detect::BatchRunner at
+ * growing worker counts and checks the merged report is identical at
+ * every count. Results go to stdout and to BENCH_detect.json; the
+ * exit code reflects equivalence only, never timing.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <set>
+#include <thread>
 
 #include "detect/atomicity.hh"
-#include "detect/deadlock.hh"
-#include "detect/lockset.hh"
-#include "detect/multivar.hh"
-#include "detect/order.hh"
+#include "detect/batch.hh"
+#include "detect/context.hh"
+#include "detect/pipeline.hh"
+#include "detect/predictive.hh"
 #include "detect/race_hb.hh"
 #include "support/random.hh"
 #include "trace/hb.hh"
@@ -22,14 +46,21 @@ namespace
 using namespace lfm;
 using trace::Event;
 using trace::EventKind;
+using trace::SeqNo;
 using trace::Trace;
 
+// ----------------------------------------------------------------
+// Reference trace mix
+// ----------------------------------------------------------------
+
 /**
- * Synthetic trace: `threads` threads doing a mix of locked and
- * unlocked accesses over `vars` variables, `events` events total.
+ * Hot-variable trace: `threads` threads, ~70% of the accesses hit
+ * one contended variable, ~10% of the events are (properly nested)
+ * lock operations. This is the adversarial shape for the pairwise
+ * race pass: one access list quadratically long.
  */
 Trace
-syntheticTrace(std::size_t events, int threads = 4, int vars = 8)
+hotTrace(std::size_t events, int threads = 4, int vars = 16)
 {
     support::Rng rng(42);
     Trace t;
@@ -37,7 +68,6 @@ syntheticTrace(std::size_t events, int threads = 4, int vars = 8)
         Event e;
         e.thread = i;
         e.kind = EventKind::ThreadBegin;
-        e.aux = trace::kSpuriousWakeup;
         t.append(e);
     }
     std::vector<bool> holds(static_cast<std::size_t>(threads), false);
@@ -47,11 +77,57 @@ syntheticTrace(std::size_t events, int threads = 4, int vars = 8)
         e.thread = static_cast<trace::ThreadId>(
             rng.below(static_cast<std::uint64_t>(threads)));
         const auto tid = static_cast<std::size_t>(e.thread);
-        const auto roll = rng.below(10);
-        if (roll < 2) {
+        if (rng.below(10) < 1) {
             e.kind = holds[tid] ? EventKind::Unlock : EventKind::Lock;
             e.obj = lockId;
             holds[tid] = !holds[tid];
+        } else {
+            e.kind = rng.chance(0.5) ? EventKind::Read
+                                     : EventKind::Write;
+            e.obj = rng.chance(0.7)
+                        ? 1
+                        : 2 + rng.below(
+                                  static_cast<std::uint64_t>(vars));
+        }
+        t.append(e);
+    }
+    return t;
+}
+
+/**
+ * Wide trace: accesses spread uniformly over many variables, two
+ * locks, more threads. This is the shape where per-detector
+ * re-indexing (not any single quadratic loop) dominates.
+ */
+Trace
+wideTrace(std::size_t events, int threads = 8, int vars = 64)
+{
+    support::Rng rng(7);
+    Trace t;
+    for (int i = 0; i < threads; ++i) {
+        Event e;
+        e.thread = i;
+        e.kind = EventKind::ThreadBegin;
+        t.append(e);
+    }
+    std::vector<int> holds(static_cast<std::size_t>(threads), -1);
+    while (t.size() < events) {
+        Event e;
+        e.thread = static_cast<trace::ThreadId>(
+            rng.below(static_cast<std::uint64_t>(threads)));
+        const auto tid = static_cast<std::size_t>(e.thread);
+        if (rng.below(10) < 2) {
+            if (holds[tid] >= 0) {
+                e.kind = EventKind::Unlock;
+                e.obj = static_cast<trace::ObjectId>(2000 +
+                                                     holds[tid]);
+                holds[tid] = -1;
+            } else {
+                holds[tid] = static_cast<int>(rng.below(2));
+                e.kind = EventKind::Lock;
+                e.obj = static_cast<trace::ObjectId>(2000 +
+                                                     holds[tid]);
+            }
         } else {
             e.kind = rng.chance(0.5) ? EventKind::Read
                                      : EventKind::Write;
@@ -62,59 +138,512 @@ syntheticTrace(std::size_t events, int threads = 4, int vars = 8)
     return t;
 }
 
-template <typename Detector>
-void
-BM_Detector(benchmark::State &state)
+// ----------------------------------------------------------------
+// Pre-pipeline detector bodies, kept verbatim as the legacy baseline
+// ----------------------------------------------------------------
+
+/** The O(n^2)-pairwise race pass the pipeline replaced. */
+std::vector<detect::Finding>
+legacyRace(const Trace &trace)
 {
-    Trace t = syntheticTrace(static_cast<std::size_t>(state.range(0)));
-    Detector d;
-    for (auto _ : state) {
-        auto findings = d.analyze(t);
-        benchmark::DoNotOptimize(findings.size());
+    std::vector<detect::Finding> findings;
+    if (trace.empty())
+        return findings;
+
+    trace::HbRelation hb(trace);
+
+    for (trace::ObjectId var : trace.accessedVariables()) {
+        const auto accesses = trace.accessesTo(var);
+        std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const auto &a = trace.ev(accesses[i]);
+                const auto &b = trace.ev(accesses[j]);
+                if (a.thread == b.thread)
+                    continue;
+                if (!a.isWrite() && !b.isWrite())
+                    continue;
+                if (!hb.concurrent(a.seq, b.seq))
+                    continue;
+                auto key = std::minmax(a.thread, b.thread);
+                if (!reported.insert({key.first, key.second}).second)
+                    continue;
+                detect::Finding f;
+                f.detector = "hb-race";
+                f.category = "data-race";
+                f.primaryObj = var;
+                f.events = {a.seq, b.seq};
+                f.message = "data race on " + trace.objectName(var) +
+                            ": " + trace.threadName(a.thread) +
+                            (a.isWrite() ? " writes" : " reads") +
+                            " concurrently with " +
+                            trace.threadName(b.thread) +
+                            (b.isWrite() ? " write" : " read");
+                findings.push_back(std::move(f));
+            }
+        }
     }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    return findings;
 }
 
-BENCHMARK(BM_Detector<detect::HbRaceDetector>)
-    ->Name("BM_HbRace")
-    ->Arg(512)
-    ->Arg(2048);
-BENCHMARK(BM_Detector<detect::LocksetDetector>)
-    ->Name("BM_Lockset")
-    ->Arg(512)
-    ->Arg(2048)
-    ->Arg(8192);
-BENCHMARK(BM_Detector<detect::AtomicityDetector>)
-    ->Name("BM_Atomicity")
-    ->Arg(512)
-    ->Arg(2048);
-BENCHMARK(BM_Detector<detect::MultiVarDetector>)
-    ->Name("BM_MultiVar")
-    ->Arg(512)
-    ->Arg(2048);
-BENCHMARK(BM_Detector<detect::OrderDetector>)
-    ->Name("BM_Order")
-    ->Arg(512)
-    ->Arg(2048)
-    ->Arg(8192);
-BENCHMARK(BM_Detector<detect::DeadlockDetector>)
-    ->Name("BM_LockOrder")
-    ->Arg(512)
-    ->Arg(2048)
-    ->Arg(8192);
-
-void
-BM_HbConstruction(benchmark::State &state)
+std::map<trace::ThreadId, std::vector<SeqNo>>
+legacyReleases(const Trace &trace)
 {
-    Trace t = syntheticTrace(static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state) {
-        trace::HbRelation hb(t);
-        benchmark::DoNotOptimize(&hb);
+    std::map<trace::ThreadId, std::vector<SeqNo>> releases;
+    for (const auto &event : trace.events()) {
+        switch (event.kind) {
+          case EventKind::Unlock:
+          case EventKind::RdUnlock:
+          case EventKind::WaitBegin:
+            releases[event.thread].push_back(event.seq);
+            break;
+          default:
+            break;
+        }
     }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    return releases;
 }
-BENCHMARK(BM_HbConstruction)->Arg(512)->Arg(2048)->Arg(8192);
+
+bool
+legacyReleaseBetween(
+    const std::map<trace::ThreadId, std::vector<SeqNo>> &releases,
+    trace::ThreadId tid, SeqNo lo, SeqNo hi)
+{
+    auto it = releases.find(tid);
+    if (it == releases.end())
+        return false;
+    auto pos =
+        std::upper_bound(it->second.begin(), it->second.end(), lo);
+    return pos != it->second.end() && *pos < hi;
+}
+
+/** The scan-every-access predictive pass the pipeline replaced. */
+std::vector<detect::Finding>
+legacyPredictive(const Trace &trace, std::size_t window = 64)
+{
+    std::vector<detect::Finding> findings;
+    if (trace.empty())
+        return findings;
+
+    trace::HbRelation hb(trace);
+    const auto releases = legacyReleases(trace);
+
+    for (trace::ObjectId var : trace.accessedVariables()) {
+        const auto accesses = trace.accessesTo(var);
+        std::set<std::string> reported;
+
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            const auto &p = trace.ev(accesses[i]);
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const auto &c = trace.ev(accesses[j]);
+                if (c.thread != p.thread)
+                    continue;
+                if (c.seq - p.seq > window)
+                    break;
+                if (legacyReleaseBetween(releases, p.thread, p.seq,
+                                         c.seq))
+                    break;
+
+                for (SeqNo rSeq : accesses) {
+                    const auto &r = trace.ev(rSeq);
+                    if (r.thread == p.thread)
+                        continue;
+                    if (!detect::unserializableTriple(
+                            p.isWrite(), r.isWrite(), c.isWrite()))
+                        continue;
+                    if (!hb.concurrent(r.seq, p.seq) ||
+                        !hb.concurrent(r.seq, c.seq))
+                        continue;
+                    std::string pattern;
+                    pattern += p.isWrite() ? 'W' : 'R';
+                    pattern += r.isWrite() ? 'W' : 'R';
+                    pattern += c.isWrite() ? 'W' : 'R';
+                    std::string key =
+                        std::to_string(p.thread) + ":" +
+                        std::to_string(r.thread) + ":" + pattern;
+                    if (!reported.insert(key).second)
+                        continue;
+                    detect::Finding f;
+                    f.detector = "predictive-atom";
+                    f.category = "atomicity-violation";
+                    f.primaryObj = var;
+                    f.events = {p.seq, r.seq, c.seq};
+                    f.message =
+                        "predicted unserializable " + pattern +
+                        " on " + trace.objectName(var) + ": " +
+                        trace.threadName(r.thread) +
+                        " can interleave the " +
+                        trace.threadName(p.thread) + " region";
+                    findings.push_back(std::move(f));
+                }
+                break; // c was the consecutive local access
+            }
+        }
+    }
+    return findings;
+}
+
+/** The rescan-per-region atomicity pass the pipeline replaced. */
+std::vector<detect::Finding>
+legacyAtomicity(const Trace &trace, std::size_t window = 64)
+{
+    std::vector<detect::Finding> findings;
+    const auto releases = legacyReleases(trace);
+
+    for (trace::ObjectId var : trace.accessedVariables()) {
+        const auto accesses = trace.accessesTo(var);
+        std::set<std::string> reported;
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            const auto &p = trace.ev(accesses[i]);
+            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+                const auto &c = trace.ev(accesses[j]);
+                if (c.thread != p.thread)
+                    continue;
+                if (c.seq - p.seq > window)
+                    break;
+                if (legacyReleaseBetween(releases, p.thread, p.seq,
+                                         c.seq))
+                    break;
+                for (std::size_t k = i + 1; k < j; ++k) {
+                    const auto &r = trace.ev(accesses[k]);
+                    if (r.thread == p.thread)
+                        continue;
+                    if (!detect::unserializableTriple(
+                            p.isWrite(), r.isWrite(), c.isWrite()))
+                        continue;
+                    std::string pattern;
+                    pattern += p.isWrite() ? 'W' : 'R';
+                    pattern += r.isWrite() ? 'W' : 'R';
+                    pattern += c.isWrite() ? 'W' : 'R';
+                    std::string key =
+                        std::to_string(p.thread) + ":" + pattern;
+                    if (!reported.insert(key).second)
+                        continue;
+                    detect::Finding f;
+                    f.detector = "atomicity";
+                    f.category = "atomicity-violation";
+                    f.primaryObj = var;
+                    f.events = {p.seq, r.seq, c.seq};
+                    f.message =
+                        "unserializable " + pattern + " on " +
+                        trace.objectName(var) + ": " +
+                        trace.threadName(r.thread) +
+                        " interleaves the " +
+                        trace.threadName(p.thread) + " region";
+                    findings.push_back(std::move(f));
+                }
+                break;
+            }
+        }
+    }
+    return findings;
+}
+
+// ----------------------------------------------------------------
+// Equivalence checks
+// ----------------------------------------------------------------
+
+bool
+sameFinding(const detect::Finding &a, const detect::Finding &b)
+{
+    return a.detector == b.detector && a.category == b.category &&
+           a.primaryObj == b.primaryObj && a.events == b.events &&
+           a.message == b.message;
+}
+
+bool
+sameFindings(const std::vector<detect::Finding> &a,
+             const std::vector<detect::Finding> &b)
+{
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin(), sameFinding);
+}
+
+/** The {variable, thread pair} set a race report covers. The epoch
+ * pass may pick a different witness access than the pairwise scan,
+ * but the racing pairs themselves must agree exactly. */
+std::set<std::string>
+racePairs(const Trace &trace,
+          const std::vector<detect::Finding> &findings)
+{
+    std::set<std::string> pairs;
+    for (const auto &f : findings) {
+        if (f.detector != "hb-race" || f.events.size() != 2)
+            continue;
+        auto key = std::minmax(trace.ev(f.events[0]).thread,
+                               trace.ev(f.events[1]).thread);
+        pairs.insert(std::to_string(f.primaryObj) + ":" +
+                     std::to_string(key.first) + ":" +
+                     std::to_string(key.second));
+    }
+    return pairs;
+}
+
+// ----------------------------------------------------------------
+// Timing harness
+// ----------------------------------------------------------------
+
+double
+secondsOf(const std::function<void()> &body, int reps)
+{
+    double best = -1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (best < 0.0 || s < best)
+            best = s;
+    }
+    return best < 0.0 ? 0.0 : best;
+}
+
+std::vector<detect::Finding>
+runSeparateLegacy(const Trace &trace)
+{
+    // Pre-pipeline shape: race, predictive and atomicity with their
+    // own quadratic scans, everything else via today's analyze()
+    // (those bodies did not change) — and crucially one private
+    // index / happens-before build per detector.
+    std::vector<detect::Finding> all;
+    for (const auto &d : detect::allDetectors()) {
+        std::vector<detect::Finding> part;
+        const std::string name = d->name();
+        if (name == "hb-race")
+            part = legacyRace(trace);
+        else if (name == "predictive-atom")
+            part = legacyPredictive(trace);
+        else if (name == "atomicity")
+            part = legacyAtomicity(trace);
+        else
+            part = d->analyze(trace);
+        all.insert(all.end(),
+                   std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    return all;
+}
+
+std::vector<detect::Finding>
+runSeparate(const Trace &trace)
+{
+    std::vector<detect::Finding> all;
+    for (const auto &d : detect::allDetectors()) {
+        auto part = d->analyze(trace);
+        all.insert(all.end(),
+                   std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    return all;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::string(argv[1]) == "--smoke";
+
+    bench::banner("Perf: fused detection pipeline",
+                  "one shared analysis context feeds every detector; "
+                  "throughput is an engineering baseline, not a "
+                  "paper claim");
+
+    // Reference trace mix: the quadratic-hostile hot shape and the
+    // re-indexing-hostile wide shape, at two sizes each.
+    std::vector<std::pair<std::string, Trace>> mix;
+    if (smoke) {
+        mix.emplace_back("hot-256", hotTrace(256));
+        mix.emplace_back("wide-256", wideTrace(256));
+    } else {
+        mix.emplace_back("hot-2048", hotTrace(2048));
+        mix.emplace_back("wide-2048", wideTrace(2048));
+        mix.emplace_back("hot-8192", hotTrace(8192));
+        mix.emplace_back("wide-8192", wideTrace(8192));
+    }
+    const int reps = smoke ? 1 : 3;
+
+    detect::Pipeline pipeline;
+
+    // --- Equivalence first; timing a wrong answer is meaningless.
+    bool fusedEqualsSeparate = true;
+    bool racePairsMatch = true;
+    bool predictiveMatches = true;
+    bool atomicityMatches = true;
+    for (const auto &[name, trace] : mix) {
+        const auto fused = pipeline.run(trace);
+        const auto separate = runSeparate(trace);
+        fusedEqualsSeparate &= sameFindings(fused, separate);
+
+        racePairsMatch &=
+            racePairs(trace, legacyRace(trace)) ==
+            racePairs(trace,
+                      detect::findingsFrom(fused, "hb-race"));
+        predictiveMatches &= sameFindings(
+            legacyPredictive(trace),
+            detect::findingsFrom(fused, "predictive-atom"));
+        atomicityMatches &=
+            sameFindings(legacyAtomicity(trace),
+                         detect::findingsFrom(fused, "atomicity"));
+    }
+    const bool equivalent = fusedEqualsSeparate && racePairsMatch &&
+                            predictiveMatches && atomicityMatches;
+    std::cout << "equivalence: fused==separate "
+              << (fusedEqualsSeparate ? "ok" : "FAIL")
+              << ", race pairs epoch==pairwise "
+              << (racePairsMatch ? "ok" : "FAIL")
+              << ", predictive==legacy "
+              << (predictiveMatches ? "ok" : "FAIL")
+              << ", atomicity==legacy "
+              << (atomicityMatches ? "ok" : "FAIL") << "\n\n";
+
+    // --- Fused vs separate over the whole mix, best-of-N.
+    const double legacySecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix)
+                runSeparateLegacy(trace);
+        },
+        reps);
+    const double separateSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix)
+                runSeparate(trace);
+        },
+        reps);
+    const double fusedSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix)
+                pipeline.run(trace);
+        },
+        reps);
+
+    const double speedupVsLegacy =
+        fusedSecs > 0.0 ? legacySecs / fusedSecs : 0.0;
+    const double speedupVsSeparate =
+        fusedSecs > 0.0 ? separateSecs / fusedSecs : 0.0;
+
+    report::Table timing("Full detector battery over the trace mix");
+    timing.setColumns({"configuration", "ms / mix", "speedup"});
+    timing.addRow({"separate detectors (pre-pipeline bodies)",
+                   report::Table::cell(legacySecs * 1e3, 2), "1.00"});
+    timing.addRow({"separate detectors (current bodies)",
+                   report::Table::cell(separateSecs * 1e3, 2),
+                   report::Table::cell(
+                       separateSecs > 0.0 ? legacySecs / separateSecs
+                                          : 0.0,
+                       2)});
+    timing.addRow({"fused pipeline (shared context)",
+                   report::Table::cell(fusedSecs * 1e3, 2),
+                   report::Table::cell(speedupVsLegacy, 2)});
+    std::cout << timing.ascii() << "\n";
+    std::cout << "fused vs separate (pre-pipeline): "
+              << speedupVsLegacy << "x\n"
+              << "fused vs separate (current):      "
+              << speedupVsSeparate << "x\n\n";
+
+    // --- Batch campaign scaling + worker-count invariance.
+    std::vector<Trace> corpus;
+    const std::size_t copies = smoke ? 3 : 8;
+    for (std::size_t i = 0; i < copies; ++i) {
+        corpus.push_back(hotTrace(smoke ? 256 : 2048));
+        corpus.push_back(wideTrace(smoke ? 256 : 2048));
+    }
+
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::vector<unsigned> workerCounts{1u, 2u, hw};
+    std::sort(workerCounts.begin(), workerCounts.end());
+    workerCounts.erase(
+        std::unique(workerCounts.begin(), workerCounts.end()),
+        workerCounts.end());
+
+    report::Table scale("Batch detection scaling (corpus of " +
+                        std::to_string(corpus.size()) + " traces)");
+    scale.setColumns({"workers", "traces/sec", "speedup vs 1"});
+    bench::Json scaleJson = bench::Json::array();
+    bool batchInvariant = true;
+    std::vector<detect::TraceReport> reference;
+    double base = 0.0;
+    for (unsigned w : workerCounts) {
+        detect::BatchRunner runner(w);
+        std::vector<detect::TraceReport> reports;
+        const double secs = secondsOf(
+            [&] { reports = runner.run(pipeline, corpus); }, reps);
+        if (w == workerCounts.front())
+            reference = reports;
+        else {
+            batchInvariant &=
+                reports.size() == reference.size();
+            for (std::size_t i = 0;
+                 batchInvariant && i < reports.size(); ++i) {
+                batchInvariant &=
+                    reports[i].key == reference[i].key &&
+                    sameFindings(reports[i].findings,
+                                 reference[i].findings);
+            }
+        }
+        const double rate =
+            secs > 0.0
+                ? static_cast<double>(corpus.size()) / secs
+                : 0.0;
+        if (w == workerCounts.front())
+            base = rate;
+        const double speedup = base > 0.0 ? rate / base : 0.0;
+        scale.addRow({report::Table::cell(std::size_t{w}),
+                      report::Table::cell(rate, 1),
+                      report::Table::cell(speedup, 2)});
+        bench::Json row;
+        row.set("workers", w)
+            .set("traces_per_sec", rate)
+            .set("speedup_vs_1_worker", speedup);
+        scaleJson.push(std::move(row));
+    }
+    std::cout << scale.ascii() << "\n";
+    std::cout << "batch reports worker-count invariant: "
+              << (batchInvariant ? "yes" : "NO") << "\n";
+    if (hw == 1) {
+        std::cout << "note: single-core host — batch scaling is "
+                     "bounded at ~1x here.\n";
+    }
+    std::cout << "\n";
+
+    bench::Json doc;
+    doc.set("bench", "perf_detectors")
+        .set("smoke", smoke)
+        .set("hardware_concurrency", hw)
+        .set("reps", reps);
+    bench::Json mixJson = bench::Json::array();
+    for (const auto &[name, trace] : mix) {
+        bench::Json row;
+        row.set("name", name).set("events", trace.size());
+        mixJson.push(std::move(row));
+    }
+    doc.set("trace_mix", std::move(mixJson));
+    bench::Json fusion;
+    fusion.set("separate_legacy_ms", legacySecs * 1e3)
+        .set("separate_ms", separateSecs * 1e3)
+        .set("fused_ms", fusedSecs * 1e3)
+        .set("fused_speedup_vs_separate_legacy", speedupVsLegacy)
+        .set("fused_speedup_vs_separate_current", speedupVsSeparate)
+        .set("meets_3x_gate", speedupVsLegacy >= 3.0);
+    doc.set("fusion", std::move(fusion));
+    doc.set("batch_scaling", std::move(scaleJson));
+    bench::Json equiv;
+    equiv.set("fused_equals_separate", fusedEqualsSeparate)
+        .set("race_pairs_epoch_equals_pairwise", racePairsMatch)
+        .set("predictive_equals_legacy", predictiveMatches)
+        .set("atomicity_equals_legacy", atomicityMatches)
+        .set("batch_worker_invariant", batchInvariant);
+    doc.set("equivalence", std::move(equiv));
+    bench::writeBenchJson("BENCH_detect.json", doc);
+
+    std::cout << (speedupVsLegacy >= 3.0
+                      ? "[OK] fused pass >= 3x the separate "
+                        "pre-pipeline detectors\n"
+                      : "[..] fused speedup below 3x on this host "
+                        "(timing is advisory)\n");
+
+    return equivalent && batchInvariant ? 0 : 1;
+}

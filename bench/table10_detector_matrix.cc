@@ -15,7 +15,7 @@
 
 #include "bench_common.hh"
 
-#include "detect/detector.hh"
+#include "detect/pipeline.hh"
 #include "explore/dfs.hh"
 
 namespace
@@ -74,9 +74,12 @@ main()
                   "every detector family covers a slice of the "
                   "taxonomy; none covers it all");
 
-    auto detectors = detect::allDetectors();
+    // One fused pipeline pass per trace: every detector family reads
+    // the same shared AnalysisContext instead of re-indexing the
+    // trace (and rebuilding happens-before) once per family.
+    detect::Pipeline pipeline;
     std::vector<std::string> detectorNames;
-    for (auto &d : detectors)
+    for (const auto &d : pipeline.detectors())
         detectorNames.push_back(d->name());
 
     // cell -> (kernels in cell, per-detector TP count, FP count)
@@ -95,9 +98,10 @@ main()
         ++row.kernels;
 
         if (auto exec = manifesting(*kernel)) {
-            for (auto &d : detect::allDetectors()) {
-                if (!d->analyze(exec->trace).empty())
-                    ++row.tp[d->name()];
+            const auto findings = pipeline.run(exec->trace);
+            for (const auto &name : detectorNames) {
+                if (!detect::findingsFrom(findings, name).empty())
+                    ++row.tp[name];
             }
         }
         // False-positive side: a benign fixed-variant execution.
@@ -106,9 +110,10 @@ main()
             sim::runProgram(kernel->factory(bugs::Variant::Fixed),
                             random);
         if (!fixedExec.failed()) {
-            for (auto &d : detect::allDetectors()) {
-                if (!d->analyze(fixedExec.trace).empty())
-                    ++row.fp[d->name()];
+            const auto findings = pipeline.run(fixedExec.trace);
+            for (const auto &name : detectorNames) {
+                if (!detect::findingsFrom(findings, name).empty())
+                    ++row.fp[name];
             }
         }
     }

@@ -13,6 +13,7 @@
 #include "detect/atomicity.hh"
 #include "detect/multivar.hh"
 #include "detect/order.hh"
+#include "detect/pipeline.hh"
 #include "detect/race_hb.hh"
 #include "explore/dfs.hh"
 
@@ -80,7 +81,16 @@ main()
                   report::Table::cell(analysis.totalNonDeadlock())});
     std::cout << table.ascii() << "\n";
 
-    // Empirical leg: detector-family coverage over the kernels.
+    // Empirical leg: detector-family coverage over the kernels. The
+    // four families run as one pipeline so each manifesting trace is
+    // indexed (and its happens-before relation built) exactly once.
+    std::vector<std::unique_ptr<detect::Detector>> family;
+    family.push_back(std::make_unique<detect::AtomicityDetector>());
+    family.push_back(std::make_unique<detect::MultiVarDetector>());
+    family.push_back(std::make_unique<detect::OrderDetector>());
+    family.push_back(std::make_unique<detect::HbRaceDetector>());
+    detect::Pipeline pipeline(std::move(family));
+
     report::Table emp(
         "Empirical: pattern kernels vs detector families");
     emp.setColumns({"kernel", "pattern", "manifested", "flagged by"});
@@ -94,18 +104,12 @@ main()
         const bool isOther =
             info.patterns.count(study::Pattern::Other) > 0;
         if (exec) {
-            detect::AtomicityDetector atom;
-            detect::MultiVarDetector multi;
-            detect::OrderDetector order;
-            detect::HbRaceDetector race;
-            if (!atom.analyze(exec->trace).empty())
-                flaggedBy += "atomicity ";
-            if (!multi.analyze(exec->trace).empty())
-                flaggedBy += "multivar ";
-            if (!order.analyze(exec->trace).empty())
-                flaggedBy += "order ";
-            if (!race.analyze(exec->trace).empty())
-                flaggedBy += "hb-race ";
+            const auto findings = pipeline.run(exec->trace);
+            for (const char *name :
+                 {"atomicity", "multivar", "order", "hb-race"}) {
+                if (!detect::findingsFrom(findings, name).empty())
+                    flaggedBy += std::string(name) + " ";
+            }
         }
         if (!isOther) {
             ++patternKernels;

@@ -11,6 +11,7 @@
 
 #include "bench_common.hh"
 
+#include "detect/context.hh"
 #include "detect/multivar.hh"
 #include "explore/dfs.hh"
 
@@ -72,7 +73,8 @@ main()
             detect::MultiVarDetector d;
             d.setMinSupport(1); // kernels are single-iteration
             pairs = d.inferCorrelations(exec->trace).size();
-            flagged = !d.analyze(exec->trace).empty();
+            detect::AnalysisContext ctx(exec->trace);
+            flagged = !d.fromContext(ctx).empty();
         }
         // Order-pattern multi-var kernels (relay chains) are not the
         // detector's target shape; require flags on atomicity ones.

@@ -16,6 +16,9 @@ cmake --build build -j "$JOBS"
 echo "== ctest =="
 ctest --test-dir build --output-on-failure
 
+echo "== bench smoke (equivalence-only perf benches) =="
+ctest --test-dir build -L bench-smoke --output-on-failure
+
 echo "== TSan build (sim + explore + parallel tests) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_TSAN=ON
 cmake --build build-tsan -j "$JOBS" --target test_sim test_parallel

@@ -1,8 +1,10 @@
 #include "detect/atomicity.hh"
 
-#include <algorithm>
 #include <map>
 #include <set>
+#include <string>
+
+#include "detect/context.hh"
 
 namespace lfm::detect
 {
@@ -22,88 +24,78 @@ unserializableTriple(bool pWrite, bool rWrite, bool cWrite)
 }
 
 std::vector<Finding>
-AtomicityDetector::analyze(const Trace &trace)
+AtomicityDetector::fromContext(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
+    const Trace &trace = ctx.trace();
 
     // A local pair (p, c) only counts as one *intended-atomic*
     // region if the thread did not release a lock between the two
-    // accesses: crossing a critical-section boundary is an explicit
-    // statement that the region may be interleaved (this is how AVIO
-    // avoids flagging two adjacent but independent critical
-    // sections).
-    std::map<trace::ThreadId, std::vector<SeqNo>> releases;
-    for (const auto &event : trace.events()) {
-        switch (event.kind) {
-          case trace::EventKind::Unlock:
-          case trace::EventKind::RdUnlock:
-          case trace::EventKind::WaitBegin:
-            releases[event.thread].push_back(event.seq);
-            break;
-          default:
-            break;
-        }
-    }
-    auto releaseBetween = [&releases](trace::ThreadId tid, SeqNo lo,
-                                      SeqNo hi) {
-        auto it = releases.find(tid);
-        if (it == releases.end())
-            return false;
-        auto pos = std::upper_bound(it->second.begin(),
-                                    it->second.end(), lo);
-        return pos != it->second.end() && *pos < hi;
-    };
+    // accesses (ctx.releaseBetween): crossing a critical-section
+    // boundary is an explicit statement that the region may be
+    // interleaved (this is how AVIO avoids flagging two adjacent but
+    // independent critical sections).
 
-    for (ObjectId var : trace.accessedVariables()) {
-        const auto accesses = trace.accessesTo(var);
+    for (ObjectId var : ctx.variables()) {
+        const auto &accesses = ctx.accessesTo(var);
+        const std::size_t n = accesses.size();
         // One finding per (thread, pattern) pair keeps reports tidy.
         std::set<std::string> reported;
 
-        // For each local pair (p, c) consecutive *for that thread*,
-        // look at remote accesses strictly between them.
-        for (std::size_t i = 0; i < accesses.size(); ++i) {
+        // Link each access to its same-thread successor: that pair is
+        // the candidate region, remotes are the accesses between.
+        constexpr std::size_t kNone = ~std::size_t{0};
+        std::vector<std::size_t> nextLocal(n, kNone);
+        {
+            std::map<trace::ThreadId, std::size_t> lastIdx;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto &e = trace.ev(accesses[i]);
+                auto it = lastIdx.find(e.thread);
+                if (it != lastIdx.end()) {
+                    nextLocal[it->second] = i;
+                    it->second = i;
+                } else {
+                    lastIdx.emplace(e.thread, i);
+                }
+            }
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j = nextLocal[i];
+            if (j == kNone)
+                continue;
             const auto &p = trace.ev(accesses[i]);
-            // Find this thread's next access c and collect remotes.
-            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
-                const auto &c = trace.ev(accesses[j]);
-                if (c.thread != p.thread) {
+            const auto &c = trace.ev(accesses[j]);
+            if (c.seq - p.seq > window_)
+                continue; // too far apart to be one atomic intent
+            if (ctx.releaseBetween(p.thread, p.seq, c.seq))
+                continue; // crosses a critical-section boundary
+            for (std::size_t k = i + 1; k < j; ++k) {
+                const auto &r = trace.ev(accesses[k]);
+                if (r.thread == p.thread)
                     continue;
-                }
-                if (c.seq - p.seq > window_)
-                    break; // too far apart to be one atomic intent
-                if (releaseBetween(p.thread, p.seq, c.seq))
-                    break; // crosses a critical-section boundary
-                // (p, c) is the thread's consecutive pair; remotes
-                // are the accesses between them from other threads.
-                for (std::size_t k = i + 1; k < j; ++k) {
-                    const auto &r = trace.ev(accesses[k]);
-                    if (r.thread == p.thread)
-                        continue;
-                    if (!unserializableTriple(p.isWrite(), r.isWrite(),
-                                              c.isWrite()))
-                        continue;
-                    std::string pattern;
-                    pattern += p.isWrite() ? 'W' : 'R';
-                    pattern += r.isWrite() ? 'W' : 'R';
-                    pattern += c.isWrite() ? 'W' : 'R';
-                    std::string key =
-                        std::to_string(p.thread) + ":" + pattern;
-                    if (!reported.insert(key).second)
-                        continue;
-                    Finding f;
-                    f.detector = name();
-                    f.category = "atomicity-violation";
-                    f.primaryObj = var;
-                    f.events = {p.seq, r.seq, c.seq};
-                    f.message =
-                        "unserializable " + pattern + " on " +
-                        trace.objectName(var) + ": " +
-                        trace.threadName(r.thread) +
-                        " interleaves the " +
-                        trace.threadName(p.thread) + " region";
-                    findings.push_back(std::move(f));
-                }
-                break; // c was the consecutive local access
+                if (!unserializableTriple(p.isWrite(), r.isWrite(),
+                                          c.isWrite()))
+                    continue;
+                std::string pattern;
+                pattern += p.isWrite() ? 'W' : 'R';
+                pattern += r.isWrite() ? 'W' : 'R';
+                pattern += c.isWrite() ? 'W' : 'R';
+                std::string key =
+                    std::to_string(p.thread) + ":" + pattern;
+                if (!reported.insert(key).second)
+                    continue;
+                Finding f;
+                f.detector = name();
+                f.category = "atomicity-violation";
+                f.primaryObj = var;
+                f.events = {p.seq, r.seq, c.seq};
+                f.message = "unserializable " + pattern + " on " +
+                            trace.objectName(var) + ": " +
+                            trace.threadName(r.thread) +
+                            " interleaves the " +
+                            trace.threadName(p.thread) + " region";
+                findings.push_back(std::move(f));
             }
         }
     }

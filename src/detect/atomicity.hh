@@ -34,7 +34,8 @@ bool unserializableTriple(bool pWrite, bool rWrite, bool cWrite);
 class AtomicityDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
     const char *name() const override { return "atomicity"; }
 
     /**

@@ -1,0 +1,138 @@
+#include "detect/batch.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/workpool.hh"
+
+namespace lfm::detect
+{
+
+BatchRunner::BatchRunner(unsigned workers)
+    : workers_(support::resolveWorkers(workers))
+{
+}
+
+std::vector<TraceReport>
+BatchRunner::run(const Pipeline &pipeline,
+                 const std::vector<Trace> &corpus) const
+{
+    std::vector<TraceReport> reports(corpus.size());
+    if (corpus.empty())
+        return reports;
+
+    // One task per trace, writing a dedicated slot: the merged result
+    // is corpus-ordered no matter which worker ran which trace. Tasks
+    // are dealt round-robin so every deque starts non-empty; stealing
+    // rebalances uneven trace sizes.
+    support::WorkStealingPool pool(workers_);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        pool.push(static_cast<unsigned>(i % workers_),
+                  [&pipeline, &corpus, &reports, i](unsigned) {
+                      reports[i].key = i;
+                      reports[i].findings = pipeline.run(corpus[i]);
+                  });
+    }
+    pool.run();
+    return reports;
+}
+
+struct DetectionStream::Impl
+{
+    const Pipeline &pipeline;
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::pair<std::uint64_t, Trace>> queue;
+    bool closed = false;
+
+    std::mutex resultM;
+    std::vector<TraceReport> reports;
+
+    std::vector<std::thread> team;
+
+    explicit Impl(const Pipeline &p, unsigned workers) : pipeline(p)
+    {
+        team.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            team.emplace_back([this] { workerLoop(); });
+    }
+
+    void workerLoop()
+    {
+        for (;;) {
+            std::pair<std::uint64_t, Trace> item;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv.wait(lock,
+                        [this] { return closed || !queue.empty(); });
+                if (queue.empty())
+                    return; // closed and drained
+                item = std::move(queue.front());
+                queue.pop_front();
+            }
+            TraceReport report;
+            report.key = item.first;
+            report.findings = pipeline.run(item.second);
+            std::lock_guard<std::mutex> guard(resultM);
+            reports.push_back(std::move(report));
+        }
+    }
+
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> guard(m);
+            closed = true;
+        }
+        cv.notify_all();
+        for (auto &t : team) {
+            if (t.joinable())
+                t.join();
+        }
+        team.clear();
+    }
+};
+
+DetectionStream::DetectionStream(const Pipeline &pipeline,
+                                 unsigned workers)
+    : impl_(std::make_unique<Impl>(pipeline,
+                                   support::resolveWorkers(workers)))
+{
+}
+
+DetectionStream::~DetectionStream()
+{
+    if (impl_)
+        impl_->close();
+}
+
+void
+DetectionStream::submit(std::uint64_t key, Trace trace)
+{
+    {
+        std::lock_guard<std::mutex> guard(impl_->m);
+        impl_->queue.emplace_back(key, std::move(trace));
+    }
+    impl_->cv.notify_one();
+}
+
+std::vector<TraceReport>
+DetectionStream::finish()
+{
+    impl_->close();
+    // Key order makes the report list independent of which detection
+    // worker finished first (stable: duplicate keys keep arrival
+    // order, which is only deterministic for unique keys).
+    std::stable_sort(impl_->reports.begin(), impl_->reports.end(),
+                     [](const TraceReport &a, const TraceReport &b) {
+                         return a.key < b.key;
+                     });
+    return std::move(impl_->reports);
+}
+
+} // namespace lfm::detect

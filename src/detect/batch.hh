@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parallel batch-detection campaigns.
+ *
+ * BatchRunner shards a corpus of traces over the shared work-stealing
+ * pool (support/workpool.hh) and runs one Pipeline pass per trace;
+ * reports come back in corpus order regardless of worker count or
+ * scheduling, because each trace writes a dedicated slot and the
+ * merge happens by index.
+ *
+ * DetectionStream is the detect-as-traces-arrive variant for
+ * exploration campaigns: producers (e.g. StressOptions::onExecution
+ * workers) submit keyed traces from any thread while detection
+ * workers drain them concurrently; finish() joins the workers and
+ * returns the reports sorted by key. With unique keys and a
+ * deterministic producer set (a stress campaign without stopAtFirst
+ * delivers every seed exactly once) the result is worker-count
+ * invariant on both the producing and the detecting side.
+ */
+
+#ifndef LFM_DETECT_BATCH_HH
+#define LFM_DETECT_BATCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/pipeline.hh"
+
+namespace lfm::detect
+{
+
+/** One trace's findings, tagged with its corpus index / stream key. */
+struct TraceReport
+{
+    std::uint64_t key = 0;
+    std::vector<Finding> findings;
+};
+
+/** Corpus-over-pool batch detection; see the file comment. */
+class BatchRunner
+{
+  public:
+    /** @param workers worker count; 0 = hardware concurrency. */
+    explicit BatchRunner(unsigned workers = 0);
+
+    unsigned workers() const { return workers_; }
+
+    /** Run the pipeline over every trace; reports in corpus order
+     * (report[i].key == i), identical for every worker count. */
+    std::vector<TraceReport>
+    run(const Pipeline &pipeline,
+        const std::vector<Trace> &corpus) const;
+
+  private:
+    unsigned workers_;
+};
+
+/** Streaming detection; see the file comment. */
+class DetectionStream
+{
+  public:
+    /**
+     * Starts `workers` detection threads (0 = hardware concurrency)
+     * that analyze submitted traces with the given pipeline. The
+     * pipeline must outlive the stream.
+     */
+    explicit DetectionStream(const Pipeline &pipeline,
+                             unsigned workers = 0);
+
+    /** Drains and joins if finish() was not called. */
+    ~DetectionStream();
+
+    DetectionStream(const DetectionStream &) = delete;
+    DetectionStream &operator=(const DetectionStream &) = delete;
+
+    /**
+     * Queue one trace for detection. Thread-safe; callable
+     * concurrently from producer threads. Keys tag the reports and
+     * order finish()'s result; callers wanting a deterministic
+     * report list must use unique keys (e.g. the stress seed index).
+     */
+    void submit(std::uint64_t key, Trace trace);
+
+    /** Close the queue, join the workers, and return all reports
+     * sorted by key (stable for duplicate keys). */
+    std::vector<TraceReport> finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_BATCH_HH

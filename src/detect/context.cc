@@ -1,0 +1,83 @@
+#include "detect/context.hh"
+
+#include <algorithm>
+#include <optional>
+
+namespace lfm::detect
+{
+
+AnalysisContext::AnalysisContext(const Trace &trace, bool precomputeHb)
+    : trace_(&trace)
+{
+    std::optional<trace::HbBuilder> hbBuilder;
+    if (precomputeHb)
+        hbBuilder.emplace(trace);
+
+    for (const auto &event : trace.events()) {
+        if (hbBuilder)
+            hbBuilder->feed(event);
+        switch (event.kind) {
+          case trace::EventKind::Read:
+          case trace::EventKind::Write:
+            accesses_[event.obj].push_back(event.seq);
+            break;
+          case trace::EventKind::Unlock:
+          case trace::EventKind::RdUnlock:
+            releases_[event.thread].push_back(event.seq);
+            lockOps_.push_back(event.seq);
+            break;
+          case trace::EventKind::WaitBegin:
+            // cond wait releases its mutex for the park duration.
+            releases_[event.thread].push_back(event.seq);
+            lockOps_.push_back(event.seq);
+            break;
+          case trace::EventKind::Lock:
+          case trace::EventKind::RdLock:
+          case trace::EventKind::WaitResume:
+          case trace::EventKind::Blocked:
+            lockOps_.push_back(event.seq);
+            break;
+          default:
+            break;
+        }
+    }
+
+    variables_.reserve(accesses_.size());
+    for (const auto &[var, seqs] : accesses_) {
+        (void)seqs;
+        variables_.push_back(var);
+    }
+
+    if (hbBuilder)
+        hb_ = std::make_unique<trace::HbRelation>(
+            std::move(*hbBuilder).finish());
+}
+
+const trace::HbRelation &
+AnalysisContext::hb() const
+{
+    if (!hb_)
+        hb_ = std::make_unique<trace::HbRelation>(*trace_);
+    return *hb_;
+}
+
+const std::vector<SeqNo> &
+AnalysisContext::accessesTo(ObjectId var) const
+{
+    static const std::vector<SeqNo> kEmpty;
+    auto it = accesses_.find(var);
+    return it == accesses_.end() ? kEmpty : it->second;
+}
+
+bool
+AnalysisContext::releaseBetween(ThreadId tid, SeqNo lo, SeqNo hi) const
+{
+    auto it = releases_.find(tid);
+    if (it == releases_.end())
+        return false;
+    auto pos =
+        std::upper_bound(it->second.begin(), it->second.end(), lo);
+    return pos != it->second.end() && *pos < hi;
+}
+
+} // namespace lfm::detect

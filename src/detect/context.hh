@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared per-trace analysis context.
+ *
+ * Every detector used to re-derive the same facts from the raw trace:
+ * the per-variable access index (Trace::accessesTo is a full trace
+ * scan *per variable*), the per-thread lock-release boundaries that
+ * delimit intended-atomic regions, and — for the HB-based detectors —
+ * the entire vector-clock happens-before relation. AnalysisContext
+ * computes all of it in one sweep over the trace and hands the result
+ * to every detector, so a multi-detector pass pays each index once
+ * instead of once per detector.
+ *
+ * The happens-before relation is the expensive piece, and not every
+ * detector needs it, so it is built in one of two ways:
+ *  - precomputeHb = true fuses trace::HbBuilder into the indexing
+ *    sweep (one pass total) — the pipeline chooses this when any
+ *    registered detector wants HB;
+ *  - otherwise hb() builds it lazily on first use, and a standalone
+ *    lockset/order/deadlock run never pays for it.
+ */
+
+#ifndef LFM_DETECT_CONTEXT_HH
+#define LFM_DETECT_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "trace/hb.hh"
+#include "trace/trace.hh"
+
+namespace lfm::detect
+{
+
+using trace::ObjectId;
+using trace::SeqNo;
+using trace::ThreadId;
+using trace::Trace;
+
+/** Immutable shared view of one trace; see the file comment. */
+class AnalysisContext
+{
+  public:
+    /**
+     * Index the trace. With precomputeHb the happens-before relation
+     * is built inside the same sweep; without it, hb() constructs it
+     * on demand (second pass, paid only if queried).
+     */
+    explicit AnalysisContext(const Trace &trace,
+                             bool precomputeHb = false);
+
+    const Trace &trace() const { return *trace_; }
+
+    /** The happens-before relation (built lazily unless precomputed). */
+    const trace::HbRelation &hb() const;
+
+    /** Ids of all variables with at least one access, sorted. */
+    const std::vector<ObjectId> &variables() const
+    {
+        return variables_;
+    }
+
+    /** Sequence numbers of Read/Write events on the variable, in
+     * trace order; empty for unknown variables. */
+    const std::vector<SeqNo> &accessesTo(ObjectId var) const;
+
+    /** Sequence numbers of all synchronization-shaped events (lock /
+     * unlock both flavors, wait begin/resume, blocked attempts), in
+     * trace order — the event subset lock-graph analyses consume. */
+    const std::vector<SeqNo> &lockOps() const { return lockOps_; }
+
+    /**
+     * True when `tid` released a lock (Unlock, RdUnlock, or the
+     * implicit release of WaitBegin) strictly between trace positions
+     * lo and hi. This is the intended-atomic-region boundary test the
+     * atomicity detectors share: crossing a critical-section boundary
+     * is an explicit statement that the region may be interleaved.
+     */
+    bool releaseBetween(ThreadId tid, SeqNo lo, SeqNo hi) const;
+
+  private:
+    const Trace *trace_;
+    mutable std::unique_ptr<trace::HbRelation> hb_;
+    std::vector<ObjectId> variables_;
+    std::map<ObjectId, std::vector<SeqNo>> accesses_;
+    std::vector<SeqNo> lockOps_;
+    std::map<ThreadId, std::vector<SeqNo>> releases_;
+};
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_CONTEXT_HH

@@ -3,56 +3,69 @@
 #include <algorithm>
 #include <functional>
 
+#include "detect/context.hh"
 #include "support/string_utils.hh"
 
 namespace lfm::detect
 {
 
-LockOrderGraph::LockOrderGraph(const Trace &trace)
+void
+LockOrderGraph::feed(
+    const trace::Event &event,
+    std::map<trace::ThreadId, std::vector<ObjectId>> &held)
 {
-    std::map<trace::ThreadId, std::vector<ObjectId>> held;
-
     auto addEdges = [&](trace::ThreadId tid, ObjectId acquired) {
         for (ObjectId h : held[tid])
             edges_[h].insert(acquired);
     };
 
-    for (const auto &event : trace.events()) {
-        switch (event.kind) {
-          case trace::EventKind::Lock:
-          case trace::EventKind::RdLock:
-            addEdges(event.thread, event.obj);
-            held[event.thread].push_back(event.obj);
-            break;
-          case trace::EventKind::Unlock:
-          case trace::EventKind::RdUnlock: {
-            auto &stack = held[event.thread];
-            auto it = std::find(stack.begin(), stack.end(), event.obj);
-            if (it != stack.end())
-                stack.erase(it);
-            break;
-          }
-          case trace::EventKind::WaitBegin: {
-            auto &stack = held[event.thread];
-            auto it =
-                std::find(stack.begin(), stack.end(), event.obj2);
-            if (it != stack.end())
-                stack.erase(it);
-            break;
-          }
-          case trace::EventKind::WaitResume:
-            held[event.thread].push_back(event.obj2);
-            break;
-          case trace::EventKind::Blocked:
-            // A blocked acquisition attempt observed at a global
-            // block: it contributes order edges (including the
-            // self-loop of a relock) even though it never completed.
-            addEdges(event.thread, event.obj);
-            break;
-          default:
-            break;
-        }
+    switch (event.kind) {
+      case trace::EventKind::Lock:
+      case trace::EventKind::RdLock:
+        addEdges(event.thread, event.obj);
+        held[event.thread].push_back(event.obj);
+        break;
+      case trace::EventKind::Unlock:
+      case trace::EventKind::RdUnlock: {
+        auto &stack = held[event.thread];
+        auto it = std::find(stack.begin(), stack.end(), event.obj);
+        if (it != stack.end())
+            stack.erase(it);
+        break;
+      }
+      case trace::EventKind::WaitBegin: {
+        auto &stack = held[event.thread];
+        auto it = std::find(stack.begin(), stack.end(), event.obj2);
+        if (it != stack.end())
+            stack.erase(it);
+        break;
+      }
+      case trace::EventKind::WaitResume:
+        held[event.thread].push_back(event.obj2);
+        break;
+      case trace::EventKind::Blocked:
+        // A blocked acquisition attempt observed at a global block:
+        // it contributes order edges (including the self-loop of a
+        // relock) even though it never completed.
+        addEdges(event.thread, event.obj);
+        break;
+      default:
+        break;
     }
+}
+
+LockOrderGraph::LockOrderGraph(const Trace &trace)
+{
+    std::map<trace::ThreadId, std::vector<ObjectId>> held;
+    for (const auto &event : trace.events())
+        feed(event, held);
+}
+
+LockOrderGraph::LockOrderGraph(const AnalysisContext &ctx)
+{
+    std::map<trace::ThreadId, std::vector<ObjectId>> held;
+    for (SeqNo seq : ctx.lockOps())
+        feed(ctx.trace().ev(seq), held);
 }
 
 std::vector<std::vector<ObjectId>>
@@ -108,10 +121,11 @@ LockOrderGraph::cycles() const
 }
 
 std::vector<Finding>
-DeadlockDetector::analyze(const Trace &trace)
+DeadlockDetector::fromContext(const AnalysisContext &ctx) const
 {
+    const Trace &trace = ctx.trace();
     std::vector<Finding> findings;
-    LockOrderGraph graph(trace);
+    LockOrderGraph graph(ctx);
 
     for (const auto &cycle : graph.cycles()) {
         Finding f;

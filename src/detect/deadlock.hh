@@ -22,12 +22,18 @@
 namespace lfm::detect
 {
 
+class AnalysisContext;
+
 /** The lock-order graph of one trace. */
 class LockOrderGraph
 {
   public:
     /** Build from a trace (mutex and rwlock acquisitions). */
     explicit LockOrderGraph(const Trace &trace);
+
+    /** Build from a shared context; walks only its synchronization
+     * index instead of the full trace. */
+    explicit LockOrderGraph(const AnalysisContext &ctx);
 
     /** Adjacency: held lock -> subsequently acquired locks. */
     const std::map<ObjectId, std::set<ObjectId>> &edges() const
@@ -40,6 +46,9 @@ class LockOrderGraph
     std::vector<std::vector<ObjectId>> cycles() const;
 
   private:
+    void feed(const trace::Event &event,
+              std::map<trace::ThreadId, std::vector<ObjectId>> &held);
+
     std::map<ObjectId, std::set<ObjectId>> edges_;
 };
 
@@ -47,7 +56,8 @@ class LockOrderGraph
 class DeadlockDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
     const char *name() const override { return "lock-order"; }
 };
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "detect/context.hh"
+
 #include "detect/atomicity.hh"
 #include "detect/deadlock.hh"
 #include "detect/lockset.hh"
@@ -12,6 +14,13 @@
 
 namespace lfm::detect
 {
+
+std::vector<Finding>
+Detector::analyze(const Trace &trace) const
+{
+    AnalysisContext ctx(trace, wantsHb());
+    return fromContext(ctx);
+}
 
 std::vector<std::unique_ptr<Detector>>
 allDetectors()

@@ -47,14 +47,30 @@ struct Finding
     std::string message;
 };
 
+class AnalysisContext;
+
 /** Interface of an offline trace detector. */
 class Detector
 {
   public:
     virtual ~Detector() = default;
 
-    /** Analyze one trace and return all findings. */
-    virtual std::vector<Finding> analyze(const Trace &trace) = 0;
+    /**
+     * Analyze one trace and return all findings. Thin wrapper: builds
+     * a private AnalysisContext (with HB fused into the indexing
+     * sweep when the detector wants it) and delegates to
+     * fromContext(). Pipeline-based callers build one shared context
+     * instead and call fromContext() directly.
+     */
+    std::vector<Finding> analyze(const Trace &trace) const;
+
+    /** Analyze via a shared (possibly multi-detector) context. */
+    virtual std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const = 0;
+
+    /** True when the detector queries ctx.hb(); lets context builders
+     * fuse HB construction into the indexing sweep up front. */
+    virtual bool wantsHb() const { return false; }
 
     /** Stable detector name (also used in Finding::detector). */
     virtual const char *name() const = 0;

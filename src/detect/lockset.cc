@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "detect/context.hh"
+
 namespace lfm::detect
 {
 
@@ -30,8 +32,9 @@ struct VarInfo
 } // namespace
 
 std::vector<Finding>
-LocksetDetector::analyze(const Trace &trace)
+LocksetDetector::fromContext(const AnalysisContext &ctx) const
 {
+    const Trace &trace = ctx.trace();
     std::vector<Finding> findings;
 
     // Locks currently held by each thread (write side of rwlocks and

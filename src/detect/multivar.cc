@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "detect/context.hh"
+
 namespace lfm::detect
 {
 
@@ -40,8 +42,9 @@ MultiVarDetector::inferCorrelations(const Trace &trace) const
 }
 
 std::vector<Finding>
-MultiVarDetector::analyze(const Trace &trace)
+MultiVarDetector::fromContext(const AnalysisContext &ctx) const
 {
+    const Trace &trace = ctx.trace();
     std::vector<Finding> findings;
     const auto pairs = inferCorrelations(trace);
     const auto &events = trace.events();

@@ -28,7 +28,8 @@ namespace lfm::detect
 class MultiVarDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
     const char *name() const override { return "multivar"; }
 
     /**

@@ -2,12 +2,15 @@
 
 #include <map>
 
+#include "detect/context.hh"
+
 namespace lfm::detect
 {
 
 std::vector<Finding>
-OrderDetector::analyze(const Trace &trace)
+OrderDetector::fromContext(const AnalysisContext &ctx) const
 {
+    const Trace &trace = ctx.trace();
     std::vector<Finding> findings;
 
     struct Life

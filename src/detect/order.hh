@@ -27,7 +27,8 @@ namespace lfm::detect
 class OrderDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
     const char *name() const override { return "order"; }
 };
 

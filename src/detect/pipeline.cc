@@ -1,0 +1,58 @@
+#include "detect/pipeline.hh"
+
+#include <iterator>
+#include <utility>
+
+namespace lfm::detect
+{
+
+Pipeline::Pipeline() : detectors_(allDetectors()) {}
+
+Pipeline::Pipeline(std::vector<std::unique_ptr<Detector>> detectors)
+    : detectors_(std::move(detectors))
+{
+}
+
+bool
+Pipeline::wantsHb() const
+{
+    for (const auto &d : detectors_) {
+        if (d->wantsHb())
+            return true;
+    }
+    return false;
+}
+
+std::vector<Finding>
+Pipeline::run(const Trace &trace) const
+{
+    AnalysisContext ctx(trace, wantsHb());
+    return run(ctx);
+}
+
+std::vector<Finding>
+Pipeline::run(const AnalysisContext &ctx) const
+{
+    std::vector<Finding> findings;
+    for (const auto &d : detectors_) {
+        auto block = d->fromContext(ctx);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(block.begin()),
+                        std::make_move_iterator(block.end()));
+    }
+    return findings;
+}
+
+std::vector<Finding>
+findingsFrom(const std::vector<Finding> &findings,
+             const std::string &detector)
+{
+    std::vector<Finding> out;
+    for (const auto &f : findings) {
+        if (f.detector == detector)
+            out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace lfm::detect

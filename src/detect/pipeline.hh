@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fused single-pass detection pipeline.
+ *
+ * Pipeline runs a set of detectors over one shared AnalysisContext:
+ * the trace is indexed once and the happens-before relation is built
+ * once (fused into the indexing sweep when any registered detector
+ * wants it), instead of once per detector as the per-detector
+ * analyze() entry points would pay. Findings come back concatenated
+ * in detector registration order, each detector's block in its own
+ * deterministic order — exactly the sequence produced by calling
+ * analyze() on each detector in turn, at a fraction of the cost.
+ */
+
+#ifndef LFM_DETECT_PIPELINE_HH
+#define LFM_DETECT_PIPELINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "detect/context.hh"
+#include "detect/detector.hh"
+
+namespace lfm::detect
+{
+
+/** Shared-context multi-detector pass; see the file comment. */
+class Pipeline
+{
+  public:
+    /** Pipeline over allDetectors(), in their fixed order. */
+    Pipeline();
+
+    /** Pipeline over a caller-selected detector set. */
+    explicit Pipeline(
+        std::vector<std::unique_ptr<Detector>> detectors);
+
+    /** Index the trace once (HB fused in when any detector wants
+     * it), then run every detector over the shared context. */
+    std::vector<Finding> run(const Trace &trace) const;
+
+    /** Run every detector over an existing shared context. */
+    std::vector<Finding> run(const AnalysisContext &ctx) const;
+
+    /** True when any registered detector queries hb(). */
+    bool wantsHb() const;
+
+    const std::vector<std::unique_ptr<Detector>> &detectors() const
+    {
+        return detectors_;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Detector>> detectors_;
+};
+
+/** Findings of the named detector, in order (report filtering). */
+std::vector<Finding> findingsFrom(const std::vector<Finding> &findings,
+                                  const std::string &detector);
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_PIPELINE_HH

@@ -1,105 +1,198 @@
 #include "detect/predictive.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <string>
 
 #include "detect/atomicity.hh"
+#include "detect/context.hh"
 #include "trace/hb.hh"
 
 namespace lfm::detect
 {
 
+namespace
+{
+
+/** One thread's accesses to one variable, with prefix write counts
+ * for O(log n) first-access-of-kind range queries. */
+struct ThreadAccesses
+{
+    std::vector<SeqNo> seqs;
+    /** writesBefore[i] = number of writes among seqs[0..i). */
+    std::vector<std::size_t> writesBefore{0};
+};
+
+constexpr std::size_t kNone = ~std::size_t{0};
+
+/**
+ * First index in [lo, hi) whose access kind matches wantWrite, via
+ * binary search on the prefix counts (both prefix-count sequences
+ * are nondecreasing). kNone when the range has no such access.
+ */
+std::size_t
+firstOfKind(const ThreadAccesses &ta, std::size_t lo, std::size_t hi,
+            bool wantWrite)
+{
+    auto count = [&](std::size_t idx) {
+        return wantWrite ? ta.writesBefore[idx]
+                         : idx - ta.writesBefore[idx];
+    };
+    if (count(hi) == count(lo))
+        return kNone;
+    const std::size_t target = count(lo) + 1;
+    std::size_t a = lo + 1;
+    std::size_t b = hi;
+    while (a < b) {
+        const std::size_t mid = a + (b - a) / 2;
+        if (count(mid) >= target)
+            b = mid;
+        else
+            a = mid + 1;
+    }
+    return a - 1;
+}
+
+} // namespace
+
 std::vector<Finding>
-PredictiveAtomicityDetector::analyze(const Trace &trace)
+PredictiveAtomicityDetector::fromContext(
+    const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
+    const Trace &trace = ctx.trace();
     if (trace.empty())
         return findings;
 
-    trace::HbRelation hb(trace);
+    const trace::HbRelation &hb = ctx.hb();
 
-    // Lock releases per thread: an intended-atomic region must not
-    // cross a critical-section boundary (same rule as the
-    // execution-sensitive detector).
-    std::map<trace::ThreadId, std::vector<SeqNo>> releases;
-    for (const auto &event : trace.events()) {
-        switch (event.kind) {
-          case trace::EventKind::Unlock:
-          case trace::EventKind::RdUnlock:
-          case trace::EventKind::WaitBegin:
-            releases[event.thread].push_back(event.seq);
-            break;
-          default:
-            break;
+    for (ObjectId var : ctx.variables()) {
+        const auto &accesses = ctx.accessesTo(var);
+        const std::size_t n = accesses.size();
+
+        // Split the merged access list per thread and link each
+        // access to its same-thread successor (the region partner).
+        std::map<trace::ThreadId, ThreadAccesses> byThread;
+        std::vector<SeqNo> nextLocal(n, trace::SeqNo(0));
+        std::vector<bool> hasNext(n, false);
+        {
+            std::map<trace::ThreadId, std::size_t> lastIdx;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto &e = trace.ev(accesses[i]);
+                ThreadAccesses &ta = byThread[e.thread];
+                ta.seqs.push_back(e.seq);
+                ta.writesBefore.push_back(
+                    ta.writesBefore.back() + (e.isWrite() ? 1 : 0));
+                auto it = lastIdx.find(e.thread);
+                if (it != lastIdx.end()) {
+                    nextLocal[it->second] = e.seq;
+                    hasNext[it->second] = true;
+                    it->second = i;
+                } else {
+                    lastIdx.emplace(e.thread, i);
+                }
+            }
         }
-    }
-    auto releaseBetween = [&releases](trace::ThreadId tid, SeqNo lo,
-                                      SeqNo hi) {
-        auto it = releases.find(tid);
-        if (it == releases.end())
-            return false;
-        auto pos = std::upper_bound(it->second.begin(),
-                                    it->second.end(), lo);
-        return pos != it->second.end() && *pos < hi;
-    };
 
-    for (ObjectId var : trace.accessedVariables()) {
-        const auto accesses = trace.accessesTo(var);
         std::set<std::string> reported;
 
-        for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!hasNext[i])
+                continue;
             const auto &p = trace.ev(accesses[i]);
-            // The thread's next access c to the same variable.
-            for (std::size_t j = i + 1; j < accesses.size(); ++j) {
-                const auto &c = trace.ev(accesses[j]);
-                if (c.thread != p.thread)
-                    continue;
-                if (c.seq - p.seq > window_)
-                    break;
-                if (releaseBetween(p.thread, p.seq, c.seq))
-                    break;
+            const auto &c = trace.ev(nextLocal[i]);
+            if (c.seq - p.seq > window_)
+                continue; // too far apart to be one atomic intent
+            if (ctx.releaseBetween(p.thread, p.seq, c.seq))
+                continue; // crosses a critical-section boundary
 
-                // Any remote access anywhere in the trace that is
-                // not synchronization-ordered against the region can
-                // be scheduled inside it.
-                for (SeqNo rSeq : accesses) {
-                    const auto &r = trace.ev(rSeq);
-                    if (r.thread == p.thread)
-                        continue;
-                    if (!detect::unserializableTriple(
-                            p.isWrite(), r.isWrite(), c.isWrite()))
-                        continue;
-                    // r must be movable between p and c: neither
-                    // ordered before p's region start nor after its
-                    // end by happens-before... i.e. concurrent with
-                    // the whole region.
-                    if (!hb.concurrent(r.seq, p.seq) ||
-                        !hb.concurrent(r.seq, c.seq))
-                        continue;
-                    std::string pattern;
-                    pattern += p.isWrite() ? 'W' : 'R';
-                    pattern += r.isWrite() ? 'W' : 'R';
-                    pattern += c.isWrite() ? 'W' : 'R';
-                    std::string key =
-                        std::to_string(p.thread) + ":" +
-                        std::to_string(r.thread) + ":" + pattern;
-                    if (!reported.insert(key).second)
-                        continue;
-                    Finding f;
-                    f.detector = name();
-                    f.category = "atomicity-violation";
-                    f.primaryObj = var;
-                    f.events = {p.seq, r.seq, c.seq};
-                    f.message =
-                        "predicted unserializable " + pattern +
-                        " on " + trace.objectName(var) + ": " +
-                        trace.threadName(r.thread) +
-                        " can interleave the " +
-                        trace.threadName(p.thread) + " region";
-                    findings.push_back(std::move(f));
+            // For a fixed (p, c) kind pair exactly one remote kind
+            // is unserializable: W unless the region is write-write,
+            // where only a torn remote read (WRW) qualifies.
+            const bool wantWrite = !(p.isWrite() && c.isWrite());
+            std::string pattern;
+            pattern += p.isWrite() ? 'W' : 'R';
+            pattern += wantWrite ? 'W' : 'R';
+            pattern += c.isWrite() ? 'W' : 'R';
+
+            // Epoch thresholds of the region endpoints.
+            const std::uint64_t pOwn = hb.ownEpochOf(p.seq);
+
+            struct Hit
+            {
+                SeqNo rSeq;
+                std::string key;
+            };
+            std::vector<Hit> hits;
+
+            for (const auto &[u, ta] : byThread) {
+                if (u == p.thread)
+                    continue;
+                std::string key = std::to_string(p.thread) + ":" +
+                                  std::to_string(u) + ":" + pattern;
+                if (reported.count(key))
+                    continue;
+
+                const std::size_t m = ta.seqs.size();
+                // Accesses of u schedulable inside (p, c) are a
+                // contiguous range [lo, hi): the prefix with
+                // r -> c (own epoch within c's clock) is excluded,
+                // as is the suffix with p -> r (p's own epoch within
+                // r's clock); what remains is concurrent with both
+                // endpoints (p -> c makes the other two one-sided
+                // tests redundant).
+                const std::uint64_t cCompU =
+                    hb.clockComponent(c.seq, u);
+                std::size_t a = 0;
+                std::size_t b = m;
+                while (a < b) { // first r with own > cCompU
+                    const std::size_t mid = a + (b - a) / 2;
+                    if (hb.ownEpochOf(ta.seqs[mid]) > cCompU)
+                        b = mid;
+                    else
+                        a = mid + 1;
                 }
-                break; // c was the consecutive local access
+                const std::size_t lo = a;
+                a = lo;
+                b = m;
+                while (a < b) { // first r whose clock covers pOwn
+                    const std::size_t mid = a + (b - a) / 2;
+                    if (hb.clockComponent(ta.seqs[mid], p.thread) >=
+                        pOwn)
+                        b = mid;
+                    else
+                        a = mid + 1;
+                }
+                const std::size_t hi = a;
+
+                const std::size_t idx =
+                    firstOfKind(ta, lo, hi, wantWrite);
+                if (idx == kNone)
+                    continue;
+                hits.push_back({ta.seqs[idx], std::move(key)});
+            }
+
+            // Report in witness order, matching a global seq scan.
+            std::sort(hits.begin(), hits.end(),
+                      [](const Hit &a, const Hit &b) {
+                          return a.rSeq < b.rSeq;
+                      });
+            for (auto &hit : hits) {
+                reported.insert(hit.key);
+                const auto &r = trace.ev(hit.rSeq);
+                Finding f;
+                f.detector = name();
+                f.category = "atomicity-violation";
+                f.primaryObj = var;
+                f.events = {p.seq, r.seq, c.seq};
+                f.message = "predicted unserializable " + pattern +
+                            " on " + trace.objectName(var) + ": " +
+                            trace.threadName(r.thread) +
+                            " can interleave the " +
+                            trace.threadName(p.thread) + " region";
+                findings.push_back(std::move(f));
             }
         }
     }

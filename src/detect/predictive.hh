@@ -11,6 +11,14 @@
  * unserializable, that schedule is a bug. This detector performs the
  * prediction with the happens-before relation: it flags from benign
  * traces what the plain detector only flags from failing ones.
+ *
+ * The search runs over the epoch representation of the HB relation:
+ * within one remote thread's access list, "r happens-before the
+ * region" holds for a prefix and "the region happens-before r" for a
+ * suffix (own epochs strictly increase, foreign clock components are
+ * nondecreasing), so the accesses schedulable inside a region form a
+ * contiguous range found by two binary searches — no per-candidate
+ * concurrency queries.
  */
 
 #ifndef LFM_DETECT_PREDICTIVE_HH
@@ -25,7 +33,9 @@ namespace lfm::detect
 class PredictiveAtomicityDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
+    bool wantsHb() const override { return true; }
     const char *name() const override { return "predictive-atom"; }
 
     /** Region window, as in AtomicityDetector. */

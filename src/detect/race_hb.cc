@@ -1,25 +1,109 @@
 #include "detect/race_hb.hh"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 #include <set>
 #include <utility>
 
+#include "detect/context.hh"
 #include "trace/hb.hh"
 
 namespace lfm::detect
 {
 
+namespace
+{
+
+Finding
+raceFinding(const Trace &trace, const char *detector, ObjectId var,
+            const trace::Event &a, const trace::Event &b)
+{
+    Finding f;
+    f.detector = detector;
+    f.category = "data-race";
+    f.primaryObj = var;
+    f.events = {a.seq, b.seq};
+    f.message = "data race on " + trace.objectName(var) + ": " +
+                trace.threadName(a.thread) +
+                (a.isWrite() ? " writes" : " reads") +
+                " concurrently with " + trace.threadName(b.thread) +
+                (b.isWrite() ? " write" : " read");
+    return f;
+}
+
+} // namespace
+
 std::vector<Finding>
-HbRaceDetector::analyze(const Trace &trace)
+HbRaceDetector::fromContext(const AnalysisContext &ctx) const
+{
+    return firstOnly_ ? epochPass(ctx) : pairwiseReference(ctx);
+}
+
+std::vector<Finding>
+HbRaceDetector::epochPass(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
+    const Trace &trace = ctx.trace();
     if (trace.empty())
         return findings;
 
-    trace::HbRelation hb(trace);
+    const trace::HbRelation &hb = ctx.hb();
 
-    for (ObjectId var : trace.accessedVariables()) {
-        const auto accesses = trace.accessesTo(var);
+    for (ObjectId var : ctx.variables()) {
+        // Last read/write of this variable per thread, so far.
+        struct Last
+        {
+            std::optional<SeqNo> read;
+            std::optional<SeqNo> write;
+        };
+        std::map<trace::ThreadId, Last> last;
+        std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
+
+        for (SeqNo bSeq : ctx.accessesTo(var)) {
+            const auto &b = trace.ev(bSeq);
+            for (const auto &[tid, prior] : last) {
+                if (tid == b.thread)
+                    continue;
+                auto key = std::minmax(tid, b.thread);
+                if (reported.count({key.first, key.second}))
+                    continue;
+                // A conflicting candidate: the prior write always,
+                // the prior read only against a write. The prior
+                // access is earlier in the trace, so it cannot be
+                // ordered after b; one happensBefore query decides.
+                std::optional<SeqNo> witness;
+                if (prior.write &&
+                    !hb.happensBefore(*prior.write, bSeq))
+                    witness = *prior.write;
+                else if (b.isWrite() && prior.read &&
+                         !hb.happensBefore(*prior.read, bSeq))
+                    witness = *prior.read;
+                if (!witness)
+                    continue;
+                reported.insert({key.first, key.second});
+                findings.push_back(raceFinding(
+                    trace, name(), var, trace.ev(*witness), b));
+            }
+            Last &mine = last[b.thread];
+            (b.isWrite() ? mine.write : mine.read) = bSeq;
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+HbRaceDetector::pairwiseReference(const AnalysisContext &ctx) const
+{
+    std::vector<Finding> findings;
+    const Trace &trace = ctx.trace();
+    if (trace.empty())
+        return findings;
+
+    const trace::HbRelation &hb = ctx.hb();
+
+    for (ObjectId var : ctx.variables()) {
+        const auto &accesses = ctx.accessesTo(var);
         std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
         for (std::size_t i = 0; i < accesses.size(); ++i) {
             for (std::size_t j = i + 1; j < accesses.size(); ++j) {
@@ -37,18 +121,8 @@ HbRaceDetector::analyze(const Trace &trace)
                              .second)
                         continue;
                 }
-                Finding f;
-                f.detector = name();
-                f.category = "data-race";
-                f.primaryObj = var;
-                f.events = {a.seq, b.seq};
-                f.message = "data race on " + trace.objectName(var) +
-                            ": " + trace.threadName(a.thread) +
-                            (a.isWrite() ? " writes" : " reads") +
-                            " concurrently with " +
-                            trace.threadName(b.thread) +
-                            (b.isWrite() ? " write" : " read");
-                findings.push_back(std::move(f));
+                findings.push_back(
+                    raceFinding(trace, name(), var, a, b));
             }
         }
     }

@@ -8,6 +8,17 @@
  * detectors the study's detection-implications section credits with
  * finding data races (but not, by itself, atomicity or order bugs
  * whose individual accesses are all lock-protected).
+ *
+ * In first-only mode (the default) detection is a FastTrack-style
+ * epoch pass: one forward sweep per variable that checks each access
+ * only against the last prior read and write of every other thread.
+ * That suffices to decide race existence per thread pair, because
+ * happens-before respects trace order here: if any earlier access of
+ * thread t races with access b, then t's *last* access before b of
+ * the same kind also races with b (program order plus transitivity
+ * would otherwise order the earlier one too). The exhaustive
+ * pairwise scan is kept as the firstOnly(false) path, which
+ * enumerates every racing pair in the original order.
  */
 
 #ifndef LFM_DETECT_RACE_HB_HH
@@ -22,16 +33,24 @@ namespace lfm::detect
 class HbRaceDetector : public Detector
 {
   public:
-    std::vector<Finding> analyze(const Trace &trace) override;
+    std::vector<Finding>
+    fromContext(const AnalysisContext &ctx) const override;
+    bool wantsHb() const override { return true; }
     const char *name() const override { return "hb-race"; }
 
     /**
      * When true (default), only the first race per variable pair of
-     * threads is reported to keep reports readable.
+     * threads is reported to keep reports readable. Also selects the
+     * algorithm: first-only runs the linear epoch pass, full
+     * enumeration runs the exhaustive pairwise reference.
      */
     void setFirstOnly(bool firstOnly) { firstOnly_ = firstOnly; }
 
   private:
+    std::vector<Finding> epochPass(const AnalysisContext &ctx) const;
+    std::vector<Finding>
+    pairwiseReference(const AnalysisContext &ctx) const;
+
     bool firstOnly_ = true;
 };
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/workpool.hh"
 
 namespace lfm::explore
 {
@@ -17,112 +18,8 @@ namespace lfm::explore
 namespace
 {
 
-unsigned
-resolveWorkers(unsigned requested)
-{
-    if (requested != 0)
-        return requested;
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
-
-/**
- * Work-stealing task pool for the frontier-split searches.
- *
- * Each worker owns a deque: it pushes and pops at the back (LIFO, so
- * exploration stays depth-first and memory-bounded) and steals from
- * the front of a victim (FIFO, so thieves take the shallowest — i.e.
- * largest — subtrees). With one worker run() degenerates to an
- * inline loop on the calling thread, which reproduces the sequential
- * algorithms' visit order exactly.
- *
- * pending_ counts queued + running tasks; it can only reach zero
- * when no task is left anywhere and none is running that could push
- * more, which makes it a race-free termination signal.
- */
-class WorkStealingPool
-{
-  public:
-    using Task = std::function<void(unsigned)>;
-
-    explicit WorkStealingPool(unsigned workers)
-    {
-        deques_.reserve(workers);
-        for (unsigned i = 0; i < workers; ++i)
-            deques_.push_back(std::make_unique<Deque>());
-    }
-
-    void push(unsigned worker, Task task)
-    {
-        pending_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> guard(deques_[worker]->m);
-        deques_[worker]->q.push_back(std::move(task));
-    }
-
-    void run()
-    {
-        if (deques_.size() == 1) {
-            workerLoop(0);
-            return;
-        }
-        std::vector<std::thread> team;
-        team.reserve(deques_.size());
-        for (unsigned w = 0;
-             w < static_cast<unsigned>(deques_.size()); ++w)
-            team.emplace_back([this, w] { workerLoop(w); });
-        for (auto &t : team)
-            t.join();
-    }
-
-  private:
-    struct Deque
-    {
-        std::mutex m;
-        std::deque<Task> q;
-    };
-
-    bool pop(unsigned w, Task &out)
-    {
-        {
-            Deque &own = *deques_[w];
-            std::lock_guard<std::mutex> guard(own.m);
-            if (!own.q.empty()) {
-                out = std::move(own.q.back());
-                own.q.pop_back();
-                return true;
-            }
-        }
-        for (std::size_t off = 1; off < deques_.size(); ++off) {
-            Deque &victim = *deques_[(w + off) % deques_.size()];
-            std::lock_guard<std::mutex> guard(victim.m);
-            if (!victim.q.empty()) {
-                out = std::move(victim.q.front());
-                victim.q.pop_front();
-                return true;
-            }
-        }
-        return false;
-    }
-
-    void workerLoop(unsigned w)
-    {
-        Task task;
-        for (;;) {
-            if (pop(w, task)) {
-                task(w);
-                task = nullptr;
-                pending_.fetch_sub(1, std::memory_order_release);
-                continue;
-            }
-            if (pending_.load(std::memory_order_acquire) == 0)
-                return;
-            std::this_thread::yield();
-        }
-    }
-
-    std::vector<std::unique_ptr<Deque>> deques_;
-    std::atomic<std::size_t> pending_{0};
-};
+using support::resolveWorkers;
+using support::WorkStealingPool;
 
 /** Lexicographic "a < b" over index/thread paths. */
 template <typename T>
@@ -517,6 +414,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                     sim::runProgram(factory, *policy, exec);
                 records[i].steps = execution.steps();
                 records[i].manifested = manifest(execution);
+                if (options.onExecution)
+                    options.onExecution(i, execution);
                 if (records[i].manifested && options.stopAtFirst) {
                     std::uint64_t cur =
                         stopIndex.load(std::memory_order_relaxed);

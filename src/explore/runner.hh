@@ -63,6 +63,18 @@ struct StressOptions
      * never looks at anyway. Big win for pure rate measurements.
      */
     bool countOnly = false;
+    /**
+     * Optional streaming hook, called once per completed execution
+     * with that run's seed index (seed = firstSeed + index). Invoked
+     * from whichever worker thread ran the execution, concurrently
+     * with other invocations — the callback must be thread-safe
+     * (detect::DetectionStream::submit is the intended consumer).
+     * Without stopAtFirst every index in [0, runs) is delivered
+     * exactly once, so keyed consumers see a worker-count-invariant
+     * set; with stopAtFirst the delivered set depends on timing.
+     */
+    std::function<void(std::size_t, const sim::Execution &)>
+        onExecution;
 };
 
 /**

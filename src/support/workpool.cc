@@ -1,0 +1,90 @@
+#include "support/workpool.hh"
+
+#include <thread>
+#include <utility>
+
+namespace lfm::support
+{
+
+unsigned
+resolveWorkers(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+WorkStealingPool::WorkStealingPool(unsigned workers)
+{
+    deques_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        deques_.push_back(std::make_unique<Deque>());
+}
+
+void
+WorkStealingPool::push(unsigned worker, Task task)
+{
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> guard(deques_[worker]->m);
+    deques_[worker]->q.push_back(std::move(task));
+}
+
+void
+WorkStealingPool::run()
+{
+    if (deques_.size() == 1) {
+        workerLoop(0);
+        return;
+    }
+    std::vector<std::thread> team;
+    team.reserve(deques_.size());
+    for (unsigned w = 0; w < static_cast<unsigned>(deques_.size());
+         ++w)
+        team.emplace_back([this, w] { workerLoop(w); });
+    for (auto &t : team)
+        t.join();
+}
+
+bool
+WorkStealingPool::pop(unsigned w, Task &out)
+{
+    {
+        Deque &own = *deques_[w];
+        std::lock_guard<std::mutex> guard(own.m);
+        if (!own.q.empty()) {
+            out = std::move(own.q.back());
+            own.q.pop_back();
+            return true;
+        }
+    }
+    for (std::size_t off = 1; off < deques_.size(); ++off) {
+        Deque &victim = *deques_[(w + off) % deques_.size()];
+        std::lock_guard<std::mutex> guard(victim.m);
+        if (!victim.q.empty()) {
+            out = std::move(victim.q.front());
+            victim.q.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(unsigned w)
+{
+    Task task;
+    for (;;) {
+        if (pop(w, task)) {
+            task(w);
+            task = nullptr;
+            pending_.fetch_sub(1, std::memory_order_release);
+            continue;
+        }
+        if (pending_.load(std::memory_order_acquire) == 0)
+            return;
+        std::this_thread::yield();
+    }
+}
+
+} // namespace lfm::support

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Work-stealing task pool shared by the parallel subsystems.
+ *
+ * Originally private to the exploration engine; promoted to support
+ * so the detection layer can shard trace corpora over the same pool
+ * without depending on explore. Each worker owns a deque: it pushes
+ * and pops at the back (LIFO, so recursive work stays depth-first and
+ * memory-bounded) and steals from the front of a victim (FIFO, so
+ * thieves take the shallowest — i.e. largest — subtrees). With one
+ * worker run() degenerates to an inline loop on the calling thread,
+ * which reproduces sequential visit order exactly.
+ *
+ * pending_ counts queued + running tasks; it can only reach zero
+ * when no task is left anywhere and none is running that could push
+ * more, which makes it a race-free termination signal.
+ */
+
+#ifndef LFM_SUPPORT_WORKPOOL_HH
+#define LFM_SUPPORT_WORKPOOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lfm::support
+{
+
+/** Resolve a requested worker count: 0 means hardware concurrency
+ * (never less than 1). */
+unsigned resolveWorkers(unsigned requested);
+
+/** Work-stealing task pool; see the file comment. */
+class WorkStealingPool
+{
+  public:
+    /** A task receives the index of the worker executing it. */
+    using Task = std::function<void(unsigned)>;
+
+    explicit WorkStealingPool(unsigned workers);
+
+    /** Enqueue a task on the given worker's deque. Safe to call from
+     * inside a running task (that is how searches grow frontiers). */
+    void push(unsigned worker, Task task);
+
+    /** Run until every task (including tasks pushed by tasks) has
+     * completed. Blocks the calling thread. */
+    void run();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(deques_.size());
+    }
+
+  private:
+    struct Deque
+    {
+        std::mutex m;
+        std::deque<Task> q;
+    };
+
+    bool pop(unsigned w, Task &out);
+    void workerLoop(unsigned w);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::atomic<std::size_t> pending_{0};
+};
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_WORKPOOL_HH

@@ -1,6 +1,5 @@
 #include "trace/hb.hh"
 
-#include <map>
 #include <utility>
 
 #include "support/logging.hh"
@@ -8,159 +7,168 @@
 namespace lfm::trace
 {
 
-namespace
+HbBuilder::HbBuilder(const Trace &trace) : trace_(trace)
 {
-
-/** Mutable per-lock release clocks while scanning. */
-struct LockClocks
-{
-    VectorClock writeRelease;  ///< last exclusive release
-    VectorClock readRelease;   ///< join of all shared releases so far
-};
-
-/** Mutable per-thread state while scanning. */
-struct ThreadState
-{
-    VectorClock c;
-    std::uint32_t base = 0;  ///< pool index of the last snapshot
-};
-
-} // namespace
-
-HbRelation::HbRelation(const Trace &trace)
-{
-    const auto &events = trace.events();
-    const std::size_t n = events.size();
-    ev_.resize(n);
+    rel_.ev_.resize(trace.size());
 
     // pool_[0] is the zero clock: the base of every thread that has
     // not yet been the target of a synchronization edge.
-    pool_.reserve(64);
-    pool_.emplace_back();
+    rel_.pool_.reserve(64);
+    rel_.pool_.emplace_back();
 
-    std::vector<ThreadState> threads;
-    threads.reserve(trace.threadNames().size() + 1);
-    std::map<ObjectId, LockClocks> lockClock;
+    threads_.reserve(trace.threadNames().size() + 1);
+}
 
-    auto stateFor = [&](ThreadId tid) -> ThreadState & {
-        LFM_ASSERT(tid >= 0, "negative thread id in trace");
-        const auto i = static_cast<std::size_t>(tid);
-        if (i >= threads.size())
-            threads.resize(i + 1);
-        return threads[i];
-    };
+HbBuilder::~HbBuilder() = default;
 
-    // Join the clock of a previously processed event: its pool base
-    // plus its own-component epoch.
-    auto joinEvent = [&](VectorClock &c, SeqNo seq) -> bool {
-        const EventClock &e = ev_[seq];
-        bool changed = c.join(pool_[e.base]);
-        if (e.own > c.get(e.tid)) {
-            c.set(e.tid, e.own);
-            changed = true;
-        }
-        return changed;
-    };
+HbBuilder::ThreadState &
+HbBuilder::stateFor(ThreadId tid)
+{
+    LFM_ASSERT(tid >= 0, "negative thread id in trace");
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= threads_.size())
+        threads_.resize(i + 1);
+    return threads_[i];
+}
 
-    for (std::size_t i = 0; i < n; ++i) {
-        const Event &event = events[i];
-        ThreadState &ts = stateFor(event.thread);
-        VectorClock &c = ts.c;
-        c.tick(event.thread);
-        bool joined = false;
-
-        switch (event.kind) {
-          case EventKind::ThreadBegin:
-            // aux = seq of the parent's Spawn event (if spawned).
-            if (event.aux != kSpuriousWakeup && event.aux < i)
-                joined |= joinEvent(c, event.aux);
-            break;
-          case EventKind::Join:
-            // aux = seq of the child's ThreadEnd event.
-            LFM_ASSERT(event.aux < i, "join before child ended");
-            joined |= joinEvent(c, event.aux);
-            break;
-          case EventKind::Lock: {
-            LockClocks &lc = lockClock[event.obj];
-            joined |= c.join(lc.writeRelease);
-            joined |= c.join(lc.readRelease);
-            break;
-          }
-          case EventKind::RdLock:
-            joined |= c.join(lockClock[event.obj].writeRelease);
-            break;
-          case EventKind::WaitResume: {
-            // The wait reacquires the mutex ...
-            LockClocks &lc = lockClock[event.obj2];
-            joined |= c.join(lc.writeRelease);
-            joined |= c.join(lc.readRelease);
-            // ... and is ordered after the signal that woke it.
-            if (event.aux != kSpuriousWakeup) {
-                LFM_ASSERT(event.aux < i, "wakeup before its signal");
-                joined |= joinEvent(c, event.aux);
-            }
-            break;
-          }
-          case EventKind::SemWait:
-            if (event.aux != kSpuriousWakeup && event.aux < i)
-                joined |= joinEvent(c, event.aux);
-            break;
-          case EventKind::BarrierCross: {
-            // The executor emits all crossings of one generation as a
-            // consecutive run; join every participant's arrival clock.
-            std::size_t lo = i;
-            while (lo > 0) {
-                const Event &p = events[lo - 1];
-                if (p.kind != EventKind::BarrierCross ||
-                    p.obj != event.obj || p.aux != event.aux)
-                    break;
-                --lo;
-            }
-            std::size_t hi = i;
-            while (hi + 1 < n) {
-                const Event &nx = events[hi + 1];
-                if (nx.kind != EventKind::BarrierCross ||
-                    nx.obj != event.obj || nx.aux != event.aux)
-                    break;
-                ++hi;
-            }
-            for (std::size_t k = lo; k <= hi; ++k) {
-                if (k == i)
-                    continue;
-                joined |= c.join(stateFor(events[k].thread).c);
-            }
-            break;
-          }
-          default:
-            break;
-        }
-
-        // Only a join that actually advanced the clock needs a fresh
-        // pool snapshot; otherwise the previous base is still exact
-        // for every component but our own (which ev_[i].own carries).
-        if (joined) {
-            pool_.push_back(c);
-            ts.base = static_cast<std::uint32_t>(pool_.size() - 1);
-        }
-        ev_[i] = {event.thread, ts.base, c.get(event.thread)};
-
-        // Release-side bookkeeping happens after the event's clock is
-        // fixed so the edge carries everything up to and including it.
-        switch (event.kind) {
-          case EventKind::Unlock:
-            lockClock[event.obj].writeRelease = c;
-            break;
-          case EventKind::RdUnlock:
-            lockClock[event.obj].readRelease.join(c);
-            break;
-          case EventKind::WaitBegin:
-            // wait releases its mutex (obj2).
-            lockClock[event.obj2].writeRelease = c;
-            break;
-          default:
-            break;
-        }
+// Join the clock of a previously processed event: its pool base plus
+// its own-component epoch.
+bool
+HbBuilder::joinEvent(VectorClock &c, SeqNo seq) const
+{
+    const HbRelation::EventClock &e = rel_.ev_[seq];
+    bool changed = c.join(rel_.pool_[e.base]);
+    if (e.own > c.get(e.tid)) {
+        c.set(e.tid, e.own);
+        changed = true;
     }
+    return changed;
+}
+
+void
+HbBuilder::feed(const Event &event)
+{
+    const std::size_t i = fed_++;
+    LFM_ASSERT(event.seq == i, "events must be fed in seq order");
+    const std::size_t n = trace_.size();
+    const auto &events = trace_.events();
+
+    ThreadState &ts = stateFor(event.thread);
+    VectorClock &c = ts.c;
+    c.tick(event.thread);
+    bool joined = false;
+
+    switch (event.kind) {
+      case EventKind::ThreadBegin:
+        // aux = seq of the parent's Spawn event (if spawned).
+        if (event.aux != kSpuriousWakeup && event.aux < i)
+            joined |= joinEvent(c, event.aux);
+        break;
+      case EventKind::Join:
+        // aux = seq of the child's ThreadEnd event.
+        LFM_ASSERT(event.aux < i, "join before child ended");
+        joined |= joinEvent(c, event.aux);
+        break;
+      case EventKind::Lock: {
+        LockClocks &lc = lockClock_[event.obj];
+        joined |= c.join(lc.writeRelease);
+        joined |= c.join(lc.readRelease);
+        break;
+      }
+      case EventKind::RdLock:
+        joined |= c.join(lockClock_[event.obj].writeRelease);
+        break;
+      case EventKind::WaitResume: {
+        // The wait reacquires the mutex ...
+        LockClocks &lc = lockClock_[event.obj2];
+        joined |= c.join(lc.writeRelease);
+        joined |= c.join(lc.readRelease);
+        // ... and is ordered after the signal that woke it.
+        if (event.aux != kSpuriousWakeup) {
+            LFM_ASSERT(event.aux < i, "wakeup before its signal");
+            joined |= joinEvent(c, event.aux);
+        }
+        break;
+      }
+      case EventKind::SemWait:
+        if (event.aux != kSpuriousWakeup && event.aux < i)
+            joined |= joinEvent(c, event.aux);
+        break;
+      case EventKind::BarrierCross: {
+        // The executor emits all crossings of one generation as a
+        // consecutive run; join every participant's arrival clock.
+        // Looking ahead past i is sound even though later events have
+        // not been fed: a participant's ThreadState clock at this
+        // point already equals its arrival clock (its next event is
+        // its own crossing in this same run).
+        std::size_t lo = i;
+        while (lo > 0) {
+            const Event &p = events[lo - 1];
+            if (p.kind != EventKind::BarrierCross ||
+                p.obj != event.obj || p.aux != event.aux)
+                break;
+            --lo;
+        }
+        std::size_t hi = i;
+        while (hi + 1 < n) {
+            const Event &nx = events[hi + 1];
+            if (nx.kind != EventKind::BarrierCross ||
+                nx.obj != event.obj || nx.aux != event.aux)
+                break;
+            ++hi;
+        }
+        for (std::size_t k = lo; k <= hi; ++k) {
+            if (k == i)
+                continue;
+            joined |= c.join(stateFor(events[k].thread).c);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    // Only a join that actually advanced the clock needs a fresh pool
+    // snapshot; otherwise the previous base is still exact for every
+    // component but our own (which ev_[i].own carries).
+    if (joined) {
+        rel_.pool_.push_back(c);
+        ts.base = static_cast<std::uint32_t>(rel_.pool_.size() - 1);
+    }
+    rel_.ev_[i] = {event.thread, ts.base, c.get(event.thread)};
+
+    // Release-side bookkeeping happens after the event's clock is
+    // fixed so the edge carries everything up to and including it.
+    switch (event.kind) {
+      case EventKind::Unlock:
+        lockClock_[event.obj].writeRelease = c;
+        break;
+      case EventKind::RdUnlock:
+        lockClock_[event.obj].readRelease.join(c);
+        break;
+      case EventKind::WaitBegin:
+        // wait releases its mutex (obj2).
+        lockClock_[event.obj2].writeRelease = c;
+        break;
+      default:
+        break;
+    }
+}
+
+HbRelation
+HbBuilder::finish() &&
+{
+    LFM_ASSERT(fed_ == trace_.size(),
+               "finish() before every event was fed");
+    return std::move(rel_);
+}
+
+HbRelation::HbRelation(const Trace &trace)
+{
+    HbBuilder builder(trace);
+    for (const auto &event : trace.events())
+        builder.feed(event);
+    *this = std::move(builder).finish();
 }
 
 bool

@@ -23,12 +23,19 @@
  *  - spawn -> child's first event (ThreadBegin.aux = spawn seq);
  *  - child's last event -> join (Join.aux = child's ThreadEnd seq);
  *  - barrier: every arrival of a generation -> every departure.
+ *
+ * Construction comes in two forms: the one-shot HbRelation(trace)
+ * constructor, and an incremental HbBuilder that is fed the same
+ * events one at a time — that is what lets detect::AnalysisContext
+ * fuse HB construction into its own single indexing sweep instead of
+ * paying a second pass over the trace.
  */
 
 #ifndef LFM_TRACE_HB_HH
 #define LFM_TRACE_HB_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -43,7 +50,7 @@ namespace lfm::trace
 class HbRelation
 {
   public:
-    /** Build the relation for the given trace. */
+    /** Build the relation for the given trace (one internal pass). */
     explicit HbRelation(const Trace &trace);
 
     /** True iff event a happens-before event b (irreflexive). */
@@ -52,7 +59,40 @@ class HbRelation
     /** True iff neither a hb b nor b hb a. */
     bool concurrent(SeqNo a, SeqNo b) const;
 
+    // ------------------------------------------------------------
+    // Epoch accessors.
+    //
+    // Detectors that sweep sorted per-thread access lists can answer
+    // "which accesses of thread u are concurrent with event e?" as a
+    // contiguous range: own epochs are strictly increasing along a
+    // thread's events, and any fixed component of a thread's clock is
+    // nondecreasing, so both one-sided tests below are monotone and
+    // binary-searchable. These accessors expose exactly the two
+    // quantities those tests need.
+    // ------------------------------------------------------------
+
+    /** Thread of the event (as recorded in the relation). */
+    ThreadId threadOf(SeqNo seq) const { return ev_[seq].tid; }
+
+    /** The event's own-component epoch: happensBefore(seq, x) iff
+     * ownEpochOf(seq) <= clockComponent(x, threadOf(seq)). */
+    std::uint64_t ownEpochOf(SeqNo seq) const
+    {
+        return ev_[seq].own;
+    }
+
+    /** Component for `tid` of the event's vector clock. */
+    std::uint64_t clockComponent(SeqNo seq, ThreadId tid) const
+    {
+        const EventClock &e = ev_[seq];
+        return tid == e.tid ? e.own : pool_[e.base].get(tid);
+    }
+
   private:
+    friend class HbBuilder;
+
+    HbRelation() = default;
+
     /** Epoch of one event: thread + own component + shared base. */
     struct EventClock
     {
@@ -63,6 +103,50 @@ class HbRelation
 
     std::vector<EventClock> ev_;
     std::vector<VectorClock> pool_;
+};
+
+/**
+ * Incremental happens-before construction: feed(event) once per trace
+ * event, in sequence order, then finish(). The builder keeps a
+ * reference to the trace only for the barrier-generation lookahead
+ * (all crossings of one generation are emitted as a consecutive run,
+ * and every participant joins every other's arrival clock).
+ */
+class HbBuilder
+{
+  public:
+    explicit HbBuilder(const Trace &trace);
+    ~HbBuilder();
+
+    /** Process the next event; must be trace.ev(i) for i = number of
+     * events fed so far. */
+    void feed(const Event &event);
+
+    /** Consume the builder and return the finished relation. Valid
+     * once every trace event has been fed. */
+    HbRelation finish() &&;
+
+  private:
+    struct LockClocks
+    {
+        VectorClock writeRelease;  ///< last exclusive release
+        VectorClock readRelease;   ///< join of shared releases so far
+    };
+
+    struct ThreadState
+    {
+        VectorClock c;
+        std::uint32_t base = 0;  ///< pool index of last snapshot
+    };
+
+    ThreadState &stateFor(ThreadId tid);
+    bool joinEvent(VectorClock &c, SeqNo seq) const;
+
+    const Trace &trace_;
+    HbRelation rel_;
+    std::vector<ThreadState> threads_;
+    std::map<ObjectId, LockClocks> lockClock_;
+    std::size_t fed_ = 0;
 };
 
 } // namespace lfm::trace

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Equivalence suite for the fused detection pipeline: over a corpus
+ * of random programs and every registered kernel, the shared-context
+ * Pipeline must reproduce the per-detector analyze() output exactly;
+ * BatchRunner and DetectionStream must return the same reports at
+ * every worker count; and the epoch race pass must agree with the
+ * exhaustive pairwise enumeration on which pairs race.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "bugs/registry.hh"
+#include "detect/batch.hh"
+#include "detect/context.hh"
+#include "detect/pipeline.hh"
+#include "detect/race_hb.hh"
+#include "explore/parallel.hh"
+#include "explore/randprog.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+
+namespace
+{
+
+using namespace lfm;
+using trace::Trace;
+
+/** Randprog shape varied with the seed (mirrors the fuzz sweep). */
+explore::RandProgConfig
+configFor(std::uint64_t seed)
+{
+    explore::RandProgConfig config;
+    config.threads = 2 + static_cast<int>(seed % 3);
+    config.variables = 1 + static_cast<int>(seed % 4);
+    config.mutexes = 1 + static_cast<int>(seed % 2);
+    config.opsPerThread = 3 + static_cast<int>(seed % 7);
+    config.lockedFraction = (seed % 5) * 0.25;
+    config.writeFraction = 0.3 + (seed % 3) * 0.2;
+    config.consistentLocking = seed % 2 == 0;
+    return config;
+}
+
+/** Fuzz traces plus one trace per registered kernel (a benign run
+ * is fine — equivalence must hold on any trace). */
+std::vector<Trace>
+corpus()
+{
+    std::vector<Trace> traces;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        auto factory =
+            explore::randomProgramFactory(configFor(seed), seed);
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = seed * 31 + 7;
+        opt.maxDecisions = 5000;
+        traces.push_back(
+            sim::runProgram(factory, policy, opt).trace);
+    }
+    for (const auto *kernel : bugs::allKernels()) {
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = 1;
+        opt.maxDecisions = 20000;
+        traces.push_back(
+            sim::runProgram(kernel->factory(bugs::Variant::Buggy),
+                            policy, opt)
+                .trace);
+    }
+    return traces;
+}
+
+void
+expectSameFindings(const std::vector<detect::Finding> &a,
+                   const std::vector<detect::Finding> &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].detector, b[i].detector) << what << " #" << i;
+        EXPECT_EQ(a[i].category, b[i].category) << what << " #" << i;
+        EXPECT_EQ(a[i].primaryObj, b[i].primaryObj)
+            << what << " #" << i;
+        EXPECT_EQ(a[i].events, b[i].events) << what << " #" << i;
+        EXPECT_EQ(a[i].message, b[i].message) << what << " #" << i;
+    }
+}
+
+TEST(Pipeline, MatchesPerDetectorAnalyze)
+{
+    detect::Pipeline pipeline;
+    std::size_t index = 0;
+    for (const auto &trace : corpus()) {
+        const auto fused = pipeline.run(trace);
+        std::vector<detect::Finding> separate;
+        for (const auto &d : detect::allDetectors()) {
+            auto part = d->analyze(trace);
+            separate.insert(separate.end(),
+                            std::make_move_iterator(part.begin()),
+                            std::make_move_iterator(part.end()));
+        }
+        expectSameFindings(fused, separate,
+                           "trace " + std::to_string(index));
+        ++index;
+    }
+}
+
+TEST(Pipeline, RunOnContextMatchesRunOnTrace)
+{
+    detect::Pipeline pipeline;
+    for (const auto &trace : corpus()) {
+        detect::AnalysisContext eager(trace, true);
+        detect::AnalysisContext lazy(trace, false);
+        const auto fromTrace = pipeline.run(trace);
+        expectSameFindings(pipeline.run(eager), fromTrace, "eager");
+        expectSameFindings(pipeline.run(lazy), fromTrace, "lazy");
+    }
+}
+
+TEST(Pipeline, EpochPassAgreesWithPairwiseEnumeration)
+{
+    for (const auto &trace : corpus()) {
+        detect::HbRaceDetector firstOnly;
+        detect::HbRaceDetector full;
+        full.setFirstOnly(false);
+
+        // The epoch pass may pick different witness accesses, but
+        // it must report exactly one finding per racing
+        // {variable, thread pair} of the full enumeration.
+        auto pairsOf =
+            [&trace](const std::vector<detect::Finding> &findings) {
+                std::set<std::string> pairs;
+                for (const auto &f : findings) {
+                    auto key =
+                        std::minmax(trace.ev(f.events[0]).thread,
+                                    trace.ev(f.events[1]).thread);
+                    pairs.insert(std::to_string(f.primaryObj) + ":" +
+                                 std::to_string(key.first) + ":" +
+                                 std::to_string(key.second));
+                }
+                return pairs;
+            };
+        const auto epochFindings = firstOnly.analyze(trace);
+        const auto epochPairs = pairsOf(epochFindings);
+        EXPECT_EQ(epochPairs, pairsOf(full.analyze(trace)));
+        EXPECT_EQ(epochFindings.size(), epochPairs.size());
+        for (const auto &f : epochFindings) {
+            const auto &a = trace.ev(f.events[0]);
+            const auto &b = trace.ev(f.events[1]);
+            detect::AnalysisContext ctx(trace);
+            EXPECT_TRUE(ctx.hb().concurrent(a.seq, b.seq));
+            EXPECT_TRUE(a.isWrite() || b.isWrite());
+        }
+    }
+}
+
+TEST(Batch, ReportsAreWorkerCountInvariant)
+{
+    detect::Pipeline pipeline;
+    const auto traces = corpus();
+
+    const detect::BatchRunner one(1);
+    const auto reference = one.run(pipeline, traces);
+    ASSERT_EQ(reference.size(), traces.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].key, i);
+        expectSameFindings(reference[i].findings,
+                           pipeline.run(traces[i]),
+                           "batch trace " + std::to_string(i));
+    }
+
+    for (unsigned workers : {2u, 4u}) {
+        const auto reports =
+            detect::BatchRunner(workers).run(pipeline, traces);
+        ASSERT_EQ(reports.size(), reference.size()) << workers;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            EXPECT_EQ(reports[i].key, reference[i].key);
+            expectSameFindings(reports[i].findings,
+                               reference[i].findings,
+                               std::to_string(workers) + " workers, " +
+                                   "trace " + std::to_string(i));
+        }
+    }
+}
+
+TEST(Batch, StreamMatchesBatchUnderOutOfOrderSubmission)
+{
+    detect::Pipeline pipeline;
+    const auto traces = corpus();
+    const auto reference =
+        detect::BatchRunner(1).run(pipeline, traces);
+
+    for (unsigned workers : {1u, 3u}) {
+        detect::DetectionStream stream(pipeline, workers);
+        // Submit back to front: finish() must still return reports
+        // in key order, identical to the batch result.
+        for (std::size_t i = traces.size(); i-- > 0;)
+            stream.submit(i, traces[i]);
+        const auto reports = stream.finish();
+        ASSERT_EQ(reports.size(), reference.size()) << workers;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            EXPECT_EQ(reports[i].key, reference[i].key);
+            expectSameFindings(reports[i].findings,
+                               reference[i].findings,
+                               "stream " + std::to_string(workers) +
+                                   " workers, trace " +
+                                   std::to_string(i));
+        }
+    }
+}
+
+TEST(Batch, StressCampaignStreamsIntoDetection)
+{
+    // The intended end-to-end shape: a stress campaign feeds every
+    // execution's trace into a DetectionStream as it completes, and
+    // the merged report equals re-running detection per seed.
+    auto factory = explore::randomProgramFactory(configFor(3), 3);
+    detect::Pipeline pipeline;
+
+    explore::StressOptions opt;
+    opt.runs = 12;
+    opt.exec.maxDecisions = 5000;
+
+    detect::DetectionStream stream(pipeline, 2);
+    std::atomic<std::size_t> delivered{0};
+    opt.onExecution = [&](std::size_t index,
+                          const sim::Execution &exec) {
+        delivered.fetch_add(1);
+        stream.submit(index, exec.trace);
+    };
+    explore::ParallelRunner(2).stress(
+        factory, explore::makePolicy<sim::RandomPolicy>(), opt);
+    const auto reports = stream.finish();
+
+    EXPECT_EQ(delivered.load(), opt.runs);
+    ASSERT_EQ(reports.size(), opt.runs);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(reports[i].key, i);
+        sim::RandomPolicy policy;
+        sim::ExecOptions exec = opt.exec;
+        exec.seed = opt.firstSeed + i;
+        const auto rerun = sim::runProgram(factory, policy, exec);
+        expectSameFindings(reports[i].findings,
+                           pipeline.run(rerun.trace),
+                           "seed " + std::to_string(i));
+    }
+}
+
+} // namespace

@@ -65,8 +65,14 @@ main()
                   "region window trades missed violations against "
                   "false positives");
 
+    auto runReport = bench::makeRunReport("ablation_atomicity_window");
+    auto traceStage =
+        std::make_optional(runReport.stage("trace_generation"));
     auto buggyTraces = tracesFor(bugs::Variant::Buggy);
     auto fixedTraces = tracesFor(bugs::Variant::Fixed);
+    traceStage.reset();
+    auto sweepStage =
+        std::make_optional(runReport.stage("window_sweep"));
 
     // Index every trace once; the whole window sweep then runs the
     // detector against the shared contexts instead of re-deriving
@@ -91,11 +97,16 @@ main()
         detector.setWindow(window);
         std::size_t flaggedBuggy = 0;
         for (auto &ctx : buggyCtx) {
-            if (!detector.fromContext(ctx).empty())
+            const auto findings = detector.fromContext(ctx);
+            runReport.addTracesAnalyzed(1);
+            for (const auto &f : findings)
+                runReport.addFindings(f.detector, 1);
+            if (!findings.empty())
                 ++flaggedBuggy;
         }
         std::size_t flaggedFixed = 0;
         for (auto &ctx : fixedCtx) {
+            runReport.addTracesAnalyzed(1);
             if (!detector.fromContext(ctx).empty())
                 ++flaggedFixed;
         }
@@ -111,5 +122,9 @@ main()
     std::cout << "expected: a window regime that flags every "
                  "manifesting trace with zero false positives on the "
                  "fixed variants.\n";
+
+    sweepStage.reset();
+    runReport.note("sweet_spot_exists", sweetSpotExists);
+    bench::writeRunReport(runReport);
     return sweetSpotExists ? 0 : 1;
 }

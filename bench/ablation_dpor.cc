@@ -22,6 +22,10 @@ main()
                   "partial-order reduction explores equivalence "
                   "classes, not interleavings");
 
+    auto runReport = bench::makeRunReport("ablation_dpor");
+    auto campaignStage =
+        std::make_optional(runReport.stage("search_cost_sweep"));
+
     report::Table table("Systematic search cost per kernel");
     table.setColumns({"kernel", "dfs to 1st bug", "dpor to 1st bug",
                       "dfs exhaust", "dpor exhaust"});
@@ -89,5 +93,9 @@ main()
     std::cout << table.ascii() << "\n";
     std::cout << "expected: DPOR exhausts in a fraction of DFS's "
                  "executions and never misses a bug DFS finds.\n";
+
+    campaignStage.reset();
+    runReport.note("dpor_never_worse", dporNeverWorse);
+    bench::writeRunReport(runReport);
     return dporNeverWorse ? 0 : 1;
 }

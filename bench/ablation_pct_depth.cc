@@ -21,6 +21,10 @@ main()
                   "bugs of depth k need only k-1 change points; "
                   "higher budgets add nothing");
 
+    auto runReport = bench::makeRunReport("ablation_pct_depth");
+    auto campaignStage =
+        std::make_optional(runReport.stage("depth_sweep"));
+
     report::Table table("Mean manifestation rate by PCT depth");
     table.setColumns({"pct depth", "mean rate", "kernels hit"});
 
@@ -49,5 +53,9 @@ main()
     std::cout << table.ascii() << "\n";
     std::cout << "expected: rates saturate by depth ~3 (the kernels' "
                  "certificates need <=4 ordered ops).\n";
+
+    campaignStage.reset();
+    runReport.note("best_shallow_rate", bestShallow);
+    bench::writeRunReport(runReport);
     return bestShallow > 0.0 ? 0 : 1;
 }

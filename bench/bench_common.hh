@@ -9,6 +9,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,12 +19,16 @@
 #include "explore/parallel.hh"
 #include "explore/runner.hh"
 #include "report/compare.hh"
+#include "report/run_report.hh"
 #include "report/table.hh"
 #include "sim/policy.hh"
 #include "study/analysis.hh"
 #include "study/database.hh"
 #include "study/findings.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/spans.hh"
 
 namespace lfm::bench
 {
@@ -70,144 +75,43 @@ stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
         explore::makePolicy<sim::RandomPolicy>(), opt);
 }
 
-/**
- * Minimal JSON value for machine-readable bench output — just
- * enough for flat metric documents (objects, arrays, numbers,
- * strings, booleans), with stable key order.
- */
-class Json
-{
-  public:
-    Json() : kind_(Kind::Object) {}
-    Json(double v) : kind_(Kind::Number), num_(v) {}
-    Json(int v) : Json(static_cast<double>(v)) {}
-    Json(unsigned v) : Json(static_cast<double>(v)) {}
-    Json(std::size_t v) : Json(static_cast<double>(v)) {}
-    Json(bool v) : kind_(Kind::Bool), flag_(v) {}
-    Json(const char *v) : kind_(Kind::String), str_(v) {}
-    Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}
-
-    static Json array()
-    {
-        Json j;
-        j.kind_ = Kind::Array;
-        return j;
-    }
-
-    Json &set(const std::string &key, Json value)
-    {
-        for (auto &kv : members_) {
-            if (kv.first == key) {
-                kv.second = std::move(value);
-                return *this;
-            }
-        }
-        members_.emplace_back(key, std::move(value));
-        return *this;
-    }
-
-    Json &push(Json value)
-    {
-        items_.push_back(std::move(value));
-        return *this;
-    }
-
-    void dump(std::ostream &os, int indent = 0) const
-    {
-        const std::string pad(static_cast<std::size_t>(indent), ' ');
-        const std::string inner(static_cast<std::size_t>(indent) + 2,
-                                ' ');
-        switch (kind_) {
-        case Kind::Number: {
-            // Integral values print without a trailing ".0".
-            const auto asInt = static_cast<long long>(num_);
-            if (static_cast<double>(asInt) == num_)
-                os << asInt;
-            else
-                os << num_;
-            break;
-        }
-        case Kind::Bool:
-            os << (flag_ ? "true" : "false");
-            break;
-        case Kind::String:
-            escape(os, str_);
-            break;
-        case Kind::Object:
-            os << "{";
-            for (std::size_t i = 0; i < members_.size(); ++i) {
-                os << (i ? ",\n" : "\n") << inner;
-                escape(os, members_[i].first);
-                os << ": ";
-                members_[i].second.dump(os, indent + 2);
-            }
-            os << (members_.empty() ? "" : "\n" + pad) << "}";
-            break;
-        case Kind::Array:
-            os << "[";
-            for (std::size_t i = 0; i < items_.size(); ++i) {
-                os << (i ? ",\n" : "\n") << inner;
-                items_[i].dump(os, indent + 2);
-            }
-            os << (items_.empty() ? "" : "\n" + pad) << "]";
-            break;
-        }
-    }
-
-  private:
-    enum class Kind
-    {
-        Number,
-        Bool,
-        String,
-        Object,
-        Array
-    };
-
-    static void escape(std::ostream &os, const std::string &s)
-    {
-        os << '"';
-        for (char c : s) {
-            switch (c) {
-            case '"':
-                os << "\\\"";
-                break;
-            case '\\':
-                os << "\\\\";
-                break;
-            case '\n':
-                os << "\\n";
-                break;
-            case '\t':
-                os << "\\t";
-                break;
-            default:
-                os << c;
-            }
-        }
-        os << '"';
-    }
-
-    Kind kind_;
-    double num_ = 0.0;
-    bool flag_ = false;
-    std::string str_;
-    std::vector<std::pair<std::string, Json>> members_;
-    std::vector<Json> items_;
-};
+/** Bench JSON documents use the library JSON value (promoted from
+ * this header to src/support/json.hh so run reports share it). */
+using Json = support::Json;
 
 /** Write a bench's metrics document and tell the user where. */
 inline void
 writeBenchJson(const std::string &path, const Json &doc)
 {
-    std::ofstream out(path);
-    if (!out) {
+    if (!support::writeJsonFile(path, doc)) {
         std::cout << "[!!] could not write " << path << "\n";
         return;
     }
-    doc.dump(out);
-    out << "\n";
     std::cout << "machine-readable results: " << path << "\n";
+}
+
+/**
+ * Start a campaign run report: enables the metrics layer and zeroes
+ * the registry so the report's snapshot covers exactly this bench.
+ */
+inline report::RunReport
+makeRunReport(const std::string &benchName)
+{
+    support::metrics::setEnabled(true);
+    support::metrics::Registry::instance().reset();
+    return report::RunReport(benchName);
+}
+
+/** Write the campaign's run report next to its BENCH_*.json. */
+inline void
+writeRunReport(const report::RunReport &runReport)
+{
+    const std::string path =
+        report::runReportPath(runReport.campaign());
+    if (runReport.writeTo(path))
+        std::cout << "run report: " << path << "\n";
+    else
+        std::cout << "[!!] could not write " << path << "\n";
 }
 
 } // namespace lfm::bench

@@ -22,6 +22,10 @@ main()
                   "flipping observed conflicting-access orders "
                   "exposes the bugs in a bounded campaign");
 
+    auto runReport = bench::makeRunReport("fig_active_testing");
+    auto campaignStage =
+        std::make_optional(runReport.stage("active_campaign"));
+
     report::Table table("Active testing campaign per kernel");
     table.setColumns({"kernel", "candidates", "exposing flips",
                       "active runs", "stress runs to 1st hit"});
@@ -75,5 +79,9 @@ main()
               << "mean stress executions to first hit:              "
               << report::Table::cell(stressRuns.mean(), 1) << "\n";
 
+    campaignStage.reset();
+    runReport.note("kernels_exposed", exposed);
+    runReport.note("kernels_applicable", applicable);
+    bench::writeRunReport(runReport);
     return exposed == applicable ? 0 : 1;
 }

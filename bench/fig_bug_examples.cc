@@ -72,6 +72,10 @@ main()
                   "each documented example bug manifests, is "
                   "detected, and its real fix verifies");
 
+    auto runReport = bench::makeRunReport("fig_bug_examples");
+    auto campaignStage =
+        std::make_optional(runReport.stage("examples"));
+
     bool allGood = true;
     detect::Pipeline pipeline;
     for (const auto *kernel : bugs::allKernels()) {
@@ -93,6 +97,9 @@ main()
 
         std::string flagged;
         const auto findings = pipeline.run(exec->trace);
+        runReport.addTracesAnalyzed(1);
+        for (const auto &f : findings)
+            runReport.addFindings(f.detector, 1);
         for (const auto &d : pipeline.detectors()) {
             if (!detect::findingsFrom(findings, d->name()).empty())
                 flagged += std::string(d->name()) + " ";
@@ -110,5 +117,9 @@ main()
                   << fixedStress.runs << " failures after fix\n\n";
         allGood &= fixedStress.manifestations == 0;
     }
+
+    campaignStage.reset();
+    runReport.note("all_examples_verified", allGood);
+    bench::writeRunReport(runReport);
     return allGood ? 0 : 1;
 }

@@ -67,6 +67,13 @@ main()
 
     constexpr std::size_t kRuns = 120;
 
+    auto runReport =
+        bench::makeRunReport("fig_interleaving_coverage");
+    runReport.note("runs_per_strategy", kRuns);
+    runReport.setSeeds(0, kRuns);
+    auto campaignStage =
+        std::make_optional(runReport.stage("strategy_sweep"));
+
     report::Table table("Manifestation rate per scheduling strategy");
     table.setColumns({"kernel", "round-robin", "random", "pct(d=3)",
                       "pbound(2)", "enforced"});
@@ -126,5 +133,9 @@ main()
         rnd.mean() >= rr.mean();
     std::cout << (shapeHolds ? "[OK] shape holds\n"
                              : "[!!] shape violated\n");
+
+    campaignStage.reset();
+    runReport.note("shape_holds", shapeHolds);
+    bench::writeRunReport(runReport);
     return shapeHolds ? 0 : 1;
 }

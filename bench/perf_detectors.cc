@@ -16,8 +16,15 @@
  *
  * A fourth section shards a trace corpus over detect::BatchRunner at
  * growing worker counts and checks the merged report is identical at
- * every count. Results go to stdout and to BENCH_detect.json; the
- * exit code reflects equivalence only, never timing.
+ * every count.
+ *
+ * The bench also guards the observability layer: findings must be
+ * identical with metrics/span tracing enabled and disabled, and the
+ * disabled instrumented entry point (Pipeline::run(trace)) must cost
+ * within 2% of the uninstrumented core (context build + run(ctx)).
+ * Results go to stdout, BENCH_detect.json, and RUN_perf_detectors.json
+ * (the campaign run report); the exit code reflects equivalence and
+ * the off-overhead gate, never absolute timing.
  */
 
 #include "bench_common.hh"
@@ -499,6 +506,65 @@ main(int argc, char **argv)
               << ", atomicity==legacy "
               << (atomicityMatches ? "ok" : "FAIL") << "\n\n";
 
+    // --- Observability gate 1: identical findings with the
+    //     instrumentation layer on and off.
+    support::metrics::setEnabled(false);
+    support::spans::setEnabled(false);
+    std::vector<std::vector<detect::Finding>> offFindings;
+    for (const auto &[name, trace] : mix)
+        offFindings.push_back(pipeline.run(trace));
+    support::metrics::setEnabled(true);
+    support::spans::setEnabled(true);
+    bool instrEquivalent = true;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        instrEquivalent &= sameFindings(pipeline.run(mix[i].second),
+                                        offFindings[i]);
+    }
+    support::metrics::setEnabled(false);
+    support::spans::setEnabled(false);
+    support::spans::Tracer::instance().clear();
+    support::metrics::Registry::instance().reset();
+
+    // --- Observability gate 2: with instrumentation off, the
+    //     observed entry point must track the uninstrumented core
+    //     within noise. Interleaved best-of-N keeps thermal drift
+    //     from biasing either side; the absolute epsilon keeps the
+    //     smoke-sized battery (sub-ms) from tripping on scheduler
+    //     jitter.
+    const int overheadReps = smoke ? 7 : 5;
+    double coreSecs = -1.0, offSecs = -1.0;
+    for (int rep = 0; rep < overheadReps; ++rep) {
+        const double core = secondsOf(
+            [&] {
+                for (const auto &[name, trace] : mix) {
+                    detect::AnalysisContext ctx(trace,
+                                                pipeline.wantsHb());
+                    pipeline.run(ctx);
+                }
+            },
+            1);
+        const double off = secondsOf(
+            [&] {
+                for (const auto &[name, trace] : mix)
+                    pipeline.run(trace);
+            },
+            1);
+        if (coreSecs < 0.0 || core < coreSecs)
+            coreSecs = core;
+        if (offSecs < 0.0 || off < offSecs)
+            offSecs = off;
+    }
+    const double offOverheadPct =
+        coreSecs > 0.0 ? (offSecs - coreSecs) / coreSecs * 100.0
+                       : 0.0;
+    const bool offOverheadOk =
+        offSecs <= coreSecs * 1.02 + 0.002;
+    std::cout << "instrumentation: on/off findings identical "
+              << (instrEquivalent ? "ok" : "FAIL")
+              << ", off-overhead " << offOverheadPct << "% "
+              << (offOverheadOk ? "(within noise)" : "(FAIL: >2%)")
+              << "\n\n";
+
     // --- Fused vs separate over the whole mix, best-of-N.
     const double legacySecs = secondsOf(
         [&] {
@@ -565,12 +631,15 @@ main(int argc, char **argv)
     bench::Json scaleJson = bench::Json::array();
     bool batchInvariant = true;
     std::vector<detect::TraceReport> reference;
+    support::WorkStealingPool::Stats poolStats;
     double base = 0.0;
     for (unsigned w : workerCounts) {
         detect::BatchRunner runner(w);
         std::vector<detect::TraceReport> reports;
         const double secs = secondsOf(
             [&] { reports = runner.run(pipeline, corpus); }, reps);
+        if (w == workerCounts.back())
+            poolStats = runner.lastPoolStats();
         if (w == workerCounts.front())
             reference = reports;
         else {
@@ -603,6 +672,10 @@ main(int argc, char **argv)
     std::cout << scale.ascii() << "\n";
     std::cout << "batch reports worker-count invariant: "
               << (batchInvariant ? "yes" : "NO") << "\n";
+    std::cout << "pool @" << workerCounts.back()
+              << " workers: " << poolStats.executed
+              << " tasks, " << poolStats.stolen << " stolen, "
+              << poolStats.parks << " parks\n";
     if (hw == 1) {
         std::cout << "note: single-core host — batch scaling is "
                      "bounded at ~1x here.\n";
@@ -635,9 +708,43 @@ main(int argc, char **argv)
         .set("race_pairs_epoch_equals_pairwise", racePairsMatch)
         .set("predictive_equals_legacy", predictiveMatches)
         .set("atomicity_equals_legacy", atomicityMatches)
-        .set("batch_worker_invariant", batchInvariant);
+        .set("batch_worker_invariant", batchInvariant)
+        .set("instrumentation_on_off_identical", instrEquivalent);
     doc.set("equivalence", std::move(equiv));
+    bench::Json instr;
+    instr.set("core_ms", coreSecs * 1e3)
+        .set("instrumented_off_ms", offSecs * 1e3)
+        .set("off_overhead_pct", offOverheadPct)
+        .set("within_noise_2pct", offOverheadOk);
+    doc.set("instrumentation_overhead", std::move(instr));
     bench::writeBenchJson("BENCH_detect.json", doc);
+
+    // --- Campaign run report: one instrumented batch pass with the
+    //     full observability layer on, written next to the bench
+    //     metrics (plus a Perfetto-compatible span trace in the full
+    //     run).
+    auto runReport = bench::makeRunReport("perf_detectors");
+    if (!smoke)
+        support::spans::setEnabled(true);
+    {
+        auto stage = runReport.stage("batch_campaign");
+        detect::BatchRunner runner(hw);
+        const auto reports = runner.run(pipeline, corpus);
+        report::recordTraceReports(runReport, reports);
+        runReport.recordPoolStats(runner.lastPoolStats());
+    }
+    support::metrics::setEnabled(false);
+    runReport.note("workers", hw);
+    runReport.note("corpus_traces", corpus.size());
+    runReport.note("smoke", smoke);
+    bench::writeRunReport(runReport);
+    if (!smoke) {
+        support::spans::setEnabled(false);
+        if (support::spans::Tracer::instance().writeTo(
+                "TRACE_detect.json"))
+            std::cout << "span trace (chrome://tracing): "
+                         "TRACE_detect.json\n";
+    }
 
     std::cout << (speedupVsLegacy >= 3.0
                       ? "[OK] fused pass >= 3x the separate "
@@ -645,5 +752,8 @@ main(int argc, char **argv)
                       : "[..] fused speedup below 3x on this host "
                         "(timing is advisory)\n");
 
-    return equivalent && batchInvariant ? 0 : 1;
+    return equivalent && batchInvariant && instrEquivalent &&
+                   offOverheadOk
+               ? 0
+               : 1;
 }

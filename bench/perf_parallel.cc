@@ -115,12 +115,20 @@ main()
     const unsigned hw = std::max(
         1u, std::thread::hardware_concurrency());
 
+    auto runReport = bench::makeRunReport("perf_parallel");
+    runReport.note("hardware_concurrency", hw);
+    runReport.note("runs_per_campaign", kRuns);
+    runReport.setSeeds(0, kRuns);
+
     // Warm-up (first campaign pays thread-pool and allocator costs).
     measure(1, 50, false, false);
 
+    auto executorStage =
+        std::make_optional(runReport.stage("executor_hot_path"));
     const CampaignRate legacy = measure(1, kRuns, true, false);
     const CampaignRate fast = measure(1, kRuns, false, false);
     const CampaignRate countOnly = measure(1, kRuns, false, true);
+    executorStage.reset();
 
     report::Table exe("Executor hot path (1 worker, 4 threads x 8 "
                       "locked increments)");
@@ -149,6 +157,8 @@ main()
               << "count-only vs traced: " << countOnlySpeedup
               << "x runs/sec\n\n";
 
+    auto scalingStage =
+        std::make_optional(runReport.stage("stress_scaling"));
     report::Table scale("Stress campaign scaling (count-only)");
     scale.setColumns({"workers", "runs/sec", "speedup vs 1"});
     bench::Json workersJson = bench::Json::array();
@@ -171,6 +181,7 @@ main()
             .set("speedup_vs_1_worker", speedup);
         workersJson.push(std::move(row));
     }
+    scalingStage.reset();
     std::cout << scale.ascii() << "\n";
     if (hw == 1) {
         std::cout << "note: single-core host — worker scaling is "
@@ -193,6 +204,7 @@ main()
     doc.set("executor", std::move(executor));
     doc.set("stress_scaling", std::move(workersJson));
     bench::writeBenchJson("BENCH_perf.json", doc);
+    bench::writeRunReport(runReport);
 
     // Sanity, not a perf assertion: both hot-path variants must
     // still complete the campaign.

@@ -74,6 +74,10 @@ main()
                   "every detector family covers a slice of the "
                   "taxonomy; none covers it all");
 
+    auto runReport = bench::makeRunReport("table10_detector_matrix");
+    auto campaignStage =
+        std::make_optional(runReport.stage("matrix_campaign"));
+
     // One fused pipeline pass per trace: every detector family reads
     // the same shared AnalysisContext instead of re-indexing the
     // trace (and rebuilding happens-before) once per family.
@@ -99,6 +103,9 @@ main()
 
         if (auto exec = manifesting(*kernel)) {
             const auto findings = pipeline.run(exec->trace);
+            runReport.addTracesAnalyzed(1);
+            for (const auto &f : findings)
+                runReport.addFindings(f.detector, 1);
             for (const auto &name : detectorNames) {
                 if (!detect::findingsFrom(findings, name).empty())
                     ++row.tp[name];
@@ -111,6 +118,7 @@ main()
                             random);
         if (!fixedExec.failed()) {
             const auto findings = pipeline.run(fixedExec.trace);
+            runReport.addTracesAnalyzed(1);
             for (const auto &name : detectorNames) {
                 if (!detect::findingsFrom(findings, name).empty())
                     ++row.fp[name];
@@ -172,5 +180,9 @@ main()
     claims &= other.tp["order"] == 0 && other.tp["lock-order"] == 0;
     std::cout << (claims ? "[OK] the study's coverage claims hold\n"
                          : "[!!] coverage claims violated\n");
+
+    campaignStage.reset();
+    runReport.note("coverage_claims_hold", claims);
+    bench::writeRunReport(runReport);
     return claims ? 0 : 1;
 }

@@ -39,6 +39,10 @@ main()
                   "105 real-world concurrency bugs from four large "
                   "open-source applications");
 
+    auto runReport = bench::makeRunReport("table1_applications");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -73,5 +77,9 @@ main()
     totals.computedNumer = analysis.totalNonDeadlock();
     totals.computedDenom = analysis.totalBugs();
     std::cout << report::renderFindings({totals});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", totals.matches());
+    bench::writeRunReport(runReport);
     return totals.matches() ? 0 : 1;
 }

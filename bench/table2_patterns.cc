@@ -55,6 +55,10 @@ main()
                   "97% of the examined non-deadlock bugs are "
                   "atomicity or order violations");
 
+    auto runReport = bench::makeRunReport("table2_patterns");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -105,6 +109,9 @@ main()
             info.patterns.count(study::Pattern::Other) > 0;
         if (exec) {
             const auto findings = pipeline.run(exec->trace);
+            runReport.addTracesAnalyzed(1);
+            for (const auto &f : findings)
+                runReport.addFindings(f.detector, 1);
             for (const char *name :
                  {"atomicity", "multivar", "order", "hb-race"}) {
                 if (!detect::findingsFrom(findings, name).empty())
@@ -127,5 +134,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F1-patterns");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && covered == patternKernels ? 0 : 1;
 }

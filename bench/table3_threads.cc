@@ -25,6 +25,10 @@ main()
                   "96% of the examined bugs manifest with at most "
                   "two threads");
 
+    auto runReport = bench::makeRunReport("table3_threads");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -63,5 +67,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F2-threads");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() ? 0 : 1;
 }

@@ -30,6 +30,10 @@ main()
                   "the remaining third defeats single-variable "
                   "detectors");
 
+    auto runReport = bench::makeRunReport("table4_variables");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -74,7 +78,11 @@ main()
             d.setMinSupport(1); // kernels are single-iteration
             pairs = d.inferCorrelations(exec->trace).size();
             detect::AnalysisContext ctx(exec->trace);
-            flagged = !d.fromContext(ctx).empty();
+            const auto findings = d.fromContext(ctx);
+            flagged = !findings.empty();
+            runReport.addTracesAnalyzed(1);
+            for (const auto &f : findings)
+                runReport.addFindings(f.detector, 1);
         }
         // Order-pattern multi-var kernels (relay chains) are not the
         // detector's target shape; require flags on atomicity ones.
@@ -89,5 +97,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F3-variables");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && allFlagged ? 0 : 1;
 }

@@ -25,6 +25,10 @@ main()
                   "92% of the bugs manifest deterministically once "
                   "at most 4 operations are ordered");
 
+    auto runReport = bench::makeRunReport("table5_accesses");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -69,5 +73,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F4-accesses");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && certHolds == withCert ? 0 : 1;
 }

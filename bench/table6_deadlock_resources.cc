@@ -42,6 +42,10 @@ main()
                   "97% of the examined deadlock bugs involve at most "
                   "two resources");
 
+    auto runReport = bench::makeRunReport("table6_deadlock_resources");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -67,6 +71,7 @@ main()
         auto exec = deadlocking(*kernel);
         std::string observed = "-";
         if (exec) {
+            runReport.addTracesAnalyzed(1);
             detect::LockOrderGraph graph(exec->trace);
             std::size_t best = 0;
             for (const auto &cycle : graph.cycles())
@@ -96,5 +101,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F5-resources");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && allConsistent ? 0 : 1;
 }

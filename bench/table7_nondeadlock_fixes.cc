@@ -22,6 +22,10 @@ main()
                   "only 20 of 74 fixes add or change locks; COND/"
                   "Switch/Design fix the majority");
 
+    auto runReport = bench::makeRunReport("table7_nondeadlock_fixes");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -69,5 +73,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F6-lock-fix");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && allClean ? 0 : 1;
 }

@@ -23,6 +23,10 @@ main()
                   "19 of 31 deadlocks fixed by giving up a resource "
                   "acquisition");
 
+    auto runReport = bench::makeRunReport("table8_deadlock_fixes");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -80,5 +84,9 @@ main()
     std::cout << "paper-vs-reproduced:\n";
     auto finding = bench::findingById(analysis, "F7-giveup-fix");
     std::cout << report::renderFindings({finding});
+
+    campaignStage.reset();
+    runReport.note("finding_matches", finding.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && allClean ? 0 : 1;
 }

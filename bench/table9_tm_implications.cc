@@ -23,6 +23,10 @@ main()
                   "bugs; caveats for I/O, free(), and condition "
                   "synchronization");
 
+    auto runReport = bench::makeRunReport("table9_tm_implications");
+    auto campaignStage =
+        std::make_optional(runReport.stage("campaign"));
+
     const auto &db = study::database();
     study::Analysis analysis(db);
 
@@ -70,5 +74,10 @@ main()
     auto finding = bench::findingById(analysis, "F9-tm");
     auto patches = bench::findingById(analysis, "F8-buggy-patches");
     std::cout << report::renderFindings({finding, patches});
+
+    campaignStage.reset();
+    runReport.note("finding_matches",
+                   finding.matches() && patches.matches());
+    bench::writeRunReport(runReport);
     return finding.matches() && patches.matches() && allClean ? 0 : 1;
 }

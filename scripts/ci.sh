@@ -19,12 +19,15 @@ ctest --test-dir build --output-on-failure
 echo "== bench smoke (equivalence-only perf benches) =="
 ctest --test-dir build -L bench-smoke --output-on-failure
 
-echo "== TSan build (sim + explore + parallel tests) =="
+echo "== TSan build (sim + explore + parallel + pool/stream tests) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_TSAN=ON
-cmake --build build-tsan -j "$JOBS" --target test_sim test_parallel
+cmake --build build-tsan -j "$JOBS" \
+    --target test_sim test_parallel test_support test_pipeline
 
-echo "== TSan: executor + parallel engine =="
+echo "== TSan: executor + parallel engine + pool + detection =="
 ./build-tsan/tests/test_sim
 ./build-tsan/tests/test_parallel
+./build-tsan/tests/test_support
+./build-tsan/tests/test_pipeline
 
 echo "CI OK"

@@ -7,7 +7,8 @@
 #include <thread>
 #include <utility>
 
-#include "support/workpool.hh"
+#include "support/metrics.hh"
+#include "support/spans.hh"
 
 namespace lfm::detect
 {
@@ -25,6 +26,10 @@ BatchRunner::run(const Pipeline &pipeline,
     if (corpus.empty())
         return reports;
 
+    support::spans::Scope span("detect.batch", "detect");
+    support::metrics::counter("detect.batch.traces")
+        .add(corpus.size());
+
     // One task per trace, writing a dedicated slot: the merged result
     // is corpus-ordered no matter which worker ran which trace. Tasks
     // are dealt round-robin so every deque starts non-empty; stealing
@@ -38,6 +43,7 @@ BatchRunner::run(const Pipeline &pipeline,
                   });
     }
     pool.run();
+    poolStats_ = pool.lastRunStats();
     return reports;
 }
 
@@ -52,6 +58,7 @@ struct DetectionStream::Impl
 
     std::mutex resultM;
     std::vector<TraceReport> reports;
+    bool harvested = false;
 
     std::vector<std::thread> team;
 
@@ -78,6 +85,7 @@ struct DetectionStream::Impl
             TraceReport report;
             report.key = item.first;
             report.findings = pipeline.run(item.second);
+            support::metrics::counter("detect.stream.analyzed").add();
             std::lock_guard<std::mutex> guard(resultM);
             reports.push_back(std::move(report));
         }
@@ -107,24 +115,42 @@ DetectionStream::DetectionStream(const Pipeline &pipeline,
 
 DetectionStream::~DetectionStream()
 {
-    if (impl_)
-        impl_->close();
+    if (!impl_)
+        return;
+    impl_->close();
+    // Destroyed without finish(): everything submitted was still
+    // analyzed (close() drains the queue), but the reports have no
+    // reader. Surface the loss instead of dropping it silently.
+    std::lock_guard<std::mutex> guard(impl_->resultM);
+    if (!impl_->harvested && !impl_->reports.empty()) {
+        support::metrics::counter("detect.stream.unharvested")
+            .add(impl_->reports.size());
+    }
 }
 
-void
+bool
 DetectionStream::submit(std::uint64_t key, Trace trace)
 {
     {
         std::lock_guard<std::mutex> guard(impl_->m);
+        if (impl_->closed) {
+            support::metrics::counter("detect.stream.rejected").add();
+            return false;
+        }
         impl_->queue.emplace_back(key, std::move(trace));
     }
+    support::metrics::counter("detect.stream.submitted").add();
     impl_->cv.notify_one();
+    return true;
 }
 
 std::vector<TraceReport>
 DetectionStream::finish()
 {
+    support::spans::Scope span("detect.stream.finish", "detect");
     impl_->close();
+    std::lock_guard<std::mutex> guard(impl_->resultM);
+    impl_->harvested = true;
     // Key order makes the report list independent of which detection
     // worker finished first (stable: duplicate keys keep arrival
     // order, which is only deterministic for unique keys).

@@ -16,6 +16,13 @@
  * deterministic producer set (a stress campaign without stopAtFirst
  * delivers every seed exactly once) the result is worker-count
  * invariant on both the producing and the detecting side.
+ *
+ * Lifecycle edges are explicit: finish() is idempotent (the second
+ * call returns no reports), submit() after finish() is rejected
+ * (returns false, counted in detect.stream.rejected), and a stream
+ * destroyed without finish() still analyzes everything queued but
+ * counts the discarded reports in detect.stream.unharvested — no
+ * trace is ever dropped silently.
  */
 
 #ifndef LFM_DETECT_BATCH_HH
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "detect/pipeline.hh"
+#include "support/workpool.hh"
 
 namespace lfm::detect
 {
@@ -52,8 +60,15 @@ class BatchRunner
     run(const Pipeline &pipeline,
         const std::vector<Trace> &corpus) const;
 
+    /** Steal/idle statistics of the most recent run(). */
+    const support::WorkStealingPool::Stats &lastPoolStats() const
+    {
+        return poolStats_;
+    }
+
   private:
     unsigned workers_;
+    mutable support::WorkStealingPool::Stats poolStats_;
 };
 
 /** Streaming detection; see the file comment. */
@@ -68,7 +83,8 @@ class DetectionStream
     explicit DetectionStream(const Pipeline &pipeline,
                              unsigned workers = 0);
 
-    /** Drains and joins if finish() was not called. */
+    /** Drains and joins if finish() was not called; reports still
+     * queued are analyzed but discarded (counted, see above). */
     ~DetectionStream();
 
     DetectionStream(const DetectionStream &) = delete;
@@ -79,11 +95,17 @@ class DetectionStream
      * concurrently from producer threads. Keys tag the reports and
      * order finish()'s result; callers wanting a deterministic
      * report list must use unique keys (e.g. the stress seed index).
+     *
+     * @return true when queued; false (trace dropped, counted in
+     *         detect.stream.rejected) once finish() has begun.
      */
-    void submit(std::uint64_t key, Trace trace);
+    bool submit(std::uint64_t key, Trace trace);
 
-    /** Close the queue, join the workers, and return all reports
-     * sorted by key (stable for duplicate keys). */
+    /**
+     * Close the queue, join the workers, and return all reports
+     * sorted by key (stable for duplicate keys). Idempotent: a
+     * second call returns an empty list.
+     */
     std::vector<TraceReport> finish();
 
   private:

@@ -3,14 +3,35 @@
 #include <iterator>
 #include <utility>
 
+#include "support/spans.hh"
+
 namespace lfm::detect
 {
 
-Pipeline::Pipeline() : detectors_(allDetectors()) {}
+Pipeline::Pipeline() : detectors_(allDetectors())
+{
+    initInstrumentation();
+}
 
 Pipeline::Pipeline(std::vector<std::unique_ptr<Detector>> detectors)
     : detectors_(std::move(detectors))
 {
+    initInstrumentation();
+}
+
+void
+Pipeline::initInstrumentation()
+{
+    namespace metrics = support::metrics;
+    tracesCounter_ = &metrics::counter("detect.pipeline.traces");
+    indexTimer_ = &metrics::timer("detect.pipeline.index");
+    instr_.reserve(detectors_.size());
+    for (const auto &d : detectors_) {
+        const std::string name = d->name();
+        instr_.push_back(
+            {&metrics::timer("detect.time." + name),
+             &metrics::counter("detect.findings." + name)});
+    }
 }
 
 bool
@@ -26,8 +47,38 @@ Pipeline::wantsHb() const
 std::vector<Finding>
 Pipeline::run(const Trace &trace) const
 {
-    AnalysisContext ctx(trace, wantsHb());
-    return run(ctx);
+    if (!support::metrics::enabled() && !support::spans::enabled()) {
+        AnalysisContext ctx(trace, wantsHb());
+        return run(ctx);
+    }
+    return runInstrumented(trace);
+}
+
+std::vector<Finding>
+Pipeline::runInstrumented(const Trace &trace) const
+{
+    support::spans::Scope span("pipeline.run", "detect");
+    tracesCounter_->add();
+
+    std::unique_ptr<AnalysisContext> ctx;
+    {
+        auto timing = indexTimer_->time();
+        ctx = std::make_unique<AnalysisContext>(trace, wantsHb());
+    }
+
+    std::vector<Finding> findings;
+    for (std::size_t i = 0; i < detectors_.size(); ++i) {
+        std::vector<Finding> block;
+        {
+            auto timing = instr_[i].timer->time();
+            block = detectors_[i]->fromContext(*ctx);
+        }
+        instr_[i].findings->add(block.size());
+        findings.insert(findings.end(),
+                        std::make_move_iterator(block.begin()),
+                        std::make_move_iterator(block.end()));
+    }
+    return findings;
 }
 
 std::vector<Finding>

@@ -20,6 +20,7 @@
 
 #include "detect/context.hh"
 #include "detect/detector.hh"
+#include "support/metrics.hh"
 
 namespace lfm::detect
 {
@@ -35,11 +36,19 @@ class Pipeline
     explicit Pipeline(
         std::vector<std::unique_ptr<Detector>> detectors);
 
-    /** Index the trace once (HB fused in when any detector wants
-     * it), then run every detector over the shared context. */
+    /**
+     * Index the trace once (HB fused in when any detector wants
+     * it), then run every detector over the shared context. This is
+     * the observed entry point: with metrics/span tracing enabled it
+     * counts the trace, times indexing and each detector, and tallies
+     * findings per detector (handles are resolved at construction, so
+     * the hot path never touches the registry); with both layers off
+     * it is exactly the uninstrumented context-build + run(ctx).
+     */
     std::vector<Finding> run(const Trace &trace) const;
 
-    /** Run every detector over an existing shared context. */
+    /** Run every detector over an existing shared context (the
+     * uninstrumented core; findings identical to run(trace)). */
     std::vector<Finding> run(const AnalysisContext &ctx) const;
 
     /** True when any registered detector queries hb(). */
@@ -51,7 +60,20 @@ class Pipeline
     }
 
   private:
+    /** Per-detector observability handles (stable registry refs). */
+    struct DetectorInstr
+    {
+        support::metrics::Timer *timer;
+        support::metrics::Counter *findings;
+    };
+
+    void initInstrumentation();
+    std::vector<Finding> runInstrumented(const Trace &trace) const;
+
     std::vector<std::unique_ptr<Detector>> detectors_;
+    support::metrics::Counter *tracesCounter_ = nullptr;
+    support::metrics::Timer *indexTimer_ = nullptr;
+    std::vector<DetectorInstr> instr_;
 };
 
 /** Findings of the named detector, in order (report filtering). */

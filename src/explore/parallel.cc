@@ -5,11 +5,15 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/spans.hh"
 #include "support/workpool.hh"
 
 namespace lfm::explore
@@ -71,6 +75,7 @@ struct DfsEngine
 
     void runOne(unsigned worker, const std::vector<std::size_t> &prefix)
     {
+        support::spans::Scope span("dfs.exec", "explore");
         {
             std::lock_guard<std::mutex> guard(m);
             // After stopAtFirst fires, only subtrees that can still
@@ -208,6 +213,7 @@ struct DporEngine
 
     void runOne(unsigned worker, const std::vector<sim::ThreadId> &plan)
     {
+        support::spans::Scope span("dpor.exec", "explore");
         {
             std::lock_guard<std::mutex> guard(m);
             if (stopped)
@@ -371,6 +377,21 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
     if (runs == 0)
         return result;
 
+    namespace metrics = support::metrics;
+    support::spans::Scope campaignSpan("explore.stress", "explore");
+    // Handles resolved once per campaign; per-run recording is a
+    // relaxed add on a per-thread shard (or nothing when disabled).
+    metrics::Counter *runsCounter =
+        metrics::enabled() ? &metrics::counter("explore.stress.runs")
+                           : nullptr;
+    metrics::Counter *manifestCounter =
+        metrics::enabled()
+            ? &metrics::counter("explore.stress.manifestations")
+            : nullptr;
+    metrics::Timer *execTimer =
+        metrics::enabled() ? &metrics::timer("explore.stress.exec")
+                           : nullptr;
+
     struct RunRecord
     {
         std::uint64_t steps = 0;
@@ -400,6 +421,13 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                 lo > stopIndex.load(std::memory_order_acquire))
                 return;
             const std::size_t hi = std::min(runs, lo + block);
+            std::optional<support::spans::Scope> blockSpan;
+            if (support::spans::enabled()) {
+                blockSpan.emplace("stress.block " +
+                                      std::to_string(lo) + ".." +
+                                      std::to_string(hi),
+                                  "explore");
+            }
             for (std::size_t i = lo; i < hi; ++i) {
                 if (options.stopAtFirst &&
                     i > stopIndex.load(std::memory_order_acquire))
@@ -410,10 +438,16 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                     exec.collectTrace = false;
                     exec.recordDecisions = false;
                 }
-                auto execution =
-                    sim::runProgram(factory, *policy, exec);
+                auto execution = [&] {
+                    metrics::Timer::Scope timing(execTimer);
+                    return sim::runProgram(factory, *policy, exec);
+                }();
                 records[i].steps = execution.steps();
                 records[i].manifested = manifest(execution);
+                if (runsCounter)
+                    runsCounter->add();
+                if (manifestCounter && records[i].manifested)
+                    manifestCounter->add();
                 if (options.onExecution)
                     options.onExecution(i, execution);
                 if (records[i].manifested && options.stopAtFirst) {
@@ -464,10 +498,18 @@ ParallelRunner::dfs(const sim::ProgramFactory &factory,
                     const DfsOptions &options,
                     const ManifestPredicate &manifest) const
 {
+    support::spans::Scope span("explore.dfs", "explore");
     DfsEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});
     engine.pool.run();
-    return engine.finish();
+    auto result = engine.finish();
+    if (support::metrics::enabled()) {
+        support::metrics::counter("explore.dfs.executions")
+            .add(result.executions);
+        support::metrics::counter("explore.dfs.manifestations")
+            .add(result.manifestations);
+    }
+    return result;
 }
 
 DporResult
@@ -475,10 +517,18 @@ ParallelRunner::dpor(const sim::ProgramFactory &factory,
                      const DporOptions &options,
                      const ManifestPredicate &manifest) const
 {
+    support::spans::Scope span("explore.dpor", "explore");
     DporEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});
     engine.pool.run();
-    return engine.finish();
+    auto result = engine.finish();
+    if (support::metrics::enabled()) {
+        support::metrics::counter("explore.dpor.executions")
+            .add(result.executions);
+        support::metrics::counter("explore.dpor.manifestations")
+            .add(result.manifestations);
+    }
+    return result;
 }
 
 } // namespace lfm::explore

@@ -1,0 +1,182 @@
+#include "report/run_report.hh"
+
+#include <chrono>
+#include <ctime>
+#include <utility>
+
+#include "detect/batch.hh"
+#include "support/metrics.hh"
+
+namespace lfm::report
+{
+
+namespace
+{
+
+std::uint64_t
+wallNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::int64_t
+cpuNowNs()
+{
+    // Process CPU time: sums over all threads, so a stage that keeps
+    // N workers busy shows ~N x its wall time here.
+    return static_cast<std::int64_t>(
+        static_cast<double>(std::clock()) * 1e9 / CLOCKS_PER_SEC);
+}
+
+} // namespace
+
+RunReport::RunReport(std::string campaign)
+    : campaign_(std::move(campaign))
+{
+}
+
+void
+RunReport::note(const std::string &key, support::Json value)
+{
+    for (auto &kv : notes_) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return;
+        }
+    }
+    notes_.emplace_back(key, std::move(value));
+}
+
+void
+RunReport::setSeeds(std::uint64_t firstSeed, std::size_t count)
+{
+    firstSeed_ = firstSeed;
+    seedCount_ = count;
+    hasSeeds_ = true;
+}
+
+void
+RunReport::addTracesAnalyzed(std::size_t n)
+{
+    tracesAnalyzed_ += n;
+}
+
+void
+RunReport::addFindings(const std::string &detector, std::size_t n)
+{
+    findingsByDetector_[detector] += n;
+}
+
+void
+RunReport::addStage(const std::string &name, double wallSeconds,
+                    double cpuSeconds)
+{
+    stages_.push_back({name, wallSeconds, cpuSeconds});
+}
+
+void
+RunReport::recordPoolStats(const support::WorkStealingPool::Stats &s)
+{
+    pool_.executed += s.executed;
+    pool_.stolen += s.stolen;
+    pool_.parks += s.parks;
+    pool_.drained += s.drained;
+    hasPoolStats_ = true;
+}
+
+RunReport::Stage::Stage(RunReport &report, std::string name)
+    : report_(&report), name_(std::move(name)),
+      wallStartNs_(wallNowNs()), cpuStartNs_(cpuNowNs())
+{
+}
+
+RunReport::Stage::Stage(Stage &&other) noexcept
+    : report_(other.report_), name_(std::move(other.name_)),
+      wallStartNs_(other.wallStartNs_), cpuStartNs_(other.cpuStartNs_)
+{
+    other.report_ = nullptr;
+}
+
+RunReport::Stage::~Stage()
+{
+    if (!report_)
+        return;
+    const double wall =
+        static_cast<double>(wallNowNs() - wallStartNs_) / 1e9;
+    const double cpu =
+        static_cast<double>(cpuNowNs() - cpuStartNs_) / 1e9;
+    report_->addStage(name_, wall, cpu);
+}
+
+support::Json
+RunReport::toJson() const
+{
+    support::Json doc;
+    doc.set("campaign", campaign_);
+    for (const auto &[key, value] : notes_)
+        doc.set(key, value);
+
+    if (hasSeeds_) {
+        support::Json seeds;
+        seeds.set("first", firstSeed_).set("count", seedCount_);
+        doc.set("seeds", std::move(seeds));
+    }
+
+    doc.set("traces_analyzed", tracesAnalyzed_);
+
+    support::Json findings;
+    for (const auto &[detector, count] : findingsByDetector_)
+        findings.set(detector, count);
+    doc.set("findings_by_detector", std::move(findings));
+
+    support::Json stages = support::Json::array();
+    for (const auto &stage : stages_) {
+        support::Json row;
+        row.set("name", stage.name)
+            .set("wall_ms", stage.wallSeconds * 1e3)
+            .set("cpu_ms", stage.cpuSeconds * 1e3);
+        stages.push(std::move(row));
+    }
+    doc.set("stages", std::move(stages));
+
+    if (hasPoolStats_) {
+        support::Json pool;
+        pool.set("executed", pool_.executed)
+            .set("stolen", pool_.stolen)
+            .set("parks", pool_.parks)
+            .set("drained", pool_.drained);
+        doc.set("pool", std::move(pool));
+    }
+
+    doc.set("metrics",
+            support::metrics::Registry::instance().snapshotJson());
+    return doc;
+}
+
+bool
+RunReport::writeTo(const std::string &path) const
+{
+    return support::writeJsonFile(path, toJson());
+}
+
+void
+recordTraceReports(RunReport &report,
+                   const std::vector<detect::TraceReport> &reports)
+{
+    report.addTracesAnalyzed(reports.size());
+    for (const auto &tr : reports) {
+        for (const auto &finding : tr.findings)
+            report.addFindings(finding.detector, 1);
+    }
+}
+
+std::string
+runReportPath(const std::string &campaign)
+{
+    return "RUN_" + campaign + ".json";
+}
+
+} // namespace lfm::report

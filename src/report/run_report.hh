@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Machine-readable campaign run reports.
+ *
+ * A RunReport is the one-JSON-document-per-campaign summary the
+ * observability layer feeds: what was explored (seed range, traces
+ * analyzed), what was found (findings tallied per detector), how long
+ * each stage took (wall and CPU time via RAII stage scopes), how the
+ * work-stealing pool behaved (steal/idle statistics), plus a full
+ * merge-on-read snapshot of the metrics registry. Every bench writes
+ * one next to its BENCH_*.json so a campaign can be watched, compared
+ * and trusted after the fact — the study's own thesis applied to our
+ * infrastructure: diagnosis needs machine-readable execution
+ * evidence.
+ */
+
+#ifndef LFM_REPORT_RUN_REPORT_HH
+#define LFM_REPORT_RUN_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/workpool.hh"
+
+namespace lfm::detect
+{
+struct TraceReport;
+}
+
+namespace lfm::report
+{
+
+/** One campaign's run evidence; see the file comment. */
+class RunReport
+{
+  public:
+    explicit RunReport(std::string campaign);
+
+    const std::string &campaign() const { return campaign_; }
+
+    /** Free-form metadata ("workers": 8, "corpus": "kernels", ...). */
+    void note(const std::string &key, support::Json value);
+
+    /** The stress/exploration seed range the campaign covered. */
+    void setSeeds(std::uint64_t firstSeed, std::size_t count);
+
+    /** Count traces that went through detection. */
+    void addTracesAnalyzed(std::size_t n);
+
+    /** Tally findings under the producing detector's name. */
+    void addFindings(const std::string &detector, std::size_t n);
+
+    /** Record one completed stage's timings directly. */
+    void addStage(const std::string &name, double wallSeconds,
+                  double cpuSeconds);
+
+    /** Fold one pool run's steal/idle statistics into the report
+     * (multiple runs accumulate). */
+    void recordPoolStats(const support::WorkStealingPool::Stats &s);
+
+    /**
+     * RAII stage timer: measures wall time (steady clock) and CPU
+     * time (process clock) from construction to destruction and adds
+     * the stage to the report. Keep one per pipeline stage.
+     */
+    class Stage
+    {
+      public:
+        Stage(RunReport &report, std::string name);
+        ~Stage();
+
+        Stage(Stage &&other) noexcept;
+        Stage(const Stage &) = delete;
+        Stage &operator=(const Stage &) = delete;
+        Stage &operator=(Stage &&) = delete;
+
+      private:
+        RunReport *report_;
+        std::string name_;
+        std::uint64_t wallStartNs_;
+        std::int64_t cpuStartNs_;
+    };
+
+    /** Start a named stage scope. */
+    Stage stage(std::string name) { return Stage(*this, std::move(name)); }
+
+    /**
+     * The full document: campaign, seeds, traces analyzed, findings
+     * by detector, stages (wall/cpu ms), accumulated pool stats, and
+     * a snapshot of the metrics registry taken at call time.
+     */
+    support::Json toJson() const;
+
+    /** Write toJson() to path; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    struct StageRecord
+    {
+        std::string name;
+        double wallSeconds;
+        double cpuSeconds;
+    };
+
+    std::string campaign_;
+    std::vector<std::pair<std::string, support::Json>> notes_;
+    std::uint64_t firstSeed_ = 0;
+    std::size_t seedCount_ = 0;
+    bool hasSeeds_ = false;
+    std::size_t tracesAnalyzed_ = 0;
+    std::map<std::string, std::size_t> findingsByDetector_;
+    std::vector<StageRecord> stages_;
+    support::WorkStealingPool::Stats pool_;
+    bool hasPoolStats_ = false;
+};
+
+/** Fold a batch/stream result into the report: counts the traces and
+ * tallies every finding under its detector. */
+void recordTraceReports(RunReport &report,
+                        const std::vector<detect::TraceReport> &reports);
+
+/** Canonical report path for a campaign: "RUN_<campaign>.json". */
+std::string runReportPath(const std::string &campaign);
+
+} // namespace lfm::report
+
+#endif // LFM_REPORT_RUN_REPORT_HH

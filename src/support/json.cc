@@ -1,0 +1,130 @@
+#include "support/json.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace lfm::support
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    for (auto &kv : members_) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    items_.push_back(std::move(value));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    return kind_ == Kind::Array ? items_.size() : members_.size();
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string inner(static_cast<std::size_t>(indent) + 2, ' ');
+    switch (kind_) {
+    case Kind::Number: {
+        // Integral values print without a trailing ".0".
+        const auto asInt = static_cast<long long>(num_);
+        if (static_cast<double>(asInt) == num_)
+            os << asInt;
+        else
+            os << num_;
+        break;
+    }
+    case Kind::Bool:
+        os << (flag_ ? "true" : "false");
+        break;
+    case Kind::String:
+        escape(os, str_);
+        break;
+    case Kind::Object:
+        os << "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            os << (i ? ",\n" : "\n") << inner;
+            escape(os, members_[i].first);
+            os << ": ";
+            members_[i].second.dump(os, indent + 2);
+        }
+        os << (members_.empty() ? "" : "\n" + pad) << "}";
+        break;
+    case Kind::Array:
+        os << "[";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            os << (i ? ",\n" : "\n") << inner;
+            items_[i].dump(os, indent + 2);
+        }
+        os << (items_.empty() ? "" : "\n" + pad) << "]";
+        break;
+    }
+}
+
+std::string
+Json::str() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
+void
+Json::escape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+bool
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    doc.dump(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace lfm::support

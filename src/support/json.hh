@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal JSON value for machine-readable output documents.
+ *
+ * Promoted from the bench harness so library code (run reports, the
+ * span tracer) can emit the same documents the benches write next to
+ * their tables. Just enough for flat metric documents — objects,
+ * arrays, numbers, strings, booleans — with stable key order (keys
+ * serialize in insertion order, and re-setting a key keeps its slot).
+ */
+
+#ifndef LFM_SUPPORT_JSON_HH
+#define LFM_SUPPORT_JSON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfm::support
+{
+
+/** Insertion-ordered JSON value; see the file comment. */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Object) {}
+    Json(double v) : kind_(Kind::Number), num_(v) {}
+    Json(int v) : Json(static_cast<double>(v)) {}
+    Json(unsigned v) : Json(static_cast<double>(v)) {}
+    Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+    Json(bool v) : kind_(Kind::Bool), flag_(v) {}
+    Json(const char *v) : kind_(Kind::String), str_(v) {}
+    Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}
+
+    /** An (initially empty) array value. */
+    static Json array();
+
+    /** Set (or replace, keeping position) an object member. */
+    Json &set(const std::string &key, Json value);
+
+    /** Append one array element. */
+    Json &push(Json value);
+
+    /** Number of object members / array elements. */
+    std::size_t size() const;
+
+    /** Pretty-print; indent is the current left margin in spaces. */
+    void dump(std::ostream &os, int indent = 0) const;
+
+    /** dump() into a string. */
+    std::string str() const;
+
+  private:
+    enum class Kind
+    {
+        Number,
+        Bool,
+        String,
+        Object,
+        Array
+    };
+
+    static void escape(std::ostream &os, const std::string &s);
+
+    Kind kind_;
+    double num_ = 0.0;
+    bool flag_ = false;
+    std::string str_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> items_;
+};
+
+/** Write doc (plus trailing newline) to path; false on I/O failure. */
+bool writeJsonFile(const std::string &path, const Json &doc);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_JSON_HH

@@ -1,0 +1,252 @@
+#include "support/metrics.hh"
+
+#include <bit>
+
+namespace lfm::support::metrics
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+unsigned
+shardIndex()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+// ------------------------------------------------------------------
+// Counter
+// ------------------------------------------------------------------
+
+std::uint64_t
+Counter::value() const
+{
+    std::uint64_t total = 0;
+    for (const auto &slot : slots_)
+        total += slot.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto &slot : slots_)
+        slot.v.store(0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// Histogram
+// ------------------------------------------------------------------
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    if (!enabled())
+        return;
+    auto &slot = slots_[shardIndex()];
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(value, std::memory_order_relaxed);
+    buckets_[std::bit_width(value)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &slot : slots_) {
+        snap.count += slot.count.load(std::memory_order_relaxed);
+        snap.sum += slot.sum.load(std::memory_order_relaxed);
+    }
+    for (unsigned b = 0; b < kBuckets; ++b)
+        snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &slot : slots_) {
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.sum.store(0, std::memory_order_relaxed);
+    }
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+double
+Histogram::Snapshot::mean() const
+{
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) /
+                            static_cast<double>(count);
+}
+
+std::uint64_t
+Histogram::Snapshot::quantileUpperBound(double q) const
+{
+    if (count == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.5);
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= target && buckets[b] > 0) {
+            // Bucket b holds values in [2^(b-1), 2^b).
+            return b >= 63 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << b) - 1;
+        }
+    }
+    return ~std::uint64_t{0};
+}
+
+// ------------------------------------------------------------------
+// Registry
+// ------------------------------------------------------------------
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+Timer &
+Registry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<Timer>(name);
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(name);
+    return *slot;
+}
+
+Json
+Registry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> guard(m_);
+    Json doc;
+
+    Json counters;
+    for (const auto &[name, c] : counters_)
+        counters.set(name, c->value());
+    doc.set("counters", std::move(counters));
+
+    Json timers;
+    for (const auto &[name, t] : timers_) {
+        const auto snap = t->snapshot();
+        Json row;
+        row.set("count", snap.count)
+            .set("total_ms",
+                 static_cast<double>(snap.sum) / 1e6)
+            .set("mean_us", snap.mean() / 1e3)
+            .set("p50_us",
+                 static_cast<double>(
+                     snap.quantileUpperBound(0.50)) /
+                     1e3)
+            .set("p95_us",
+                 static_cast<double>(
+                     snap.quantileUpperBound(0.95)) /
+                     1e3);
+        timers.set(name, std::move(row));
+    }
+    doc.set("timers", std::move(timers));
+
+    Json histograms;
+    for (const auto &[name, h] : histograms_) {
+        const auto snap = h->snapshot();
+        Json row;
+        row.set("count", snap.count)
+            .set("sum", snap.sum)
+            .set("mean", snap.mean());
+        Json buckets = Json::array();
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            if (snap.buckets[b] == 0)
+                continue;
+            Json pair = Json::array();
+            pair.push(b >= 63
+                          ? Json(static_cast<double>(
+                                ~std::uint64_t{0}))
+                          : Json((std::uint64_t{1} << b) - 1));
+            pair.push(snap.buckets[b]);
+            buckets.push(std::move(pair));
+        }
+        row.set("buckets", std::move(buckets));
+        histograms.set(name, std::move(row));
+    }
+    doc.set("histograms", std::move(histograms));
+
+    return doc;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> guard(m_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, t] : timers_)
+        t->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Timer &
+timer(const std::string &name)
+{
+    return Registry::instance().timer(name);
+}
+
+Histogram &
+histogram(const std::string &name)
+{
+    return Registry::instance().histogram(name);
+}
+
+} // namespace lfm::support::metrics

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Process-wide metrics registry for campaign observability.
+ *
+ * Counters, timers, and histograms are sharded over cache-line-padded
+ * per-thread slots: a writer does one relaxed fetch_add on its own
+ * slot (lock-free, no inter-thread traffic on the hot path) and the
+ * true value is merged on read. Handles returned by the registry are
+ * stable for the life of the process — resolve them once (outside the
+ * hot loop) and keep the pointer.
+ *
+ * The whole layer is gated by a single enabled flag: when metrics are
+ * off (the default), every record operation is one relaxed atomic
+ * load and a predictable branch, so instrumented hot paths cost
+ * nothing measurable. Benches flip it on per campaign and snapshot
+ * the registry into their run reports (report/run_report.hh).
+ */
+
+#ifndef LFM_SUPPORT_METRICS_HH
+#define LFM_SUPPORT_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/json.hh"
+
+namespace lfm::support::metrics
+{
+
+/** Number of per-thread slots a sharded metric distributes over. */
+inline constexpr unsigned kShards = 32;
+
+/** True when the metrics layer records anything. */
+bool enabled();
+
+/** Flip the global recording flag (benches: on per campaign). */
+void setEnabled(bool on);
+
+/** This thread's shard index (stable per thread, < kShards). */
+unsigned shardIndex();
+
+/** Monotonic counter; merge-on-read over per-thread shards. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    /** Add n; no-op while the layer is disabled. */
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (!enabled())
+            return;
+        slots_[shardIndex()].v.fetch_add(n,
+                                         std::memory_order_relaxed);
+    }
+
+    /** Merged value across all shards. */
+    std::uint64_t value() const;
+
+    /** Zero every shard (handles stay valid). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    std::string name_;
+    std::array<Slot, kShards> slots_;
+};
+
+/**
+ * Power-of-two bucketed histogram: observe() lands a value in bucket
+ * bit_width(value), so bucket b covers [2^(b-1), 2^b). Count and sum
+ * are sharded like Counter; buckets are single atomics (adjacent
+ * values spread across buckets, so contention stays low).
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    /** Merge-on-read view of one histogram. */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        double mean() const;
+
+        /** Upper bound of the bucket where the cumulative count
+         * first reaches fraction q (0..1); 0 when empty. */
+        std::uint64_t quantileUpperBound(double q) const;
+    };
+
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    /** Record one value; no-op while the layer is disabled. */
+    void observe(std::uint64_t value);
+
+    Snapshot snapshot() const;
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+    };
+
+    std::string name_;
+    std::array<Slot, kShards> slots_;
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/** Nanosecond duration histogram with an RAII measuring scope. */
+class Timer
+{
+  public:
+    explicit Timer(std::string name) : hist_(std::move(name)) {}
+
+    /**
+     * RAII measurement: reads the clock only when armed (metrics
+     * enabled at construction), so a disabled timer scope is free.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(Timer *timer)
+            : timer_(timer && enabled() ? timer : nullptr)
+        {
+            if (timer_)
+                start_ = std::chrono::steady_clock::now();
+        }
+
+        ~Scope()
+        {
+            if (!timer_)
+                return;
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            timer_->recordNs(static_cast<std::uint64_t>(ns));
+        }
+
+        Scope(Scope &&other) noexcept
+            : timer_(other.timer_), start_(other.start_)
+        {
+            other.timer_ = nullptr;
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+        Scope &operator=(Scope &&) = delete;
+
+      private:
+        Timer *timer_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** A scope timing until end of the enclosing block. */
+    Scope time() { return Scope(this); }
+
+    void recordNs(std::uint64_t ns) { hist_.observe(ns); }
+
+    Histogram::Snapshot snapshot() const { return hist_.snapshot(); }
+
+    void reset() { hist_.reset(); }
+
+    const std::string &name() const { return hist_.name(); }
+
+  private:
+    Histogram hist_;
+};
+
+/**
+ * Named-metric registry. Lookup takes a mutex — do it once per
+ * campaign (or per object construction), never per event.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Merge-on-read snapshot of everything:
+     * {"counters": {name: value},
+     *  "timers": {name: {count, total_ms, mean_us, p50_us, p95_us}},
+     *  "histograms": {name: {count, sum, mean,
+     *                        buckets: [[upper_bound, count], ...]}}}
+     */
+    Json snapshotJson() const;
+
+    /** Zero every metric; handles stay valid. */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// @name Registry shorthands.
+/// @{
+Counter &counter(const std::string &name);
+Timer &timer(const std::string &name);
+Histogram &histogram(const std::string &name);
+/// @}
+
+} // namespace lfm::support::metrics
+
+#endif // LFM_SUPPORT_METRICS_HH

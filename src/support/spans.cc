@@ -1,0 +1,145 @@
+#include "support/spans.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+
+namespace lfm::support::spans
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    // First use initializes the epoch so timestamps stay small.
+    epoch();
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+std::shared_ptr<Tracer::Buffer>
+Tracer::threadBuffer()
+{
+    // One buffer per thread, kept alive by the tracer after thread
+    // exit so late serialization still sees every span.
+    thread_local std::shared_ptr<Buffer> mine = [this] {
+        auto buffer = std::make_shared<Buffer>();
+        std::lock_guard<std::mutex> guard(m_);
+        buffer->tid = nextTid_++;
+        buffers_.push_back(buffer);
+        return buffer;
+    }();
+    return mine;
+}
+
+void
+Tracer::record(std::string name, const char *cat,
+               std::uint64_t startNs, std::uint64_t durNs)
+{
+    auto buffer = threadBuffer();
+    Record rec{std::move(name), cat, buffer->tid, startNs, durNs};
+    // The buffer mutex is only ever contended with a concurrent
+    // toJson()/clear(); same-thread appends take it uncontended.
+    std::lock_guard<std::mutex> guard(buffer->m);
+    buffer->records.push_back(std::move(rec));
+}
+
+std::size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> guard(m_);
+    std::size_t total = 0;
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> inner(buffer->m);
+        total += buffer->records.size();
+    }
+    return total;
+}
+
+Json
+Tracer::toJson() const
+{
+    std::vector<Record> all;
+    {
+        std::lock_guard<std::mutex> guard(m_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> inner(buffer->m);
+            all.insert(all.end(), buffer->records.begin(),
+                       buffer->records.end());
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Record &a, const Record &b) {
+                  return a.startNs < b.startNs;
+              });
+
+    Json events = Json::array();
+    for (const auto &rec : all) {
+        Json ev;
+        ev.set("name", rec.name)
+            .set("cat", rec.cat)
+            .set("ph", "X")
+            .set("ts", static_cast<double>(rec.startNs) / 1e3)
+            .set("dur", static_cast<double>(rec.durNs) / 1e3)
+            .set("pid", 1)
+            .set("tid", rec.tid);
+        events.push(std::move(ev));
+    }
+    Json doc;
+    doc.set("traceEvents", std::move(events))
+        .set("displayTimeUnit", "ms");
+    return doc;
+}
+
+bool
+Tracer::writeTo(const std::string &path) const
+{
+    return writeJsonFile(path, toJson());
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> guard(m_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> inner(buffer->m);
+        buffer->records.clear();
+    }
+}
+
+} // namespace lfm::support::spans

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Span tracer emitting Chrome-trace / Perfetto-compatible JSON.
+ *
+ * A span is one named, categorized interval on one thread. Scopes
+ * record into per-thread buffers (appends touch no shared state, so
+ * tracing perturbs the measured schedule as little as possible) and
+ * the tracer merges the buffers when serializing. Load the output of
+ * writeTo() in chrome://tracing or https://ui.perfetto.dev to see
+ * exploration schedules, pipeline stages, and batch/stream worker
+ * activity on a timeline.
+ *
+ * Like the metrics layer, tracing is off by default: a disabled
+ * Scope never reads the clock, so instrumented hot paths stay free.
+ */
+
+#ifndef LFM_SUPPORT_SPANS_HH
+#define LFM_SUPPORT_SPANS_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace lfm::support::spans
+{
+
+/** True when scopes record anything. */
+bool enabled();
+
+/** Flip the global tracing flag. */
+void setEnabled(bool on);
+
+/** Monotonic nanoseconds since the tracer epoch (process start). */
+std::uint64_t nowNs();
+
+/** One completed span. */
+struct Record
+{
+    std::string name;
+    const char *cat;
+    unsigned tid;
+    std::uint64_t startNs;
+    std::uint64_t durNs;
+};
+
+/** Process-wide span sink; see the file comment. */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /** Append one span to the calling thread's buffer (recorded
+     * even when tracing is disabled — gating is the Scope's job). */
+    void record(std::string name, const char *cat,
+                std::uint64_t startNs, std::uint64_t durNs);
+
+    /** Total spans across all thread buffers. */
+    std::size_t size() const;
+
+    /** {"traceEvents": [...]} in Chrome trace event format, spans
+     * sorted by start time. */
+    Json toJson() const;
+
+    /** Serialize to a file; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+    /** Drop every recorded span (buffers stay registered). */
+    void clear();
+
+  private:
+    struct Buffer
+    {
+        std::mutex m;
+        std::vector<Record> records;
+        unsigned tid = 0;
+    };
+
+    Tracer() = default;
+
+    std::shared_ptr<Buffer> threadBuffer();
+
+    mutable std::mutex m_;
+    std::vector<std::shared_ptr<Buffer>> buffers_;
+    unsigned nextTid_ = 0;
+};
+
+/**
+ * RAII span: names the interval from construction to destruction.
+ * Inert (no clock read, no allocation) while tracing is disabled.
+ * The category must be a string literal (it is stored unowned).
+ */
+class Scope
+{
+  public:
+    Scope(std::string name, const char *cat)
+        : armed_(enabled()), cat_(cat)
+    {
+        if (armed_) {
+            name_ = std::move(name);
+            start_ = nowNs();
+        }
+    }
+
+    ~Scope()
+    {
+        if (armed_) {
+            Tracer::instance().record(std::move(name_), cat_, start_,
+                                      nowNs() - start_);
+        }
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    bool armed_;
+    const char *cat_;
+    std::string name_;
+    std::uint64_t start_ = 0;
+};
+
+} // namespace lfm::support::spans
+
+#endif // LFM_SUPPORT_SPANS_HH

@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "support/metrics.hh"
+
 namespace lfm::support
 {
 
@@ -16,6 +18,7 @@ resolveWorkers(unsigned requested)
 }
 
 WorkStealingPool::WorkStealingPool(unsigned workers)
+    : counters_(workers)
 {
     deques_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
@@ -26,28 +29,63 @@ void
 WorkStealingPool::push(unsigned worker, Task task)
 {
     pending_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> guard(deques_[worker]->m);
-    deques_[worker]->q.push_back(std::move(task));
+    {
+        std::lock_guard<std::mutex> guard(deques_[worker]->m);
+        deques_[worker]->q.push_back(std::move(task));
+    }
+    // Bump the wakeup generation under idleM_ so a worker that just
+    // scanned empty deques and recorded signal_ cannot park past
+    // this push (it re-checks the generation before sleeping).
+    {
+        std::lock_guard<std::mutex> guard(idleM_);
+        ++signal_;
+    }
+    idleCv_.notify_one();
 }
 
 void
 WorkStealingPool::run()
 {
+    aborting_.store(false, std::memory_order_relaxed);
+    for (auto &c : counters_)
+        c = WorkerCounters{};
+
     if (deques_.size() == 1) {
         workerLoop(0);
-        return;
+    } else {
+        std::vector<std::thread> team;
+        team.reserve(deques_.size());
+        for (unsigned w = 0; w < static_cast<unsigned>(deques_.size());
+             ++w)
+            team.emplace_back([this, w] { workerLoop(w); });
+        for (auto &t : team)
+            t.join();
     }
-    std::vector<std::thread> team;
-    team.reserve(deques_.size());
-    for (unsigned w = 0; w < static_cast<unsigned>(deques_.size());
-         ++w)
-        team.emplace_back([this, w] { workerLoop(w); });
-    for (auto &t : team)
-        t.join();
+
+    stats_ = Stats{};
+    for (const auto &c : counters_) {
+        stats_.executed += c.executed;
+        stats_.stolen += c.stolen;
+        stats_.parks += c.parks;
+        stats_.drained += c.drained;
+    }
+    if (metrics::enabled()) {
+        metrics::counter("workpool.executed").add(stats_.executed);
+        metrics::counter("workpool.stolen").add(stats_.stolen);
+        metrics::counter("workpool.parks").add(stats_.parks);
+        metrics::counter("workpool.drained").add(stats_.drained);
+    }
+
+    if (firstError_) {
+        // Rethrow the first task exception on the calling thread;
+        // clear it first so the pool stays reusable.
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        std::rethrow_exception(error);
+    }
 }
 
 bool
-WorkStealingPool::pop(unsigned w, Task &out)
+WorkStealingPool::pop(unsigned w, Task &out, bool &stole)
 {
     {
         Deque &own = *deques_[w];
@@ -55,6 +93,7 @@ WorkStealingPool::pop(unsigned w, Task &out)
         if (!own.q.empty()) {
             out = std::move(own.q.back());
             own.q.pop_back();
+            stole = false;
             return true;
         }
     }
@@ -64,6 +103,7 @@ WorkStealingPool::pop(unsigned w, Task &out)
         if (!victim.q.empty()) {
             out = std::move(victim.q.front());
             victim.q.pop_front();
+            stole = true;
             return true;
         }
     }
@@ -71,19 +111,87 @@ WorkStealingPool::pop(unsigned w, Task &out)
 }
 
 void
+WorkStealingPool::noteException()
+{
+    std::lock_guard<std::mutex> guard(errM_);
+    if (!firstError_)
+        firstError_ = std::current_exception();
+    aborting_.store(true, std::memory_order_release);
+}
+
+void
+WorkStealingPool::finishOne()
+{
+    // The RAII counterpart of push(): every popped task — executed,
+    // thrown-from, or drained — comes through here exactly once.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        {
+            std::lock_guard<std::mutex> guard(idleM_);
+            ++signal_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
 WorkStealingPool::workerLoop(unsigned w)
 {
+    /** Decrements pending_ no matter how task execution exits. */
+    struct PendingGuard
+    {
+        WorkStealingPool &pool;
+        ~PendingGuard() { pool.finishOne(); }
+    };
+
+    WorkerCounters &mine = counters_[w];
     Task task;
     for (;;) {
-        if (pop(w, task)) {
-            task(w);
-            task = nullptr;
-            pending_.fetch_sub(1, std::memory_order_release);
-            continue;
+        bool stole = false;
+        bool got = pop(w, task, stole);
+        if (!got) {
+            std::unique_lock<std::mutex> lock(idleM_);
+            const std::uint64_t seen = signal_;
+            lock.unlock();
+            // Re-scan after snapshotting the generation: a push that
+            // landed before the snapshot is visible to this pop, and
+            // one after it bumps signal_ past `seen`, so the wait
+            // below cannot sleep through it.
+            got = pop(w, task, stole);
+            if (!got) {
+                if (pending_.load(std::memory_order_acquire) == 0)
+                    return;
+                lock.lock();
+                if (signal_ == seen &&
+                    pending_.load(std::memory_order_acquire) != 0) {
+                    ++mine.parks;
+                    idleCv_.wait(lock, [this, seen] {
+                        return signal_ != seen ||
+                               pending_.load(
+                                   std::memory_order_acquire) == 0;
+                    });
+                }
+                if (pending_.load(std::memory_order_acquire) == 0)
+                    return;
+                continue;
+            }
         }
-        if (pending_.load(std::memory_order_acquire) == 0)
-            return;
-        std::this_thread::yield();
+
+        {
+            PendingGuard guard{*this};
+            if (aborting_.load(std::memory_order_acquire)) {
+                ++mine.drained;
+            } else {
+                try {
+                    task(w);
+                } catch (...) {
+                    noteException();
+                }
+                if (stole)
+                    ++mine.stolen;
+                ++mine.executed;
+            }
+            task = nullptr;
+        }
     }
 }
 

@@ -13,15 +13,30 @@
  *
  * pending_ counts queued + running tasks; it can only reach zero
  * when no task is left anywhere and none is running that could push
- * more, which makes it a race-free termination signal.
+ * more, which makes it a race-free termination signal. Workers that
+ * find every deque empty while tasks are still pending park on a
+ * condition variable (woken by every push and by pending_ reaching
+ * zero) instead of spinning, so idle workers burn no cores during
+ * long producer stalls.
+ *
+ * Exception semantics: a task that throws does not terminate the
+ * process and cannot hang the pool. The first exception is captured,
+ * every task still queued afterwards is drained unrun (counted in
+ * Stats::drained), pending_ is decremented via RAII on every path,
+ * and run() rethrows the captured exception on the calling thread
+ * once all workers have quiesced. The 1-worker inline path behaves
+ * identically.
  */
 
 #ifndef LFM_SUPPORT_WORKPOOL_HH
 #define LFM_SUPPORT_WORKPOOL_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,15 +56,36 @@ class WorkStealingPool
     /** A task receives the index of the worker executing it. */
     using Task = std::function<void(unsigned)>;
 
+    /** Steal/idle statistics of one run(), merged across workers. */
+    struct Stats
+    {
+        /** Tasks executed to completion (including a throwing one). */
+        std::uint64_t executed = 0;
+        /** Executed tasks taken from another worker's deque. */
+        std::uint64_t stolen = 0;
+        /** Times a worker parked on the idle condition variable. */
+        std::uint64_t parks = 0;
+        /** Tasks discarded unrun after a task threw. */
+        std::uint64_t drained = 0;
+    };
+
     explicit WorkStealingPool(unsigned workers);
 
     /** Enqueue a task on the given worker's deque. Safe to call from
      * inside a running task (that is how searches grow frontiers). */
     void push(unsigned worker, Task task);
 
-    /** Run until every task (including tasks pushed by tasks) has
-     * completed. Blocks the calling thread. */
+    /**
+     * Run until every task (including tasks pushed by tasks) has
+     * completed. Blocks the calling thread. If any task threw, the
+     * first exception is rethrown here after the pool has quiesced;
+     * the pool stays reusable afterwards.
+     */
     void run();
+
+    /** Statistics of the most recent run(); also published to the
+     * metrics registry (workpool.*) when metrics are enabled. */
+    const Stats &lastRunStats() const { return stats_; }
 
     unsigned workers() const
     {
@@ -63,11 +99,37 @@ class WorkStealingPool
         std::deque<Task> q;
     };
 
-    bool pop(unsigned w, Task &out);
+    /** Per-worker counters, owner-written, merged after join. */
+    struct alignas(64) WorkerCounters
+    {
+        std::uint64_t executed = 0;
+        std::uint64_t stolen = 0;
+        std::uint64_t parks = 0;
+        std::uint64_t drained = 0;
+    };
+
+    bool pop(unsigned w, Task &out, bool &stole);
     void workerLoop(unsigned w);
+    void noteException();
+    void finishOne();
 
     std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<WorkerCounters> counters_;
     std::atomic<std::size_t> pending_{0};
+
+    /** Set once a task threw: remaining tasks drain unrun. */
+    std::atomic<bool> aborting_{false};
+    std::mutex errM_;
+    std::exception_ptr firstError_;
+
+    /** Idle-parking state: signal_ increments on every push and on
+     * pending_ reaching zero, so a parked worker can never miss a
+     * wakeup (it re-checks the generation under idleM_). */
+    std::mutex idleM_;
+    std::condition_variable idleCv_;
+    std::uint64_t signal_ = 0;
+
+    Stats stats_;
 };
 
 } // namespace lfm::support

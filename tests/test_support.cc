@@ -1,15 +1,25 @@
 /**
  * @file
- * Unit tests for the support substrate: PRNG, statistics, strings.
+ * Unit tests for the support substrate: PRNG, statistics, strings,
+ * the work-stealing pool's exception/parking semantics, the metrics
+ * layer, and the detection stream's lifecycle edges.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
+#include "detect/batch.hh"
+#include "detect/pipeline.hh"
+#include "support/metrics.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/string_utils.hh"
+#include "support/workpool.hh"
 
 namespace
 {
@@ -177,6 +187,209 @@ TEST(Strings, PaddingAndCase)
     EXPECT_EQ(toLower("AtOmIcItY"), "atomicity");
     EXPECT_TRUE(iequals("MySQL", "mysql"));
     EXPECT_FALSE(iequals("apache", "apach"));
+}
+
+TEST(WorkPool, ThrowingTaskRethrowsOnCallerMultiWorker)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> ran{0};
+    constexpr int kTasks = 64;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.push(static_cast<unsigned>(i) % pool.workers(),
+                  [&ran, i](unsigned) {
+                      if (i == 13)
+                          throw std::runtime_error("boom");
+                      ran.fetch_add(1, std::memory_order_relaxed);
+                  });
+    }
+    try {
+        pool.run();
+        FAIL() << "expected run() to rethrow the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // Every queued task is accounted for: executed or drained unrun.
+    const auto &stats = pool.lastRunStats();
+    EXPECT_EQ(stats.executed + stats.drained,
+              static_cast<std::uint64_t>(kTasks));
+
+    // The pool quiesced cleanly and stays reusable.
+    std::atomic<int> again{0};
+    for (int i = 0; i < 16; ++i)
+        pool.push(static_cast<unsigned>(i) % pool.workers(),
+                  [&again](unsigned) {
+                      again.fetch_add(1, std::memory_order_relaxed);
+                  });
+    pool.run();
+    EXPECT_EQ(again.load(), 16);
+    EXPECT_EQ(pool.lastRunStats().executed, 16u);
+    EXPECT_EQ(pool.lastRunStats().drained, 0u);
+}
+
+TEST(WorkPool, ThrowingTaskRethrowsOnCallerInlinePath)
+{
+    WorkStealingPool pool(1);
+    int ran = 0;
+    pool.push(0, [&ran](unsigned) { ++ran; });
+    pool.push(0, [](unsigned) {
+        throw std::runtime_error("inline boom");
+    });
+    pool.push(0, [&ran](unsigned) { ++ran; });
+    try {
+        pool.run();
+        FAIL() << "expected run() to rethrow on the inline path";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "inline boom");
+    }
+    const auto &stats = pool.lastRunStats();
+    EXPECT_EQ(stats.executed + stats.drained, 3u);
+
+    pool.push(0, [&ran](unsigned) { ++ran; });
+    pool.run();
+    EXPECT_EQ(pool.lastRunStats().drained, 0u);
+}
+
+TEST(WorkPool, OnlyFirstExceptionWins)
+{
+    WorkStealingPool pool(1);
+    for (int i = 0; i < 3; ++i) {
+        pool.push(0, [i](unsigned) {
+            throw std::runtime_error("err" + std::to_string(i));
+        });
+    }
+    // Single worker pops its own deque LIFO, so task 2 runs first;
+    // the later throwers drain unrun and must not replace it.
+    try {
+        pool.run();
+        FAIL() << "expected rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "err2");
+    }
+    EXPECT_EQ(pool.lastRunStats().executed, 1u);
+    EXPECT_EQ(pool.lastRunStats().drained, 2u);
+}
+
+TEST(WorkPool, ParkedWorkersWakeForLateWork)
+{
+    WorkStealingPool pool(4);
+    std::atomic<int> done{0};
+    // One slow root task fans out late: the other workers find every
+    // deque empty and park on the idle condition variable. The late
+    // pushes must wake them and every task must run.
+    pool.push(0, [&](unsigned w) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        for (int i = 0; i < 32; ++i)
+            pool.push(w, [&done](unsigned) {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+    });
+    pool.run();
+    EXPECT_EQ(done.load(), 32);
+    // During the 50ms producer stall at least one idle worker parked
+    // instead of spinning.
+    EXPECT_GE(pool.lastRunStats().parks, 1u);
+}
+
+TEST(WorkPool, StealingStillCompletesEverything)
+{
+    WorkStealingPool pool(8);
+    std::atomic<int> done{0};
+    constexpr int kTasks = 400;
+    // All work lands on worker 0; the other seven can only steal.
+    for (int i = 0; i < kTasks; ++i)
+        pool.push(0, [&done](unsigned) {
+            done.fetch_add(1, std::memory_order_relaxed);
+        });
+    pool.run();
+    EXPECT_EQ(done.load(), kTasks);
+    EXPECT_EQ(pool.lastRunStats().executed,
+              static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Metrics, CounterMergeMatchesAcrossWorkerCounts)
+{
+    metrics::setEnabled(true);
+    auto &c = metrics::counter("test.merge");
+    for (unsigned workers : {1u, 2u, 8u}) {
+        c.reset();
+        WorkStealingPool pool(workers);
+        constexpr int kTasks = 200;
+        for (int i = 0; i < kTasks; ++i)
+            pool.push(static_cast<unsigned>(i) % workers,
+                      [&c](unsigned) { c.add(3); });
+        pool.run();
+        EXPECT_EQ(c.value(), 3u * kTasks) << "workers=" << workers;
+    }
+    metrics::setEnabled(false);
+}
+
+TEST(Metrics, DisabledLayerRecordsNothing)
+{
+    metrics::setEnabled(false);
+    auto &c = metrics::counter("test.disabled");
+    c.reset();
+    c.add(5);
+    EXPECT_EQ(c.value(), 0u);
+
+    auto &t = metrics::timer("test.disabled-timer");
+    t.reset();
+    { auto scope = t.time(); }
+    EXPECT_EQ(t.snapshot().count, 0u);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles)
+{
+    metrics::setEnabled(true);
+    auto &h = metrics::histogram("test.hist");
+    h.reset();
+    for (int i = 0; i < 100; ++i)
+        h.observe(10);
+    h.observe(1000);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 101u);
+    EXPECT_EQ(snap.sum, 100u * 10u + 1000u);
+    EXPECT_NEAR(snap.mean(), 2000.0 / 101.0, 1e-9);
+    // The median bucket covers the 10s, far below the outlier.
+    EXPECT_GE(snap.quantileUpperBound(0.5), 10u);
+    EXPECT_LT(snap.quantileUpperBound(0.5), 1000u);
+    metrics::setEnabled(false);
+}
+
+TEST(DetectionStream, FinishIsIdempotentAndSubmitAfterIsRejected)
+{
+    metrics::setEnabled(true);
+    metrics::Registry::instance().reset();
+    lfm::detect::Pipeline pipeline;
+    lfm::detect::DetectionStream stream(pipeline, 2);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_TRUE(stream.submit(k, lfm::trace::Trace()));
+    const auto reports = stream.finish();
+    ASSERT_EQ(reports.size(), 8u);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        EXPECT_EQ(reports[k].key, k);
+
+    EXPECT_TRUE(stream.finish().empty());
+    EXPECT_FALSE(stream.submit(99, lfm::trace::Trace()));
+    EXPECT_EQ(metrics::counter("detect.stream.rejected").value(), 1u);
+    metrics::setEnabled(false);
+}
+
+TEST(DetectionStream, DestructorWithoutFinishCountsUnharvested)
+{
+    metrics::setEnabled(true);
+    metrics::Registry::instance().reset();
+    lfm::detect::Pipeline pipeline;
+    {
+        lfm::detect::DetectionStream stream(pipeline, 2);
+        for (std::uint64_t k = 0; k < 5; ++k)
+            EXPECT_TRUE(stream.submit(k, lfm::trace::Trace()));
+        // No finish(): the destructor still analyzes everything
+        // queued and reports the dropped results through metrics.
+    }
+    EXPECT_EQ(metrics::counter("detect.stream.analyzed").value(), 5u);
+    EXPECT_EQ(metrics::counter("detect.stream.unharvested").value(),
+              5u);
+    metrics::setEnabled(false);
 }
 
 } // namespace

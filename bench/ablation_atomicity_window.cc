@@ -59,8 +59,9 @@ tracesFor(bugs::Variant variant)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Ablation: atomicity-detector window",
                   "region window trades missed violations against "
                   "false positives");

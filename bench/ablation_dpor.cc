@@ -15,9 +15,10 @@
 #include "explore/dpor.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Ablation: DFS vs DPOR",
                   "partial-order reduction explores equivalence "
                   "classes, not interleavings");
@@ -50,18 +51,24 @@ main()
         dfsOpt.maxExecutions = kBudget;
         dfsOpt.countOnly = true;
         dfsOpt.stopAtFirst = true;
+        bench::applyFlags(dfsOpt);
         auto dfsHit = sequential.dfs(factory, dfsOpt);
+        bench::noteResult(dfsHit);
 
         explore::DporOptions dporOpt;
         dporOpt.maxExecutions = kBudget;
         dporOpt.countOnly = true;
         dporOpt.stopAtFirst = true;
+        bench::applyFlags(dporOpt);
         auto dporHit = sequential.dpor(factory, dporOpt);
+        bench::noteResult(dporHit);
 
         dfsOpt.stopAtFirst = false;
         auto dfsAll = wide.dfs(factory, dfsOpt);
+        bench::noteResult(dfsAll);
         dporOpt.stopAtFirst = false;
         auto dporAll = wide.dpor(factory, dporOpt);
+        bench::noteResult(dporAll);
 
         if (dfsHit.manifestations > 0)
             dfsFirst.add(static_cast<double>(dfsHit.executions));

@@ -14,9 +14,10 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Ablation: PCT depth budget",
                   "bugs of depth k need only k-1 change points; "
                   "higher budgets add nothing");
@@ -38,8 +39,10 @@ main()
             explore::StressOptions opt;
             opt.runs = kRuns;
             opt.exec.maxDecisions = 20000;
+            bench::applyFlags(opt);
             auto result = explore::stressProgram(
                 kernel->factory(bugs::Variant::Buggy), policy, opt);
+            bench::noteResult(result);
             rates.add(result.rate());
             if (result.manifestations > 0)
                 ++kernelsHit;

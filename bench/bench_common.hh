@@ -7,6 +7,8 @@
 #ifndef LFM_BENCH_BENCH_COMMON_HH
 #define LFM_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -32,6 +34,161 @@
 
 namespace lfm::bench
 {
+
+/**
+ * Harness-wide failsafe flags, shared by every bench binary:
+ * --deadline-ms N caps the whole run's wall clock, --max-steps N caps
+ * total scheduling decisions per campaign. When a cap fires the bench
+ * exits normally with partial results and a truncation note — never
+ * unbounded, never a corpse.
+ */
+struct BenchFlags
+{
+    std::uint64_t deadlineMs = 0;
+    std::size_t maxSteps = 0;
+    /** Armed when --deadline-ms was given (from process start). */
+    support::Deadline deadline;
+
+    bool any() const { return deadlineMs != 0 || maxSteps != 0; }
+};
+
+/** The process-wide flag set (parsed once by applyBenchFlags). */
+inline BenchFlags &
+benchFlags()
+{
+    static BenchFlags flags;
+    return flags;
+}
+
+/**
+ * Parse --deadline-ms / --max-steps (either "--flag N" or "--flag=N")
+ * out of argv. Unknown arguments are ignored so bench-specific flags
+ * (e.g. perf_detectors --smoke) keep working.
+ */
+inline void
+applyBenchFlags(int argc, char **argv)
+{
+    BenchFlags &flags = benchFlags();
+    const auto numeric = [&](int &i, const std::string &arg,
+                             const std::string &name,
+                             std::uint64_t &out) {
+        if (arg == name) {
+            if (i + 1 < argc)
+                out = std::strtoull(argv[++i], nullptr, 10);
+            return true;
+        }
+        if (arg.rfind(name + "=", 0) == 0) {
+            out = std::strtoull(arg.c_str() + name.size() + 1,
+                                nullptr, 10);
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::uint64_t steps = 0;
+        if (numeric(i, arg, "--deadline-ms", flags.deadlineMs))
+            continue;
+        if (numeric(i, arg, "--max-steps", steps))
+            flags.maxSteps = static_cast<std::size_t>(steps);
+    }
+    if (flags.deadlineMs != 0)
+        flags.deadline = support::Deadline::afterMs(flags.deadlineMs);
+}
+
+/** Worst failsafe outcome any campaign of this bench reported. */
+inline support::RunOutcome &
+benchOutcomeSlot()
+{
+    static support::RunOutcome outcome =
+        support::RunOutcome::Completed;
+    return outcome;
+}
+
+/** Total step-ceiling truncations across this bench's campaigns. */
+inline std::size_t &
+benchTruncatedSlot()
+{
+    static std::size_t truncated = 0;
+    return truncated;
+}
+
+/** Fold one campaign's failsafe outcome into the bench totals. */
+inline void
+noteOutcome(support::RunOutcome outcome, std::size_t truncatedRuns = 0)
+{
+    benchOutcomeSlot() =
+        support::worseOutcome(benchOutcomeSlot(), outcome);
+    benchTruncatedSlot() += truncatedRuns;
+}
+
+inline void
+noteResult(const explore::StressResult &r)
+{
+    noteOutcome(r.outcome, r.truncatedRuns);
+}
+
+inline void
+noteResult(const explore::DfsResult &r)
+{
+    noteOutcome(r.outcome, r.truncated);
+}
+
+inline void
+noteResult(const explore::DporResult &r)
+{
+    noteOutcome(r.outcome, r.truncated);
+}
+
+/// @name Flag application to campaign options.
+///
+/// --deadline-ms arms the campaign deadline; --max-steps becomes a
+/// step budget (stress) or an equivalent execution cap (DFS/DPOR,
+/// where total steps ≈ executions × per-execution decisions).
+/// @{
+
+inline void
+applyFlags(explore::StressOptions &opt)
+{
+    const BenchFlags &flags = benchFlags();
+    if (flags.deadlineMs != 0)
+        opt.deadline = support::Deadline::earlier(opt.deadline,
+                                                  flags.deadline);
+    if (flags.maxSteps != 0)
+        opt.budget.maxSteps = flags.maxSteps;
+}
+
+inline void
+applyFlags(explore::DfsOptions &opt)
+{
+    const BenchFlags &flags = benchFlags();
+    if (flags.deadlineMs != 0)
+        opt.deadline = support::Deadline::earlier(opt.deadline,
+                                                  flags.deadline);
+    if (flags.maxSteps != 0 && opt.maxDecisions != 0) {
+        opt.maxExecutions = std::min(
+            opt.maxExecutions,
+            std::max<std::size_t>(1,
+                                  flags.maxSteps / opt.maxDecisions));
+    }
+}
+
+inline void
+applyFlags(explore::DporOptions &opt)
+{
+    const BenchFlags &flags = benchFlags();
+    if (flags.deadlineMs != 0)
+        opt.deadline = support::Deadline::earlier(opt.deadline,
+                                                  flags.deadline);
+    if (flags.maxSteps != 0 && opt.maxDecisions != 0) {
+        opt.maxExecutions = std::min(
+            opt.maxExecutions,
+            std::max<std::size_t>(1,
+                                  flags.maxSteps / opt.maxDecisions));
+    }
+}
+
+/// @}
 
 /** Print the standard bench banner. */
 inline void
@@ -60,7 +217,9 @@ findingById(const study::Analysis &analysis, const std::string &id)
 /**
  * Stress one kernel variant under random scheduling. Runs on the
  * parallel engine (all available workers) in count-only mode; the
- * result is bit-identical to the sequential traced campaign.
+ * result is bit-identical to the sequential traced campaign. Kernels
+ * with an explicit stepCeiling get it as their per-execution cap;
+ * the harness --deadline-ms / --max-steps flags bound the campaign.
  */
 inline explore::StressResult
 stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
@@ -68,11 +227,16 @@ stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
 {
     explore::StressOptions opt;
     opt.runs = runs;
-    opt.exec.maxDecisions = 20000;
+    opt.exec.maxDecisions = kernel.info().stepCeiling != 0
+                                ? kernel.info().stepCeiling
+                                : 20000;
     opt.countOnly = true;
-    return explore::ParallelRunner().stress(
+    applyFlags(opt);
+    auto result = explore::ParallelRunner().stress(
         kernel.factory(variant),
         explore::makePolicy<sim::RandomPolicy>(), opt);
+    noteResult(result);
+    return result;
 }
 
 /** Bench JSON documents use the library JSON value (promoted from
@@ -102,10 +266,27 @@ makeRunReport(const std::string &benchName)
     return report::RunReport(benchName);
 }
 
-/** Write the campaign's run report next to its BENCH_*.json. */
+/**
+ * Write the campaign's run report next to its BENCH_*.json, folding
+ * in the bench-wide failsafe tallies: when any campaign was cut
+ * (--deadline-ms / --max-steps) or truncated, the report's failsafe
+ * section says so and the console gets a truncation note — the
+ * numbers above it are partial, not wrong.
+ */
 inline void
-writeRunReport(const report::RunReport &runReport)
+writeRunReport(report::RunReport &runReport)
 {
+    const support::RunOutcome outcome = benchOutcomeSlot();
+    if (outcome != support::RunOutcome::Completed ||
+        benchTruncatedSlot() != 0) {
+        runReport.setOutcome(outcome);
+        runReport.addTruncated(benchTruncatedSlot());
+    }
+    if (outcome != support::RunOutcome::Completed) {
+        std::cout << "[!] campaign cut short ("
+                  << support::outcomeName(outcome)
+                  << "); results above are partial\n";
+    }
     const std::string path =
         report::runReportPath(runReport.campaign());
     if (runReport.writeTo(path))

@@ -15,9 +15,10 @@
 #include "explore/active.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Figure: active order-flipping vs stress testing",
                   "flipping observed conflicting-access orders "
                   "exposes the bugs in a bounded campaign");
@@ -50,8 +51,10 @@ main()
         explore::StressOptions stress;
         stress.runs = 2000;
         stress.stopAtFirst = true;
+        bench::applyFlags(stress);
         auto sres = explore::stressProgram(
             kernel->factory(bugs::Variant::Buggy), random, stress);
+        bench::noteResult(sres);
 
         ++applicable;
         const bool hit = campaign.foundBug();

@@ -37,7 +37,9 @@ manifesting(const bugs::BugKernel &kernel)
     explore::DfsOptions dfs;
     dfs.maxExecutions = 4000;
     dfs.stopAtFirst = true;
+    bench::applyFlags(dfs);
     auto result = explore::exploreDfs(factory, dfs);
+    bench::noteResult(result);
     if (result.firstManifestPath) {
         sim::FixedSchedulePolicy policy(*result.firstManifestPath);
         return sim::runProgram(factory, policy);
@@ -66,8 +68,9 @@ failureSummary(const sim::Execution &exec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Figures: the paper's bug examples, executable",
                   "each documented example bug manifests, is "
                   "detected, and its real fix verifies");

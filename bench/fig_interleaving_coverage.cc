@@ -51,16 +51,19 @@ rateUnder(const bugs::BugKernel &kernel,
     opt.runs = runs;
     opt.exec.maxDecisions = 20000;
     opt.countOnly = true;
+    bench::applyFlags(opt);
     auto result = explore::ParallelRunner().stress(
         kernel.factory(bugs::Variant::Buggy), makePolicy, opt);
+    bench::noteResult(result);
     return result.rate();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Figure: interleaving coverage by strategy",
                   "guided/systematic scheduling finds in a few runs "
                   "what stress testing rarely hits");

@@ -450,6 +450,7 @@ runSeparate(const Trace &trace)
 int
 main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     const bool smoke =
         argc > 1 && std::string(argv[1]) == "--smoke";
 

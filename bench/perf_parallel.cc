@@ -79,6 +79,7 @@ measure(unsigned workers, std::size_t runs, bool legacyHandoff,
     opt.exec.maxDecisions = 20000;
     opt.exec.legacyHandoff = legacyHandoff;
     opt.countOnly = countOnly;
+    bench::applyFlags(opt);
     const auto factory = [] { return counterProgram(4, 8); };
 
     CampaignRate rate;
@@ -105,8 +106,9 @@ measure(unsigned workers, std::size_t runs, bool legacyHandoff,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Perf: parallel engine + executor hot path",
                   "exploration throughput is an engineering baseline, "
                   "not a paper claim");

@@ -38,7 +38,9 @@ manifesting(const bugs::BugKernel &kernel)
     explore::DfsOptions dfs;
     dfs.maxExecutions = 4000;
     dfs.stopAtFirst = true;
+    bench::applyFlags(dfs);
     auto result = explore::exploreDfs(factory, dfs);
+    bench::noteResult(result);
     if (result.firstManifestPath) {
         sim::FixedSchedulePolicy policy(*result.firstManifestPath);
         return sim::runProgram(factory, policy);
@@ -68,8 +70,9 @@ cellOf(const bugs::KernelInfo &info)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 10: detector x pattern coverage matrix",
                   "every detector family covers a slice of the "
                   "taxonomy; none covers it all");

@@ -32,9 +32,10 @@ appDescription(lfm::study::App app)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 1: applications and examined bugs",
                   "105 real-world concurrency bugs from four large "
                   "open-source applications");

@@ -38,7 +38,9 @@ manifesting(const bugs::BugKernel &kernel)
     explore::DfsOptions dfs;
     dfs.maxExecutions = 4000;
     dfs.stopAtFirst = true;
+    bench::applyFlags(dfs);
     auto result = explore::exploreDfs(factory, dfs);
+    bench::noteResult(result);
     if (result.firstManifestPath) {
         sim::FixedSchedulePolicy policy(*result.firstManifestPath);
         return sim::runProgram(factory, policy);
@@ -49,8 +51,9 @@ manifesting(const bugs::BugKernel &kernel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 2: non-deadlock bug patterns",
                   "97% of the examined non-deadlock bugs are "
                   "atomicity or order violations");

@@ -19,8 +19,9 @@ using namespace lfm;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 3: threads involved in manifestation",
                   "96% of the examined bugs manifest with at most "
                   "two threads");

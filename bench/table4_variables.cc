@@ -23,8 +23,9 @@ using namespace lfm;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 4: variables involved (non-deadlock)",
                   "66% of non-deadlock bugs involve one variable; "
                   "the remaining third defeats single-variable "

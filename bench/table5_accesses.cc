@@ -19,8 +19,9 @@ using namespace lfm;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 5: accesses involved in manifestation",
                   "92% of the bugs manifest deterministically once "
                   "at most 4 operations are ordered");

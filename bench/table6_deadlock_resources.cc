@@ -36,8 +36,9 @@ deadlocking(const bugs::BugKernel &kernel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 6: resources involved in deadlocks",
                   "97% of the examined deadlock bugs involve at most "
                   "two resources");

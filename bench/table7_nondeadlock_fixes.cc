@@ -15,9 +15,10 @@
 #include "explore/dfs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 7: non-deadlock fix strategies",
                   "only 20 of 74 fixes add or change locks; COND/"
                   "Switch/Design fix the majority");
@@ -57,9 +58,11 @@ main()
         dfs.maxExecutions = 800;
         dfs.maxDecisions = 2000;
         dfs.stopAtFirst = true;
+        bench::applyFlags(dfs);
         auto dres =
             explore::exploreDfs(kernel->factory(bugs::Variant::Fixed),
                                 dfs);
+        bench::noteResult(dres);
         const bool clean =
             stress.manifestations == 0 && dres.manifestations == 0;
         allClean &= clean;

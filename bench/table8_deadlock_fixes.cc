@@ -16,9 +16,10 @@
 #include "explore/dfs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 8: deadlock fix strategies",
                   "19 of 31 deadlocks fixed by giving up a resource "
                   "acquisition");
@@ -56,7 +57,9 @@ main()
         dfs.maxExecutions = 800;
         dfs.maxDecisions = 2000;
         dfs.stopAtFirst = true;
+        bench::applyFlags(dfs);
         auto dres = explore::exploreDfs(factory, dfs);
+        bench::noteResult(dres);
 
         // Lock-graph check on one completed fixed execution.
         sim::RandomPolicy random;

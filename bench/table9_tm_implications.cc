@@ -15,9 +15,10 @@
 #include "explore/dfs.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lfm;
+    bench::applyBenchFlags(argc, argv);
     bench::banner("Table 9: transactional memory implications",
                   "TM could help avoid about 39% of the examined "
                   "bugs; caveats for I/O, free(), and condition "
@@ -56,8 +57,10 @@ main()
         dfs.maxExecutions = 500;
         dfs.maxDecisions = 300;
         dfs.stopAtFirst = true;
+        bench::applyFlags(dfs);
         auto dres = explore::exploreDfs(
             kernel->factory(bugs::Variant::TmFixed), dfs);
+        bench::noteResult(dres);
         const bool clean =
             stress.manifestations == 0 && dres.manifestations == 0;
         allClean &= clean;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Kill-path demo for the failsafe layer: one campaign that contains
+ * everything that can go wrong at once —
+ *
+ *  - a livelocking program whose executions are truncated by the
+ *    per-execution step ceiling instead of spinning forever,
+ *  - a wall-clock watchdog armed over the whole campaign,
+ *  - a corrupt trace that pre-validation quarantines,
+ *  - a throwing detector whose failures quarantine single traces,
+ *  - a deterministic fault-injection plan recorded for replay.
+ *
+ * The campaign still completes, writes RUN_failsafe_demo.json with
+ * nonzero truncated/quarantined counts and partial results, and
+ * exits 0. That is the whole point: graceful degradation, not a
+ * hang or an abort.
+ */
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detect/batch.hh"
+#include "detect/detector.hh"
+#include "detect/pipeline.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "report/run_report.hh"
+#include "sim/faults.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "support/failsafe.hh"
+#include "trace/trace.hh"
+
+using namespace lfm;
+
+namespace
+{
+
+/** A retry loop that never gives up: the classic livelock shape the
+ * study's starvation bugs reduce to. Every execution would spin
+ * forever without the step ceiling. */
+sim::ProgramFactory
+livelockFactory()
+{
+    return [] {
+        struct State
+        {
+            std::unique_ptr<sim::SharedVar<int>> flag;
+        };
+        auto s = std::make_shared<State>();
+        s->flag = std::make_unique<sim::SharedVar<int>>("flag", 0);
+        sim::Program p;
+        p.threads.push_back({"retry", [s] {
+                                 // Waits for a flip that no one
+                                 // ever performs.
+                                 while (s->flag->get() == 0) {
+                                 }
+                             }});
+        p.threads.push_back({"bystander", [s] {
+                                 for (int i = 0; i < 3; ++i)
+                                     (void)s->flag->get();
+                             }});
+        return p;
+    };
+}
+
+/** A detector with a bug of its own. */
+class ThrowingDetector : public detect::Detector
+{
+  public:
+    std::vector<detect::Finding>
+    fromContext(const detect::AnalysisContext &) const override
+    {
+        throw std::runtime_error("demo detector exploded");
+    }
+    const char *name() const override { return "demo-throwing"; }
+};
+
+/** A structurally invalid artifact: unlock of a never-locked mutex
+ * (what a truncated or hand-mangled trace file can load as). */
+trace::Trace
+corruptTrace()
+{
+    trace::Trace t;
+    t.registerThread(0, "t0");
+    t.registerObject({1, trace::ObjectKind::Mutex, "m", 0});
+    trace::Event begin;
+    begin.thread = 0;
+    begin.kind = trace::EventKind::ThreadBegin;
+    t.append(begin);
+    trace::Event unlock;
+    unlock.thread = 0;
+    unlock.kind = trace::EventKind::Unlock;
+    unlock.obj = 1;
+    t.append(unlock);
+    trace::Event end;
+    end.thread = 0;
+    end.kind = trace::EventKind::ThreadEnd;
+    t.append(end);
+    return t;
+}
+
+/** A few healthy traces to show partial results surviving. */
+std::vector<trace::Trace>
+healthyTraces(std::size_t n)
+{
+    std::vector<trace::Trace> traces;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto v = std::make_shared<
+            std::unique_ptr<sim::SharedVar<int>>>();
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = i + 1;
+        traces.push_back(
+            sim::runProgram(
+                [v] {
+                    *v = std::make_unique<sim::SharedVar<int>>("c",
+                                                               0);
+                    sim::Program p;
+                    auto body = [v] { (*v)->add(1); };
+                    p.threads.push_back({"a", body});
+                    p.threads.push_back({"b", body});
+                    return p;
+                },
+                policy, opt)
+                .trace);
+    }
+    return traces;
+}
+
+} // namespace
+
+int
+main()
+{
+    report::RunReport report("failsafe_demo");
+
+    // The deterministic chaos plan, recorded so the run replays.
+    const auto plan = sim::FaultPlan::fromSeed(2008);
+    report.setFaultPlan(plan.toJson());
+
+    // --- stage 1: a livelocking campaign under a watchdog ---------
+    std::cout << "[1] stress campaign over a livelocking program\n";
+    support::CancellationToken token;
+    support::Watchdog dog(token, support::Deadline::afterMs(2000),
+                          "demo watchdog");
+    {
+        auto stage = report.stage("livelock_stress");
+        explore::StressOptions opt;
+        opt.runs = 40;
+        opt.cancel = &token;
+        opt.exec.maxDecisions = 500; // the step ceiling
+        opt.exec.faults = &plan;
+        auto result = explore::ParallelRunner(2).stress(
+            livelockFactory(),
+            explore::makePolicy<sim::RandomPolicy>(), opt);
+
+        std::cout << "    " << result.runs << " runs, "
+                  << result.truncatedRuns
+                  << " truncated by the step ceiling, outcome: "
+                  << support::outcomeName(result.outcome) << "\n";
+        report.setOutcome(result.outcome);
+        report.addTruncated(result.truncatedRuns);
+        report.note("livelock_runs", result.runs);
+    }
+    dog.disarm();
+    report.addWatchdogFires(dog.fired() ? 1 : 0);
+
+    // --- stage 2: batch detection over a dirty corpus -------------
+    std::cout << "[2] batch detection with a corrupt trace in the "
+                 "corpus\n";
+    {
+        auto stage = report.stage("dirty_corpus_batch");
+        auto corpus = healthyTraces(3);
+        corpus.push_back(corruptTrace());
+
+        detect::Pipeline pipeline;
+        detect::BatchOptions options;
+        options.validate = true;
+        const auto reports =
+            detect::BatchRunner(2).run(pipeline, corpus, options);
+        report::recordTraceReports(report, reports);
+        for (const auto &r : reports) {
+            if (r.status == detect::TraceStatus::Quarantined)
+                std::cout << "    trace " << r.key
+                          << " quarantined: " << r.error << "\n";
+        }
+    }
+
+    // --- stage 3: a throwing detector ----------------------------
+    std::cout << "[3] batch detection with a throwing detector\n";
+    {
+        auto stage = report.stage("throwing_detector_batch");
+        std::vector<std::unique_ptr<detect::Detector>> detectors;
+        detectors.push_back(std::make_unique<ThrowingDetector>());
+        detect::Pipeline broken(std::move(detectors));
+
+        detect::BatchOptions options;
+        options.retry =
+            support::RetryPolicy(2, 1000, 10000, plan.seed);
+        const auto reports = detect::BatchRunner(2).run(
+            broken, healthyTraces(2), options);
+        report::recordTraceReports(report, reports);
+        report.addRetries(reports.size()); // one retry per trace
+        std::cout << "    " << reports.size()
+                  << " traces quarantined after retries\n";
+    }
+
+    const bool wrote = report.writeTo("RUN_failsafe_demo.json");
+    std::cout << (wrote ? "[4] wrote RUN_failsafe_demo.json\n"
+                        : "[4] FAILED to write the run report\n");
+
+    // The demo's contract: everything above went wrong, and the
+    // campaign still finished with partial results and evidence.
+    const auto doc = report.toJson();
+    std::cout << "\ncampaign degraded gracefully — partial results "
+                 "kept, nothing hung, nothing crashed\n";
+    return wrote ? 0 : 1;
+}

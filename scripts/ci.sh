@@ -22,12 +22,14 @@ ctest --test-dir build -L bench-smoke --output-on-failure
 echo "== TSan build (sim + explore + parallel + pool/stream tests) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_TSAN=ON
 cmake --build build-tsan -j "$JOBS" \
-    --target test_sim test_parallel test_support test_pipeline
+    --target test_sim test_parallel test_support test_pipeline \
+    test_failsafe
 
 echo "== TSan: executor + parallel engine + pool + detection =="
 ./build-tsan/tests/test_sim
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_support
 ./build-tsan/tests/test_pipeline
+./build-tsan/tests/test_failsafe
 
 echo "CI OK"

@@ -83,6 +83,15 @@ struct KernelInfo
     /** True when a TmFixed variant exists. */
     bool hasTmVariant = false;
 
+    /**
+     * Explicit per-execution decision ceiling for kernels with
+     * unbounded-looking loops (livelock retry, starvation spins): a
+     * run past this many decisions is deterministically truncated by
+     * the executor instead of relying on the harness default lining
+     * up with the kernel's spin constants. 0 = harness default.
+     */
+    std::size_t stepCeiling = 0;
+
     /** One-line description of the modelled bug. */
     std::string summary;
 

@@ -48,6 +48,11 @@ makeGenericLivelockRetry()
     info.ndFix = study::NonDeadlockFix::Other;
     info.tm = study::TmHelp::No;
     info.hasTmVariant = false;
+    // kMaxRetries bounds each thread's own loop, but an adversarial
+    // scheduler can still interleave the two retry loops ~kMaxRetries²
+    // times; the ceiling truncates such runs deterministically
+    // instead of trusting the harness default to exceed that product.
+    info.stepCeiling = 2000;
     info.summary = "symmetric set-check-backoff flags livelock under "
                    "an adversarial schedule";
 

@@ -47,6 +47,11 @@ makeGenericStarvation()
     info.ndFix = study::NonDeadlockFix::Other;
     info.tm = study::TmHelp::No;
     info.hasTmVariant = false;
+    // The spinner yields kSpinBudget times while the peer does
+    // kPeerWork units; a hostile schedule can stretch the run to the
+    // product of the two, so give the executor an explicit ceiling
+    // rather than relying on those constants staying small.
+    info.stepCeiling = 1000;
     info.summary = "bounded spin used as synchronization gives up "
                    "when the peer is starved";
 

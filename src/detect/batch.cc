@@ -1,14 +1,17 @@
 #include "detect/batch.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "support/metrics.hh"
 #include "support/spans.hh"
+#include "trace/validate.hh"
 
 namespace lfm::detect
 {
@@ -18,9 +21,74 @@ BatchRunner::BatchRunner(unsigned workers)
 {
 }
 
+namespace
+{
+
+/**
+ * Run the pipeline over one trace with the batch's failsafe rules:
+ * cancellation skips, validation and detector exceptions quarantine
+ * (after the retry schedule), success analyzes. The non-throwing
+ * path costs exactly one extra status store over the classic run.
+ */
+void
+analyzeOne(const Pipeline &pipeline, const Trace &trace,
+           const BatchOptions &options, TraceReport &report)
+{
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+        report.status = TraceStatus::Skipped;
+        support::metrics::counter("detect.batch.skipped").add();
+        return;
+    }
+    if (options.validate) {
+        auto problems = trace::validateTrace(trace);
+        if (!problems.empty()) {
+            report.status = TraceStatus::Quarantined;
+            report.error = "invalid trace: " + problems.front();
+            support::metrics::counter("detect.batch.quarantined")
+                .add();
+            return;
+        }
+    }
+    unsigned attempted = 0;
+    for (;;) {
+        try {
+            report.findings = pipeline.run(trace);
+            report.status = TraceStatus::Analyzed;
+            report.error.clear();
+            return;
+        } catch (const std::exception &e) {
+            report.error = e.what();
+        } catch (...) {
+            report.error = "non-standard exception";
+        }
+        ++attempted;
+        if (!options.retry.shouldRetry(attempted))
+            break;
+        support::metrics::counter("detect.batch.retries").add();
+        const auto delay =
+            options.retry.delayNs(attempted - 1, report.key);
+        if (delay != 0)
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(delay));
+    }
+    report.findings.clear();
+    report.status = TraceStatus::Quarantined;
+    support::metrics::counter("detect.batch.quarantined").add();
+}
+
+} // namespace
+
 std::vector<TraceReport>
 BatchRunner::run(const Pipeline &pipeline,
                  const std::vector<Trace> &corpus) const
+{
+    return run(pipeline, corpus, BatchOptions{});
+}
+
+std::vector<TraceReport>
+BatchRunner::run(const Pipeline &pipeline,
+                 const std::vector<Trace> &corpus,
+                 const BatchOptions &options) const
 {
     std::vector<TraceReport> reports(corpus.size());
     if (corpus.empty())
@@ -37,9 +105,11 @@ BatchRunner::run(const Pipeline &pipeline,
     support::WorkStealingPool pool(workers_);
     for (std::size_t i = 0; i < corpus.size(); ++i) {
         pool.push(static_cast<unsigned>(i % workers_),
-                  [&pipeline, &corpus, &reports, i](unsigned) {
+                  [&pipeline, &corpus, &reports, &options,
+                   i](unsigned) {
                       reports[i].key = i;
-                      reports[i].findings = pipeline.run(corpus[i]);
+                      analyzeOne(pipeline, corpus[i], options,
+                                 reports[i]);
                   });
     }
     pool.run();
@@ -84,8 +154,25 @@ struct DetectionStream::Impl
             }
             TraceReport report;
             report.key = item.first;
-            report.findings = pipeline.run(item.second);
-            support::metrics::counter("detect.stream.analyzed").add();
+            // A throwing detector quarantines its one trace; the
+            // stream (and its workers) keep running.
+            try {
+                report.findings = pipeline.run(item.second);
+                support::metrics::counter("detect.stream.analyzed")
+                    .add();
+            } catch (const std::exception &e) {
+                report.findings.clear();
+                report.status = TraceStatus::Quarantined;
+                report.error = e.what();
+                support::metrics::counter("detect.stream.quarantined")
+                    .add();
+            } catch (...) {
+                report.findings.clear();
+                report.status = TraceStatus::Quarantined;
+                report.error = "non-standard exception";
+                support::metrics::counter("detect.stream.quarantined")
+                    .add();
+            }
             std::lock_guard<std::mutex> guard(resultM);
             reports.push_back(std::move(report));
         }

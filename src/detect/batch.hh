@@ -32,17 +32,55 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "detect/pipeline.hh"
+#include "support/failsafe.hh"
 #include "support/workpool.hh"
 
 namespace lfm::detect
 {
+
+/** Per-trace disposition after a batch / stream pass. */
+enum class TraceStatus : std::uint8_t
+{
+    Analyzed,     ///< the pipeline ran; findings are valid
+    Quarantined,  ///< malformed trace or throwing detector; isolated
+    Skipped,      ///< campaign was cancelled before this trace ran
+};
 
 /** One trace's findings, tagged with its corpus index / stream key. */
 struct TraceReport
 {
     std::uint64_t key = 0;
     std::vector<Finding> findings;
+
+    /** Analyzed unless the failsafe layer isolated this trace. */
+    TraceStatus status = TraceStatus::Analyzed;
+
+    /** Why the trace was quarantined (validation problem or the
+     * detector exception message); empty otherwise. */
+    std::string error;
+};
+
+/**
+ * Failsafe knobs for a batch pass. The defaults change nothing: no
+ * validation, one attempt, no cancellation — the classic run.
+ */
+struct BatchOptions
+{
+    /** Pre-validate each trace (trace::validateTrace) and quarantine
+     * malformed ones instead of feeding them to detectors. */
+    bool validate = false;
+
+    /** Retry schedule for throwing detectors; the default (one
+     * attempt) quarantines on the first throw. Retries are counted
+     * in detect.batch.retries. */
+    support::RetryPolicy retry;
+
+    /** Checked before each trace; once cancelled, remaining traces
+     * come back Skipped (counted in detect.batch.skipped). */
+    const support::CancellationToken *cancel = nullptr;
 };
 
 /** Corpus-over-pool batch detection; see the file comment. */
@@ -59,6 +97,16 @@ class BatchRunner
     std::vector<TraceReport>
     run(const Pipeline &pipeline,
         const std::vector<Trace> &corpus) const;
+
+    /**
+     * Same, with failsafe handling: a malformed trace (validate) or a
+     * throwing detector quarantines that one trace — counted in
+     * detect.batch.quarantined, with the error in its report — and
+     * the rest of the batch completes normally.
+     */
+    std::vector<TraceReport>
+    run(const Pipeline &pipeline, const std::vector<Trace> &corpus,
+        const BatchOptions &options) const;
 
     /** Steal/idle statistics of the most recent run(). */
     const support::WorkStealingPool::Stats &lastPoolStats() const

@@ -40,6 +40,12 @@ struct DfsOptions
     /** Suppress trace collection (decisions are still recorded —
      * the search needs them); verdicts are unaffected. */
     bool countOnly = false;
+
+    /** Campaign-level cancellation; null = never. */
+    const support::CancellationToken *cancel = nullptr;
+
+    /** Campaign-level wall-clock cutoff. */
+    support::Deadline deadline;
 };
 
 /** Result of a DFS exploration. */
@@ -53,6 +59,14 @@ struct DfsResult
 
     /** Decision-index path of the first manifesting execution. */
     std::optional<std::vector<std::size_t>> firstManifestPath;
+
+    /** Completed, or the cut (Truncated on the execution budget,
+     * Cancelled / DeadlineExpired from the failsafe layer) that ended
+     * the search with the partial counts above. */
+    support::RunOutcome outcome = support::RunOutcome::Completed;
+
+    /** Executions that hit the per-execution decision cap. */
+    std::size_t truncated = 0;
 };
 
 /**

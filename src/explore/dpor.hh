@@ -76,6 +76,12 @@ struct DporOptions
     /** Suppress trace collection (decisions are still recorded —
      * the search needs them); verdicts are unaffected. */
     bool countOnly = false;
+
+    /** Campaign-level cancellation; null = never. */
+    const support::CancellationToken *cancel = nullptr;
+
+    /** Campaign-level wall-clock cutoff. */
+    support::Deadline deadline;
 };
 
 /** Result of a DPOR exploration. */
@@ -87,6 +93,14 @@ struct DporResult
 
     /** Thread plan of the first manifesting execution. */
     std::optional<std::vector<sim::ThreadId>> firstManifestPlan;
+
+    /** Completed, or the cut (Truncated on the execution budget,
+     * Cancelled / DeadlineExpired from the failsafe layer) that ended
+     * the search with the partial counts above. */
+    support::RunOutcome outcome = support::RunOutcome::Completed;
+
+    /** Executions that hit the per-execution decision cap. */
+    std::size_t truncated = 0;
 };
 
 /** Systematically explore the program with partial-order reduction. */

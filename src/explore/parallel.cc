@@ -23,7 +23,19 @@ namespace
 {
 
 using support::resolveWorkers;
+using support::RunOutcome;
 using support::WorkStealingPool;
+
+/** Merge an outcome into an atomic worse-of accumulator. */
+void
+noteOutcome(std::atomic<std::uint8_t> &slot, RunOutcome outcome)
+{
+    std::uint8_t cur = slot.load(std::memory_order_relaxed);
+    const auto want = static_cast<std::uint8_t>(outcome);
+    while (cur < want && !slot.compare_exchange_weak(
+                             cur, want, std::memory_order_acq_rel))
+        ;
+}
 
 /** Lexicographic "a < b" over index/thread paths. */
 template <typename T>
@@ -57,14 +69,33 @@ struct DfsEngine
     std::size_t started = 0;
     std::size_t executions = 0;
     std::size_t manifestations = 0;
+    std::size_t truncated = 0;
     bool budgetHit = false;
     bool stopped = false;
+    RunOutcome cut = RunOutcome::Completed;
     std::optional<std::vector<std::size_t>> best;
 
     DfsEngine(const sim::ProgramFactory &f, const DfsOptions &o,
               const ManifestPredicate &mp, unsigned workers)
         : factory(f), opt(o), manifest(mp), pool(workers)
     {
+    }
+
+    /** Failsafe gate; caller holds m. True = stop exploring. */
+    bool
+    cutNow()
+    {
+        if (cut != RunOutcome::Completed)
+            return true;
+        if (opt.cancel != nullptr && opt.cancel->cancelled()) {
+            cut = RunOutcome::Cancelled;
+            return true;
+        }
+        if (opt.deadline.armed() && opt.deadline.expired()) {
+            cut = RunOutcome::DeadlineExpired;
+            return true;
+        }
+        return false;
     }
 
     void enqueue(unsigned worker, std::vector<std::size_t> prefix)
@@ -78,6 +109,8 @@ struct DfsEngine
         support::spans::Scope span("dfs.exec", "explore");
         {
             std::lock_guard<std::mutex> guard(m);
+            if (cutNow())
+                return;
             // After stopAtFirst fires, only subtrees that can still
             // contain a lexicographically smaller manifesting path
             // keep running; this refines `best` toward the canonical
@@ -97,7 +130,16 @@ struct DfsEngine
         exec.maxDecisions = opt.maxDecisions;
         exec.spuriousWakeups = opt.spuriousWakeups;
         exec.collectTrace = !opt.countOnly;
+        exec.cancel = opt.cancel;
+        exec.deadline = opt.deadline;
         auto execution = sim::runProgram(factory, policy, exec);
+        if (execution.outcome == RunOutcome::Cancelled ||
+            execution.outcome == RunOutcome::DeadlineExpired) {
+            // Aborted mid-execution: record the cut, count nothing.
+            std::lock_guard<std::mutex> guard(m);
+            cut = support::worseOutcome(cut, execution.outcome);
+            return;
+        }
 
         const auto &decisions = execution.decisions;
         std::vector<std::size_t> path;
@@ -109,6 +151,8 @@ struct DfsEngine
         {
             std::lock_guard<std::mutex> guard(m);
             ++executions;
+            if (execution.stepLimitHit)
+                ++truncated;
             if (manifest(execution)) {
                 ++manifestations;
                 if (!best || lexLess(path, *best))
@@ -147,8 +191,14 @@ struct DfsEngine
         DfsResult result;
         result.executions = executions;
         result.manifestations = manifestations;
-        result.exhausted = !budgetHit && !stopped;
+        result.exhausted =
+            !budgetHit && !stopped && cut == RunOutcome::Completed;
         result.firstManifestPath = best;
+        result.outcome = cut != RunOutcome::Completed
+                             ? cut
+                             : (budgetHit ? RunOutcome::Truncated
+                                          : RunOutcome::Completed);
+        result.truncated = truncated;
         return result;
     }
 };
@@ -193,14 +243,33 @@ struct DporEngine
     std::size_t started = 0;
     std::size_t executions = 0;
     std::size_t manifestations = 0;
+    std::size_t truncated = 0;
     bool budgetHit = false;
     bool stopped = false;
+    RunOutcome cut = RunOutcome::Completed;
     std::optional<std::vector<sim::ThreadId>> best;
 
     DporEngine(const sim::ProgramFactory &f, const DporOptions &o,
                const ManifestPredicate &mp, unsigned workers)
         : factory(f), opt(o), manifest(mp), pool(workers)
     {
+    }
+
+    /** Failsafe gate; caller holds m. True = stop exploring. */
+    bool
+    cutNow()
+    {
+        if (cut != RunOutcome::Completed)
+            return true;
+        if (opt.cancel != nullptr && opt.cancel->cancelled()) {
+            cut = RunOutcome::Cancelled;
+            return true;
+        }
+        if (opt.deadline.armed() && opt.deadline.expired()) {
+            cut = RunOutcome::DeadlineExpired;
+            return true;
+        }
+        return false;
     }
 
     void enqueue(unsigned worker, std::vector<sim::ThreadId> plan)
@@ -216,6 +285,8 @@ struct DporEngine
         support::spans::Scope span("dpor.exec", "explore");
         {
             std::lock_guard<std::mutex> guard(m);
+            if (cutNow())
+                return;
             if (stopped)
                 return;
             if (started >= opt.maxExecutions) {
@@ -229,7 +300,16 @@ struct DporEngine
         sim::ExecOptions exec;
         exec.maxDecisions = opt.maxDecisions;
         exec.collectTrace = !opt.countOnly;
+        exec.cancel = opt.cancel;
+        exec.deadline = opt.deadline;
         auto execution = sim::runProgram(factory, policy, exec);
+        if (execution.outcome == RunOutcome::Cancelled ||
+            execution.outcome == RunOutcome::DeadlineExpired) {
+            // Aborted mid-execution: record the cut, count nothing.
+            std::lock_guard<std::mutex> guard(m);
+            cut = support::worseOutcome(cut, execution.outcome);
+            return;
+        }
 
         const auto &decisions = execution.decisions;
         const std::size_t n = decisions.size();
@@ -285,6 +365,8 @@ struct DporEngine
                 return;
             }
             ++executions;
+            if (execution.stepLimitHit)
+                ++truncated;
             if (manifest(execution)) {
                 ++manifestations;
                 if (!best || lexLess(tids, *best))
@@ -341,8 +423,14 @@ struct DporEngine
         DporResult result;
         result.executions = executions;
         result.manifestations = manifestations;
-        result.exhausted = !budgetHit && !stopped;
+        result.exhausted =
+            !budgetHit && !stopped && cut == RunOutcome::Completed;
         result.firstManifestPlan = best;
+        result.outcome = cut != RunOutcome::Completed
+                             ? cut
+                             : (budgetHit ? RunOutcome::Truncated
+                                          : RunOutcome::Completed);
+        result.truncated = truncated;
         return result;
     }
 };
@@ -396,6 +484,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
     {
         std::uint64_t steps = 0;
         bool manifested = false;
+        bool ran = false;
+        bool truncated = false;
     };
     std::vector<RunRecord> records(runs);
 
@@ -407,6 +497,19 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         1, std::min<std::size_t>(64, runs / (workers_ * 4) + 1));
     std::atomic<std::size_t> nextBlock{0};
     std::atomic<std::uint64_t> stopIndex{~std::uint64_t{0}};
+
+    // Failsafe state: the campaign-level cut. bounded is false on the
+    // default options, collapsing every per-run check to one branch.
+    const support::Deadline effDeadline = support::Deadline::earlier(
+        options.deadline, options.budget.deadline);
+    const bool bounded = options.cancel != nullptr ||
+                         effDeadline.armed() ||
+                         !options.budget.unlimited();
+    std::atomic<bool> stopAll{false};
+    std::atomic<std::uint8_t> outcomeSlot{
+        static_cast<std::uint8_t>(RunOutcome::Completed)};
+    std::atomic<std::uint64_t> stepsUsed{0};
+    std::atomic<std::uint64_t> bytesUsed{0};
 
     auto worker = [&]() {
         auto policy = makePolicy();
@@ -432,18 +535,76 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                 if (options.stopAtFirst &&
                     i > stopIndex.load(std::memory_order_acquire))
                     break;
+                if (bounded) {
+                    // Campaign-level cut: first worker to notice
+                    // records the outcome; everyone else drains out
+                    // and the merge harvests what completed.
+                    if (stopAll.load(std::memory_order_acquire))
+                        return;
+                    if (options.cancel != nullptr &&
+                        options.cancel->cancelled()) {
+                        noteOutcome(outcomeSlot,
+                                    RunOutcome::Cancelled);
+                        stopAll.store(true,
+                                      std::memory_order_release);
+                        return;
+                    }
+                    if (effDeadline.expired()) {
+                        noteOutcome(outcomeSlot,
+                                    RunOutcome::DeadlineExpired);
+                        stopAll.store(true,
+                                      std::memory_order_release);
+                        return;
+                    }
+                    const RunOutcome cut = options.budget.check(
+                        stepsUsed.load(std::memory_order_relaxed),
+                        bytesUsed.load(std::memory_order_relaxed));
+                    if (cut != RunOutcome::Completed) {
+                        noteOutcome(outcomeSlot, cut);
+                        stopAll.store(true,
+                                      std::memory_order_release);
+                        return;
+                    }
+                }
                 sim::ExecOptions exec = options.exec;
                 exec.seed = options.firstSeed + i;
                 if (options.countOnly) {
                     exec.collectTrace = false;
                     exec.recordDecisions = false;
                 }
+                if (bounded) {
+                    if (exec.cancel == nullptr)
+                        exec.cancel = options.cancel;
+                    exec.deadline = support::Deadline::earlier(
+                        exec.deadline, effDeadline);
+                }
                 auto execution = [&] {
                     metrics::Timer::Scope timing(execTimer);
                     return sim::runProgram(factory, *policy, exec);
                 }();
+                if (bounded) {
+                    stepsUsed.fetch_add(execution.steps(),
+                                        std::memory_order_relaxed);
+                    bytesUsed.fetch_add(
+                        execution.trace.size() *
+                            sizeof(trace::Event),
+                        std::memory_order_relaxed);
+                    if (execution.outcome ==
+                            RunOutcome::Cancelled ||
+                        execution.outcome ==
+                            RunOutcome::DeadlineExpired) {
+                        // Aborted mid-run: nothing harvestable from
+                        // this seed, and the campaign is over.
+                        noteOutcome(outcomeSlot, execution.outcome);
+                        stopAll.store(true,
+                                      std::memory_order_release);
+                        return;
+                    }
+                }
                 records[i].steps = execution.steps();
                 records[i].manifested = manifest(execution);
+                records[i].truncated = execution.stepLimitHit;
+                records[i].ran = true;
                 if (runsCounter)
                     runsCounter->add();
                 if (manifestCounter && records[i].manifested)
@@ -474,11 +635,17 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
     }
 
     // Merge in seed order, replicating the sequential loop: the
-    // result is bit-identical for every worker count.
+    // result is bit-identical for every worker count. Seeds a
+    // failsafe cut abandoned never ran and are skipped — partial
+    // harvest, not zeroes.
     double totalDecisions = 0.0;
     for (std::size_t i = 0; i < runs; ++i) {
+        if (!records[i].ran)
+            continue;
         ++result.runs;
         totalDecisions += static_cast<double>(records[i].steps);
+        if (records[i].truncated)
+            ++result.truncatedRuns;
         if (records[i].manifested) {
             ++result.manifestations;
             if (!result.firstManifestSeed)
@@ -487,6 +654,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                 break;
         }
     }
+    result.outcome = static_cast<RunOutcome>(
+        outcomeSlot.load(std::memory_order_acquire));
     if (result.runs > 0)
         result.avgDecisions =
             totalDecisions / static_cast<double>(result.runs);

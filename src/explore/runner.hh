@@ -39,6 +39,14 @@ struct StressResult
     std::optional<std::uint64_t> firstManifestSeed;
     double avgDecisions = 0.0;
 
+    /** How the campaign ended: Completed, or the failsafe cut that
+     * stopped it early (runs/manifestations then cover exactly the
+     * executions that finished — partial results, never garbage). */
+    support::RunOutcome outcome = support::RunOutcome::Completed;
+
+    /** Executions that hit the per-execution step ceiling. */
+    std::size_t truncatedRuns = 0;
+
     double
     rate() const
     {
@@ -75,6 +83,18 @@ struct StressOptions
      */
     std::function<void(std::size_t, const sim::Execution &)>
         onExecution;
+
+    /** Campaign-level cancellation: polled between (and, via the
+     * executor, within) executions; null = never. */
+    const support::CancellationToken *cancel = nullptr;
+
+    /** Campaign-level wall-clock cutoff (combined with any deadline
+     * already in exec and with budget.deadline; earliest wins). */
+    support::Deadline deadline;
+
+    /** Composite campaign budget (steps / wall time / trace bytes);
+     * the default imposes nothing. */
+    support::Budget budget;
 };
 
 /**

@@ -87,6 +87,56 @@ RunReport::recordPoolStats(const support::WorkStealingPool::Stats &s)
     hasPoolStats_ = true;
 }
 
+void
+RunReport::setOutcome(support::RunOutcome outcome)
+{
+    outcome_ = support::worseOutcome(outcome_, outcome);
+    hasFailsafe_ = true;
+}
+
+void
+RunReport::addQuarantined(std::size_t n)
+{
+    quarantined_ += n;
+    hasFailsafe_ = hasFailsafe_ || n != 0;
+}
+
+void
+RunReport::addSkipped(std::size_t n)
+{
+    skipped_ += n;
+    hasFailsafe_ = hasFailsafe_ || n != 0;
+}
+
+void
+RunReport::addTruncated(std::size_t n)
+{
+    truncated_ += n;
+    hasFailsafe_ = hasFailsafe_ || n != 0;
+}
+
+void
+RunReport::addRetries(std::size_t n)
+{
+    retries_ += n;
+    hasFailsafe_ = hasFailsafe_ || n != 0;
+}
+
+void
+RunReport::addWatchdogFires(std::size_t n)
+{
+    watchdogFires_ += n;
+    hasFailsafe_ = hasFailsafe_ || n != 0;
+}
+
+void
+RunReport::setFaultPlan(support::Json plan)
+{
+    faultPlan_ = std::move(plan);
+    hasFaultPlan_ = true;
+    hasFailsafe_ = true;
+}
+
 RunReport::Stage::Stage(RunReport &report, std::string name)
     : report_(&report), name_(std::move(name)),
       wallStartNs_(wallNowNs()), cpuStartNs_(cpuNowNs())
@@ -151,6 +201,19 @@ RunReport::toJson() const
         doc.set("pool", std::move(pool));
     }
 
+    if (hasFailsafe_) {
+        support::Json failsafe;
+        failsafe.set("outcome", support::outcomeName(outcome_))
+            .set("quarantined", quarantined_)
+            .set("skipped", skipped_)
+            .set("truncated", truncated_)
+            .set("retries", retries_)
+            .set("watchdog_fires", watchdogFires_);
+        if (hasFaultPlan_)
+            failsafe.set("fault_plan", faultPlan_);
+        doc.set("failsafe", std::move(failsafe));
+    }
+
     doc.set("metrics",
             support::metrics::Registry::instance().snapshotJson());
     return doc;
@@ -166,11 +229,27 @@ void
 recordTraceReports(RunReport &report,
                    const std::vector<detect::TraceReport> &reports)
 {
-    report.addTracesAnalyzed(reports.size());
+    std::size_t analyzed = 0;
+    std::size_t quarantined = 0;
+    std::size_t skipped = 0;
     for (const auto &tr : reports) {
-        for (const auto &finding : tr.findings)
-            report.addFindings(finding.detector, 1);
+        switch (tr.status) {
+        case detect::TraceStatus::Analyzed:
+            ++analyzed;
+            for (const auto &finding : tr.findings)
+                report.addFindings(finding.detector, 1);
+            break;
+        case detect::TraceStatus::Quarantined:
+            ++quarantined;
+            break;
+        case detect::TraceStatus::Skipped:
+            ++skipped;
+            break;
+        }
     }
+    report.addTracesAnalyzed(analyzed);
+    report.addQuarantined(quarantined);
+    report.addSkipped(skipped);
 }
 
 std::string

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "support/failsafe.hh"
 #include "support/json.hh"
 #include "support/workpool.hh"
 
@@ -60,6 +61,33 @@ class RunReport
     /** Fold one pool run's steal/idle statistics into the report
      * (multiple runs accumulate). */
     void recordPoolStats(const support::WorkStealingPool::Stats &s);
+
+    /// @name Failsafe evidence (emitted as a "failsafe" object once
+    /// any of these is touched; absent from classic reports).
+    /// @{
+
+    /** Merge a campaign outcome (worse-of across calls). */
+    void setOutcome(support::RunOutcome outcome);
+
+    /** Count traces the failsafe layer quarantined. */
+    void addQuarantined(std::size_t n);
+
+    /** Count traces cancellation skipped. */
+    void addSkipped(std::size_t n);
+
+    /** Count executions truncated by a step ceiling. */
+    void addTruncated(std::size_t n);
+
+    /** Count detector retry attempts. */
+    void addRetries(std::size_t n);
+
+    /** Count watchdog fires. */
+    void addWatchdogFires(std::size_t n);
+
+    /** Record the active fault-injection plan (FaultPlan::toJson()). */
+    void setFaultPlan(support::Json plan);
+
+    /// @}
 
     /**
      * RAII stage timer: measures wall time (steady clock) and CPU
@@ -115,10 +143,21 @@ class RunReport
     std::vector<StageRecord> stages_;
     support::WorkStealingPool::Stats pool_;
     bool hasPoolStats_ = false;
+
+    support::RunOutcome outcome_ = support::RunOutcome::Completed;
+    std::size_t quarantined_ = 0;
+    std::size_t skipped_ = 0;
+    std::size_t truncated_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t watchdogFires_ = 0;
+    support::Json faultPlan_;
+    bool hasFaultPlan_ = false;
+    bool hasFailsafe_ = false;
 };
 
-/** Fold a batch/stream result into the report: counts the traces and
- * tallies every finding under its detector. */
+/** Fold a batch/stream result into the report: Analyzed traces count
+ * toward traces_analyzed with every finding tallied under its
+ * detector; Quarantined / Skipped traces feed the failsafe section. */
 void recordTraceReports(RunReport &report,
                         const std::vector<detect::TraceReport> &reports);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "sim/faults.hh"
 #include "sim/policy.hh"
 #include "support/logging.hh"
 #include "trace/event.hh"
@@ -152,6 +153,15 @@ Executor::run(const ProgramFactory &factory, SchedulePolicy &policy,
     seqCounter_ = 0;
     unparked_.store(0, std::memory_order_relaxed);
     choicesScratch_.clear();
+    faults_ = options.faults;
+    if (faults_ != nullptr) {
+        // Per-execution tryLock-fault stream: a pure function of
+        // (plan seed, execution seed), so faulted runs replay.
+        std::uint64_t state =
+            faults_->seed ^ (options.seed * 0x9e3779b97f4a7c15ull) ^
+            0x7431f0c4ull;
+        faultRng_ = support::Rng(support::splitMix64(state));
+    }
 
     Executor *prevExec = tExecutor;
     ThreadId prevTid = tTid;
@@ -179,9 +189,11 @@ Executor::run(const ProgramFactory &factory, SchedulePolicy &policy,
     }
 
     // The oracle judges final state, which only exists for runs that
-    // actually completed; aborted (step-limit) and deadlocked runs
-    // are reported through their own flags instead.
-    if (program.oracle && !exec_.stepLimitHit && !exec_.deadlocked)
+    // actually completed; truncated / cancelled / deadline-expired
+    // and deadlocked runs are reported through their flags instead.
+    if (program.oracle &&
+        exec_.outcome == support::RunOutcome::Completed &&
+        !exec_.deadlocked)
         exec_.oracleFailure = program.oracle();
 
     tExecutor = prevExec;
@@ -464,6 +476,22 @@ Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
         waitQuiescent(lk);
 
     for (;;) {
+        // Failsafe checks run here, at quiescence, where abortAll is
+        // legal. A null token / unarmed deadline costs one branch;
+        // the clock read is amortised over 64 decisions.
+        if (opt.cancel != nullptr && opt.cancel->cancelled()) {
+            exec_.outcome = support::RunOutcome::Cancelled;
+            abortAll(lk);
+            break;
+        }
+        if (opt.deadline.armed() &&
+            (exec_.decisionCount & 63) == 0 &&
+            opt.deadline.expired()) {
+            exec_.outcome = support::RunOutcome::DeadlineExpired;
+            abortAll(lk);
+            break;
+        }
+
         buildChoices(choicesScratch_, opt.spuriousWakeups);
         const auto &choices = choicesScratch_;
 
@@ -483,6 +511,7 @@ Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
 
         if (exec_.decisionCount >= opt.maxDecisions) {
             exec_.stepLimitHit = true;
+            exec_.outcome = support::RunOutcome::Truncated;
             abortAll(lk);
             break;
         }
@@ -601,7 +630,37 @@ Executor::threadMain(LogicalThread *lt)
     }
 }
 
-void
+namespace
+{
+
+/**
+ * Ops that RAII guards issue from (noexcept) destructors. Abort must
+ * never propagate ExecutionAborted through these: the throw would
+ * cross a noexcept frame and terminate(). On abort they are dropped
+ * instead — the run's verdict is already sealed, so losing a release
+ * op from a dying execution changes nothing — and the thread unwinds
+ * at its next non-release schedule point.
+ */
+bool
+releaseLikeOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MutexUnlock:
+      case OpKind::RwRdUnlock:
+      case OpKind::RwWrUnlock:
+      case OpKind::SignalOne:
+      case OpKind::SignalAll:
+      case OpKind::SemPost:
+      case OpKind::Free:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
 Executor::parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
 {
     lt.status = ThreadStatus::AtPoint;
@@ -610,11 +669,14 @@ Executor::parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
         cv_.wait(lk, [this, &lt] {
             return abortFlag_ || granted_ == lt.tid;
         });
-        if (abortFlag_)
-            throw ExecutionAborted{};
+        if (abortFlag_) {
+            if (!releaseLikeOp(lt.pending.kind))
+                throw ExecutionAborted{};
+            return true;
+        }
         granted_ = trace::kNoThread;
         lt.status = ThreadStatus::Running;
-        return;
+        return false;
     }
 
     // Fast path: drop the lock, report quiescence, then wait on our
@@ -637,19 +699,34 @@ Executor::parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
         }
     }
     lt.baton.store(0, std::memory_order_relaxed);
-    if (token == kBatonAbort)
-        throw ExecutionAborted{};
+    if (token == kBatonAbort) {
+        if (!releaseLikeOp(lt.pending.kind))
+            throw ExecutionAborted{};
+        return true; // lk stays unlocked; the caller only returns
+    }
     lk.lock();
     lt.status = ThreadStatus::Running;
+    return false;
 }
 
 void
 Executor::schedulePoint(PendingOp op)
 {
     std::unique_lock<std::mutex> lk(m_);
+    // Once the run is being aborted, no op may park: the scheduler
+    // has left its loop and nobody would ever grant the baton.
+    // Regular ops unwind the thread via ExecutionAborted; release
+    // ops (see releaseLikeOp) are dropped, because they reach here
+    // from noexcept destructor frames where a throw terminates.
+    if (abortFlag_) {
+        if (!releaseLikeOp(op.kind))
+            throw ExecutionAborted{};
+        return;
+    }
     LogicalThread &lt = self();
     lt.pending = std::move(op);
-    parkAgain(lk, lt);
+    if (parkAgain(lk, lt))
+        return;
     executeOp(lk, lt);
 }
 
@@ -736,6 +813,14 @@ Executor::executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
 
           case OpKind::MutexTryLock: {
             MutexState &s = mutexes_[op.obj];
+            // Injected fault: POSIX allows tryLock to fail even on an
+            // uncontended mutex; the plan forces that path at a seeded
+            // rate. Robust callers (retry loops) must tolerate it.
+            if (faults_ != nullptr && faults_->tryLockFailRate > 0.0 &&
+                faultRng_.chance(faults_->tryLockFailRate)) {
+                op.auxSeq = 0;
+                return;
+            }
             if (s.holder == trace::kNoThread ||
                 (s.recursive && s.holder == lt.tid)) {
                 if (s.holder == lt.tid) {
@@ -957,7 +1042,8 @@ Executor::executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt)
             LFM_PANIC("unexpected op kind granted: ",
                       opKindName(op.kind));
         }
-        parkAgain(lk, lt);
+        if (parkAgain(lk, lt))
+            return;
     }
 }
 

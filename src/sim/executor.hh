@@ -34,6 +34,7 @@
 
 #include "sim/op.hh"
 #include "sim/program.hh"
+#include "support/random.hh"
 #include "trace/ids.hh"
 
 namespace lfm::sim
@@ -223,7 +224,12 @@ class Executor
     void schedulePoint(PendingOp op);
     /** Perform lt's granted pending op; may re-park internally. */
     void executeOp(std::unique_lock<std::mutex> &lk, LogicalThread &lt);
-    void parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt);
+    /** Park until granted. Returns true when the run was aborted and
+     * the pending op is release-like (see releaseLikeOp in the .cc):
+     * the op was dropped and the caller must just return — throwing
+     * would cross the noexcept destructor frame that issued it. All
+     * other aborts unwind via ExecutionAborted. */
+    bool parkAgain(std::unique_lock<std::mutex> &lk, LogicalThread &lt);
     LogicalThread &self();
     LogicalThread &byTid(ThreadId tid);
     const LogicalThread &byTid(ThreadId tid) const;
@@ -254,6 +260,11 @@ class Executor
     SeqNo seqCounter_ = 0;
     /** Reused per-step choice buffer (scheduler side). */
     std::vector<ChoiceRecord> choicesScratch_;
+
+    /** Active fault plan (constant during one run; null = none). */
+    const FaultPlan *faults_ = nullptr;
+    /** Deterministic stream for injected tryLock failures. */
+    support::Rng faultRng_{1};
 
     std::map<ObjectId, MutexState> mutexes_;
     std::map<ObjectId, RWLockState> rwlocks_;

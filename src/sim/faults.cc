@@ -1,0 +1,85 @@
+#include "sim/faults.hh"
+
+namespace lfm::sim
+{
+
+FaultPlan
+FaultPlan::fromSeed(std::uint64_t campaignSeed)
+{
+    // Chain splitMix64 so each knob gets an independent stream; the
+    // ranges keep every fault class active but none overwhelming.
+    std::uint64_t state = campaignSeed ^ 0xfa17fa17fa17fa17ull;
+    const auto draw = [&state] {
+        return (support::splitMix64(state) >> 11) * 0x1.0p-53;
+    };
+
+    FaultPlan plan;
+    plan.seed = support::splitMix64(state);
+    plan.spuriousWakeupRate = 0.05 + 0.15 * draw();
+    plan.tryLockFailRate = 0.05 + 0.10 * draw();
+    plan.perturbChance = 0.01 + 0.04 * draw();
+    plan.perturbLength =
+        4 + static_cast<unsigned>(support::splitMix64(state) % 13);
+    return plan;
+}
+
+support::Json
+FaultPlan::toJson() const
+{
+    support::Json j;
+    j.set("seed", static_cast<std::uint64_t>(seed));
+    j.set("spurious_wakeup_rate", spuriousWakeupRate);
+    j.set("trylock_fail_rate", tryLockFailRate);
+    j.set("perturb_chance", perturbChance);
+    j.set("perturb_length", static_cast<std::uint64_t>(perturbLength));
+    return j;
+}
+
+void
+FaultInjectingPolicy::beginExecution(std::uint64_t seed)
+{
+    // Split the per-execution fault stream off the plan seed so the
+    // same (plan, seed) always injects the same faults, independent
+    // of what the inner policy draws.
+    std::uint64_t state = plan_.seed ^ (seed * 0x9e3779b97f4a7c15ull);
+    rng_ = support::Rng(support::splitMix64(state));
+    burstLeft_ = 0;
+    inner_->beginExecution(seed);
+}
+
+std::size_t
+FaultInjectingPolicy::pick(const SchedView &view)
+{
+    // Forced spurious wakeup: when the executor offers any
+    // spurious-wake alternatives, take one at the plan rate.
+    if (plan_.spuriousWakeupRate > 0.0 &&
+        rng_.chance(plan_.spuriousWakeupRate)) {
+        std::size_t nSpurious = 0;
+        for (const auto &c : view.choices)
+            nSpurious += c.spuriousWake ? 1 : 0;
+        if (nSpurious != 0) {
+            std::size_t want = rng_.index(nSpurious);
+            for (std::size_t i = 0; i < view.choices.size(); ++i) {
+                if (!view.choices[i].spuriousWake)
+                    continue;
+                if (want == 0)
+                    return i;
+                --want;
+            }
+        }
+    }
+
+    // Perturbation burst: a short window of uniformly random picks
+    // that shakes the inner policy out of its "lucky" schedule.
+    if (burstLeft_ == 0 && plan_.perturbChance > 0.0 &&
+        plan_.perturbLength > 0 && rng_.chance(plan_.perturbChance))
+        burstLeft_ = plan_.perturbLength;
+    if (burstLeft_ > 0) {
+        --burstLeft_;
+        return rng_.index(view.choices.size());
+    }
+
+    return inner_->pick(view);
+}
+
+} // namespace lfm::sim

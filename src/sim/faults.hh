@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulator.
+ *
+ * The paper's fix taxonomy says real concurrency bugs are mostly fixed
+ * by condition checks, retries, and bounded waits — patterns whose
+ * correctness only shows under hostile schedules. A FaultPlan makes
+ * those schedules on demand, entirely derived from a seed:
+ *
+ *  - forced spurious wakeups (cond-waiters wake without a signal),
+ *  - injected tryLock failures (an uncontended tryLock may still
+ *    fail, as POSIX permits),
+ *  - scheduler-perturbation bursts (short windows where the wrapped
+ *    policy is overridden with uniformly random picks).
+ *
+ * Every fault is a pure function of (plan seed, execution seed,
+ * decision history), so a faulted execution replays bit-identically —
+ * fault injection never costs reproducibility. Kernels whose fixed
+ * variants survive a faulted sweep are robust in exactly the sense
+ * the paper's fixes aim for.
+ */
+
+#ifndef LFM_SIM_FAULTS_HH
+#define LFM_SIM_FAULTS_HH
+
+#include <cstdint>
+
+#include "sim/policy.hh"
+#include "support/json.hh"
+#include "support/random.hh"
+
+namespace lfm::sim
+{
+
+/** Seed-derived fault-injection plan; see the file comment. */
+struct FaultPlan
+{
+    /** Master seed; per-execution streams split off this. */
+    std::uint64_t seed = 0;
+
+    /** Probability an offered spurious-wake choice is forced. */
+    double spuriousWakeupRate = 0.0;
+
+    /** Probability a would-succeed tryLock fails anyway. */
+    double tryLockFailRate = 0.0;
+
+    /** Per-decision probability a perturbation burst starts. */
+    double perturbChance = 0.0;
+
+    /** Length of a perturbation burst, in decisions. */
+    unsigned perturbLength = 0;
+
+    /** True when any fault class is active. */
+    bool
+    active() const
+    {
+        return spuriousWakeupRate > 0.0 || tryLockFailRate > 0.0 ||
+               (perturbChance > 0.0 && perturbLength > 0);
+    }
+
+    /**
+     * The standard plan for a campaign seed: moderate rates varied
+     * deterministically per seed (spurious 5–20%, tryLock fail 5–15%,
+     * burst chance 1–5% of length 4–16), so different campaigns probe
+     * different mixes while each stays replayable.
+     */
+    static FaultPlan fromSeed(std::uint64_t campaignSeed);
+
+    /** Plan summary for run reports. */
+    support::Json toJson() const;
+};
+
+/**
+ * Policy wrapper applying a FaultPlan's schedule-level faults: forces
+ * offered spurious-wake choices at the plan rate and, during
+ * perturbation bursts, overrides the inner policy with uniformly
+ * random picks. tryLock failures live in the executor (they change
+ * the op result, not the pick). Deterministic per (plan, seed).
+ */
+class FaultInjectingPolicy : public SchedulePolicy
+{
+  public:
+    FaultInjectingPolicy(const FaultPlan &plan, SchedulePolicy &inner)
+        : plan_(plan), inner_(&inner)
+    {
+    }
+
+    void beginExecution(std::uint64_t seed) override;
+    std::size_t pick(const SchedView &view) override;
+    const char *name() const override { return "fault-injecting"; }
+
+  private:
+    FaultPlan plan_;
+    SchedulePolicy *inner_;
+    support::Rng rng_{1};
+    unsigned burstLeft_ = 0;
+};
+
+} // namespace lfm::sim
+
+#endif // LFM_SIM_FAULTS_HH

@@ -19,10 +19,13 @@
 #include <vector>
 
 #include "sim/op.hh"
+#include "support/failsafe.hh"
 #include "trace/trace.hh"
 
 namespace lfm::sim
 {
+
+struct FaultPlan;
 
 /** One root thread of a program: display name plus body. */
 struct ThreadSpec
@@ -80,6 +83,27 @@ struct ExecOptions
      * (bench/perf_parallel) and as a fallback while debugging.
      */
     bool legacyHandoff = false;
+
+    /**
+     * Cooperative cancellation: when set, the scheduler polls the
+     * token between decisions and ends the execution with outcome
+     * Cancelled (one relaxed load per decision; nullptr is free).
+     */
+    const support::CancellationToken *cancel = nullptr;
+
+    /**
+     * Wall-clock cutoff for this execution. Checked every 64
+     * decisions to amortise the clock read; an unarmed deadline
+     * (the default) costs one branch.
+     */
+    support::Deadline deadline;
+
+    /**
+     * Deterministic fault-injection plan (sim/faults.hh): injected
+     * tryLock failures handled by the executor; spurious wakeups and
+     * perturbation bursts by FaultInjectingPolicy. Null = no faults.
+     */
+    const FaultPlan *faults = nullptr;
 };
 
 /** Why a blocked thread cannot make progress (deadlock reporting). */
@@ -105,6 +129,12 @@ struct Execution
 
     /** True when maxDecisions was exhausted (livelock guard). */
     bool stepLimitHit = false;
+
+    /** How the execution ended: Completed (natural end, including a
+     * deadlock verdict), Truncated (step ceiling), DeadlineExpired,
+     * or Cancelled. Non-Completed runs skip the oracle — the final
+     * state was never reached. */
+    support::RunOutcome outcome = support::RunOutcome::Completed;
 
     /** Every decision taken, for replay and systematic search.
      * Empty when ExecOptions::recordDecisions was off. */

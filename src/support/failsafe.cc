@@ -1,0 +1,159 @@
+#include "support/failsafe.hh"
+
+#include "support/metrics.hh"
+#include "support/random.hh"
+
+namespace lfm::support
+{
+
+const char *
+outcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+    case RunOutcome::Completed:
+        return "completed";
+    case RunOutcome::Truncated:
+        return "truncated";
+    case RunOutcome::DeadlineExpired:
+        return "deadline";
+    case RunOutcome::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+RunOutcome
+worseOutcome(RunOutcome a, RunOutcome b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+               ? a
+               : b;
+}
+
+void
+CancellationToken::requestCancel(std::string reason)
+{
+    {
+        std::lock_guard lk(m_);
+        if (reason_.empty())
+            reason_ = std::move(reason);
+    }
+    // Release store after the reason is published, so a consumer that
+    // sees cancelled() also sees the reason.
+    bool was = flag_.exchange(true, std::memory_order_acq_rel);
+    if (!was)
+        metrics::counter("failsafe.cancel.requested").add();
+}
+
+std::string
+CancellationToken::reason() const
+{
+    std::lock_guard lk(m_);
+    return reason_;
+}
+
+void
+CancellationToken::reset()
+{
+    std::lock_guard lk(m_);
+    reason_.clear();
+    flag_.store(false, std::memory_order_release);
+}
+
+Deadline
+Deadline::afterNs(std::uint64_t ns)
+{
+    Deadline d;
+    d.armed_ = true;
+    d.when_ = std::chrono::steady_clock::now() +
+              std::chrono::nanoseconds(ns);
+    return d;
+}
+
+Deadline
+Deadline::afterMs(std::uint64_t ms)
+{
+    return afterNs(ms * 1000000ull);
+}
+
+Deadline
+Deadline::earlier(const Deadline &a, const Deadline &b)
+{
+    if (!a.armed_)
+        return b;
+    if (!b.armed_)
+        return a;
+    return a.when_ <= b.when_ ? a : b;
+}
+
+RunOutcome
+Budget::check(std::uint64_t stepsUsed,
+              std::uint64_t traceBytesUsed) const
+{
+    if (deadline.armed() && deadline.expired())
+        return RunOutcome::DeadlineExpired;
+    if (maxSteps != 0 && stepsUsed >= maxSteps)
+        return RunOutcome::Truncated;
+    if (maxTraceBytes != 0 && traceBytesUsed >= maxTraceBytes)
+        return RunOutcome::Truncated;
+    return RunOutcome::Completed;
+}
+
+std::uint64_t
+RetryPolicy::delayNs(unsigned retryIndex, std::uint64_t key) const
+{
+    if (baseDelayNs_ == 0)
+        return 0;
+    const unsigned shift = retryIndex < 32 ? retryIndex : 32;
+    std::uint64_t raw = baseDelayNs_ << shift;
+    if (raw >> shift != baseDelayNs_) // overflow
+        raw = maxDelayNs_ != 0 ? maxDelayNs_ : baseDelayNs_;
+    if (maxDelayNs_ != 0 && raw > maxDelayNs_)
+        raw = maxDelayNs_;
+    // Jitter into [raw/2, raw) as a pure function of the inputs so
+    // replaying a campaign reproduces the exact same waits.
+    std::uint64_t state =
+        seed_ ^ (key * 0x9e3779b97f4a7c15ull) ^ (retryIndex + 1);
+    const std::uint64_t h = splitMix64(state);
+    const std::uint64_t half = raw / 2;
+    return half + (half != 0 ? h % half : 0);
+}
+
+Watchdog::Watchdog(CancellationToken &token, Deadline deadline,
+                   std::string reason)
+    : token_(&token), deadline_(deadline), reason_(std::move(reason))
+{
+    if (!deadline_.armed())
+        return;
+    thread_ = std::thread([this] {
+        std::unique_lock lk(m_);
+        const bool timedOut = !cv_.wait_until(
+            lk, deadline_.when(), [this] { return stop_; });
+        if (!timedOut || stop_)
+            return;
+        lk.unlock();
+        fired_.store(true, std::memory_order_release);
+        metrics::counter("failsafe.watchdog.fired").add();
+        token_->requestCancel(reason_);
+    });
+}
+
+Watchdog::~Watchdog()
+{
+    disarm();
+}
+
+void
+Watchdog::disarm()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+} // namespace lfm::support

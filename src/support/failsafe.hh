@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Failsafe primitives for long unattended campaigns.
+ *
+ * The study's central fix-strategy finding is that most non-deadlock
+ * bugs are fixed with condition checks, retries, and bounded waits —
+ * not with more locks. This layer applies the same defensive patterns
+ * to our own harness so a livelocking kernel, a throwing detector, or
+ * a corrupt trace can degrade one unit of work instead of hanging or
+ * aborting a whole campaign:
+ *
+ *  - CancellationToken: a cooperative stop flag shared by every stage
+ *    of a campaign; checking it is one relaxed atomic load.
+ *  - Deadline: a wall-clock cutoff (steady clock); default-constructed
+ *    deadlines are unarmed and never expire, so the off path is a
+ *    single bool test.
+ *  - Budget: composite campaign limit over scheduling steps, wall
+ *    time, and accumulated trace bytes.
+ *  - RetryPolicy: deterministic seeded exponential backoff with
+ *    jittered delays, reproducible from the campaign seed — retries
+ *    never make a campaign non-replayable.
+ *  - Watchdog: fires a CancellationToken when a deadline passes, so a
+ *    stuck campaign cancels itself and partial results are harvested.
+ *
+ * Everything here follows the observability layer's gating discipline:
+ * when no token/deadline/budget is installed, the instrumented paths
+ * cost nothing measurable.
+ */
+
+#ifndef LFM_SUPPORT_FAILSAFE_HH
+#define LFM_SUPPORT_FAILSAFE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace lfm::support
+{
+
+/**
+ * Why a run or campaign ended. The taxonomy is shared by the
+ * executor (per execution), the exploration engines (per campaign),
+ * and run reports: Completed means the work ran to its natural end
+ * (a deadlock verdict is still Completed — it is a result, not a
+ * failure of the harness); the other three are graceful-degradation
+ * exits with partial results.
+ */
+enum class RunOutcome : std::uint8_t
+{
+    Completed,        ///< ran to the natural end
+    Truncated,        ///< a step / execution / byte budget was hit
+    DeadlineExpired,  ///< the wall-clock deadline passed
+    Cancelled,        ///< a cancellation token was triggered
+};
+
+/** Printable outcome name ("completed", "truncated", ...). */
+const char *outcomeName(RunOutcome outcome);
+
+/** The more severe of two outcomes (Completed weakest, Cancelled
+ * strongest); used to merge outcomes across workers. */
+RunOutcome worseOutcome(RunOutcome a, RunOutcome b);
+
+/**
+ * Cooperative cancellation flag. Any thread may request cancellation
+ * (the first reason wins); consumers poll cancelled() — one relaxed
+ * load — at their natural check points and unwind with whatever
+ * partial results they hold.
+ */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    CancellationToken(const CancellationToken &) = delete;
+    CancellationToken &operator=(const CancellationToken &) = delete;
+
+    /** Trigger cancellation; idempotent, first reason is kept.
+     * Counted in failsafe.cancel.requested. */
+    void requestCancel(std::string reason);
+
+    /** True once cancellation was requested. */
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+    /** The first requester's reason; empty while not cancelled. */
+    std::string reason() const;
+
+    /** Re-arm a consumed token (test/demo convenience; not safe
+     * concurrently with requestCancel). */
+    void reset();
+
+  private:
+    std::atomic<bool> flag_{false};
+    mutable std::mutex m_;
+    std::string reason_;
+};
+
+/** Wall-clock cutoff; see the file comment. */
+class Deadline
+{
+  public:
+    /** Unarmed: never expires. */
+    Deadline() = default;
+
+    /** A deadline this many nanoseconds from now. */
+    static Deadline afterNs(std::uint64_t ns);
+
+    /** A deadline this many milliseconds from now. */
+    static Deadline afterMs(std::uint64_t ms);
+
+    /** The earlier of two deadlines (unarmed counts as infinite). */
+    static Deadline earlier(const Deadline &a, const Deadline &b);
+
+    bool armed() const { return armed_; }
+
+    /** True when armed and the cutoff has passed (reads the clock). */
+    bool
+    expired() const
+    {
+        return armed_ && std::chrono::steady_clock::now() >= when_;
+    }
+
+    /** The cutoff; meaningless when unarmed. */
+    std::chrono::steady_clock::time_point when() const { return when_; }
+
+  private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point when_{};
+};
+
+/**
+ * Composite campaign budget: steps, wall time, trace bytes. Zero
+ * fields are unlimited; the default Budget imposes nothing.
+ */
+struct Budget
+{
+    /** Total scheduling decisions across the campaign (0 = off). */
+    std::uint64_t maxSteps = 0;
+
+    /** Accumulated trace footprint in bytes (0 = off). */
+    std::uint64_t maxTraceBytes = 0;
+
+    /** Wall-clock cutoff (unarmed = off). */
+    Deadline deadline;
+
+    bool
+    unlimited() const
+    {
+        return maxSteps == 0 && maxTraceBytes == 0 &&
+               !deadline.armed();
+    }
+
+    /**
+     * What the budget dictates given the consumption so far:
+     * Completed while inside every limit, DeadlineExpired past the
+     * wall-clock cutoff, Truncated past the step or byte ceiling.
+     */
+    RunOutcome check(std::uint64_t stepsUsed,
+                     std::uint64_t traceBytesUsed) const;
+};
+
+/**
+ * Deterministic retry schedule: exponential backoff with jittered
+ * delays that are a pure function of (seed, key, attempt), so a
+ * campaign that retried is replayable from its seed. maxAttempts
+ * counts total tries; the default policy (1 attempt) never retries.
+ */
+class RetryPolicy
+{
+  public:
+    RetryPolicy() = default;
+
+    RetryPolicy(unsigned maxAttempts, std::uint64_t baseDelayNs,
+                std::uint64_t maxDelayNs, std::uint64_t seed = 0)
+        : maxAttempts_(maxAttempts == 0 ? 1 : maxAttempts),
+          baseDelayNs_(baseDelayNs), maxDelayNs_(maxDelayNs),
+          seed_(seed)
+    {
+    }
+
+    unsigned maxAttempts() const { return maxAttempts_; }
+
+    /** True when another attempt is allowed after `attempted` tries. */
+    bool
+    shouldRetry(unsigned attempted) const
+    {
+        return attempted < maxAttempts_;
+    }
+
+    /**
+     * Backoff before retry number retryIndex (0-based) of the work
+     * item identified by key: base * 2^retryIndex capped at the max,
+     * jittered into [1/2, 1) of that span deterministically.
+     */
+    std::uint64_t delayNs(unsigned retryIndex,
+                          std::uint64_t key = 0) const;
+
+  private:
+    unsigned maxAttempts_ = 1;
+    std::uint64_t baseDelayNs_ = 0;
+    std::uint64_t maxDelayNs_ = 0;
+    std::uint64_t seed_ = 0;
+};
+
+/**
+ * Deadline enforcer: a small thread that requests cancellation on the
+ * token when the deadline passes. Campaigns poll the token at their
+ * usual check points, so a stuck worker (livelocking kernel, hung
+ * steal loop) is reeled in without cooperation from the stuck code
+ * itself. Fires are counted in failsafe.watchdog.fired. An unarmed
+ * deadline spawns no thread at all.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(CancellationToken &token, Deadline deadline,
+             std::string reason = "watchdog: deadline expired");
+
+    /** Joins the watcher thread; never fires after destruction. */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Stop watching without firing (campaign finished in time). */
+    void disarm();
+
+    /** True once the watchdog cancelled the token. */
+    bool
+    fired() const
+    {
+        return fired_.load(std::memory_order_acquire);
+    }
+
+  private:
+    CancellationToken *token_;
+    Deadline deadline_;
+    std::string reason_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::atomic<bool> fired_{false};
+    std::thread thread_;
+};
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_FAILSAFE_HH

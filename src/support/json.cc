@@ -1,6 +1,7 @@
 #include "support/json.hh"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -119,12 +120,26 @@ Json::escape(std::ostream &os, const std::string &s)
 bool
 writeJsonFile(const std::string &path, const Json &doc)
 {
-    std::ofstream out(path);
-    if (!out)
+    // Write-then-rename so a crash or cancellation mid-write can
+    // never leave a truncated document at the published path.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        doc.dump(out);
+        out << "\n";
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
         return false;
-    doc.dump(out);
-    out << "\n";
-    return static_cast<bool>(out);
+    }
+    return true;
 }
 
 } // namespace lfm::support

@@ -1,0 +1,748 @@
+/**
+ * @file
+ * Failsafe-layer tests: cancellation races, deadline expiry,
+ * deterministic backoff, outcome taxonomy, graceful degradation of
+ * the executor and the exploration engines, batch/stream quarantine,
+ * and the fault-injection honesty sweep (injected faults must not
+ * change any study-table number — fixed kernels stay fixed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "detect/batch.hh"
+#include "detect/pipeline.hh"
+#include "explore/dfs.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "sim/faults.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "sim/sync.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "support/failsafe.hh"
+#include "support/metrics.hh"
+
+namespace
+{
+
+using namespace lfm;
+using support::CancellationToken;
+using support::Deadline;
+using support::RetryPolicy;
+using support::RunOutcome;
+
+/** N threads, each `ops` locked increments: long, bounded, clean. */
+sim::ProgramFactory
+counterFactory(int threads, int ops)
+{
+    return [threads, ops] {
+        struct State
+        {
+            std::unique_ptr<sim::SimMutex> m;
+            std::unique_ptr<sim::SharedVar<int>> v;
+        };
+        auto s = std::make_shared<State>();
+        s->m = std::make_unique<sim::SimMutex>("m");
+        s->v = std::make_unique<sim::SharedVar<int>>("v", 0);
+        sim::Program p;
+        for (int t = 0; t < threads; ++t) {
+            p.threads.push_back(
+                {"t" + std::to_string(t), [s, ops] {
+                     for (int i = 0; i < ops; ++i) {
+                         sim::SimLock guard(*s->m);
+                         s->v->add(1);
+                     }
+                 }});
+        }
+        return p;
+    };
+}
+
+/** Two threads, one unlocked increment each, lost-update oracle. */
+sim::ProgramFactory
+racyFactory()
+{
+    return [] {
+        auto v =
+            std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("c", 0);
+        sim::Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [v]() -> std::optional<std::string> {
+            if ((*v)->peek() != 2)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+}
+
+// ---------------------------------------------------------------
+// Outcome taxonomy
+// ---------------------------------------------------------------
+
+TEST(Outcome, SeverityOrderAndNames)
+{
+    using support::worseOutcome;
+    EXPECT_EQ(worseOutcome(RunOutcome::Completed,
+                           RunOutcome::Truncated),
+              RunOutcome::Truncated);
+    EXPECT_EQ(worseOutcome(RunOutcome::Cancelled,
+                           RunOutcome::Truncated),
+              RunOutcome::Cancelled);
+    EXPECT_EQ(worseOutcome(RunOutcome::DeadlineExpired,
+                           RunOutcome::Truncated),
+              RunOutcome::DeadlineExpired);
+    EXPECT_EQ(worseOutcome(RunOutcome::Completed,
+                           RunOutcome::Completed),
+              RunOutcome::Completed);
+
+    EXPECT_STREQ(support::outcomeName(RunOutcome::Completed),
+                 "completed");
+    EXPECT_STREQ(support::outcomeName(RunOutcome::Truncated),
+                 "truncated");
+    EXPECT_STREQ(support::outcomeName(RunOutcome::DeadlineExpired),
+                 "deadline");
+    EXPECT_STREQ(support::outcomeName(RunOutcome::Cancelled),
+                 "cancelled");
+}
+
+// ---------------------------------------------------------------
+// CancellationToken
+// ---------------------------------------------------------------
+
+TEST(Cancellation, FirstReasonWinsUnderRace)
+{
+    CancellationToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), "");
+
+    // Many threads race to cancel; exactly one reason must win and
+    // every observer must see the token cancelled afterwards. TSan
+    // guards the flag/reason publication protocol.
+    constexpr int kThreads = 8;
+    std::vector<std::thread> racers;
+    racers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        racers.emplace_back([&token, i] {
+            token.requestCancel("racer-" + std::to_string(i));
+        });
+    }
+    for (auto &t : racers)
+        t.join();
+
+    EXPECT_TRUE(token.cancelled());
+    const std::string reason = token.reason();
+    EXPECT_EQ(reason.rfind("racer-", 0), 0u) << reason;
+
+    // Idempotent: a late request does not replace the winner.
+    token.requestCancel("too-late");
+    EXPECT_EQ(token.reason(), reason);
+
+    token.reset();
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), "");
+}
+
+// ---------------------------------------------------------------
+// Deadline and Budget
+// ---------------------------------------------------------------
+
+TEST(DeadlineTest, UnarmedNeverExpires)
+{
+    Deadline none;
+    EXPECT_FALSE(none.armed());
+    EXPECT_FALSE(none.expired());
+}
+
+TEST(DeadlineTest, EarlierPicksTheSoonerCutoff)
+{
+    Deadline none;
+    Deadline soon = Deadline::afterNs(0);
+    Deadline late = Deadline::afterMs(60'000);
+
+    EXPECT_FALSE(Deadline::earlier(none, none).armed());
+    EXPECT_EQ(Deadline::earlier(none, late).when(), late.when());
+    EXPECT_EQ(Deadline::earlier(late, none).when(), late.when());
+    EXPECT_EQ(Deadline::earlier(soon, late).when(), soon.when());
+
+    EXPECT_TRUE(soon.expired());
+    EXPECT_FALSE(late.expired());
+}
+
+TEST(BudgetTest, CompositeLimits)
+{
+    support::Budget none;
+    EXPECT_TRUE(none.unlimited());
+    EXPECT_EQ(none.check(1u << 30, 1u << 30), RunOutcome::Completed);
+
+    support::Budget steps;
+    steps.maxSteps = 100;
+    EXPECT_FALSE(steps.unlimited());
+    EXPECT_EQ(steps.check(99, 0), RunOutcome::Completed);
+    EXPECT_EQ(steps.check(100, 0), RunOutcome::Truncated);
+
+    support::Budget bytes;
+    bytes.maxTraceBytes = 1024;
+    EXPECT_EQ(bytes.check(0, 1023), RunOutcome::Completed);
+    EXPECT_EQ(bytes.check(0, 1024), RunOutcome::Truncated);
+
+    support::Budget wall;
+    wall.deadline = Deadline::afterNs(0);
+    EXPECT_EQ(wall.check(0, 0), RunOutcome::DeadlineExpired);
+}
+
+// ---------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------
+
+TEST(Retry, DeterministicJitteredBackoff)
+{
+    const RetryPolicy a(5, 1000, 1'000'000, /*seed=*/42);
+    const RetryPolicy b(5, 1000, 1'000'000, /*seed=*/42);
+
+    // Same seed, same key: identical sequences (replayability).
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.delayNs(i, 7), b.delayNs(i, 7)) << "retry " << i;
+    }
+
+    // Exponential envelope with jitter in [raw/2, raw).
+    for (unsigned i = 0; i < 5; ++i) {
+        const std::uint64_t raw =
+            std::min<std::uint64_t>(1000ull << i, 1'000'000);
+        const std::uint64_t d = a.delayNs(i, 7);
+        EXPECT_GE(d, raw / 2) << "retry " << i;
+        EXPECT_LT(d, raw) << "retry " << i;
+    }
+
+    // The cap holds far past the doubling range (no overflow).
+    EXPECT_LT(a.delayNs(60, 7), 1'000'000u);
+
+    // Different keys decorrelate the jitter (same envelope though).
+    bool anyDiffer = false;
+    for (unsigned i = 0; i < 5; ++i)
+        anyDiffer |= a.delayNs(i, 1) != a.delayNs(i, 2);
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Retry, AttemptAccounting)
+{
+    const RetryPolicy once; // default: a single attempt
+    EXPECT_EQ(once.maxAttempts(), 1u);
+    EXPECT_FALSE(once.shouldRetry(1));
+
+    const RetryPolicy zero(0, 0, 0); // 0 clamps to 1
+    EXPECT_EQ(zero.maxAttempts(), 1u);
+
+    const RetryPolicy three(3, 10, 100);
+    EXPECT_TRUE(three.shouldRetry(1));
+    EXPECT_TRUE(three.shouldRetry(2));
+    EXPECT_FALSE(three.shouldRetry(3));
+}
+
+// ---------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------
+
+TEST(WatchdogTest, FiresOnExpiryAndCancelsTheToken)
+{
+    CancellationToken token;
+    support::Watchdog dog(token, Deadline::afterNs(1),
+                          "test watchdog");
+    // Polling, not sleeping: the watchdog thread needs a moment.
+    for (int i = 0; i < 10'000 && !token.cancelled(); ++i)
+        std::this_thread::yield();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(dog.fired());
+    EXPECT_EQ(token.reason(), "test watchdog");
+}
+
+TEST(WatchdogTest, DisarmPreventsTheFire)
+{
+    CancellationToken token;
+    {
+        support::Watchdog dog(token, Deadline::afterMs(60'000));
+        dog.disarm();
+        EXPECT_FALSE(dog.fired());
+    }
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(WatchdogTest, UnarmedDeadlineIsInert)
+{
+    CancellationToken token;
+    support::Watchdog dog(token, Deadline{});
+    EXPECT_FALSE(dog.fired());
+    EXPECT_FALSE(token.cancelled());
+}
+
+// ---------------------------------------------------------------
+// Executor outcomes
+// ---------------------------------------------------------------
+
+TEST(ExecutorFailsafe, CancelledRunSkipsTheOracle)
+{
+    CancellationToken token;
+    token.requestCancel("pre-cancelled");
+
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = 3;
+    opt.cancel = &token;
+    auto exec = sim::runProgram(counterFactory(2, 50), policy, opt);
+
+    EXPECT_EQ(exec.outcome, RunOutcome::Cancelled);
+    // The final state was never reached: no oracle verdict, and the
+    // abort is not misread as a deadlock.
+    EXPECT_FALSE(exec.oracleFailure.has_value());
+    EXPECT_FALSE(exec.deadlocked);
+}
+
+TEST(ExecutorFailsafe, ExpiredDeadlineEndsTheRun)
+{
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = 3;
+    opt.deadline = Deadline::afterNs(0);
+    auto exec = sim::runProgram(counterFactory(2, 50), policy, opt);
+
+    EXPECT_EQ(exec.outcome, RunOutcome::DeadlineExpired);
+    EXPECT_FALSE(exec.oracleFailure.has_value());
+}
+
+TEST(ExecutorFailsafe, StepCeilingIsATruncatedOutcome)
+{
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = 3;
+    opt.maxDecisions = 20;
+    auto exec = sim::runProgram(counterFactory(2, 200), policy, opt);
+
+    EXPECT_TRUE(exec.stepLimitHit);
+    EXPECT_EQ(exec.outcome, RunOutcome::Truncated);
+    EXPECT_FALSE(exec.oracleFailure.has_value());
+}
+
+TEST(ExecutorFailsafe, UntouchedRunStaysCompleted)
+{
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = 3;
+    auto exec = sim::runProgram(counterFactory(2, 5), policy, opt);
+    EXPECT_EQ(exec.outcome, RunOutcome::Completed);
+}
+
+// ---------------------------------------------------------------
+// Campaign-level degradation: stress / DFS
+// ---------------------------------------------------------------
+
+TEST(StressFailsafe, CancelledCampaignHarvestsPartialResults)
+{
+    CancellationToken token;
+    token.requestCancel("operator stop");
+
+    explore::StressOptions opt;
+    opt.runs = 64;
+    opt.cancel = &token;
+    auto result = explore::ParallelRunner(2).stress(
+        counterFactory(2, 20),
+        explore::makePolicy<sim::RandomPolicy>(), opt);
+
+    EXPECT_EQ(result.outcome, RunOutcome::Cancelled);
+    EXPECT_LT(result.runs, 64u);
+    EXPECT_LE(result.manifestations, result.runs);
+}
+
+TEST(StressFailsafe, ExpiredDeadlineCutsTheCampaign)
+{
+    explore::StressOptions opt;
+    opt.runs = 64;
+    opt.deadline = Deadline::afterNs(0);
+    auto result = explore::ParallelRunner(2).stress(
+        counterFactory(2, 20),
+        explore::makePolicy<sim::RandomPolicy>(), opt);
+
+    EXPECT_EQ(result.outcome, RunOutcome::DeadlineExpired);
+    EXPECT_LT(result.runs, 64u);
+}
+
+TEST(StressFailsafe, StepBudgetTruncatesTheCampaign)
+{
+    explore::StressOptions opt;
+    opt.runs = 1000;
+    opt.budget.maxSteps = 200;
+    auto result = explore::ParallelRunner(2).stress(
+        counterFactory(2, 20),
+        explore::makePolicy<sim::RandomPolicy>(), opt);
+
+    EXPECT_EQ(result.outcome, RunOutcome::Truncated);
+    EXPECT_GT(result.runs, 0u);
+    EXPECT_LT(result.runs, 1000u);
+}
+
+TEST(StressFailsafe, WatchdogCancelsAStuckCampaignMidSteal)
+{
+    // A real mid-campaign cut: the watchdog fires a few milliseconds
+    // in while workers are stealing seeds of a long campaign.
+    CancellationToken token;
+    support::Watchdog dog(token, Deadline::afterMs(5));
+
+    explore::StressOptions opt;
+    opt.runs = 200'000;
+    opt.cancel = &token;
+    auto result = explore::ParallelRunner(4).stress(
+        counterFactory(3, 40),
+        explore::makePolicy<sim::RandomPolicy>(), opt);
+    dog.disarm();
+
+    EXPECT_EQ(result.outcome, RunOutcome::Cancelled);
+    EXPECT_LT(result.runs, 200'000u);
+    EXPECT_TRUE(dog.fired());
+}
+
+TEST(StressFailsafe, UnboundedCampaignIsUnchanged)
+{
+    explore::StressOptions opt;
+    opt.runs = 50;
+    auto result = explore::ParallelRunner(2).stress(
+        racyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        opt);
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_EQ(result.runs, 50u);
+    EXPECT_EQ(result.truncatedRuns, 0u);
+}
+
+TEST(DfsFailsafe, CancelledSearchReportsTheCut)
+{
+    CancellationToken token;
+    token.requestCancel("stop");
+
+    explore::DfsOptions opt;
+    opt.maxExecutions = 1000;
+    opt.cancel = &token;
+    auto result = explore::exploreDfs(counterFactory(2, 4), opt);
+
+    EXPECT_EQ(result.outcome, RunOutcome::Cancelled);
+    EXPECT_FALSE(result.exhausted);
+}
+
+TEST(DfsFailsafe, ExpiredDeadlineReportsTheCut)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 1000;
+    opt.deadline = Deadline::afterNs(0);
+    auto result = explore::exploreDfs(counterFactory(2, 4), opt);
+
+    EXPECT_EQ(result.outcome, RunOutcome::DeadlineExpired);
+    EXPECT_FALSE(result.exhausted);
+}
+
+TEST(DfsFailsafe, PerExecutionCapCountsTruncatedRuns)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 50;
+    opt.maxDecisions = 10;
+    auto result = explore::exploreDfs(counterFactory(2, 20), opt);
+
+    // Each run hits the 10-decision ceiling and is counted; the
+    // campaign itself was not cut, so the outcome stays Completed
+    // (exhausted refers to the decision-capped tree).
+    EXPECT_GT(result.truncated, 0u);
+    EXPECT_EQ(result.outcome, support::RunOutcome::Completed);
+}
+
+TEST(DfsFailsafe, UnboundedSearchStaysCompletedAndExhausts)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 100'000;
+    auto result = explore::exploreDfs(racyFactory(), opt);
+    EXPECT_EQ(result.outcome, RunOutcome::Completed);
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_EQ(result.truncated, 0u);
+}
+
+// ---------------------------------------------------------------
+// Batch / stream quarantine
+// ---------------------------------------------------------------
+
+/** A detector that always throws (a buggy analysis pass). */
+class ThrowingDetector : public detect::Detector
+{
+  public:
+    std::vector<detect::Finding>
+    fromContext(const detect::AnalysisContext &) const override
+    {
+        throw std::runtime_error("detector exploded");
+    }
+    const char *name() const override { return "throwing"; }
+};
+
+detect::Pipeline
+throwingPipeline()
+{
+    std::vector<std::unique_ptr<detect::Detector>> detectors;
+    detectors.push_back(std::make_unique<ThrowingDetector>());
+    return detect::Pipeline(std::move(detectors));
+}
+
+std::vector<trace::Trace>
+smallCorpus(std::size_t n)
+{
+    std::vector<trace::Trace> corpus;
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = i + 1;
+        corpus.push_back(
+            sim::runProgram(racyFactory(), policy, opt).trace);
+    }
+    return corpus;
+}
+
+/** A structurally invalid trace: unlock of a never-locked mutex. */
+trace::Trace
+corruptTrace()
+{
+    trace::Trace t;
+    t.registerThread(0, "t0");
+    t.registerObject({1, trace::ObjectKind::Mutex, "m", 0});
+    trace::Event begin;
+    begin.thread = 0;
+    begin.kind = trace::EventKind::ThreadBegin;
+    t.append(begin);
+    trace::Event unlock;
+    unlock.thread = 0;
+    unlock.kind = trace::EventKind::Unlock;
+    unlock.obj = 1;
+    t.append(unlock);
+    trace::Event end;
+    end.thread = 0;
+    end.kind = trace::EventKind::ThreadEnd;
+    t.append(end);
+    return t;
+}
+
+TEST(BatchFailsafe, ThrowingDetectorQuarantinesEachTrace)
+{
+    const auto pipeline = throwingPipeline();
+    const auto corpus = smallCorpus(3);
+
+    detect::BatchRunner runner(2);
+    const auto reports =
+        runner.run(pipeline, corpus, detect::BatchOptions{});
+
+    ASSERT_EQ(reports.size(), 3u);
+    for (const auto &r : reports) {
+        EXPECT_EQ(r.status, detect::TraceStatus::Quarantined);
+        EXPECT_TRUE(r.findings.empty());
+        EXPECT_NE(r.error.find("detector exploded"),
+                  std::string::npos)
+            << r.error;
+    }
+}
+
+TEST(BatchFailsafe, RetriesAreCountedAndStillQuarantine)
+{
+    support::metrics::setEnabled(true);
+    const auto before =
+        support::metrics::counter("detect.batch.retries").value();
+
+    const auto pipeline = throwingPipeline();
+    const auto corpus = smallCorpus(2);
+
+    detect::BatchOptions options;
+    options.retry = RetryPolicy(3, 1, 1, /*seed=*/1);
+    const auto reports =
+        detect::BatchRunner(1).run(pipeline, corpus, options);
+    support::metrics::setEnabled(false);
+
+    ASSERT_EQ(reports.size(), 2u);
+    for (const auto &r : reports)
+        EXPECT_EQ(r.status, detect::TraceStatus::Quarantined);
+
+    // Three attempts per trace: two retries each.
+    const auto after =
+        support::metrics::counter("detect.batch.retries").value();
+    EXPECT_EQ(after - before, 4u);
+}
+
+TEST(BatchFailsafe, ValidateQuarantinesCorruptTraces)
+{
+    detect::Pipeline pipeline; // the real detector set
+    std::vector<trace::Trace> corpus = smallCorpus(1);
+    corpus.push_back(corruptTrace());
+    corpus.push_back(smallCorpus(1).front());
+
+    detect::BatchOptions options;
+    options.validate = true;
+    const auto reports =
+        detect::BatchRunner(2).run(pipeline, corpus, options);
+
+    ASSERT_EQ(reports.size(), 3u);
+    EXPECT_EQ(reports[0].status, detect::TraceStatus::Analyzed);
+    EXPECT_EQ(reports[1].status, detect::TraceStatus::Quarantined);
+    EXPECT_NE(reports[1].error.find("invalid trace"),
+              std::string::npos)
+        << reports[1].error;
+    EXPECT_EQ(reports[2].status, detect::TraceStatus::Analyzed);
+}
+
+TEST(BatchFailsafe, CancelledBatchSkipsRemainingTraces)
+{
+    CancellationToken token;
+    token.requestCancel("stop");
+
+    detect::Pipeline pipeline;
+    detect::BatchOptions options;
+    options.cancel = &token;
+    const auto reports = detect::BatchRunner(2).run(
+        pipeline, smallCorpus(4), options);
+
+    ASSERT_EQ(reports.size(), 4u);
+    for (const auto &r : reports)
+        EXPECT_EQ(r.status, detect::TraceStatus::Skipped);
+}
+
+TEST(BatchFailsafe, DefaultOptionsMatchTheClassicRun)
+{
+    detect::Pipeline pipeline;
+    const auto corpus = smallCorpus(4);
+    detect::BatchRunner runner(2);
+
+    const auto classic = runner.run(pipeline, corpus);
+    const auto withOptions =
+        runner.run(pipeline, corpus, detect::BatchOptions{});
+
+    ASSERT_EQ(classic.size(), withOptions.size());
+    for (std::size_t i = 0; i < classic.size(); ++i) {
+        EXPECT_EQ(classic[i].status, detect::TraceStatus::Analyzed);
+        EXPECT_EQ(withOptions[i].status,
+                  detect::TraceStatus::Analyzed);
+        EXPECT_EQ(classic[i].findings.size(),
+                  withOptions[i].findings.size());
+    }
+}
+
+TEST(StreamFailsafe, ThrowingDetectorQuarantinesStreamedTraces)
+{
+    const auto pipeline = throwingPipeline();
+    detect::DetectionStream stream(pipeline, 2);
+    const auto corpus = smallCorpus(3);
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_TRUE(stream.submit(i, corpus[i]));
+
+    const auto reports = stream.finish();
+    ASSERT_EQ(reports.size(), 3u);
+    for (const auto &r : reports) {
+        EXPECT_EQ(r.status, detect::TraceStatus::Quarantined);
+        EXPECT_NE(r.error.find("detector exploded"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------
+
+TEST(Faults, PlanDerivationIsDeterministic)
+{
+    const auto a = sim::FaultPlan::fromSeed(1234);
+    const auto b = sim::FaultPlan::fromSeed(1234);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.spuriousWakeupRate, b.spuriousWakeupRate);
+    EXPECT_EQ(a.tryLockFailRate, b.tryLockFailRate);
+    EXPECT_EQ(a.perturbChance, b.perturbChance);
+    EXPECT_EQ(a.perturbLength, b.perturbLength);
+    EXPECT_TRUE(a.active());
+
+    const auto c = sim::FaultPlan::fromSeed(5678);
+    EXPECT_NE(a.seed, c.seed);
+
+    EXPECT_FALSE(sim::FaultPlan{}.active());
+}
+
+TEST(Faults, InjectedExecutionIsReplayable)
+{
+    const auto plan = sim::FaultPlan::fromSeed(99);
+
+    const auto once = [&plan](std::uint64_t seed) {
+        sim::RandomPolicy inner;
+        sim::FaultInjectingPolicy faulty(plan, inner);
+        sim::ExecOptions opt;
+        opt.seed = seed;
+        opt.spuriousWakeups = true;
+        opt.faults = &plan;
+        return sim::runProgram(counterFactory(3, 6), faulty, opt);
+    };
+
+    const auto a = once(7);
+    const auto b = once(7);
+    EXPECT_EQ(a.decisionCount, b.decisionCount);
+    ASSERT_EQ(a.decisions.size(), b.decisions.size());
+    for (std::size_t i = 0; i < a.decisions.size(); ++i)
+        EXPECT_EQ(a.decisions[i].chosen, b.decisions[i].chosen)
+            << "decision " << i;
+    EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+/**
+ * The honesty sweep EXPERIMENTS.md points at: deterministic fault
+ * injection (forced spurious wakeups, tryLock failures, scheduler
+ * perturbation) is legal scheduling behavior, so it must not change
+ * any number the study tables report. Concretely: the tables derived
+ * from the bug database cannot move (they are static data), and the
+ * empirical columns cannot move either — every kernel's Fixed
+ * variant stays clean under injected faults, because the developers'
+ * fixes are exactly the condition-recheck/retry patterns that
+ * tolerate them.
+ */
+TEST(Faults, SweepLeavesStudyTablesUnchanged)
+{
+    const auto &db = study::database();
+    const study::Analysis before(db);
+    const int totalBugs = before.totalBugs();
+    const int totalNd = before.totalNonDeadlock();
+    const int atomOrOrder = before.atomicityOrOrder();
+
+    const auto plan = sim::FaultPlan::fromSeed(2026);
+    for (const auto *kernel : bugs::allKernels()) {
+        const auto &info = kernel->info();
+
+        explore::StressOptions opt;
+        opt.runs = 40;
+        opt.exec.spuriousWakeups = true;
+        opt.exec.faults = &plan;
+        opt.exec.maxDecisions = info.stepCeiling != 0
+                                    ? info.stepCeiling
+                                    : 20000;
+        sim::RandomPolicy inner;
+        sim::FaultInjectingPolicy faulty(plan, inner);
+        auto fixed = explore::stressProgram(
+            kernel->factory(bugs::Variant::Fixed), faulty, opt);
+        EXPECT_EQ(fixed.manifestations, 0u)
+            << info.id << ": the Fixed variant must tolerate "
+                          "injected faults";
+
+        // The declared manifestation certificate is static data the
+        // study counts; the sweep must find it untouched.
+        EXPECT_EQ(kernel->info().manifestation.size(),
+                  info.manifestation.size());
+    }
+
+    const study::Analysis after(db);
+    EXPECT_EQ(after.totalBugs(), totalBugs);
+    EXPECT_EQ(after.totalNonDeadlock(), totalNd);
+    EXPECT_EQ(after.atomicityOrOrder(), atomOrOrder);
+}
+
+} // namespace

@@ -9,9 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "detect/batch.hh"
 #include "detect/detector.hh"
 #include "explore/randprog.hh"
 #include "sim/policy.hh"
+#include "support/random.hh"
 #include "trace/hb.hh"
 #include "trace/serialize.hh"
 #include "trace/validate.hh"
@@ -104,5 +106,80 @@ TEST_P(FuzzTest, FullPipelineIsTotalAndDeterministic)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Range<std::uint64_t>(0, 60));
+
+/**
+ * Corruption sweep: serialized traces that were truncated or had
+ * bytes mangled must either fail to parse (loadTrace → nullopt) or,
+ * when they happen to still parse, flow through the batch pipeline
+ * as quarantine-or-analyze — never a crash, never a hang.
+ */
+class CorruptTraceTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CorruptTraceTest, TruncatedOrMangledInputNeverCrashes)
+{
+    const std::uint64_t seed = GetParam();
+    auto factory =
+        explore::randomProgramFactory(configFor(seed), seed);
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = seed * 17 + 3;
+    opt.maxDecisions = 5000;
+    const std::string good =
+        trace::traceToString(sim::runProgram(factory, policy, opt)
+                                 .trace);
+
+    // A deterministic batch of corruptions of the good artifact.
+    std::vector<std::string> corrupted;
+    corrupted.push_back(good.substr(0, good.size() / 2));
+    corrupted.push_back(good.substr(0, good.size() / 3));
+    corrupted.push_back(good.substr(good.size() / 4));
+    corrupted.push_back("");
+    corrupted.push_back("# lfm-trace v1\ngarbage line here\n");
+    std::string mangled = good;
+    support::Rng rng(seed * 1000003 + 1);
+    for (int i = 0; i < 20 && !mangled.empty(); ++i)
+        mangled[rng.index(mangled.size())] =
+            static_cast<char>('0' + rng.index(75));
+    corrupted.push_back(mangled);
+    std::string swapped = good;
+    for (char &c : swapped) {
+        if (c == 'e')
+            c = 'x';
+    }
+    corrupted.push_back(swapped);
+
+    // Whatever still parses goes through the failsafe batch path:
+    // a structurally broken trace is quarantined, a still-valid one
+    // is analyzed; either way the campaign completes.
+    std::vector<trace::Trace> survivors;
+    for (const auto &text : corrupted) {
+        std::string error;
+        auto loaded = trace::traceFromString(text, &error);
+        if (!loaded.has_value())
+            continue; // rejected at the parser: the common case
+        survivors.push_back(std::move(*loaded));
+    }
+
+    if (survivors.empty())
+        return;
+    detect::Pipeline pipeline;
+    detect::BatchOptions options;
+    options.validate = true;
+    const auto reports =
+        detect::BatchRunner(2).run(pipeline, survivors, options);
+    ASSERT_EQ(reports.size(), survivors.size());
+    for (const auto &r : reports) {
+        EXPECT_TRUE(r.status == detect::TraceStatus::Analyzed ||
+                    r.status == detect::TraceStatus::Quarantined);
+        if (r.status == detect::TraceStatus::Quarantined)
+            EXPECT_FALSE(r.error.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptTraceTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
 
 } // namespace

@@ -41,6 +41,14 @@ namespace lfm::bench
  * total scheduling decisions per campaign. When a cap fires the bench
  * exits normally with partial results and a truncation note — never
  * unbounded, never a corpse.
+ *
+ * Robustness flags (PR 5): --sandbox runs every campaign's executions
+ * in crash-contained forked workers (--sandbox-mem-mb M adds an
+ * address-space rlimit per worker); --journal PATH appends completed
+ * seeds to a durable campaign journal; --resume PATH loads a journal
+ * from a previous (killed) run and skips the seeds it already holds.
+ * --resume implies --journal on the same path, so the resumed run
+ * keeps journaling where the dead one stopped.
  */
 struct BenchFlags
 {
@@ -48,6 +56,11 @@ struct BenchFlags
     std::size_t maxSteps = 0;
     /** Armed when --deadline-ms was given (from process start). */
     support::Deadline deadline;
+
+    bool sandbox = false;
+    std::uint64_t sandboxMemMb = 0;
+    std::string journalPath;
+    bool resume = false;
 
     bool any() const { return deadlineMs != 0 || maxSteps != 0; }
 };
@@ -60,10 +73,28 @@ benchFlags()
     return flags;
 }
 
+/** The bench-owned campaign journal (open once --journal/--resume is
+ * parsed; campaigns of every bench in the process share it). */
+inline explore::CampaignJournal &
+benchJournal()
+{
+    static explore::CampaignJournal journal;
+    return journal;
+}
+
+/** Records recovered by --resume; empty otherwise. */
+inline explore::RecoveredCampaigns &
+benchRecovered()
+{
+    static explore::RecoveredCampaigns recovered;
+    return recovered;
+}
+
 /**
- * Parse --deadline-ms / --max-steps (either "--flag N" or "--flag=N")
- * out of argv. Unknown arguments are ignored so bench-specific flags
- * (e.g. perf_detectors --smoke) keep working.
+ * Parse --deadline-ms / --max-steps / --sandbox / --sandbox-mem-mb /
+ * --journal / --resume (either "--flag N" or "--flag=N") out of argv.
+ * Unknown arguments are ignored so bench-specific flags (e.g.
+ * perf_detectors --smoke) keep working.
  */
 inline void
 applyBenchFlags(int argc, char **argv)
@@ -84,16 +115,62 @@ applyBenchFlags(int argc, char **argv)
         }
         return false;
     };
+    const auto text = [&](int &i, const std::string &arg,
+                          const std::string &name, std::string &out) {
+        if (arg == name) {
+            if (i + 1 < argc)
+                out = argv[++i];
+            return true;
+        }
+        if (arg.rfind(name + "=", 0) == 0) {
+            out = arg.substr(name.size() + 1);
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         std::uint64_t steps = 0;
         if (numeric(i, arg, "--deadline-ms", flags.deadlineMs))
             continue;
-        if (numeric(i, arg, "--max-steps", steps))
+        if (numeric(i, arg, "--max-steps", steps)) {
             flags.maxSteps = static_cast<std::size_t>(steps);
+            continue;
+        }
+        if (arg == "--sandbox") {
+            flags.sandbox = true;
+            continue;
+        }
+        if (numeric(i, arg, "--sandbox-mem-mb", flags.sandboxMemMb)) {
+            flags.sandbox = true;  // a limit implies the sandbox
+            continue;
+        }
+        std::string path;
+        if (text(i, arg, "--journal", path)) {
+            flags.journalPath = path;
+            continue;
+        }
+        if (text(i, arg, "--resume", path)) {
+            flags.journalPath = path;
+            flags.resume = true;
+        }
     }
     if (flags.deadlineMs != 0)
         flags.deadline = support::Deadline::afterMs(flags.deadlineMs);
+    if (!flags.journalPath.empty()) {
+        if (flags.resume) {
+            benchRecovered() =
+                explore::RecoveredCampaigns::load(flags.journalPath);
+            if (!benchRecovered().warning.empty())
+                std::cout << "[!] journal recovery: "
+                          << benchRecovered().warning << "\n";
+        }
+        if (!benchJournal().open(flags.journalPath))
+            std::cout << "[!!] could not open journal "
+                      << flags.journalPath << "\n";
+        else
+            benchJournal().seedSnapshot(benchRecovered().all);
+    }
 }
 
 /** Worst failsafe outcome any campaign of this bench reported. */
@@ -113,6 +190,30 @@ benchTruncatedSlot()
     return truncated;
 }
 
+/** Sandbox/resume tallies across this bench's campaigns: contained
+ * crashes, worker restarts, benched worker slots, resumed seeds. */
+struct BenchSandboxTallies
+{
+    std::size_t crashes = 0;
+    std::size_t restarts = 0;
+    std::size_t benched = 0;
+    std::size_t resumed = 0;
+
+    bool
+    any() const
+    {
+        return crashes != 0 || restarts != 0 || benched != 0 ||
+               resumed != 0;
+    }
+};
+
+inline BenchSandboxTallies &
+benchSandboxTallies()
+{
+    static BenchSandboxTallies tallies;
+    return tallies;
+}
+
 /** Fold one campaign's failsafe outcome into the bench totals. */
 inline void
 noteOutcome(support::RunOutcome outcome, std::size_t truncatedRuns = 0)
@@ -126,6 +227,11 @@ inline void
 noteResult(const explore::StressResult &r)
 {
     noteOutcome(r.outcome, r.truncatedRuns);
+    BenchSandboxTallies &tallies = benchSandboxTallies();
+    tallies.crashes += r.crashedRuns;
+    tallies.restarts += static_cast<std::size_t>(r.workerRestarts);
+    tallies.benched += static_cast<std::size_t>(r.benchedWorkers);
+    tallies.resumed += r.resumedRuns;
 }
 
 inline void
@@ -147,6 +253,20 @@ noteResult(const explore::DporResult &r)
 /// where total steps ≈ executions × per-execution decisions).
 /// @{
 
+/** The --sandbox / --sandbox-mem-mb flags as SandboxOptions. */
+inline support::SandboxOptions
+flagSandbox()
+{
+    const BenchFlags &flags = benchFlags();
+    support::SandboxOptions sandbox;
+    if (flags.sandbox)
+        sandbox.policy = support::SandboxPolicy::Fork;
+    if (flags.sandboxMemMb != 0)
+        sandbox.limits.addressSpaceBytes =
+            flags.sandboxMemMb * 1024 * 1024;
+    return sandbox;
+}
+
 inline void
 applyFlags(explore::StressOptions &opt)
 {
@@ -156,12 +276,25 @@ applyFlags(explore::StressOptions &opt)
                                                   flags.deadline);
     if (flags.maxSteps != 0)
         opt.budget.maxSteps = flags.maxSteps;
+    if (flags.sandbox)
+        opt.sandbox = flagSandbox();
+    // Journaling needs a campaign identity to key records; benches
+    // that set opt.campaignId (stressKernel does) get the journal and
+    // resume data wired in automatically.
+    if (opt.campaignId != 0) {
+        if (benchJournal().isOpen())
+            opt.journal = &benchJournal();
+        if (flags.resume)
+            opt.resume = &benchRecovered();
+    }
 }
 
 inline void
 applyFlags(explore::DfsOptions &opt)
 {
     const BenchFlags &flags = benchFlags();
+    if (flags.sandbox)
+        opt.sandbox = flagSandbox();
     if (flags.deadlineMs != 0)
         opt.deadline = support::Deadline::earlier(opt.deadline,
                                                   flags.deadline);
@@ -177,6 +310,8 @@ inline void
 applyFlags(explore::DporOptions &opt)
 {
     const BenchFlags &flags = benchFlags();
+    if (flags.sandbox)
+        opt.sandbox = flagSandbox();
     if (flags.deadlineMs != 0)
         opt.deadline = support::Deadline::earlier(opt.deadline,
                                                   flags.deadline);
@@ -231,6 +366,12 @@ stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
                                 ? kernel.info().stepCeiling
                                 : 20000;
     opt.countOnly = true;
+    // Stable journal identity: kernel id + variant + run count, so a
+    // resumed bench matches records to exactly this campaign.
+    opt.campaignId = explore::campaignKey(
+        kernel.info().id + "/" +
+        std::to_string(static_cast<int>(variant)) + "/" +
+        std::to_string(runs));
     applyFlags(opt);
     auto result = explore::ParallelRunner().stress(
         kernel.factory(variant),
@@ -282,7 +423,19 @@ writeRunReport(report::RunReport &runReport)
         runReport.setOutcome(outcome);
         runReport.addTruncated(benchTruncatedSlot());
     }
-    if (outcome != support::RunOutcome::Completed) {
+    const BenchSandboxTallies &tallies = benchSandboxTallies();
+    if (tallies.any()) {
+        runReport.addCrashes(tallies.crashes);
+        runReport.addWorkerRestarts(tallies.restarts);
+        runReport.addBenchedWorkers(tallies.benched);
+        runReport.addResumed(tallies.resumed);
+    }
+    if (outcome == support::RunOutcome::Crashed) {
+        std::cout << "[!] " << tallies.crashes
+                  << " execution(s) crashed in sandbox workers "
+                     "(contained); crashed seeds are recorded in the "
+                     "run report\n";
+    } else if (outcome != support::RunOutcome::Completed) {
         std::cout << "[!] campaign cut short ("
                   << support::outcomeName(outcome)
                   << "); results above are partial\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -76,6 +77,170 @@ analyzeOne(const Pipeline &pipeline, const Trace &trace,
     support::metrics::counter("detect.batch.quarantined").add();
 }
 
+// ------------------------------------------------------------------
+// Sandboxed batch path: TraceReport over the sandbox wire
+// ------------------------------------------------------------------
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    const std::size_t off = buf.size();
+    buf.resize(off + sizeof(v));
+    std::memcpy(buf.data() + off, &v, sizeof(v));
+}
+
+void
+putStr(std::vector<std::uint8_t> &buf, const std::string &s)
+{
+    putU64(buf, s.size());
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+struct ReportReader
+{
+    const std::vector<std::uint8_t> &buf;
+    std::size_t off = 0;
+    bool ok = true;
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (off + sizeof(v) > buf.size()) {
+            ok = false;
+            return 0;
+        }
+        std::memcpy(&v, buf.data() + off, sizeof(v));
+        off += sizeof(v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!ok || off + n > buf.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(buf.data() + off),
+                      n);
+        off += n;
+        return s;
+    }
+};
+
+std::vector<std::uint8_t>
+serializeReport(const TraceReport &report)
+{
+    std::vector<std::uint8_t> buf;
+    buf.push_back(static_cast<std::uint8_t>(report.status));
+    putStr(buf, report.error);
+    putU64(buf, report.findings.size());
+    for (const Finding &f : report.findings) {
+        putStr(buf, f.detector);
+        putStr(buf, f.category);
+        putU64(buf, f.primaryObj);
+        putU64(buf, f.events.size());
+        for (const auto seq : f.events)
+            putU64(buf, seq);
+        putStr(buf, f.message);
+    }
+    return buf;
+}
+
+bool
+deserializeReport(const std::vector<std::uint8_t> &buf,
+                  TraceReport &report)
+{
+    if (buf.empty())
+        return false;
+    ReportReader rd{buf, 1};
+    report.status = static_cast<TraceStatus>(buf[0]);
+    report.error = rd.str();
+    const std::uint64_t n = rd.u64();
+    report.findings.clear();
+    for (std::uint64_t i = 0; rd.ok && i < n; ++i) {
+        Finding f;
+        f.detector = rd.str();
+        f.category = rd.str();
+        f.primaryObj = rd.u64();
+        const std::uint64_t events = rd.u64();
+        for (std::uint64_t j = 0; rd.ok && j < events; ++j)
+            f.events.push_back(rd.u64());
+        f.message = rd.str();
+        report.findings.push_back(std::move(f));
+    }
+    return rd.ok;
+}
+
+std::vector<TraceReport>
+runSandboxed(const Pipeline &pipeline, const std::vector<Trace> &corpus,
+             const BatchOptions &options, unsigned workers)
+{
+    std::vector<TraceReport> reports(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        reports[i].key = i;
+
+    support::spans::Scope span("detect.batch.sandboxed", "detect");
+    support::metrics::counter("detect.batch.traces")
+        .add(corpus.size());
+
+    std::vector<std::uint64_t> units(corpus.size());
+    for (std::size_t i = 0; i < units.size(); ++i)
+        units[i] = i;
+
+    support::SandboxOptions sandbox = options.sandbox;
+    if (sandbox.workers == 0)
+        sandbox.workers = workers;
+
+    // The child sees the corpus through fork — only the serialized
+    // report crosses back. Cancellation is supervisor-side (the
+    // parent's token is invisible to forked children), so undelivered
+    // traces are marked Skipped below.
+    std::vector<bool> delivered(corpus.size(), false);
+    const support::SandboxSupervisor::ChildRun childRun =
+        [&](std::uint64_t unit) -> std::vector<std::uint8_t> {
+        TraceReport report;
+        report.key = unit;
+        BatchOptions inner = options;
+        inner.cancel = nullptr;
+        analyzeOne(pipeline, corpus[unit], inner, report);
+        return serializeReport(report);
+    };
+
+    support::SandboxSupervisor supervisor(sandbox);
+    supervisor.run(
+        units, childRun,
+        [&](std::uint64_t unit,
+            const std::vector<std::uint8_t> &payload) {
+            if (unit >= reports.size())
+                return;
+            if (deserializeReport(payload, reports[unit]))
+                delivered[unit] = true;
+        },
+        [&](const support::CrashInfo &crash) {
+            if (crash.unit >= reports.size())
+                return;
+            TraceReport &report = reports[crash.unit];
+            report.status = TraceStatus::Crashed;
+            report.findings.clear();
+            report.error =
+                "detection worker crashed: " + crash.signalName();
+            delivered[crash.unit] = true;
+            support::metrics::counter("detect.batch.crashed").add();
+        },
+        options.cancel, support::Deadline{});
+
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (!delivered[i]) {
+            reports[i].status = TraceStatus::Skipped;
+            support::metrics::counter("detect.batch.skipped").add();
+        }
+    }
+    return reports;
+}
+
 } // namespace
 
 std::vector<TraceReport>
@@ -93,6 +258,9 @@ BatchRunner::run(const Pipeline &pipeline,
     std::vector<TraceReport> reports(corpus.size());
     if (corpus.empty())
         return reports;
+
+    if (options.sandbox.enabled())
+        return runSandboxed(pipeline, corpus, options, workers_);
 
     support::spans::Scope span("detect.batch", "detect");
     support::metrics::counter("detect.batch.traces")

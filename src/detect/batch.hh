@@ -36,6 +36,7 @@
 
 #include "detect/pipeline.hh"
 #include "support/failsafe.hh"
+#include "support/sandbox.hh"
 #include "support/workpool.hh"
 
 namespace lfm::detect
@@ -47,6 +48,7 @@ enum class TraceStatus : std::uint8_t
     Analyzed,     ///< the pipeline ran; findings are valid
     Quarantined,  ///< malformed trace or throwing detector; isolated
     Skipped,      ///< campaign was cancelled before this trace ran
+    Crashed,      ///< a sandboxed detection worker died on a signal
 };
 
 /** One trace's findings, tagged with its corpus index / stream key. */
@@ -81,6 +83,19 @@ struct BatchOptions
     /** Checked before each trace; once cancelled, remaining traces
      * come back Skipped (counted in detect.batch.skipped). */
     const support::CancellationToken *cancel = nullptr;
+
+    /**
+     * Crash containment (support/sandbox.hh): with Fork, each trace
+     * is analyzed in a forked worker subprocess and a crashing
+     * detector yields one TraceStatus::Crashed report (with the
+     * signal name in `error`) instead of killing the campaign.
+     * Reports stay in corpus order and — per-trace detection being
+     * deterministic — carry exactly the classic findings. Note the
+     * batch is deliberately *not* journaled: detection output is
+     * derived data, recomputable from the corpus, so crash-resume
+     * belongs to the exploration layer that produced the traces.
+     */
+    support::SandboxOptions sandbox;
 };
 
 /** Corpus-over-pool batch detection; see the file comment. */

@@ -46,6 +46,17 @@ struct DfsOptions
 
     /** Campaign-level wall-clock cutoff. */
     support::Deadline deadline;
+
+    /**
+     * Crash containment: with SandboxPolicy::Fork the whole search
+     * runs in one forked child under the rlimits, and a crash
+     * anywhere in the tree yields outcome Crashed with a harvested
+     * crash record instead of killing the campaign process. The
+     * search does not shard into restartable units (the replay tree
+     * is one connected computation), so there is no per-unit restart
+     * — a crashing program crashes deterministically on replay too.
+     */
+    support::SandboxOptions sandbox;
 };
 
 /** Result of a DFS exploration. */
@@ -67,6 +78,11 @@ struct DfsResult
 
     /** Executions that hit the per-execution decision cap. */
     std::size_t truncated = 0;
+
+    /** True when the sandboxed search child died on a fatal signal;
+     * outcome is then Crashed and `crash` holds the harvest. */
+    bool crashed = false;
+    support::CrashInfo crash;
 };
 
 /**

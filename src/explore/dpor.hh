@@ -82,6 +82,9 @@ struct DporOptions
 
     /** Campaign-level wall-clock cutoff. */
     support::Deadline deadline;
+
+    /** Crash containment for the whole search (see DfsOptions). */
+    support::SandboxOptions sandbox;
 };
 
 /** Result of a DPOR exploration. */
@@ -101,6 +104,11 @@ struct DporResult
 
     /** Executions that hit the per-execution decision cap. */
     std::size_t truncated = 0;
+
+    /** True when the sandboxed search child died on a fatal signal;
+     * outcome is then Crashed and `crash` holds the harvest. */
+    bool crashed = false;
+    support::CrashInfo crash;
 };
 
 /** Systematically explore the program with partial-order reduction. */

@@ -1,5 +1,7 @@
 #include "explore/parallel.hh"
 
+#include "explore/sandboxed.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -460,6 +462,10 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                        const StressOptions &options,
                        const ManifestPredicate &manifest) const
 {
+    if (options.sandbox.enabled())
+        return sandboxedStress(workers_, factory, makePolicy, options,
+                               manifest);
+
     StressResult result;
     const std::size_t runs = options.runs;
     if (runs == 0)
@@ -486,8 +492,40 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         bool manifested = false;
         bool ran = false;
         bool truncated = false;
+        bool resumed = false;
+        bool crashed = false;
     };
     std::vector<RunRecord> records(runs);
+
+    // Resume: seeds already journaled by a previous (killed) run of
+    // this campaign are restored, not re-executed. Journaled crashes
+    // stay crashes — a deterministic executor would just die again
+    // (and here, outside the sandbox, take the process with it).
+    if (options.resume != nullptr) {
+        const auto *prior =
+            options.resume->campaign(options.campaignId);
+        if (prior != nullptr) {
+            for (const auto &[index, rec] : *prior) {
+                if (index >= runs)
+                    continue;
+                RunRecord &r = records[index];
+                r.resumed = true;
+                r.steps = rec.steps;
+                r.manifested = rec.manifested();
+                r.truncated = rec.truncated();
+                if (rec.crashed()) {
+                    r.crashed = true;
+                    support::CrashInfo info;
+                    info.unit = index;
+                    info.signal = rec.signal;
+                    info.steps = rec.steps;
+                    result.crashes.push_back(info);
+                } else {
+                    r.ran = true;
+                }
+            }
+        }
+    }
 
     // Blocks of consecutive seeds are handed out atomically; with
     // stopAtFirst, stopIndex is the earliest manifesting seed index
@@ -497,6 +535,14 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         1, std::min<std::size_t>(64, runs / (workers_ * 4) + 1));
     std::atomic<std::size_t> nextBlock{0};
     std::atomic<std::uint64_t> stopIndex{~std::uint64_t{0}};
+    if (options.stopAtFirst) {
+        for (std::size_t i = 0; i < runs; ++i) {
+            if (records[i].resumed && records[i].manifested) {
+                stopIndex.store(i, std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
 
     // Failsafe state: the campaign-level cut. bounded is false on the
     // default options, collapsing every per-run check to one branch.
@@ -532,6 +578,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                                   "explore");
             }
             for (std::size_t i = lo; i < hi; ++i) {
+                if (records[i].resumed)
+                    continue;  // restored from the journal
                 if (options.stopAtFirst &&
                     i > stopIndex.load(std::memory_order_acquire))
                     break;
@@ -605,6 +653,17 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                 records[i].manifested = manifest(execution);
                 records[i].truncated = execution.stepLimitHit;
                 records[i].ran = true;
+                if (options.journal != nullptr) {
+                    SeedRecord rec;
+                    rec.campaignId = options.campaignId;
+                    rec.seedIndex = i;
+                    rec.steps = records[i].steps;
+                    if (records[i].manifested)
+                        rec.flags |= SeedRecord::kManifested;
+                    if (records[i].truncated)
+                        rec.flags |= SeedRecord::kTruncated;
+                    (void)options.journal->append(rec);
+                }
                 if (runsCounter)
                     runsCounter->add();
                 if (manifestCounter && records[i].manifested)
@@ -640,6 +699,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
     // harvest, not zeroes.
     double totalDecisions = 0.0;
     for (std::size_t i = 0; i < runs; ++i) {
+        if (records[i].resumed)
+            ++result.resumedRuns;
         if (!records[i].ran)
             continue;
         ++result.runs;
@@ -654,8 +715,12 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
                 break;
         }
     }
+    result.crashedRuns = result.crashes.size();
     result.outcome = static_cast<RunOutcome>(
         outcomeSlot.load(std::memory_order_acquire));
+    if (result.crashedRuns > 0)
+        result.outcome = support::worseOutcome(result.outcome,
+                                               RunOutcome::Crashed);
     if (result.runs > 0)
         result.avgDecisions =
             totalDecisions / static_cast<double>(result.runs);
@@ -667,6 +732,9 @@ ParallelRunner::dfs(const sim::ProgramFactory &factory,
                     const DfsOptions &options,
                     const ManifestPredicate &manifest) const
 {
+    if (options.sandbox.enabled())
+        return sandboxedDfs(workers_, factory, options, manifest);
+
     support::spans::Scope span("explore.dfs", "explore");
     DfsEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});
@@ -686,6 +754,9 @@ ParallelRunner::dpor(const sim::ProgramFactory &factory,
                      const DporOptions &options,
                      const ManifestPredicate &manifest) const
 {
+    if (options.sandbox.enabled())
+        return sandboxedDpor(workers_, factory, options, manifest);
+
     support::spans::Scope span("explore.dpor", "explore");
     DporEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});

@@ -1,6 +1,9 @@
 #include "explore/runner.hh"
 
+#include <cstring>
+
 #include "explore/parallel.hh"
+#include "support/logging.hh"
 
 namespace lfm::explore
 {
@@ -9,6 +12,106 @@ bool
 defaultManifest(const sim::Execution &exec)
 {
     return exec.failed();
+}
+
+std::uint64_t
+campaignKey(const std::string &name)
+{
+    // FNV-1a: stable across runs and builds (journal identities must
+    // survive the process).
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool
+CampaignJournal::open(const std::string &path, bool fsyncEveryAppend,
+                      std::size_t checkpointEvery)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    checkpointEvery_ = std::max<std::size_t>(1, checkpointEvery);
+    sinceCheckpoint_ = 0;
+    snapshot_.clear();
+    return journal_.open(path, fsyncEveryAppend);
+}
+
+void
+CampaignJournal::seedSnapshot(const std::vector<SeedRecord> &recovered)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    snapshot_ = recovered;
+}
+
+bool
+CampaignJournal::append(const SeedRecord &record)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (!journal_.append(kSeedRecordType, &record, sizeof(record)))
+        return false;
+    snapshot_.push_back(record);
+    if (++sinceCheckpoint_ >= checkpointEvery_) {
+        sinceCheckpoint_ = 0;
+        // Best-effort: a failed checkpoint only means a longer tail
+        // replay on resume — the appended records are already durable.
+        (void)journal_.checkpoint(
+            snapshot_.data(), snapshot_.size() * sizeof(SeedRecord));
+    }
+    return true;
+}
+
+void
+CampaignJournal::close()
+{
+    std::lock_guard<std::mutex> guard(m_);
+    journal_.close();
+}
+
+namespace
+{
+
+/** Parse concatenated SeedRecords; tolerates a ragged tail. */
+void
+parseRecords(const std::uint8_t *data, std::size_t len,
+             RecoveredCampaigns &out)
+{
+    for (std::size_t off = 0; off + sizeof(SeedRecord) <= len;
+         off += sizeof(SeedRecord)) {
+        SeedRecord rec{};
+        std::memcpy(&rec, data + off, sizeof(rec));
+        out.byCampaign[rec.campaignId][rec.seedIndex] = rec;
+        out.all.push_back(rec);
+    }
+}
+
+} // namespace
+
+RecoveredCampaigns
+RecoveredCampaigns::load(const std::string &path)
+{
+    RecoveredCampaigns out;
+    support::RecoveredJournal raw = support::recoverJournal(path);
+    out.corruptTail = raw.corruptTail;
+    out.warning = raw.warning;
+    if (raw.hasCheckpoint)
+        parseRecords(raw.checkpoint.data(), raw.checkpoint.size(),
+                     out);
+    for (const auto &record : raw.records) {
+        if (record.type != kSeedRecordType)
+            continue;  // other layers may journal their own types
+        parseRecords(record.payload.data(), record.payload.size(),
+                     out);
+    }
+    return out;
+}
+
+const std::map<std::uint64_t, SeedRecord> *
+RecoveredCampaigns::campaign(std::uint64_t id) const
+{
+    const auto it = byCampaign.find(id);
+    return it == byCampaign.end() ? nullptr : &it->second;
 }
 
 StressResult

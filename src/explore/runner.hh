@@ -11,13 +11,131 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "sim/policy.hh"
 #include "sim/program.hh"
+#include "support/journal.hh"
+#include "support/sandbox.hh"
 
 namespace lfm::explore
 {
+
+// ------------------------------------------------------------------
+// Campaign journal glue (support/journal.hh carries opaque bytes;
+// this layer defines the per-seed record format and resume logic)
+// ------------------------------------------------------------------
+
+/** Journal record type tag for SeedRecord payloads. */
+constexpr std::uint16_t kSeedRecordType = 1;
+
+/**
+ * One completed (or crashed) seed of a stress campaign, as journaled.
+ * Fixed-size trivially-copyable POD: the journal payload is the raw
+ * bytes, and checkpoints are just concatenated records.
+ */
+struct SeedRecord
+{
+    static constexpr std::uint32_t kManifested = 1u << 0;
+    static constexpr std::uint32_t kTruncated = 1u << 1;
+    static constexpr std::uint32_t kCrashed = 1u << 2;
+
+    /** Which campaign this seed belongs to (campaignKey). One journal
+     * can carry many campaigns — bench binaries share one file. */
+    std::uint64_t campaignId = 0;
+
+    /** Seed index within the campaign (seed = firstSeed + index). */
+    std::uint64_t seedIndex = 0;
+
+    /** Scheduling decisions the execution took (0 for crashes). */
+    std::uint64_t steps = 0;
+
+    std::uint32_t flags = 0;
+
+    /** Fatal signal for crashed seeds; 0 otherwise. */
+    std::int32_t signal = 0;
+
+    bool manifested() const { return (flags & kManifested) != 0; }
+    bool truncated() const { return (flags & kTruncated) != 0; }
+    bool crashed() const { return (flags & kCrashed) != 0; }
+};
+static_assert(sizeof(SeedRecord) == 32,
+              "SeedRecord is a wire format; keep it packed");
+
+/** Stable campaign identity from a human-readable name (FNV-1a). */
+std::uint64_t campaignKey(const std::string &name);
+
+/**
+ * Thread-safe appender for stress-campaign seed records on top of a
+ * support::Journal, with a periodic atomic checkpoint (every
+ * checkpointEvery appends) so resume replays a bounded tail.
+ */
+class CampaignJournal
+{
+  public:
+    /** Open (or create) the journal file for appending. */
+    bool open(const std::string &path, bool fsyncEveryAppend = true,
+              std::size_t checkpointEvery = 32);
+
+    bool isOpen() const { return journal_.isOpen(); }
+
+    const std::string &path() const { return journal_.path(); }
+
+    /**
+     * Pre-fill the checkpoint snapshot with records recovered from a
+     * previous run of this same journal file. Must be called before
+     * new appends: the next checkpoint's covered offset spans the
+     * whole file, so its payload must include the old records too.
+     */
+    void seedSnapshot(const std::vector<SeedRecord> &recovered);
+
+    /** Append one record (durably) and maybe checkpoint. */
+    bool append(const SeedRecord &record);
+
+    void close();
+
+  private:
+    std::mutex m_;
+    support::Journal journal_;
+    std::vector<SeedRecord> snapshot_;
+    std::size_t sinceCheckpoint_ = 0;
+    std::size_t checkpointEvery_ = 32;
+};
+
+/**
+ * Everything a journal file knows about past campaigns, indexed for
+ * resume. Loading never fails: corruption degrades to fewer records
+ * (see support/journal.hh); `warning` says what was skipped.
+ */
+struct RecoveredCampaigns
+{
+    /** campaignId -> seedIndex -> record (last write wins). */
+    std::map<std::uint64_t, std::map<std::uint64_t, SeedRecord>>
+        byCampaign;
+
+    /** Every record in recovery order (for re-seeding checkpoints). */
+    std::vector<SeedRecord> all;
+
+    bool corruptTail = false;
+    std::string warning;
+
+    static RecoveredCampaigns load(const std::string &path);
+
+    /** The records of one campaign; null when none. */
+    const std::map<std::uint64_t, SeedRecord> *
+    campaign(std::uint64_t id) const;
+
+    std::size_t
+    count(std::uint64_t id) const
+    {
+        const auto *m = campaign(id);
+        return m == nullptr ? 0 : m->size();
+    }
+};
 
 /** What counts as "the bug manifested" for a given execution. */
 using ManifestPredicate = std::function<bool(const sim::Execution &)>;
@@ -46,6 +164,26 @@ struct StressResult
 
     /** Executions that hit the per-execution step ceiling. */
     std::size_t truncatedRuns = 0;
+
+    /** Seeds whose execution died on a fatal signal inside a sandbox
+     * worker (contained; not part of `runs`). When any seed crashed
+     * the campaign outcome is Crashed. */
+    std::size_t crashedRuns = 0;
+
+    /** Seeds restored from the journal instead of re-executed
+     * (included in `runs` with their recorded statistics). */
+    std::size_t resumedRuns = 0;
+
+    /** Sandbox worker subprocesses re-forked after a crash. */
+    std::uint64_t workerRestarts = 0;
+
+    /** Sandbox worker slots permanently retired after repeated
+     * consecutive crashes. */
+    std::uint64_t benchedWorkers = 0;
+
+    /** Harvested crash records (signal, responsible seed, schedule
+     * prefix), one per crashed seed, including resumed ones. */
+    std::vector<support::CrashInfo> crashes;
 
     double
     rate() const
@@ -93,8 +231,38 @@ struct StressOptions
     support::Deadline deadline;
 
     /** Composite campaign budget (steps / wall time / trace bytes);
-     * the default imposes nothing. */
+     * the default imposes nothing. Not enforced on the sandbox path
+     * (results live in worker subprocesses until harvested); use
+     * cancel/deadline there instead. */
     support::Budget budget;
+
+    /**
+     * Crash containment (support/sandbox.hh). Off (the default) is
+     * the classic in-process path, byte-for-byte unchanged. Fork runs
+     * each seed in a forked worker subprocess: a segfaulting seed
+     * becomes a Crashed outcome with a harvested crash record instead
+     * of taking the campaign down. Per-seed results are identical to
+     * the classic path (the executor is deterministic per seed), so
+     * sandbox-on reproduces study-table numbers exactly.
+     * Incompatible with onExecution (the trace lives and dies in the
+     * child).
+     */
+    support::SandboxOptions sandbox;
+
+    /** Durable campaign journal: completed seeds are appended (and
+     * fsync'd) as SeedRecords under campaignId. Null = no journal. */
+    CampaignJournal *journal = nullptr;
+
+    /** Stable campaign identity for journal/resume (campaignKey). */
+    std::uint64_t campaignId = 0;
+
+    /**
+     * Resume data recovered from a previous run's journal: seeds with
+     * a record under campaignId are restored (counted with their
+     * journaled statistics, not re-executed, not re-journaled, and
+     * not delivered to onExecution). Null = run everything.
+     */
+    const RecoveredCampaigns *resume = nullptr;
 };
 
 /**

@@ -1,0 +1,392 @@
+#include "explore/sandboxed.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace lfm::explore
+{
+
+namespace
+{
+
+using support::RunOutcome;
+
+// ------------------------------------------------------------------
+// Tiny byte (de)serializers for the child -> parent result payloads.
+// Same-machine, same-build pipes: native endianness is fine.
+// ------------------------------------------------------------------
+
+struct Writer
+{
+    std::vector<std::uint8_t> buf;
+
+    void
+    u64(std::uint64_t v)
+    {
+        const std::size_t off = buf.size();
+        buf.resize(off + sizeof(v));
+        std::memcpy(buf.data() + off, &v, sizeof(v));
+    }
+
+    void u8(std::uint8_t v) { buf.push_back(v); }
+};
+
+struct Reader
+{
+    const std::vector<std::uint8_t> &buf;
+    std::size_t off = 0;
+    bool ok = true;
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (off + sizeof(v) > buf.size()) {
+            ok = false;
+            return 0;
+        }
+        std::memcpy(&v, buf.data() + off, sizeof(v));
+        off += sizeof(v);
+        return v;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (off >= buf.size()) {
+            ok = false;
+            return 0;
+        }
+        return buf[off++];
+    }
+};
+
+/** Per-seed result wire for the stress path. */
+struct StressWire
+{
+    std::uint64_t steps = 0;
+    std::uint32_t flags = 0;  // SeedRecord flag bits
+    std::uint32_t pad = 0;
+};
+static_assert(sizeof(StressWire) == 16);
+
+} // namespace
+
+StressResult
+sandboxedStress(unsigned workers, const sim::ProgramFactory &factory,
+                const PolicyFactory &makePolicy,
+                const StressOptions &options,
+                const ManifestPredicate &manifest)
+{
+    LFM_ASSERT(!options.onExecution,
+               "onExecution cannot stream traces across the sandbox "
+               "process boundary; run detection in a separate pass "
+               "or drop the sandbox for this campaign");
+
+    StressResult result;
+    const std::size_t runs = options.runs;
+    if (runs == 0)
+        return result;
+
+    struct Rec
+    {
+        std::uint64_t steps = 0;
+        bool manifested = false;
+        bool ran = false;
+        bool truncated = false;
+        bool crashed = false;
+        bool resumed = false;
+    };
+    std::vector<Rec> records(runs);
+
+    // With stopAtFirst, seeds past the earliest known manifesting
+    // index are skipped at dispatch — same partial-harvest semantics
+    // as the classic path.
+    std::uint64_t stopIndex = ~std::uint64_t{0};
+
+    // Resume: restore journaled seeds (completed AND crashed — a
+    // crash is deterministic, re-running it buys nothing).
+    if (options.resume != nullptr) {
+        const auto *prior =
+            options.resume->campaign(options.campaignId);
+        if (prior != nullptr) {
+            for (const auto &[index, rec] : *prior) {
+                if (index >= runs)
+                    continue;
+                Rec &r = records[index];
+                r.resumed = true;
+                r.steps = rec.steps;
+                r.manifested = rec.manifested();
+                r.truncated = rec.truncated();
+                if (rec.crashed()) {
+                    r.crashed = true;
+                    support::CrashInfo info;
+                    info.unit = index;
+                    info.signal = rec.signal;
+                    info.steps = rec.steps;
+                    result.crashes.push_back(info);
+                } else {
+                    r.ran = true;
+                }
+                if (r.manifested && options.stopAtFirst)
+                    stopIndex = std::min(stopIndex,
+                                         std::uint64_t{index});
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> units;
+    units.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i)
+        if (!records[i].resumed)
+            units.push_back(i);
+
+    const support::Deadline effDeadline = support::Deadline::earlier(
+        options.deadline, options.budget.deadline);
+
+    support::SandboxOptions sandbox = options.sandbox;
+    if (sandbox.workers == 0)
+        sandbox.workers = workers;
+
+    // Runs inside the forked child. The factory/policy/manifest
+    // closures are inherited through fork — nothing serializes on the
+    // way in; only the 16-byte result comes back. The lazily created
+    // policy persists across units of one child (exactly like one
+    // classic worker thread reusing its policy across seeds — per-
+    // seed determinism comes from beginExecution(seed)).
+    std::shared_ptr<sim::SchedulePolicy> childPolicy;
+    const support::SandboxSupervisor::ChildRun childRun =
+        [&, childPolicy](std::uint64_t unit) mutable
+        -> std::vector<std::uint8_t> {
+        if (childPolicy == nullptr) {
+            childPolicy = makePolicy();
+            LFM_ASSERT(childPolicy != nullptr,
+                       "policy factory returned null");
+        }
+        sim::ExecOptions exec = options.exec;
+        exec.seed = options.firstSeed + unit;
+        if (options.countOnly) {
+            exec.collectTrace = false;
+            exec.recordDecisions = false;
+        }
+        exec.deadline =
+            support::Deadline::earlier(exec.deadline, effDeadline);
+        exec.probe = &support::processProbe();
+        auto execution = sim::runProgram(factory, *childPolicy, exec);
+        StressWire wire;
+        wire.steps = execution.steps();
+        if (manifest(execution))
+            wire.flags |= SeedRecord::kManifested;
+        if (execution.stepLimitHit)
+            wire.flags |= SeedRecord::kTruncated;
+        std::vector<std::uint8_t> out(sizeof(wire));
+        std::memcpy(out.data(), &wire, sizeof(wire));
+        return out;
+    };
+
+    const auto journalSeed = [&](std::uint64_t index,
+                                 std::uint64_t steps,
+                                 std::uint32_t flags,
+                                 std::int32_t signal) {
+        if (options.journal == nullptr)
+            return;
+        SeedRecord rec;
+        rec.campaignId = options.campaignId;
+        rec.seedIndex = index;
+        rec.steps = steps;
+        rec.flags = flags;
+        rec.signal = signal;
+        (void)options.journal->append(rec);
+    };
+
+    const support::SandboxSupervisor::OnResult onResult =
+        [&](std::uint64_t unit,
+            const std::vector<std::uint8_t> &payload) {
+            if (payload.size() < sizeof(StressWire) || unit >= runs)
+                return;
+            StressWire wire;
+            std::memcpy(&wire, payload.data(), sizeof(wire));
+            Rec &r = records[unit];
+            r.ran = true;
+            r.steps = wire.steps;
+            r.manifested = (wire.flags & SeedRecord::kManifested) != 0;
+            r.truncated = (wire.flags & SeedRecord::kTruncated) != 0;
+            if (r.manifested && options.stopAtFirst)
+                stopIndex = std::min(stopIndex, unit);
+            journalSeed(unit, wire.steps, wire.flags, 0);
+        };
+
+    const support::SandboxSupervisor::OnCrash onCrash =
+        [&](const support::CrashInfo &crash) {
+            if (crash.unit < runs)
+                records[crash.unit].crashed = true;
+            result.crashes.push_back(crash);
+            journalSeed(crash.unit, crash.steps,
+                        SeedRecord::kCrashed, crash.signal);
+        };
+
+    const support::SandboxSupervisor::SkipUnit skipUnit =
+        [&](std::uint64_t unit) {
+            return options.stopAtFirst && unit > stopIndex;
+        };
+
+    support::SandboxSupervisor supervisor(sandbox);
+    const support::SandboxSupervisor::Stats stats =
+        supervisor.run(units, childRun, onResult, onCrash,
+                       options.cancel, effDeadline, skipUnit);
+
+    result.workerRestarts = stats.restarts;
+    result.benchedWorkers = stats.benched;
+    result.outcome = stats.outcome;
+
+    // Merge in seed order — the same loop as the classic path, so a
+    // sandbox-on campaign reports identical numbers.
+    double totalDecisions = 0.0;
+    for (std::size_t i = 0; i < runs; ++i) {
+        const Rec &r = records[i];
+        if (r.resumed)
+            ++result.resumedRuns;
+        if (!r.ran)
+            continue;
+        ++result.runs;
+        totalDecisions += static_cast<double>(r.steps);
+        if (r.truncated)
+            ++result.truncatedRuns;
+        if (r.manifested) {
+            ++result.manifestations;
+            if (!result.firstManifestSeed)
+                result.firstManifestSeed = options.firstSeed + i;
+            if (options.stopAtFirst)
+                break;
+        }
+    }
+    result.crashedRuns = result.crashes.size();
+    if (result.crashedRuns > 0)
+        result.outcome = support::worseOutcome(result.outcome,
+                                               RunOutcome::Crashed);
+    if (result.runs > 0)
+        result.avgDecisions =
+            totalDecisions / static_cast<double>(result.runs);
+    return result;
+}
+
+// ------------------------------------------------------------------
+// Whole-campaign containment for the systematic explorers
+// ------------------------------------------------------------------
+
+DfsResult
+sandboxedDfs(unsigned workers, const sim::ProgramFactory &factory,
+             const DfsOptions &options,
+             const ManifestPredicate &manifest)
+{
+    DfsOptions inner = options;
+    inner.sandbox = {};  // the child runs the classic path
+    const auto iso = support::runIsolated(
+        options.sandbox.limits, [&]() -> std::vector<std::uint8_t> {
+            const DfsResult r =
+                ParallelRunner(workers).dfs(factory, inner, manifest);
+            Writer w;
+            w.u64(r.executions);
+            w.u64(r.manifestations);
+            w.u64(r.truncated);
+            w.u8(r.exhausted ? 1 : 0);
+            w.u8(static_cast<std::uint8_t>(r.outcome));
+            w.u8(r.firstManifestPath ? 1 : 0);
+            if (r.firstManifestPath) {
+                w.u64(r.firstManifestPath->size());
+                for (const std::size_t step : *r.firstManifestPath)
+                    w.u64(step);
+            }
+            return std::move(w.buf);
+        });
+
+    DfsResult result;
+    if (!iso.ok) {
+        result.crashed = true;
+        result.crash = iso.crash;
+        result.outcome = RunOutcome::Crashed;
+        return result;
+    }
+    Reader rd{iso.payload};
+    result.executions = rd.u64();
+    result.manifestations = rd.u64();
+    result.truncated = rd.u64();
+    result.exhausted = rd.u8() != 0;
+    result.outcome = static_cast<RunOutcome>(rd.u8());
+    if (rd.u8() != 0) {
+        std::vector<std::size_t> path(rd.u64());
+        for (auto &step : path)
+            step = rd.u64();
+        if (rd.ok)
+            result.firstManifestPath = std::move(path);
+    }
+    if (!rd.ok) {
+        // Torn payload (should not happen with a clean exit); treat
+        // as a crash rather than inventing numbers.
+        result = DfsResult{};
+        result.crashed = true;
+        result.outcome = RunOutcome::Crashed;
+    }
+    return result;
+}
+
+DporResult
+sandboxedDpor(unsigned workers, const sim::ProgramFactory &factory,
+              const DporOptions &options,
+              const ManifestPredicate &manifest)
+{
+    DporOptions inner = options;
+    inner.sandbox = {};
+    const auto iso = support::runIsolated(
+        options.sandbox.limits, [&]() -> std::vector<std::uint8_t> {
+            const DporResult r = ParallelRunner(workers).dpor(
+                factory, inner, manifest);
+            Writer w;
+            w.u64(r.executions);
+            w.u64(r.manifestations);
+            w.u64(r.truncated);
+            w.u8(r.exhausted ? 1 : 0);
+            w.u8(static_cast<std::uint8_t>(r.outcome));
+            w.u8(r.firstManifestPlan ? 1 : 0);
+            if (r.firstManifestPlan) {
+                w.u64(r.firstManifestPlan->size());
+                for (const sim::ThreadId tid : *r.firstManifestPlan)
+                    w.u64(static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(tid)));
+            }
+            return std::move(w.buf);
+        });
+
+    DporResult result;
+    if (!iso.ok) {
+        result.crashed = true;
+        result.crash = iso.crash;
+        result.outcome = RunOutcome::Crashed;
+        return result;
+    }
+    Reader rd{iso.payload};
+    result.executions = rd.u64();
+    result.manifestations = rd.u64();
+    result.truncated = rd.u64();
+    result.exhausted = rd.u8() != 0;
+    result.outcome = static_cast<RunOutcome>(rd.u8());
+    if (rd.u8() != 0) {
+        std::vector<sim::ThreadId> plan(rd.u64());
+        for (auto &tid : plan)
+            tid = static_cast<sim::ThreadId>(
+                static_cast<std::int64_t>(rd.u64()));
+        if (rd.ok)
+            result.firstManifestPlan = std::move(plan);
+    }
+    if (!rd.ok) {
+        result = DporResult{};
+        result.crashed = true;
+        result.outcome = RunOutcome::Crashed;
+    }
+    return result;
+}
+
+} // namespace lfm::explore

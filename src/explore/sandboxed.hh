@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Sandboxed campaign paths (internal to the explore layer).
+ *
+ * ParallelRunner dispatches here when a campaign opts into
+ * SandboxPolicy::Fork. Stress shards into per-seed units driven
+ * through the SandboxSupervisor (crash containment + worker restart +
+ * journaling); DFS/DPOR get whole-campaign containment via
+ * runIsolated (the replay tree is one connected computation — a crash
+ * is deterministic on replay, so there is nothing to restart).
+ */
+
+#ifndef LFM_EXPLORE_SANDBOXED_HH
+#define LFM_EXPLORE_SANDBOXED_HH
+
+#include "explore/dfs.hh"
+#include "explore/dpor.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+
+namespace lfm::explore
+{
+
+StressResult sandboxedStress(unsigned workers,
+                             const sim::ProgramFactory &factory,
+                             const PolicyFactory &makePolicy,
+                             const StressOptions &options,
+                             const ManifestPredicate &manifest);
+
+DfsResult sandboxedDfs(unsigned workers,
+                       const sim::ProgramFactory &factory,
+                       const DfsOptions &options,
+                       const ManifestPredicate &manifest);
+
+DporResult sandboxedDpor(unsigned workers,
+                         const sim::ProgramFactory &factory,
+                         const DporOptions &options,
+                         const ManifestPredicate &manifest);
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_SANDBOXED_HH

@@ -137,6 +137,34 @@ RunReport::setFaultPlan(support::Json plan)
     hasFailsafe_ = true;
 }
 
+void
+RunReport::addCrashes(std::size_t n)
+{
+    crashes_ += n;
+    hasSandbox_ = hasSandbox_ || n != 0;
+}
+
+void
+RunReport::addWorkerRestarts(std::size_t n)
+{
+    workerRestarts_ += n;
+    hasSandbox_ = hasSandbox_ || n != 0;
+}
+
+void
+RunReport::addBenchedWorkers(std::size_t n)
+{
+    benchedWorkers_ += n;
+    hasSandbox_ = hasSandbox_ || n != 0;
+}
+
+void
+RunReport::addResumed(std::size_t n)
+{
+    resumed_ += n;
+    hasSandbox_ = hasSandbox_ || n != 0;
+}
+
 RunReport::Stage::Stage(RunReport &report, std::string name)
     : report_(&report), name_(std::move(name)),
       wallStartNs_(wallNowNs()), cpuStartNs_(cpuNowNs())
@@ -214,6 +242,15 @@ RunReport::toJson() const
         doc.set("failsafe", std::move(failsafe));
     }
 
+    if (hasSandbox_) {
+        support::Json sandbox;
+        sandbox.set("crashes", crashes_)
+            .set("worker_restarts", workerRestarts_)
+            .set("benched_workers", benchedWorkers_)
+            .set("resumed", resumed_);
+        doc.set("sandbox", std::move(sandbox));
+    }
+
     doc.set("metrics",
             support::metrics::Registry::instance().snapshotJson());
     return doc;
@@ -232,6 +269,7 @@ recordTraceReports(RunReport &report,
     std::size_t analyzed = 0;
     std::size_t quarantined = 0;
     std::size_t skipped = 0;
+    std::size_t crashed = 0;
     for (const auto &tr : reports) {
         switch (tr.status) {
         case detect::TraceStatus::Analyzed:
@@ -245,11 +283,17 @@ recordTraceReports(RunReport &report,
         case detect::TraceStatus::Skipped:
             ++skipped;
             break;
+        case detect::TraceStatus::Crashed:
+            ++crashed;
+            break;
         }
     }
     report.addTracesAnalyzed(analyzed);
     report.addQuarantined(quarantined);
     report.addSkipped(skipped);
+    report.addCrashes(crashed);
+    if (crashed > 0)
+        report.setOutcome(support::RunOutcome::Crashed);
 }
 
 std::string

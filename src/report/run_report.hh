@@ -89,6 +89,24 @@ class RunReport
 
     /// @}
 
+    /// @name Sandbox / resume evidence (emitted as a "sandbox" object
+    /// once any of these is touched; absent from classic reports).
+    /// @{
+
+    /** Count executions/traces lost to a contained worker crash. */
+    void addCrashes(std::size_t n);
+
+    /** Count sandbox worker subprocesses re-forked after a crash. */
+    void addWorkerRestarts(std::size_t n);
+
+    /** Count worker slots permanently benched. */
+    void addBenchedWorkers(std::size_t n);
+
+    /** Count seeds restored from a journal instead of re-executed. */
+    void addResumed(std::size_t n);
+
+    /// @}
+
     /**
      * RAII stage timer: measures wall time (steady clock) and CPU
      * time (process clock) from construction to destruction and adds
@@ -153,6 +171,12 @@ class RunReport
     support::Json faultPlan_;
     bool hasFaultPlan_ = false;
     bool hasFailsafe_ = false;
+
+    std::size_t crashes_ = 0;
+    std::size_t workerRestarts_ = 0;
+    std::size_t benchedWorkers_ = 0;
+    std::size_t resumed_ = 0;
+    bool hasSandbox_ = false;
 };
 
 /** Fold a batch/stream result into the report: Analyzed traces count

@@ -524,6 +524,11 @@ Executor::schedulerLoop(SchedulePolicy &policy, const ExecOptions &opt)
             exec_.decisions.push_back({choices, idx});
 
         const ChoiceRecord &choice = choices[idx];
+        if (opt.probe != nullptr)
+            opt.probe->noteDecision(
+                static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(choice.tid)),
+                exec_.decisionCount - 1);
         if (choice.spuriousWake) {
             LogicalThread &lt = byTid(choice.tid);
             LFM_ASSERT(lt.pending.kind == OpKind::WaitBlock,

@@ -20,6 +20,7 @@
 
 #include "sim/op.hh"
 #include "support/failsafe.hh"
+#include "support/sandbox.hh"
 #include "trace/trace.hh"
 
 namespace lfm::sim
@@ -104,6 +105,15 @@ struct ExecOptions
      * perturbation bursts by FaultInjectingPolicy. Null = no faults.
      */
     const FaultPlan *faults = nullptr;
+
+    /**
+     * Sandbox schedule probe (support/sandbox.hh): when set, the
+     * scheduler publishes each decision (chosen thread, step index)
+     * with plain volatile stores so the crash reporter can harvest
+     * the schedule prefix from a signal handler. Null (the default)
+     * costs one branch per decision.
+     */
+    support::ScheduleProbe *probe = nullptr;
 };
 
 /** Why a blocked thread cannot make progress (deadlock reporting). */

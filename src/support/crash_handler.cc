@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The sandbox child's crash reporter.
+ *
+ * This TU is deliberately tiny and self-contained: everything that
+ * runs inside the signal handler must be async-signal-safe, so the
+ * handler uses only plain stores, a manual byte copy, write(2),
+ * signal(2) and raise(3) — no malloc, no iostream, no std::string,
+ * no formatting. scripts/ci.sh lint-checks this file (comments
+ * stripped) against the banned-call list; keep any convenience code
+ * out of here and in sandbox.cc instead.
+ *
+ * On a crashing signal the handler publishes one fixed-size frame
+ * (signal number plus the ScheduleProbe snapshot: responsible seed,
+ * step count, harvested schedule prefix) to the result pipe with a
+ * single write — frames are far below PIPE_BUF, so the write is
+ * atomic — then restores the default disposition and re-raises, so
+ * the parent still observes a genuine signal death via waitpid.
+ *
+ * Deliberately absent: sigaltstack. A stack-overflow SIGSEGV cannot
+ * run this handler and kills the child silently; the supervisor then
+ * synthesizes the crash record from the in-flight unit it already
+ * tracks, losing only the schedule prefix.
+ */
+
+#include <csignal>
+#include <unistd.h>
+
+#include "support/sandbox.hh"
+#include "support/sandbox_wire.hh"
+
+namespace lfm::support
+{
+
+namespace
+{
+
+volatile int g_fd = -1;
+ScheduleProbe *g_probe = nullptr;
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS,  SIGILL,
+                                 SIGFPE,  SIGABRT, SIGXCPU};
+
+void
+copyBytes(unsigned char *dst, const void *src, unsigned long n)
+{
+    const unsigned char *s = static_cast<const unsigned char *>(src);
+    for (unsigned long i = 0; i < n; ++i)
+        dst[i] = s[i];
+}
+
+void
+crashHandler(int sig)
+{
+    using namespace sandbox_wire;
+
+    CrashWire wire = {};
+    wire.signal = sig;
+    if (g_probe != nullptr) {
+        wire.unit = g_probe->seed;
+        wire.steps = g_probe->steps;
+        std::uint32_t n = g_probe->prefixLen;
+        if (n > ScheduleProbe::kPrefixMax)
+            n = ScheduleProbe::kPrefixMax;
+        wire.prefixLen = n;
+        for (std::uint32_t i = 0; i < n; ++i)
+            wire.prefix[i] = g_probe->prefix[i];
+    }
+
+    FrameHeader header = {};
+    header.magic = kMagic;
+    header.type = kCrash;
+    header.len = sizeof(CrashWire);
+
+    unsigned char frame[sizeof(FrameHeader) + sizeof(CrashWire)];
+    copyBytes(frame, &header, sizeof(header));
+    copyBytes(frame + sizeof(header), &wire, sizeof(wire));
+
+    if (g_fd >= 0) {
+        const long wrote = ::write(g_fd, frame, sizeof(frame));
+        (void)wrote;
+    }
+
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+void
+armCrashReporter(int fd)
+{
+    g_probe = &processProbe();
+    g_fd = fd;
+
+    struct sigaction sa = {};
+    sa.sa_handler = crashHandler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (const int sig : kCrashSignals)
+        ::sigaction(sig, &sa, nullptr);
+}
+
+} // namespace lfm::support

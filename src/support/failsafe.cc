@@ -18,6 +18,8 @@ outcomeName(RunOutcome outcome)
         return "deadline";
     case RunOutcome::Cancelled:
         return "cancelled";
+    case RunOutcome::Crashed:
+        return "crashed";
     }
     return "unknown";
 }

@@ -55,12 +55,13 @@ enum class RunOutcome : std::uint8_t
     Truncated,        ///< a step / execution / byte budget was hit
     DeadlineExpired,  ///< the wall-clock deadline passed
     Cancelled,        ///< a cancellation token was triggered
+    Crashed,          ///< a sandboxed worker died on a fatal signal
 };
 
 /** Printable outcome name ("completed", "truncated", ...). */
 const char *outcomeName(RunOutcome outcome);
 
-/** The more severe of two outcomes (Completed weakest, Cancelled
+/** The more severe of two outcomes (Completed weakest, Crashed
  * strongest); used to merge outcomes across workers. */
 RunOutcome worseOutcome(RunOutcome a, RunOutcome b);
 

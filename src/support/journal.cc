@@ -1,0 +1,401 @@
+#include "support/journal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace lfm::support
+{
+
+namespace
+{
+
+constexpr std::uint32_t kJournalMagic = 0x4C464D4Au;  // "LFMJ"
+constexpr std::uint32_t kCheckpointMagic = 0x4C464D43u;  // "LFMC"
+constexpr std::uint16_t kJournalVersion = 1;
+
+/** Sanity ceiling on one record's payload: recovery must never trust
+ * a corrupt length field into a multi-gigabyte allocation. */
+constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/**
+ * Versioned file header (16 bytes). The CRC covers the first eight
+ * bytes so a bit flip in the header itself is detected, not obeyed.
+ */
+struct FileHeader
+{
+    std::uint32_t magic;
+    std::uint16_t version;
+    std::uint16_t reserved;
+    std::uint32_t crc;
+    std::uint32_t pad;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+/** Per-record header (12 bytes); CRC covers type+reserved+payload. */
+struct RecordHeader
+{
+    std::uint32_t len;
+    std::uint16_t type;
+    std::uint16_t reserved;
+    std::uint32_t crc;
+};
+static_assert(sizeof(RecordHeader) == 12);
+
+/** Checkpoint sidecar header (24 bytes); CRC covers coveredOffset,
+ * payloadLen and the payload. */
+struct CheckpointHeader
+{
+    std::uint32_t magic;
+    std::uint16_t version;
+    std::uint16_t reserved;
+    std::uint64_t coveredOffset;
+    std::uint32_t payloadLen;
+    std::uint32_t crc;
+};
+static_assert(sizeof(CheckpointHeader) == 24);
+
+std::uint32_t
+recordCrc(const RecordHeader &h, const void *payload, std::size_t len)
+{
+    std::uint32_t crc = crc32(&h.type, sizeof(h.type));
+    crc = crc32(&h.reserved, sizeof(h.reserved), crc);
+    return crc32(payload, len, crc);
+}
+
+std::uint32_t
+checkpointCrc(const CheckpointHeader &h, const void *payload,
+              std::size_t len)
+{
+    std::uint32_t crc =
+        crc32(&h.coveredOffset, sizeof(h.coveredOffset));
+    crc = crc32(&h.payloadLen, sizeof(h.payloadLen), crc);
+    return crc32(payload, len, crc);
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read exactly len bytes; short read (EOF) returns false. */
+bool
+readAll(int fd, void *data, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+fsyncDirectoryOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t crc)
+{
+    // Standard reflected CRC-32 (polynomial 0xEDB88320), table built
+    // once on first use.
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    crc = ~crc;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+    return ~crc;
+}
+
+bool
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+    const bool wrote =
+        writeAll(fd, bytes.data(), bytes.size()) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    // The rename itself must be durable: fsync the directory so the
+    // new name survives power loss, not just process death.
+    (void)fsyncDirectoryOf(path);
+    return true;
+}
+
+Journal::~Journal() { close(); }
+
+bool
+Journal::open(const std::string &path, bool fsyncEveryAppend)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (fd_ >= 0)
+        return false;
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return false;
+    }
+    std::uint64_t offset = static_cast<std::uint64_t>(st.st_size);
+    if (offset == 0) {
+        FileHeader header{};
+        header.magic = kJournalMagic;
+        header.version = kJournalVersion;
+        header.crc = crc32(&header, 8);
+        if (!writeAll(fd, &header, sizeof(header)) ||
+            ::fsync(fd) != 0) {
+            ::close(fd);
+            return false;
+        }
+        offset = sizeof(header);
+    }
+
+    path_ = path;
+    fd_ = fd;
+    fsyncEveryAppend_ = fsyncEveryAppend;
+    offset_ = offset;
+    return true;
+}
+
+bool
+Journal::append(std::uint16_t type, const void *payload,
+                std::size_t len)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (fd_ < 0 || len > kMaxPayload)
+        return false;
+
+    RecordHeader header{};
+    header.len = static_cast<std::uint32_t>(len);
+    header.type = type;
+    header.crc = recordCrc(header, payload, len);
+
+    // One buffered write per record so a crash between the header and
+    // the payload cannot happen at the syscall level (a torn write at
+    // the device level is what the CRC is for).
+    std::vector<std::uint8_t> frame(sizeof(header) + len);
+    std::memcpy(frame.data(), &header, sizeof(header));
+    if (len > 0)
+        std::memcpy(frame.data() + sizeof(header), payload, len);
+    if (!writeAll(fd_, frame.data(), frame.size()))
+        return false;
+    if (fsyncEveryAppend_ && ::fsync(fd_) != 0)
+        return false;
+    offset_ += frame.size();
+    ++appended_;
+    return true;
+}
+
+bool
+Journal::checkpoint(const void *payload, std::size_t len)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (fd_ < 0 || len > kMaxPayload)
+        return false;
+    // Records already appended are durable; the checkpoint covers
+    // exactly the bytes written so far, so recovery replays only the
+    // tail that arrives after this snapshot.
+    if (!fsyncEveryAppend_ && ::fsync(fd_) != 0)
+        return false;
+
+    CheckpointHeader header{};
+    header.magic = kCheckpointMagic;
+    header.version = kJournalVersion;
+    header.coveredOffset = offset_;
+    header.payloadLen = static_cast<std::uint32_t>(len);
+    header.crc = checkpointCrc(header, payload, len);
+
+    std::string bytes(sizeof(header) + len, '\0');
+    std::memcpy(bytes.data(), &header, sizeof(header));
+    if (len > 0)
+        std::memcpy(bytes.data() + sizeof(header), payload, len);
+    return atomicWriteFile(journalCheckpointPath(path_), bytes);
+}
+
+void
+Journal::close()
+{
+    std::lock_guard<std::mutex> guard(m_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string
+journalCheckpointPath(const std::string &path)
+{
+    return path + ".ckpt";
+}
+
+RecoveredJournal
+recoverJournal(const std::string &path)
+{
+    RecoveredJournal out;
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return out;  // no journal: a fresh campaign, not an error
+
+    struct stat st{};
+    const std::uint64_t fileSize =
+        ::fstat(fd, &st) == 0 ? static_cast<std::uint64_t>(st.st_size)
+                              : 0;
+
+    FileHeader header{};
+    if (!readAll(fd, &header, sizeof(header)) ||
+        header.magic != kJournalMagic ||
+        header.version != kJournalVersion ||
+        header.crc != crc32(&header, 8)) {
+        out.warning = "journal header invalid; treating " + path +
+                      " as empty";
+        out.corruptTail = true;
+        LFM_WARN(out.warning);
+        ::close(fd);
+        return out;
+    }
+
+    // A valid checkpoint lets us skip straight to the tail. Any
+    // problem with it degrades to full journal replay.
+    std::uint64_t start = sizeof(FileHeader);
+    {
+        const std::string ckptPath = journalCheckpointPath(path);
+        const int cfd = ::open(ckptPath.c_str(), O_RDONLY | O_CLOEXEC);
+        if (cfd >= 0) {
+            CheckpointHeader ch{};
+            std::vector<std::uint8_t> payload;
+            bool ok = readAll(cfd, &ch, sizeof(ch)) &&
+                      ch.magic == kCheckpointMagic &&
+                      ch.version == kJournalVersion &&
+                      ch.payloadLen <= kMaxPayload;
+            if (ok) {
+                payload.resize(ch.payloadLen);
+                ok = (ch.payloadLen == 0 ||
+                      readAll(cfd, payload.data(), payload.size())) &&
+                     ch.crc == checkpointCrc(ch, payload.data(),
+                                             payload.size()) &&
+                     ch.coveredOffset >= sizeof(FileHeader) &&
+                     ch.coveredOffset <= fileSize;
+            }
+            ::close(cfd);
+            if (ok) {
+                out.checkpoint = std::move(payload);
+                out.hasCheckpoint = true;
+                start = ch.coveredOffset;
+            } else {
+                out.warning = "checkpoint " + ckptPath +
+                              " invalid; replaying the full journal";
+                LFM_WARN(out.warning);
+            }
+        }
+    }
+
+    if (::lseek(fd, static_cast<off_t>(start), SEEK_SET) < 0) {
+        ::close(fd);
+        return out;
+    }
+
+    std::uint64_t offset = start;
+    for (;;) {
+        RecordHeader rh{};
+        if (!readAll(fd, &rh, sizeof(rh)))
+            break;  // clean EOF or torn header: stop at last good
+        if (rh.len > kMaxPayload ||
+            offset + sizeof(rh) + rh.len > fileSize) {
+            out.corruptTail = true;
+            break;
+        }
+        std::vector<std::uint8_t> payload(rh.len);
+        if (rh.len > 0 && !readAll(fd, payload.data(), rh.len)) {
+            out.corruptTail = true;
+            break;
+        }
+        if (rh.crc != recordCrc(rh, payload.data(), payload.size())) {
+            out.corruptTail = true;
+            break;
+        }
+        out.records.push_back({rh.type, std::move(payload)});
+        offset += sizeof(rh) + rh.len;
+    }
+    // Distinguish "file ends exactly at a record boundary" (clean)
+    // from "bytes remain but no record parses" (truncated tail).
+    if (!out.corruptTail && offset < fileSize)
+        out.corruptTail = true;
+    if (out.corruptTail) {
+        const std::string w =
+            "journal " + path + " has a corrupt or truncated tail " +
+            "after " + std::to_string(out.records.size()) +
+            " valid record(s); resuming from the last good record";
+        out.warning = out.warning.empty() ? w
+                                          : out.warning + "; " + w;
+        LFM_WARN(w);
+    }
+    ::close(fd);
+    return out;
+}
+
+} // namespace lfm::support

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Durable campaign journal: an fsync'd, checksummed append-only log
+ * with periodic atomic checkpoints.
+ *
+ * The failsafe layer (PR 4) lets a campaign *degrade* gracefully, but
+ * every in-flight result still lives in the campaign process: an
+ * external SIGKILL, an OOM kill, or a power loss discards the whole
+ * run. The journal closes that gap the way crash-consistent systems
+ * do — completed units of work are appended as checksummed records
+ * and fsync'd before they count, so a campaign killed mid-run resumes
+ * from the last good record instead of restarting.
+ *
+ * Durability discipline:
+ *  - append() writes one length-prefixed, CRC32-protected record and
+ *    fsyncs the journal fd before returning (configurable off for
+ *    tests that only need crash-of-the-process durability).
+ *  - checkpoint() publishes a compact snapshot of everything appended
+ *    so far to a sidecar file (<path>.ckpt) with the same atomic
+ *    temp-write + fsync + rename + directory-fsync helper the run
+ *    reports use; resume loads the checkpoint and replays only the
+ *    journal tail past its covered offset.
+ *  - recovery is total: a truncated or bit-flipped tail record is
+ *    skipped with a warning (resume from the last good record), a
+ *    corrupt checkpoint falls back to full journal replay, a corrupt
+ *    header falls back to an empty journal. Never a crash.
+ *
+ * Record payloads are opaque bytes; the explore layer defines the
+ * per-seed record format (explore/runner.hh) and detect/report feed
+ * their own counters from it.
+ */
+
+#ifndef LFM_SUPPORT_JOURNAL_HH
+#define LFM_SUPPORT_JOURNAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lfm::support
+{
+
+/** CRC-32 (IEEE, reflected) over len bytes, continuing from crc. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+/**
+ * Durably replace the file at path with the given bytes: write to a
+ * temp file, fsync it, rename over the target, fsync the directory.
+ * A crash at any point leaves either the old or the new content —
+ * never a truncated hybrid, and never a rename that the filesystem
+ * forgets. Shared by journal checkpoints and JSON run reports.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &bytes);
+
+/** One recovered journal record: caller-defined type tag + payload. */
+struct JournalRecord
+{
+    std::uint16_t type = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Everything recovery could salvage, in append order. Checkpoint
+ * payload (when a valid checkpoint exists) plus every valid journal
+ * record past the checkpoint's covered offset. `warning` is non-empty
+ * whenever anything had to be skipped.
+ */
+struct RecoveredJournal
+{
+    /** Valid checkpoint snapshot; empty when none / corrupt. */
+    std::vector<std::uint8_t> checkpoint;
+    bool hasCheckpoint = false;
+
+    /** Valid records not covered by the checkpoint. */
+    std::vector<JournalRecord> records;
+
+    /** True when a corrupt or truncated tail record was skipped. */
+    bool corruptTail = false;
+
+    /** Human-readable account of anything skipped; empty = clean. */
+    std::string warning;
+};
+
+/**
+ * Append-side handle; see the file comment. Thread-safe: appends and
+ * checkpoints from concurrent campaign workers serialize internally.
+ */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open (creating if needed) the journal at path for appending; a
+     * fresh file gets the versioned header. Safe to open a journal
+     * that already holds records — new appends extend it.
+     *
+     * @param fsyncEveryAppend fsync after each record (the durable
+     *        default); off still survives a SIGKILL of the process
+     *        (page cache persists), only power loss can lose the tail.
+     */
+    bool open(const std::string &path, bool fsyncEveryAppend = true);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    const std::string &path() const { return path_; }
+
+    /** Append one record (write + CRC + fsync). False on I/O error. */
+    bool append(std::uint16_t type, const void *payload,
+                std::size_t len);
+
+    /**
+     * Atomically publish a checkpoint snapshot covering everything
+     * appended so far: resume loads this payload and replays only
+     * records appended after this call. Written to <path>.ckpt via
+     * atomicWriteFile.
+     */
+    bool checkpoint(const void *payload, std::size_t len);
+
+    /** Records appended through this handle (not the whole file). */
+    std::uint64_t appended() const { return appended_; }
+
+    void close();
+
+  private:
+    mutable std::mutex m_;
+    std::string path_;
+    int fd_ = -1;
+    bool fsyncEveryAppend_ = true;
+    std::uint64_t appended_ = 0;
+    /** Byte offset of the next record (for checkpoint coverage). */
+    std::uint64_t offset_ = 0;
+};
+
+/**
+ * Total recovery; see the file comment. A missing file recovers as
+ * empty (no warning) so first runs and resumed runs share one code
+ * path.
+ */
+RecoveredJournal recoverJournal(const std::string &path);
+
+/** The checkpoint sidecar path for a journal path. */
+std::string journalCheckpointPath(const std::string &path);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_JOURNAL_HH

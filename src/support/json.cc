@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/journal.hh"
+
 namespace lfm::support
 {
 
@@ -120,26 +122,14 @@ Json::escape(std::ostream &os, const std::string &s)
 bool
 writeJsonFile(const std::string &path, const Json &doc)
 {
-    // Write-then-rename so a crash or cancellation mid-write can
-    // never leave a truncated document at the published path.
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            return false;
-        doc.dump(out);
-        out << "\n";
-        out.flush();
-        if (!out) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    // Durable write-then-rename (the journal's atomic-write helper):
+    // a crash mid-write can never leave a truncated document at the
+    // published path, and the temp file plus the rename are fsync'd
+    // so even power loss keeps either the old or the new report.
+    std::ostringstream out;
+    doc.dump(out);
+    out << "\n";
+    return atomicWriteFile(path, out.str());
 }
 
 } // namespace lfm::support

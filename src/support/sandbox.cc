@@ -1,0 +1,683 @@
+#include "support/sandbox.hh"
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/sandbox_wire.hh"
+
+namespace lfm::support
+{
+
+namespace
+{
+
+using namespace sandbox_wire;
+using Clock = std::chrono::steady_clock;
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *data, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, std::uint16_t type, const void *payload,
+           std::size_t len)
+{
+    if (len > 0x7FFFFFFFu)
+        return false;  // frames are length-prefixed with a u32
+    FrameHeader header{};
+    header.magic = kMagic;
+    header.type = type;
+    header.len = static_cast<std::uint32_t>(len);
+    std::vector<std::uint8_t> frame(sizeof(header) + len);
+    std::memcpy(frame.data(), &header, sizeof(header));
+    if (len > 0)
+        std::memcpy(frame.data() + sizeof(header), payload, len);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+void
+applyLimits(const SandboxLimits &limits)
+{
+    if (limits.cpuSeconds != 0) {
+        rlimit rl{};
+        rl.rlim_cur = limits.cpuSeconds;
+        rl.rlim_max = limits.cpuSeconds + 1;
+        (void)::setrlimit(RLIMIT_CPU, &rl);
+    }
+    if (limits.addressSpaceBytes != 0) {
+        rlimit rl{};
+        rl.rlim_cur = limits.addressSpaceBytes;
+        rl.rlim_max = limits.addressSpaceBytes;
+        (void)::setrlimit(RLIMIT_AS, &rl);
+    }
+}
+
+/** Parent pipes never deliver SIGPIPE; a dead child surfaces as an
+ * EPIPE write error the supervisor handles explicitly. */
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+/**
+ * The child's unit loop: read unit ids off the command pipe until
+ * EOF, run each inside the armed probe, stream framed results back.
+ * Never returns. noexcept: an exception escaping childRun (e.g.
+ * bad_alloc under RLIMIT_AS) must terminate->abort here so it is
+ * harvested as a contained SIGABRT — unwinding would hand control
+ * back to the forked copy of the caller's stack.
+ */
+[[noreturn]] void
+childMain(int cmdFd, int resFd, const SandboxLimits &limits,
+          const SandboxSupervisor::ChildRun &childRun) noexcept
+{
+    applyLimits(limits);
+    armCrashReporter(resFd);
+    for (;;) {
+        std::uint64_t unit = 0;
+        if (!readAll(cmdFd, &unit, sizeof(unit)))
+            break;  // command pipe closed: no more work
+        processProbe().reset(unit);
+        (void)writeFrame(resFd, kUnitStart, &unit, sizeof(unit));
+        // A crash anywhere in here is the whole point: the reporter
+        // writes the crash frame and the default disposition kills
+        // this child; the supervisor harvests and carries on.
+        const std::vector<std::uint8_t> payload = childRun(unit);
+        std::vector<std::uint8_t> body(sizeof(unit) + payload.size());
+        std::memcpy(body.data(), &unit, sizeof(unit));
+        if (!payload.empty())
+            std::memcpy(body.data() + sizeof(unit), payload.data(),
+                        payload.size());
+        (void)writeFrame(resFd, kUnitResult, body.data(), body.size());
+    }
+    (void)writeFrame(resFd, kDone, nullptr, 0);
+    ::_exit(0);
+}
+
+/** Incremental frame parser over a slot's read buffer. */
+struct FrameBuffer
+{
+    std::vector<std::uint8_t> buf;
+
+    void
+    feed(const std::uint8_t *data, std::size_t len)
+    {
+        buf.insert(buf.end(), data, data + len);
+    }
+
+    /** Pop one complete frame; false when more bytes are needed.
+     * A corrupt magic clears the buffer (stream is unrecoverable —
+     * the child will die or finish and the supervisor resyncs via
+     * waitpid). */
+    bool
+    next(FrameHeader &header, std::vector<std::uint8_t> &payload)
+    {
+        if (buf.size() < sizeof(FrameHeader))
+            return false;
+        std::memcpy(&header, buf.data(), sizeof(header));
+        if (header.magic != kMagic) {
+            buf.clear();
+            return false;
+        }
+        const std::size_t total = sizeof(FrameHeader) + header.len;
+        if (buf.size() < total)
+            return false;
+        payload.assign(buf.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               sizeof(FrameHeader)),
+                       buf.begin() + static_cast<std::ptrdiff_t>(total));
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(total));
+        return true;
+    }
+};
+
+CrashInfo
+crashFromWire(const std::vector<std::uint8_t> &payload)
+{
+    CrashInfo info;
+    if (payload.size() < sizeof(CrashWire))
+        return info;
+    CrashWire wire{};
+    std::memcpy(&wire, payload.data(), sizeof(wire));
+    info.unit = wire.unit;
+    info.signal = wire.signal;
+    info.steps = wire.steps;
+    const std::uint32_t n =
+        std::min<std::uint32_t>(wire.prefixLen, 32);
+    info.prefix.assign(wire.prefix, wire.prefix + n);
+    return info;
+}
+
+struct Slot
+{
+    pid_t pid = -1;
+    int cmdFd = -1;
+    int resFd = -1;
+    bool hasInflight = false;
+    std::uint64_t inflight = 0;
+    unsigned consecutiveCrashes = 0;
+    bool benched = false;
+    bool cmdClosed = false;
+    FrameBuffer frames;
+    bool sawCrashFrame = false;
+    CrashInfo crashFrame;
+    bool pendingRestart = false;
+    Clock::time_point restartAt{};
+
+    bool live() const { return pid >= 0; }
+
+    void
+    closeFds()
+    {
+        if (cmdFd >= 0) {
+            ::close(cmdFd);
+            cmdFd = -1;
+        }
+        if (resFd >= 0) {
+            ::close(resFd);
+            resFd = -1;
+        }
+        cmdClosed = true;
+    }
+};
+
+} // namespace
+
+ScheduleProbe &
+processProbe()
+{
+    static ScheduleProbe probe;
+    return probe;
+}
+
+std::string
+CrashInfo::signalName() const
+{
+    switch (signal) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGKILL: return "SIGKILL";
+    case 0: return "no-signal";
+    default: return "signal " + std::to_string(signal);
+    }
+}
+
+SandboxSupervisor::Stats
+SandboxSupervisor::run(const std::vector<std::uint64_t> &units,
+                       const ChildRun &childRun,
+                       const OnResult &onResult, const OnCrash &onCrash,
+                       const CancellationToken *cancel,
+                       Deadline deadline,
+                       const SkipUnit &skipUnit) const
+{
+    Stats stats;
+    if (units.empty())
+        return stats;
+    ignoreSigpipeOnce();
+
+    namespace metrics = support::metrics;
+    metrics::Counter *crashCounter =
+        metrics::enabled() ? &metrics::counter("sandbox.crashes")
+                           : nullptr;
+    metrics::Counter *restartCounter =
+        metrics::enabled() ? &metrics::counter("sandbox.restarts")
+                           : nullptr;
+
+    std::deque<std::uint64_t> queue(units.begin(), units.end());
+    const unsigned slotCount = std::max<unsigned>(
+        1, std::min<std::uint64_t>(options_.workers == 0
+                                       ? 1
+                                       : options_.workers,
+                                   units.size()));
+    std::vector<Slot> slots(slotCount);
+
+    const auto spawn = [&](Slot &slot) -> bool {
+        int cmd[2];
+        int res[2];
+        if (::pipe(cmd) != 0)
+            return false;
+        if (::pipe(res) != 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            ::close(res[0]);
+            ::close(res[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // Child: keep only its own two pipe ends.
+            ::close(cmd[1]);
+            ::close(res[0]);
+            for (const Slot &other : slots) {
+                if (other.cmdFd >= 0)
+                    ::close(other.cmdFd);
+                if (other.resFd >= 0)
+                    ::close(other.resFd);
+            }
+            childMain(cmd[0], res[1], options_.limits, childRun);
+        }
+        ::close(cmd[0]);
+        ::close(res[1]);
+        slot.pid = pid;
+        slot.cmdFd = cmd[1];
+        slot.resFd = res[0];
+        slot.cmdClosed = false;
+        slot.hasInflight = false;
+        slot.frames.buf.clear();
+        slot.sawCrashFrame = false;
+        slot.pendingRestart = false;
+        return true;
+    };
+
+    /** Hand the slot its next unit, or close its command pipe when
+     * the queue has drained. */
+    const auto dispatch = [&](Slot &slot) {
+        while (!queue.empty()) {
+            const std::uint64_t unit = queue.front();
+            queue.pop_front();
+            if (skipUnit && skipUnit(unit))
+                continue;  // semantic cut (e.g. stopAtFirst)
+            if (!writeAll(slot.cmdFd, &unit, sizeof(unit))) {
+                // Child already dead; death handling on EOF will
+                // restart and someone will pick this unit up.
+                queue.push_front(unit);
+                return;
+            }
+            slot.hasInflight = true;
+            slot.inflight = unit;
+            return;
+        }
+        if (!slot.cmdClosed && slot.cmdFd >= 0) {
+            ::close(slot.cmdFd);
+            slot.cmdFd = -1;
+            slot.cmdClosed = true;
+        }
+    };
+
+    for (auto &slot : slots) {
+        if (!spawn(slot)) {
+            LFM_WARN("sandbox: could not fork a worker; "
+                     "continuing with fewer slots");
+            continue;
+        }
+        dispatch(slot);
+    }
+
+    const auto handleDeath = [&](Slot &slot, std::size_t slotIndex) {
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        slot.pid = -1;
+        slot.closeFds();
+
+        const bool signaled = WIFSIGNALED(status);
+        const bool cleanExit =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+        if (slot.hasInflight) {
+            // The unit died with the child. Prefer the reporter's
+            // harvested record; synthesize from the in-flight unit
+            // when the child was killed too hard to report (SIGKILL,
+            // stack overflow).
+            CrashInfo info;
+            if (slot.sawCrashFrame &&
+                slot.crashFrame.unit == slot.inflight) {
+                info = slot.crashFrame;
+            } else {
+                info.unit = slot.inflight;
+                info.signal = signaled ? WTERMSIG(status) : 0;
+            }
+            if (info.signal == 0 && signaled)
+                info.signal = WTERMSIG(status);
+            slot.hasInflight = false;
+            ++stats.crashed;
+            if (crashCounter)
+                crashCounter->add();
+            if (onCrash)
+                onCrash(info);
+
+            ++slot.consecutiveCrashes;
+            if (slot.consecutiveCrashes >=
+                options_.maxConsecutiveCrashes) {
+                slot.benched = true;
+                ++stats.benched;
+                LFM_WARN("sandbox: worker slot ", slotIndex,
+                         " benched after ", slot.consecutiveCrashes,
+                         " consecutive crashes");
+                return;
+            }
+            if (!queue.empty()) {
+                // Seeded deterministic backoff before the restart,
+                // scheduled (not slept) so other slots keep flowing.
+                const std::uint64_t delayNs =
+                    options_.restartBackoff.delayNs(
+                        std::min<unsigned>(
+                            slot.consecutiveCrashes - 1, 16),
+                        slotIndex);
+                slot.pendingRestart = true;
+                slot.restartAt =
+                    Clock::now() + std::chrono::nanoseconds(delayNs);
+            }
+            return;
+        }
+
+        if (!cleanExit && !queue.empty()) {
+            // Died between units: nothing lost, but the slot should
+            // come back if there is work left.
+            ++slot.consecutiveCrashes;
+            if (slot.consecutiveCrashes >=
+                options_.maxConsecutiveCrashes) {
+                slot.benched = true;
+                ++stats.benched;
+                return;
+            }
+            slot.pendingRestart = true;
+            slot.restartAt = Clock::now();
+        }
+    };
+
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        // Campaign-level cut: kill everything, count the remains.
+        RunOutcome cut = RunOutcome::Completed;
+        if (cancel != nullptr && cancel->cancelled())
+            cut = RunOutcome::Cancelled;
+        else if (deadline.armed() && deadline.expired())
+            cut = RunOutcome::DeadlineExpired;
+        if (cut != RunOutcome::Completed) {
+            for (auto &slot : slots) {
+                if (slot.live()) {
+                    ::kill(slot.pid, SIGKILL);
+                    int status = 0;
+                    while (::waitpid(slot.pid, &status, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    if (slot.hasInflight)
+                        ++stats.abandoned;
+                    slot.pid = -1;
+                    slot.closeFds();
+                }
+            }
+            stats.abandoned += queue.size();
+            stats.outcome = cut;
+            return stats;
+        }
+
+        // Fire due restarts; find the earliest pending one for the
+        // poll timeout.
+        const auto now = Clock::now();
+        bool anyLive = false;
+        bool anyPending = false;
+        Clock::time_point nextRestart = now;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Slot &slot = slots[i];
+            if (slot.pendingRestart) {
+                if (slot.restartAt <= now) {
+                    slot.pendingRestart = false;
+                    if (spawn(slot)) {
+                        ++stats.restarts;
+                        if (restartCounter)
+                            restartCounter->add();
+                        dispatch(slot);
+                    } else {
+                        slot.benched = true;
+                        ++stats.benched;
+                    }
+                } else {
+                    if (!anyPending || slot.restartAt < nextRestart)
+                        nextRestart = slot.restartAt;
+                    anyPending = true;
+                }
+            }
+            anyLive = anyLive || slot.live();
+        }
+
+        if (!anyLive && !anyPending) {
+            // No worker can make progress. Anything still queued is
+            // abandoned (every slot benched or unforkable).
+            stats.abandoned += queue.size();
+            queue.clear();
+            return stats;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdSlot;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].live()) {
+                fds.push_back({slots[i].resFd, POLLIN, 0});
+                fdSlot.push_back(i);
+            }
+        }
+        int timeoutMs = 20;
+        if (anyPending) {
+            const auto delta =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    nextRestart - now)
+                    .count();
+            timeoutMs = static_cast<int>(
+                std::max<long long>(1, std::min<long long>(delta, 20)));
+        }
+        if (!fds.empty()) {
+            while (::poll(fds.data(), fds.size(), timeoutMs) < 0 &&
+                   errno == EINTR) {
+            }
+        }
+
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            Slot &slot = slots[fdSlot[k]];
+            if (!slot.live())
+                continue;
+            std::uint8_t chunk[4096];
+            const ssize_t n = ::read(slot.resFd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN)
+                    continue;
+            }
+            if (n > 0)
+                slot.frames.feed(chunk,
+                                 static_cast<std::size_t>(n));
+
+            FrameHeader header{};
+            while (slot.frames.next(header, payload)) {
+                switch (header.type) {
+                case kUnitStart:
+                    break;  // informational; inflight already tracked
+                case kUnitResult: {
+                    if (payload.size() < sizeof(std::uint64_t))
+                        break;
+                    std::uint64_t unit = 0;
+                    std::memcpy(&unit, payload.data(), sizeof(unit));
+                    const std::vector<std::uint8_t> body(
+                        payload.begin() + sizeof(unit),
+                        payload.end());
+                    slot.hasInflight = false;
+                    slot.consecutiveCrashes = 0;
+                    ++stats.completed;
+                    if (onResult)
+                        onResult(unit, body);
+                    dispatch(slot);
+                    break;
+                }
+                case kCrash:
+                    slot.sawCrashFrame = true;
+                    slot.crashFrame = crashFromWire(payload);
+                    break;
+                case kDone:
+                    break;  // EOF + clean exit follow
+                default:
+                    break;
+                }
+            }
+
+            if (n == 0)
+                handleDeath(slot, fdSlot[k]);
+        }
+
+        // All work placed and every slot drained?
+        if (queue.empty()) {
+            bool busy = false;
+            for (auto &slot : slots) {
+                if (slot.live()) {
+                    if (slot.hasInflight)
+                        busy = true;
+                    else
+                        dispatch(slot);  // closes the command pipe
+                }
+                busy = busy || slot.pendingRestart;
+            }
+            if (!busy) {
+                bool allGone = true;
+                for (const auto &slot : slots)
+                    allGone = allGone && !slot.live();
+                if (allGone)
+                    return stats;
+            }
+        }
+    }
+}
+
+IsolatedResult
+runIsolated(const SandboxLimits &limits,
+            const std::function<std::vector<std::uint8_t>()> &fn)
+{
+    IsolatedResult out;
+    ignoreSigpipeOnce();
+    int res[2];
+    if (::pipe(res) != 0)
+        return out;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(res[0]);
+        ::close(res[1]);
+        return out;
+    }
+    if (pid == 0) {
+        // noexcept: an exception escaping fn must terminate->abort in
+        // the child (contained SIGABRT), not unwind into the forked
+        // copy of the caller's stack.
+        [&]() noexcept {
+            ::close(res[0]);
+            applyLimits(limits);
+            armCrashReporter(res[1]);
+            processProbe().reset(0);
+            const std::vector<std::uint8_t> payload = fn();
+            std::uint64_t unit = 0;
+            std::vector<std::uint8_t> body(sizeof(unit) +
+                                           payload.size());
+            std::memcpy(body.data(), &unit, sizeof(unit));
+            if (!payload.empty())
+                std::memcpy(body.data() + sizeof(unit),
+                            payload.data(), payload.size());
+            (void)writeFrame(res[1], kUnitResult, body.data(),
+                             body.size());
+            (void)writeFrame(res[1], kDone, nullptr, 0);
+            ::_exit(0);
+        }();
+    }
+    ::close(res[1]);
+
+    FrameBuffer frames;
+    std::vector<std::uint8_t> payload;
+    std::uint8_t chunk[4096];
+    bool sawResult = false;
+    bool sawCrash = false;
+    for (;;) {
+        const ssize_t n = ::read(res[0], chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        frames.feed(chunk, static_cast<std::size_t>(n));
+        FrameHeader header{};
+        while (frames.next(header, payload)) {
+            if (header.type == kUnitResult &&
+                payload.size() >= sizeof(std::uint64_t)) {
+                out.payload.assign(payload.begin() +
+                                       sizeof(std::uint64_t),
+                                   payload.end());
+                sawResult = true;
+            } else if (header.type == kCrash) {
+                out.crash = crashFromWire(payload);
+                sawCrash = true;
+            }
+        }
+    }
+    ::close(res[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    const bool cleanExit =
+        WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (sawResult && cleanExit) {
+        out.ok = true;
+    } else {
+        out.crashed = true;
+        if (!sawCrash && WIFSIGNALED(status))
+            out.crash.signal = WTERMSIG(status);
+    }
+    return out;
+}
+
+} // namespace lfm::support

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Crash-contained worker sandbox.
+ *
+ * Lu et al.'s bug corpus is dominated by memory-corruption symptoms
+ * (use-after-free, buffer overruns) — and a kernel that models one
+ * faithfully can genuinely segfault. In-process failsafes (PR 4)
+ * catch *exceptions*; SIGSEGV, SIGABRT, an OOM kill, or a runaway
+ * allocation takes the whole campaign process with it. The sandbox
+ * closes that gap with process isolation:
+ *
+ *  - execution shards run in forked worker subprocesses with rlimits
+ *    (CPU seconds, address space) applied in the child;
+ *  - results stream back over a pipe as checksummed framed records;
+ *  - a crashing unit of work is contained: the child's async-signal-
+ *    safe crash reporter write(2)s a fixed-size record (signal,
+ *    responsible seed, step count, harvested schedule prefix) to the
+ *    result pipe before the default disposition re-kills it, and the
+ *    supervisor turns the death into a first-class Crashed outcome;
+ *  - the supervisor restarts dead workers with the seeded RetryPolicy
+ *    backoff and permanently benches a worker slot after N
+ *    consecutive crashes (a poisoned environment, not a poisoned
+ *    seed).
+ *
+ * Sandbox mode is opt-in per campaign (SandboxPolicy::Fork); the
+ * default Off path is byte-for-byte the classic in-process campaign,
+ * so study-table numbers are untouched. Because the child is a fork
+ * of the campaign process, the program factory, policy and manifest
+ * closures are inherited — nothing needs serializing on the way in,
+ * and per-seed determinism carries over unchanged.
+ */
+
+#ifndef LFM_SUPPORT_SANDBOX_HH
+#define LFM_SUPPORT_SANDBOX_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/failsafe.hh"
+
+namespace lfm::support
+{
+
+/** Where a campaign's executions run. */
+enum class SandboxPolicy : std::uint8_t
+{
+    Off,   ///< classic in-process path (the default; fast)
+    Fork,  ///< forked worker subprocesses with crash containment
+};
+
+/** Resource ceilings applied (via setrlimit) in each worker child. */
+struct SandboxLimits
+{
+    /** RLIMIT_CPU in seconds (0 = unlimited). A spinning child gets
+     * SIGXCPU/SIGKILL and is harvested like any other crash. */
+    std::uint64_t cpuSeconds = 0;
+
+    /** RLIMIT_AS in bytes (0 = unlimited). A runaway allocation gets
+     * bad_alloc -> abort -> contained SIGABRT instead of taking the
+     * host down. Leave 0 under AddressSanitizer (ASan reserves tens
+     * of terabytes of shadow address space). */
+    std::uint64_t addressSpaceBytes = 0;
+
+    bool any() const { return cpuSeconds != 0 || addressSpaceBytes != 0; }
+};
+
+/** Per-campaign sandbox configuration. The default changes nothing. */
+struct SandboxOptions
+{
+    SandboxPolicy policy = SandboxPolicy::Off;
+    SandboxLimits limits;
+
+    /** Concurrent worker subprocesses (0 = inherit the campaign's
+     * worker count). */
+    unsigned workers = 0;
+
+    /** Bench a worker slot permanently after this many consecutive
+     * crashes without a completed unit in between. */
+    unsigned maxConsecutiveCrashes = 3;
+
+    /** Backoff before restarting a crashed worker slot; the default
+     * is a deterministic 1ms..64ms exponential (seeded, replayable,
+     * shared shape with the failsafe retry layer). */
+    RetryPolicy restartBackoff{8, 1'000'000, 64'000'000, 0};
+
+    bool enabled() const { return policy == SandboxPolicy::Fork; }
+};
+
+/**
+ * Live progress of the child's current execution, updated by the
+ * executor (ExecOptions::probe) with plain stores and read by the
+ * crash reporter from the signal handler. Plain volatile fields, no
+ * locks, no allocation: everything the handler touches must be
+ * async-signal-safe. The harvested prefix is the first kPrefixMax
+ * chosen thread ids — enough to see *where* the schedule was when
+ * the crash hit; the seed is the full deterministic replay recipe.
+ */
+struct ScheduleProbe
+{
+    static constexpr std::uint32_t kPrefixMax = 32;
+
+    volatile std::uint64_t seed = 0;
+    volatile std::uint64_t steps = 0;
+    volatile std::uint32_t prefixLen = 0;
+    volatile std::uint16_t prefix[kPrefixMax] = {};
+
+    void
+    reset(std::uint64_t newSeed)
+    {
+        seed = newSeed;
+        steps = 0;
+        prefixLen = 0;
+    }
+
+    /** Called by the scheduler loop once per decision. */
+    void
+    noteDecision(std::uint64_t tid, std::uint64_t stepIndex)
+    {
+        steps = stepIndex + 1;
+        const std::uint32_t n = prefixLen;
+        if (n < kPrefixMax) {
+            prefix[n] = static_cast<std::uint16_t>(tid);
+            prefixLen = n + 1;
+        }
+    }
+};
+
+/** The process-wide probe sandbox children arm between units. */
+ScheduleProbe &processProbe();
+
+/**
+ * Install async-signal-safe handlers for the crashing signals
+ * (SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT, SIGXCPU) that write one
+ * fixed-size crash record (signal + processProbe() snapshot) to fd
+ * and re-raise with the default disposition, so the parent still
+ * observes a signal death. Implemented in crash_handler.cc — the
+ * whole TU is lint-checked for banned (non-async-signal-safe) calls.
+ */
+void armCrashReporter(int fd);
+
+/** One harvested crash, parent side. */
+struct CrashInfo
+{
+    /** The work unit (seed index / trace index) that crashed. */
+    std::uint64_t unit = 0;
+
+    /** The fatal signal (SIGSEGV, SIGABRT, ...); 0 when the child
+     * vanished without one (e.g. exited nonzero mid-unit). */
+    int signal = 0;
+
+    /** Scheduling decisions taken when the crash hit. */
+    std::uint64_t steps = 0;
+
+    /** Harvested schedule prefix (chosen thread ids, truncated to
+     * ScheduleProbe::kPrefixMax). */
+    std::vector<std::uint16_t> prefix;
+
+    /** Printable "SIGSEGV"-style name, or "signal N". */
+    std::string signalName() const;
+};
+
+/**
+ * Drives one campaign's units through forked worker subprocesses;
+ * see the file comment. Single-threaded on the caller (fork and
+ * poll(2) only), so it is safe to call from a process that will fork
+ * again — the demo's orchestrator does exactly that.
+ */
+class SandboxSupervisor
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t completed = 0;   ///< units with a result record
+        std::uint64_t crashed = 0;     ///< units lost to a crash
+        std::uint64_t restarts = 0;    ///< worker slots re-forked
+        std::uint64_t benched = 0;     ///< slots permanently retired
+        std::uint64_t abandoned = 0;   ///< units never run (all slots
+                                       ///< benched or campaign cut)
+        RunOutcome outcome = RunOutcome::Completed;
+    };
+
+    /** Runs one unit inside the child; the returned bytes become the
+     * parent's onResult payload. Runs after fork: inherited memory is
+     * readable, but only this child's side effects are visible. */
+    using ChildRun =
+        std::function<std::vector<std::uint8_t>(std::uint64_t unit)>;
+
+    /** Parent-side completion callback (unit order is dispatch order,
+     * deterministic for one worker; per-unit payloads are always
+     * deterministic). */
+    using OnResult = std::function<void(
+        std::uint64_t unit, const std::vector<std::uint8_t> &payload)>;
+
+    /** Parent-side crash callback. */
+    using OnCrash = std::function<void(const CrashInfo &crash)>;
+
+    /** Optional dispatch filter: units for which this returns true
+     * are skipped (counted neither completed nor crashed); used by
+     * stopAtFirst-style cuts. */
+    using SkipUnit = std::function<bool(std::uint64_t unit)>;
+
+    explicit SandboxSupervisor(const SandboxOptions &options)
+        : options_(options)
+    {
+    }
+
+    /**
+     * Run every unit, containing crashes and restarting workers.
+     * Blocks until all units are completed / crashed / abandoned or
+     * the cancel/deadline cut fires (outcome reflects the cut).
+     */
+    Stats run(const std::vector<std::uint64_t> &units,
+              const ChildRun &childRun, const OnResult &onResult,
+              const OnCrash &onCrash,
+              const CancellationToken *cancel = nullptr,
+              Deadline deadline = {},
+              const SkipUnit &skipUnit = nullptr) const;
+
+  private:
+    SandboxOptions options_;
+};
+
+/**
+ * One-shot isolation: run fn in a forked child under the limits and
+ * ship its returned bytes back. Used for whole-campaign containment
+ * (DFS/DPOR, where work does not shard into restartable units).
+ */
+struct IsolatedResult
+{
+    bool ok = false;               ///< child completed and delivered
+    std::vector<std::uint8_t> payload;
+    CrashInfo crash;               ///< valid when !ok and crashed
+    bool crashed = false;
+};
+
+IsolatedResult
+runIsolated(const SandboxLimits &limits,
+            const std::function<std::vector<std::uint8_t>()> &fn);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_SANDBOX_HH

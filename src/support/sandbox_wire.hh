@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wire format of the sandbox result pipe (internal).
+ *
+ * Shared by the supervisor (sandbox.cc) and the async-signal-safe
+ * crash reporter (crash_handler.cc). Everything here is fixed-size
+ * plain-old-data: the crash reporter must be able to assemble a
+ * frame on the signal-handler stack with no allocation and publish
+ * it with one write(2) (frames are far below PIPE_BUF, so the write
+ * is atomic even if the pipe is shared).
+ */
+
+#ifndef LFM_SUPPORT_SANDBOX_WIRE_HH
+#define LFM_SUPPORT_SANDBOX_WIRE_HH
+
+#include <cstdint>
+
+namespace lfm::support::sandbox_wire
+{
+
+constexpr std::uint32_t kMagic = 0x4C464D53u;  // "LFMS"
+
+enum Type : std::uint16_t
+{
+    kUnitStart = 1,   ///< payload: u64 unit
+    kUnitResult = 2,  ///< payload: u64 unit + caller bytes
+    kCrash = 3,       ///< payload: CrashWire (from the signal handler)
+    kDone = 4,        ///< payload: empty; clean child shutdown
+};
+
+struct FrameHeader
+{
+    std::uint32_t magic;
+    std::uint16_t type;
+    std::uint16_t pad;
+    std::uint32_t len;  ///< payload bytes following the header
+};
+static_assert(sizeof(FrameHeader) == 12);
+
+/** The crash record; every field written with plain stores. */
+struct CrashWire
+{
+    std::int32_t signal;
+    std::uint32_t prefixLen;
+    std::uint64_t unit;
+    std::uint64_t steps;
+    std::uint16_t prefix[32];
+};
+static_assert(sizeof(CrashWire) == 88);
+
+} // namespace lfm::support::sandbox_wire
+
+#endif // LFM_SUPPORT_SANDBOX_WIRE_HH

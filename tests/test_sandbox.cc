@@ -1,0 +1,889 @@
+/**
+ * @file
+ * Sandbox + journal tests: crash containment (SIGSEGV, SIGABRT,
+ * rlimit kills), worker restart and benching, journal durability and
+ * total recovery under corruption, checkpoint/resume equivalence, and
+ * the honesty sweep — sandbox-on must reproduce every study-table
+ * number exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "detect/batch.hh"
+#include "detect/detector.hh"
+#include "detect/pipeline.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "study/analysis.hh"
+#include "study/database.hh"
+#include "support/journal.hh"
+#include "support/random.hh"
+#include "support/sandbox.hh"
+
+namespace
+{
+
+using namespace lfm;
+using support::RunOutcome;
+using support::SandboxOptions;
+using support::SandboxPolicy;
+using support::SandboxSupervisor;
+
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kAsan = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr bool kAsan = true;
+#else
+constexpr bool kAsan = false;
+#endif
+#else
+constexpr bool kAsan = false;
+#endif
+
+SandboxOptions
+forkOptions(unsigned workers = 1)
+{
+    SandboxOptions opt;
+    opt.policy = SandboxPolicy::Fork;
+    opt.workers = workers;
+    opt.maxConsecutiveCrashes = 1000;
+    return opt;
+}
+
+std::vector<std::uint64_t>
+iota(std::uint64_t n)
+{
+    std::vector<std::uint64_t> units;
+    for (std::uint64_t i = 0; i < n; ++i)
+        units.push_back(i);
+    return units;
+}
+
+/** A scratch file removed on scope exit (journal tests). */
+struct ScratchFile
+{
+    explicit ScratchFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+        std::remove(support::journalCheckpointPath(path).c_str());
+    }
+    ~ScratchFile()
+    {
+        std::remove(path.c_str());
+        std::remove(support::journalCheckpointPath(path).c_str());
+    }
+    std::string path;
+};
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------
+// Supervisor: containment, restarts, benching, rlimits
+// ---------------------------------------------------------------
+
+TEST(Supervisor, CompletesAllUnits)
+{
+    std::vector<std::uint64_t> done;
+    const auto stats = SandboxSupervisor(forkOptions(2)).run(
+        iota(16),
+        [](std::uint64_t unit) {
+            return std::vector<std::uint8_t>(
+                reinterpret_cast<std::uint8_t *>(&unit),
+                reinterpret_cast<std::uint8_t *>(&unit) + 8);
+        },
+        [&](std::uint64_t unit, const std::vector<std::uint8_t> &p) {
+            ASSERT_EQ(p.size(), 8u);
+            std::uint64_t echoed = 0;
+            std::memcpy(&echoed, p.data(), 8);
+            EXPECT_EQ(echoed, unit);
+            done.push_back(unit);
+        },
+        [](const support::CrashInfo &) { FAIL() << "no crashes"; });
+    EXPECT_EQ(stats.completed, 16u);
+    EXPECT_EQ(stats.crashed, 0u);
+    EXPECT_EQ(stats.restarts, 0u);
+    EXPECT_EQ(done.size(), 16u);
+    EXPECT_EQ(stats.outcome, RunOutcome::Completed);
+}
+
+TEST(Supervisor, ContainsSegfaultAndRestarts)
+{
+    std::vector<support::CrashInfo> crashes;
+    std::size_t completed = 0;
+    const auto stats = SandboxSupervisor(forkOptions(1)).run(
+        iota(10),
+        [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+            if (unit == 3 || unit == 7) {
+                volatile int *null = nullptr;
+                *null = 1;
+            }
+            return {};
+        },
+        [&](std::uint64_t, const std::vector<std::uint8_t> &) {
+            ++completed;
+        },
+        [&](const support::CrashInfo &c) { crashes.push_back(c); });
+    EXPECT_EQ(stats.completed, 8u);
+    EXPECT_EQ(completed, 8u);
+    ASSERT_EQ(stats.crashed, 2u);
+    ASSERT_EQ(crashes.size(), 2u);
+    for (const auto &c : crashes) {
+        EXPECT_TRUE(c.unit == 3 || c.unit == 7) << c.unit;
+        EXPECT_EQ(c.signal, SIGSEGV);
+        EXPECT_EQ(c.signalName(), "SIGSEGV");
+    }
+    // Both crashes left queued work, so both slots were re-forked.
+    EXPECT_EQ(stats.restarts, 2u);
+    EXPECT_EQ(stats.benched, 0u);
+    EXPECT_EQ(stats.abandoned, 0u);
+}
+
+TEST(Supervisor, ContainsAbort)
+{
+    std::vector<support::CrashInfo> crashes;
+    const auto stats = SandboxSupervisor(forkOptions(1)).run(
+        iota(4),
+        [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+            if (unit == 1)
+                std::abort();
+            return {};
+        },
+        [](std::uint64_t, const std::vector<std::uint8_t> &) {},
+        [&](const support::CrashInfo &c) { crashes.push_back(c); });
+    EXPECT_EQ(stats.completed, 3u);
+    ASSERT_EQ(crashes.size(), 1u);
+    EXPECT_EQ(crashes[0].unit, 1u);
+    EXPECT_EQ(crashes[0].signal, SIGABRT);
+}
+
+TEST(Supervisor, BenchesAfterConsecutiveCrashes)
+{
+    SandboxOptions opt = forkOptions(1);
+    opt.maxConsecutiveCrashes = 2;
+    const auto stats = SandboxSupervisor(opt).run(
+        iota(6),
+        [](std::uint64_t) -> std::vector<std::uint8_t> {
+            volatile int *null = nullptr;
+            *null = 1;
+            return {};
+        },
+        [](std::uint64_t, const std::vector<std::uint8_t> &) {
+            FAIL() << "every unit crashes";
+        },
+        [](const support::CrashInfo &) {});
+    // Two consecutive crashes bench the only slot; the rest of the
+    // queue is abandoned rather than fed to a poisoned environment.
+    EXPECT_EQ(stats.crashed, 2u);
+    EXPECT_EQ(stats.benched, 1u);
+    EXPECT_EQ(stats.restarts, 1u);
+    EXPECT_EQ(stats.abandoned, 4u);
+    EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(Supervisor, CompletionResetsConsecutiveCount)
+{
+    // crash, ok, crash, ok, ... never two in a row -> never benched.
+    SandboxOptions opt = forkOptions(1);
+    opt.maxConsecutiveCrashes = 2;
+    const auto stats = SandboxSupervisor(opt).run(
+        iota(8),
+        [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+            if (unit % 2 == 0) {
+                volatile int *null = nullptr;
+                *null = 1;
+            }
+            return {};
+        },
+        [](std::uint64_t, const std::vector<std::uint8_t> &) {},
+        [](const support::CrashInfo &) {});
+    EXPECT_EQ(stats.crashed, 4u);
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.benched, 0u);
+}
+
+TEST(Supervisor, AddressSpaceLimitContainsRunawayAllocation)
+{
+    if (kAsan)
+        GTEST_SKIP() << "RLIMIT_AS is incompatible with ASan's "
+                        "shadow-memory reservation";
+    SandboxOptions opt = forkOptions(1);
+    opt.limits.addressSpaceBytes = 256ull << 20;
+    std::vector<support::CrashInfo> crashes;
+    const auto stats = SandboxSupervisor(opt).run(
+        iota(2),
+        [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+            if (unit == 0) {
+                // Far past the rlimit: bad_alloc -> terminate ->
+                // contained SIGABRT instead of a host OOM kill.
+                std::vector<std::uint8_t> hog;
+                hog.resize(1ull << 30, 1);
+                return {hog[12345]};
+            }
+            return {};
+        },
+        [](std::uint64_t, const std::vector<std::uint8_t> &) {},
+        [&](const support::CrashInfo &c) { crashes.push_back(c); });
+    EXPECT_EQ(stats.completed, 1u);
+    ASSERT_EQ(crashes.size(), 1u);
+    EXPECT_EQ(crashes[0].unit, 0u);
+    EXPECT_EQ(crashes[0].signal, SIGABRT);
+}
+
+TEST(Supervisor, CpuLimitContainsSpinningChild)
+{
+    SandboxOptions opt = forkOptions(1);
+    opt.limits.cpuSeconds = 1;
+    std::vector<support::CrashInfo> crashes;
+    const auto stats = SandboxSupervisor(opt).run(
+        iota(2),
+        [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+            if (unit == 0) {
+                volatile std::uint64_t sink = 0;
+                for (;;)
+                    sink = sink * 6364136223846793005ull + 1;
+            }
+            return {};
+        },
+        [](std::uint64_t, const std::vector<std::uint8_t> &) {},
+        [&](const support::CrashInfo &c) { crashes.push_back(c); });
+    EXPECT_EQ(stats.completed, 1u);
+    ASSERT_EQ(crashes.size(), 1u);
+    EXPECT_EQ(crashes[0].unit, 0u);
+    EXPECT_TRUE(crashes[0].signal == SIGXCPU ||
+                crashes[0].signal == SIGKILL)
+        << crashes[0].signal;
+}
+
+TEST(Supervisor, RunIsDeterministic)
+{
+    const auto once = [] {
+        SandboxSupervisor::Stats stats =
+            SandboxSupervisor(forkOptions(2)).run(
+                iota(12),
+                [](std::uint64_t unit) -> std::vector<std::uint8_t> {
+                    if (unit % 5 == 2) {
+                        volatile int *null = nullptr;
+                        *null = 1;
+                    }
+                    return {static_cast<std::uint8_t>(unit)};
+                },
+                [](std::uint64_t, const std::vector<std::uint8_t> &) {},
+                [](const support::CrashInfo &) {});
+        return stats;
+    };
+    const auto a = once();
+    const auto b = once();
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.benched, b.benched);
+    EXPECT_EQ(a.abandoned, b.abandoned);
+}
+
+// ---------------------------------------------------------------
+// One-shot isolation (the DFS/DPOR containment primitive)
+// ---------------------------------------------------------------
+
+TEST(RunIsolated, DeliversPayload)
+{
+    const auto iso = support::runIsolated({}, [] {
+        return std::vector<std::uint8_t>{1, 2, 3};
+    });
+    EXPECT_TRUE(iso.ok);
+    EXPECT_FALSE(iso.crashed);
+    EXPECT_EQ(iso.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(RunIsolated, ContainsCrash)
+{
+    const auto iso =
+        support::runIsolated({}, []() -> std::vector<std::uint8_t> {
+            volatile int *null = nullptr;
+            *null = 1;
+            return {};
+        });
+    EXPECT_FALSE(iso.ok);
+    EXPECT_TRUE(iso.crashed);
+    EXPECT_EQ(iso.crash.signal, SIGSEGV);
+}
+
+// ---------------------------------------------------------------
+// Journal durability + total recovery
+// ---------------------------------------------------------------
+
+TEST(Journal, AppendRecoverRoundTrip)
+{
+    ScratchFile f("test_sandbox_journal_rt.lfmj");
+    {
+        support::Journal j;
+        ASSERT_TRUE(j.open(f.path));
+        for (std::uint8_t i = 0; i < 5; ++i) {
+            const std::vector<std::uint8_t> payload(i + 1, i);
+            ASSERT_TRUE(
+                j.append(7, payload.data(), payload.size()));
+        }
+        EXPECT_EQ(j.appended(), 5u);
+    }
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_FALSE(rec.corruptTail);
+    EXPECT_TRUE(rec.warning.empty()) << rec.warning;
+    ASSERT_EQ(rec.records.size(), 5u);
+    for (std::uint8_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(rec.records[i].type, 7u);
+        EXPECT_EQ(rec.records[i].payload,
+                  std::vector<std::uint8_t>(i + 1, i));
+    }
+}
+
+TEST(Journal, MissingFileRecoversEmpty)
+{
+    const auto rec =
+        support::recoverJournal("test_sandbox_journal_nope.lfmj");
+    EXPECT_TRUE(rec.records.empty());
+    EXPECT_FALSE(rec.hasCheckpoint);
+    EXPECT_TRUE(rec.warning.empty()) << rec.warning;
+}
+
+TEST(Journal, CheckpointPlusTailReplay)
+{
+    ScratchFile f("test_sandbox_journal_ckpt.lfmj");
+    support::Journal j;
+    ASSERT_TRUE(j.open(f.path));
+    const std::vector<std::uint8_t> a{1, 1}, b{2, 2}, c{3, 3};
+    ASSERT_TRUE(j.append(1, a.data(), a.size()));
+    ASSERT_TRUE(j.append(1, b.data(), b.size()));
+    const std::vector<std::uint8_t> snap{9, 9, 9};
+    ASSERT_TRUE(j.checkpoint(snap.data(), snap.size()));
+    ASSERT_TRUE(j.append(1, c.data(), c.size()));
+    j.close();
+
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_TRUE(rec.hasCheckpoint);
+    EXPECT_EQ(rec.checkpoint, snap);
+    // Only the record past the checkpoint's covered offset replays.
+    ASSERT_EQ(rec.records.size(), 1u);
+    EXPECT_EQ(rec.records[0].payload, c);
+}
+
+TEST(Journal, TruncatedTailIsSkippedWithWarning)
+{
+    ScratchFile f("test_sandbox_journal_trunc.lfmj");
+    {
+        support::Journal j;
+        ASSERT_TRUE(j.open(f.path));
+        for (std::uint8_t i = 0; i < 4; ++i) {
+            const std::vector<std::uint8_t> payload(8, i);
+            ASSERT_TRUE(
+                j.append(1, payload.data(), payload.size()));
+        }
+    }
+    auto bytes = readFile(f.path);
+    ASSERT_GT(bytes.size(), 5u);
+    bytes.resize(bytes.size() - 5); // tear the last record
+    writeFile(f.path, bytes);
+
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_TRUE(rec.corruptTail);
+    EXPECT_FALSE(rec.warning.empty());
+    ASSERT_EQ(rec.records.size(), 3u);
+    EXPECT_EQ(rec.records[2].payload,
+              std::vector<std::uint8_t>(8, 2));
+}
+
+TEST(Journal, BitFlippedTailIsSkippedWithWarning)
+{
+    ScratchFile f("test_sandbox_journal_flip.lfmj");
+    {
+        support::Journal j;
+        ASSERT_TRUE(j.open(f.path));
+        for (std::uint8_t i = 0; i < 4; ++i) {
+            const std::vector<std::uint8_t> payload(8, i);
+            ASSERT_TRUE(
+                j.append(1, payload.data(), payload.size()));
+        }
+    }
+    auto bytes = readFile(f.path);
+    bytes[bytes.size() - 3] ^= 0x40; // corrupt the last payload
+    writeFile(f.path, bytes);
+
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_TRUE(rec.corruptTail);
+    EXPECT_FALSE(rec.warning.empty());
+    ASSERT_EQ(rec.records.size(), 3u);
+}
+
+TEST(Journal, CorruptHeaderRecoversEmptyWithWarning)
+{
+    ScratchFile f("test_sandbox_journal_hdr.lfmj");
+    {
+        support::Journal j;
+        ASSERT_TRUE(j.open(f.path));
+        const std::vector<std::uint8_t> payload(8, 1);
+        ASSERT_TRUE(j.append(1, payload.data(), payload.size()));
+    }
+    auto bytes = readFile(f.path);
+    bytes[0] ^= 0xFF;
+    writeFile(f.path, bytes);
+
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_TRUE(rec.records.empty());
+    EXPECT_FALSE(rec.warning.empty());
+}
+
+TEST(Journal, CorruptCheckpointFallsBackToFullReplay)
+{
+    ScratchFile f("test_sandbox_journal_badckpt.lfmj");
+    support::Journal j;
+    ASSERT_TRUE(j.open(f.path));
+    const std::vector<std::uint8_t> a{1}, b{2};
+    ASSERT_TRUE(j.append(1, a.data(), a.size()));
+    const std::vector<std::uint8_t> snap{9};
+    ASSERT_TRUE(j.checkpoint(snap.data(), snap.size()));
+    ASSERT_TRUE(j.append(1, b.data(), b.size()));
+    j.close();
+
+    const auto ckpt = support::journalCheckpointPath(f.path);
+    auto bytes = readFile(ckpt);
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x01;
+    writeFile(ckpt, bytes);
+
+    const auto rec = support::recoverJournal(f.path);
+    EXPECT_FALSE(rec.hasCheckpoint);
+    EXPECT_FALSE(rec.warning.empty());
+    // Full journal replay covers what the checkpoint would have.
+    ASSERT_EQ(rec.records.size(), 2u);
+    EXPECT_EQ(rec.records[0].payload, a);
+    EXPECT_EQ(rec.records[1].payload, b);
+}
+
+// ---------------------------------------------------------------
+// Campaign-level stress: sandbox equivalence, crashes, resume
+// ---------------------------------------------------------------
+
+/** Two threads, one unlocked increment each, lost-update oracle. */
+sim::ProgramFactory
+racyFactory()
+{
+    return [] {
+        auto v =
+            std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("c", 0);
+        sim::Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [v]() -> std::optional<std::string> {
+            if ((*v)->peek() != 2)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+}
+
+/** Order-violation program that genuinely segfaults on a subset of
+ * interleavings (reader between the writer's two stores). */
+sim::ProgramFactory
+crashyFactory()
+{
+    return [] {
+        struct State
+        {
+            std::unique_ptr<sim::SharedVar<int>> ready;
+            std::unique_ptr<sim::SharedVar<int>> data;
+            bool sawStale = false;
+        };
+        auto s = std::make_shared<State>();
+        s->ready = std::make_unique<sim::SharedVar<int>>("ready", 0);
+        s->data = std::make_unique<sim::SharedVar<int>>("data", 0);
+        sim::Program p;
+        p.threads.push_back({"writer", [s] {
+                                 s->ready->set(1);
+                                 s->data->set(42);
+                             }});
+        p.threads.push_back({"reader", [s] {
+                                 if (s->ready->get() == 1 &&
+                                     s->data->get() != 42) {
+                                     volatile int *null = nullptr;
+                                     *null = 1;
+                                 }
+                             }});
+        return p;
+    };
+}
+
+void
+expectSameStress(const explore::StressResult &a,
+                 const explore::StressResult &b)
+{
+    EXPECT_EQ(a.runs, b.runs);
+    EXPECT_EQ(a.manifestations, b.manifestations);
+    EXPECT_EQ(a.truncatedRuns, b.truncatedRuns);
+    EXPECT_EQ(a.firstManifestSeed, b.firstManifestSeed);
+    EXPECT_EQ(a.avgDecisions, b.avgDecisions);
+}
+
+TEST(SandboxStress, MatchesClassicPathExactly)
+{
+    explore::StressOptions classic;
+    classic.runs = 80;
+    const explore::ParallelRunner runner(2);
+    const auto reference = runner.stress(
+        racyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        classic);
+    ASSERT_GT(reference.manifestations, 0u);
+
+    explore::StressOptions sandboxed = classic;
+    sandboxed.sandbox = forkOptions(2);
+    const auto contained = runner.stress(
+        racyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        sandboxed);
+    expectSameStress(contained, reference);
+    EXPECT_EQ(contained.crashedRuns, 0u);
+    EXPECT_EQ(contained.outcome, RunOutcome::Completed);
+}
+
+TEST(SandboxStress, CrashesAreContainedAndHarvested)
+{
+    explore::StressOptions opt;
+    opt.runs = 60;
+    opt.sandbox = forkOptions(2);
+    const auto result = explore::ParallelRunner(2).stress(
+        crashyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        opt);
+    ASSERT_GT(result.crashedRuns, 0u);
+    EXPECT_EQ(result.crashedRuns, result.crashes.size());
+    EXPECT_EQ(result.runs + result.crashedRuns, 60u);
+    EXPECT_EQ(result.outcome, RunOutcome::Crashed);
+    for (const auto &crash : result.crashes) {
+        EXPECT_EQ(crash.signal, SIGSEGV);
+        EXPECT_LT(crash.unit, 60u);
+        // The probe harvested the schedule up to the crash.
+        EXPECT_GT(crash.steps, 0u);
+        EXPECT_FALSE(crash.prefix.empty());
+    }
+    // Same campaign again: the crashed seed set is deterministic.
+    const auto again = explore::ParallelRunner(2).stress(
+        crashyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        opt);
+    EXPECT_EQ(again.crashedRuns, result.crashedRuns);
+    expectSameStress(again, result);
+}
+
+TEST(Resume, ClassicPartialJournalThenResumeMatchesStraightRun)
+{
+    ScratchFile f("test_sandbox_resume_classic.lfmj");
+    const std::uint64_t campaign =
+        explore::campaignKey("resume-classic");
+    const explore::ParallelRunner runner(2);
+    const auto policy = explore::makePolicy<sim::RandomPolicy>();
+
+    explore::StressOptions opt;
+    opt.runs = 60;
+    opt.campaignId = campaign;
+    const auto reference = runner.stress(racyFactory(), policy, opt);
+
+    // First run covers only half the seeds, journaled.
+    {
+        explore::CampaignJournal journal;
+        ASSERT_TRUE(journal.open(f.path));
+        explore::StressOptions half = opt;
+        half.runs = 30;
+        half.journal = &journal;
+        const auto partial =
+            runner.stress(racyFactory(), policy, half);
+        EXPECT_EQ(partial.runs, 30u);
+    }
+
+    // Second run resumes the half and executes the rest.
+    const auto recovered = explore::RecoveredCampaigns::load(f.path);
+    EXPECT_TRUE(recovered.warning.empty()) << recovered.warning;
+    ASSERT_EQ(recovered.count(campaign), 30u);
+    explore::CampaignJournal journal;
+    ASSERT_TRUE(journal.open(f.path));
+    journal.seedSnapshot(recovered.all);
+    explore::StressOptions resumeOpt = opt;
+    resumeOpt.journal = &journal;
+    resumeOpt.resume = &recovered;
+    const auto resumed =
+        runner.stress(racyFactory(), policy, resumeOpt);
+    EXPECT_EQ(resumed.resumedRuns, 30u);
+    expectSameStress(resumed, reference);
+
+    // And the journal now covers the whole campaign.
+    journal.close();
+    const auto full = explore::RecoveredCampaigns::load(f.path);
+    EXPECT_EQ(full.count(campaign), 60u);
+}
+
+TEST(Resume, SandboxJournalRestoresCrashedSeedsWithoutRerun)
+{
+    ScratchFile f("test_sandbox_resume_crash.lfmj");
+    const std::uint64_t campaign =
+        explore::campaignKey("resume-crashy");
+    const explore::ParallelRunner runner(2);
+    const auto policy = explore::makePolicy<sim::RandomPolicy>();
+
+    explore::StressOptions opt;
+    opt.runs = 40;
+    opt.campaignId = campaign;
+    opt.sandbox = forkOptions(2);
+
+    explore::StressResult first;
+    {
+        explore::CampaignJournal journal;
+        ASSERT_TRUE(journal.open(f.path));
+        explore::StressOptions j = opt;
+        j.journal = &journal;
+        first = runner.stress(crashyFactory(), policy, j);
+    }
+    ASSERT_GT(first.crashedRuns, 0u);
+
+    const auto recovered = explore::RecoveredCampaigns::load(f.path);
+    ASSERT_EQ(recovered.count(campaign), 40u);
+    explore::StressOptions resumeOpt = opt;
+    resumeOpt.resume = &recovered;
+    const auto resumed =
+        runner.stress(crashyFactory(), policy, resumeOpt);
+    // Everything restores from the journal — including the crashed
+    // seeds, which must not be re-executed (they would just crash
+    // again) yet still count as crashes.
+    EXPECT_EQ(resumed.resumedRuns, 40u);
+    EXPECT_EQ(resumed.runs, first.runs);
+    EXPECT_EQ(resumed.crashedRuns, first.crashedRuns);
+    EXPECT_EQ(resumed.outcome, RunOutcome::Crashed);
+    EXPECT_EQ(resumed.workerRestarts, 0u);
+}
+
+// ---------------------------------------------------------------
+// DFS / DPOR whole-campaign containment
+// ---------------------------------------------------------------
+
+TEST(SandboxDfs, MatchesClassicPathExactly)
+{
+    explore::DfsOptions classic;
+    classic.maxExecutions = 2000;
+    const explore::ParallelRunner runner(2);
+    const auto reference = runner.dfs(racyFactory(), classic);
+    ASSERT_TRUE(reference.exhausted);
+    ASSERT_GT(reference.manifestations, 0u);
+
+    explore::DfsOptions sandboxed = classic;
+    sandboxed.sandbox = forkOptions();
+    const auto contained = runner.dfs(racyFactory(), sandboxed);
+    EXPECT_FALSE(contained.crashed);
+    EXPECT_EQ(contained.executions, reference.executions);
+    EXPECT_EQ(contained.manifestations, reference.manifestations);
+    EXPECT_EQ(contained.exhausted, reference.exhausted);
+    EXPECT_EQ(contained.truncated, reference.truncated);
+    EXPECT_EQ(contained.firstManifestPath,
+              reference.firstManifestPath);
+    EXPECT_EQ(contained.outcome, reference.outcome);
+}
+
+TEST(SandboxDfs, CrashIsContainedAsOutcome)
+{
+    explore::DfsOptions opt;
+    opt.maxExecutions = 2000;
+    opt.sandbox = forkOptions();
+    const auto result =
+        explore::ParallelRunner(1).dfs(crashyFactory(), opt);
+    EXPECT_TRUE(result.crashed);
+    EXPECT_EQ(result.outcome, RunOutcome::Crashed);
+    EXPECT_EQ(result.crash.signal, SIGSEGV);
+}
+
+TEST(SandboxDpor, MatchesClassicPathExactly)
+{
+    explore::DporOptions classic;
+    classic.maxExecutions = 2000;
+    const explore::ParallelRunner runner(2);
+    const auto reference = runner.dpor(racyFactory(), classic);
+    ASSERT_TRUE(reference.exhausted);
+
+    explore::DporOptions sandboxed = classic;
+    sandboxed.sandbox = forkOptions();
+    const auto contained = runner.dpor(racyFactory(), sandboxed);
+    EXPECT_FALSE(contained.crashed);
+    EXPECT_EQ(contained.executions, reference.executions);
+    EXPECT_EQ(contained.manifestations, reference.manifestations);
+    EXPECT_EQ(contained.exhausted, reference.exhausted);
+    EXPECT_EQ(contained.firstManifestPlan,
+              reference.firstManifestPlan);
+    EXPECT_EQ(contained.outcome, reference.outcome);
+}
+
+// ---------------------------------------------------------------
+// Batch detection under the sandbox
+// ---------------------------------------------------------------
+
+std::vector<trace::Trace>
+smallCorpus(std::size_t n)
+{
+    std::vector<trace::Trace> corpus;
+    for (std::size_t i = 0; i < n; ++i) {
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = i + 1;
+        corpus.push_back(
+            sim::runProgram(racyFactory(), policy, opt).trace);
+    }
+    return corpus;
+}
+
+TEST(SandboxBatch, MatchesClassicPathExactly)
+{
+    const detect::Pipeline pipeline;
+    const auto corpus = smallCorpus(6);
+    const auto reference =
+        detect::BatchRunner(2).run(pipeline, corpus,
+                                   detect::BatchOptions{});
+
+    detect::BatchOptions options;
+    options.sandbox = forkOptions(2);
+    const auto contained =
+        detect::BatchRunner(2).run(pipeline, corpus, options);
+
+    ASSERT_EQ(contained.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(contained[i].status, reference[i].status) << i;
+        ASSERT_EQ(contained[i].findings.size(),
+                  reference[i].findings.size())
+            << i;
+        for (std::size_t k = 0; k < reference[i].findings.size();
+             ++k) {
+            EXPECT_EQ(contained[i].findings[k].detector,
+                      reference[i].findings[k].detector);
+            EXPECT_EQ(contained[i].findings[k].message,
+                      reference[i].findings[k].message);
+        }
+    }
+}
+
+/** A detector that dies on a real memory error (the failure mode the
+ * in-process quarantine cannot catch). */
+class SegfaultingDetector : public detect::Detector
+{
+  public:
+    std::vector<detect::Finding>
+    fromContext(const detect::AnalysisContext &) const override
+    {
+        volatile int *null = nullptr;
+        *null = 1;
+        return {};
+    }
+    const char *name() const override { return "segfaulting"; }
+};
+
+TEST(SandboxBatch, CrashingDetectorIsContainedPerTrace)
+{
+    std::vector<std::unique_ptr<detect::Detector>> detectors;
+    detectors.push_back(std::make_unique<SegfaultingDetector>());
+    const detect::Pipeline pipeline(std::move(detectors));
+    const auto corpus = smallCorpus(3);
+
+    detect::BatchOptions options;
+    options.sandbox = forkOptions(2);
+    const auto reports =
+        detect::BatchRunner(2).run(pipeline, corpus, options);
+
+    ASSERT_EQ(reports.size(), 3u);
+    for (const auto &r : reports) {
+        EXPECT_EQ(r.status, detect::TraceStatus::Crashed);
+        EXPECT_TRUE(r.findings.empty());
+        EXPECT_NE(r.error.find("SIGSEGV"), std::string::npos)
+            << r.error;
+    }
+}
+
+// ---------------------------------------------------------------
+// The honesty sweep: sandbox-on reproduces the study tables
+// ---------------------------------------------------------------
+
+/**
+ * Mirror of Faults.SweepLeavesStudyTablesUnchanged for the sandbox:
+ * crash containment must be *transparent* — per-seed results under
+ * SandboxPolicy::Fork are produced by the same deterministic executor
+ * in a forked child, so every number a study table derives from a
+ * stress campaign (manifestation counts, rates, first manifesting
+ * seed, decision averages) must be identical to the classic
+ * in-process path, kernel by kernel.
+ */
+TEST(Sandbox, SweepLeavesStudyTablesUnchanged)
+{
+    const auto &db = study::database();
+    const study::Analysis before(db);
+    const int totalBugs = before.totalBugs();
+    const int totalNd = before.totalNonDeadlock();
+    const int atomOrOrder = before.atomicityOrOrder();
+
+    const explore::ParallelRunner runner(2);
+    for (const auto *kernel : bugs::allKernels()) {
+        const auto &info = kernel->info();
+        explore::StressOptions opt;
+        opt.runs = 20;
+        opt.exec.maxDecisions = info.stepCeiling != 0
+                                    ? info.stepCeiling
+                                    : 20000;
+        const auto classic = runner.stress(
+            kernel->factory(bugs::Variant::Buggy),
+            explore::makePolicy<sim::RandomPolicy>(), opt);
+
+        explore::StressOptions sandboxed = opt;
+        sandboxed.sandbox = forkOptions(2);
+        const auto contained = runner.stress(
+            kernel->factory(bugs::Variant::Buggy),
+            explore::makePolicy<sim::RandomPolicy>(), sandboxed);
+
+        EXPECT_EQ(contained.runs, classic.runs) << info.id;
+        EXPECT_EQ(contained.manifestations, classic.manifestations)
+            << info.id;
+        EXPECT_EQ(contained.truncatedRuns, classic.truncatedRuns)
+            << info.id;
+        EXPECT_EQ(contained.firstManifestSeed,
+                  classic.firstManifestSeed)
+            << info.id;
+        EXPECT_EQ(contained.avgDecisions, classic.avgDecisions)
+            << info.id;
+        EXPECT_EQ(contained.crashedRuns, 0u)
+            << info.id << ": kernels model bugs in the simulator; "
+                          "none should crash the harness";
+    }
+
+    const study::Analysis after(db);
+    EXPECT_EQ(after.totalBugs(), totalBugs);
+    EXPECT_EQ(after.totalNonDeadlock(), totalNd);
+    EXPECT_EQ(after.atomicityOrOrder(), atomOrOrder);
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -383,6 +384,37 @@ stressKernel(const bugs::BugKernel &kernel, bugs::Variant variant,
 /** Bench JSON documents use the library JSON value (promoted from
  * this header to src/support/json.hh so run reports share it). */
 using Json = support::Json;
+
+/**
+ * Machine/run metadata block every BENCH_*.json should carry, so a
+ * number can be judged by the host that produced it: logical cpu
+ * count, the cpufreq governor when the kernel exposes one
+ * ("unreadable" otherwise — containers usually hide it), and the
+ * compiler/build flavor. Callers add bench-specific fields (reps,
+ * smoke flag) on top.
+ */
+inline Json
+machineJson()
+{
+    Json m;
+    m.set("hardware_concurrency",
+          static_cast<std::uint64_t>(
+              std::thread::hardware_concurrency()));
+    std::ifstream gov(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+    std::string governor;
+    if (gov && std::getline(gov, governor) && !governor.empty())
+        m.set("cpu_governor", governor);
+    else
+        m.set("cpu_governor", "unreadable");
+    m.set("compiler", __VERSION__);
+#ifdef NDEBUG
+    m.set("build", "release");
+#else
+    m.set("build", "debug");
+#endif
+    return m;
+}
 
 /** Write a bench's metrics document and tell the user where. */
 inline void

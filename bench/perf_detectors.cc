@@ -14,17 +14,27 @@
  *  - fused: one detect::Pipeline pass — one shared context, one
  *    happens-before construction, every detector reads it.
  *
- * A fourth section shards a trace corpus over detect::BatchRunner at
+ * The SoA context rebuild adds two more gated configurations: the
+ * retained BuildMode::Reference (ordered-map) context must produce
+ * findings identical to the arena/SoA default, and a ContextScratch
+ * reused across the whole mix must match fresh per-trace contexts.
+ * Context construction alone is timed in all three flavors.
+ *
+ * A further section shards a trace corpus over detect::BatchRunner at
  * growing worker counts and checks the merged report is identical at
  * every count.
  *
  * The bench also guards the observability layer: findings must be
  * identical with metrics/span tracing enabled and disabled, and the
  * disabled instrumented entry point (Pipeline::run(trace)) must cost
- * within 2% of the uninstrumented core (context build + run(ctx)).
- * Results go to stdout, BENCH_detect.json, and RUN_perf_detectors.json
- * (the campaign run report); the exit code reflects equivalence and
- * the off-overhead gate, never absolute timing.
+ * within 2% of the uninstrumented core (context build + run(ctx)) —
+ * within_noise_2pct in the JSON is always that measured comparison;
+ * smoke runs gate on an explicitly reported absolute epsilon instead.
+ * Results go to stdout, BENCH_detect.json (with machine metadata),
+ * FINDINGS_detect.{json,sarif}, and RUN_perf_detectors.json (the
+ * campaign run report); the exit code reflects equivalence and the
+ * off-overhead gate, never absolute timing. Flags: --smoke for the
+ * quick battery, --reps N to override the best-of repetition count.
  */
 
 #include "bench_common.hh"
@@ -451,8 +461,17 @@ int
 main(int argc, char **argv)
 {
     bench::applyBenchFlags(argc, argv);
-    const bool smoke =
-        argc > 1 && std::string(argv[1]) == "--smoke";
+    bool smoke = false;
+    int repsFlag = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--reps" && i + 1 < argc)
+            repsFlag = std::atoi(argv[++i]);
+        else if (arg.rfind("--reps=", 0) == 0)
+            repsFlag = std::atoi(arg.c_str() + 7);
+    }
 
     bench::banner("Perf: fused detection pipeline",
                   "one shared analysis context feeds every detector; "
@@ -471,7 +490,7 @@ main(int argc, char **argv)
         mix.emplace_back("hot-8192", hotTrace(8192));
         mix.emplace_back("wide-8192", wideTrace(8192));
     }
-    const int reps = smoke ? 1 : 3;
+    const int reps = repsFlag > 0 ? repsFlag : (smoke ? 1 : 5);
 
     detect::Pipeline pipeline;
 
@@ -480,6 +499,9 @@ main(int argc, char **argv)
     bool racePairsMatch = true;
     bool predictiveMatches = true;
     bool atomicityMatches = true;
+    bool soaEqualsReference = true;
+    bool scratchEqualsFresh = true;
+    detect::ContextScratch sharedScratch;
     for (const auto &[name, trace] : mix) {
         const auto fused = pipeline.run(trace);
         const auto separate = runSeparate(trace);
@@ -495,9 +517,21 @@ main(int argc, char **argv)
         atomicityMatches &=
             sameFindings(legacyAtomicity(trace),
                          detect::findingsFrom(fused, "atomicity"));
+
+        // SoA arena indices vs the retained ordered-map reference
+        // build, and pooled-scratch reuse (one scratch across the
+        // whole mix) vs fresh allocations: both must be
+        // finding-identical to the default path.
+        detect::AnalysisContext refCtx(
+            trace, pipeline.wantsHb(), nullptr,
+            detect::AnalysisContext::BuildMode::Reference);
+        soaEqualsReference &= sameFindings(fused, pipeline.run(refCtx));
+        scratchEqualsFresh &=
+            sameFindings(fused, pipeline.run(trace, sharedScratch));
     }
     const bool equivalent = fusedEqualsSeparate && racePairsMatch &&
-                            predictiveMatches && atomicityMatches;
+                            predictiveMatches && atomicityMatches &&
+                            soaEqualsReference && scratchEqualsFresh;
     std::cout << "equivalence: fused==separate "
               << (fusedEqualsSeparate ? "ok" : "FAIL")
               << ", race pairs epoch==pairwise "
@@ -505,7 +539,11 @@ main(int argc, char **argv)
               << ", predictive==legacy "
               << (predictiveMatches ? "ok" : "FAIL")
               << ", atomicity==legacy "
-              << (atomicityMatches ? "ok" : "FAIL") << "\n\n";
+              << (atomicityMatches ? "ok" : "FAIL")
+              << ",\n             soa==reference "
+              << (soaEqualsReference ? "ok" : "FAIL")
+              << ", scratch-reuse==fresh "
+              << (scratchEqualsFresh ? "ok" : "FAIL") << "\n\n";
 
     // --- Observability gate 1: identical findings with the
     //     instrumentation layer on and off.
@@ -558,13 +596,30 @@ main(int argc, char **argv)
     const double offOverheadPct =
         coreSecs > 0.0 ? (offSecs - coreSecs) / coreSecs * 100.0
                        : 0.0;
+    // within_noise_2pct reports exactly what was measured: the
+    // relative overhead against the 2% bound, nothing else. The
+    // pass/fail gate is that same bound in a full run; the smoke
+    // battery (sub-millisecond, where one scheduler tick is >>2%)
+    // gets an explicit absolute epsilon on top and both the console
+    // line and the JSON say which gate was applied.
+    const bool withinNoise2pct = offOverheadPct <= 2.0;
+    const double gateEpsilonMs = smoke ? 2.0 : 0.0;
+    const std::string gateMode = smoke ? "smoke-epsilon" : "strict-2pct";
     const bool offOverheadOk =
-        offSecs <= coreSecs * 1.02 + 0.002;
+        offSecs <= coreSecs * 1.02 + gateEpsilonMs * 1e-3;
     std::cout << "instrumentation: on/off findings identical "
               << (instrEquivalent ? "ok" : "FAIL")
-              << ", off-overhead " << offOverheadPct << "% "
-              << (offOverheadOk ? "(within noise)" : "(FAIL: >2%)")
-              << "\n\n";
+              << ", off-overhead " << offOverheadPct << "%";
+    if (withinNoise2pct)
+        std::cout << " (within 2% noise)";
+    else if (offOverheadOk)
+        std::cout << " (>2%, but the smoke battery is sub-ms; "
+                     "passes the smoke-only absolute epsilon of "
+                  << gateEpsilonMs << "ms — rerun without --smoke "
+                     "for the strict gate)";
+    else
+        std::cout << " (FAIL: >2%)";
+    std::cout << "\n\n";
 
     // --- Fused vs separate over the whole mix, best-of-N.
     const double legacySecs = secondsOf(
@@ -585,11 +640,54 @@ main(int argc, char **argv)
                 pipeline.run(trace);
         },
         reps);
+    detect::ContextScratch timedScratch;
+    const double fusedScratchSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix)
+                pipeline.run(trace, timedScratch);
+        },
+        reps);
+
+    // Context construction alone (index + fused HB build), SoA vs the
+    // retained reference build vs SoA on a warm scratch — the piece
+    // the arena rebuild actually targets, without detector time.
+    const double ctxReferenceSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix) {
+                detect::AnalysisContext ctx(
+                    trace, pipeline.wantsHb(), nullptr,
+                    detect::AnalysisContext::BuildMode::Reference);
+            }
+        },
+        reps);
+    const double ctxSoaSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix) {
+                detect::AnalysisContext ctx(trace,
+                                            pipeline.wantsHb());
+            }
+        },
+        reps);
+    const double ctxScratchSecs = secondsOf(
+        [&] {
+            for (const auto &[name, trace] : mix) {
+                detect::AnalysisContext ctx(trace, pipeline.wantsHb(),
+                                            &timedScratch);
+            }
+        },
+        reps);
 
     const double speedupVsLegacy =
         fusedSecs > 0.0 ? legacySecs / fusedSecs : 0.0;
     const double speedupVsSeparate =
         fusedSecs > 0.0 ? separateSecs / fusedSecs : 0.0;
+    const double scratchSpeedupVsFused =
+        fusedScratchSecs > 0.0 ? fusedSecs / fusedScratchSecs : 0.0;
+    const double ctxSoaSpeedup =
+        ctxSoaSecs > 0.0 ? ctxReferenceSecs / ctxSoaSecs : 0.0;
+    const double ctxScratchSpeedup =
+        ctxScratchSecs > 0.0 ? ctxReferenceSecs / ctxScratchSecs
+                             : 0.0;
 
     report::Table timing("Full detector battery over the trace mix");
     timing.setColumns({"configuration", "ms / mix", "speedup"});
@@ -604,11 +702,34 @@ main(int argc, char **argv)
     timing.addRow({"fused pipeline (shared context)",
                    report::Table::cell(fusedSecs * 1e3, 2),
                    report::Table::cell(speedupVsLegacy, 2)});
+    timing.addRow({"fused pipeline (pooled scratch)",
+                   report::Table::cell(fusedScratchSecs * 1e3, 2),
+                   report::Table::cell(
+                       fusedScratchSecs > 0.0
+                           ? legacySecs / fusedScratchSecs
+                           : 0.0,
+                       2)});
     std::cout << timing.ascii() << "\n";
     std::cout << "fused vs separate (pre-pipeline): "
               << speedupVsLegacy << "x\n"
               << "fused vs separate (current):      "
-              << speedupVsSeparate << "x\n\n";
+              << speedupVsSeparate << "x\n"
+              << "scratch reuse vs fresh contexts:  "
+              << scratchSpeedupVsFused << "x\n\n";
+
+    report::Table ctxTable("Context build only (index + fused HB)");
+    ctxTable.setColumns(
+        {"build mode", "ms / mix", "speedup vs reference"});
+    ctxTable.addRow({"reference (ordered-map sweep)",
+                     report::Table::cell(ctxReferenceSecs * 1e3, 2),
+                     "1.00"});
+    ctxTable.addRow({"soa (arena, table dispatch)",
+                     report::Table::cell(ctxSoaSecs * 1e3, 2),
+                     report::Table::cell(ctxSoaSpeedup, 2)});
+    ctxTable.addRow({"soa + pooled scratch",
+                     report::Table::cell(ctxScratchSecs * 1e3, 2),
+                     report::Table::cell(ctxScratchSpeedup, 2)});
+    std::cout << ctxTable.ascii() << "\n";
 
     // --- Batch campaign scaling + worker-count invariance.
     std::vector<Trace> corpus;
@@ -620,7 +741,7 @@ main(int argc, char **argv)
 
     const unsigned hw =
         std::max(1u, std::thread::hardware_concurrency());
-    std::vector<unsigned> workerCounts{1u, 2u, hw};
+    std::vector<unsigned> workerCounts{1u, 2u, 4u, hw};
     std::sort(workerCounts.begin(), workerCounts.end());
     workerCounts.erase(
         std::unique(workerCounts.begin(), workerCounts.end()),
@@ -686,8 +807,9 @@ main(int argc, char **argv)
     bench::Json doc;
     doc.set("bench", "perf_detectors")
         .set("smoke", smoke)
-        .set("hardware_concurrency", hw)
-        .set("reps", reps);
+        .set("reps", reps)
+        .set("machine", bench::machineJson())
+        .set("hardware_concurrency", hw);
     bench::Json mixJson = bench::Json::array();
     for (const auto &[name, trace] : mix) {
         bench::Json row;
@@ -699,16 +821,27 @@ main(int argc, char **argv)
     fusion.set("separate_legacy_ms", legacySecs * 1e3)
         .set("separate_ms", separateSecs * 1e3)
         .set("fused_ms", fusedSecs * 1e3)
+        .set("fused_scratch_ms", fusedScratchSecs * 1e3)
         .set("fused_speedup_vs_separate_legacy", speedupVsLegacy)
         .set("fused_speedup_vs_separate_current", speedupVsSeparate)
+        .set("scratch_speedup_vs_fused", scratchSpeedupVsFused)
         .set("meets_3x_gate", speedupVsLegacy >= 3.0);
     doc.set("fusion", std::move(fusion));
+    bench::Json ctxJson;
+    ctxJson.set("reference_build_ms", ctxReferenceSecs * 1e3)
+        .set("soa_build_ms", ctxSoaSecs * 1e3)
+        .set("soa_scratch_build_ms", ctxScratchSecs * 1e3)
+        .set("soa_speedup_vs_reference", ctxSoaSpeedup)
+        .set("soa_scratch_speedup_vs_reference", ctxScratchSpeedup);
+    doc.set("context_build", std::move(ctxJson));
     doc.set("batch_scaling", std::move(scaleJson));
     bench::Json equiv;
     equiv.set("fused_equals_separate", fusedEqualsSeparate)
         .set("race_pairs_epoch_equals_pairwise", racePairsMatch)
         .set("predictive_equals_legacy", predictiveMatches)
         .set("atomicity_equals_legacy", atomicityMatches)
+        .set("soa_equals_reference", soaEqualsReference)
+        .set("scratch_equals_fresh", scratchEqualsFresh)
         .set("batch_worker_invariant", batchInvariant)
         .set("instrumentation_on_off_identical", instrEquivalent);
     doc.set("equivalence", std::move(equiv));
@@ -716,7 +849,10 @@ main(int argc, char **argv)
     instr.set("core_ms", coreSecs * 1e3)
         .set("instrumented_off_ms", offSecs * 1e3)
         .set("off_overhead_pct", offOverheadPct)
-        .set("within_noise_2pct", offOverheadOk);
+        .set("within_noise_2pct", withinNoise2pct)
+        .set("gate_mode", gateMode)
+        .set("gate_epsilon_ms", gateEpsilonMs)
+        .set("gate_ok", offOverheadOk);
     doc.set("instrumentation_overhead", std::move(instr));
     bench::writeBenchJson("BENCH_detect.json", doc);
 
@@ -733,6 +869,22 @@ main(int argc, char **argv)
         const auto reports = runner.run(pipeline, corpus);
         report::recordTraceReports(runReport, reports);
         runReport.recordPoolStats(runner.lastPoolStats());
+
+        // Interchange outputs for downstream tooling: the lfm-native
+        // findings document and the same results as SARIF 2.1.0.
+        if (support::writeJsonFile(
+                "FINDINGS_detect.json",
+                detect::reportsJson(corpus, reports)))
+            std::cout << "findings (lfm json): "
+                         "FINDINGS_detect.json\n";
+        if (support::writeJsonFile(
+                "FINDINGS_detect.sarif",
+                detect::reportsSarif(corpus, reports,
+                                     "lfm-perf-detectors")))
+            std::cout << "findings (SARIF 2.1.0): "
+                         "FINDINGS_detect.sarif\n";
+        runReport.setFindingsOutputs("FINDINGS_detect.json",
+                                     "FINDINGS_detect.sarif");
     }
     support::metrics::setEnabled(false);
     runReport.note("workers", hw);
@@ -756,5 +908,5 @@ main(int argc, char **argv)
     return equivalent && batchInvariant && instrEquivalent &&
                    offOverheadOk
                ? 0
-               : 1;
+               : 1; // equivalence + honest gates only, never raw speed
 }

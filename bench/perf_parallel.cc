@@ -194,6 +194,7 @@ main(int argc, char **argv)
 
     bench::Json doc;
     doc.set("bench", "perf_parallel")
+        .set("machine", bench::machineJson())
         .set("hardware_concurrency", hw)
         .set("runs_per_campaign", kRuns);
     bench::Json executor;

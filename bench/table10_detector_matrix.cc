@@ -15,6 +15,7 @@
 
 #include "bench_common.hh"
 
+#include "detect/batch.hh"
 #include "detect/pipeline.hh"
 #include "explore/dfs.hh"
 
@@ -98,6 +99,11 @@ main(int argc, char **argv)
     };
     std::map<std::string, Row> rows;
 
+    // Every manifesting trace and its findings, in kernel order, so
+    // the matrix's evidence ships as machine-readable JSON + SARIF.
+    std::vector<trace::Trace> findingsCorpus;
+    std::vector<detect::TraceReport> findingsReports;
+
     for (const auto *kernel : bugs::allKernels()) {
         const auto &info = kernel->info();
         const std::string cell = cellOf(info);
@@ -113,6 +119,11 @@ main(int argc, char **argv)
                 if (!detect::findingsFrom(findings, name).empty())
                     ++row.tp[name];
             }
+            detect::TraceReport tr;
+            tr.key = findingsCorpus.size();
+            tr.findings = findings;
+            findingsCorpus.push_back(exec->trace);
+            findingsReports.push_back(std::move(tr));
         }
         // False-positive side: a benign fixed-variant execution.
         sim::RandomPolicy random;
@@ -186,6 +197,22 @@ main(int argc, char **argv)
 
     campaignStage.reset();
     runReport.note("coverage_claims_hold", claims);
+
+    // Interchange outputs: the manifesting-trace findings behind the
+    // matrix, as the lfm-native document and as SARIF 2.1.0.
+    if (support::writeJsonFile(
+            "FINDINGS_table10.json",
+            detect::reportsJson(findingsCorpus, findingsReports)))
+        std::cout << "findings (lfm json): FINDINGS_table10.json\n";
+    if (support::writeJsonFile(
+            "FINDINGS_table10.sarif",
+            detect::reportsSarif(findingsCorpus, findingsReports,
+                                 "lfm-table10-matrix")))
+        std::cout << "findings (SARIF 2.1.0): "
+                     "FINDINGS_table10.sarif\n";
+    runReport.setFindingsOutputs("FINDINGS_table10.json",
+                                 "FINDINGS_table10.sarif");
+
     bench::writeRunReport(runReport);
     return claims ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 #include "detect/atomicity.hh"
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "detect/context.hh"
 
@@ -28,6 +29,7 @@ AtomicityDetector::fromContext(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
     const Trace &trace = ctx.trace();
+    const auto &variables = ctx.variables();
 
     // A local pair (p, c) only counts as one *intended-atomic*
     // region if the thread did not release a lock between the two
@@ -36,27 +38,33 @@ AtomicityDetector::fromContext(const AnalysisContext &ctx) const
     // interleaved (this is how AVIO avoids flagging two adjacent but
     // independent critical sections).
 
-    for (ObjectId var : ctx.variables()) {
-        const auto &accesses = ctx.accessesTo(var);
+    constexpr std::size_t kNone = ~std::size_t{0};
+    std::vector<std::size_t> nextLocal;
+    std::vector<std::pair<trace::ThreadId, std::size_t>> lastIdx;
+    // One finding per (thread, pattern) pair keeps reports tidy;
+    // both fit in one packed word (pattern is 3 write bits).
+    std::vector<std::uint64_t> reported;
+
+    for (std::size_t vi = 0; vi < variables.size(); ++vi) {
+        const ObjectId var = variables[vi];
+        const SeqSpan accesses = ctx.accessesAt(vi);
         const std::size_t n = accesses.size();
-        // One finding per (thread, pattern) pair keeps reports tidy.
-        std::set<std::string> reported;
+        reported.clear();
 
         // Link each access to its same-thread successor: that pair is
         // the candidate region, remotes are the accesses between.
-        constexpr std::size_t kNone = ~std::size_t{0};
-        std::vector<std::size_t> nextLocal(n, kNone);
-        {
-            std::map<trace::ThreadId, std::size_t> lastIdx;
-            for (std::size_t i = 0; i < n; ++i) {
-                const auto &e = trace.ev(accesses[i]);
-                auto it = lastIdx.find(e.thread);
-                if (it != lastIdx.end()) {
-                    nextLocal[it->second] = i;
-                    it->second = i;
-                } else {
-                    lastIdx.emplace(e.thread, i);
-                }
+        nextLocal.assign(n, kNone);
+        lastIdx.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto &e = trace.ev(accesses[i]);
+            auto it = std::find_if(
+                lastIdx.begin(), lastIdx.end(),
+                [&e](const auto &p) { return p.first == e.thread; });
+            if (it != lastIdx.end()) {
+                nextLocal[it->second] = i;
+                it->second = i;
+            } else {
+                lastIdx.emplace_back(e.thread, i);
             }
         }
 
@@ -77,19 +85,25 @@ AtomicityDetector::fromContext(const AnalysisContext &ctx) const
                 if (!unserializableTriple(p.isWrite(), r.isWrite(),
                                           c.isWrite()))
                     continue;
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(p.thread))
+                     << 3) |
+                    (p.isWrite() ? 4u : 0u) |
+                    (r.isWrite() ? 2u : 0u) | (c.isWrite() ? 1u : 0u);
+                if (std::find(reported.begin(), reported.end(),
+                              key) != reported.end())
+                    continue;
+                reported.push_back(key);
                 std::string pattern;
                 pattern += p.isWrite() ? 'W' : 'R';
                 pattern += r.isWrite() ? 'W' : 'R';
                 pattern += c.isWrite() ? 'W' : 'R';
-                std::string key =
-                    std::to_string(p.thread) + ":" + pattern;
-                if (!reported.insert(key).second)
-                    continue;
-                Finding f;
-                f.detector = name();
-                f.category = "atomicity-violation";
+                Finding f = makeFinding(
+                    name(), FindingKind::AtomicityViolation);
                 f.primaryObj = var;
                 f.events = {p.seq, r.seq, c.seq};
+                f.threads = {p.thread, r.thread};
                 f.message = "unserializable " + pattern + " on " +
                             trace.objectName(var) + ": " +
                             trace.threadName(r.thread) +

@@ -33,7 +33,8 @@ namespace
  */
 void
 analyzeOne(const Pipeline &pipeline, const Trace &trace,
-           const BatchOptions &options, TraceReport &report)
+           const BatchOptions &options, TraceReport &report,
+           ContextScratch *scratch)
 {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
         report.status = TraceStatus::Skipped;
@@ -53,7 +54,9 @@ analyzeOne(const Pipeline &pipeline, const Trace &trace,
     unsigned attempted = 0;
     for (;;) {
         try {
-            report.findings = pipeline.run(trace);
+            report.findings = scratch != nullptr
+                                  ? pipeline.run(trace, *scratch)
+                                  : pipeline.run(trace);
             report.status = TraceStatus::Analyzed;
             report.error.clear();
             return;
@@ -140,10 +143,14 @@ serializeReport(const TraceReport &report)
     for (const Finding &f : report.findings) {
         putStr(buf, f.detector);
         putStr(buf, f.category);
+        putU64(buf, static_cast<std::uint8_t>(f.kind));
         putU64(buf, f.primaryObj);
         putU64(buf, f.events.size());
         for (const auto seq : f.events)
             putU64(buf, seq);
+        putU64(buf, f.threads.size());
+        for (const auto tid : f.threads)
+            putU64(buf, static_cast<std::uint32_t>(tid));
         putStr(buf, f.message);
     }
     return buf;
@@ -164,10 +171,15 @@ deserializeReport(const std::vector<std::uint8_t> &buf,
         Finding f;
         f.detector = rd.str();
         f.category = rd.str();
+        f.kind = static_cast<FindingKind>(rd.u64());
         f.primaryObj = rd.u64();
         const std::uint64_t events = rd.u64();
         for (std::uint64_t j = 0; rd.ok && j < events; ++j)
             f.events.push_back(rd.u64());
+        const std::uint64_t threads = rd.u64();
+        for (std::uint64_t j = 0; rd.ok && j < threads; ++j)
+            f.threads.push_back(static_cast<trace::ThreadId>(
+                static_cast<std::uint32_t>(rd.u64())));
         f.message = rd.str();
         report.findings.push_back(std::move(f));
     }
@@ -205,7 +217,8 @@ runSandboxed(const Pipeline &pipeline, const std::vector<Trace> &corpus,
         report.key = unit;
         BatchOptions inner = options;
         inner.cancel = nullptr;
-        analyzeOne(pipeline, corpus[unit], inner, report);
+        // One trace per forked child: nothing to pool, no scratch.
+        analyzeOne(pipeline, corpus[unit], inner, report, nullptr);
         return serializeReport(report);
     };
 
@@ -270,19 +283,69 @@ BatchRunner::run(const Pipeline &pipeline,
     // is corpus-ordered no matter which worker ran which trace. Tasks
     // are dealt round-robin so every deque starts non-empty; stealing
     // rebalances uneven trace sizes.
+    //
+    // Each worker owns one ContextScratch, indexed by the *executing*
+    // worker id the pool passes to the task (stealing moves the task,
+    // not the scratch), so every trace after a worker's first reuses
+    // its context/HB allocations.
+    std::vector<ContextScratch> scratches(workers_);
     support::WorkStealingPool pool(workers_);
     for (std::size_t i = 0; i < corpus.size(); ++i) {
         pool.push(static_cast<unsigned>(i % workers_),
                   [&pipeline, &corpus, &reports, &options,
-                   i](unsigned) {
+                   &scratches, i](unsigned worker) {
                       reports[i].key = i;
                       analyzeOne(pipeline, corpus[i], options,
-                                 reports[i]);
+                                 reports[i], &scratches[worker]);
                   });
     }
     pool.run();
     poolStats_ = pool.lastRunStats();
     return reports;
+}
+
+support::Json
+reportsJson(const std::vector<Trace> &corpus,
+            const std::vector<TraceReport> &reports)
+{
+    support::Json doc;
+    doc.set("tool", "lfm-detect");
+    support::Json list = support::Json::array();
+    for (const TraceReport &report : reports) {
+        if (report.key >= corpus.size())
+            continue;
+        const Trace &trace = corpus[report.key];
+        support::Json entry = findingsJson(
+            trace, report.findings, report.key);
+        entry.set("status",
+                  report.status == TraceStatus::Analyzed
+                      ? "analyzed"
+                      : report.status == TraceStatus::Quarantined
+                            ? "quarantined"
+                            : report.status == TraceStatus::Skipped
+                                  ? "skipped"
+                                  : "crashed");
+        if (!report.error.empty())
+            entry.set("error", report.error);
+        list.push(std::move(entry));
+    }
+    doc.set("traces", std::move(list));
+    return doc;
+}
+
+support::Json
+reportsSarif(const std::vector<Trace> &corpus,
+             const std::vector<TraceReport> &reports,
+             const std::string &toolName)
+{
+    SarifBuilder builder(toolName);
+    for (const TraceReport &report : reports) {
+        if (report.key >= corpus.size())
+            continue;
+        builder.addTrace(corpus[report.key], report.key,
+                         report.findings);
+    }
+    return builder.document();
 }
 
 struct DetectionStream::Impl
@@ -309,6 +372,9 @@ struct DetectionStream::Impl
 
     void workerLoop()
     {
+        // One scratch per detection thread: consecutive traces of
+        // this worker reuse the same context/HB allocations.
+        ContextScratch scratch;
         for (;;) {
             std::pair<std::uint64_t, Trace> item;
             {
@@ -325,7 +391,7 @@ struct DetectionStream::Impl
             // A throwing detector quarantines its one trace; the
             // stream (and its workers) keep running.
             try {
-                report.findings = pipeline.run(item.second);
+                report.findings = pipeline.run(item.second, scratch);
                 support::metrics::counter("detect.stream.analyzed")
                     .add();
             } catch (const std::exception &e) {

@@ -134,6 +134,23 @@ class BatchRunner
     mutable support::WorkStealingPool::Stats poolStats_;
 };
 
+/**
+ * All of a batch's findings as one lfm-native JSON document: per
+ * trace, its key, status, error (when any) and expanded findings.
+ * reports[i].key must index into corpus (the BatchRunner contract).
+ */
+support::Json reportsJson(const std::vector<Trace> &corpus,
+                          const std::vector<TraceReport> &reports);
+
+/**
+ * All of a batch's findings as one SARIF 2.1.0 document (one run,
+ * results across every analyzed trace, artifact URIs keyed by trace).
+ * Same corpus/reports contract as reportsJson.
+ */
+support::Json reportsSarif(const std::vector<Trace> &corpus,
+                           const std::vector<TraceReport> &reports,
+                           const std::string &toolName = "lfm-detect");
+
 /** Streaming detection; see the file comment. */
 class DetectionStream
 {

@@ -1,34 +1,321 @@
 #include "detect/context.hh"
 
 #include <algorithm>
+#include <array>
+#include <map>
 #include <optional>
+#include <utility>
 
 namespace lfm::detect
 {
 
-AnalysisContext::AnalysisContext(const Trace &trace, bool precomputeHb)
-    : trace_(&trace)
+namespace
 {
+
+// ---------------------------------------------------------------
+// Table-driven event classification. The indexing sweep needs three
+// independent yes/no facts per event (is it a data access? a lock
+// release? a lock-shaped op?), so each EventKind maps to a flag byte
+// and the hot loop is one table load plus flag tests — no switch.
+// ---------------------------------------------------------------
+
+constexpr std::uint8_t kIdxAccess = 1u << 0;
+constexpr std::uint8_t kIdxRelease = 1u << 1;
+constexpr std::uint8_t kIdxLockOp = 1u << 2;
+
+constexpr std::size_t kKindCount =
+    static_cast<std::size_t>(trace::EventKind::Blocked) + 1;
+
+constexpr std::array<std::uint8_t, kKindCount>
+makeActionTable()
+{
+    std::array<std::uint8_t, kKindCount> t{};
+    auto set = [&t](trace::EventKind k, std::uint8_t flags) {
+        t[static_cast<std::size_t>(k)] = flags;
+    };
+    set(trace::EventKind::Read, kIdxAccess);
+    set(trace::EventKind::Write, kIdxAccess);
+    set(trace::EventKind::Unlock, kIdxRelease | kIdxLockOp);
+    set(trace::EventKind::RdUnlock, kIdxRelease | kIdxLockOp);
+    // cond wait releases its mutex for the park duration.
+    set(trace::EventKind::WaitBegin, kIdxRelease | kIdxLockOp);
+    set(trace::EventKind::Lock, kIdxLockOp);
+    set(trace::EventKind::RdLock, kIdxLockOp);
+    set(trace::EventKind::WaitResume, kIdxLockOp);
+    set(trace::EventKind::Blocked, kIdxLockOp);
+    return t;
+}
+
+constexpr auto kActionTable = makeActionTable();
+
+// ---------------------------------------------------------------
+// Open-addressing ObjectId -> dense-id map for the SoA sweep. Slots
+// are (key, value) pairs across two parallel vectors; an empty slot
+// is marked by the value sentinel so ObjectId 0 stays a legal key.
+// ---------------------------------------------------------------
+
+constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+hashReset(std::vector<ObjectId> &keys,
+          std::vector<std::uint32_t> &vals, std::size_t capacity)
+{
+    keys.assign(capacity, 0);
+    vals.assign(capacity, kEmptySlot);
+}
+
+void
+hashGrow(std::vector<ObjectId> &keys,
+         std::vector<std::uint32_t> &vals)
+{
+    std::vector<ObjectId> oldKeys = std::move(keys);
+    std::vector<std::uint32_t> oldVals = std::move(vals);
+    hashReset(keys, vals, oldKeys.size() * 2);
+    const std::size_t mask = keys.size() - 1;
+    for (std::size_t i = 0; i < oldVals.size(); ++i) {
+        if (oldVals[i] == kEmptySlot)
+            continue;
+        std::size_t slot = mix64(oldKeys[i]) & mask;
+        while (vals[slot] != kEmptySlot)
+            slot = (slot + 1) & mask;
+        keys[slot] = oldKeys[i];
+        vals[slot] = oldVals[i];
+    }
+}
+
+/** Dense id for `key`, inserting `next` when unseen; linear probing,
+ * growth at ~70% load. Returns the id plus whether it was inserted. */
+std::pair<std::uint32_t, bool>
+hashIntern(std::vector<ObjectId> &keys,
+           std::vector<std::uint32_t> &vals, std::size_t &used,
+           ObjectId key, std::uint32_t next)
+{
+    if ((used + 1) * 10 >= keys.size() * 7)
+        hashGrow(keys, vals);
+    const std::size_t mask = keys.size() - 1;
+    std::size_t slot = mix64(key) & mask;
+    while (vals[slot] != kEmptySlot) {
+        if (keys[slot] == key)
+            return {vals[slot], false};
+        slot = (slot + 1) & mask;
+    }
+    keys[slot] = key;
+    vals[slot] = next;
+    ++used;
+    return {next, true};
+}
+
+} // namespace
+
+AnalysisContext::AnalysisContext(const Trace &trace,
+                                 bool precomputeHb,
+                                 ContextScratch *scratch,
+                                 BuildMode mode)
+    : trace_(&trace), scratch_(scratch)
+{
+    if (scratch_ != nullptr) {
+        // Borrow all index storage; capacities are warm from the
+        // previous trace this scratch served.
+        variables_ = std::move(scratch_->variables);
+        varSpans_ = std::move(scratch_->varSpans);
+        accessArena_ = std::move(scratch_->accessArena);
+        releaseSpans_ = std::move(scratch_->releaseSpans);
+        releaseArena_ = std::move(scratch_->releaseArena);
+        lockOps_ = std::move(scratch_->lockOps);
+        variables_.clear();
+        varSpans_.clear();
+        accessArena_.clear();
+        releaseSpans_.clear();
+        releaseArena_.clear();
+        lockOps_.clear();
+    }
+
     std::optional<trace::HbBuilder> hbBuilder;
     if (precomputeHb)
-        hbBuilder.emplace(trace);
+        hbBuilder.emplace(trace,
+                          scratch_ ? &scratch_->hb : nullptr);
+
+    if (mode == BuildMode::SoA)
+        buildSoA(trace, hbBuilder ? &*hbBuilder : nullptr);
+    else
+        buildReference(trace, hbBuilder ? &*hbBuilder : nullptr);
+
+    if (hbBuilder)
+        hb_ = std::make_unique<trace::HbRelation>(
+            std::move(*hbBuilder).finish());
+}
+
+AnalysisContext::AnalysisContext(AnalysisContext &&other) noexcept
+    : trace_(other.trace_), scratch_(other.scratch_),
+      hb_(std::move(other.hb_)),
+      variables_(std::move(other.variables_)),
+      varSpans_(std::move(other.varSpans_)),
+      accessArena_(std::move(other.accessArena_)),
+      releaseSpans_(std::move(other.releaseSpans_)),
+      releaseArena_(std::move(other.releaseArena_)),
+      lockOps_(std::move(other.lockOps_))
+{
+    other.scratch_ = nullptr;
+}
+
+AnalysisContext::~AnalysisContext()
+{
+    if (scratch_ == nullptr)
+        return;
+    if (hb_)
+        hb_->reclaimInto(scratch_->hb);
+    scratch_->variables = std::move(variables_);
+    scratch_->varSpans = std::move(varSpans_);
+    scratch_->accessArena = std::move(accessArena_);
+    scratch_->releaseSpans = std::move(releaseSpans_);
+    scratch_->releaseArena = std::move(releaseArena_);
+    scratch_->lockOps = std::move(lockOps_);
+}
+
+void
+AnalysisContext::buildSoA(const Trace &trace,
+                          trace::HbBuilder *hbBuilder)
+{
+    // Sweep transients live in the caller's scratch when there is
+    // one (warm capacities across a batch), else in this local pool.
+    ContextScratch local;
+    ContextScratch &s = scratch_ ? *scratch_ : local;
+
+    s.accessSeqs.clear();
+    s.accessVars.clear();
+    s.firstSeen.clear();
+    s.counts.clear();
+    s.releasePairs.clear();
+    if (s.hashKeys.size() < 64)
+        hashReset(s.hashKeys, s.hashVals, 64);
+    else
+        std::fill(s.hashVals.begin(), s.hashVals.end(), kEmptySlot);
+    std::size_t hashUsed = 0;
+
+    // Pass 1: classify every event through the action table,
+    // appending to flat append-order logs (no per-variable or
+    // per-thread node allocations). HB construction, when requested,
+    // rides the same loop.
+    for (const auto &event : trace.events()) {
+        if (hbBuilder != nullptr)
+            hbBuilder->feed(event);
+        const std::uint8_t action =
+            kActionTable[static_cast<std::size_t>(event.kind)];
+        if (action == 0)
+            continue;
+        if ((action & kIdxAccess) != 0) {
+            const auto next =
+                static_cast<std::uint32_t>(s.firstSeen.size());
+            const auto [dense, inserted] =
+                hashIntern(s.hashKeys, s.hashVals, hashUsed,
+                           event.obj, next);
+            if (inserted) {
+                s.firstSeen.push_back(event.obj);
+                s.counts.push_back(0);
+            }
+            ++s.counts[dense];
+            s.accessVars.push_back(dense);
+            s.accessSeqs.push_back(event.seq);
+        }
+        if ((action & kIdxRelease) != 0)
+            s.releasePairs.emplace_back(event.thread, event.seq);
+        if ((action & kIdxLockOp) != 0)
+            lockOps_.push_back(event.seq);
+    }
+
+    // Pass 2a: order variables by ObjectId (the map-based index
+    // iterated in key order; queries and flattened layouts must keep
+    // that order), then counting-sort the access log into the arena —
+    // a stable scatter, so each variable's accesses stay in trace
+    // order.
+    const std::size_t nVars = s.firstSeen.size();
+    s.order.resize(nVars);
+    for (std::size_t i = 0; i < nVars; ++i)
+        s.order[i] = static_cast<std::uint32_t>(i);
+    std::sort(s.order.begin(), s.order.end(),
+              [&s](std::uint32_t a, std::uint32_t b) {
+                  return s.firstSeen[a] < s.firstSeen[b];
+              });
+
+    variables_.resize(nVars);
+    varSpans_.resize(nVars);
+    s.cursor.resize(nVars);
+    std::uint32_t offset = 0;
+    for (std::size_t pos = 0; pos < nVars; ++pos) {
+        const std::uint32_t dense = s.order[pos];
+        variables_[pos] = s.firstSeen[dense];
+        varSpans_[pos] = {offset, s.counts[dense]};
+        s.cursor[pos] = offset;
+        offset += s.counts[dense];
+    }
+    // counts is consumed; reuse it as the dense-id -> sorted-rank map.
+    for (std::size_t pos = 0; pos < nVars; ++pos)
+        s.counts[s.order[pos]] = static_cast<std::uint32_t>(pos);
+
+    accessArena_.resize(s.accessSeqs.size());
+    for (std::size_t k = 0; k < s.accessSeqs.size(); ++k) {
+        const std::uint32_t pos = s.counts[s.accessVars[k]];
+        accessArena_[s.cursor[pos]++] = s.accessSeqs[k];
+    }
+
+    // Pass 2b: same counting-sort for releases, keyed by thread id
+    // directly (thread ids are dense and small).
+    ThreadId maxTid = -1;
+    for (const auto &[tid, seq] : s.releasePairs) {
+        (void)seq;
+        maxTid = std::max(maxTid, tid);
+    }
+    releaseSpans_.assign(static_cast<std::size_t>(maxTid + 1), {});
+    for (const auto &[tid, seq] : s.releasePairs) {
+        (void)seq;
+        ++releaseSpans_[static_cast<std::size_t>(tid)].length;
+    }
+    s.cursor.assign(releaseSpans_.size(), 0);
+    offset = 0;
+    for (std::size_t t = 0; t < releaseSpans_.size(); ++t) {
+        releaseSpans_[t].offset = offset;
+        s.cursor[t] = offset;
+        offset += releaseSpans_[t].length;
+    }
+    releaseArena_.resize(s.releasePairs.size());
+    for (const auto &[tid, seq] : s.releasePairs)
+        releaseArena_[s.cursor[static_cast<std::size_t>(tid)]++] =
+            seq;
+}
+
+void
+AnalysisContext::buildReference(const Trace &trace,
+                                trace::HbBuilder *hbBuilder)
+{
+    // The pre-SoA implementation, verbatim: ordered-map indices
+    // filled by a switch-dispatched sweep — then flattened into the
+    // arena layout the query API now expects. Kept as the baseline
+    // the equivalence tests and the perf bench diff the SoA build
+    // against.
+    std::map<ObjectId, std::vector<SeqNo>> accesses;
+    std::map<ThreadId, std::vector<SeqNo>> releases;
 
     for (const auto &event : trace.events()) {
-        if (hbBuilder)
+        if (hbBuilder != nullptr)
             hbBuilder->feed(event);
         switch (event.kind) {
           case trace::EventKind::Read:
           case trace::EventKind::Write:
-            accesses_[event.obj].push_back(event.seq);
+            accesses[event.obj].push_back(event.seq);
             break;
           case trace::EventKind::Unlock:
           case trace::EventKind::RdUnlock:
-            releases_[event.thread].push_back(event.seq);
-            lockOps_.push_back(event.seq);
-            break;
           case trace::EventKind::WaitBegin:
-            // cond wait releases its mutex for the park duration.
-            releases_[event.thread].push_back(event.seq);
+            releases[event.thread].push_back(event.seq);
             lockOps_.push_back(event.seq);
             break;
           case trace::EventKind::Lock:
@@ -42,42 +329,73 @@ AnalysisContext::AnalysisContext(const Trace &trace, bool precomputeHb)
         }
     }
 
-    variables_.reserve(accesses_.size());
-    for (const auto &[var, seqs] : accesses_) {
-        (void)seqs;
+    variables_.reserve(accesses.size());
+    varSpans_.reserve(accesses.size());
+    for (const auto &[var, seqs] : accesses) {
         variables_.push_back(var);
+        varSpans_.push_back(
+            {static_cast<std::uint32_t>(accessArena_.size()),
+             static_cast<std::uint32_t>(seqs.size())});
+        accessArena_.insert(accessArena_.end(), seqs.begin(),
+                            seqs.end());
     }
 
-    if (hbBuilder)
-        hb_ = std::make_unique<trace::HbRelation>(
-            std::move(*hbBuilder).finish());
+    const ThreadId maxTid =
+        releases.empty() ? -1 : releases.rbegin()->first;
+    releaseSpans_.assign(static_cast<std::size_t>(maxTid + 1), {});
+    for (const auto &[tid, seqs] : releases) {
+        releaseSpans_[static_cast<std::size_t>(tid)] = {
+            static_cast<std::uint32_t>(releaseArena_.size()),
+            static_cast<std::uint32_t>(seqs.size())};
+        releaseArena_.insert(releaseArena_.end(), seqs.begin(),
+                             seqs.end());
+    }
 }
 
 const trace::HbRelation &
 AnalysisContext::hb() const
 {
-    if (!hb_)
-        hb_ = std::make_unique<trace::HbRelation>(*trace_);
+    if (!hb_) {
+        trace::HbBuilder builder(*trace_,
+                                 scratch_ ? &scratch_->hb : nullptr);
+        for (const auto &event : trace_->events())
+            builder.feed(event);
+        hb_ = std::make_unique<trace::HbRelation>(
+            std::move(builder).finish());
+    }
     return *hb_;
 }
 
-const std::vector<SeqNo> &
+SeqSpan
+AnalysisContext::spanAt(const std::vector<Span> &spans,
+                        std::size_t index) const
+{
+    const Span &sp = spans[index];
+    return {accessArena_.data() + sp.offset, sp.length};
+}
+
+SeqSpan
 AnalysisContext::accessesTo(ObjectId var) const
 {
-    static const std::vector<SeqNo> kEmpty;
-    auto it = accesses_.find(var);
-    return it == accesses_.end() ? kEmpty : it->second;
+    const auto it = std::lower_bound(variables_.begin(),
+                                     variables_.end(), var);
+    if (it == variables_.end() || *it != var)
+        return {};
+    return accessesAt(
+        static_cast<std::size_t>(it - variables_.begin()));
 }
 
 bool
 AnalysisContext::releaseBetween(ThreadId tid, SeqNo lo, SeqNo hi) const
 {
-    auto it = releases_.find(tid);
-    if (it == releases_.end())
+    const auto t = static_cast<std::size_t>(tid);
+    if (tid < 0 || t >= releaseSpans_.size())
         return false;
-    auto pos =
-        std::upper_bound(it->second.begin(), it->second.end(), lo);
-    return pos != it->second.end() && *pos < hi;
+    const Span &sp = releaseSpans_[t];
+    const SeqNo *first = releaseArena_.data() + sp.offset;
+    const SeqNo *last = first + sp.length;
+    const SeqNo *pos = std::upper_bound(first, last, lo);
+    return pos != last && *pos < hi;
 }
 
 } // namespace lfm::detect

@@ -1,6 +1,6 @@
 /**
  * @file
- * Shared per-trace analysis context.
+ * Shared per-trace analysis context, arena/SoA edition.
  *
  * Every detector used to re-derive the same facts from the raw trace:
  * the per-variable access index (Trace::accessesTo is a full trace
@@ -11,6 +11,16 @@
  * to every detector, so a multi-detector pass pays each index once
  * instead of once per detector.
  *
+ * Storage is structure-of-arrays: all access sequence numbers live in
+ * one contiguous arena grouped by variable, with a dense-id remap and
+ * per-variable offset spans on top (the node-per-entry std::map
+ * indices this replaced paid an allocation per variable/thread and a
+ * pointer chase per query). Releases use the same layout per thread,
+ * making releaseBetween a branch-light binary search over one flat
+ * span. The indexing sweep classifies events through a table indexed
+ * by EventKind instead of a switch, so the hot loop is a load and two
+ * tests regardless of the vocabulary size.
+ *
  * The happens-before relation is the expensive piece, and not every
  * detector needs it, so it is built in one of two ways:
  *  - precomputeHb = true fuses trace::HbBuilder into the indexing
@@ -18,12 +28,19 @@
  *    registered detector wants HB;
  *  - otherwise hb() builds it lazily on first use, and a standalone
  *    lockset/order/deadlock run never pays for it.
+ *
+ * Batch callers thread a ContextScratch through consecutive contexts:
+ * the context borrows every index buffer (and the HbBuilder state)
+ * from the scratch and returns it on destruction, so the second and
+ * every later trace of a batch reuses warm allocations instead of
+ * rebuilding them. Results are identical with and without a scratch —
+ * the equivalence suite and the perf bench both gate on it.
  */
 
 #ifndef LFM_DETECT_CONTEXT_HH
 #define LFM_DETECT_CONTEXT_HH
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -38,17 +55,68 @@ using trace::SeqNo;
 using trace::ThreadId;
 using trace::Trace;
 
+/** Contiguous, read-only view of sequence numbers (one variable's
+ * accesses or one thread's releases inside the context arena). */
+class SeqSpan
+{
+  public:
+    SeqSpan() = default;
+    SeqSpan(const SeqNo *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const SeqNo *begin() const { return data_; }
+    const SeqNo *end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    SeqNo operator[](std::size_t i) const { return data_[i]; }
+    SeqNo front() const { return data_[0]; }
+    SeqNo back() const { return data_[size_ - 1]; }
+
+  private:
+    const SeqNo *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+class ContextScratch;
+
 /** Immutable shared view of one trace; see the file comment. */
 class AnalysisContext
 {
   public:
+    /** How the indices are built; results are always identical. */
+    enum class BuildMode : std::uint8_t
+    {
+        /** Arena/SoA sweep with table-driven dispatch (default). */
+        SoA,
+        /** The original ordered-map sweep, kept as the equivalence
+         * reference: indices are built with std::map exactly as
+         * before the SoA rebuild, then flattened into the same
+         * query structures. Tests and the perf bench compare the
+         * two paths finding-for-finding. */
+        Reference,
+    };
+
     /**
      * Index the trace. With precomputeHb the happens-before relation
      * is built inside the same sweep; without it, hb() constructs it
-     * on demand (second pass, paid only if queried).
+     * on demand (second pass, paid only if queried). With a scratch,
+     * all index storage is borrowed from (and returned to) the pool.
      */
     explicit AnalysisContext(const Trace &trace,
-                             bool precomputeHb = false);
+                             bool precomputeHb = false,
+                             ContextScratch *scratch = nullptr,
+                             BuildMode mode = BuildMode::SoA);
+
+    ~AnalysisContext();
+
+    AnalysisContext(const AnalysisContext &) = delete;
+    AnalysisContext &operator=(const AnalysisContext &) = delete;
+
+    /** Movable (vector storage); the scratch, when any, follows the
+     * moved-to context and is returned exactly once. */
+    AnalysisContext(AnalysisContext &&other) noexcept;
 
     const Trace &trace() const { return *trace_; }
 
@@ -63,7 +131,14 @@ class AnalysisContext
 
     /** Sequence numbers of Read/Write events on the variable, in
      * trace order; empty for unknown variables. */
-    const std::vector<SeqNo> &accessesTo(ObjectId var) const;
+    SeqSpan accessesTo(ObjectId var) const;
+
+    /** Accesses of variables()[index] — the O(1) form for callers
+     * already iterating the sorted variable list. */
+    SeqSpan accessesAt(std::size_t index) const
+    {
+        return spanAt(varSpans_, index);
+    }
 
     /** Sequence numbers of all synchronization-shaped events (lock /
      * unlock both flavors, wait begin/resume, blocked attempts), in
@@ -80,12 +155,76 @@ class AnalysisContext
     bool releaseBetween(ThreadId tid, SeqNo lo, SeqNo hi) const;
 
   private:
+    friend class ContextScratch;
+
+    /** (offset, length) of one group inside an arena. */
+    struct Span
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t length = 0;
+    };
+
+    SeqSpan spanAt(const std::vector<Span> &spans,
+                   std::size_t index) const;
+
+    void buildSoA(const Trace &trace, trace::HbBuilder *hbBuilder);
+    void buildReference(const Trace &trace,
+                        trace::HbBuilder *hbBuilder);
+
     const Trace *trace_;
+    ContextScratch *scratch_;
     mutable std::unique_ptr<trace::HbRelation> hb_;
-    std::vector<ObjectId> variables_;
-    std::map<ObjectId, std::vector<SeqNo>> accesses_;
+
+    std::vector<ObjectId> variables_;   ///< sorted distinct vars
+    std::vector<Span> varSpans_;        ///< per variables_[i]
+    std::vector<SeqNo> accessArena_;    ///< accesses grouped by var
+
+    std::vector<Span> releaseSpans_;    ///< indexed by ThreadId
+    std::vector<SeqNo> releaseArena_;   ///< releases grouped by tid
+
     std::vector<SeqNo> lockOps_;
-    std::map<ThreadId, std::vector<SeqNo>> releases_;
+};
+
+/**
+ * Reusable per-worker allocation pool for batch detection: the index
+ * buffers an AnalysisContext borrows, the transient buffers its SoA
+ * sweep needs (dense-id hash, counting-sort cursors), and the
+ * happens-before builder state (trace::HbScratch). One scratch serves
+ * one context at a time; BatchRunner keeps one per pool worker and
+ * DetectionStream one per detection thread, so every trace after a
+ * worker's first runs on warm allocations.
+ */
+class ContextScratch
+{
+  public:
+    ContextScratch() = default;
+    ContextScratch(const ContextScratch &) = delete;
+    ContextScratch &operator=(const ContextScratch &) = delete;
+
+  private:
+    friend class AnalysisContext;
+
+    // Borrowed index storage (returned by ~AnalysisContext).
+    std::vector<ObjectId> variables;
+    std::vector<AnalysisContext::Span> varSpans;
+    std::vector<SeqNo> accessArena;
+    std::vector<AnalysisContext::Span> releaseSpans;
+    std::vector<SeqNo> releaseArena;
+    std::vector<SeqNo> lockOps;
+
+    // SoA sweep transients.
+    std::vector<SeqNo> accessSeqs;        ///< append-order seqs
+    std::vector<std::uint32_t> accessVars; ///< dense var per access
+    std::vector<ObjectId> hashKeys;        ///< open-addressing table
+    std::vector<std::uint32_t> hashVals;
+    std::vector<ObjectId> firstSeen;       ///< dense id -> ObjectId
+    std::vector<std::uint32_t> counts;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> cursor;
+    std::vector<std::pair<ThreadId, SeqNo>> releasePairs;
+
+    // Happens-before builder state.
+    trace::HbScratch hb;
 };
 
 } // namespace lfm::detect

@@ -128,9 +128,8 @@ DeadlockDetector::fromContext(const AnalysisContext &ctx) const
     LockOrderGraph graph(ctx);
 
     for (const auto &cycle : graph.cycles()) {
-        Finding f;
-        f.detector = name();
-        f.category = "deadlock-cycle";
+        Finding f =
+            makeFinding(name(), FindingKind::DeadlockCycle);
         f.primaryObj = cycle.front();
         std::vector<std::string> names;
         names.reserve(cycle.size());

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/finding.hh"
 #include "trace/trace.hh"
 
 namespace lfm::detect
@@ -23,29 +24,6 @@ namespace lfm::detect
 using trace::ObjectId;
 using trace::SeqNo;
 using trace::Trace;
-
-/** One report produced by a detector. */
-struct Finding
-{
-    /** Which detector produced it ("hb-race", "lockset", ...). */
-    std::string detector;
-
-    /**
-     * Finding category: "data-race", "atomicity-violation",
-     * "multivar-atomicity-violation", "order-violation",
-     * "deadlock-cycle", "stuck-wait", ...
-     */
-    std::string category;
-
-    /** The main variable/lock involved. */
-    ObjectId primaryObj = trace::kNoObject;
-
-    /** The witnessing events, in trace order. */
-    std::vector<SeqNo> events;
-
-    /** Human-readable explanation. */
-    std::string message;
-};
 
 class AnalysisContext;
 

@@ -1,0 +1,224 @@
+#include "detect/finding.hh"
+
+#include <utility>
+
+namespace lfm::detect
+{
+
+const char *
+findingKindName(FindingKind kind)
+{
+    switch (kind) {
+      case FindingKind::DataRace:
+        return "data-race";
+      case FindingKind::AtomicityViolation:
+        return "atomicity-violation";
+      case FindingKind::MultiVarAtomicityViolation:
+        return "multivar-atomicity-violation";
+      case FindingKind::OrderViolation:
+        return "order-violation";
+      case FindingKind::DeadlockCycle:
+        return "deadlock-cycle";
+      case FindingKind::StuckWait:
+        return "stuck-wait";
+      case FindingKind::Other:
+        break;
+    }
+    return "other";
+}
+
+FindingKind
+findingKindFromCategory(const std::string &category)
+{
+    for (FindingKind kind :
+         {FindingKind::DataRace, FindingKind::AtomicityViolation,
+          FindingKind::MultiVarAtomicityViolation,
+          FindingKind::OrderViolation, FindingKind::DeadlockCycle,
+          FindingKind::StuckWait}) {
+        if (category == findingKindName(kind))
+            return kind;
+    }
+    return FindingKind::Other;
+}
+
+Finding
+makeFinding(const char *detector, FindingKind kind)
+{
+    Finding f;
+    f.detector = detector;
+    f.kind = kind;
+    f.category = findingKindName(kind);
+    return f;
+}
+
+support::Json
+findingToJson(const Trace &trace, const Finding &f)
+{
+    support::Json o;
+    o.set("detector", f.detector)
+        .set("kind", f.category)
+        .set("category", f.category)
+        .set("primary_obj", f.primaryObj)
+        .set("primary_obj_name", trace.objectName(f.primaryObj));
+    support::Json events = support::Json::array();
+    for (SeqNo seq : f.events)
+        events.push(seq);
+    o.set("events", std::move(events));
+    support::Json threads = support::Json::array();
+    for (ThreadId tid : f.threads)
+        threads.push(static_cast<int>(tid));
+    o.set("threads", std::move(threads));
+    o.set("message", f.message);
+    return o;
+}
+
+support::Json
+findingsJson(const Trace &trace, const std::vector<Finding> &findings,
+             std::uint64_t traceKey)
+{
+    support::Json doc;
+    doc.set("tool", "lfm-detect");
+    support::Json traceInfo;
+    traceInfo.set("key", traceKey)
+        .set("events", trace.size())
+        .set("threads", trace.threadCount());
+    doc.set("trace", std::move(traceInfo));
+    support::Json list = support::Json::array();
+    for (const Finding &f : findings)
+        list.push(findingToJson(trace, f));
+    doc.set("findings", std::move(list));
+    return doc;
+}
+
+SarifBuilder::SarifBuilder(std::string toolName)
+    : toolName_(std::move(toolName))
+{
+}
+
+std::size_t
+SarifBuilder::ruleIndexFor(const Finding &f)
+{
+    const std::string id = f.detector + "/" + f.category;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+        if (rules_[i].id == id)
+            return i;
+    }
+    rules_.push_back({id, f.detector, f.kind});
+    return rules_.size() - 1;
+}
+
+void
+SarifBuilder::addTrace(const Trace &trace, std::uint64_t key,
+                       const std::vector<Finding> &findings)
+{
+    for (const Finding &f : findings) {
+        const std::size_t rule = ruleIndexFor(f);
+
+        support::Json result;
+        result.set("ruleId", rules_[rule].id)
+            .set("ruleIndex", rule)
+            // Predicted interleavings are warnings; everything the
+            // detectors observed directly is an error.
+            .set("level", f.detector == "predictive-atom" ? "warning"
+                                                         : "error");
+        support::Json message;
+        message.set("text", f.message);
+        result.set("message", std::move(message));
+
+        // Locations: the primary object as a logical location, the
+        // first witnessing event as the region within the trace
+        // artifact (SARIF lines are 1-based; trace seq 0 = line 1).
+        support::Json locations = support::Json::array();
+        support::Json location;
+        support::Json physical;
+        support::Json artifact;
+        artifact.set("uri", "trace://" + std::to_string(key));
+        physical.set("artifactLocation", std::move(artifact));
+        if (!f.events.empty()) {
+            support::Json region;
+            region.set("startLine", f.events.front() + 1)
+                .set("endLine", f.events.back() + 1);
+            physical.set("region", std::move(region));
+        }
+        location.set("physicalLocation", std::move(physical));
+        support::Json logicals = support::Json::array();
+        support::Json logical;
+        logical.set("name", trace.objectName(f.primaryObj))
+            .set("kind", "variable");
+        logicals.push(std::move(logical));
+        location.set("logicalLocations", std::move(logicals));
+        locations.push(std::move(location));
+        result.set("locations", std::move(locations));
+
+        // The schedule context: every witnessing event with its
+        // thread, so a consumer can replay or minimize.
+        support::Json props;
+        props.set("detector", f.detector)
+            .set("kind", f.category)
+            .set("traceKey", key)
+            .set("primaryObj", f.primaryObj);
+        support::Json events = support::Json::array();
+        for (SeqNo seq : f.events)
+            events.push(seq);
+        props.set("events", std::move(events));
+        support::Json threads = support::Json::array();
+        for (ThreadId tid : f.threads)
+            threads.push(static_cast<int>(tid));
+        props.set("threads", std::move(threads));
+        result.set("properties", std::move(props));
+
+        results_.push_back(std::move(result));
+        ++resultCount_;
+    }
+}
+
+support::Json
+SarifBuilder::document() const
+{
+    support::Json doc;
+    doc.set("$schema",
+            "https://json.schemastore.org/sarif-2.1.0.json")
+        .set("version", "2.1.0");
+
+    support::Json driver;
+    driver.set("name", toolName_)
+        .set("informationUri",
+             "https://example.invalid/lfm")
+        .set("version", "1.0.0");
+    support::Json rules = support::Json::array();
+    for (const Rule &rule : rules_) {
+        support::Json r;
+        r.set("id", rule.id).set("name", rule.detector);
+        support::Json desc;
+        desc.set("text", std::string(findingKindName(rule.kind)) +
+                             " reported by " + rule.detector);
+        r.set("shortDescription", std::move(desc));
+        rules.push(std::move(r));
+    }
+    driver.set("rules", std::move(rules));
+    support::Json tool;
+    tool.set("driver", std::move(driver));
+
+    support::Json run;
+    run.set("tool", std::move(tool));
+    support::Json results = support::Json::array();
+    for (const support::Json &r : results_)
+        results.push(r);
+    run.set("results", std::move(results));
+
+    support::Json runs = support::Json::array();
+    runs.push(std::move(run));
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+support::Json
+sarifDocument(const Trace &trace, const std::vector<Finding> &findings,
+              std::uint64_t traceKey)
+{
+    SarifBuilder builder;
+    builder.addTrace(trace, traceKey, findings);
+    return builder.document();
+}
+
+} // namespace lfm::detect

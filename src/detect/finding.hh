@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unified finding model and machine-readable emitters.
+ *
+ * Every detector in lfm emits the same Finding record: which detector
+ * fired, the finding kind (a closed taxonomy mirroring the study's
+ * bug-pattern axes), the primary variable/lock, the witnessing events
+ * and the threads they belong to, plus a human-readable message. The
+ * category string is derived from the kind, so the legacy string
+ * model and the typed model can never drift apart.
+ *
+ * Two emitters turn findings into interchange documents:
+ *  - findingsJson: a compact lfm-native JSON document, one entry per
+ *    trace with its findings fully expanded;
+ *  - SARIF 2.1.0 (via SarifBuilder): the static-analysis interchange
+ *    format CI and IDE tooling consume — modeled on the centralized
+ *    BugReportMgr reporting edge of the lotus concurrency checker.
+ * Both are plain support::Json values, so callers write them with the
+ * same atomic writeJsonFile path every other report uses.
+ */
+
+#ifndef LFM_DETECT_FINDING_HH
+#define LFM_DETECT_FINDING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "trace/trace.hh"
+
+namespace lfm::detect
+{
+
+using trace::ObjectId;
+using trace::SeqNo;
+using trace::ThreadId;
+using trace::Trace;
+
+/** Closed taxonomy of finding kinds (the category axis). */
+enum class FindingKind : std::uint8_t
+{
+    DataRace,
+    AtomicityViolation,
+    MultiVarAtomicityViolation,
+    OrderViolation,
+    DeadlockCycle,
+    StuckWait,
+    Other,
+};
+
+/** Stable slug of a kind — exactly the legacy category strings
+ * ("data-race", "atomicity-violation", ...). */
+const char *findingKindName(FindingKind kind);
+
+/** Inverse of findingKindName; Other for unknown strings. */
+FindingKind findingKindFromCategory(const std::string &category);
+
+/** One report produced by a detector. */
+struct Finding
+{
+    /** Which detector produced it ("hb-race", "lockset", ...). */
+    std::string detector;
+
+    /** Finding category slug; always findingKindName(kind). */
+    std::string category;
+
+    /** Typed finding kind (the category string derives from it). */
+    FindingKind kind = FindingKind::Other;
+
+    /** The main variable/lock involved. */
+    ObjectId primaryObj = trace::kNoObject;
+
+    /** The witnessing events, in trace order. */
+    std::vector<SeqNo> events;
+
+    /** Threads of the witnessing events, in witness order (may be
+     * empty for resource-only findings such as lock cycles). */
+    std::vector<ThreadId> threads;
+
+    /** Human-readable explanation. */
+    std::string message;
+};
+
+/** A Finding with detector/kind/category pre-filled; the category
+ * string is derived from the kind so the two never disagree. */
+Finding makeFinding(const char *detector, FindingKind kind);
+
+/** One finding as a JSON object (detector, kind, ids, events,
+ * threads, message — everything the struct holds). */
+support::Json findingToJson(const Trace &trace, const Finding &f);
+
+/** All of one trace's findings as a JSON document:
+ * {"tool", "trace": {...}, "findings": [...]}. */
+support::Json findingsJson(const Trace &trace,
+                           const std::vector<Finding> &findings,
+                           std::uint64_t traceKey = 0);
+
+/**
+ * Accumulates findings across traces into one SARIF 2.1.0 document:
+ * one run, one rule per (detector, kind) pair actually seen, one
+ * result per finding. Results reference their trace by a
+ * "trace://<key>" artifact URI and carry the event/thread witness
+ * data in a property bag, so a SARIF viewer groups findings by trace
+ * while scripts keep full access to the schedule context.
+ */
+class SarifBuilder
+{
+  public:
+    explicit SarifBuilder(std::string toolName = "lfm-detect");
+
+    /** Append one trace's findings (key tags the artifact URI). */
+    void addTrace(const Trace &trace, std::uint64_t key,
+                  const std::vector<Finding> &findings);
+
+    /** Number of results accumulated so far. */
+    std::size_t results() const { return resultCount_; }
+
+    /** The finished SARIF 2.1.0 document. */
+    support::Json document() const;
+
+  private:
+    struct Rule
+    {
+        std::string id;
+        std::string detector;
+        FindingKind kind;
+    };
+
+    std::size_t ruleIndexFor(const Finding &f);
+
+    std::string toolName_;
+    std::vector<Rule> rules_;
+    std::vector<support::Json> results_;
+    std::size_t resultCount_ = 0;
+};
+
+/** One-trace convenience: the SARIF document for a single run. */
+support::Json sarifDocument(const Trace &trace,
+                            const std::vector<Finding> &findings,
+                            std::uint64_t traceKey = 0);
+
+} // namespace lfm::detect
+
+#endif // LFM_DETECT_FINDING_HH

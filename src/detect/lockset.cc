@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "detect/context.hh"
 
@@ -20,14 +20,41 @@ enum class VarState
     SharedModified,
 };
 
+/** Per-variable Eraser state; the candidate set is a sorted vector
+ * (locksets hold a handful of locks — flat beats node-based). */
 struct VarInfo
 {
     VarState state = VarState::Virgin;
     trace::ThreadId firstThread = trace::kNoThread;
-    std::set<ObjectId> candidates;
+    std::vector<ObjectId> candidates;
     bool candidatesInitialized = false;
     bool reported = false;
 };
+
+void
+sortedInsert(std::vector<ObjectId> &set, ObjectId id)
+{
+    auto it = std::lower_bound(set.begin(), set.end(), id);
+    if (it == set.end() || *it != id)
+        set.insert(it, id);
+}
+
+void
+sortedErase(std::vector<ObjectId> &set, ObjectId id)
+{
+    auto it = std::lower_bound(set.begin(), set.end(), id);
+    if (it != set.end() && *it == id)
+        set.erase(it);
+}
+
+std::vector<ObjectId> &
+slotFor(std::vector<std::vector<ObjectId>> &held, trace::ThreadId tid)
+{
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= held.size())
+        held.resize(i + 1);
+    return held[i];
+}
 
 } // namespace
 
@@ -38,31 +65,34 @@ LocksetDetector::fromContext(const AnalysisContext &ctx) const
     std::vector<Finding> findings;
 
     // Locks currently held by each thread (write side of rwlocks and
-    // plain mutexes; read side counts for checking reads).
-    std::map<trace::ThreadId, std::set<ObjectId>> held;
-    std::map<trace::ThreadId, std::set<ObjectId>> heldRead;
+    // plain mutexes; read side counts for checking reads), indexed by
+    // thread id; each lockset is a sorted vector.
+    std::vector<std::vector<ObjectId>> held;
+    std::vector<std::vector<ObjectId>> heldRead;
     std::map<ObjectId, VarInfo> vars;
+    std::vector<ObjectId> locks;  // scratch: effective lockset
+    std::vector<ObjectId> inter;  // scratch: refined candidates
 
     for (const auto &event : trace.events()) {
         switch (event.kind) {
           case trace::EventKind::Lock:
-            held[event.thread].insert(event.obj);
+            sortedInsert(slotFor(held, event.thread), event.obj);
             break;
           case trace::EventKind::Unlock:
-            held[event.thread].erase(event.obj);
+            sortedErase(slotFor(held, event.thread), event.obj);
             break;
           case trace::EventKind::RdLock:
-            heldRead[event.thread].insert(event.obj);
+            sortedInsert(slotFor(heldRead, event.thread), event.obj);
             break;
           case trace::EventKind::RdUnlock:
-            heldRead[event.thread].erase(event.obj);
+            sortedErase(slotFor(heldRead, event.thread), event.obj);
             break;
           case trace::EventKind::WaitBegin:
             // cond wait releases its mutex for the park duration.
-            held[event.thread].erase(event.obj2);
+            sortedErase(slotFor(held, event.thread), event.obj2);
             break;
           case trace::EventKind::WaitResume:
-            held[event.thread].insert(event.obj2);
+            sortedInsert(slotFor(held, event.thread), event.obj2);
             break;
           case trace::EventKind::Read:
           case trace::EventKind::Write: {
@@ -72,10 +102,14 @@ LocksetDetector::fromContext(const AnalysisContext &ctx) const
 
             // Effective lockset: write locks always count; read
             // locks additionally protect reads.
-            std::set<ObjectId> locks = held[event.thread];
-            if (!event.isWrite()) {
-                const auto &r = heldRead[event.thread];
-                locks.insert(r.begin(), r.end());
+            const auto &w = slotFor(held, event.thread);
+            locks.clear();
+            if (event.isWrite()) {
+                locks.assign(w.begin(), w.end());
+            } else {
+                const auto &r = slotFor(heldRead, event.thread);
+                std::set_union(w.begin(), w.end(), r.begin(),
+                               r.end(), std::back_inserter(locks));
             }
 
             // Candidate set: all locks at the first access, refined
@@ -84,12 +118,12 @@ LocksetDetector::fromContext(const AnalysisContext &ctx) const
                 vi.candidates = locks;
                 vi.candidatesInitialized = true;
             } else {
-                std::set<ObjectId> inter;
-                std::set_intersection(
-                    vi.candidates.begin(), vi.candidates.end(),
-                    locks.begin(), locks.end(),
-                    std::inserter(inter, inter.begin()));
-                vi.candidates = std::move(inter);
+                inter.clear();
+                std::set_intersection(vi.candidates.begin(),
+                                      vi.candidates.end(),
+                                      locks.begin(), locks.end(),
+                                      std::back_inserter(inter));
+                vi.candidates.swap(inter);
             }
 
             // State machine controls when an empty set is reported.
@@ -115,11 +149,11 @@ LocksetDetector::fromContext(const AnalysisContext &ctx) const
             if (vi.state == VarState::SharedModified &&
                 vi.candidatesInitialized && vi.candidates.empty()) {
                 vi.reported = true;
-                Finding f;
-                f.detector = name();
-                f.category = "data-race";
+                Finding f = makeFinding(name(),
+                                        FindingKind::DataRace);
                 f.primaryObj = event.obj;
                 f.events = {event.seq};
+                f.threads = {event.thread};
                 f.message = "empty lockset for shared-modified " +
                             trace.objectName(event.obj) + " at " +
                             trace.threadName(event.thread);

@@ -91,11 +91,12 @@ MultiVarDetector::fromContext(const AnalysisContext &ctx) const
                             continue;
                         if (c.obj != other)
                             break;
-                        Finding f;
-                        f.detector = name();
-                        f.category = "multivar-atomicity-violation";
+                        Finding f = makeFinding(
+                            name(),
+                            FindingKind::MultiVarAtomicityViolation);
                         f.primaryObj = x;
                         f.events = {a.seq, b.seq, c.seq};
+                        f.threads = {a.thread, b.thread};
                         f.message =
                             "correlated pair (" +
                             trace.objectName(x) + ", " +

@@ -45,11 +45,11 @@ OrderDetector::fromContext(const AnalysisContext &ctx) const
             Life &life = lives[event.obj];
             if (life.freed && !life.reportedUaf) {
                 life.reportedUaf = true;
-                Finding f;
-                f.detector = name();
-                f.category = "order-violation";
+                Finding f = makeFinding(
+                    name(), FindingKind::OrderViolation);
                 f.primaryObj = event.obj;
                 f.events = {life.freeSeq, event.seq};
+                f.threads = {event.thread};
                 f.message = "use-after-free: " +
                             trace.threadName(event.thread) +
                             " accesses " +
@@ -62,11 +62,11 @@ OrderDetector::fromContext(const AnalysisContext &ctx) const
             if (event.kind == trace::EventKind::Read &&
                 event.aux == 1 && !life.reportedUninit) {
                 life.reportedUninit = true;
-                Finding f;
-                f.detector = name();
-                f.category = "order-violation";
+                Finding f = makeFinding(
+                    name(), FindingKind::OrderViolation);
                 f.primaryObj = event.obj;
                 f.events = {event.seq};
+                f.threads = {event.thread};
                 f.message = "read-before-init: " +
                             trace.threadName(event.thread) +
                             " reads " + trace.objectName(event.obj) +
@@ -97,11 +97,10 @@ OrderDetector::fromContext(const AnalysisContext &ctx) const
         for (const auto &w : list) {
             if (w.resumed)
                 continue;
-            Finding f;
-            f.detector = name();
-            f.category = "stuck-wait";
+            Finding f = makeFinding(name(), FindingKind::StuckWait);
             f.primaryObj = w.cv;
             f.events = {w.seq};
+            f.threads = {tid};
             f.message = "missed notification: " +
                         trace.threadName(tid) + " waits on " +
                         trace.objectName(w.cv) +

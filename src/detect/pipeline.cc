@@ -51,11 +51,22 @@ Pipeline::run(const Trace &trace) const
         AnalysisContext ctx(trace, wantsHb());
         return run(ctx);
     }
-    return runInstrumented(trace);
+    return runInstrumented(trace, nullptr);
 }
 
 std::vector<Finding>
-Pipeline::runInstrumented(const Trace &trace) const
+Pipeline::run(const Trace &trace, ContextScratch &scratch) const
+{
+    if (!support::metrics::enabled() && !support::spans::enabled()) {
+        AnalysisContext ctx(trace, wantsHb(), &scratch);
+        return run(ctx);
+    }
+    return runInstrumented(trace, &scratch);
+}
+
+std::vector<Finding>
+Pipeline::runInstrumented(const Trace &trace,
+                          ContextScratch *scratch) const
 {
     support::spans::Scope span("pipeline.run", "detect");
     tracesCounter_->add();
@@ -63,7 +74,8 @@ Pipeline::runInstrumented(const Trace &trace) const
     std::unique_ptr<AnalysisContext> ctx;
     {
         auto timing = indexTimer_->time();
-        ctx = std::make_unique<AnalysisContext>(trace, wantsHb());
+        ctx = std::make_unique<AnalysisContext>(trace, wantsHb(),
+                                                scratch);
     }
 
     std::vector<Finding> findings;

@@ -47,6 +47,15 @@ class Pipeline
      */
     std::vector<Finding> run(const Trace &trace) const;
 
+    /**
+     * Like run(trace), but with all context/HB allocations borrowed
+     * from (and returned to) the caller's scratch pool. Batch loops
+     * keep one scratch per worker and pass it here for every trace;
+     * findings are identical to the scratch-free path.
+     */
+    std::vector<Finding> run(const Trace &trace,
+                             ContextScratch &scratch) const;
+
     /** Run every detector over an existing shared context (the
      * uninstrumented core; findings identical to run(trace)). */
     std::vector<Finding> run(const AnalysisContext &ctx) const;
@@ -68,7 +77,9 @@ class Pipeline
     };
 
     void initInstrumentation();
-    std::vector<Finding> runInstrumented(const Trace &trace) const;
+    std::vector<Finding>
+    runInstrumented(const Trace &trace,
+                    ContextScratch *scratch) const;
 
     std::vector<std::unique_ptr<Detector>> detectors_;
     support::metrics::Counter *tracesCounter_ = nullptr;

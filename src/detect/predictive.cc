@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "detect/atomicity.hh"
 #include "detect/context.hh"
@@ -20,9 +20,10 @@ namespace
  * for O(log n) first-access-of-kind range queries. */
 struct ThreadAccesses
 {
+    trace::ThreadId tid = trace::kNoThread;
     std::vector<SeqNo> seqs;
     /** writesBefore[i] = number of writes among seqs[0..i). */
-    std::vector<std::size_t> writesBefore{0};
+    std::vector<std::size_t> writesBefore;
 };
 
 constexpr std::size_t kNone = ~std::size_t{0};
@@ -55,6 +56,10 @@ firstOfKind(const ThreadAccesses &ta, std::size_t lo, std::size_t hi,
     return a - 1;
 }
 
+/** (local thread, remote thread, pattern) dedup key. */
+using ReportKey = std::tuple<trace::ThreadId, trace::ThreadId,
+                             std::uint8_t>;
+
 } // namespace
 
 std::vector<Finding>
@@ -67,36 +72,61 @@ PredictiveAtomicityDetector::fromContext(
         return findings;
 
     const trace::HbRelation &hb = ctx.hb();
+    const auto &variables = ctx.variables();
 
-    for (ObjectId var : ctx.variables()) {
-        const auto &accesses = ctx.accessesTo(var);
+    // Per-variable sweep state, reused across variables. byThread is
+    // kept tid-sorted (flat vector, handful of threads), so the
+    // remote-thread loop below walks ascending tids exactly like the
+    // ordered map it replaced — finding order is unchanged.
+    std::vector<ThreadAccesses> byThread;
+    std::vector<SeqNo> nextLocal;
+    std::vector<bool> hasNext;
+    std::vector<ReportKey> reported;
+
+    for (std::size_t varIdx = 0; varIdx < variables.size();
+         ++varIdx) {
+        const ObjectId var = variables[varIdx];
+        const SeqSpan accesses = ctx.accessesAt(varIdx);
         const std::size_t n = accesses.size();
 
         // Split the merged access list per thread and link each
         // access to its same-thread successor (the region partner).
-        std::map<trace::ThreadId, ThreadAccesses> byThread;
-        std::vector<SeqNo> nextLocal(n, trace::SeqNo(0));
-        std::vector<bool> hasNext(n, false);
+        byThread.clear();
+        nextLocal.assign(n, trace::SeqNo(0));
+        hasNext.assign(n, false);
         {
-            std::map<trace::ThreadId, std::size_t> lastIdx;
+            std::vector<std::pair<trace::ThreadId, std::size_t>>
+                lastIdx;
             for (std::size_t i = 0; i < n; ++i) {
                 const auto &e = trace.ev(accesses[i]);
-                ThreadAccesses &ta = byThread[e.thread];
-                ta.seqs.push_back(e.seq);
-                ta.writesBefore.push_back(
-                    ta.writesBefore.back() + (e.isWrite() ? 1 : 0));
-                auto it = lastIdx.find(e.thread);
+                auto pos = std::lower_bound(
+                    byThread.begin(), byThread.end(), e.thread,
+                    [](const ThreadAccesses &ta,
+                       trace::ThreadId tid) { return ta.tid < tid; });
+                if (pos == byThread.end() || pos->tid != e.thread) {
+                    pos = byThread.insert(pos, ThreadAccesses{});
+                    pos->tid = e.thread;
+                    pos->writesBefore.push_back(0);
+                }
+                pos->seqs.push_back(e.seq);
+                pos->writesBefore.push_back(
+                    pos->writesBefore.back() +
+                    (e.isWrite() ? 1 : 0));
+                auto it = std::find_if(
+                    lastIdx.begin(), lastIdx.end(), [&e](auto &p) {
+                        return p.first == e.thread;
+                    });
                 if (it != lastIdx.end()) {
                     nextLocal[it->second] = e.seq;
                     hasNext[it->second] = true;
                     it->second = i;
                 } else {
-                    lastIdx.emplace(e.thread, i);
+                    lastIdx.emplace_back(e.thread, i);
                 }
             }
         }
 
-        std::set<std::string> reported;
+        reported.clear();
 
         for (std::size_t i = 0; i < n; ++i) {
             if (!hasNext[i])
@@ -112,10 +142,9 @@ PredictiveAtomicityDetector::fromContext(
             // is unserializable: W unless the region is write-write,
             // where only a torn remote read (WRW) qualifies.
             const bool wantWrite = !(p.isWrite() && c.isWrite());
-            std::string pattern;
-            pattern += p.isWrite() ? 'W' : 'R';
-            pattern += wantWrite ? 'W' : 'R';
-            pattern += c.isWrite() ? 'W' : 'R';
+            const auto patternBits = static_cast<std::uint8_t>(
+                (p.isWrite() ? 4u : 0u) | (wantWrite ? 2u : 0u) |
+                (c.isWrite() ? 1u : 0u));
 
             // Epoch thresholds of the region endpoints.
             const std::uint64_t pOwn = hb.ownEpochOf(p.seq);
@@ -123,16 +152,17 @@ PredictiveAtomicityDetector::fromContext(
             struct Hit
             {
                 SeqNo rSeq;
-                std::string key;
+                ReportKey key;
             };
             std::vector<Hit> hits;
 
-            for (const auto &[u, ta] : byThread) {
+            for (const ThreadAccesses &ta : byThread) {
+                const trace::ThreadId u = ta.tid;
                 if (u == p.thread)
                     continue;
-                std::string key = std::to_string(p.thread) + ":" +
-                                  std::to_string(u) + ":" + pattern;
-                if (reported.count(key))
+                const ReportKey key{p.thread, u, patternBits};
+                if (std::find(reported.begin(), reported.end(),
+                              key) != reported.end())
                     continue;
 
                 const std::size_t m = ta.seqs.size();
@@ -171,7 +201,7 @@ PredictiveAtomicityDetector::fromContext(
                     firstOfKind(ta, lo, hi, wantWrite);
                 if (idx == kNone)
                     continue;
-                hits.push_back({ta.seqs[idx], std::move(key)});
+                hits.push_back({ta.seqs[idx], key});
             }
 
             // Report in witness order, matching a global seq scan.
@@ -180,13 +210,17 @@ PredictiveAtomicityDetector::fromContext(
                           return a.rSeq < b.rSeq;
                       });
             for (auto &hit : hits) {
-                reported.insert(hit.key);
+                reported.push_back(hit.key);
                 const auto &r = trace.ev(hit.rSeq);
-                Finding f;
-                f.detector = name();
-                f.category = "atomicity-violation";
+                std::string pattern;
+                pattern += p.isWrite() ? 'W' : 'R';
+                pattern += wantWrite ? 'W' : 'R';
+                pattern += c.isWrite() ? 'W' : 'R';
+                Finding f = makeFinding(
+                    name(), FindingKind::AtomicityViolation);
                 f.primaryObj = var;
                 f.events = {p.seq, r.seq, c.seq};
+                f.threads = {p.thread, r.thread};
                 f.message = "predicted unserializable " + pattern +
                             " on " + trace.objectName(var) + ": " +
                             trace.threadName(r.thread) +

@@ -1,7 +1,6 @@
 #include "detect/race_hb.hh"
 
 #include <algorithm>
-#include <map>
 #include <optional>
 #include <set>
 #include <utility>
@@ -19,17 +18,27 @@ Finding
 raceFinding(const Trace &trace, const char *detector, ObjectId var,
             const trace::Event &a, const trace::Event &b)
 {
-    Finding f;
-    f.detector = detector;
-    f.category = "data-race";
+    Finding f = makeFinding(detector, FindingKind::DataRace);
     f.primaryObj = var;
     f.events = {a.seq, b.seq};
+    f.threads = {a.thread, b.thread};
     f.message = "data race on " + trace.objectName(var) + ": " +
                 trace.threadName(a.thread) +
                 (a.isWrite() ? " writes" : " reads") +
                 " concurrently with " + trace.threadName(b.thread) +
                 (b.isWrite() ? " write" : " read");
     return f;
+}
+
+/** Unordered thread pair packed into one comparable word. */
+std::uint64_t
+pairKey(trace::ThreadId a, trace::ThreadId b)
+{
+    const auto [lo, hi] = std::minmax(a, b);
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(lo))
+            << 32) |
+           static_cast<std::uint32_t>(hi);
 }
 
 } // namespace
@@ -49,24 +58,35 @@ HbRaceDetector::epochPass(const AnalysisContext &ctx) const
         return findings;
 
     const trace::HbRelation &hb = ctx.hb();
+    const auto &variables = ctx.variables();
 
-    for (ObjectId var : ctx.variables()) {
-        // Last read/write of this variable per thread, so far.
-        struct Last
-        {
-            std::optional<SeqNo> read;
-            std::optional<SeqNo> write;
-        };
-        std::map<trace::ThreadId, Last> last;
-        std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
+    // Per-variable sweep state, reused across variables. `last` is a
+    // tid-sorted flat vector (traces have a handful of threads), so
+    // iterating it matches the ascending-tid order the ordered map
+    // it replaced produced — finding order is unchanged.
+    struct Last
+    {
+        trace::ThreadId tid = trace::kNoThread;
+        std::optional<SeqNo> read;
+        std::optional<SeqNo> write;
+    };
+    std::vector<Last> last;
+    std::vector<std::uint64_t> reported;
 
-        for (SeqNo bSeq : ctx.accessesTo(var)) {
+    for (std::size_t vi = 0; vi < variables.size(); ++vi) {
+        const ObjectId var = variables[vi];
+        last.clear();
+        reported.clear();
+
+        for (SeqNo bSeq : ctx.accessesAt(vi)) {
             const auto &b = trace.ev(bSeq);
-            for (const auto &[tid, prior] : last) {
-                if (tid == b.thread)
+            for (const Last &prior : last) {
+                if (prior.tid == b.thread)
                     continue;
-                auto key = std::minmax(tid, b.thread);
-                if (reported.count({key.first, key.second}))
+                const std::uint64_t key =
+                    pairKey(prior.tid, b.thread);
+                if (std::find(reported.begin(), reported.end(),
+                              key) != reported.end())
                     continue;
                 // A conflicting candidate: the prior write always,
                 // the prior read only against a write. The prior
@@ -81,12 +101,18 @@ HbRaceDetector::epochPass(const AnalysisContext &ctx) const
                     witness = *prior.read;
                 if (!witness)
                     continue;
-                reported.insert({key.first, key.second});
+                reported.push_back(key);
                 findings.push_back(raceFinding(
                     trace, name(), var, trace.ev(*witness), b));
             }
-            Last &mine = last[b.thread];
-            (b.isWrite() ? mine.write : mine.read) = bSeq;
+            auto it = std::lower_bound(
+                last.begin(), last.end(), b.thread,
+                [](const Last &l, trace::ThreadId tid) {
+                    return l.tid < tid;
+                });
+            if (it == last.end() || it->tid != b.thread)
+                it = last.insert(it, Last{b.thread, {}, {}});
+            (b.isWrite() ? it->write : it->read) = bSeq;
         }
     }
     return findings;
@@ -103,7 +129,7 @@ HbRaceDetector::pairwiseReference(const AnalysisContext &ctx) const
     const trace::HbRelation &hb = ctx.hb();
 
     for (ObjectId var : ctx.variables()) {
-        const auto &accesses = ctx.accessesTo(var);
+        const SeqSpan accesses = ctx.accessesTo(var);
         std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
         for (std::size_t i = 0; i < accesses.size(); ++i) {
             for (std::size_t j = i + 1; j < accesses.size(); ++j) {

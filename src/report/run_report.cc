@@ -78,6 +78,15 @@ RunReport::addStage(const std::string &name, double wallSeconds,
 }
 
 void
+RunReport::setFindingsOutputs(const std::string &jsonPath,
+                              const std::string &sarifPath)
+{
+    findingsJsonPath_ = jsonPath;
+    findingsSarifPath_ = sarifPath;
+    hasFindingsOutputs_ = true;
+}
+
+void
 RunReport::recordPoolStats(const support::WorkStealingPool::Stats &s)
 {
     pool_.executed += s.executed;
@@ -219,6 +228,15 @@ RunReport::toJson() const
         stages.push(std::move(row));
     }
     doc.set("stages", std::move(stages));
+
+    if (hasFindingsOutputs_) {
+        support::Json outputs;
+        if (!findingsJsonPath_.empty())
+            outputs.set("json", findingsJsonPath_);
+        if (!findingsSarifPath_.empty())
+            outputs.set("sarif", findingsSarifPath_);
+        doc.set("findings_outputs", std::move(outputs));
+    }
 
     if (hasPoolStats_) {
         support::Json pool;

@@ -58,6 +58,16 @@ class RunReport
     void addStage(const std::string &name, double wallSeconds,
                   double cpuSeconds);
 
+    /**
+     * Record where the campaign wrote its machine-readable findings
+     * (the lfm-native JSON document and/or the SARIF 2.1.0 one).
+     * Emitted as a "findings_outputs" object so downstream tooling
+     * can discover the interchange files from the run report alone;
+     * pass an empty string for a format the campaign did not write.
+     */
+    void setFindingsOutputs(const std::string &jsonPath,
+                            const std::string &sarifPath);
+
     /** Fold one pool run's steal/idle statistics into the report
      * (multiple runs accumulate). */
     void recordPoolStats(const support::WorkStealingPool::Stats &s);
@@ -161,6 +171,10 @@ class RunReport
     std::vector<StageRecord> stages_;
     support::WorkStealingPool::Stats pool_;
     bool hasPoolStats_ = false;
+
+    std::string findingsJsonPath_;
+    std::string findingsSarifPath_;
+    bool hasFindingsOutputs_ = false;
 
     support::RunOutcome outcome_ = support::RunOutcome::Completed;
     std::size_t quarantined_ = 0;

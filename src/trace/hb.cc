@@ -7,19 +7,55 @@
 namespace lfm::trace
 {
 
-HbBuilder::HbBuilder(const Trace &trace) : trace_(trace)
+HbBuilder::HbBuilder(const Trace &trace, HbScratch *scratch)
+    : trace_(trace), scratch_(scratch)
 {
+    if (scratch_ != nullptr) {
+        rel_.ev_ = std::move(scratch_->ev_);
+        rel_.ev_.clear();
+        rel_.pool_ = std::move(scratch_->pool_);
+        threads_ = std::move(scratch_->threads_);
+        // Zero-filled clocks are semantically fresh (get() is 0
+        // beyond size), so recycled thread states reset in place and
+        // keep their component allocations warm.
+        for (ThreadState &ts : threads_) {
+            ts.c.resetZero();
+            ts.base = 0;
+        }
+    }
     rel_.ev_.resize(trace.size());
 
     // pool_[0] is the zero clock: the base of every thread that has
-    // not yet been the target of a synchronization edge.
-    rel_.pool_.reserve(64);
-    rel_.pool_.emplace_back();
+    // not yet been the target of a synchronization edge. Recycled
+    // pool entries are overwritten in place (pushPool), so a scratch
+    // build reuses both the pool vector and the per-entry component
+    // storage of earlier traces.
+    if (rel_.pool_.empty()) {
+        rel_.pool_.reserve(64);
+        rel_.pool_.emplace_back();
+    } else {
+        rel_.pool_[0].resetZero();
+    }
+    poolUsed_ = 1;
 
     threads_.reserve(trace.threadNames().size() + 1);
 }
 
-HbBuilder::~HbBuilder() = default;
+HbBuilder::~HbBuilder()
+{
+    if (scratch_ != nullptr)
+        scratch_->threads_ = std::move(threads_);
+}
+
+std::uint32_t
+HbBuilder::pushPool(const VectorClock &c)
+{
+    if (poolUsed_ < rel_.pool_.size())
+        rel_.pool_[poolUsed_] = c;
+    else
+        rel_.pool_.push_back(c);
+    return static_cast<std::uint32_t>(poolUsed_++);
+}
 
 HbBuilder::ThreadState &
 HbBuilder::stateFor(ThreadId tid)
@@ -131,10 +167,8 @@ HbBuilder::feed(const Event &event)
     // Only a join that actually advanced the clock needs a fresh pool
     // snapshot; otherwise the previous base is still exact for every
     // component but our own (which ev_[i].own carries).
-    if (joined) {
-        rel_.pool_.push_back(c);
-        ts.base = static_cast<std::uint32_t>(rel_.pool_.size() - 1);
-    }
+    if (joined)
+        ts.base = pushPool(c);
     rel_.ev_[i] = {event.thread, ts.base, c.get(event.thread)};
 
     // Release-side bookkeeping happens after the event's clock is
@@ -161,6 +195,15 @@ HbBuilder::finish() &&
     LFM_ASSERT(fed_ == trace_.size(),
                "finish() before every event was fed");
     return std::move(rel_);
+}
+
+void
+HbRelation::reclaimInto(HbScratch &scratch)
+{
+    scratch.ev_ = std::move(ev_);
+    scratch.pool_ = std::move(pool_);
+    ev_.clear();
+    pool_.clear();
 }
 
 HbRelation::HbRelation(const Trace &trace)

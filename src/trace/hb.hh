@@ -44,6 +44,8 @@
 namespace lfm::trace
 {
 
+class HbScratch;
+
 /**
  * The computed happens-before relation; query by event sequence number.
  */
@@ -52,6 +54,14 @@ class HbRelation
   public:
     /** Build the relation for the given trace (one internal pass). */
     explicit HbRelation(const Trace &trace);
+
+    /**
+     * Return the relation's storage (the per-event epoch array and
+     * the base-clock pool) to a scratch pool so the next build on the
+     * same scratch reuses the allocations. The relation is empty
+     * afterwards; call only when done querying.
+     */
+    void reclaimInto(HbScratch &scratch);
 
     /** True iff event a happens-before event b (irreflexive). */
     bool happensBefore(SeqNo a, SeqNo b) const;
@@ -90,6 +100,7 @@ class HbRelation
 
   private:
     friend class HbBuilder;
+    friend class HbScratch;
 
     HbRelation() = default;
 
@@ -115,7 +126,17 @@ class HbRelation
 class HbBuilder
 {
   public:
-    explicit HbBuilder(const Trace &trace);
+    /**
+     * @param scratch optional allocation pool: the builder borrows
+     *        the event-epoch array, base-clock pool and per-thread
+     *        clock states from it (capacities retained across
+     *        traces) and the destructor returns the thread states;
+     *        the finished relation's storage goes back via
+     *        HbRelation::reclaimInto. One live builder/relation per
+     *        scratch at a time.
+     */
+    explicit HbBuilder(const Trace &trace,
+                       HbScratch *scratch = nullptr);
     ~HbBuilder();
 
     /** Process the next event; must be trace.ev(i) for i = number of
@@ -142,11 +163,44 @@ class HbBuilder
     ThreadState &stateFor(ThreadId tid);
     bool joinEvent(VectorClock &c, SeqNo seq) const;
 
+    /** Append a pool snapshot, overwriting a recycled slot in place
+     * when the scratch pool still has one (keeps the entry's
+     * component allocation). Returns the slot index. */
+    std::uint32_t pushPool(const VectorClock &c);
+
+    friend class HbScratch;
+
     const Trace &trace_;
     HbRelation rel_;
+    HbScratch *scratch_ = nullptr;
     std::vector<ThreadState> threads_;
     std::map<ObjectId, LockClocks> lockClock_;
+    std::size_t poolUsed_ = 0;
     std::size_t fed_ = 0;
+};
+
+/**
+ * Reusable happens-before allocations: the per-event epoch array
+ * (trace-length — the dominant HB allocation), the base-clock pool,
+ * and the per-thread clock states. A batch worker keeps one scratch
+ * and threads it through every HbBuilder of its traces; capacities
+ * then stay warm across the whole batch instead of being rebuilt
+ * per trace.
+ */
+class HbScratch
+{
+  public:
+    HbScratch() = default;
+    HbScratch(const HbScratch &) = delete;
+    HbScratch &operator=(const HbScratch &) = delete;
+
+  private:
+    friend class HbBuilder;
+    friend class HbRelation;
+
+    std::vector<HbRelation::EventClock> ev_;
+    std::vector<VectorClock> pool_;
+    std::vector<HbBuilder::ThreadState> threads_;
 };
 
 } // namespace lfm::trace

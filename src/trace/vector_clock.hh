@@ -9,6 +9,7 @@
 #ifndef LFM_TRACE_VECTOR_CLOCK_HH
 #define LFM_TRACE_VECTOR_CLOCK_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,6 +42,15 @@ class VectorClock
 
     /** Pre-size the component vector (avoids growth reallocations). */
     void reserve(std::size_t threads) { c_.reserve(threads); }
+
+    /** Zero every component in place, keeping the allocation. A
+     * zero-filled clock is semantically identical to a fresh one
+     * (get() returns 0 beyond size), so pooled clocks reset this way
+     * instead of reallocating. */
+    void resetZero()
+    {
+        std::fill(c_.begin(), c_.end(), 0);
+    }
 
     /**
      * Pointwise maximum with another clock.

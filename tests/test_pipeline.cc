@@ -24,6 +24,7 @@
 #include "explore/parallel.hh"
 #include "explore/randprog.hh"
 #include "explore/runner.hh"
+#include "sim/faults.hh"
 #include "sim/policy.hh"
 
 namespace
@@ -160,6 +161,84 @@ TEST(Pipeline, EpochPassAgreesWithPairwiseEnumeration)
     }
 }
 
+TEST(Context, SoaBuildMatchesReferenceBuild)
+{
+    // The arena/SoA sweep against the retained ordered-map build:
+    // identical index contents (variables, per-variable access lists,
+    // lock ops, release boundaries) and identical findings.
+    detect::Pipeline pipeline;
+    std::size_t index = 0;
+    for (const auto &trace : corpus()) {
+        detect::AnalysisContext soa(trace, pipeline.wantsHb());
+        detect::AnalysisContext ref(
+            trace, pipeline.wantsHb(), nullptr,
+            detect::AnalysisContext::BuildMode::Reference);
+        const std::string what = "trace " + std::to_string(index);
+
+        ASSERT_EQ(soa.variables(), ref.variables()) << what;
+        for (std::size_t vi = 0; vi < soa.variables().size(); ++vi) {
+            const auto a = soa.accessesAt(vi);
+            const auto b = ref.accessesAt(vi);
+            ASSERT_EQ(a.size(), b.size()) << what << " var " << vi;
+            EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+                << what << " var " << vi;
+        }
+        EXPECT_EQ(soa.lockOps(), ref.lockOps()) << what;
+        for (const auto &event : trace.events()) {
+            EXPECT_EQ(soa.releaseBetween(event.thread, event.seq,
+                                         event.seq + 8),
+                      ref.releaseBetween(event.thread, event.seq,
+                                         event.seq + 8))
+                << what << " seq " << event.seq;
+        }
+
+        expectSameFindings(pipeline.run(soa), pipeline.run(ref),
+                           what + " soa vs reference");
+        ++index;
+    }
+}
+
+TEST(Context, ScratchReuseMatchesFreshContexts)
+{
+    // One scratch across the whole corpus, twice: the second pass
+    // runs entirely on recycled allocations and must still be
+    // finding-identical to fresh per-trace contexts.
+    detect::Pipeline pipeline;
+    detect::ContextScratch scratch;
+    const auto traces = corpus();
+    for (int pass = 0; pass < 2; ++pass) {
+        std::size_t index = 0;
+        for (const auto &trace : traces) {
+            expectSameFindings(pipeline.run(trace, scratch),
+                               pipeline.run(trace),
+                               "pass " + std::to_string(pass) +
+                                   " trace " + std::to_string(index));
+            ++index;
+        }
+    }
+}
+
+TEST(Context, LazyHbOnScratchMatchesPrecomputed)
+{
+    detect::ContextScratch scratch;
+    for (const auto &trace : corpus()) {
+        if (trace.empty())
+            continue;
+        detect::AnalysisContext eager(trace, true);
+        detect::AnalysisContext lazy(trace, false, &scratch);
+        const auto &events = trace.events();
+        for (std::size_t i = 0; i < events.size(); i += 5) {
+            for (std::size_t j = i + 1; j < events.size(); j += 7) {
+                EXPECT_EQ(eager.hb().concurrent(events[i].seq,
+                                                events[j].seq),
+                          lazy.hb().concurrent(events[i].seq,
+                                               events[j].seq))
+                    << events[i].seq << " vs " << events[j].seq;
+            }
+        }
+    }
+}
+
 TEST(Batch, ReportsAreWorkerCountInvariant)
 {
     detect::Pipeline pipeline;
@@ -185,6 +264,58 @@ TEST(Batch, ReportsAreWorkerCountInvariant)
                                reference[i].findings,
                                std::to_string(workers) + " workers, " +
                                    "trace " + std::to_string(i));
+        }
+    }
+}
+
+TEST(Batch, WorkerCountsMatchReferencePathUnderFaultInjection)
+{
+    // The batch path (SoA contexts on per-worker scratches) against
+    // the retained reference build, at every worker count, over a
+    // plain kernel corpus and over one produced under deterministic
+    // fault injection (spurious wakes, tryLock failures, scheduler
+    // perturbation) — hostile schedules make hostile traces.
+    detect::Pipeline pipeline;
+    for (const bool faulted : {false, true}) {
+        std::vector<Trace> traces;
+        const auto plan = sim::FaultPlan::fromSeed(11);
+        for (const auto *kernel : bugs::allKernels()) {
+            sim::RandomPolicy inner;
+            sim::FaultInjectingPolicy policy(plan, inner);
+            sim::ExecOptions opt;
+            opt.seed = 2;
+            opt.maxDecisions = 20000;
+            if (faulted)
+                opt.faults = &plan;
+            traces.push_back(
+                sim::runProgram(
+                    kernel->factory(bugs::Variant::Buggy),
+                    faulted ? static_cast<sim::SchedulePolicy &>(policy)
+                            : static_cast<sim::SchedulePolicy &>(inner),
+                    opt)
+                    .trace);
+        }
+
+        std::vector<std::vector<detect::Finding>> reference;
+        for (const auto &trace : traces) {
+            detect::AnalysisContext ref(
+                trace, pipeline.wantsHb(), nullptr,
+                detect::AnalysisContext::BuildMode::Reference);
+            reference.push_back(pipeline.run(ref));
+        }
+
+        for (unsigned workers : {1u, 2u, 4u}) {
+            const auto reports =
+                detect::BatchRunner(workers).run(pipeline, traces);
+            ASSERT_EQ(reports.size(), traces.size());
+            for (std::size_t i = 0; i < reports.size(); ++i) {
+                EXPECT_EQ(reports[i].key, i);
+                expectSameFindings(
+                    reports[i].findings, reference[i],
+                    std::string(faulted ? "faulted" : "plain") + " @" +
+                        std::to_string(workers) + " workers, trace " +
+                        std::to_string(i));
+            }
         }
     }
 }

@@ -1,16 +1,23 @@
 /**
  * @file
  * Report-module tests: table rendering in all three formats, cell
- * helpers, and the paper-vs-reproduced comparison blocks.
+ * helpers, the paper-vs-reproduced comparison blocks, and the
+ * machine-readable finding emitters (lfm-native JSON and SARIF
+ * 2.1.0 schema shape).
  */
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "detect/finding.hh"
+#include "detect/pipeline.hh"
 #include "report/compare.hh"
 #include "report/table.hh"
 #include "study/analysis.hh"
 #include "study/database.hh"
 #include "study/findings.hh"
+#include "trace/trace.hh"
 
 namespace
 {
@@ -137,6 +144,148 @@ TEST(Compare, AllHeadlineFindingsRender)
     EXPECT_EQ(text.find("[!!]"), std::string::npos)
         << "some finding does not reproduce:\n"
         << text;
+}
+
+// ----------------------------------------------------------------
+// Finding emitters (lfm-native JSON + SARIF 2.1.0)
+// ----------------------------------------------------------------
+
+/** Two threads write one variable with no synchronization: every
+ * race-family detector fires, giving the emitters real input. */
+trace::Trace
+racyTrace()
+{
+    trace::Trace t;
+    for (int i = 0; i < 2; ++i) {
+        trace::Event e;
+        e.thread = i;
+        e.kind = trace::EventKind::ThreadBegin;
+        t.append(e);
+    }
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < 2; ++i) {
+            trace::Event e;
+            e.thread = i;
+            e.kind = trace::EventKind::Write;
+            e.obj = 1;
+            t.append(e);
+        }
+    }
+    return t;
+}
+
+TEST(Findings, KindAndCategoryRoundTrip)
+{
+    using detect::FindingKind;
+    for (auto kind :
+         {FindingKind::DataRace, FindingKind::AtomicityViolation,
+          FindingKind::MultiVarAtomicityViolation,
+          FindingKind::OrderViolation, FindingKind::DeadlockCycle,
+          FindingKind::StuckWait, FindingKind::Other}) {
+        EXPECT_EQ(detect::findingKindFromCategory(
+                      detect::findingKindName(kind)),
+                  kind);
+    }
+    const auto f =
+        detect::makeFinding("hb-race", FindingKind::DataRace);
+    EXPECT_EQ(f.detector, "hb-race");
+    EXPECT_EQ(f.category, "data-race");
+    EXPECT_EQ(f.category, detect::findingKindName(f.kind));
+}
+
+TEST(Findings, JsonDocumentCarriesTheWholeStruct)
+{
+    const auto trace = racyTrace();
+    detect::Pipeline pipeline;
+    const auto findings = pipeline.run(trace);
+    ASSERT_FALSE(findings.empty());
+
+    const std::string text =
+        detect::findingsJson(trace, findings, 7).str();
+    for (const char *key :
+         {"\"tool\"", "\"trace\"", "\"key\": 7", "\"findings\"",
+          "\"detector\"", "\"kind\"", "\"category\"",
+          "\"primary_obj\"", "\"events\"", "\"threads\"",
+          "\"message\""})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    // The typed kind and the category string must both be present
+    // and agree (the category derives from the kind).
+    EXPECT_NE(text.find("\"category\": \"data-race\""),
+              std::string::npos);
+}
+
+TEST(Sarif, DocumentHasRequiredTopLevelShape)
+{
+    const auto trace = racyTrace();
+    detect::Pipeline pipeline;
+    const auto findings = pipeline.run(trace);
+    ASSERT_FALSE(findings.empty());
+
+    const std::string text =
+        detect::sarifDocument(trace, findings).str();
+    for (const char *key :
+         {"\"$schema\"", "\"version\": \"2.1.0\"", "\"runs\"",
+          "\"tool\"", "\"driver\"", "\"rules\"", "\"results\"",
+          "\"ruleId\"", "\"ruleIndex\"", "\"level\"", "\"message\"",
+          "\"locations\"", "\"artifactLocation\"",
+          "\"logicalLocations\"", "\"properties\"", "\"trace://0\""})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+}
+
+TEST(Sarif, RulesAreDedupedAcrossTraces)
+{
+    const auto trace = racyTrace();
+    detect::Pipeline pipeline;
+    const auto findings = pipeline.run(trace);
+    ASSERT_FALSE(findings.empty());
+
+    detect::SarifBuilder builder("lfm-test");
+    builder.addTrace(trace, 0, findings);
+    builder.addTrace(trace, 1, findings);
+    EXPECT_EQ(builder.results(), findings.size() * 2);
+
+    // Same findings twice: every rule id must appear exactly once in
+    // the driver's rule table (results reference rules by index).
+    const std::string text = builder.document().str();
+    const std::string ruleId = "\"id\": \"" + findings[0].detector +
+                               "/" + findings[0].category + "\"";
+    const auto first = text.find(ruleId);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find(ruleId, first + 1), std::string::npos);
+    // Both traces' artifacts are referenced.
+    EXPECT_NE(text.find("\"trace://0\""), std::string::npos);
+    EXPECT_NE(text.find("\"trace://1\""), std::string::npos);
+}
+
+TEST(Sarif, PredictiveFindingsAreWarningsOthersErrors)
+{
+    const auto trace = racyTrace();
+
+    auto predictive = detect::makeFinding(
+        "predictive-atom", detect::FindingKind::AtomicityViolation);
+    predictive.primaryObj = 1;
+    predictive.events = {2, 3, 4};
+    predictive.threads = {0, 1};
+    predictive.message = "predicted";
+
+    auto race =
+        detect::makeFinding("hb-race", detect::FindingKind::DataRace);
+    race.primaryObj = 1;
+    race.events = {2, 3};
+    race.threads = {0, 1};
+    race.message = "raced";
+
+    const std::string predText =
+        detect::sarifDocument(trace, {predictive}).str();
+    EXPECT_NE(predText.find("\"level\": \"warning\""),
+              std::string::npos);
+    EXPECT_EQ(predText.find("\"level\": \"error\""),
+              std::string::npos);
+
+    const std::string raceText =
+        detect::sarifDocument(trace, {race}).str();
+    EXPECT_NE(raceText.find("\"level\": \"error\""),
+              std::string::npos);
 }
 
 } // namespace

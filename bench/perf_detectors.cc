@@ -54,7 +54,9 @@
 #include "detect/predictive.hh"
 #include "detect/race_hb.hh"
 #include "support/random.hh"
+#include "trace/corpus.hh"
 #include "trace/hb.hh"
+#include "trace/serialize.hh"
 #include "trace/trace.hh"
 
 namespace
@@ -804,6 +806,193 @@ main(int argc, char **argv)
     }
     std::cout << "\n";
 
+    // --- Corpus ingest: the LFMT zero-copy path against the v1 text
+    //     parser and the binary full-decode, over the batch corpus
+    //     packed into one LFMC file. Equivalence first, as always:
+    //     every load path must yield byte-identical serialized traces
+    //     and byte-identical pipeline findings (as findingsJson
+    //     documents) before any rate is believed. The timed bodies
+    //     fold a checksum over every event so the mapped columns are
+    //     actually read, and each rep re-opens the corpus — the mmap
+    //     + CRC-validate cost is part of the story being measured.
+    std::vector<std::string> corpusTexts;
+    corpusTexts.reserve(corpus.size());
+    std::size_t textBytes = 0;
+    trace::CorpusWriter corpusWriter;
+    for (const Trace &t : corpus) {
+        corpusTexts.push_back(trace::traceToString(t));
+        textBytes += corpusTexts.back().size();
+        corpusWriter.add(t);
+    }
+    const std::string corpusPath = "CORPUS_detect.lfmc";
+    std::string corpusError;
+    bool corpusOk = corpusWriter.writeTo(corpusPath, &corpusError);
+    if (!corpusOk)
+        std::cout << "corpus write FAILED: " << corpusError << "\n";
+
+    // FNV-1a over every event field: forces each load path to touch
+    // all the data it claims to have loaded.
+    auto foldEvents = [](trace::TraceSource src) {
+        std::uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](std::uint64_t v) {
+            h = (h ^ v) * 1099511628211ull;
+        };
+        for (const trace::EventRef e : src.events()) {
+            mix(e.obj);
+            mix(e.obj2);
+            mix(e.aux);
+            mix(static_cast<std::uint32_t>(e.thread));
+            mix(static_cast<std::uint64_t>(e.kind));
+        }
+        return h;
+    };
+
+    bool corpusRoundtripIdentical = corpusOk;
+    bool corpusFindingsIdentical = corpusOk;
+    std::size_t corpusBytes = 0;
+    if (corpusOk) {
+        auto reader =
+            trace::CorpusReader::open(corpusPath, &corpusError);
+        if (!reader) {
+            corpusOk = false;
+            std::cout << "corpus open FAILED: " << corpusError
+                      << "\n";
+        } else {
+            corpusBytes = reader->bytes();
+            for (std::size_t i = 0; corpusOk && i < corpus.size();
+                 ++i) {
+                auto view = reader->viewAt(i);
+                auto decoded = reader->decodeAt(i);
+                auto parsed = trace::traceFromString(corpusTexts[i]);
+                if (!view || !decoded || !parsed) {
+                    corpusOk = false;
+                    break;
+                }
+                corpusRoundtripIdentical &=
+                    trace::traceToString(*decoded) ==
+                        corpusTexts[i] &&
+                    trace::traceToString(view->decode()) ==
+                        corpusTexts[i];
+                const std::string viaText =
+                    detect::findingsJson(*parsed,
+                                         pipeline.run(*parsed), i)
+                        .str();
+                const std::string viaDecode =
+                    detect::findingsJson(*decoded,
+                                         pipeline.run(*decoded), i)
+                        .str();
+                const std::string viaView =
+                    detect::findingsJson(*view, pipeline.run(*view),
+                                         i)
+                        .str();
+                corpusFindingsIdentical &= viaText == viaDecode &&
+                                           viaText == viaView;
+            }
+            corpusRoundtripIdentical &= corpusOk;
+            corpusFindingsIdentical &= corpusOk;
+        }
+    }
+
+    double textParseSecs = 0.0;
+    double binaryDecodeSecs = 0.0;
+    double mmapViewSecs = 0.0;
+    std::uint64_t textSum = 0, decodeSum = 0, viewSum = 0;
+    if (corpusOk) {
+        textParseSecs = secondsOf(
+            [&] {
+                textSum = 0;
+                for (const std::string &text : corpusTexts) {
+                    auto t = trace::traceFromString(text);
+                    textSum ^= foldEvents(*t);
+                }
+            },
+            reps);
+        binaryDecodeSecs = secondsOf(
+            [&] {
+                decodeSum = 0;
+                auto reader = trace::CorpusReader::open(corpusPath);
+                for (std::size_t i = 0; i < reader->traceCount();
+                     ++i) {
+                    auto t = reader->decodeAt(i);
+                    decodeSum ^= foldEvents(*t);
+                }
+            },
+            reps);
+        mmapViewSecs = secondsOf(
+            [&] {
+                viewSum = 0;
+                auto reader = trace::CorpusReader::open(corpusPath);
+                for (std::size_t i = 0; i < reader->traceCount();
+                     ++i) {
+                    auto view = reader->viewAt(i);
+                    viewSum ^= foldEvents(*view);
+                }
+            },
+            reps);
+    }
+    const bool corpusChecksumsAgree =
+        corpusOk && textSum == decodeSum && textSum == viewSum;
+    const bool corpusEquivalent = corpusOk &&
+                                  corpusChecksumsAgree &&
+                                  corpusRoundtripIdentical &&
+                                  corpusFindingsIdentical;
+
+    auto tracesPerSec = [&](double secs) {
+        return secs > 0.0
+                   ? static_cast<double>(corpus.size()) / secs
+                   : 0.0;
+    };
+    auto mbPerSec = [](std::size_t bytes, double secs) {
+        return secs > 0.0
+                   ? static_cast<double>(bytes) / secs / 1e6
+                   : 0.0;
+    };
+    const double mmapSpeedupVsText =
+        mmapViewSecs > 0.0 ? textParseSecs / mmapViewSecs : 0.0;
+    const double decodeSpeedupVsText =
+        binaryDecodeSecs > 0.0 ? textParseSecs / binaryDecodeSecs
+                               : 0.0;
+    const bool meets5xGate = mmapSpeedupVsText >= 5.0;
+
+    report::Table ingest(
+        "Corpus ingest (" + std::to_string(corpus.size()) +
+        " traces; " + std::to_string(textBytes / 1024) +
+        " KiB text, " + std::to_string(corpusBytes / 1024) +
+        " KiB LFMC)");
+    ingest.setColumns({"load path", "ms / corpus", "traces/sec",
+                       "MB/sec", "speedup vs text"});
+    ingest.addRow({"text parse (v1)",
+                   report::Table::cell(textParseSecs * 1e3, 2),
+                   report::Table::cell(tracesPerSec(textParseSecs), 0),
+                   report::Table::cell(
+                       mbPerSec(textBytes, textParseSecs), 1),
+                   "1.00"});
+    ingest.addRow({"binary full-decode (LFMT)",
+                   report::Table::cell(binaryDecodeSecs * 1e3, 2),
+                   report::Table::cell(
+                       tracesPerSec(binaryDecodeSecs), 0),
+                   report::Table::cell(
+                       mbPerSec(corpusBytes, binaryDecodeSecs), 1),
+                   report::Table::cell(decodeSpeedupVsText, 2)});
+    ingest.addRow({"mmap zero-copy view (LFMT)",
+                   report::Table::cell(mmapViewSecs * 1e3, 2),
+                   report::Table::cell(tracesPerSec(mmapViewSecs), 0),
+                   report::Table::cell(
+                       mbPerSec(corpusBytes, mmapViewSecs), 1),
+                   report::Table::cell(mmapSpeedupVsText, 2)});
+    std::cout << ingest.ascii() << "\n";
+    std::cout << "corpus equivalence: checksums text==decode==view "
+              << (corpusChecksumsAgree ? "ok" : "FAIL")
+              << ", round-trip byte-identical "
+              << (corpusRoundtripIdentical ? "ok" : "FAIL")
+              << ", findings byte-identical "
+              << (corpusFindingsIdentical ? "ok" : "FAIL") << "\n";
+    std::cout << (meets5xGate
+                      ? "[OK] mmap view >= 5x the text parser\n"
+                      : "[..] mmap view below 5x text parse on this "
+                        "host (timing is advisory)\n")
+              << "\n";
+
     bench::Json doc;
     doc.set("bench", "perf_detectors")
         .set("smoke", smoke)
@@ -835,6 +1024,24 @@ main(int argc, char **argv)
         .set("soa_scratch_speedup_vs_reference", ctxScratchSpeedup);
     doc.set("context_build", std::move(ctxJson));
     doc.set("batch_scaling", std::move(scaleJson));
+    bench::Json ingestJson;
+    ingestJson.set("traces", corpus.size())
+        .set("text_bytes", textBytes)
+        .set("corpus_bytes", corpusBytes)
+        .set("text_parse_ms", textParseSecs * 1e3)
+        .set("binary_decode_ms", binaryDecodeSecs * 1e3)
+        .set("mmap_view_ms", mmapViewSecs * 1e3)
+        .set("text_traces_per_sec", tracesPerSec(textParseSecs))
+        .set("binary_traces_per_sec", tracesPerSec(binaryDecodeSecs))
+        .set("mmap_traces_per_sec", tracesPerSec(mmapViewSecs))
+        .set("text_mb_per_sec", mbPerSec(textBytes, textParseSecs))
+        .set("binary_mb_per_sec",
+             mbPerSec(corpusBytes, binaryDecodeSecs))
+        .set("mmap_mb_per_sec", mbPerSec(corpusBytes, mmapViewSecs))
+        .set("binary_speedup_vs_text", decodeSpeedupVsText)
+        .set("mmap_speedup_vs_text", mmapSpeedupVsText)
+        .set("meets_5x_gate", meets5xGate);
+    doc.set("corpus_ingest", std::move(ingestJson));
     bench::Json equiv;
     equiv.set("fused_equals_separate", fusedEqualsSeparate)
         .set("race_pairs_epoch_equals_pairwise", racePairsMatch)
@@ -843,7 +1050,12 @@ main(int argc, char **argv)
         .set("soa_equals_reference", soaEqualsReference)
         .set("scratch_equals_fresh", scratchEqualsFresh)
         .set("batch_worker_invariant", batchInvariant)
-        .set("instrumentation_on_off_identical", instrEquivalent);
+        .set("instrumentation_on_off_identical", instrEquivalent)
+        .set("corpus_checksums_agree", corpusChecksumsAgree)
+        .set("corpus_roundtrip_byte_identical",
+             corpusRoundtripIdentical)
+        .set("corpus_findings_byte_identical",
+             corpusFindingsIdentical);
     doc.set("equivalence", std::move(equiv));
     bench::Json instr;
     instr.set("core_ms", coreSecs * 1e3)
@@ -906,7 +1118,7 @@ main(int argc, char **argv)
                         "(timing is advisory)\n");
 
     return equivalent && batchInvariant && instrEquivalent &&
-                   offOverheadOk
+                   offOverheadOk && corpusEquivalent
                ? 0
                : 1; // equivalence + honest gates only, never raw speed
 }

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compare two perf-bench JSON documents (BENCH_*.json) metric by metric.
+
+Usage:
+    scripts/bench_compare.py OLD.json NEW.json [--noise-pct P]
+                             [--fail-on-regression]
+
+Every numeric leaf in the two documents is matched by its dotted path
+(array elements are keyed by their "name"/"workers" field when present,
+so reordering a trace mix does not misalign the diff) and reported with
+its absolute and relative delta.  Metrics are classified by suffix:
+
+  lower-is-better   *_ms, *_secs, *_pct   (timings, overheads)
+  higher-is-better  *_per_sec, *speedup*  (throughput, ratios)
+  gate              boolean leaves        (equivalence / honest gates)
+
+A relative change within the noise gate (default 10%) is reported as
+noise, not as a regression — single-run wall-clock timings on a shared
+host jitter far more than any real effect worth acting on.
+
+Exit code policy mirrors the benches themselves: boolean gate
+regressions (true in OLD, false in NEW) always fail; timing deltas are
+advisory unless --fail-on-regression is given.  Metrics present in only
+one document are listed but never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("_ms", "_secs", "_pct")
+HIGHER_IS_BETTER = ("_per_sec",)
+HIGHER_SUBSTRINGS = ("speedup",)
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted_path, leaf) for every scalar leaf in the document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            label = str(index)
+            if isinstance(item, dict):
+                for id_key in ("name", "workers"):
+                    if id_key in item:
+                        label = f"{id_key}={item[id_key]}"
+                        break
+            yield from flatten(item, f"{prefix}[{label}]")
+    else:
+        yield prefix, node
+
+
+def direction(path):
+    """-1: lower is better, +1: higher is better, 0: informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith(LOWER_IS_BETTER):
+        return -1
+    if leaf.endswith(HIGHER_IS_BETTER):
+        return 1
+    if any(s in leaf for s in HIGHER_SUBSTRINGS):
+        return 1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json documents with a noise gate.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--noise-pct", type=float, default=10.0,
+                        help="relative changes within this %% are noise "
+                             "(default: %(default)s)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="also exit non-zero on beyond-noise timing "
+                             "regressions (default: gates only)")
+    args = parser.parse_args()
+
+    with open(args.old) as fh:
+        old = dict(flatten(json.load(fh)))
+    with open(args.new) as fh:
+        new = dict(flatten(json.load(fh)))
+
+    gate_regressions = []
+    timing_regressions = []
+    improvements = []
+    rows = []
+
+    for path in sorted(set(old) & set(new)):
+        a, b = old[path], new[path]
+        if isinstance(a, bool) or isinstance(b, bool):
+            if a is True and b is not True:
+                gate_regressions.append(path)
+                rows.append((path, str(a), str(b), "", "GATE REGRESSED"))
+            elif a != b:
+                rows.append((path, str(a), str(b), "", "changed"))
+            continue
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            if a != b:
+                rows.append((path, str(a), str(b), "", "changed"))
+            continue
+        if a == b:
+            continue
+        rel = (b - a) / abs(a) * 100.0 if a else float("inf")
+        sign = direction(path)
+        if sign == 0:
+            verdict = "info"
+        elif abs(rel) <= args.noise_pct:
+            verdict = "within noise"
+        elif (rel > 0) == (sign > 0):
+            verdict = "improved"
+            improvements.append(path)
+        else:
+            verdict = "REGRESSED"
+            timing_regressions.append(path)
+        rows.append((path, f"{a:g}", f"{b:g}", f"{rel:+.1f}%", verdict))
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    if not rows and not only_old and not only_new:
+        print(f"identical: {args.old} == {args.new} "
+              f"({len(old)} metrics)")
+        return 0
+
+    if rows:
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        print(f"{'metric':<{widths[0]}}  {'old':>{widths[1]}}  "
+              f"{'new':>{widths[2]}}  {'delta':>{widths[3]}}  verdict")
+        for path, a, b, rel, verdict in rows:
+            print(f"{path:<{widths[0]}}  {a:>{widths[1]}}  "
+                  f"{b:>{widths[2]}}  {rel:>{widths[3]}}  {verdict}")
+    for path in only_old:
+        print(f"only in {args.old}: {path}")
+    for path in only_new:
+        print(f"only in {args.new}: {path}")
+
+    print(f"\nsummary: {len(gate_regressions)} gate regression(s), "
+          f"{len(timing_regressions)} beyond-noise timing regression(s), "
+          f"{len(improvements)} improvement(s), "
+          f"noise gate ±{args.noise_pct:g}%")
+
+    if gate_regressions:
+        return 1
+    if args.fail_on_regression and timing_regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

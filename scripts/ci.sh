@@ -69,6 +69,65 @@ else
     echo "bench gates ok (grep fallback)"
 fi
 
+echo "== bench-perf: corpus ingest gates (text == binary == mmap) =="
+# The corpus-ingest section of the same document: the three load
+# paths (text parse, binary decode, mmap zero-copy view) must agree
+# byte-for-byte — same event checksums, same round-tripped trace
+# text, same pipeline findings. The 5x mmap-vs-text speedup is
+# reported but, like every timing, advisory here; the equivalence
+# booleans are the gates.
+if command -v python3 >/dev/null; then
+    python3 - "$BENCH_JSON" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+eq = doc["equivalence"]
+for key in ("corpus_checksums_agree",
+            "corpus_roundtrip_byte_identical",
+            "corpus_findings_byte_identical"):
+    assert eq[key] is True, f"equivalence.{key} is {eq[key]}"
+ci = doc["corpus_ingest"]
+print("corpus gates ok: %d traces, mmap %.2fx vs text "
+      "(5x gate %s), binary %.2fx" % (
+          ci["traces"], ci["mmap_speedup_vs_text"],
+          "met" if ci["meets_5x_gate"] else "missed — advisory",
+          ci["binary_speedup_vs_text"]))
+PYEOF
+else
+    for key in '"corpus_checksums_agree": true' \
+               '"corpus_roundtrip_byte_identical": true' \
+               '"corpus_findings_byte_identical": true'; do
+        grep -qF "$key" "$BENCH_JSON" || {
+            echo "FAIL: BENCH_detect.json missing $key"; exit 1; }
+    done
+    echo "corpus gates ok (grep fallback)"
+fi
+
+echo "== lfm_tracepack: pack / info / unpack round trip =="
+# Pack the example text traces into one LFMC corpus, inspect it, then
+# unpack into a scratch directory — every unpacked trace must be
+# byte-identical to its source. This exercises the exact binary path
+# users hit, from the CLI down to the mmap reader.
+PACK_DIR="build/tracepack-ci"
+rm -rf "$PACK_DIR" && mkdir -p "$PACK_DIR"
+./build/tools/lfm_tracepack pack "$PACK_DIR/examples.lfmc" \
+    examples/traces/*.txt
+./build/tools/lfm_tracepack info "$PACK_DIR/examples.lfmc"
+./build/tools/lfm_tracepack unpack "$PACK_DIR/examples.lfmc" \
+    "$PACK_DIR/unpacked"
+i=0
+for src in examples/traces/*.txt; do
+    unpacked=$(printf "%s/unpacked/trace_%04d.txt" "$PACK_DIR" "$i")
+    cmp "$src" "$unpacked" || {
+        echo "FAIL: $src != $unpacked after pack/unpack"; exit 1; }
+    i=$((i + 1))
+done
+echo "tracepack round trip ok: $i trace(s) byte-identical"
+
+# To compare two bench runs (e.g. this run against a saved baseline):
+#   scripts/bench_compare.py OLD/BENCH_detect.json NEW/BENCH_detect.json
+# Timing deltas get a noise gate and stay advisory; boolean gate
+# regressions exit non-zero.
+
 echo "== bench-perf: SARIF lint =="
 # The emitted findings document must be structurally SARIF 2.1.0:
 # parseable, versioned, with runs/results carrying ruleId + locations.

@@ -28,7 +28,7 @@ std::vector<Finding>
 AtomicityDetector::fromContext(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     const auto &variables = ctx.variables();
 
     // A local pair (p, c) only counts as one *intended-atomic*
@@ -56,7 +56,7 @@ AtomicityDetector::fromContext(const AnalysisContext &ctx) const
         nextLocal.assign(n, kNone);
         lastIdx.clear();
         for (std::size_t i = 0; i < n; ++i) {
-            const auto &e = trace.ev(accesses[i]);
+            const trace::EventRef e = trace.ev(accesses[i]);
             auto it = std::find_if(
                 lastIdx.begin(), lastIdx.end(),
                 [&e](const auto &p) { return p.first == e.thread; });
@@ -72,14 +72,14 @@ AtomicityDetector::fromContext(const AnalysisContext &ctx) const
             const std::size_t j = nextLocal[i];
             if (j == kNone)
                 continue;
-            const auto &p = trace.ev(accesses[i]);
-            const auto &c = trace.ev(accesses[j]);
+            const trace::EventRef p = trace.ev(accesses[i]);
+            const trace::EventRef c = trace.ev(accesses[j]);
             if (c.seq - p.seq > window_)
                 continue; // too far apart to be one atomic intent
             if (ctx.releaseBetween(p.thread, p.seq, c.seq))
                 continue; // crosses a critical-section boundary
             for (std::size_t k = i + 1; k < j; ++k) {
-                const auto &r = trace.ev(accesses[k]);
+                const trace::EventRef r = trace.ev(accesses[k]);
                 if (r.thread == p.thread)
                     continue;
                 if (!unserializableTriple(p.isWrite(), r.isWrite(),

@@ -6,7 +6,10 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -32,7 +35,7 @@ namespace
  * path costs exactly one extra status store over the classic run.
  */
 void
-analyzeOne(const Pipeline &pipeline, const Trace &trace,
+analyzeOne(const Pipeline &pipeline, TraceSource trace,
            const BatchOptions &options, TraceReport &report,
            ContextScratch *scratch)
 {
@@ -42,7 +45,16 @@ analyzeOne(const Pipeline &pipeline, const Trace &trace,
         return;
     }
     if (options.validate) {
-        auto problems = trace::validateTrace(trace);
+        // validateTrace wants a heap Trace; a view-backed source
+        // decodes just for the check (structural integrity was already
+        // verified when the view opened).
+        std::optional<Trace> decoded;
+        const Trace *heap = trace.heapTrace();
+        if (heap == nullptr) {
+            decoded = trace.view()->decode();
+            heap = &*decoded;
+        }
+        auto problems = trace::validateTrace(*heap);
         if (!problems.empty()) {
             report.status = TraceStatus::Quarantined;
             report.error = "invalid trace: " + problems.front();
@@ -186,19 +198,26 @@ deserializeReport(const std::vector<std::uint8_t> &buf,
     return rd.ok;
 }
 
+/**
+ * The supervisor scaffolding shared by both sandboxed batch flavors
+ * (heap-vector corpus and mapped LFMC corpus): fan `count` units out
+ * to forked children, deserialize whatever comes back, turn crashes
+ * into Crashed reports and undelivered units into Skipped ones.
+ * `analyzeUnit` runs in the child and fills the report for one unit.
+ */
 std::vector<TraceReport>
-runSandboxed(const Pipeline &pipeline, const std::vector<Trace> &corpus,
-             const BatchOptions &options, unsigned workers)
+runSandboxedUnits(
+    std::size_t count, const BatchOptions &options, unsigned workers,
+    const std::function<void(std::uint64_t, TraceReport &)> &analyzeUnit)
 {
-    std::vector<TraceReport> reports(corpus.size());
-    for (std::size_t i = 0; i < corpus.size(); ++i)
+    std::vector<TraceReport> reports(count);
+    for (std::size_t i = 0; i < count; ++i)
         reports[i].key = i;
 
     support::spans::Scope span("detect.batch.sandboxed", "detect");
-    support::metrics::counter("detect.batch.traces")
-        .add(corpus.size());
+    support::metrics::counter("detect.batch.traces").add(count);
 
-    std::vector<std::uint64_t> units(corpus.size());
+    std::vector<std::uint64_t> units(count);
     for (std::size_t i = 0; i < units.size(); ++i)
         units[i] = i;
 
@@ -210,15 +229,12 @@ runSandboxed(const Pipeline &pipeline, const std::vector<Trace> &corpus,
     // report crosses back. Cancellation is supervisor-side (the
     // parent's token is invisible to forked children), so undelivered
     // traces are marked Skipped below.
-    std::vector<bool> delivered(corpus.size(), false);
+    std::vector<bool> delivered(count, false);
     const support::SandboxSupervisor::ChildRun childRun =
         [&](std::uint64_t unit) -> std::vector<std::uint8_t> {
         TraceReport report;
         report.key = unit;
-        BatchOptions inner = options;
-        inner.cancel = nullptr;
-        // One trace per forked child: nothing to pool, no scratch.
-        analyzeOne(pipeline, corpus[unit], inner, report, nullptr);
+        analyzeUnit(unit, report);
         return serializeReport(report);
     };
 
@@ -254,6 +270,18 @@ runSandboxed(const Pipeline &pipeline, const std::vector<Trace> &corpus,
     return reports;
 }
 
+/** Quarantine one report for a corpus entry that failed to open. */
+void
+quarantineCorpusEntry(TraceReport &report, std::uint64_t unit,
+                      const std::string &error)
+{
+    report.status = TraceStatus::Quarantined;
+    report.findings.clear();
+    report.error =
+        "corpus entry " + std::to_string(unit) + ": " + error;
+    support::metrics::counter("detect.batch.quarantined").add();
+}
+
 } // namespace
 
 std::vector<TraceReport>
@@ -272,8 +300,17 @@ BatchRunner::run(const Pipeline &pipeline,
     if (corpus.empty())
         return reports;
 
-    if (options.sandbox.enabled())
-        return runSandboxed(pipeline, corpus, options, workers_);
+    if (options.sandbox.enabled()) {
+        return runSandboxedUnits(
+            corpus.size(), options, workers_,
+            [&](std::uint64_t unit, TraceReport &report) {
+                BatchOptions inner = options;
+                inner.cancel = nullptr;
+                // One trace per forked child: nothing to pool.
+                analyzeOne(pipeline, corpus[unit], inner, report,
+                           nullptr);
+            });
+    }
 
     support::spans::Scope span("detect.batch", "detect");
     support::metrics::counter("detect.batch.traces")
@@ -296,6 +333,60 @@ BatchRunner::run(const Pipeline &pipeline,
                    &scratches, i](unsigned worker) {
                       reports[i].key = i;
                       analyzeOne(pipeline, corpus[i], options,
+                                 reports[i], &scratches[worker]);
+                  });
+    }
+    pool.run();
+    poolStats_ = pool.lastRunStats();
+    return reports;
+}
+
+std::vector<TraceReport>
+BatchRunner::run(const Pipeline &pipeline,
+                 const trace::CorpusReader &corpus,
+                 const BatchOptions &options) const
+{
+    const std::size_t count = corpus.traceCount();
+    std::vector<TraceReport> reports(count);
+    if (count == 0)
+        return reports;
+
+    if (options.sandbox.enabled()) {
+        // The mapping is inherited across fork, so the child analyzes
+        // through the same zero-copy view the in-process path uses.
+        return runSandboxedUnits(
+            count, options, workers_,
+            [&](std::uint64_t unit, TraceReport &report) {
+                std::string error;
+                auto view = corpus.viewAt(unit, &error);
+                if (!view) {
+                    quarantineCorpusEntry(report, unit, error);
+                    return;
+                }
+                BatchOptions inner = options;
+                inner.cancel = nullptr;
+                analyzeOne(pipeline, TraceSource(*view), inner,
+                           report, nullptr);
+            });
+    }
+
+    support::spans::Scope span("detect.batch.corpus", "detect");
+    support::metrics::counter("detect.batch.traces").add(count);
+
+    std::vector<ContextScratch> scratches(workers_);
+    support::WorkStealingPool pool(workers_);
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.push(static_cast<unsigned>(i % workers_),
+                  [&pipeline, &corpus, &reports, &options, &scratches,
+                   i](unsigned worker) {
+                      reports[i].key = i;
+                      std::string error;
+                      auto view = corpus.viewAt(i, &error);
+                      if (!view) {
+                          quarantineCorpusEntry(reports[i], i, error);
+                          return;
+                      }
+                      analyzeOne(pipeline, TraceSource(*view), options,
                                  reports[i], &scratches[worker]);
                   });
     }
@@ -343,6 +434,55 @@ reportsSarif(const std::vector<Trace> &corpus,
         if (report.key >= corpus.size())
             continue;
         builder.addTrace(corpus[report.key], report.key,
+                         report.findings);
+    }
+    return builder.document();
+}
+
+support::Json
+reportsJson(const trace::CorpusReader &corpus,
+            const std::vector<TraceReport> &reports)
+{
+    support::Json doc;
+    doc.set("tool", "lfm-detect");
+    support::Json list = support::Json::array();
+    for (const TraceReport &report : reports) {
+        if (report.key >= corpus.traceCount())
+            continue;
+        auto view = corpus.viewAt(report.key, nullptr);
+        if (!view)
+            continue;
+        support::Json entry = findingsJson(
+            TraceSource(*view), report.findings, report.key);
+        entry.set("status",
+                  report.status == TraceStatus::Analyzed
+                      ? "analyzed"
+                      : report.status == TraceStatus::Quarantined
+                            ? "quarantined"
+                            : report.status == TraceStatus::Skipped
+                                  ? "skipped"
+                                  : "crashed");
+        if (!report.error.empty())
+            entry.set("error", report.error);
+        list.push(std::move(entry));
+    }
+    doc.set("traces", std::move(list));
+    return doc;
+}
+
+support::Json
+reportsSarif(const trace::CorpusReader &corpus,
+             const std::vector<TraceReport> &reports,
+             const std::string &toolName)
+{
+    SarifBuilder builder(toolName);
+    for (const TraceReport &report : reports) {
+        if (report.key >= corpus.traceCount())
+            continue;
+        auto view = corpus.viewAt(report.key, nullptr);
+        if (!view)
+            continue;
+        builder.addTrace(TraceSource(*view), report.key,
                          report.findings);
     }
     return builder.document();
@@ -463,6 +603,24 @@ DetectionStream::submit(std::uint64_t key, Trace trace)
     support::metrics::counter("detect.stream.submitted").add();
     impl_->cv.notify_one();
     return true;
+}
+
+std::size_t
+DetectionStream::submitCorpus(const trace::CorpusReader &corpus,
+                              std::uint64_t keyBase)
+{
+    std::size_t queued = 0;
+    for (std::size_t i = 0; i < corpus.traceCount(); ++i) {
+        auto decoded = corpus.decodeAt(i, nullptr);
+        if (!decoded) {
+            support::metrics::counter("detect.stream.undecodable")
+                .add();
+            continue;
+        }
+        if (submit(keyBase + i, std::move(*decoded)))
+            ++queued;
+    }
+    return queued;
 }
 
 std::vector<TraceReport>

@@ -38,6 +38,7 @@
 #include "support/failsafe.hh"
 #include "support/sandbox.hh"
 #include "support/workpool.hh"
+#include "trace/corpus.hh"
 
 namespace lfm::detect
 {
@@ -123,6 +124,19 @@ class BatchRunner
     run(const Pipeline &pipeline, const std::vector<Trace> &corpus,
         const BatchOptions &options) const;
 
+    /**
+     * Run the pipeline over every trace of an LFMC corpus file
+     * (trace/corpus.hh) without materializing heap Traces: each worker
+     * analyzes through a zero-copy TraceView over the mapped image. A
+     * corpus entry that fails to open (corrupt section) quarantines
+     * that one entry. `validate` decodes the one trace being checked
+     * (structural CRC/shape checks already ran in viewAt). Reports
+     * come back in corpus order, same as the vector overload.
+     */
+    std::vector<TraceReport>
+    run(const Pipeline &pipeline, const trace::CorpusReader &corpus,
+        const BatchOptions &options = BatchOptions{}) const;
+
     /** Steal/idle statistics of the most recent run(). */
     const support::WorkStealingPool::Stats &lastPoolStats() const
     {
@@ -148,6 +162,17 @@ support::Json reportsJson(const std::vector<Trace> &corpus,
  * Same corpus/reports contract as reportsJson.
  */
 support::Json reportsSarif(const std::vector<Trace> &corpus,
+                           const std::vector<TraceReport> &reports,
+                           const std::string &toolName = "lfm-detect");
+
+/** reportsJson over a mapped LFMC corpus: trace metadata (names,
+ * counts) is read through zero-copy views; documents are
+ * byte-identical to the heap overload on the decoded corpus. */
+support::Json reportsJson(const trace::CorpusReader &corpus,
+                          const std::vector<TraceReport> &reports);
+
+/** reportsSarif over a mapped LFMC corpus (see reportsJson note). */
+support::Json reportsSarif(const trace::CorpusReader &corpus,
                            const std::vector<TraceReport> &reports,
                            const std::string &toolName = "lfm-detect");
 
@@ -180,6 +205,18 @@ class DetectionStream
      *         detect.stream.rejected) once finish() has begun.
      */
     bool submit(std::uint64_t key, Trace trace);
+
+    /**
+     * Queue every trace of an LFMC corpus, keyed keyBase + index. The
+     * stream's queue owns its traces (producers outlive nothing), so
+     * corpus entries are decoded to heap Traces on submission; an
+     * entry that fails to decode is skipped and counted in
+     * detect.stream.undecodable.
+     *
+     * @return how many traces were queued.
+     */
+    std::size_t submitCorpus(const trace::CorpusReader &corpus,
+                             std::uint64_t keyBase = 0);
 
     /**
      * Close the queue, join the workers, and return all reports

@@ -6,6 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "support/logging.hh"
+
 namespace lfm::detect
 {
 
@@ -116,11 +118,11 @@ hashIntern(std::vector<ObjectId> &keys,
 
 } // namespace
 
-AnalysisContext::AnalysisContext(const Trace &trace,
+AnalysisContext::AnalysisContext(TraceSource source,
                                  bool precomputeHb,
                                  ContextScratch *scratch,
                                  BuildMode mode)
-    : trace_(&trace), scratch_(scratch)
+    : source_(source), scratch_(scratch)
 {
     if (scratch_ != nullptr) {
         // Borrow all index storage; capacities are warm from the
@@ -141,13 +143,13 @@ AnalysisContext::AnalysisContext(const Trace &trace,
 
     std::optional<trace::HbBuilder> hbBuilder;
     if (precomputeHb)
-        hbBuilder.emplace(trace,
+        hbBuilder.emplace(source_,
                           scratch_ ? &scratch_->hb : nullptr);
 
     if (mode == BuildMode::SoA)
-        buildSoA(trace, hbBuilder ? &*hbBuilder : nullptr);
+        buildSoA(source_, hbBuilder ? &*hbBuilder : nullptr);
     else
-        buildReference(trace, hbBuilder ? &*hbBuilder : nullptr);
+        buildReference(source_, hbBuilder ? &*hbBuilder : nullptr);
 
     if (hbBuilder)
         hb_ = std::make_unique<trace::HbRelation>(
@@ -155,7 +157,7 @@ AnalysisContext::AnalysisContext(const Trace &trace,
 }
 
 AnalysisContext::AnalysisContext(AnalysisContext &&other) noexcept
-    : trace_(other.trace_), scratch_(other.scratch_),
+    : source_(other.source_), scratch_(other.scratch_),
       hb_(std::move(other.hb_)),
       variables_(std::move(other.variables_)),
       varSpans_(std::move(other.varSpans_)),
@@ -181,8 +183,16 @@ AnalysisContext::~AnalysisContext()
     scratch_->lockOps = std::move(lockOps_);
 }
 
+const Trace &
+AnalysisContext::trace() const
+{
+    LFM_ASSERT(source_.heapTrace() != nullptr,
+               "trace() on a view-backed context; use source()");
+    return *source_.heapTrace();
+}
+
 void
-AnalysisContext::buildSoA(const Trace &trace,
+AnalysisContext::buildSoA(const TraceSource &source,
                           trace::HbBuilder *hbBuilder)
 {
     // Sweep transients live in the caller's scratch when there is
@@ -205,7 +215,7 @@ AnalysisContext::buildSoA(const Trace &trace,
     // appending to flat append-order logs (no per-variable or
     // per-thread node allocations). HB construction, when requested,
     // rides the same loop.
-    for (const auto &event : trace.events()) {
+    for (const trace::EventRef event : source.events()) {
         if (hbBuilder != nullptr)
             hbBuilder->feed(event);
         const std::uint8_t action =
@@ -293,7 +303,7 @@ AnalysisContext::buildSoA(const Trace &trace,
 }
 
 void
-AnalysisContext::buildReference(const Trace &trace,
+AnalysisContext::buildReference(const TraceSource &source,
                                 trace::HbBuilder *hbBuilder)
 {
     // The pre-SoA implementation, verbatim: ordered-map indices
@@ -304,7 +314,7 @@ AnalysisContext::buildReference(const Trace &trace,
     std::map<ObjectId, std::vector<SeqNo>> accesses;
     std::map<ThreadId, std::vector<SeqNo>> releases;
 
-    for (const auto &event : trace.events()) {
+    for (const trace::EventRef event : source.events()) {
         if (hbBuilder != nullptr)
             hbBuilder->feed(event);
         switch (event.kind) {
@@ -356,9 +366,9 @@ const trace::HbRelation &
 AnalysisContext::hb() const
 {
     if (!hb_) {
-        trace::HbBuilder builder(*trace_,
+        trace::HbBuilder builder(source_,
                                  scratch_ ? &scratch_->hb : nullptr);
-        for (const auto &event : trace_->events())
+        for (const trace::EventRef event : source_.events())
             builder.feed(event);
         hb_ = std::make_unique<trace::HbRelation>(
             std::move(builder).finish());

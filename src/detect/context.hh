@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "trace/hb.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace lfm::detect
@@ -54,6 +55,7 @@ using trace::ObjectId;
 using trace::SeqNo;
 using trace::ThreadId;
 using trace::Trace;
+using trace::TraceSource;
 
 /** Contiguous, read-only view of sequence numbers (one variable's
  * accesses or one thread's releases inside the context arena). */
@@ -103,8 +105,11 @@ class AnalysisContext
      * is built inside the same sweep; without it, hb() constructs it
      * on demand (second pass, paid only if queried). With a scratch,
      * all index storage is borrowed from (and returned to) the pool.
+     * Accepts a heap Trace or an mmap-backed trace::TraceView through
+     * TraceSource's implicit conversions — the SoA build runs
+     * directly over mapped columns without materializing a Trace.
      */
-    explicit AnalysisContext(const Trace &trace,
+    explicit AnalysisContext(TraceSource source,
                              bool precomputeHb = false,
                              ContextScratch *scratch = nullptr,
                              BuildMode mode = BuildMode::SoA);
@@ -118,7 +123,13 @@ class AnalysisContext
      * moved-to context and is returned exactly once. */
     AnalysisContext(AnalysisContext &&other) noexcept;
 
-    const Trace &trace() const { return *trace_; }
+    /** The trace facade this context indexed (heap or view backed). */
+    const TraceSource &source() const { return source_; }
+
+    /** The heap trace behind the context; only valid for contexts
+     * built over a Trace (asserts otherwise). View-backed callers go
+     * through source(). */
+    const Trace &trace() const;
 
     /** The happens-before relation (built lazily unless precomputed). */
     const trace::HbRelation &hb() const;
@@ -167,11 +178,12 @@ class AnalysisContext
     SeqSpan spanAt(const std::vector<Span> &spans,
                    std::size_t index) const;
 
-    void buildSoA(const Trace &trace, trace::HbBuilder *hbBuilder);
-    void buildReference(const Trace &trace,
+    void buildSoA(const TraceSource &source,
+                  trace::HbBuilder *hbBuilder);
+    void buildReference(const TraceSource &source,
                         trace::HbBuilder *hbBuilder);
 
-    const Trace *trace_;
+    TraceSource source_;
     ContextScratch *scratch_;
     mutable std::unique_ptr<trace::HbRelation> hb_;
 

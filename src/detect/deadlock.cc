@@ -11,7 +11,7 @@ namespace lfm::detect
 
 void
 LockOrderGraph::feed(
-    const trace::Event &event,
+    const trace::EventRef &event,
     std::map<trace::ThreadId, std::vector<ObjectId>> &held)
 {
     auto addEdges = [&](trace::ThreadId tid, ObjectId acquired) {
@@ -54,10 +54,10 @@ LockOrderGraph::feed(
     }
 }
 
-LockOrderGraph::LockOrderGraph(const Trace &trace)
+LockOrderGraph::LockOrderGraph(TraceSource trace)
 {
     std::map<trace::ThreadId, std::vector<ObjectId>> held;
-    for (const auto &event : trace.events())
+    for (const trace::EventRef event : trace.events())
         feed(event, held);
 }
 
@@ -65,7 +65,7 @@ LockOrderGraph::LockOrderGraph(const AnalysisContext &ctx)
 {
     std::map<trace::ThreadId, std::vector<ObjectId>> held;
     for (SeqNo seq : ctx.lockOps())
-        feed(ctx.trace().ev(seq), held);
+        feed(ctx.source().ev(seq), held);
 }
 
 std::vector<std::vector<ObjectId>>
@@ -123,7 +123,7 @@ LockOrderGraph::cycles() const
 std::vector<Finding>
 DeadlockDetector::fromContext(const AnalysisContext &ctx) const
 {
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     std::vector<Finding> findings;
     LockOrderGraph graph(ctx);
 

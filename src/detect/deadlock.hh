@@ -28,8 +28,9 @@ class AnalysisContext;
 class LockOrderGraph
 {
   public:
-    /** Build from a trace (mutex and rwlock acquisitions). */
-    explicit LockOrderGraph(const Trace &trace);
+    /** Build from a trace, heap or view backed (mutex and rwlock
+     * acquisitions). */
+    explicit LockOrderGraph(TraceSource trace);
 
     /** Build from a shared context; walks only its synchronization
      * index instead of the full trace. */
@@ -46,7 +47,7 @@ class LockOrderGraph
     std::vector<std::vector<ObjectId>> cycles() const;
 
   private:
-    void feed(const trace::Event &event,
+    void feed(const trace::EventRef &event,
               std::map<trace::ThreadId, std::vector<ObjectId>> &held);
 
     std::map<ObjectId, std::set<ObjectId>> edges_;

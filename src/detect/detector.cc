@@ -16,7 +16,7 @@ namespace lfm::detect
 {
 
 std::vector<Finding>
-Detector::analyze(const Trace &trace) const
+Detector::analyze(TraceSource trace) const
 {
     AnalysisContext ctx(trace, wantsHb());
     return fromContext(ctx);
@@ -37,7 +37,7 @@ allDetectors()
 }
 
 std::string
-renderFindings(const Trace &trace, const std::vector<Finding> &findings)
+renderFindings(TraceSource trace, const std::vector<Finding> &findings)
 {
     (void)trace;
     std::ostringstream os;

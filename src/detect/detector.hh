@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "detect/finding.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace lfm::detect
@@ -24,6 +25,7 @@ namespace lfm::detect
 using trace::ObjectId;
 using trace::SeqNo;
 using trace::Trace;
+using trace::TraceSource;
 
 class AnalysisContext;
 
@@ -38,9 +40,11 @@ class Detector
      * a private AnalysisContext (with HB fused into the indexing
      * sweep when the detector wants it) and delegates to
      * fromContext(). Pipeline-based callers build one shared context
-     * instead and call fromContext() directly.
+     * instead and call fromContext() directly. Takes the TraceSource
+     * facade, so a heap Trace and an mmap'd trace::TraceView both
+     * work unchanged.
      */
-    std::vector<Finding> analyze(const Trace &trace) const;
+    std::vector<Finding> analyze(TraceSource trace) const;
 
     /** Analyze via a shared (possibly multi-detector) context. */
     virtual std::vector<Finding>
@@ -58,7 +62,7 @@ class Detector
 std::vector<std::unique_ptr<Detector>> allDetectors();
 
 /** Render findings as one line each, for reports and debugging. */
-std::string renderFindings(const Trace &trace,
+std::string renderFindings(TraceSource trace,
                            const std::vector<Finding> &findings);
 
 } // namespace lfm::detect

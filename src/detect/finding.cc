@@ -52,7 +52,7 @@ makeFinding(const char *detector, FindingKind kind)
 }
 
 support::Json
-findingToJson(const Trace &trace, const Finding &f)
+findingToJson(TraceSource trace, const Finding &f)
 {
     support::Json o;
     o.set("detector", f.detector)
@@ -73,7 +73,7 @@ findingToJson(const Trace &trace, const Finding &f)
 }
 
 support::Json
-findingsJson(const Trace &trace, const std::vector<Finding> &findings,
+findingsJson(TraceSource trace, const std::vector<Finding> &findings,
              std::uint64_t traceKey)
 {
     support::Json doc;
@@ -108,7 +108,7 @@ SarifBuilder::ruleIndexFor(const Finding &f)
 }
 
 void
-SarifBuilder::addTrace(const Trace &trace, std::uint64_t key,
+SarifBuilder::addTrace(TraceSource trace, std::uint64_t key,
                        const std::vector<Finding> &findings)
 {
     for (const Finding &f : findings) {
@@ -213,7 +213,7 @@ SarifBuilder::document() const
 }
 
 support::Json
-sarifDocument(const Trace &trace, const std::vector<Finding> &findings,
+sarifDocument(TraceSource trace, const std::vector<Finding> &findings,
               std::uint64_t traceKey)
 {
     SarifBuilder builder;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "support/json.hh"
+#include "trace/source.hh"
 #include "trace/trace.hh"
 
 namespace lfm::detect
@@ -36,6 +37,7 @@ using trace::ObjectId;
 using trace::SeqNo;
 using trace::ThreadId;
 using trace::Trace;
+using trace::TraceSource;
 
 /** Closed taxonomy of finding kinds (the category axis). */
 enum class FindingKind : std::uint8_t
@@ -87,12 +89,14 @@ struct Finding
 Finding makeFinding(const char *detector, FindingKind kind);
 
 /** One finding as a JSON object (detector, kind, ids, events,
- * threads, message — everything the struct holds). */
-support::Json findingToJson(const Trace &trace, const Finding &f);
+ * threads, message — everything the struct holds). Emitters take the
+ * TraceSource facade: heap traces and mmap'd views produce
+ * byte-identical documents. */
+support::Json findingToJson(TraceSource trace, const Finding &f);
 
 /** All of one trace's findings as a JSON document:
  * {"tool", "trace": {...}, "findings": [...]}. */
-support::Json findingsJson(const Trace &trace,
+support::Json findingsJson(TraceSource trace,
                            const std::vector<Finding> &findings,
                            std::uint64_t traceKey = 0);
 
@@ -110,7 +114,7 @@ class SarifBuilder
     explicit SarifBuilder(std::string toolName = "lfm-detect");
 
     /** Append one trace's findings (key tags the artifact URI). */
-    void addTrace(const Trace &trace, std::uint64_t key,
+    void addTrace(TraceSource trace, std::uint64_t key,
                   const std::vector<Finding> &findings);
 
     /** Number of results accumulated so far. */
@@ -136,7 +140,7 @@ class SarifBuilder
 };
 
 /** One-trace convenience: the SARIF document for a single run. */
-support::Json sarifDocument(const Trace &trace,
+support::Json sarifDocument(TraceSource trace,
                             const std::vector<Finding> &findings,
                             std::uint64_t traceKey = 0);
 

@@ -61,7 +61,7 @@ slotFor(std::vector<std::vector<ObjectId>> &held, trace::ThreadId tid)
 std::vector<Finding>
 LocksetDetector::fromContext(const AnalysisContext &ctx) const
 {
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     std::vector<Finding> findings;
 
     // Locks currently held by each thread (write side of rwlocks and
@@ -73,7 +73,7 @@ LocksetDetector::fromContext(const AnalysisContext &ctx) const
     std::vector<ObjectId> locks;  // scratch: effective lockset
     std::vector<ObjectId> inter;  // scratch: refined candidates
 
-    for (const auto &event : trace.events()) {
+    for (const trace::EventRef event : trace.events()) {
         switch (event.kind) {
           case trace::EventKind::Lock:
             sortedInsert(slotFor(held, event.thread), event.obj);

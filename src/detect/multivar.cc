@@ -9,7 +9,7 @@ namespace lfm::detect
 {
 
 std::vector<std::pair<ObjectId, ObjectId>>
-MultiVarDetector::inferCorrelations(const Trace &trace) const
+MultiVarDetector::inferCorrelations(TraceSource trace) const
 {
     // Count, for every ordered-normalised variable pair, how often
     // one thread touches both within the window.
@@ -17,18 +17,20 @@ MultiVarDetector::inferCorrelations(const Trace &trace) const
     const auto &events = trace.events();
 
     for (std::size_t i = 0; i < events.size(); ++i) {
-        if (!events[i].isAccess())
+        const trace::EventRef a = events[i];
+        if (!a.isAccess())
             continue;
         for (std::size_t j = i + 1;
              j < events.size() && j - i <= window_; ++j) {
-            if (!events[j].isAccess())
+            const trace::EventRef b = events[j];
+            if (!b.isAccess())
                 continue;
-            if (events[j].thread != events[i].thread)
+            if (b.thread != a.thread)
                 continue;
-            if (events[j].obj == events[i].obj)
+            if (b.obj == a.obj)
                 continue;
-            auto key = std::minmax(events[i].obj, events[j].obj);
-            ++support[{key.first, key.second}];
+            ++support[{std::min(a.obj, b.obj),
+                       std::max(a.obj, b.obj)}];
             break; // count the nearest companion only
         }
     }
@@ -44,7 +46,7 @@ MultiVarDetector::inferCorrelations(const Trace &trace) const
 std::vector<Finding>
 MultiVarDetector::fromContext(const AnalysisContext &ctx) const
 {
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     std::vector<Finding> findings;
     const auto pairs = inferCorrelations(trace);
     const auto &events = trace.events();
@@ -55,13 +57,13 @@ MultiVarDetector::fromContext(const AnalysisContext &ctx) const
         // write to either variable in between: inconsistent view.
         for (std::size_t i = 0;
              i < events.size() && !reportedPair; ++i) {
-            const auto &a = events[i];
+            const trace::EventRef a = events[i];
             if (!a.isAccess() || (a.obj != x && a.obj != y))
                 continue;
             const ObjectId other = a.obj == x ? y : x;
             for (std::size_t j = i + 1;
                  j < events.size() && j - i <= window_ * 2; ++j) {
-                const auto &b = events[j];
+                const trace::EventRef b = events[j];
                 if (!b.isAccess())
                     continue;
                 if (b.thread == a.thread) {
@@ -86,7 +88,7 @@ MultiVarDetector::fromContext(const AnalysisContext &ctx) const
                     for (std::size_t k = j + 1;
                          k < events.size() && k - i <= window_ * 2;
                          ++k) {
-                        const auto &c = events[k];
+                        const trace::EventRef c = events[k];
                         if (!c.isAccess() || c.thread != a.thread)
                             continue;
                         if (c.obj != other)

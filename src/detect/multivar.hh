@@ -38,7 +38,7 @@ class MultiVarDetector : public Detector
      * `minSupport` times.
      */
     std::vector<std::pair<ObjectId, ObjectId>>
-    inferCorrelations(const Trace &trace) const;
+    inferCorrelations(TraceSource trace) const;
 
     void setWindow(std::size_t window) { window_ = window; }
     void setMinSupport(std::size_t support) { minSupport_ = support; }

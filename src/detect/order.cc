@@ -10,7 +10,7 @@ namespace lfm::detect
 std::vector<Finding>
 OrderDetector::fromContext(const AnalysisContext &ctx) const
 {
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     std::vector<Finding> findings;
 
     struct Life
@@ -31,7 +31,7 @@ OrderDetector::fromContext(const AnalysisContext &ctx) const
     };
     std::map<trace::ThreadId, std::vector<OpenWait>> waits;
 
-    for (const auto &event : trace.events()) {
+    for (const trace::EventRef event : trace.events()) {
         switch (event.kind) {
           case trace::EventKind::Free:
             lives[event.obj].freed = true;

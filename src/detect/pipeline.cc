@@ -45,7 +45,7 @@ Pipeline::wantsHb() const
 }
 
 std::vector<Finding>
-Pipeline::run(const Trace &trace) const
+Pipeline::run(TraceSource trace) const
 {
     if (!support::metrics::enabled() && !support::spans::enabled()) {
         AnalysisContext ctx(trace, wantsHb());
@@ -55,7 +55,7 @@ Pipeline::run(const Trace &trace) const
 }
 
 std::vector<Finding>
-Pipeline::run(const Trace &trace, ContextScratch &scratch) const
+Pipeline::run(TraceSource trace, ContextScratch &scratch) const
 {
     if (!support::metrics::enabled() && !support::spans::enabled()) {
         AnalysisContext ctx(trace, wantsHb(), &scratch);
@@ -65,7 +65,7 @@ Pipeline::run(const Trace &trace, ContextScratch &scratch) const
 }
 
 std::vector<Finding>
-Pipeline::runInstrumented(const Trace &trace,
+Pipeline::runInstrumented(TraceSource trace,
                           ContextScratch *scratch) const
 {
     support::spans::Scope span("pipeline.run", "detect");

@@ -45,7 +45,7 @@ class Pipeline
      * the hot path never touches the registry); with both layers off
      * it is exactly the uninstrumented context-build + run(ctx).
      */
-    std::vector<Finding> run(const Trace &trace) const;
+    std::vector<Finding> run(TraceSource trace) const;
 
     /**
      * Like run(trace), but with all context/HB allocations borrowed
@@ -53,7 +53,7 @@ class Pipeline
      * keep one scratch per worker and pass it here for every trace;
      * findings are identical to the scratch-free path.
      */
-    std::vector<Finding> run(const Trace &trace,
+    std::vector<Finding> run(TraceSource trace,
                              ContextScratch &scratch) const;
 
     /** Run every detector over an existing shared context (the
@@ -78,7 +78,7 @@ class Pipeline
 
     void initInstrumentation();
     std::vector<Finding>
-    runInstrumented(const Trace &trace,
+    runInstrumented(TraceSource trace,
                     ContextScratch *scratch) const;
 
     std::vector<std::unique_ptr<Detector>> detectors_;

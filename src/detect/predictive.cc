@@ -67,7 +67,7 @@ PredictiveAtomicityDetector::fromContext(
     const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     if (trace.empty())
         return findings;
 

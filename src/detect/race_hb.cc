@@ -15,8 +15,9 @@ namespace
 {
 
 Finding
-raceFinding(const Trace &trace, const char *detector, ObjectId var,
-            const trace::Event &a, const trace::Event &b)
+raceFinding(const TraceSource &trace, const char *detector,
+            ObjectId var, const trace::EventRef &a,
+            const trace::EventRef &b)
 {
     Finding f = makeFinding(detector, FindingKind::DataRace);
     f.primaryObj = var;
@@ -53,7 +54,7 @@ std::vector<Finding>
 HbRaceDetector::epochPass(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     if (trace.empty())
         return findings;
 
@@ -79,7 +80,7 @@ HbRaceDetector::epochPass(const AnalysisContext &ctx) const
         reported.clear();
 
         for (SeqNo bSeq : ctx.accessesAt(vi)) {
-            const auto &b = trace.ev(bSeq);
+            const trace::EventRef b = trace.ev(bSeq);
             for (const Last &prior : last) {
                 if (prior.tid == b.thread)
                     continue;
@@ -122,7 +123,7 @@ std::vector<Finding>
 HbRaceDetector::pairwiseReference(const AnalysisContext &ctx) const
 {
     std::vector<Finding> findings;
-    const Trace &trace = ctx.trace();
+    const TraceSource &trace = ctx.source();
     if (trace.empty())
         return findings;
 
@@ -133,8 +134,8 @@ HbRaceDetector::pairwiseReference(const AnalysisContext &ctx) const
         std::set<std::pair<trace::ThreadId, trace::ThreadId>> reported;
         for (std::size_t i = 0; i < accesses.size(); ++i) {
             for (std::size_t j = i + 1; j < accesses.size(); ++j) {
-                const auto &a = trace.ev(accesses[i]);
-                const auto &b = trace.ev(accesses[j]);
+                const trace::EventRef a = trace.ev(accesses[i]);
+                const trace::EventRef b = trace.ev(accesses[j]);
                 if (a.thread == b.thread)
                     continue;
                 if (!a.isWrite() && !b.isWrite())

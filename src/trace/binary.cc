@@ -1,0 +1,687 @@
+#include "trace/binary.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "support/journal.hh"
+
+namespace lfm::trace
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Format constants. The on-disk magics are ASCII so a hexdump reads
+// them directly ("LFMT" per trace, "LFMC" per corpus); section tags
+// are FourCCs for the same reason. Everything multi-byte is
+// little-endian (the only byte order this project targets; validated
+// implicitly because the header CRC would mismatch on a foreign-endian
+// reader).
+// ---------------------------------------------------------------------
+
+constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint32_t
+fourcc(char a, char b, char c, char d)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kTraceMagic = fourcc('L', 'F', 'M', 'T');
+constexpr std::uint32_t kSecMeta = fourcc('M', 'E', 'T', 'A');
+constexpr std::uint32_t kSecStrings = fourcc('S', 'T', 'R', 'S');
+constexpr std::uint32_t kSecObjects = fourcc('O', 'B', 'J', 'S');
+constexpr std::uint32_t kSecThreads = fourcc('T', 'H', 'R', 'D');
+constexpr std::uint32_t kSecEvents = fourcc('E', 'V', 'T', 'S');
+
+/** Hard ceiling on one section payload: like the journal's 16MB record
+ * cap, this bounds what a corrupt length field can make us touch —
+ * but traces are larger than journal records, so the ceiling is 1GB. */
+constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 30;
+
+/** File header, 16 bytes; crc (CRC-32) covers the first 12. */
+struct FileHeader
+{
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t sections = 0;
+    std::uint32_t crc = 0;
+};
+static_assert(sizeof(FileHeader) == 16, "FileHeader must pack to 16B");
+
+/** Section header, 16 bytes; crc covers the payload (not the pad). */
+struct SectionHeader
+{
+    std::uint32_t tag = 0;
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t reserved = 0;
+};
+static_assert(sizeof(SectionHeader) == 16, "SectionHeader must be 16B");
+
+/** META payload, 24 bytes of counts everything else is sized by. */
+struct MetaPayload
+{
+    std::uint64_t eventCount = 0;
+    std::uint32_t threadCount = 0;
+    std::uint32_t objectCount = 0;
+    std::uint32_t threadNameCount = 0;
+    std::uint32_t stringCount = 0;
+};
+static_assert(sizeof(MetaPayload) == 24, "MetaPayload must be 24B");
+
+constexpr std::size_t kSectionCount = 5;
+
+/** Bytes of zero padding to reach the next 8-byte boundary. */
+std::size_t
+padTo8(std::size_t n)
+{
+    return (8 - (n & 7)) & 7;
+}
+
+void
+appendRaw(std::string &out, const void *data, std::size_t len)
+{
+    out.append(static_cast<const char *>(data), len);
+}
+
+template <typename T>
+void
+appendPod(std::string &out, const T &value)
+{
+    appendRaw(out, &value, sizeof(T));
+}
+
+/** Append a section (header + payload + zero pad to 8). */
+void
+appendSection(std::string &out, std::uint32_t tag,
+              const std::string &payload)
+{
+    SectionHeader hdr;
+    hdr.tag = tag;
+    hdr.payloadBytes = static_cast<std::uint32_t>(payload.size());
+    hdr.crc = support::crc32(payload.data(), payload.size());
+    appendPod(out, hdr);
+    out += payload;
+    out.append(padTo8(payload.size()), '\0');
+}
+
+/** Interns strings; index 0 is always the empty string. */
+class StringTable
+{
+  public:
+    StringTable() { indexOf_[""] = 0; order_.emplace_back(); }
+
+    std::uint32_t intern(const std::string &text)
+    {
+        auto [it, fresh] = indexOf_.try_emplace(
+            text, static_cast<std::uint32_t>(order_.size()));
+        if (fresh)
+            order_.push_back(text);
+        return it->second;
+    }
+
+    std::size_t count() const { return order_.size(); }
+
+    std::string payload() const
+    {
+        std::string blob;
+        std::vector<std::uint32_t> offsets;
+        offsets.reserve(order_.size() + 1);
+        for (const std::string &s : order_) {
+            offsets.push_back(static_cast<std::uint32_t>(blob.size()));
+            blob += s;
+        }
+        offsets.push_back(static_cast<std::uint32_t>(blob.size()));
+        std::string out;
+        out.reserve(offsets.size() * 4 + blob.size());
+        appendRaw(out, offsets.data(), offsets.size() * 4);
+        out += blob;
+        return out;
+    }
+
+  private:
+    std::unordered_map<std::string, std::uint32_t> indexOf_;
+    std::vector<std::string> order_;
+};
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+    return false;
+}
+
+/** Cursor over an LFMT image enforcing bounds on every read. */
+struct ImageReader
+{
+    const std::uint8_t *base = nullptr;
+    std::size_t size = 0;
+    std::size_t pos = 0;
+
+    bool take(std::size_t n, const std::uint8_t **out)
+    {
+        if (n > size - pos) // pos <= size invariant; no overflow
+            return false;
+        *out = base + pos;
+        pos += n;
+        return true;
+    }
+
+    template <typename T>
+    bool takePod(T *out)
+    {
+        const std::uint8_t *p = nullptr;
+        if (!take(sizeof(T), &p))
+            return false;
+        std::memcpy(out, p, sizeof(T));
+        return true;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+std::string
+encodeTrace(const Trace &trace)
+{
+    const std::size_t n = trace.size();
+    const auto &objects = trace.objects();
+    const auto &threadNames = trace.threadNames();
+
+    StringTable strings;
+
+    // Intern in a fixed order (object names in map order, thread names,
+    // then labels in event order) so encoding is deterministic.
+    std::string objsPayload;
+    {
+        std::vector<ObjectId> ids;
+        std::vector<std::uint32_t> names;
+        std::vector<std::uint32_t> flags;
+        std::vector<std::uint8_t> kinds;
+        ids.reserve(objects.size());
+        for (const auto &[id, info] : objects) {
+            ids.push_back(id);
+            names.push_back(strings.intern(info.name));
+            flags.push_back(info.flags);
+            kinds.push_back(static_cast<std::uint8_t>(info.kind));
+        }
+        appendRaw(objsPayload, ids.data(), ids.size() * 8);
+        appendRaw(objsPayload, names.data(), names.size() * 4);
+        appendRaw(objsPayload, flags.data(), flags.size() * 4);
+        appendRaw(objsPayload, kinds.data(), kinds.size());
+    }
+
+    std::string thrdPayload;
+    {
+        std::vector<ThreadId> tids;
+        std::vector<std::uint32_t> names;
+        tids.reserve(threadNames.size());
+        for (const auto &[tid, name] : threadNames) {
+            tids.push_back(tid);
+            names.push_back(strings.intern(name));
+        }
+        appendRaw(thrdPayload, tids.data(), tids.size() * 4);
+        appendRaw(thrdPayload, names.data(), names.size() * 4);
+    }
+
+    std::string evtsPayload;
+    std::size_t threadCount = 0;
+    {
+        std::vector<ObjectId> obj, obj2;
+        std::vector<std::uint64_t> aux;
+        std::vector<ThreadId> tid;
+        std::vector<std::uint32_t> label;
+        std::vector<std::uint8_t> kind;
+        obj.reserve(n);
+        obj2.reserve(n);
+        aux.reserve(n);
+        tid.reserve(n);
+        label.reserve(n);
+        kind.reserve(n);
+        std::set<ThreadId> seenTids;
+        for (const Event &e : trace.events()) {
+            obj.push_back(e.obj);
+            obj2.push_back(e.obj2);
+            aux.push_back(e.aux);
+            tid.push_back(e.thread);
+            label.push_back(strings.intern(e.label));
+            kind.push_back(static_cast<std::uint8_t>(e.kind));
+            seenTids.insert(e.thread);
+        }
+        threadCount = seenTids.size();
+        evtsPayload.reserve(n * 33);
+        appendRaw(evtsPayload, obj.data(), n * 8);
+        appendRaw(evtsPayload, obj2.data(), n * 8);
+        appendRaw(evtsPayload, aux.data(), n * 8);
+        appendRaw(evtsPayload, tid.data(), n * 4);
+        appendRaw(evtsPayload, label.data(), n * 4);
+        appendRaw(evtsPayload, kind.data(), n);
+    }
+
+    std::string metaPayload;
+    {
+        MetaPayload meta;
+        meta.eventCount = n;
+        meta.threadCount = static_cast<std::uint32_t>(threadCount);
+        meta.objectCount = static_cast<std::uint32_t>(objects.size());
+        meta.threadNameCount =
+            static_cast<std::uint32_t>(threadNames.size());
+        meta.stringCount = static_cast<std::uint32_t>(strings.count());
+        appendPod(metaPayload, meta);
+    }
+
+    const std::string strsPayload = strings.payload();
+
+    std::string out;
+    out.reserve(sizeof(FileHeader) + kSectionCount * 24 +
+                metaPayload.size() + strsPayload.size() +
+                objsPayload.size() + thrdPayload.size() +
+                evtsPayload.size());
+
+    FileHeader hdr;
+    hdr.magic = kTraceMagic;
+    hdr.version = kVersion;
+    hdr.sections = kSectionCount;
+    hdr.crc = support::crc32(&hdr, 12);
+    appendPod(out, hdr);
+
+    appendSection(out, kSecMeta, metaPayload);
+    appendSection(out, kSecStrings, strsPayload);
+    appendSection(out, kSecObjects, objsPayload);
+    appendSection(out, kSecThreads, thrdPayload);
+    appendSection(out, kSecEvents, evtsPayload);
+    return out;
+}
+
+bool
+saveTraceBinary(const Trace &trace, const std::string &path,
+                std::string *error)
+{
+    if (!support::atomicWriteFile(path, encodeTrace(trace)))
+        return fail(error, "cannot write " + path);
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+std::optional<TraceView>
+TraceView::open(const void *data, std::size_t size, std::string *error)
+{
+    auto reject = [error](const std::string &msg) {
+        if (error)
+            *error = "lfmt: " + msg;
+        return std::nullopt;
+    };
+
+    if (reinterpret_cast<std::uintptr_t>(data) & 7)
+        return reject("buffer not 8-byte aligned");
+
+    ImageReader in{static_cast<const std::uint8_t *>(data), size, 0};
+
+    FileHeader hdr;
+    if (!in.takePod(&hdr))
+        return reject("truncated file header");
+    if (hdr.magic != kTraceMagic)
+        return reject("bad magic (not an LFMT trace)");
+    if (hdr.crc != support::crc32(&hdr, 12))
+        return reject("file header CRC mismatch");
+    if (hdr.version != kVersion)
+        return reject("unsupported version " +
+                      std::to_string(hdr.version));
+    if (hdr.sections != kSectionCount)
+        return reject("expected " + std::to_string(kSectionCount) +
+                      " sections, header says " +
+                      std::to_string(hdr.sections));
+
+    // Walk the fixed section order, checking framing + CRC for each.
+    constexpr std::uint32_t kOrder[kSectionCount] = {
+        kSecMeta, kSecStrings, kSecObjects, kSecThreads, kSecEvents};
+    const std::uint8_t *payloads[kSectionCount] = {};
+    std::size_t payloadBytes[kSectionCount] = {};
+    for (std::size_t s = 0; s < kSectionCount; ++s) {
+        SectionHeader sec;
+        if (!in.takePod(&sec))
+            return reject("truncated section header " +
+                          std::to_string(s));
+        if (sec.tag != kOrder[s])
+            return reject("unexpected section tag at index " +
+                          std::to_string(s));
+        if (sec.payloadBytes > kMaxSectionBytes)
+            return reject("section " + std::to_string(s) +
+                          " implausibly large");
+        const std::uint8_t *payload = nullptr;
+        const std::uint8_t *pad = nullptr;
+        if (!in.take(sec.payloadBytes, &payload) ||
+            !in.take(padTo8(sec.payloadBytes), &pad))
+            return reject("truncated section " + std::to_string(s) +
+                          " payload");
+        if (sec.crc != support::crc32(payload, sec.payloadBytes))
+            return reject("section " + std::to_string(s) +
+                          " CRC mismatch");
+        payloads[s] = payload;
+        payloadBytes[s] = sec.payloadBytes;
+    }
+
+    // META sizes everything else.
+    if (payloadBytes[0] != sizeof(MetaPayload))
+        return reject("META payload has wrong size");
+    MetaPayload meta;
+    std::memcpy(&meta, payloads[0], sizeof(meta));
+    const std::size_t n = meta.eventCount;
+    const std::size_t m = meta.objectCount;
+    const std::size_t k = meta.threadNameCount;
+    const std::size_t strs = meta.stringCount;
+
+    if (strs == 0)
+        return reject("string table missing empty-string entry");
+    // Divide instead of multiplying by untrusted counts so a corrupt
+    // META cannot wrap the arithmetic into an accidental match.
+    if (strs + 1 > payloadBytes[1] / 4)
+        return reject("string table offsets truncated");
+    const auto *offsets =
+        reinterpret_cast<const std::uint32_t *>(payloads[1]);
+    const std::size_t blobBytes = payloadBytes[1] - (strs + 1) * 4;
+    if (offsets[0] != 0)
+        return reject("string table does not start at offset 0");
+    for (std::size_t i = 0; i < strs; ++i) {
+        if (offsets[i + 1] < offsets[i])
+            return reject("string table offsets not monotonic");
+    }
+    if (offsets[strs] != blobBytes)
+        return reject("string table blob size mismatch");
+    if (offsets[1] != 0)
+        return reject("string 0 is not the empty string");
+
+    if (payloadBytes[2] % 17 != 0 || m != payloadBytes[2] / 17)
+        return reject("OBJS payload size mismatch");
+    if (payloadBytes[3] % 8 != 0 || k != payloadBytes[3] / 8)
+        return reject("THRD payload size mismatch");
+    if (payloadBytes[4] % 33 != 0 || n != payloadBytes[4] / 33)
+        return reject("EVTS payload size mismatch");
+
+    TraceView view;
+    view.eventCount_ = n;
+    view.threadCount_ = meta.threadCount;
+    view.objectCount_ = m;
+    view.threadNameCount_ = k;
+    view.stringCount_ = strs;
+    view.imageBytes_ = in.pos;
+
+    view.strOffsets_ = offsets;
+    view.strBlob_ =
+        reinterpret_cast<const char *>(payloads[1] + (strs + 1) * 4);
+
+    view.objIds_ = reinterpret_cast<const ObjectId *>(payloads[2]);
+    view.objNames_ =
+        reinterpret_cast<const std::uint32_t *>(payloads[2] + m * 8);
+    view.objFlags_ =
+        reinterpret_cast<const std::uint32_t *>(payloads[2] + m * 12);
+    view.objKinds_ = payloads[2] + m * 16;
+
+    view.thrIds_ = reinterpret_cast<const ThreadId *>(payloads[3]);
+    view.thrNames_ =
+        reinterpret_cast<const std::uint32_t *>(payloads[3] + k * 4);
+
+    view.evObj_ = reinterpret_cast<const ObjectId *>(payloads[4]);
+    view.evObj2_ =
+        reinterpret_cast<const ObjectId *>(payloads[4] + n * 8);
+    view.evAux_ =
+        reinterpret_cast<const std::uint64_t *>(payloads[4] + n * 16);
+    view.evThread_ =
+        reinterpret_cast<const ThreadId *>(payloads[4] + n * 24);
+    view.evLabel_ =
+        reinterpret_cast<const std::uint32_t *>(payloads[4] + n * 28);
+    view.evKind_ = payloads[4] + n * 32;
+
+    // Semantic validation: every index in range, every enum known,
+    // tables strictly sorted, the recorded thread count honest. A
+    // validated view can then gather events with no per-access checks.
+    constexpr std::uint8_t kMaxEventKind =
+        static_cast<std::uint8_t>(EventKind::Blocked);
+    constexpr std::uint8_t kMaxObjectKind =
+        static_cast<std::uint8_t>(ObjectKind::Thread);
+    for (std::size_t i = 0; i < m; ++i) {
+        if (view.objNames_[i] >= strs)
+            return reject("object name index out of range");
+        if (view.objKinds_[i] > kMaxObjectKind)
+            return reject("unknown object kind byte");
+        if (i > 0 && view.objIds_[i] <= view.objIds_[i - 1])
+            return reject("object ids not strictly ascending");
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+        if (view.thrNames_[i] >= strs)
+            return reject("thread name index out of range");
+        if (i > 0 && view.thrIds_[i] <= view.thrIds_[i - 1])
+            return reject("thread ids not strictly ascending");
+    }
+    std::vector<ThreadId> seen;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (view.evLabel_[i] >= strs)
+            return reject("event label index out of range");
+        if (view.evKind_[i] > kMaxEventKind)
+            return reject("unknown event kind byte");
+        const ThreadId t = view.evThread_[i];
+        if (std::find(seen.begin(), seen.end(), t) == seen.end())
+            seen.push_back(t);
+    }
+    if (seen.size() != view.threadCount_)
+        return reject("META thread count does not match events");
+
+    return view;
+}
+
+std::size_t
+TraceView::objectRow(ObjectId id) const
+{
+    const ObjectId *end = objIds_ + objectCount_;
+    const ObjectId *it = std::lower_bound(objIds_, end, id);
+    if (it == end || *it != id)
+        return static_cast<std::size_t>(-1);
+    return static_cast<std::size_t>(it - objIds_);
+}
+
+std::optional<ObjectView>
+TraceView::objectInfo(ObjectId id) const
+{
+    const std::size_t row = objectRow(id);
+    if (row == static_cast<std::size_t>(-1))
+        return std::nullopt;
+    ObjectView out;
+    out.id = id;
+    out.kind = static_cast<ObjectKind>(objKinds_[row]);
+    out.flags = objFlags_[row];
+    out.name = string(objNames_[row]);
+    return out;
+}
+
+std::string
+TraceView::objectName(ObjectId id) const
+{
+    const std::size_t row = objectRow(id);
+    if (row != static_cast<std::size_t>(-1)) {
+        const std::string_view name = string(objNames_[row]);
+        if (!name.empty())
+            return std::string(name);
+    }
+    return "obj#" + std::to_string(id);
+}
+
+ObjectKind
+TraceView::objectKind(ObjectId id) const
+{
+    const std::size_t row = objectRow(id);
+    if (row == static_cast<std::size_t>(-1))
+        return ObjectKind::Variable;
+    return static_cast<ObjectKind>(objKinds_[row]);
+}
+
+std::string
+TraceView::threadName(ThreadId tid) const
+{
+    const ThreadId *end = thrIds_ + threadNameCount_;
+    const ThreadId *it = std::lower_bound(thrIds_, end, tid);
+    if (it != end && *it == tid) {
+        const std::string_view name =
+            string(thrNames_[it - thrIds_]);
+        if (!name.empty())
+            return std::string(name);
+    }
+    return "T" + std::to_string(tid);
+}
+
+std::vector<SeqNo>
+TraceView::accessesTo(ObjectId var) const
+{
+    std::vector<SeqNo> out;
+    for (std::size_t i = 0; i < eventCount_; ++i) {
+        const auto kind = static_cast<EventKind>(evKind_[i]);
+        if ((kind == EventKind::Read || kind == EventKind::Write) &&
+            evObj_[i] == var)
+            out.push_back(i);
+    }
+    return out;
+}
+
+Trace
+TraceView::decode() const
+{
+    Trace trace;
+    for (std::size_t i = 0; i < objectCount_; ++i) {
+        ObjectInfo info;
+        info.id = objIds_[i];
+        info.kind = static_cast<ObjectKind>(objKinds_[i]);
+        info.flags = objFlags_[i];
+        info.name = std::string(string(objNames_[i]));
+        trace.registerObject(info);
+    }
+    for (std::size_t i = 0; i < threadNameCount_; ++i)
+        trace.registerThread(thrIds_[i],
+                             std::string(string(thrNames_[i])));
+    for (std::size_t i = 0; i < eventCount_; ++i) {
+        Event e;
+        e.thread = evThread_[i];
+        e.kind = static_cast<EventKind>(evKind_[i]);
+        e.obj = evObj_[i];
+        e.obj2 = evObj2_[i];
+        e.aux = evAux_[i];
+        e.label = std::string(string(evLabel_[i]));
+        trace.append(std::move(e));
+    }
+    return trace;
+}
+
+std::optional<Trace>
+decodeTrace(const void *data, std::size_t size, std::string *error)
+{
+    // The view path needs an 8-aligned buffer; the decode path accepts
+    // anything (copying into aligned storage first when necessary).
+    std::vector<std::uint64_t> aligned;
+    if (reinterpret_cast<std::uintptr_t>(data) & 7) {
+        aligned.resize((size + 7) / 8);
+        std::memcpy(aligned.data(), data, size);
+        data = aligned.data();
+    }
+    auto view = TraceView::open(data, size, error);
+    if (!view)
+        return std::nullopt;
+    return view->decode();
+}
+
+std::optional<Trace>
+loadTraceBinary(const std::string &path, std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    return decodeTrace(bytes.data(), bytes.size(), error);
+}
+
+// ---------------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------------
+
+std::optional<MappedFile>
+MappedFile::open(const std::string &path, std::string *error)
+{
+    auto reject = [error](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return reject("cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        return reject("cannot stat " + path);
+    }
+    MappedFile mapped;
+    mapped.size_ = static_cast<std::size_t>(st.st_size);
+    if (mapped.size_ > 0) {
+        void *addr =
+            ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr == MAP_FAILED) {
+            ::close(fd);
+            return reject("cannot mmap " + path);
+        }
+        mapped.data_ = static_cast<const std::uint8_t *>(addr);
+    }
+    ::close(fd);
+    return mapped;
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_)
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        if (data_)
+            ::munmap(const_cast<std::uint8_t *>(data_), size_);
+        data_ = other.data_;
+        size_ = other.size_;
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+} // namespace lfm::trace

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * LFMT: the columnar binary trace format, writer, decoder and the
+ * mmap-backed zero-copy TraceView.
+ *
+ * The v1 text format (trace/serialize.hh) is the interchange artifact;
+ * LFMT is the *fast path*: a versioned, CRC-32-guarded container that
+ * stores events column-wise — one contiguous array per field (obj,
+ * obj2, aux, thread, label index, kind) instead of an array of Event
+ * structs — with interned string tables for object/thread/label
+ * names. Sections reuse the journal's "LFMJ" framing discipline
+ * (support/journal): a 16-byte versioned file header whose CRC covers
+ * itself, then tagged sections each carrying a CRC over their payload,
+ * every payload starting on an 8-byte boundary so the typed columns
+ * can be read in place.
+ *
+ * One trace image:
+ *
+ *     FileHeader  "LFMT" v1, section count, header CRC
+ *     META        event/thread/object/thread-name/string counts
+ *     STRS        u32 offsets[stringCount+1] + UTF-8 blob
+ *                 (entry 0 is always the empty string)
+ *     OBJS        u64 id[] | u32 name[] | u32 flags[] | u8 kind[]
+ *                 sorted by id (the std::map iteration order the
+ *                 text serializer uses)
+ *     THRD        i32 tid[] | u32 name[]   sorted by tid
+ *     EVTS        u64 obj[] | u64 obj2[] | u64 aux[] | i32 thread[]
+ *                 | u32 label[] | u8 kind[]
+ *
+ * Reading comes in two shapes:
+ *  - TraceView: validates the CRCs once, then aliases the mapped
+ *    columns directly — no heap Trace, no per-event allocation. The
+ *    view exposes the same read API detectors consume (ev(), size(),
+ *    objectName(), threadName(), accessesTo()), so the detection
+ *    pipeline runs over a mapped corpus without materializing it.
+ *    Aliasing rule: a view borrows the caller's buffer and never
+ *    outlives it; MappedFile (or CorpusReader) owns the bytes.
+ *  - decodeTrace(): the fallback full-decode path for callers that
+ *    need a mutable heap Trace (sandbox children, trace mutation).
+ *
+ * Corruption policy matches the journal: every structural fault —
+ * bad magic, wrong version, truncation, a flipped bit anywhere in a
+ * guarded payload, an out-of-range string/enum index — is rejected
+ * with a human-readable error, never trusted into a crash or a
+ * silently different trace.
+ */
+
+#ifndef LFM_TRACE_BINARY_HH
+#define LFM_TRACE_BINARY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/trace.hh"
+
+namespace lfm::trace
+{
+
+/** Encode one trace as a complete LFMT image. */
+std::string encodeTrace(const Trace &trace);
+
+/** Atomically write the LFMT image of a trace; false on I/O error. */
+bool saveTraceBinary(const Trace &trace, const std::string &path,
+                     std::string *error = nullptr);
+
+/**
+ * Full-decode an LFMT image into a heap Trace (the mutation-capable
+ * fallback path).
+ *
+ * @param error set to a human-readable message on failure
+ * @return the trace, or nullopt when the image is malformed
+ */
+std::optional<Trace> decodeTrace(const void *data, std::size_t size,
+                                 std::string *error = nullptr);
+
+/** decodeTrace() over a whole file read into memory. */
+std::optional<Trace> loadTraceBinary(const std::string &path,
+                                     std::string *error = nullptr);
+
+/**
+ * Read-only mmap of a file. Owns the mapping; movable, unmapped on
+ * destruction. TraceView/CorpusReader borrow its bytes, so the
+ * MappedFile must outlive every view built over it.
+ */
+class MappedFile
+{
+  public:
+    static std::optional<MappedFile> open(const std::string &path,
+                                          std::string *error = nullptr);
+
+    MappedFile() = default;
+    ~MappedFile();
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** One object-table row, aliasing the mapped string table. */
+struct ObjectView
+{
+    ObjectId id = kNoObject;
+    ObjectKind kind = ObjectKind::Variable;
+    std::uint32_t flags = 0;
+    std::string_view name;
+};
+
+/**
+ * Zero-copy reader over one validated LFMT image; see the file
+ * comment. Cheap to copy (a handful of pointers and counts); borrows
+ * the underlying buffer and must not outlive it.
+ */
+class TraceView
+{
+  public:
+    /**
+     * Validate an LFMT image (header, section framing, every section
+     * CRC, every index bound) and alias its columns. Rejects with a
+     * message instead of trusting corrupt input.
+     */
+    static std::optional<TraceView> open(const void *data,
+                                         std::size_t size,
+                                         std::string *error = nullptr);
+
+    /** Number of events. */
+    std::size_t size() const { return eventCount_; }
+
+    bool empty() const { return eventCount_ == 0; }
+
+    /** Event by sequence number (gathered from the columns). */
+    EventRef ev(SeqNo seq) const
+    {
+        return {seq,
+                evThread_[seq],
+                static_cast<EventKind>(evKind_[seq]),
+                evObj_[seq],
+                evObj2_[seq],
+                evAux_[seq]};
+    }
+
+    /** The event's label, aliasing the mapped string table. */
+    std::string_view label(SeqNo seq) const
+    {
+        return string(evLabel_[seq]);
+    }
+
+    /** Distinct threads that produced events (recorded at pack time,
+     * so the view answers in O(1) like the header promised). */
+    std::size_t threadCount() const { return threadCount_; }
+
+    /** Registered objects (the OBJS table row count). */
+    std::size_t objectCount() const { return objectCount_; }
+
+    /** Object-table row by id; nullopt when unregistered. Semantics
+     * mirror Trace::objectInfo (binary search over the sorted ids). */
+    std::optional<ObjectView> objectInfo(ObjectId id) const;
+
+    /** Display name for an object; "obj#N" when unregistered or
+     * unnamed — exactly Trace::objectName. */
+    std::string objectName(ObjectId id) const;
+
+    /** Kind for an object; Variable when unregistered. */
+    ObjectKind objectKind(ObjectId id) const;
+
+    /** Display name for a thread; "T<N>" fallback — exactly
+     * Trace::threadName. */
+    std::string threadName(ThreadId tid) const;
+
+    /** Registered thread names (the THRD table row count). */
+    std::size_t threadNameCount() const { return threadNameCount_; }
+
+    /** Sequence numbers of Read/Write events on the given variable
+     * (same one-scan semantics as Trace::accessesTo; detectors get
+     * the indexed form from detect::AnalysisContext instead). */
+    std::vector<SeqNo> accessesTo(ObjectId var) const;
+
+    /** Materialize a mutable heap Trace (the fallback decode path);
+     * round-trips byte-identically through the text serializer. */
+    Trace decode() const;
+
+    /** Bytes of the validated image (header through last section). */
+    std::size_t bytes() const { return imageBytes_; }
+
+  private:
+    friend std::optional<Trace> decodeTrace(const void *, std::size_t,
+                                            std::string *);
+
+    TraceView() = default;
+
+    std::string_view string(std::uint32_t index) const
+    {
+        return {strBlob_ + strOffsets_[index],
+                strOffsets_[index + 1] - strOffsets_[index]};
+    }
+
+    /** Index into the object table for id; npos when absent. */
+    std::size_t objectRow(ObjectId id) const;
+
+    std::size_t eventCount_ = 0;
+    std::size_t threadCount_ = 0;
+    std::size_t objectCount_ = 0;
+    std::size_t threadNameCount_ = 0;
+    std::size_t stringCount_ = 0;
+    std::size_t imageBytes_ = 0;
+
+    const std::uint32_t *strOffsets_ = nullptr;
+    const char *strBlob_ = nullptr;
+
+    const ObjectId *objIds_ = nullptr;
+    const std::uint32_t *objNames_ = nullptr;
+    const std::uint32_t *objFlags_ = nullptr;
+    const std::uint8_t *objKinds_ = nullptr;
+
+    const ThreadId *thrIds_ = nullptr;
+    const std::uint32_t *thrNames_ = nullptr;
+
+    const ObjectId *evObj_ = nullptr;
+    const ObjectId *evObj2_ = nullptr;
+    const std::uint64_t *evAux_ = nullptr;
+    const ThreadId *evThread_ = nullptr;
+    const std::uint32_t *evLabel_ = nullptr;
+    const std::uint8_t *evKind_ = nullptr;
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_BINARY_HH

@@ -1,0 +1,260 @@
+#include "trace/corpus.hh"
+
+#include <cstring>
+
+#include "support/journal.hh"
+
+namespace lfm::trace
+{
+
+namespace
+{
+
+constexpr std::uint32_t
+fourcc(char a, char b, char c, char d)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kCorpusMagic = fourcc('L', 'F', 'M', 'C');
+constexpr std::uint32_t kSecIndex = fourcc('I', 'N', 'D', 'X');
+constexpr std::uint32_t kVersion = 1;
+
+/** Same 16-byte header/section frames as the trace format. */
+struct FileHeader
+{
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t sections = 0;
+    std::uint32_t crc = 0;
+};
+
+struct SectionHeader
+{
+    std::uint32_t tag = 0;
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t crc = 0;
+    std::uint32_t reserved = 0;
+};
+
+std::size_t
+padTo8(std::size_t n)
+{
+    return (8 - (n & 7)) & 7;
+}
+
+template <typename T>
+void
+appendPod(std::string &out, const T &value)
+{
+    out.append(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+void
+CorpusWriter::add(const Trace &trace)
+{
+    images_.push_back(encodeTrace(trace));
+}
+
+void
+CorpusWriter::addEncoded(std::string image)
+{
+    images_.push_back(std::move(image));
+}
+
+std::string
+CorpusWriter::encode() const
+{
+    const std::size_t count = images_.size();
+
+    // INDX payload: traceCount, absolute offsets, end offset.
+    const std::size_t indexBytes = (count + 2) * 8;
+    std::size_t offset =
+        sizeof(FileHeader) + sizeof(SectionHeader) + indexBytes +
+        padTo8(indexBytes);
+
+    std::string index;
+    index.reserve(indexBytes);
+    appendPod(index, static_cast<std::uint64_t>(count));
+    std::size_t total = offset;
+    for (const std::string &image : images_) {
+        appendPod(index, static_cast<std::uint64_t>(total));
+        total += image.size() + padTo8(image.size());
+    }
+    appendPod(index, static_cast<std::uint64_t>(total));
+
+    std::string out;
+    out.reserve(total);
+
+    FileHeader hdr;
+    hdr.magic = kCorpusMagic;
+    hdr.version = kVersion;
+    hdr.sections = 1;
+    hdr.crc = support::crc32(&hdr, 12);
+    appendPod(out, hdr);
+
+    SectionHeader sec;
+    sec.tag = kSecIndex;
+    sec.payloadBytes = static_cast<std::uint32_t>(index.size());
+    sec.crc = support::crc32(index.data(), index.size());
+    appendPod(out, sec);
+    out += index;
+    out.append(padTo8(index.size()), '\0');
+
+    for (const std::string &image : images_) {
+        out += image;
+        out.append(padTo8(image.size()), '\0');
+    }
+    return out;
+}
+
+bool
+CorpusWriter::writeTo(const std::string &path, std::string *error) const
+{
+    if (!support::atomicWriteFile(path, encode())) {
+        if (error)
+            *error = "cannot write " + path;
+        return false;
+    }
+    return true;
+}
+
+std::string
+encodeCorpus(const std::vector<Trace> &traces)
+{
+    CorpusWriter writer;
+    for (const Trace &trace : traces)
+        writer.add(trace);
+    return writer.encode();
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+bool
+CorpusReader::parse(const void *data, std::size_t size,
+                    std::string *error)
+{
+    auto reject = [error](const std::string &msg) {
+        if (error)
+            *error = "lfmc: " + msg;
+        return false;
+    };
+
+    if (reinterpret_cast<std::uintptr_t>(data) & 7)
+        return reject("buffer not 8-byte aligned");
+
+    const auto *base = static_cast<const std::uint8_t *>(data);
+    if (size < sizeof(FileHeader) + sizeof(SectionHeader))
+        return reject("truncated corpus header");
+
+    FileHeader hdr;
+    std::memcpy(&hdr, base, sizeof(hdr));
+    if (hdr.magic != kCorpusMagic)
+        return reject("bad magic (not an LFMC corpus)");
+    if (hdr.crc != support::crc32(&hdr, 12))
+        return reject("file header CRC mismatch");
+    if (hdr.version != kVersion)
+        return reject("unsupported version " +
+                      std::to_string(hdr.version));
+    if (hdr.sections != 1)
+        return reject("expected 1 section");
+
+    SectionHeader sec;
+    std::memcpy(&sec, base + sizeof(FileHeader), sizeof(sec));
+    if (sec.tag != kSecIndex)
+        return reject("missing INDX section");
+    const std::size_t indexStart =
+        sizeof(FileHeader) + sizeof(SectionHeader);
+    if (sec.payloadBytes > size - indexStart)
+        return reject("truncated index");
+    if (sec.crc != support::crc32(base + indexStart, sec.payloadBytes))
+        return reject("index CRC mismatch");
+    if (sec.payloadBytes % 8 != 0 || sec.payloadBytes < 16)
+        return reject("index payload size mismatch");
+
+    std::uint64_t count = 0;
+    std::memcpy(&count, base + indexStart, 8);
+    if (count != sec.payloadBytes / 8 - 2)
+        return reject("index entry count mismatch");
+
+    std::vector<std::uint64_t> raw(count + 1);
+    std::memcpy(raw.data(), base + indexStart + 8, (count + 1) * 8);
+    if (raw.empty() || raw.back() != size)
+        return reject("index end offset does not match file size");
+
+    offsets_.clear();
+    offsets_.reserve(count);
+    std::size_t prev = indexStart + sec.payloadBytes +
+                       padTo8(sec.payloadBytes);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t at = raw[i];
+        const std::size_t next = raw[i + 1];
+        if (at != prev || next <= at || (at & 7) != 0)
+            return reject("index offsets malformed at entry " +
+                          std::to_string(i));
+        offsets_.emplace_back(at, next - at);
+        prev = next;
+    }
+
+    data_ = base;
+    size_ = size;
+    return true;
+}
+
+std::optional<CorpusReader>
+CorpusReader::open(const std::string &path, std::string *error)
+{
+    auto mapped = MappedFile::open(path, error);
+    if (!mapped)
+        return std::nullopt;
+    CorpusReader reader;
+    reader.mapped_ = std::move(*mapped);
+    if (!reader.parse(reader.mapped_.data(), reader.mapped_.size(),
+                      error))
+        return std::nullopt;
+    return reader;
+}
+
+std::optional<CorpusReader>
+CorpusReader::fromBuffer(const void *data, std::size_t size,
+                         std::string *error)
+{
+    CorpusReader reader;
+    if (!reader.parse(data, size, error))
+        return std::nullopt;
+    return reader;
+}
+
+std::optional<TraceView>
+CorpusReader::viewAt(std::size_t i, std::string *error) const
+{
+    if (i >= offsets_.size()) {
+        if (error)
+            *error = "lfmc: trace index out of range";
+        return std::nullopt;
+    }
+    const auto [at, len] = offsets_[i];
+    return TraceView::open(data_ + at, len, error);
+}
+
+std::optional<Trace>
+CorpusReader::decodeAt(std::size_t i, std::string *error) const
+{
+    auto view = viewAt(i, error);
+    if (!view)
+        return std::nullopt;
+    return view->decode();
+}
+
+} // namespace lfm::trace

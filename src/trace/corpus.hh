@@ -1,0 +1,113 @@
+/**
+ * @file
+ * LFMC: a multi-trace corpus container over the LFMT trace format.
+ *
+ * One campaign input is one file: an "LFMC" header, an INDX section
+ * (absolute byte offsets of every packed trace, CRC-guarded like every
+ * LFMT section), then the concatenated single-trace LFMT images, each
+ * starting on an 8-byte boundary so the columnar views alias cleanly.
+ *
+ *     FileHeader  "LFMC" v1, section count (1), header CRC
+ *     INDX        u64 traceCount | u64 offset[traceCount] | u64 end
+ *     LFMT image #0, #1, ... (each a complete, self-validating trace)
+ *
+ * The reader mmaps the file, validates the header and index once, and
+ * hands out zero-copy TraceViews per trace (each viewAt() validates
+ * that image's CRCs — a corrupt trace in the middle of a corpus is
+ * rejected individually, not trusted and not fatal to its neighbors).
+ * The writer accumulates encoded images in memory and publishes the
+ * file atomically; corpora are immutable once written, which is what
+ * makes the zero-copy aliasing sound.
+ */
+
+#ifndef LFM_TRACE_CORPUS_HH
+#define LFM_TRACE_CORPUS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/binary.hh"
+#include "trace/trace.hh"
+
+namespace lfm::trace
+{
+
+/** Accumulates traces and writes one LFMC corpus file. */
+class CorpusWriter
+{
+  public:
+    /** Append one trace (encoded immediately; the Trace may die). */
+    void add(const Trace &trace);
+
+    /** Append an already-encoded LFMT image (must be valid). */
+    void addEncoded(std::string image);
+
+    std::size_t count() const { return images_.size(); }
+
+    /** The complete corpus file as bytes. */
+    std::string encode() const;
+
+    /** Atomically write the corpus file; false on I/O error. */
+    bool writeTo(const std::string &path,
+                 std::string *error = nullptr) const;
+
+  private:
+    std::vector<std::string> images_;
+};
+
+/** One-shot convenience: encode a whole corpus from traces. */
+std::string encodeCorpus(const std::vector<Trace> &traces);
+
+/**
+ * Zero-copy reader over an LFMC corpus; see the file comment.
+ * Move-only when it owns an mmap; fromBuffer() borrows instead.
+ */
+class CorpusReader
+{
+  public:
+    /** mmap a corpus file and validate its header + index. */
+    static std::optional<CorpusReader> open(const std::string &path,
+                                            std::string *error = nullptr);
+
+    /**
+     * Read a corpus from a caller-owned buffer (8-byte aligned); the
+     * buffer must outlive the reader and every view it hands out.
+     */
+    static std::optional<CorpusReader>
+    fromBuffer(const void *data, std::size_t size,
+               std::string *error = nullptr);
+
+    /** Number of traces packed in the corpus. */
+    std::size_t traceCount() const { return offsets_.size(); }
+
+    /**
+     * Zero-copy view of trace i; validates that image's CRCs. The
+     * view aliases the mapped file and must not outlive this reader.
+     */
+    std::optional<TraceView> viewAt(std::size_t i,
+                                    std::string *error = nullptr) const;
+
+    /** Full-decode of trace i (the mutation-capable path). */
+    std::optional<Trace> decodeAt(std::size_t i,
+                                  std::string *error = nullptr) const;
+
+    /** Total corpus size in bytes. */
+    std::size_t bytes() const { return size_; }
+
+  private:
+    CorpusReader() = default;
+
+    bool parse(const void *data, std::size_t size, std::string *error);
+
+    MappedFile mapped_;                  ///< owns bytes for open()
+    const std::uint8_t *data_ = nullptr; ///< start of the corpus image
+    std::size_t size_ = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> offsets_;
+};
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_CORPUS_HH

@@ -78,6 +78,47 @@ struct Event
     bool isWrite() const { return kind == EventKind::Write; }
 };
 
+/**
+ * The POD core of an Event: everything except the label string.
+ *
+ * Analyses never look at labels (they are schedule-enforcement and
+ * failure-message payload), so every consumer generalized over
+ * trace::TraceSource receives events as EventRef values — cheap to
+ * materialize from the columnar binary format (trace/binary.hh)
+ * without ever allocating, and implicitly convertible from a heap
+ * Event so existing call sites keep compiling.
+ */
+struct EventRef
+{
+    SeqNo seq = 0;
+    ThreadId thread = kNoThread;
+    EventKind kind = EventKind::Yield;
+    ObjectId obj = kNoObject;
+    ObjectId obj2 = kNoObject;
+    std::uint64_t aux = 0;
+
+    EventRef() = default;
+    EventRef(const Event &e)
+        : seq(e.seq), thread(e.thread), kind(e.kind), obj(e.obj),
+          obj2(e.obj2), aux(e.aux)
+    {
+    }
+    EventRef(SeqNo s, ThreadId t, EventKind k, ObjectId o, ObjectId o2,
+             std::uint64_t a)
+        : seq(s), thread(t), kind(k), obj(o), obj2(o2), aux(a)
+    {
+    }
+
+    /** True for Read/Write data accesses. */
+    bool isAccess() const
+    {
+        return kind == EventKind::Read || kind == EventKind::Write;
+    }
+
+    /** True for Write accesses. */
+    bool isWrite() const { return kind == EventKind::Write; }
+};
+
 } // namespace lfm::trace
 
 #endif // LFM_TRACE_EVENT_HH

@@ -7,7 +7,7 @@
 namespace lfm::trace
 {
 
-HbBuilder::HbBuilder(const Trace &trace, HbScratch *scratch)
+HbBuilder::HbBuilder(TraceSource trace, HbScratch *scratch)
     : trace_(trace), scratch_(scratch)
 {
     if (scratch_ != nullptr) {
@@ -38,7 +38,7 @@ HbBuilder::HbBuilder(const Trace &trace, HbScratch *scratch)
     }
     poolUsed_ = 1;
 
-    threads_.reserve(trace.threadNames().size() + 1);
+    threads_.reserve(trace.threadCountHint() + 1);
 }
 
 HbBuilder::~HbBuilder()
@@ -82,12 +82,11 @@ HbBuilder::joinEvent(VectorClock &c, SeqNo seq) const
 }
 
 void
-HbBuilder::feed(const Event &event)
+HbBuilder::feed(const EventRef &event)
 {
     const std::size_t i = fed_++;
     LFM_ASSERT(event.seq == i, "events must be fed in seq order");
     const std::size_t n = trace_.size();
-    const auto &events = trace_.events();
 
     ThreadState &ts = stateFor(event.thread);
     VectorClock &c = ts.c;
@@ -139,7 +138,7 @@ HbBuilder::feed(const Event &event)
         // its own crossing in this same run).
         std::size_t lo = i;
         while (lo > 0) {
-            const Event &p = events[lo - 1];
+            const EventRef p = trace_.ev(lo - 1);
             if (p.kind != EventKind::BarrierCross ||
                 p.obj != event.obj || p.aux != event.aux)
                 break;
@@ -147,7 +146,7 @@ HbBuilder::feed(const Event &event)
         }
         std::size_t hi = i;
         while (hi + 1 < n) {
-            const Event &nx = events[hi + 1];
+            const EventRef nx = trace_.ev(hi + 1);
             if (nx.kind != EventKind::BarrierCross ||
                 nx.obj != event.obj || nx.aux != event.aux)
                 break;
@@ -156,7 +155,7 @@ HbBuilder::feed(const Event &event)
         for (std::size_t k = lo; k <= hi; ++k) {
             if (k == i)
                 continue;
-            joined |= c.join(stateFor(events[k].thread).c);
+            joined |= c.join(stateFor(trace_.ev(k).thread).c);
         }
         break;
       }
@@ -206,10 +205,10 @@ HbRelation::reclaimInto(HbScratch &scratch)
     pool_.clear();
 }
 
-HbRelation::HbRelation(const Trace &trace)
+HbRelation::HbRelation(TraceSource trace)
 {
     HbBuilder builder(trace);
-    for (const auto &event : trace.events())
+    for (const EventRef event : trace.events())
         builder.feed(event);
     *this = std::move(builder).finish();
 }

@@ -38,6 +38,7 @@
 #include <map>
 #include <vector>
 
+#include "trace/source.hh"
 #include "trace/trace.hh"
 #include "trace/vector_clock.hh"
 
@@ -52,8 +53,10 @@ class HbScratch;
 class HbRelation
 {
   public:
-    /** Build the relation for the given trace (one internal pass). */
-    explicit HbRelation(const Trace &trace);
+    /** Build the relation for the given trace (one internal pass).
+     * Accepts a heap Trace or a zero-copy TraceView via TraceSource's
+     * implicit conversions. */
+    explicit HbRelation(TraceSource trace);
 
     /**
      * Return the relation's storage (the per-event epoch array and
@@ -135,13 +138,14 @@ class HbBuilder
      *        HbRelation::reclaimInto. One live builder/relation per
      *        scratch at a time.
      */
-    explicit HbBuilder(const Trace &trace,
+    explicit HbBuilder(TraceSource trace,
                        HbScratch *scratch = nullptr);
     ~HbBuilder();
 
     /** Process the next event; must be trace.ev(i) for i = number of
-     * events fed so far. */
-    void feed(const Event &event);
+     * events fed so far. Takes the POD core (a heap Event converts
+     * implicitly) so view-backed feeds never materialize labels. */
+    void feed(const EventRef &event);
 
     /** Consume the builder and return the finished relation. Valid
      * once every trace event has been fed. */
@@ -170,7 +174,7 @@ class HbBuilder
 
     friend class HbScratch;
 
-    const Trace &trace_;
+    TraceSource trace_;
     HbRelation rel_;
     HbScratch *scratch_ = nullptr;
     std::vector<ThreadState> threads_;

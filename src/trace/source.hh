@@ -1,0 +1,183 @@
+/**
+ * @file
+ * TraceSource: one read-only facade over the two trace backings —
+ * the heap Trace the simulator appends to, and the mmap-backed
+ * zero-copy TraceView over an LFMT image (trace/binary.hh).
+ *
+ * Detectors, the happens-before builder and the finding emitters are
+ * written against this type, so the same analysis code runs over a
+ * live simulation trace and over a mapped corpus without ever
+ * materializing the latter on the heap. The facade is two pointers
+ * and dispatches with one branch per call; events come back as
+ * EventRef values (the POD core — analyses never read labels).
+ *
+ * A TraceSource borrows its backing: the Trace or TraceView (and the
+ * buffer behind the view) must outlive every source, range and
+ * iterator derived from it. Implicit construction from `const Trace&`
+ * keeps every pre-existing call site (`pipeline.run(trace)`,
+ * `detector.analyze(trace)`) compiling unchanged.
+ */
+
+#ifndef LFM_TRACE_SOURCE_HH
+#define LFM_TRACE_SOURCE_HH
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+
+#include "trace/binary.hh"
+#include "trace/trace.hh"
+
+namespace lfm::trace
+{
+
+class TraceSource
+{
+  public:
+    /** Wrap a heap trace (implicit: keeps old call sites compiling). */
+    TraceSource(const Trace &trace) : trace_(&trace) {}
+
+    /** Wrap a zero-copy view (implicit for symmetry). */
+    TraceSource(const TraceView &view) : view_(&view) {}
+
+    /** Number of events. */
+    std::size_t size() const
+    {
+        return trace_ ? trace_->size() : view_->size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Event by sequence number, as a POD value. */
+    EventRef ev(SeqNo seq) const
+    {
+        return trace_ ? EventRef(trace_->ev(seq)) : view_->ev(seq);
+    }
+
+    /** Display name for an object; "obj#N" fallback. */
+    std::string objectName(ObjectId id) const
+    {
+        return trace_ ? trace_->objectName(id) : view_->objectName(id);
+    }
+
+    /** Kind for an object; Variable when unregistered. */
+    ObjectKind objectKind(ObjectId id) const
+    {
+        return trace_ ? trace_->objectKind(id) : view_->objectKind(id);
+    }
+
+    /** Display name for a thread; "T<N>" fallback. */
+    std::string threadName(ThreadId tid) const
+    {
+        return trace_ ? trace_->threadName(tid) : view_->threadName(tid);
+    }
+
+    /** Number of distinct threads that produced events. */
+    std::size_t threadCount() const
+    {
+        return trace_ ? trace_->threadCount() : view_->threadCount();
+    }
+
+    /**
+     * Cheap upper-bound-ish thread count for reservations (for a heap
+     * trace the registered-name count without scanning events; for a
+     * view the exact count recorded at pack time).
+     */
+    std::size_t threadCountHint() const
+    {
+        return trace_ ? trace_->threadNames().size()
+                      : view_->threadCount();
+    }
+
+    /** The heap trace behind this source, nullptr when view-backed. */
+    const Trace *heapTrace() const { return trace_; }
+
+    /** The zero-copy view behind this source, nullptr when heap. */
+    const TraceView *view() const { return view_; }
+
+    class EventRange;
+
+    /**
+     * Indexable forward range of EventRef values. Value type: keep the
+     * source alive, not the range (`const auto &events =
+     * source.events()` works via lifetime extension).
+     */
+    EventRange events() const;
+
+  private:
+    const Trace *trace_ = nullptr;
+    const TraceView *view_ = nullptr;
+};
+
+class TraceSource::EventRange
+{
+  public:
+    explicit EventRange(const TraceSource &source) : source_(source)
+    {
+    }
+
+    class iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = EventRef;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const EventRef *;
+        using reference = EventRef;
+
+        iterator() = default;
+        iterator(const TraceSource *source, SeqNo pos)
+            : source_(source), pos_(pos)
+        {
+        }
+
+        EventRef operator*() const { return source_->ev(pos_); }
+
+        iterator &operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+
+        iterator operator++(int)
+        {
+            iterator old = *this;
+            ++pos_;
+            return old;
+        }
+
+        bool operator==(const iterator &other) const
+        {
+            return pos_ == other.pos_;
+        }
+
+        bool operator!=(const iterator &other) const
+        {
+            return pos_ != other.pos_;
+        }
+
+      private:
+        const TraceSource *source_ = nullptr;
+        SeqNo pos_ = 0;
+    };
+
+    iterator begin() const { return {&source_, 0}; }
+    iterator end() const { return {&source_, source_.size()}; }
+
+    EventRef operator[](std::size_t i) const { return source_.ev(i); }
+
+    std::size_t size() const { return source_.size(); }
+
+  private:
+    TraceSource source_;
+};
+
+inline TraceSource::EventRange
+TraceSource::events() const
+{
+    return EventRange(*this);
+}
+
+} // namespace lfm::trace
+
+#endif // LFM_TRACE_SOURCE_HH

@@ -114,48 +114,54 @@ Trace::threadCount() const
     return tids.size();
 }
 
-std::vector<SeqNo>
+void
+Trace::refreshIndex() const
+{
+    for (std::size_t i = index_.upTo; i < events_.size(); ++i) {
+        const Event &event = events_[i];
+        if (event.isAccess())
+            index_.accesses[event.obj].push_back(event.seq);
+        else if (event.kind == EventKind::Lock ||
+                 event.kind == EventKind::RdLock)
+            index_.locked.insert(event.obj);
+        else if (event.kind == EventKind::FailureMark)
+            index_.failures.push_back(event.seq);
+    }
+    index_.upTo = events_.size();
+}
+
+const std::vector<SeqNo> &
 Trace::accessesTo(ObjectId var) const
 {
-    std::vector<SeqNo> out;
-    for (const auto &event : events_) {
-        if (event.isAccess() && event.obj == var)
-            out.push_back(event.seq);
-    }
-    return out;
+    refreshIndex();
+    static const std::vector<SeqNo> kEmpty;
+    auto it = index_.accesses.find(var);
+    return it == index_.accesses.end() ? kEmpty : it->second;
 }
 
 std::vector<ObjectId>
 Trace::accessedVariables() const
 {
-    std::set<ObjectId> vars;
-    for (const auto &event : events_) {
-        if (event.isAccess())
-            vars.insert(event.obj);
-    }
-    return {vars.begin(), vars.end()};
+    refreshIndex();
+    std::vector<ObjectId> out;
+    out.reserve(index_.accesses.size());
+    for (const auto &[var, seqs] : index_.accesses)
+        out.push_back(var);
+    return out;
 }
 
 std::vector<ObjectId>
 Trace::lockedObjects() const
 {
-    std::set<ObjectId> locks;
-    for (const auto &event : events_) {
-        if (event.kind == EventKind::Lock || event.kind == EventKind::RdLock)
-            locks.insert(event.obj);
-    }
-    return {locks.begin(), locks.end()};
+    refreshIndex();
+    return {index_.locked.begin(), index_.locked.end()};
 }
 
-std::vector<SeqNo>
+const std::vector<SeqNo> &
 Trace::failures() const
 {
-    std::vector<SeqNo> out;
-    for (const auto &event : events_) {
-        if (event.kind == EventKind::FailureMark)
-            out.push_back(event.seq);
-    }
-    return out;
+    refreshIndex();
+    return index_.failures;
 }
 
 std::string

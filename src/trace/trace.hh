@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <iterator>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -175,8 +176,25 @@ class Trace
     /** Number of distinct logical threads that produced events. */
     std::size_t threadCount() const;
 
+    // ------------------------------------------------------------------
+    // Memoized index queries. These used to rescan the whole trace on
+    // every call; they now lazily maintain one shared index that only
+    // sweeps events appended since the previous query, so repeated
+    // queries are O(1) lookups. Detector hot paths should still prefer
+    // detect::AnalysisContext (arena/SoA spans, no per-variable
+    // vectors); these helpers serve tests, legacy reference
+    // implementations and ad-hoc tooling.
+    //
+    // Caveat: refreshing the index mutates `mutable` state without a
+    // lock (a mutex member would delete the copy constructor corpora
+    // rely on). A trace being read by several threads must have been
+    // fully indexed first — one warm-up query after the last append —
+    // or each thread must own its copy, which is how BatchRunner /
+    // DetectionStream hand traces to workers today.
+    // ------------------------------------------------------------------
+
     /** Sequence numbers of Read/Write events on the given variable. */
-    std::vector<SeqNo> accessesTo(ObjectId var) const;
+    const std::vector<SeqNo> &accessesTo(ObjectId var) const;
 
     /** Ids of all variables with at least one access, sorted. */
     std::vector<ObjectId> accessedVariables() const;
@@ -185,7 +203,7 @@ class Trace
     std::vector<ObjectId> lockedObjects() const;
 
     /** Sequence numbers of all FailureMark events. */
-    std::vector<SeqNo> failures() const;
+    const std::vector<SeqNo> &failures() const;
 
     /** Human-readable one-line rendering of an event (debugging). */
     std::string render(const Event &event) const;
@@ -203,9 +221,22 @@ class Trace
     }
 
   private:
+    /** Lazily maintained query index; see the memoization comment. */
+    struct LazyIndex
+    {
+        std::size_t upTo = 0; ///< events swept into the index so far
+        std::map<ObjectId, std::vector<SeqNo>> accesses;
+        std::set<ObjectId> locked;
+        std::vector<SeqNo> failures;
+    };
+
+    /** Sweep events [index_.upTo, size) into the index. */
+    void refreshIndex() const;
+
     EventArena events_;
     std::map<ObjectId, ObjectInfo> objects_;
     std::map<ThreadId, std::string> threadNames_;
+    mutable LazyIndex index_;
 };
 
 } // namespace lfm::trace

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "detect/batch.hh"
@@ -18,6 +19,8 @@
 #include "sim/policy.hh"
 #include "support/journal.hh"
 #include "support/random.hh"
+#include "trace/binary.hh"
+#include "trace/corpus.hh"
 #include "trace/hb.hh"
 #include "trace/serialize.hh"
 #include "trace/validate.hh"
@@ -263,5 +266,185 @@ TEST_P(JournalCorruptionTest, RecoveryYieldsAValidPrefix)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalCorruptionTest,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+/**
+ * LFMT corruption sweep: bit-flipped or truncated binary trace
+ * images must either be rejected with a diagnostic or — when the
+ * damage lands in padding or a reserved word — load a trace whose
+ * pipeline findings are byte-identical to the pristine original.
+ * Silent mis-parses are the failure mode being hunted here.
+ */
+class LfmtCorruptionTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+namespace
+{
+
+/// Copy raw bytes into an 8-byte-aligned buffer, as TraceView
+/// requires, so the only thing under test is the corruption itself.
+std::vector<std::uint64_t>
+alignedCopy(const std::string &bytes)
+{
+    std::vector<std::uint64_t> buffer((bytes.size() + 7) / 8, 0);
+    if (!bytes.empty())
+        std::memcpy(buffer.data(), bytes.data(), bytes.size());
+    return buffer;
+}
+
+} // namespace
+
+TEST_P(LfmtCorruptionTest, MangledImageRejectsOrLoadsIdentically)
+{
+    const std::uint64_t seed = GetParam();
+    auto factory =
+        explore::randomProgramFactory(configFor(seed), seed);
+    sim::RandomPolicy policy;
+    sim::ExecOptions opt;
+    opt.seed = seed * 29 + 11;
+    opt.maxDecisions = 5000;
+    const trace::Trace good =
+        sim::runProgram(factory, policy, opt).trace;
+    const std::string image = trace::encodeTrace(good);
+    ASSERT_GE(image.size(), 32u);
+
+    detect::Pipeline pipeline;
+    const std::string baseline =
+        detect::findingsJson(good, pipeline.run(good)).str();
+    const std::string goodText = trace::traceToString(good);
+
+    const auto check = [&](std::string bytes,
+                           const std::string &what) {
+        const auto buffer = alignedCopy(bytes);
+        std::string error;
+        auto view = trace::TraceView::open(buffer.data(),
+                                           bytes.size(), &error);
+        if (!view.has_value()) {
+            // Rejected: fine, but the rejection must carry a reason.
+            EXPECT_FALSE(error.empty()) << what;
+            return;
+        }
+        // Survived: the flip hit padding or a reserved word. The
+        // loaded trace must then be indistinguishable from pristine.
+        EXPECT_EQ(trace::traceToString(view->decode()), goodText)
+            << what << ": corrupt image decoded to a different trace";
+        EXPECT_EQ(
+            detect::findingsJson(view->decode(),
+                                 pipeline.run(view->decode()))
+                .str(),
+            baseline)
+            << what << ": corrupt image changed pipeline findings";
+    };
+
+    // Truncations: empty, mid-header, mid-section-table, random.
+    check("", "empty buffer");
+    check(image.substr(0, 8), "cut inside the file header");
+    check(image.substr(0, 16), "cut after the file header");
+    support::Rng rng(0xC0FFEE ^ (seed * 2654435761u));
+    for (int i = 0; i < 6; ++i)
+        check(image.substr(0, rng.index(image.size())),
+              "random truncation");
+
+    // Targeted single-bit flips in the file and first section
+    // headers: magic, version, section count, header CRC, tag,
+    // payload size, payload CRC.
+    for (std::size_t at : {0u, 4u, 8u, 12u, 16u, 20u, 24u}) {
+        std::string bytes = image;
+        bytes[at] ^= static_cast<char>(1u << rng.index(8));
+        check(bytes,
+              "bit flip at header offset " + std::to_string(at));
+    }
+
+    // Random single-bit flips anywhere: string tables, event
+    // columns, section padding — every byte is fair game.
+    for (int i = 0; i < 24; ++i) {
+        std::string bytes = image;
+        const std::size_t at = rng.index(bytes.size());
+        bytes[at] ^= static_cast<char>(1u << rng.index(8));
+        check(bytes, "bit flip at offset " + std::to_string(at));
+    }
+
+    // An all-zero buffer of plausible size must be rejected.
+    check(std::string(image.size(), '\0'), "all-zero buffer");
+}
+
+TEST_P(LfmtCorruptionTest, CorruptCorpusIsolatesDamagedEntries)
+{
+    const std::uint64_t seed = GetParam();
+    sim::RandomPolicy policy;
+    trace::CorpusWriter writer;
+    std::vector<std::string> baselines;
+    detect::Pipeline pipeline;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        auto factory = explore::randomProgramFactory(
+            configFor(seed + i), seed + i);
+        sim::ExecOptions opt;
+        opt.seed = (seed + i) * 29 + 11;
+        opt.maxDecisions = 5000;
+        const trace::Trace t =
+            sim::runProgram(factory, policy, opt).trace;
+        baselines.push_back(
+            detect::findingsJson(t, pipeline.run(t)).str());
+        writer.add(t);
+    }
+    const std::string image = writer.encode();
+
+    const auto check = [&](std::string bytes,
+                           const std::string &what) {
+        const auto buffer = alignedCopy(bytes);
+        std::string error;
+        auto reader = trace::CorpusReader::fromBuffer(
+            buffer.data(), bytes.size(), &error);
+        if (!reader.has_value()) {
+            EXPECT_FALSE(error.empty()) << what;
+            return;
+        }
+        // The index survived. Each entry must now individually
+        // reject with a diagnostic or analyze identically — one
+        // mangled trace must never poison its neighbours.
+        for (std::size_t i = 0; i < reader->traceCount(); ++i) {
+            std::string entryError;
+            auto view = reader->viewAt(i, &entryError);
+            if (!view.has_value()) {
+                EXPECT_FALSE(entryError.empty())
+                    << what << ": entry " << i;
+                continue;
+            }
+            if (i < baselines.size()) {
+                const trace::Trace t = view->decode();
+                EXPECT_EQ(
+                    detect::findingsJson(t, pipeline.run(t)).str(),
+                    baselines[i])
+                    << what << ": entry " << i
+                    << " changed pipeline findings";
+            }
+        }
+    };
+
+    support::Rng rng(0xD15EA5E ^ (seed * 2654435761u));
+    check("", "empty corpus buffer");
+    check(image.substr(0, 12), "cut inside the corpus header");
+    for (int i = 0; i < 4; ++i)
+        check(image.substr(0, rng.index(image.size())),
+              "random corpus truncation");
+    // Flips in the index region (header + INDX section) and beyond.
+    for (int i = 0; i < 8; ++i) {
+        std::string bytes = image;
+        const std::size_t at =
+            rng.index(std::min<std::size_t>(bytes.size(), 80));
+        bytes[at] ^= static_cast<char>(1u << rng.index(8));
+        check(bytes, "bit flip in index at " + std::to_string(at));
+    }
+    for (int i = 0; i < 16; ++i) {
+        std::string bytes = image;
+        const std::size_t at = rng.index(bytes.size());
+        bytes[at] ^= static_cast<char>(1u << rng.index(8));
+        check(bytes, "bit flip at offset " + std::to_string(at));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LfmtCorruptionTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
 
 } // namespace

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Round-trip battery for the LFMT binary trace format and the LFMC
+ * corpus container (trace/binary.hh, trace/corpus.hh).
+ *
+ * The format's contract is byte-level fidelity on both sides of the
+ * fence: for every trace in a corpus spanning random programs and
+ * every registered bug kernel,
+ *  - text -> LFMT -> text must reproduce the v1 serialization
+ *    byte-for-byte (both through the full decoder and through the
+ *    zero-copy TraceView),
+ *  - the detection pipeline over a mapped TraceView must emit
+ *    findings documents byte-identical to the heap-Trace run, and
+ *  - every TraceView accessor must match its Trace counterpart
+ *    exactly, fallbacks included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "detect/batch.hh"
+#include "detect/pipeline.hh"
+#include "explore/randprog.hh"
+#include "sim/policy.hh"
+#include "sim/program.hh"
+#include "trace/binary.hh"
+#include "trace/corpus.hh"
+#include "trace/serialize.hh"
+#include "trace/source.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace lfm;
+using trace::Trace;
+
+/** Randprog shape varied with the seed (mirrors test_pipeline). */
+explore::RandProgConfig
+configFor(std::uint64_t seed)
+{
+    explore::RandProgConfig config;
+    config.threads = 2 + static_cast<int>(seed % 3);
+    config.variables = 1 + static_cast<int>(seed % 4);
+    config.mutexes = 1 + static_cast<int>(seed % 2);
+    config.opsPerThread = 3 + static_cast<int>(seed % 7);
+    config.lockedFraction = (seed % 5) * 0.25;
+    config.writeFraction = 0.3 + (seed % 3) * 0.2;
+    config.consistentLocking = seed % 2 == 0;
+    return config;
+}
+
+/** Random traces plus one trace per registered kernel. */
+std::vector<Trace>
+corpus()
+{
+    std::vector<Trace> traces;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        auto factory =
+            explore::randomProgramFactory(configFor(seed), seed);
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = seed * 31 + 7;
+        opt.maxDecisions = 5000;
+        traces.push_back(
+            sim::runProgram(factory, policy, opt).trace);
+    }
+    for (const auto *kernel : bugs::allKernels()) {
+        sim::RandomPolicy policy;
+        sim::ExecOptions opt;
+        opt.seed = 1;
+        opt.maxDecisions = 20000;
+        traces.push_back(
+            sim::runProgram(kernel->factory(bugs::Variant::Buggy),
+                            policy, opt)
+                .trace);
+    }
+    return traces;
+}
+
+/** An 8-aligned copy of an encoded image (heap strings are already
+ * aligned in practice; this makes the guarantee explicit). */
+std::vector<std::uint64_t>
+aligned(const std::string &image)
+{
+    std::vector<std::uint64_t> buf((image.size() + 7) / 8, 0);
+    std::memcpy(buf.data(), image.data(), image.size());
+    return buf;
+}
+
+TEST(Lfmt, TextBinaryTextIsByteIdentical)
+{
+    std::size_t index = 0;
+    for (const Trace &trace : corpus()) {
+        const std::string text = trace::traceToString(trace);
+        const std::string image = trace::encodeTrace(trace);
+        const auto buf = aligned(image);
+
+        std::string error;
+        auto decoded =
+            trace::decodeTrace(buf.data(), image.size(), &error);
+        ASSERT_TRUE(decoded) << "trace " << index << ": " << error;
+        EXPECT_EQ(trace::traceToString(*decoded), text)
+            << "trace " << index;
+
+        auto view =
+            trace::TraceView::open(buf.data(), image.size(), &error);
+        ASSERT_TRUE(view) << "trace " << index << ": " << error;
+        EXPECT_EQ(trace::traceToString(view->decode()), text)
+            << "trace " << index;
+        ++index;
+    }
+}
+
+TEST(Lfmt, ViewMatchesTraceAccessorForAccessor)
+{
+    for (const Trace &trace : corpus()) {
+        const std::string image = trace::encodeTrace(trace);
+        const auto buf = aligned(image);
+        auto view = trace::TraceView::open(buf.data(), image.size());
+        ASSERT_TRUE(view);
+
+        ASSERT_EQ(view->size(), trace.size());
+        EXPECT_EQ(view->threadCount(), trace.threadCount());
+        EXPECT_EQ(view->objectCount(), trace.objects().size());
+        EXPECT_EQ(view->threadNameCount(),
+                  trace.threadNames().size());
+
+        for (trace::SeqNo seq = 0; seq < trace.size(); ++seq) {
+            const auto &e = trace.ev(seq);
+            const trace::EventRef r = view->ev(seq);
+            EXPECT_EQ(r.seq, e.seq);
+            EXPECT_EQ(r.thread, e.thread);
+            EXPECT_EQ(r.kind, e.kind);
+            EXPECT_EQ(r.obj, e.obj);
+            EXPECT_EQ(r.obj2, e.obj2);
+            EXPECT_EQ(r.aux, e.aux);
+            EXPECT_EQ(std::string(view->label(seq)), e.label);
+        }
+        for (const auto &[id, info] : trace.objects()) {
+            EXPECT_EQ(view->objectName(id), trace.objectName(id));
+            EXPECT_EQ(view->objectKind(id), trace.objectKind(id));
+            auto row = view->objectInfo(id);
+            ASSERT_TRUE(row);
+            EXPECT_EQ(row->flags, info.flags);
+            EXPECT_EQ(std::string(row->name), info.name);
+            EXPECT_EQ(view->accessesTo(id), trace.accessesTo(id));
+        }
+        for (const auto &[tid, name] : trace.threadNames()) {
+            (void)name;
+            EXPECT_EQ(view->threadName(tid), trace.threadName(tid));
+        }
+        // Fallback semantics for ids nobody registered.
+        EXPECT_EQ(view->objectName(987654), trace.objectName(987654));
+        EXPECT_EQ(view->objectKind(987654), trace.objectKind(987654));
+        EXPECT_EQ(view->threadName(1234), trace.threadName(1234));
+        EXPECT_FALSE(view->objectInfo(987654));
+    }
+}
+
+TEST(Lfmt, PipelineFindingsOverViewAreByteIdentical)
+{
+    detect::Pipeline pipeline;
+    std::size_t index = 0;
+    for (const Trace &trace : corpus()) {
+        const std::string image = trace::encodeTrace(trace);
+        const auto buf = aligned(image);
+        auto view = trace::TraceView::open(buf.data(), image.size());
+        ASSERT_TRUE(view);
+
+        const std::string viaHeap =
+            detect::findingsJson(trace, pipeline.run(trace), index)
+                .str();
+        const std::string viaView =
+            detect::findingsJson(*view, pipeline.run(*view), index)
+                .str();
+        EXPECT_EQ(viaHeap, viaView) << "trace " << index;
+        ++index;
+    }
+}
+
+TEST(Lfmt, DecodeToleratesMisalignedBuffer)
+{
+    Trace t;
+    t.registerObject({1, trace::ObjectKind::Variable, "x", 0});
+    trace::Event e;
+    e.thread = 0;
+    e.kind = trace::EventKind::Write;
+    e.obj = 1;
+    t.append(e);
+    const std::string image = trace::encodeTrace(t);
+
+    std::vector<std::uint64_t> raw((image.size() + 15) / 8, 0);
+    auto *base = reinterpret_cast<std::uint8_t *>(raw.data()) + 1;
+    std::memcpy(base, image.data(), image.size());
+
+    // The zero-copy view refuses a misaligned base...
+    std::string error;
+    EXPECT_FALSE(trace::TraceView::open(base, image.size(), &error));
+    EXPECT_FALSE(error.empty());
+
+    // ...while the decoder realigns internally and succeeds.
+    auto decoded = trace::decodeTrace(base, image.size(), &error);
+    ASSERT_TRUE(decoded) << error;
+    EXPECT_EQ(trace::traceToString(*decoded),
+              trace::traceToString(t));
+}
+
+TEST(Lfmt, EmptyTraceRoundTrips)
+{
+    Trace empty;
+    const std::string image = trace::encodeTrace(empty);
+    const auto buf = aligned(image);
+    auto view = trace::TraceView::open(buf.data(), image.size());
+    ASSERT_TRUE(view);
+    EXPECT_EQ(view->size(), 0u);
+    EXPECT_EQ(view->threadCount(), 0u);
+    EXPECT_EQ(trace::traceToString(view->decode()),
+              trace::traceToString(empty));
+}
+
+TEST(Lfmt, SaveAndLoadBinaryFile)
+{
+    const auto traces = corpus();
+    const Trace &trace = traces.front();
+    const std::string path =
+        testing::TempDir() + "/lfmt_roundtrip.lfmt";
+    std::string error;
+    ASSERT_TRUE(trace::saveTraceBinary(trace, path, &error)) << error;
+
+    auto loaded = trace::loadTraceBinary(path, &error);
+    ASSERT_TRUE(loaded) << error;
+    EXPECT_EQ(trace::traceToString(*loaded),
+              trace::traceToString(trace));
+
+    auto mapped = trace::MappedFile::open(path, &error);
+    ASSERT_TRUE(mapped) << error;
+    auto view = trace::TraceView::open(mapped->data(), mapped->size(),
+                                       &error);
+    ASSERT_TRUE(view) << error;
+    EXPECT_EQ(trace::traceToString(view->decode()),
+              trace::traceToString(trace));
+}
+
+TEST(Lfmc, CorpusRoundTripsEveryTrace)
+{
+    const auto traces = corpus();
+    trace::CorpusWriter writer;
+    for (const Trace &t : traces)
+        writer.add(t);
+    ASSERT_EQ(writer.count(), traces.size());
+
+    const std::string path = testing::TempDir() + "/corpus.lfmc";
+    std::string error;
+    ASSERT_TRUE(writer.writeTo(path, &error)) << error;
+
+    auto reader = trace::CorpusReader::open(path, &error);
+    ASSERT_TRUE(reader) << error;
+    ASSERT_EQ(reader->traceCount(), traces.size());
+
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        const std::string text = trace::traceToString(traces[i]);
+        auto view = reader->viewAt(i, &error);
+        ASSERT_TRUE(view) << "trace " << i << ": " << error;
+        EXPECT_EQ(trace::traceToString(view->decode()), text)
+            << "trace " << i;
+        auto decoded = reader->decodeAt(i, &error);
+        ASSERT_TRUE(decoded) << "trace " << i << ": " << error;
+        EXPECT_EQ(trace::traceToString(*decoded), text)
+            << "trace " << i;
+    }
+}
+
+TEST(Lfmc, EncodeCorpusMatchesWriterAndBorrowsBuffer)
+{
+    const auto traces = corpus();
+    const std::string encoded = trace::encodeCorpus(traces);
+
+    trace::CorpusWriter writer;
+    for (const Trace &t : traces)
+        writer.add(t);
+    EXPECT_EQ(writer.encode(), encoded);
+
+    std::vector<std::uint64_t> buf((encoded.size() + 7) / 8, 0);
+    std::memcpy(buf.data(), encoded.data(), encoded.size());
+    std::string error;
+    auto reader = trace::CorpusReader::fromBuffer(
+        buf.data(), encoded.size(), &error);
+    ASSERT_TRUE(reader) << error;
+    EXPECT_EQ(reader->traceCount(), traces.size());
+    EXPECT_EQ(reader->bytes(), encoded.size());
+}
+
+TEST(Lfmc, EmptyCorpusRoundTrips)
+{
+    trace::CorpusWriter writer;
+    const std::string path = testing::TempDir() + "/empty.lfmc";
+    std::string error;
+    ASSERT_TRUE(writer.writeTo(path, &error)) << error;
+    auto reader = trace::CorpusReader::open(path, &error);
+    ASSERT_TRUE(reader) << error;
+    EXPECT_EQ(reader->traceCount(), 0u);
+}
+
+TEST(Lfmc, BatchRunOverCorpusMatchesHeapBatch)
+{
+    const auto traces = corpus();
+    const std::string path = testing::TempDir() + "/batch.lfmc";
+    trace::CorpusWriter writer;
+    for (const Trace &t : traces)
+        writer.add(t);
+    std::string error;
+    ASSERT_TRUE(writer.writeTo(path, &error)) << error;
+    auto reader = trace::CorpusReader::open(path, &error);
+    ASSERT_TRUE(reader) << error;
+
+    detect::Pipeline pipeline;
+    detect::BatchRunner runner(2);
+    const auto heapReports = runner.run(pipeline, traces);
+    const auto corpusReports = runner.run(pipeline, *reader);
+
+    ASSERT_EQ(corpusReports.size(), heapReports.size());
+    for (std::size_t i = 0; i < heapReports.size(); ++i) {
+        EXPECT_EQ(corpusReports[i].key, heapReports[i].key);
+        EXPECT_EQ(static_cast<int>(corpusReports[i].status),
+                  static_cast<int>(heapReports[i].status));
+        ASSERT_EQ(corpusReports[i].findings.size(),
+                  heapReports[i].findings.size())
+            << "trace " << i;
+        for (std::size_t j = 0; j < heapReports[i].findings.size();
+             ++j) {
+            EXPECT_EQ(corpusReports[i].findings[j].message,
+                      heapReports[i].findings[j].message);
+            EXPECT_EQ(corpusReports[i].findings[j].events,
+                      heapReports[i].findings[j].events);
+        }
+    }
+
+    // The emitters over the mapped corpus must byte-match the heap
+    // emitters on the same reports.
+    EXPECT_EQ(detect::reportsJson(*reader, corpusReports).str(),
+              detect::reportsJson(traces, heapReports).str());
+    EXPECT_EQ(detect::reportsSarif(*reader, corpusReports).str(),
+              detect::reportsSarif(traces, heapReports).str());
+}
+
+TEST(Lfmc, StreamSubmitCorpusMatchesHeapSubmit)
+{
+    const auto traces = corpus();
+    trace::CorpusWriter writer;
+    for (const Trace &t : traces)
+        writer.add(t);
+    const std::string encoded = writer.encode();
+    std::vector<std::uint64_t> buf((encoded.size() + 7) / 8, 0);
+    std::memcpy(buf.data(), encoded.data(), encoded.size());
+    auto reader =
+        trace::CorpusReader::fromBuffer(buf.data(), encoded.size());
+    ASSERT_TRUE(reader);
+
+    detect::Pipeline pipeline;
+    std::vector<detect::TraceReport> viaHeap;
+    {
+        detect::DetectionStream stream(pipeline, 2);
+        for (std::size_t i = 0; i < traces.size(); ++i)
+            stream.submit(i, traces[i]);
+        viaHeap = stream.finish();
+    }
+    std::vector<detect::TraceReport> viaCorpus;
+    {
+        detect::DetectionStream stream(pipeline, 2);
+        EXPECT_EQ(stream.submitCorpus(*reader), traces.size());
+        viaCorpus = stream.finish();
+    }
+    ASSERT_EQ(viaCorpus.size(), viaHeap.size());
+    for (std::size_t i = 0; i < viaHeap.size(); ++i) {
+        EXPECT_EQ(viaCorpus[i].key, viaHeap[i].key);
+        ASSERT_EQ(viaCorpus[i].findings.size(),
+                  viaHeap[i].findings.size());
+        for (std::size_t j = 0; j < viaHeap[i].findings.size(); ++j) {
+            EXPECT_EQ(viaCorpus[i].findings[j].message,
+                      viaHeap[i].findings[j].message);
+        }
+    }
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 
 #include "detect/batch.hh"
 #include "detect/pipeline.hh"
+#include "support/journal.hh"
 #include "support/metrics.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
@@ -166,6 +167,71 @@ TEST(Stats, RatioFormatting)
     EXPECT_EQ(formatRatio(0, 0), "0/0 (n/a)");
     EXPECT_EQ(formatPercent(49, 74), "66.2%");
     EXPECT_EQ(formatPercent(1, 0), "n/a");
+}
+
+namespace
+{
+
+/// Textbook byte-at-a-time CRC-32 (IEEE, reflected): the oracle the
+/// production slicing-by-8 implementation must agree with.
+std::uint32_t
+crc32Reference(const void *data, std::size_t len, std::uint32_t crc)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= p[i];
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+    return ~crc;
+}
+
+} // namespace
+
+TEST(Crc32, MatchesKnownVector)
+{
+    // The canonical CRC-32 check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, SlicedMatchesBytewiseReferenceAtEveryLengthAndOffset)
+{
+    Rng rng(0xC4C32u);
+    std::vector<std::uint8_t> bytes(513);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    // Sweep lengths across the slicing-by-8 boundaries (0..64) plus
+    // larger blocks, at every alignment 0..7, so both the unaligned
+    // prologue and the word loop are exercised.
+    for (std::size_t offset = 0; offset < 8; ++offset) {
+        for (std::size_t len = 0; len <= 64; ++len) {
+            ASSERT_EQ(crc32(bytes.data() + offset, len),
+                      crc32Reference(bytes.data() + offset, len, 0))
+                << "offset " << offset << " len " << len;
+        }
+        const std::size_t len = bytes.size() - offset;
+        ASSERT_EQ(crc32(bytes.data() + offset, len),
+                  crc32Reference(bytes.data() + offset, len, 0))
+            << "offset " << offset;
+    }
+}
+
+TEST(Crc32, ChainedContinuationMatchesOneShot)
+{
+    Rng rng(7);
+    std::vector<std::uint8_t> bytes(301);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.next());
+    const std::uint32_t whole = crc32(bytes.data(), bytes.size());
+    for (std::size_t split : {0u, 1u, 7u, 8u, 100u, 300u, 301u}) {
+        const std::uint32_t first = crc32(bytes.data(), split);
+        EXPECT_EQ(crc32(bytes.data() + split, bytes.size() - split,
+                        first),
+                  whole)
+            << "split at " << split;
+    }
 }
 
 TEST(Strings, JoinSplitTrim)

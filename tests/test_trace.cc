@@ -88,6 +88,38 @@ TEST(Trace, NamesAndIndices)
     EXPECT_FALSE(t.render(t.ev(1)).empty());
 }
 
+TEST(Trace, MemoizedIndexReflectsAppendsAfterFirstQuery)
+{
+    // The access/failure index is built lazily and memoized; appends
+    // made after the first query must still be visible on the next
+    // one (the index refreshes incrementally, not once).
+    Trace t;
+    t.registerObject({1, ObjectKind::Variable, "x", 0});
+    t.registerObject({2, ObjectKind::Variable, "y", 0});
+    t.append(mk(0, EventKind::Write, 1));
+
+    EXPECT_EQ(t.accessesTo(1).size(), 1u);
+    EXPECT_TRUE(t.accessesTo(2).empty());
+    EXPECT_TRUE(t.failures().empty());
+
+    // Grow the trace after the index exists.
+    t.append(mk(1, EventKind::Read, 1));
+    t.append(mk(1, EventKind::Write, 2));
+    t.append(mk(1, EventKind::FailureMark, 2));
+
+    EXPECT_EQ(t.accessesTo(1).size(), 2u);
+    EXPECT_EQ(t.accessesTo(2).size(), 1u);
+    ASSERT_EQ(t.failures().size(), 1u);
+    EXPECT_EQ(t.failures()[0], t.size() - 1);
+    EXPECT_EQ(t.accessedVariables().size(), 2u);
+
+    // Repeated queries are stable (memoized, not re-appended).
+    const auto &first = t.accessesTo(1);
+    const auto &second = t.accessesTo(1);
+    EXPECT_EQ(&first, &second); // same vector: no per-call rebuild
+    EXPECT_EQ(first.size(), 2u);
+}
+
 TEST(Hb, ProgramOrder)
 {
     Trace t;

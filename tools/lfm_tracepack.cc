@@ -1,0 +1,240 @@
+/**
+ * @file
+ * lfm_tracepack: convert between the v1 text trace format and the
+ * LFMT/LFMC binary formats (trace/binary.hh, trace/corpus.hh).
+ *
+ *     lfm_tracepack pack <out.lfmc> <in.txt> [in.txt ...]
+ *         Parse text traces and pack them, in argument order, into
+ *         one LFMC corpus (a single input still produces a corpus —
+ *         a corpus of one — so downstream tooling has one path).
+ *
+ *     lfm_tracepack unpack <in.lfmc|in.lfmt> <outdir>
+ *         Write every packed trace back out as v1 text, one file per
+ *         trace (<outdir>/trace_0000.txt, ...). Accepts either a
+ *         corpus or a single-trace image (sniffed by magic).
+ *
+ *     lfm_tracepack info <in.lfmc|in.lfmt>
+ *         Validate the file (every CRC, every bound) and print
+ *         per-trace event/thread/object counts plus byte sizes.
+ *
+ * Exit codes: 0 success, 1 usage error, 2 format or I/O error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "support/journal.hh"
+#include "trace/binary.hh"
+#include "trace/corpus.hh"
+#include "trace/serialize.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+constexpr int kOk = 0;
+constexpr int kUsage = 1;
+constexpr int kFormat = 2;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: lfm_tracepack pack <out.lfmc> <in.txt> [in.txt ...]\n"
+        << "       lfm_tracepack unpack <in.lfmc|in.lfmt> <outdir>\n"
+        << "       lfm_tracepack info <in.lfmc|in.lfmt>\n";
+    return kUsage;
+}
+
+int
+fail(const std::string &what)
+{
+    std::cerr << "lfm_tracepack: " << what << "\n";
+    return kFormat;
+}
+
+bool
+hasMagic(const lfm::trace::MappedFile &file, const char *magic)
+{
+    return file.size() >= 4 &&
+           std::memcmp(file.data(), magic, 4) == 0;
+}
+
+/** Zero-padded per-trace text file name: trace_0000.txt. */
+std::string
+textName(std::size_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "trace_%04zu.txt", index);
+    return buf;
+}
+
+int
+cmdPack(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    const std::string &out = args[0];
+
+    lfm::trace::CorpusWriter writer;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        std::ifstream in(args[i]);
+        if (!in)
+            return fail("cannot open " + args[i]);
+        std::string error;
+        auto trace = lfm::trace::loadTrace(in, &error);
+        if (!trace)
+            return fail(args[i] + ": " + error);
+        writer.add(*trace);
+    }
+
+    std::string error;
+    if (!writer.writeTo(out, &error))
+        return fail(out + ": " + error);
+    std::cout << "packed " << writer.count() << " trace"
+              << (writer.count() == 1 ? "" : "s") << " into " << out
+              << "\n";
+    return kOk;
+}
+
+int
+unpackOne(const lfm::trace::TraceView &view, const std::string &dir,
+          std::size_t index)
+{
+    std::ostringstream os;
+    lfm::trace::saveTrace(view.decode(), os);
+    const std::string path = dir + "/" + textName(index);
+    if (!lfm::support::atomicWriteFile(path, os.str()))
+        return fail("cannot write " + path);
+    return kOk;
+}
+
+int
+cmdUnpack(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return usage();
+    const std::string &in = args[0];
+    const std::string &dir = args[1];
+
+    ::mkdir(dir.c_str(), 0755); // existing directory is fine
+
+    std::string error;
+    auto file = lfm::trace::MappedFile::open(in, &error);
+    if (!file)
+        return fail(in + ": " + error);
+
+    if (hasMagic(*file, "LFMT")) {
+        auto view =
+            lfm::trace::TraceView::open(file->data(), file->size(),
+                                        &error);
+        if (!view)
+            return fail(in + ": " + error);
+        const int rc = unpackOne(*view, dir, 0);
+        if (rc == kOk)
+            std::cout << "unpacked 1 trace into " << dir << "\n";
+        return rc;
+    }
+
+    if (hasMagic(*file, "LFMC")) {
+        auto corpus = lfm::trace::CorpusReader::fromBuffer(
+            file->data(), file->size(), &error);
+        if (!corpus)
+            return fail(in + ": " + error);
+        for (std::size_t i = 0; i < corpus->traceCount(); ++i) {
+            auto view = corpus->viewAt(i, &error);
+            if (!view)
+                return fail(in + " trace " + std::to_string(i) +
+                            ": " + error);
+            const int rc = unpackOne(*view, dir, i);
+            if (rc != kOk)
+                return rc;
+        }
+        std::cout << "unpacked " << corpus->traceCount() << " trace"
+                  << (corpus->traceCount() == 1 ? "" : "s")
+                  << " into " << dir << "\n";
+        return kOk;
+    }
+
+    return fail(in + ": not an LFMT or LFMC file");
+}
+
+void
+printTraceLine(const lfm::trace::TraceView &view, std::size_t index)
+{
+    std::cout << "  trace " << index << ": " << view.size()
+              << " events, " << view.threadCount() << " threads, "
+              << view.objectCount() << " objects, " << view.bytes()
+              << " bytes\n";
+}
+
+int
+cmdInfo(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage();
+    const std::string &in = args[0];
+
+    std::string error;
+    auto file = lfm::trace::MappedFile::open(in, &error);
+    if (!file)
+        return fail(in + ": " + error);
+
+    if (hasMagic(*file, "LFMT")) {
+        auto view =
+            lfm::trace::TraceView::open(file->data(), file->size(),
+                                        &error);
+        if (!view)
+            return fail(in + ": " + error);
+        std::cout << in << ": LFMT trace, " << file->size()
+                  << " bytes\n";
+        printTraceLine(*view, 0);
+        return kOk;
+    }
+
+    if (hasMagic(*file, "LFMC")) {
+        auto corpus = lfm::trace::CorpusReader::fromBuffer(
+            file->data(), file->size(), &error);
+        if (!corpus)
+            return fail(in + ": " + error);
+        std::cout << in << ": LFMC corpus, "
+                  << corpus->traceCount() << " trace"
+                  << (corpus->traceCount() == 1 ? "" : "s") << ", "
+                  << corpus->bytes() << " bytes\n";
+        for (std::size_t i = 0; i < corpus->traceCount(); ++i) {
+            auto view = corpus->viewAt(i, &error);
+            if (!view)
+                return fail(in + " trace " + std::to_string(i) +
+                            ": " + error);
+            printTraceLine(*view, i);
+        }
+        return kOk;
+    }
+
+    return fail(in + ": not an LFMT or LFMC file");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "pack")
+        return cmdPack(args);
+    if (cmd == "unpack")
+        return cmdUnpack(args);
+    if (cmd == "info")
+        return cmdInfo(args);
+    return usage();
+}

@@ -465,6 +465,7 @@ main(int argc, char **argv)
     bench::applyBenchFlags(argc, argv);
     bool smoke = false;
     int repsFlag = 0;
+    std::string importedCorpusPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke")
@@ -473,6 +474,10 @@ main(int argc, char **argv)
             repsFlag = std::atoi(argv[++i]);
         else if (arg.rfind("--reps=", 0) == 0)
             repsFlag = std::atoi(arg.c_str() + 7);
+        else if (arg == "--corpus" && i + 1 < argc)
+            importedCorpusPath = argv[++i];
+        else if (arg.rfind("--corpus=", 0) == 0)
+            importedCorpusPath = arg.substr(9);
     }
 
     bench::banner("Perf: fused detection pipeline",
@@ -993,6 +998,60 @@ main(int argc, char **argv)
                         "host (timing is advisory)\n")
               << "\n";
 
+    // --- Imported external corpus (--corpus FILE): the end-to-end
+    //     wiring for the trace-replay frontend. An LFMC file produced
+    //     by lfm_import from external pthread logs is run through the
+    //     batch detectors twice — decoded heap traces and zero-copy
+    //     corpus views — and the two batch reports must be
+    //     byte-identical JSON. When the flag is given, this is a gate.
+    bool importedOk = true;
+    bool importedPathsAgree = true;
+    std::size_t importedTraces = 0;
+    std::size_t importedFindings = 0;
+    if (!importedCorpusPath.empty()) {
+        std::string importError;
+        auto reader = trace::CorpusReader::open(importedCorpusPath,
+                                                &importError);
+        if (!reader) {
+            importedOk = false;
+            std::cout << "imported corpus open FAILED: "
+                      << importError << "\n\n";
+        } else {
+            importedTraces = reader->traceCount();
+            std::vector<Trace> heap;
+            for (std::size_t i = 0; i < reader->traceCount(); ++i) {
+                auto t = reader->decodeAt(i, &importError);
+                if (!t) {
+                    importedOk = false;
+                    std::cout << "imported corpus trace " << i
+                              << " FAILED: " << importError << "\n";
+                    break;
+                }
+                heap.push_back(std::move(*t));
+            }
+            if (importedOk) {
+                detect::BatchRunner importRunner(hw);
+                const auto heapReports =
+                    importRunner.run(pipeline, heap);
+                const auto viewReports = importRunner.run(
+                    pipeline, *reader, detect::BatchOptions{});
+                importedPathsAgree =
+                    detect::reportsJson(heap, heapReports).str() ==
+                    detect::reportsJson(*reader, viewReports).str();
+                importedOk = importedPathsAgree;
+                for (const auto &r : heapReports)
+                    importedFindings += r.findings.size();
+                std::cout << "imported corpus ("
+                          << importedCorpusPath
+                          << "): " << importedTraces << " traces, "
+                          << importedFindings
+                          << " findings; heap==view reports "
+                          << (importedPathsAgree ? "ok" : "FAIL")
+                          << "\n\n";
+            }
+        }
+    }
+
     bench::Json doc;
     doc.set("bench", "perf_detectors")
         .set("smoke", smoke)
@@ -1042,6 +1101,15 @@ main(int argc, char **argv)
         .set("mmap_speedup_vs_text", mmapSpeedupVsText)
         .set("meets_5x_gate", meets5xGate);
     doc.set("corpus_ingest", std::move(ingestJson));
+    if (!importedCorpusPath.empty()) {
+        bench::Json imported;
+        imported.set("path", importedCorpusPath)
+            .set("traces", importedTraces)
+            .set("findings", importedFindings)
+            .set("heap_equals_view", importedPathsAgree)
+            .set("ok", importedOk);
+        doc.set("imported_corpus", std::move(imported));
+    }
     bench::Json equiv;
     equiv.set("fused_equals_separate", fusedEqualsSeparate)
         .set("race_pairs_epoch_equals_pairwise", racePairsMatch)
@@ -1118,7 +1186,7 @@ main(int argc, char **argv)
                         "(timing is advisory)\n");
 
     return equivalent && batchInvariant && instrEquivalent &&
-                   offOverheadOk && corpusEquivalent
+                   offOverheadOk && corpusEquivalent && importedOk
                ? 0
                : 1; // equivalence + honest gates only, never raw speed
 }

@@ -3,7 +3,7 @@
 
 Usage:
     scripts/bench_compare.py OLD.json NEW.json [--noise-pct P]
-                             [--fail-on-regression]
+                             [--fail-on-regression] [--ignore SUBSTR]...
 
 Every numeric leaf in the two documents is matched by its dotted path
 (array elements are keyed by their "name"/"workers" field when present,
@@ -21,7 +21,11 @@ host jitter far more than any real effect worth acting on.
 Exit code policy mirrors the benches themselves: boolean gate
 regressions (true in OLD, false in NEW) always fail; timing deltas are
 advisory unless --fail-on-regression is given.  Metrics present in only
-one document are listed but never fail the comparison.
+one document are listed but never fail the comparison.  --ignore SUBSTR
+(repeatable) drops any metric whose dotted path contains SUBSTR from
+gating entirely — for gates that only hold under the full-length run,
+e.g. the 2% instrumentation-noise bound, when diffing a smoke run
+against a committed full-run baseline.
 """
 
 import argparse
@@ -74,6 +78,10 @@ def main():
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="also exit non-zero on beyond-noise timing "
                              "regressions (default: gates only)")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="SUBSTR",
+                        help="exclude metrics whose path contains "
+                             "SUBSTR from gating (repeatable)")
     args = parser.parse_args()
 
     with open(args.old) as fh:
@@ -88,6 +96,10 @@ def main():
 
     for path in sorted(set(old) & set(new)):
         a, b = old[path], new[path]
+        if any(s in path for s in args.ignore):
+            if a != b:
+                rows.append((path, str(a), str(b), "", "ignored"))
+            continue
         if isinstance(a, bool) or isinstance(b, bool):
             if a is True and b is not True:
                 gate_regressions.append(path)

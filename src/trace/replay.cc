@@ -1,0 +1,1122 @@
+#include "trace/replay.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <deque>
+#include <dirent.h>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <sys/stat.h>
+#include <tuple>
+
+#include "support/string_utils.hh"
+
+namespace lfm::trace::replay
+{
+
+namespace
+{
+
+/** Timestamps above this are rejected as corrupt, not believed. */
+constexpr std::uint64_t kMaxTimestamp = std::uint64_t{1} << 62;
+
+/** Parsed opcode; spin/alias forms are folded at parse time. */
+enum class OpCode : std::uint8_t
+{
+    ThreadStart,
+    ThreadExit,
+    Create,
+    Join,
+    Lock,
+    TryLock,
+    Unlock,
+    RdLock,
+    WrLock,
+    RwUnlock,
+    CondWait,
+    Signal,
+    Broadcast,
+    SemInit,
+    SemWait,
+    SemPost,
+    BarrierInit,
+    BarrierWait,
+    Read,
+    Write,
+    Alloc,
+    Free,
+};
+
+struct OpSpec
+{
+    const char *name;
+    OpCode op;
+    int operands;
+};
+
+/** The external vocabulary, plus common pthread-flavored aliases. */
+constexpr OpSpec kOps[] = {
+    {"thread_start", OpCode::ThreadStart, 0},
+    {"thread_exit", OpCode::ThreadExit, 0},
+    {"create", OpCode::Create, 1},
+    {"join", OpCode::Join, 1},
+    {"lock", OpCode::Lock, 1},
+    {"trylock", OpCode::TryLock, 2},
+    {"unlock", OpCode::Unlock, 1},
+    {"mutex_lock", OpCode::Lock, 1},
+    {"mutex_trylock", OpCode::TryLock, 2},
+    {"mutex_unlock", OpCode::Unlock, 1},
+    {"spin_lock", OpCode::Lock, 1},
+    {"spin_unlock", OpCode::Unlock, 1},
+    {"rdlock", OpCode::RdLock, 1},
+    {"wrlock", OpCode::WrLock, 1},
+    {"rwunlock", OpCode::RwUnlock, 1},
+    {"cond_wait", OpCode::CondWait, 2},
+    {"signal", OpCode::Signal, 1},
+    {"broadcast", OpCode::Broadcast, 1},
+    {"cond_signal", OpCode::Signal, 1},
+    {"cond_broadcast", OpCode::Broadcast, 1},
+    {"sem_init", OpCode::SemInit, 2},
+    {"sem_wait", OpCode::SemWait, 1},
+    {"sem_post", OpCode::SemPost, 1},
+    {"barrier_init", OpCode::BarrierInit, 2},
+    {"barrier_wait", OpCode::BarrierWait, 1},
+    {"read", OpCode::Read, 2},
+    {"write", OpCode::Write, 2},
+    {"alloc", OpCode::Alloc, 2},
+    {"free", OpCode::Free, 1},
+};
+
+const OpSpec *
+opSpecFor(const std::string &name)
+{
+    for (const OpSpec &spec : kOps) {
+        if (name == spec.name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+/** One parsed log record, tagged with its provenance. */
+struct Rec
+{
+    std::uint64_t ts = 0;
+    std::int64_t tid = 0;
+    OpCode op = OpCode::ThreadStart;
+    std::uint64_t a = 0; ///< first operand (address / tid / value)
+    std::uint64_t b = 0; ///< second operand (size / mutex / value)
+    std::uint32_t file = 0;
+    std::uint32_t line = 0;
+};
+
+/** strtoull with full-token and overflow checking; base 0 accepts
+ * both decimal and 0x-hex (addresses). Rejects signs entirely. */
+bool
+parseU64(const std::string &token, int base, std::uint64_t &out)
+{
+    if (token.empty() || token[0] == '-' || token[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(token.c_str(), &end, base);
+    if (errno != 0 || end != token.c_str() + token.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/** The operand slots an op classifies, for the object table. */
+struct SyncUse
+{
+    std::optional<ObjectKind> a;
+    std::optional<ObjectKind> b;
+};
+
+SyncUse
+syncUseOf(OpCode op)
+{
+    switch (op) {
+      case OpCode::Lock:
+      case OpCode::TryLock:
+      case OpCode::Unlock:
+        return {ObjectKind::Mutex, {}};
+      case OpCode::RdLock:
+      case OpCode::WrLock:
+      case OpCode::RwUnlock:
+        return {ObjectKind::RWLock, {}};
+      case OpCode::CondWait:
+        return {ObjectKind::CondVar, ObjectKind::Mutex};
+      case OpCode::Signal:
+      case OpCode::Broadcast:
+        return {ObjectKind::CondVar, {}};
+      case OpCode::SemInit:
+      case OpCode::SemWait:
+      case OpCode::SemPost:
+        return {ObjectKind::Semaphore, {}};
+      case OpCode::BarrierInit:
+      case OpCode::BarrierWait:
+        return {ObjectKind::Barrier, {}};
+      default:
+        return {};
+    }
+}
+
+std::string
+hexAddr(std::uint64_t addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+/** Whole import pipeline; one instance per importLog* call. */
+class Importer
+{
+  public:
+    explicit Importer(const ImportOptions &options)
+        : options_(options)
+    {
+    }
+
+    void parseStream(std::istream &in, const std::string &name);
+
+    /** File-level failure (unreadable input, empty directory). */
+    void fileProblem(const std::string &name, const std::string &msg)
+    {
+        diag(name, 0, msg);
+    }
+
+    ImportResult finish();
+
+  private:
+    // ---------------- diagnostics ----------------
+
+    void diag(const std::string &file, std::size_t line,
+              const std::string &message)
+    {
+        if (result_.diagnostics.size() < options_.maxDiagnostics) {
+            result_.diagnostics.push_back({file, line, message});
+        } else if (result_.diagnostics.size() ==
+                   options_.maxDiagnostics) {
+            result_.diagnostics.push_back(
+                {"", 0,
+                 "further diagnostics suppressed; every dropped "
+                 "record is still counted in the import stats"});
+        }
+    }
+
+    void quarantine(const Rec &rec, const std::string &message)
+    {
+        ++result_.stats.quarantined;
+        diag(files_[rec.file], rec.line, message);
+    }
+
+    // ---------------- object inference ----------------
+
+    struct VarRange
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0; ///< exclusive
+        ObjectId id = kNoObject;
+        bool startsUninit = false;
+    };
+
+    void inferObjects();
+    ObjectId varAt(std::uint64_t addr) const;
+
+    // ---------------- replay ----------------
+
+    struct ThreadRt
+    {
+        enum class St : std::uint8_t
+        {
+            NotStarted,     ///< ThreadBegin not yet emitted
+            Runnable,       ///< next record decides
+            BlockedCond,    ///< inside cond_wait, no signal yet
+            BlockedWake,    ///< signalled, reacquiring the mutex
+            BlockedBarrier, ///< arrived, generation incomplete
+            Done,           ///< ThreadEnd emitted
+        };
+
+        std::int64_t ext = 0;     ///< external thread id
+        ThreadId dense = 0;       ///< trace thread id
+        std::vector<Rec> recs;
+        std::size_t pc = 0;
+        St st = St::NotStarted;
+        bool begun = false;
+        bool gated = false;       ///< must wait for its create
+        std::optional<SeqNo> spawnSeq;
+        std::optional<SeqNo> endSeq;
+        // Block payload (cond / wake / barrier):
+        ObjectId waitObj = kNoObject;
+        ObjectId waitMutex = kNoObject;
+        std::uint64_t waitTs = 0;
+        SeqNo wakeSignal = 0;
+    };
+
+    bool hasWork(const ThreadRt &t) const
+    {
+        return t.st != ThreadRt::St::Done &&
+               (!t.recs.empty() || t.begun);
+    }
+
+    std::uint64_t nextTs(const ThreadRt &t) const;
+    bool canProceed(const ThreadRt &t) const;
+    void step(ThreadRt &t);
+    void maybeFinish(ThreadRt &t);
+    void replay();
+    void reportStall();
+
+    SeqNo emit(const ThreadRt &t, EventKind kind,
+               ObjectId obj = kNoObject, ObjectId obj2 = kNoObject,
+               std::uint64_t aux = 0)
+    {
+        Event event;
+        event.thread = t.dense;
+        event.kind = kind;
+        event.obj = obj;
+        event.obj2 = obj2;
+        event.aux = aux;
+        return result_.trace.append(std::move(event));
+    }
+
+    ImportOptions options_;
+    ImportResult result_;
+    std::vector<std::string> files_;
+    std::vector<Rec> records_;
+
+    // Object tables (inference output).
+    std::map<std::int64_t, ObjectId> threadObj_;
+    std::map<std::uint64_t, std::pair<ObjectKind, ObjectId>> sync_;
+    std::vector<VarRange> vars_; ///< sorted by lo, disjoint
+
+    // Replay state.
+    std::vector<ThreadRt> threads_; ///< sorted by external tid
+    std::map<std::int64_t, std::size_t> threadIdx_;
+    std::map<ObjectId, std::size_t> holder_;        ///< write side
+    std::map<ObjectId, std::set<std::size_t>> readers_;
+    std::map<ObjectId, std::vector<std::size_t>> cvQueue_;
+    std::map<ObjectId, std::deque<std::uint64_t>> semCredits_;
+    struct BarrierRt
+    {
+        std::uint64_t count = 0;
+        std::uint64_t generation = 0;
+        std::vector<std::size_t> arrivals;
+    };
+    std::map<ObjectId, BarrierRt> barriers_;
+    std::map<ObjectId, bool> varInitialized_;
+};
+
+void
+Importer::parseStream(std::istream &in, const std::string &name)
+{
+    const auto fileIdx = static_cast<std::uint32_t>(files_.size());
+    files_.push_back(name);
+    ++result_.stats.files;
+
+    std::string line;
+    std::uint32_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        ++result_.stats.lines;
+
+        std::istringstream fields(trimmed);
+        std::string tsTok, tidTok, opTok;
+        fields >> tsTok >> tidTok >> opTok;
+        if (opTok.empty()) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo,
+                 "truncated record: need <ts> <tid> <op>");
+            continue;
+        }
+
+        Rec rec;
+        rec.file = fileIdx;
+        rec.line = lineNo;
+        if (!parseU64(tsTok, 10, rec.ts)) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "bad timestamp '" + tsTok + "'");
+            continue;
+        }
+        if (rec.ts > kMaxTimestamp) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "timestamp out of range");
+            continue;
+        }
+        std::uint64_t tid = 0;
+        if (!parseU64(tidTok, 10, tid) ||
+            tid > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo,
+                 tidTok[0] == '-'
+                     ? "negative thread id '" + tidTok + "'"
+                     : "bad thread id '" + tidTok + "'");
+            continue;
+        }
+        rec.tid = static_cast<std::int64_t>(tid);
+
+        const OpSpec *spec = opSpecFor(opTok);
+        if (spec == nullptr) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "unknown op '" + opTok + "'");
+            continue;
+        }
+        rec.op = spec->op;
+
+        std::string aTok, bTok, extraTok;
+        fields >> aTok >> bTok >> extraTok;
+        const int given = !aTok.empty() + !bTok.empty();
+        if (given != spec->operands || !extraTok.empty()) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo,
+                 std::string(spec->name) + " needs " +
+                     std::to_string(spec->operands) + " operand" +
+                     (spec->operands == 1 ? "" : "s"));
+            continue;
+        }
+        if (spec->operands >= 1 && !parseU64(aTok, 0, rec.a)) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "bad operand '" + aTok + "'");
+            continue;
+        }
+        if (spec->operands >= 2 && !parseU64(bTok, 0, rec.b)) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "bad operand '" + bTok + "'");
+            continue;
+        }
+        if (rec.op == OpCode::TryLock && rec.b > 1) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo,
+                 "trylock outcome must be 0 or 1");
+            continue;
+        }
+        if ((rec.op == OpCode::Read || rec.op == OpCode::Write ||
+             rec.op == OpCode::Alloc) &&
+            rec.a + std::max<std::uint64_t>(rec.b, 1) < rec.a) {
+            ++result_.stats.quarantined;
+            diag(name, lineNo, "address range overflows");
+            continue;
+        }
+
+        ++result_.stats.records;
+        records_.push_back(rec);
+    }
+}
+
+void
+Importer::inferObjects()
+{
+    // A deterministic global order for first-use classification:
+    // timestamp, then thread, then provenance.
+    std::vector<std::size_t> order(records_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(
+        order.begin(), order.end(),
+        [this](std::size_t x, std::size_t y) {
+            const Rec &a = records_[x];
+            const Rec &b = records_[y];
+            return std::tie(a.ts, a.tid, a.file, a.line) <
+                   std::tie(b.ts, b.tid, b.file, b.line);
+        });
+
+    // Pass 1: classify sync addresses; conflicting later uses are
+    // quarantined. Duplicate create records are dropped here too so
+    // the replay's spawn gate has exactly one opener per thread.
+    std::map<std::uint64_t, ObjectKind> syncClass;
+    std::set<std::int64_t> created;
+    std::vector<bool> dropped(records_.size(), false);
+    for (std::size_t i : order) {
+        const Rec &rec = records_[i];
+        if (rec.op == OpCode::Create) {
+            if (!created.insert(static_cast<std::int64_t>(rec.a))
+                     .second) {
+                dropped[i] = true;
+                quarantine(rec, "duplicate create of thread " +
+                                    std::to_string(rec.a));
+            }
+            continue;
+        }
+        const SyncUse use = syncUseOf(rec.op);
+        for (const auto &[addr, kind] :
+             {std::pair{rec.a, use.a}, std::pair{rec.b, use.b}}) {
+            if (!kind)
+                continue;
+            auto [it, inserted] = syncClass.emplace(addr, *kind);
+            if (!inserted && it->second != *kind) {
+                dropped[i] = true;
+                quarantine(
+                    rec, "address " + hexAddr(addr) +
+                             " already classified as " +
+                             objectKindName(it->second) + "; " +
+                             objectKindName(*kind) +
+                             " use quarantined");
+                break;
+            }
+        }
+    }
+
+    // Pass 2: fold overlapping data ranges into variables.
+    struct Range
+    {
+        std::uint64_t lo, hi;
+    };
+    std::vector<Range> ranges;
+    for (std::size_t i : order) {
+        const Rec &rec = records_[i];
+        if (dropped[i])
+            continue;
+        if (rec.op == OpCode::Read || rec.op == OpCode::Write ||
+            rec.op == OpCode::Alloc)
+            ranges.push_back(
+                {rec.a, rec.a + std::max<std::uint64_t>(rec.b, 1)});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const Range &a, const Range &b) {
+                  return std::tie(a.lo, a.hi) <
+                         std::tie(b.lo, b.hi);
+              });
+    for (const Range &r : ranges) {
+        if (!vars_.empty() && r.lo < vars_.back().hi) {
+            vars_.back().hi = std::max(vars_.back().hi, r.hi);
+        } else {
+            vars_.push_back({r.lo, r.hi, kNoObject, false});
+        }
+    }
+
+    // Frees must land inside a known variable; uninit flags come
+    // from alloc records (the variable starts life uninitialized,
+    // mirroring the executor's kStartsUninit convention).
+    for (std::size_t i : order) {
+        const Rec &rec = records_[i];
+        if (dropped[i])
+            continue;
+        if (rec.op == OpCode::Alloc) {
+            for (VarRange &v : vars_) {
+                if (v.lo <= rec.a && rec.a < v.hi)
+                    v.startsUninit = true;
+            }
+        } else if (rec.op == OpCode::Free) {
+            // Ids are assigned below; here only containment matters.
+            bool contained = false;
+            for (const VarRange &v : vars_)
+                contained |= v.lo <= rec.a && rec.a < v.hi;
+            if (!contained) {
+                dropped[i] = true;
+                quarantine(rec,
+                           "free of unknown address " +
+                               hexAddr(rec.a));
+            }
+        }
+    }
+
+    // Thread table: every external tid seen as a record owner or as
+    // a create/join target gets a Thread object; dense trace ids are
+    // assigned in ascending external-tid order.
+    std::set<std::int64_t> extTids;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Rec &rec = records_[i];
+        if (dropped[i])
+            continue;
+        extTids.insert(rec.tid);
+        if (rec.op == OpCode::Create || rec.op == OpCode::Join)
+            extTids.insert(static_cast<std::int64_t>(rec.a));
+    }
+
+    // Deterministic id assignment: threads, then sync objects by
+    // address, then variables by range start.
+    ObjectId next = 1;
+    for (std::int64_t ext : extTids)
+        threadObj_[ext] = next++;
+    for (auto &[addr, kind] : syncClass)
+        sync_[addr] = {kind, next++};
+    for (VarRange &v : vars_)
+        v.id = next++;
+
+    Trace &trace = result_.trace;
+    for (const auto &[ext, id] : threadObj_)
+        trace.registerObject(
+            {id, ObjectKind::Thread, "t" + std::to_string(ext), 0});
+    for (const auto &[addr, entry] : sync_)
+        trace.registerObject(
+            {entry.second, entry.first,
+             std::string(objectKindName(entry.first)) + "@" +
+                 hexAddr(addr),
+             0});
+    for (const VarRange &v : vars_)
+        trace.registerObject(
+            {v.id, ObjectKind::Variable,
+             "var@" + hexAddr(v.lo) + "+" +
+                 std::to_string(v.hi - v.lo),
+             v.startsUninit ? kStartsUninit : 0u});
+    result_.stats.objects = trace.objects().size();
+
+    // A data range that covers a sync address is kept (real programs
+    // do read their lock words) but called out once per pair.
+    for (const auto &[addr, entry] : sync_) {
+        for (const VarRange &v : vars_) {
+            if (v.lo <= addr && addr < v.hi)
+                diag(files_.empty() ? "<import>" : files_[0], 0,
+                     "data accesses overlap sync object " +
+                         trace.objectName(entry.second) +
+                         " at " + hexAddr(addr) + " (kept)");
+        }
+    }
+
+    // Replay threads: one per external tid with surviving records,
+    // each stream sorted by timestamp (file order breaks ties).
+    std::map<std::int64_t, std::vector<Rec>> byThread;
+    for (std::size_t i : order) {
+        if (!dropped[i])
+            byThread[records_[i].tid].push_back(records_[i]);
+    }
+    for (auto &[ext, recs] : byThread) {
+        ThreadRt t;
+        t.ext = ext;
+        t.recs = std::move(recs);
+        t.gated = created.count(ext) > 0;
+        threads_.push_back(std::move(t));
+    }
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        threads_[i].dense = static_cast<ThreadId>(i);
+        threadIdx_[threads_[i].ext] = i;
+        trace.registerThread(threads_[i].dense,
+                             "t" + std::to_string(threads_[i].ext));
+    }
+    result_.stats.threads = threads_.size();
+}
+
+ObjectId
+Importer::varAt(std::uint64_t addr) const
+{
+    auto it = std::upper_bound(
+        vars_.begin(), vars_.end(), addr,
+        [](std::uint64_t a, const VarRange &v) { return a < v.lo; });
+    if (it == vars_.begin())
+        return kNoObject;
+    --it;
+    return (it->lo <= addr && addr < it->hi) ? it->id : kNoObject;
+}
+
+std::uint64_t
+Importer::nextTs(const ThreadRt &t) const
+{
+    switch (t.st) {
+      case ThreadRt::St::BlockedCond:
+      case ThreadRt::St::BlockedWake:
+      case ThreadRt::St::BlockedBarrier:
+        return t.waitTs;
+      default:
+        return t.pc < t.recs.size() ? t.recs[t.pc].ts : 0;
+    }
+}
+
+bool
+Importer::canProceed(const ThreadRt &t) const
+{
+    switch (t.st) {
+      case ThreadRt::St::Done:
+        return false;
+      case ThreadRt::St::BlockedCond:
+      case ThreadRt::St::BlockedBarrier:
+        return false; // only a signal / last arrival unblocks
+      case ThreadRt::St::BlockedWake:
+        return holder_.count(t.waitMutex) == 0;
+      case ThreadRt::St::NotStarted:
+        if (t.gated && !t.spawnSeq)
+            return false;
+        return true;
+      case ThreadRt::St::Runnable:
+        break;
+    }
+    if (t.pc >= t.recs.size())
+        return true; // only the synthesized ThreadEnd remains
+    const Rec &rec = t.recs[t.pc];
+    const std::size_t self = threadIdx_.at(t.ext);
+    switch (rec.op) {
+      case OpCode::Lock:
+        return holder_.count(sync_.at(rec.a).second) == 0;
+      case OpCode::TryLock:
+        return rec.b == 0 ||
+               holder_.count(sync_.at(rec.a).second) == 0;
+      case OpCode::WrLock: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        const auto rd = readers_.find(obj);
+        return holder_.count(obj) == 0 &&
+               (rd == readers_.end() || rd->second.empty());
+      }
+      case OpCode::RdLock:
+        return holder_.count(sync_.at(rec.a).second) == 0;
+      case OpCode::SemWait: {
+        const auto it =
+            semCredits_.find(sync_.at(rec.a).second);
+        return it != semCredits_.end() && !it->second.empty();
+      }
+      case OpCode::Join: {
+        const auto it =
+            threadIdx_.find(static_cast<std::int64_t>(rec.a));
+        if (it == threadIdx_.end() || it->second == self)
+            return true; // quarantined inside step()
+        return threads_[it->second].st == ThreadRt::St::Done;
+      }
+      default:
+        return true;
+    }
+}
+
+void
+Importer::maybeFinish(ThreadRt &t)
+{
+    if (t.begun && t.st == ThreadRt::St::Runnable &&
+        t.pc >= t.recs.size()) {
+        t.endSeq = emit(t, EventKind::ThreadEnd);
+        t.st = ThreadRt::St::Done;
+    }
+}
+
+void
+Importer::step(ThreadRt &t)
+{
+    const std::size_t self = threadIdx_.at(t.ext);
+
+    if (!t.begun) {
+        t.begun = true;
+        t.st = ThreadRt::St::Runnable;
+        emit(t, EventKind::ThreadBegin, kNoObject, kNoObject,
+             t.spawnSeq ? *t.spawnSeq : kSpuriousWakeup);
+        if (t.pc < t.recs.size() &&
+            t.recs[t.pc].op == OpCode::ThreadStart)
+            ++t.pc;
+        maybeFinish(t);
+        return;
+    }
+
+    if (t.st == ThreadRt::St::BlockedWake) {
+        // Signalled; the mutex is free again — resume the wait.
+        holder_[t.waitMutex] = self;
+        emit(t, EventKind::WaitResume, t.waitObj, t.waitMutex,
+             t.wakeSignal);
+        t.st = ThreadRt::St::Runnable;
+        maybeFinish(t);
+        return;
+    }
+
+    const Rec rec = t.recs[t.pc++];
+    switch (rec.op) {
+      case OpCode::ThreadStart:
+        quarantine(rec, "thread_start after the thread started");
+        break;
+      case OpCode::ThreadExit:
+        t.endSeq = emit(t, EventKind::ThreadEnd);
+        t.st = ThreadRt::St::Done;
+        if (t.pc < t.recs.size()) {
+            const std::size_t trailing = t.recs.size() - t.pc;
+            result_.stats.quarantined += trailing;
+            diag(files_[rec.file], rec.line,
+                 std::to_string(trailing) +
+                     " record(s) after thread_exit dropped");
+            t.pc = t.recs.size();
+        }
+        return;
+      case OpCode::Create: {
+        const auto ext = static_cast<std::int64_t>(rec.a);
+        const SeqNo seq =
+            emit(t, EventKind::Spawn, threadObj_.at(ext));
+        const auto it = threadIdx_.find(ext);
+        if (it != threadIdx_.end() && it->second != self)
+            threads_[it->second].spawnSeq = seq;
+        break;
+      }
+      case OpCode::Join: {
+        const auto ext = static_cast<std::int64_t>(rec.a);
+        const auto it = threadIdx_.find(ext);
+        if (it == threadIdx_.end() || it->second == self ||
+            !threads_[it->second].endSeq) {
+            quarantine(rec,
+                       "join of thread " + std::to_string(rec.a) +
+                           " with no recorded events");
+            break;
+        }
+        emit(t, EventKind::Join, threadObj_.at(ext), kNoObject,
+             *threads_[it->second].endSeq);
+        break;
+      }
+      case OpCode::Lock:
+      case OpCode::WrLock: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        holder_[obj] = self;
+        emit(t, EventKind::Lock, obj);
+        break;
+      }
+      case OpCode::TryLock: {
+        if (rec.b == 0) {
+            emit(t, EventKind::Yield);
+            break;
+        }
+        const ObjectId obj = sync_.at(rec.a).second;
+        holder_[obj] = self;
+        emit(t, EventKind::Lock, obj);
+        break;
+      }
+      case OpCode::Unlock: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        const auto it = holder_.find(obj);
+        if (it == holder_.end() || it->second != self) {
+            quarantine(rec, "unlock of a mutex not held");
+            break;
+        }
+        holder_.erase(it);
+        emit(t, EventKind::Unlock, obj);
+        break;
+      }
+      case OpCode::RdLock: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        readers_[obj].insert(self);
+        emit(t, EventKind::RdLock, obj);
+        break;
+      }
+      case OpCode::RwUnlock: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        const auto it = holder_.find(obj);
+        if (it != holder_.end() && it->second == self) {
+            holder_.erase(it);
+            emit(t, EventKind::Unlock, obj);
+        } else if (readers_[obj].erase(self) > 0) {
+            emit(t, EventKind::RdUnlock, obj);
+        } else {
+            quarantine(rec, "rwlock unlock without holding it");
+        }
+        break;
+      }
+      case OpCode::CondWait: {
+        const ObjectId cv = sync_.at(rec.a).second;
+        const ObjectId mutex = sync_.at(rec.b).second;
+        const auto it = holder_.find(mutex);
+        if (it == holder_.end() || it->second != self) {
+            quarantine(rec,
+                       "cond_wait without holding the mutex");
+            break;
+        }
+        holder_.erase(it);
+        emit(t, EventKind::WaitBegin, cv, mutex);
+        t.st = ThreadRt::St::BlockedCond;
+        t.waitObj = cv;
+        t.waitMutex = mutex;
+        t.waitTs = rec.ts;
+        cvQueue_[cv].push_back(self);
+        return;
+      }
+      case OpCode::Signal:
+      case OpCode::Broadcast: {
+        const ObjectId cv = sync_.at(rec.a).second;
+        const SeqNo seq =
+            emit(t,
+                 rec.op == OpCode::Signal ? EventKind::SignalOne
+                                          : EventKind::SignalAll,
+                 cv);
+        auto &queue = cvQueue_[cv];
+        const std::size_t wake =
+            rec.op == OpCode::Signal
+                ? std::min<std::size_t>(1, queue.size())
+                : queue.size();
+        for (std::size_t k = 0; k < wake; ++k) {
+            ThreadRt &waiter = threads_[queue[k]];
+            waiter.st = ThreadRt::St::BlockedWake;
+            waiter.wakeSignal = seq;
+        }
+        queue.erase(queue.begin(),
+                    queue.begin() + static_cast<long>(wake));
+        break;
+      }
+      case OpCode::SemInit: {
+        auto &credits = semCredits_[sync_.at(rec.a).second];
+        credits.clear();
+        // Initial credits have no originating post; the sentinel
+        // tells the happens-before builder there is no edge.
+        credits.assign(rec.b, kSpuriousWakeup);
+        break;
+      }
+      case OpCode::SemWait: {
+        auto &credits = semCredits_[sync_.at(rec.a).second];
+        const std::uint64_t credit = credits.front();
+        credits.pop_front();
+        emit(t, EventKind::SemWait, sync_.at(rec.a).second,
+             kNoObject, credit);
+        break;
+      }
+      case OpCode::SemPost: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        const SeqNo seq = emit(t, EventKind::SemPost, obj);
+        semCredits_[obj].push_back(seq);
+        break;
+      }
+      case OpCode::BarrierInit: {
+        if (rec.b == 0) {
+            quarantine(rec, "barrier_init with count 0");
+            break;
+        }
+        BarrierRt &bar = barriers_[sync_.at(rec.a).second];
+        bar.count = rec.b;
+        break;
+      }
+      case OpCode::BarrierWait: {
+        const ObjectId obj = sync_.at(rec.a).second;
+        const auto it = barriers_.find(obj);
+        if (it == barriers_.end() || it->second.count == 0) {
+            quarantine(rec,
+                       "barrier_wait before barrier_init");
+            break;
+        }
+        BarrierRt &bar = it->second;
+        bar.arrivals.push_back(self);
+        if (bar.arrivals.size() < bar.count) {
+            t.st = ThreadRt::St::BlockedBarrier;
+            t.waitObj = obj;
+            t.waitTs = rec.ts;
+            return;
+        }
+        // Generation complete: one consecutive BarrierCross run in
+        // arrival order — the shape the HB builder requires.
+        for (std::size_t idx : bar.arrivals) {
+            ThreadRt &member = threads_[idx];
+            emit(member, EventKind::BarrierCross, obj, kNoObject,
+                 bar.generation);
+            member.st = ThreadRt::St::Runnable;
+        }
+        ++bar.generation;
+        const std::vector<std::size_t> arrived =
+            std::move(bar.arrivals);
+        bar.arrivals.clear();
+        for (std::size_t idx : arrived)
+            if (idx != self)
+                maybeFinish(threads_[idx]);
+        break;
+      }
+      case OpCode::Read:
+      case OpCode::Write: {
+        const ObjectId var = varAt(rec.a);
+        std::uint64_t aux = 0;
+        auto init = varInitialized_.find(var);
+        const bool initialized =
+            init != varInitialized_.end()
+                ? init->second
+                : (result_.trace.objectInfo(var)->flags &
+                   kStartsUninit) == 0;
+        if (rec.op == OpCode::Read && !initialized)
+            aux = 1; // uninitialised read marker (executor ABI)
+        if (rec.op == OpCode::Write)
+            varInitialized_[var] = true;
+        emit(t,
+             rec.op == OpCode::Read ? EventKind::Read
+                                    : EventKind::Write,
+             var, kNoObject, aux);
+        break;
+      }
+      case OpCode::Alloc: {
+        const ObjectId var = varAt(rec.a);
+        varInitialized_[var] = false;
+        emit(t, EventKind::Alloc, var);
+        break;
+      }
+      case OpCode::Free:
+        emit(t, EventKind::Free, varAt(rec.a));
+        break;
+    }
+    maybeFinish(t);
+}
+
+void
+Importer::replay()
+{
+    while (true) {
+        ThreadRt *pick = nullptr;
+        std::pair<std::uint64_t, std::int64_t> bestKey{};
+        bool anyWork = false;
+        for (ThreadRt &t : threads_) {
+            if (!hasWork(t))
+                continue;
+            anyWork = true;
+            if (!canProceed(t))
+                continue;
+            const std::pair<std::uint64_t, std::int64_t> key{
+                nextTs(t), t.ext};
+            if (pick == nullptr || key < bestKey) {
+                pick = &t;
+                bestKey = key;
+            }
+        }
+        if (pick == nullptr) {
+            if (anyWork)
+                reportStall();
+            break;
+        }
+        step(*pick);
+    }
+    result_.stats.events = result_.trace.size();
+}
+
+void
+Importer::reportStall()
+{
+    const Trace &trace = result_.trace;
+    for (ThreadRt &t : threads_) {
+        if (!hasWork(t))
+            continue;
+        // What is the thread stuck on, and who holds it?
+        ObjectId obj = kNoObject;
+        ThreadId holder = kNoThread;
+        switch (t.st) {
+          case ThreadRt::St::BlockedCond:
+            obj = t.waitObj;
+            break;
+          case ThreadRt::St::BlockedWake:
+            obj = t.waitMutex;
+            break;
+          case ThreadRt::St::BlockedBarrier:
+            obj = t.waitObj;
+            break;
+          case ThreadRt::St::Runnable:
+            if (t.pc < t.recs.size()) {
+                const Rec &rec = t.recs[t.pc];
+                const SyncUse use = syncUseOf(rec.op);
+                if (use.a && sync_.count(rec.a))
+                    obj = sync_.at(rec.a).second;
+                else if (rec.op == OpCode::Join &&
+                         threadObj_.count(
+                             static_cast<std::int64_t>(rec.a)))
+                    obj = threadObj_.at(
+                        static_cast<std::int64_t>(rec.a));
+                const auto held = holder_.find(obj);
+                if (held != holder_.end())
+                    holder = threads_[held->second].dense;
+            }
+            break;
+          default:
+            break;
+        }
+        std::size_t droppedHere =
+            t.pc < t.recs.size() ? t.recs.size() - t.pc : 0;
+        if (t.st == ThreadRt::St::BlockedCond ||
+            t.st == ThreadRt::St::BlockedWake)
+            ++droppedHere; // the pending WaitResume
+        result_.stats.stalled += droppedHere;
+        if (t.begun)
+            emit(t, EventKind::Blocked, obj, kNoObject,
+                 static_cast<std::uint64_t>(holder));
+        const std::string where =
+            t.recs.empty()
+                ? std::string("<no records>")
+                : files_[t.recs[std::min(t.pc,
+                                         t.recs.size() - 1)]
+                             .file];
+        diag(where, 0,
+             "replay stalled: thread t" + std::to_string(t.ext) +
+                 (t.begun ? "" : " (never started)") +
+                 " blocked" +
+                 (obj != kNoObject ? " on " + trace.objectName(obj)
+                                   : "") +
+                 "; " + std::to_string(droppedHere) +
+                 " record(s) dropped");
+    }
+}
+
+ImportResult
+Importer::finish()
+{
+    inferObjects();
+    replay();
+    result_.ok = result_.stats.events > 0;
+    return std::move(result_);
+}
+
+} // namespace
+
+ImportResult
+importLog(std::istream &in, const std::string &name,
+          const ImportOptions &options)
+{
+    Importer importer(options);
+    importer.parseStream(in, name);
+    return importer.finish();
+}
+
+ImportResult
+importLogText(const std::string &text, const std::string &name,
+              const ImportOptions &options)
+{
+    std::istringstream is(text);
+    return importLog(is, name, options);
+}
+
+ImportResult
+importLogFile(const std::string &path, const ImportOptions &options)
+{
+    Importer importer(options);
+    std::ifstream in(path);
+    if (!in) {
+        importer.fileProblem(path, "cannot open file");
+        ImportResult result = importer.finish();
+        result.ok = false;
+        return result;
+    }
+    importer.parseStream(in, path);
+    return importer.finish();
+}
+
+ImportResult
+importLogDir(const std::string &dir, const ImportOptions &options)
+{
+    Importer importer(options);
+    std::vector<std::string> names;
+    if (DIR *d = ::opendir(dir.c_str())) {
+        while (const dirent *entry = ::readdir(d)) {
+            const std::string name = entry->d_name;
+            if (name.empty() || name[0] == '.')
+                continue;
+            struct stat st{};
+            if (::stat((dir + "/" + name).c_str(), &st) == 0 &&
+                S_ISREG(st.st_mode))
+                names.push_back(name);
+        }
+        ::closedir(d);
+    } else {
+        importer.fileProblem(dir, "cannot open directory");
+        ImportResult result = importer.finish();
+        result.ok = false;
+        return result;
+    }
+    std::sort(names.begin(), names.end());
+    if (names.empty())
+        importer.fileProblem(dir, "no log files in directory");
+    for (const std::string &name : names) {
+        const std::string path = dir + "/" + name;
+        std::ifstream in(path);
+        if (!in) {
+            importer.fileProblem(path, "cannot open file");
+            continue;
+        }
+        importer.parseStream(in, path);
+    }
+    return importer.finish();
+}
+
+ImportResult
+importPath(const std::string &path, const ImportOptions &options)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+        return importLogDir(path, options);
+    return importLogFile(path, options);
+}
+
+} // namespace lfm::trace::replay

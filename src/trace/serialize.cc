@@ -38,7 +38,10 @@ escape(const std::string &text)
     std::string out;
     out.reserve(text.size());
     for (unsigned char c : text) {
-        if (c == '%' || c == ' ' || c == '\n' || c == '\r') {
+        // Everything the loader's trim/split could eat or misread:
+        // '%' itself, every byte below 0x21 (space, tab, newline,
+        // vertical tab, form feed, NUL, ...) and DEL.
+        if (c == '%' || c < 0x21 || c == 0x7F) {
             char buf[4];
             std::snprintf(buf, sizeof(buf), "%%%02X", c);
             out += buf;
@@ -185,13 +188,20 @@ loadTrace(std::istream &is, std::string *error)
                 if (!name)
                     return fail("line " + std::to_string(lineNo) +
                                 ": bad escape in name");
-                trace.registerThread(std::stoi(fields[1]), *name);
+                const int tid = std::stoi(fields[1]);
+                if (tid < 0)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": negative thread id " + fields[1]);
+                trace.registerThread(tid, *name);
             } else if (tag == "event") {
                 if (fields.size() != 7)
                     return fail("line " + std::to_string(lineNo) +
                                 ": event needs 6 fields");
                 Event event;
                 event.thread = std::stoi(fields[1]);
+                if (event.thread < 0)
+                    return fail("line " + std::to_string(lineNo) +
+                                ": negative thread id " + fields[1]);
                 auto kind = eventKindFromName(fields[2]);
                 if (!kind)
                     return fail("line " + std::to_string(lineNo) +

@@ -40,6 +40,12 @@ validateTrace(const Trace &trace)
     std::map<ThreadId, std::map<ObjectId, int>> openWaits;
 
     for (const auto &event : trace.events()) {
+        // Same gap the text loader had: no recorder produces
+        // negative thread ids, so flag them instead of silently
+        // threading state maps on them.
+        if (event.thread < 0)
+            report(event, "negative thread id");
+
         if (endedThreads.count(event.thread) &&
             event.kind != EventKind::ThreadEnd)
             report(event, "event after the thread ended");

@@ -447,4 +447,120 @@ TEST_P(LfmtCorruptionTest, CorruptCorpusIsolatesDamagedEntries)
 INSTANTIATE_TEST_SUITE_P(Seeds, LfmtCorruptionTest,
                          ::testing::Range<std::uint64_t>(0, 12));
 
+/**
+ * Text-format property fuzz: the mirror of LfmtCorruptionTest for the
+ * v1 *text* format. Traces whose labels, object names, and thread
+ * names are arbitrary byte strings (every value 0x00–0xFF, tabs,
+ * '%', spaces, DEL) must serialize to a line-structured artifact,
+ * load back byte-identically, and re-serialize to the exact same
+ * bytes. Whitespace-padded lines must parse to the same trace.
+ */
+class TextRoundTripFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+namespace
+{
+
+/// Arbitrary bytes, deliberately biased toward the nasty region:
+/// control characters, '%', ' ', DEL, and high bytes.
+std::string
+arbitraryBytes(support::Rng &rng, std::size_t maxLen)
+{
+    std::string out;
+    const std::size_t len = rng.index(maxLen + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+        switch (rng.index(4)) {
+          case 0:
+            out += static_cast<char>(rng.index(0x21)); // controls
+            break;
+          case 1:
+            out += "% \t\x7F"[rng.index(4)];
+            break;
+          default:
+            out += static_cast<char>(rng.index(256));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST_P(TextRoundTripFuzzTest, ArbitraryByteNamesRoundTrip)
+{
+    const std::uint64_t seed = GetParam();
+    support::Rng rng(0x7E47'F0D0 ^ (seed * 2654435761u));
+
+    trace::Trace original;
+    const std::size_t objects = 1 + rng.index(5);
+    for (std::size_t i = 0; i < objects; ++i) {
+        original.registerObject(
+            {i + 1,
+             static_cast<trace::ObjectKind>(rng.index(7)),
+             arbitraryBytes(rng, 24),
+             static_cast<std::uint32_t>(rng.index(4))});
+    }
+    const std::size_t threads = 1 + rng.index(3);
+    for (std::size_t i = 0; i < threads; ++i)
+        original.registerThread(static_cast<trace::ThreadId>(i),
+                                arbitraryBytes(rng, 16));
+    const std::size_t events = rng.index(30);
+    for (std::size_t i = 0; i < events; ++i) {
+        trace::Event e;
+        e.thread = static_cast<trace::ThreadId>(rng.index(threads));
+        e.kind = static_cast<trace::EventKind>(rng.index(22));
+        e.obj = rng.index(objects + 1);
+        e.obj2 = rng.index(objects + 1);
+        e.aux = rng.next();
+        e.label = arbitraryBytes(rng, 32);
+        original.append(e);
+    }
+
+    const std::string text = trace::traceToString(original);
+    // Property 1: the artifact is line-structured — no raw byte
+    // below 0x21 except '\n' and ' ', and no raw DEL.
+    for (unsigned char c : text) {
+        ASSERT_TRUE(c == '\n' || c == ' ' ||
+                    (c >= 0x21 && c != 0x7F))
+            << "seed " << seed << ": unescaped byte "
+            << static_cast<int>(c);
+    }
+
+    // Property 2: round trip is the identity on every field.
+    std::string error;
+    auto loaded = trace::traceFromString(text, &error);
+    ASSERT_TRUE(loaded.has_value()) << "seed " << seed << ": "
+                                    << error;
+    ASSERT_EQ(loaded->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded->ev(i).label, original.ev(i).label)
+            << "seed " << seed << " event " << i;
+        EXPECT_EQ(loaded->ev(i).aux, original.ev(i).aux);
+    }
+    for (std::size_t i = 0; i < objects; ++i)
+        EXPECT_EQ(loaded->objectName(i + 1),
+                  original.objectName(i + 1))
+            << "seed " << seed;
+
+    // Property 3: the canonical form is a fixed point.
+    EXPECT_EQ(trace::traceToString(*loaded), text);
+
+    // Property 4 (whitespace-edge lines): padding every line with
+    // leading/trailing ASCII whitespace parses to the same trace.
+    std::string padded;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line))
+        padded += "  " + line + " \t\r\n";
+    auto reloaded = trace::traceFromString(padded, &error);
+    ASSERT_TRUE(reloaded.has_value()) << "seed " << seed << ": "
+                                      << error;
+    EXPECT_EQ(trace::traceToString(*reloaded), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextRoundTripFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
 } // namespace

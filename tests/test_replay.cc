@@ -1,0 +1,527 @@
+/**
+ * @file
+ * External trace-replay frontend tests: grammar coverage, per-line
+ * quarantine diagnostics, object inference, happens-before link
+ * synthesis in the merge, stall handling, a corruption sweep, and the
+ * committed example logs end to end (planted findings, text-path ==
+ * corpus-path equality, byte-identical determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "detect/batch.hh"
+#include "detect/pipeline.hh"
+#include "support/random.hh"
+#include "trace/corpus.hh"
+#include "trace/replay.hh"
+#include "trace/serialize.hh"
+#include "trace/validate.hh"
+
+namespace
+{
+
+using namespace lfm;
+using namespace lfm::trace;
+using replay::ImportResult;
+
+std::size_t
+countKind(const Trace &trace, EventKind kind)
+{
+    std::size_t n = 0;
+    for (const auto &event : trace.events())
+        n += event.kind == kind;
+    return n;
+}
+
+bool
+hasDiagnostic(const ImportResult &result, std::size_t line,
+              const std::string &needle)
+{
+    for (const auto &diag : result.diagnostics) {
+        if (diag.line == line &&
+            diag.message.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+bool
+hasFindingKind(const std::vector<detect::Finding> &findings,
+               detect::FindingKind kind)
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [kind](const detect::Finding &f) {
+                           return f.kind == kind;
+                       });
+}
+
+TEST(Replay, GrammarCoversEveryOp)
+{
+    const std::string log = R"(# every op in the vocabulary
+10 1 thread_start
+15 1 alloc 0x100 8
+20 1 write 0x100 8
+25 1 sem_init 0x60 1
+30 1 barrier_init 0x50 1
+35 1 barrier_wait 0x50
+40 1 lock 0x10
+45 1 unlock 0x10
+50 1 trylock 0x10 1
+55 1 unlock 0x10
+60 1 trylock 0x10 0
+65 1 spin_lock 0x11
+70 1 spin_unlock 0x11
+75 1 rdlock 0x70
+80 1 rwunlock 0x70
+85 1 wrlock 0x70
+90 1 rwunlock 0x70
+95 1 sem_wait 0x60
+100 1 sem_post 0x60
+105 1 read 0x100 8
+110 1 free 0x100
+115 1 create 2
+120 2 thread_start
+125 2 lock 0x10
+130 2 cond_wait 0x30 0x10
+135 1 lock 0x10
+140 1 signal 0x30
+141 1 broadcast 0x30
+145 1 unlock 0x10
+150 2 unlock 0x10
+155 2 thread_exit
+160 1 join 2
+165 1 thread_exit
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.stats.quarantined, 0u);
+    EXPECT_EQ(result.stats.stalled, 0u);
+    EXPECT_EQ(result.stats.records, result.stats.lines);
+    EXPECT_EQ(result.stats.threads, 2u);
+
+    const Trace &t = result.trace;
+    for (EventKind kind :
+         {EventKind::ThreadBegin, EventKind::ThreadEnd,
+          EventKind::Spawn, EventKind::Join, EventKind::Read,
+          EventKind::Write, EventKind::Alloc, EventKind::Free,
+          EventKind::Lock, EventKind::Unlock, EventKind::RdLock,
+          EventKind::RdUnlock, EventKind::WaitBegin,
+          EventKind::WaitResume, EventKind::SignalOne,
+          EventKind::SignalAll, EventKind::SemWait,
+          EventKind::SemPost, EventKind::BarrierCross,
+          EventKind::Yield})
+        EXPECT_GE(countKind(t, kind), 1u) << eventKindName(kind);
+
+    const auto problems = validateTrace(t);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Replay, QuarantineDiagnosticsCarryLineNumbers)
+{
+    const std::string log = R"(# line 1 is this comment
+10 1 bogus_op 1 2
+banana 1 lock 0x10
+20 -3 lock 0x10
+4611686018427387905 1 lock 0x10
+30 1 lock
+40 1 trylock 0x10 2
+50 1 read 0xzz 4
+60 1 lock 0x10
+70 1 unlock 0x10
+80 1
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok) << "good lines must still import";
+    EXPECT_EQ(result.stats.lines, 10u);
+    EXPECT_EQ(result.stats.records, 2u);
+    EXPECT_EQ(result.stats.quarantined, 8u);
+    EXPECT_TRUE(hasDiagnostic(result, 2, "unknown op 'bogus_op'"));
+    EXPECT_TRUE(hasDiagnostic(result, 3, "bad timestamp"));
+    EXPECT_TRUE(hasDiagnostic(result, 4, "negative thread id"));
+    EXPECT_TRUE(hasDiagnostic(result, 5, "timestamp out of range"));
+    EXPECT_TRUE(hasDiagnostic(result, 6, "lock needs 1 operand"));
+    EXPECT_TRUE(hasDiagnostic(result, 7, "trylock outcome"));
+    EXPECT_TRUE(hasDiagnostic(result, 8, "bad operand"));
+    EXPECT_TRUE(hasDiagnostic(result, 11, "truncated record"));
+    // The two clean records made a lock/unlock pair.
+    EXPECT_EQ(countKind(result.trace, EventKind::Lock), 1u);
+    EXPECT_EQ(countKind(result.trace, EventKind::Unlock), 1u);
+}
+
+TEST(Replay, ObjectInferenceClassifiesAndFoldsAddresses)
+{
+    const std::string log = R"(10 1 lock 0x10
+20 1 unlock 0x10
+30 1 signal 0x10
+40 1 alloc 0x1000 16
+50 1 write 0x1008 16
+60 1 read 0x1014 4
+70 1 free 0x2000
+80 1 free 0x1000
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok);
+    // Line 3 reuses the mutex address as a condvar; line 7 frees an
+    // address no access ever touched.
+    EXPECT_EQ(result.stats.quarantined, 2u);
+    EXPECT_TRUE(hasDiagnostic(result, 3, "already classified"));
+    EXPECT_TRUE(hasDiagnostic(result, 7, "free of unknown address"));
+
+    // One thread object, one mutex, one folded variable covering
+    // [0x1000, 0x1018) — the overlapping alloc/write/read ranges.
+    const Trace &t = result.trace;
+    EXPECT_EQ(t.objects().size(), 3u);
+    bool sawMutex = false, sawVar = false;
+    for (const auto &[id, info] : t.objects()) {
+        if (info.kind == ObjectKind::Mutex) {
+            sawMutex = true;
+            EXPECT_EQ(info.name, "mutex@0x10");
+        }
+        if (info.kind == ObjectKind::Variable) {
+            sawVar = true;
+            EXPECT_EQ(info.name, "var@0x1000+24");
+            EXPECT_EQ(info.flags & kStartsUninit, kStartsUninit)
+                << "alloc'd variables start uninitialized";
+        }
+    }
+    EXPECT_TRUE(sawMutex);
+    EXPECT_TRUE(sawVar);
+    // All three data accesses landed on the same folded variable,
+    // and the surviving free resolved into it.
+    EXPECT_EQ(countKind(t, EventKind::Free), 1u);
+}
+
+TEST(Replay, MergeSynthesizesHappensBeforeLinks)
+{
+    const std::string log = R"(10 1 thread_start
+20 1 create 2
+30 2 thread_start
+40 2 lock 0x10
+50 2 cond_wait 0x20 0x10
+60 1 lock 0x10
+70 1 write 0x100 4
+80 1 signal 0x20
+90 1 unlock 0x10
+100 2 unlock 0x10
+110 2 thread_exit
+120 1 join 2
+130 1 thread_exit
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.stats.quarantined, 0u);
+    EXPECT_EQ(result.stats.stalled, 0u);
+
+    const Trace &t = result.trace;
+    // Find the synthesized links.
+    SeqNo spawnSeq = 0, signalSeq = 0, childEnd = 0;
+    const Event *childBegin = nullptr;
+    const Event *resume = nullptr;
+    const Event *join = nullptr;
+    for (const auto &event : t.events()) {
+        if (event.kind == EventKind::Spawn)
+            spawnSeq = event.seq;
+        if (event.kind == EventKind::SignalOne)
+            signalSeq = event.seq;
+        if (event.kind == EventKind::ThreadBegin &&
+            event.thread == 1)
+            childBegin = &event;
+        if (event.kind == EventKind::WaitResume)
+            resume = &event;
+        if (event.kind == EventKind::ThreadEnd &&
+            event.thread == 1)
+            childEnd = event.seq;
+        if (event.kind == EventKind::Join)
+            join = &event;
+    }
+    ASSERT_NE(childBegin, nullptr);
+    ASSERT_NE(resume, nullptr);
+    ASSERT_NE(join, nullptr);
+    EXPECT_EQ(childBegin->aux, spawnSeq)
+        << "ThreadBegin.aux must reference the spawn";
+    EXPECT_EQ(resume->aux, signalSeq)
+        << "WaitResume.aux must reference the waking signal";
+    EXPECT_NE(resume->obj2, kNoObject)
+        << "WaitResume.obj2 must carry the reacquired mutex";
+    EXPECT_EQ(join->aux, childEnd)
+        << "Join.aux must reference the child's ThreadEnd";
+
+    const auto problems = validateTrace(t);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Replay, BarrierGenerationsAreConsecutiveRuns)
+{
+    const std::string log = R"(10 1 thread_start
+15 1 barrier_init 0x50 2
+20 1 create 2
+30 2 thread_start
+40 2 barrier_wait 0x50
+50 1 barrier_wait 0x50
+60 2 barrier_wait 0x50
+70 1 barrier_wait 0x50
+80 2 thread_exit
+90 1 join 2
+95 1 thread_exit
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.stats.stalled, 0u);
+
+    // Each generation's BarrierCross events must form one
+    // consecutive run (the happens-before builder's requirement),
+    // with aux = generation index.
+    std::vector<std::pair<SeqNo, std::uint64_t>> crosses;
+    for (const auto &event : result.trace.events()) {
+        if (event.kind == EventKind::BarrierCross)
+            crosses.push_back({event.seq, event.aux});
+    }
+    ASSERT_EQ(crosses.size(), 4u);
+    EXPECT_EQ(crosses[0].second, 0u);
+    EXPECT_EQ(crosses[1].second, 0u);
+    EXPECT_EQ(crosses[2].second, 1u);
+    EXPECT_EQ(crosses[3].second, 1u);
+    EXPECT_EQ(crosses[1].first, crosses[0].first + 1);
+    EXPECT_EQ(crosses[3].first, crosses[2].first + 1);
+
+    const auto problems = validateTrace(result.trace);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Replay, DeadlockedRecordingStallsWithDiagnostics)
+{
+    // An AB-BA deadlock: neither thread can ever proceed past its
+    // second lock. The import must return the partial trace with
+    // Blocked events, count the dropped records, and diagnose —
+    // never hang, never abort.
+    const std::string log = R"(10 1 thread_start
+20 2 thread_start
+30 1 lock 0xA
+40 2 lock 0xB
+50 1 lock 0xB
+60 2 lock 0xA
+70 1 unlock 0xB
+80 1 unlock 0xA
+90 1 thread_exit
+100 2 unlock 0xA
+110 2 unlock 0xB
+120 2 thread_exit
+)";
+    const ImportResult result = replay::importLogText(log);
+    ASSERT_TRUE(result.ok);
+    EXPECT_GT(result.stats.stalled, 0u);
+    EXPECT_EQ(countKind(result.trace, EventKind::Blocked), 2u);
+    bool sawStall = false;
+    for (const auto &diag : result.diagnostics)
+        sawStall |= diag.message.find("replay stalled") !=
+                    std::string::npos;
+    EXPECT_TRUE(sawStall);
+    // Both Blocked events must name the lock and its holder.
+    for (const auto &event : result.trace.events()) {
+        if (event.kind != EventKind::Blocked)
+            continue;
+        EXPECT_NE(event.obj, kNoObject);
+        EXPECT_NE(event.aux, ~std::uint64_t{0});
+    }
+}
+
+TEST(Replay, CorruptionSweepNeverCrashesOrSilentlyDrops)
+{
+    const std::string good = R"(10 1 thread_start
+20 1 lock 0x10
+30 1 write 0x100 8
+40 1 unlock 0x10
+50 1 thread_exit
+)";
+    // Truncations at every byte: parse must stay total, and every
+    // non-comment line must be accounted for as record-or-quarantine.
+    for (std::size_t cut = 0; cut <= good.size(); ++cut) {
+        const ImportResult result =
+            replay::importLogText(good.substr(0, cut));
+        EXPECT_LE(result.stats.records, result.stats.lines);
+        EXPECT_GE(result.stats.records + result.stats.quarantined,
+                  result.stats.lines);
+        if (result.stats.quarantined > 0)
+            EXPECT_FALSE(result.diagnostics.empty());
+    }
+
+    // Random garbage: arbitrary tokens, arbitrary bytes. Never a
+    // crash, never a drop that is not counted in the stats.
+    support::Rng rng(0xEC0'1065);
+    for (int round = 0; round < 50; ++round) {
+        std::string text;
+        const std::size_t lines = rng.index(20);
+        for (std::size_t i = 0; i < lines; ++i) {
+            const std::size_t len = rng.index(40);
+            for (std::size_t k = 0; k < len; ++k)
+                text += static_cast<char>(rng.index(256));
+            text += '\n';
+        }
+        const ImportResult result = replay::importLogText(text);
+        EXPECT_LE(result.stats.records, result.stats.lines);
+        EXPECT_GE(result.stats.records + result.stats.quarantined,
+                  result.stats.lines);
+    }
+
+    // The documented corruption trio, one diagnostic each.
+    const ImportResult unknown =
+        replay::importLogText("10 1 warp_core 0x1\n");
+    EXPECT_EQ(unknown.stats.quarantined, 1u);
+    EXPECT_TRUE(hasDiagnostic(unknown, 1, "unknown op"));
+    const ImportResult badTs = replay::importLogText(
+        "99999999999999999999999 1 lock 0x10\n");
+    EXPECT_EQ(badTs.stats.quarantined, 1u);
+    const ImportResult truncated =
+        replay::importLogText("10 1 lock 0x10\n20 1\n");
+    EXPECT_EQ(truncated.stats.quarantined, 1u);
+    EXPECT_TRUE(hasDiagnostic(truncated, 2, "truncated record"));
+}
+
+TEST(Replay, UnreadableInputsFailWithFileDiagnostic)
+{
+    const ImportResult missing =
+        replay::importPath("/nonexistent/path/to.log");
+    EXPECT_FALSE(missing.ok);
+    ASSERT_FALSE(missing.diagnostics.empty());
+    EXPECT_EQ(missing.diagnostics[0].line, 0u);
+    const ImportResult empty = replay::importLogText("");
+    EXPECT_FALSE(empty.ok) << "zero events is not a usable import";
+}
+
+// ---------------------------------------------------------------
+// The committed example logs, end to end.
+// ---------------------------------------------------------------
+
+const std::string kLogsDir = LFM_EXTERN_LOGS_DIR;
+
+TEST(ExternLogs, DirectoryImportMergesPerThreadLogs)
+{
+    const ImportResult result =
+        replay::importPath(kLogsDir + "/racy_counter");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.stats.files, 3u);
+    EXPECT_EQ(result.stats.threads, 3u);
+    EXPECT_EQ(result.stats.quarantined, 0u);
+    EXPECT_EQ(result.stats.stalled, 0u);
+    const auto problems = validateTrace(result.trace);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(ExternLogs, PlantedBugsAreDetected)
+{
+    const detect::Pipeline pipeline;
+
+    // racy_counter: worker 3 skips the lock — a data race.
+    const ImportResult racy =
+        replay::importPath(kLogsDir + "/racy_counter");
+    ASSERT_TRUE(racy.ok);
+    EXPECT_TRUE(hasFindingKind(pipeline.run(racy.trace),
+                               detect::FindingKind::DataRace));
+
+    // uaf_teardown: free before the logger's last write — an order
+    // violation (use-after-free).
+    const ImportResult uaf =
+        replay::importPath(kLogsDir + "/uaf_teardown.log");
+    ASSERT_TRUE(uaf.ok);
+    EXPECT_TRUE(
+        hasFindingKind(pipeline.run(uaf.trace),
+                       detect::FindingKind::OrderViolation));
+
+    // missed_notify: the signal fires before the wait begins — the
+    // consumer never resumes (stuck wait), and the replay reports
+    // the stall.
+    const ImportResult missed =
+        replay::importPath(kLogsDir + "/missed_notify.log");
+    ASSERT_TRUE(missed.ok);
+    EXPECT_EQ(missed.stats.stalled, 1u);
+    EXPECT_TRUE(hasFindingKind(pipeline.run(missed.trace),
+                               detect::FindingKind::StuckWait));
+
+    // barrier_pipeline: correctly synchronized — the precise
+    // happens-before detectors must stay silent.
+    const ImportResult clean =
+        replay::importPath(kLogsDir + "/barrier_pipeline.log");
+    ASSERT_TRUE(clean.ok);
+    EXPECT_EQ(clean.stats.quarantined, 0u);
+    EXPECT_EQ(clean.stats.stalled, 0u);
+    const auto findings = pipeline.run(clean.trace);
+    EXPECT_TRUE(detect::findingsFrom(findings, "hb-race").empty());
+    EXPECT_TRUE(detect::findingsFrom(findings, "order").empty());
+    const auto problems = validateTrace(clean.trace);
+    EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(ExternLogs, TextPathEqualsCorpusPathFindings)
+{
+    // Import all four examples, then analyze them two ways: heap
+    // traces that went through the *text* format round trip, and
+    // zero-copy views over the packed LFMC corpus. The two batch
+    // reports must be byte-identical JSON.
+    std::vector<Trace> viaText;
+    CorpusWriter writer;
+    for (const std::string &name :
+         {std::string("racy_counter"),
+          std::string("uaf_teardown.log"),
+          std::string("missed_notify.log"),
+          std::string("barrier_pipeline.log")}) {
+        ImportResult result =
+            replay::importPath(kLogsDir + "/" + name);
+        ASSERT_TRUE(result.ok) << name;
+        writer.add(result.trace);
+        std::string error;
+        auto rt = traceFromString(traceToString(result.trace),
+                                  &error);
+        ASSERT_TRUE(rt.has_value()) << name << ": " << error;
+        viaText.push_back(std::move(*rt));
+    }
+
+    const std::string image = writer.encode();
+    std::vector<std::uint64_t> aligned((image.size() + 7) / 8, 0);
+    std::memcpy(aligned.data(), image.data(), image.size());
+    std::string error;
+    auto corpus = CorpusReader::fromBuffer(aligned.data(),
+                                           image.size(), &error);
+    ASSERT_TRUE(corpus.has_value()) << error;
+
+    const detect::Pipeline pipeline;
+    const detect::BatchRunner runner(2);
+    const auto heapReports = runner.run(pipeline, viaText);
+    const auto viewReports =
+        runner.run(pipeline, *corpus, detect::BatchOptions{});
+    ASSERT_EQ(heapReports.size(), viewReports.size());
+    EXPECT_EQ(detect::reportsJson(viaText, heapReports).str(),
+              detect::reportsJson(*corpus, viewReports).str())
+        << "text path and mmap corpus path disagree";
+}
+
+TEST(ExternLogs, ImportIsByteIdenticallyDeterministic)
+{
+    // Two independent imports of the same inputs must produce
+    // byte-identical LFMC corpora — the property ci.sh asserts with
+    // two lfm_import runs and cmp.
+    const std::vector<std::string> inputs = {
+        kLogsDir + "/racy_counter",
+        kLogsDir + "/uaf_teardown.log",
+        kLogsDir + "/missed_notify.log",
+        kLogsDir + "/barrier_pipeline.log",
+    };
+    std::string first, second;
+    for (std::string *out : {&first, &second}) {
+        CorpusWriter writer;
+        for (const std::string &input : inputs) {
+            ImportResult result = replay::importPath(input);
+            ASSERT_TRUE(result.ok) << input;
+            writer.add(result.trace);
+        }
+        *out = writer.encode();
+    }
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+} // namespace

@@ -72,6 +72,77 @@ TEST(Serialize, RoundTripPreservesEverything)
     EXPECT_EQ(loaded->threadName(0), "main thread");
 }
 
+TEST(Serialize, TabAndControlCharLabelsRoundTrip)
+{
+    // Regression: escape() used to pass '\t' (and every other
+    // control byte) through verbatim, so trim/split in loadTrace
+    // mangled the line. All bytes < 0x21 and 0x7F must now escape.
+    Trace t;
+    t.registerObject(
+        {1, ObjectKind::Variable, std::string("tab\there"), 0});
+    t.registerObject(
+        {2, ObjectKind::Mutex,
+         std::string("ctl\x01\x1F\x7F\v\f" "end"), 0});
+    t.registerThread(0, std::string("name\twith\ttabs"));
+    Event e;
+    e.thread = 0;
+    e.kind = EventKind::ThreadBegin;
+    e.aux = kSpuriousWakeup;
+    t.append(e);
+    e.kind = EventKind::Write;
+    e.obj = 1;
+    e.aux = 0;
+    e.label = std::string("label\t\r\n\x02 with everything%\x7F");
+    t.append(e);
+    e.kind = EventKind::Read;
+    e.label = std::string(1, '\0') + "nul embedded";
+    t.append(e);
+
+    const std::string text = traceToString(t);
+    // The serialized artifact itself must stay line-structured:
+    // nothing below 0x21 except the record-separating '\n' and the
+    // field-separating ' ' may appear raw.
+    for (unsigned char c : text) {
+        if (c != '\n' && c != ' ')
+            EXPECT_TRUE(c >= 0x21 && c != 0x7F)
+                << "unescaped byte " << static_cast<int>(c);
+    }
+
+    std::string error;
+    auto loaded = traceFromString(text, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->objectName(1), "tab\there");
+    EXPECT_EQ(loaded->objectName(2),
+              std::string("ctl\x01\x1F\x7F\v\f" "end"));
+    EXPECT_EQ(loaded->threadName(0), "name\twith\ttabs");
+    EXPECT_EQ(loaded->ev(1).label,
+              std::string("label\t\r\n\x02 with everything%\x7F"));
+    EXPECT_EQ(loaded->ev(2).label,
+              std::string(1, '\0') + "nul embedded");
+    // Byte-identical re-serialization: the canonical form is stable.
+    EXPECT_EQ(traceToString(*loaded), text);
+}
+
+TEST(Serialize, NegativeThreadIdsAreRejected)
+{
+    // Regression: std::stoi happily parses "-1", so loadTrace used
+    // to build traces no recorder could produce.
+    std::string error;
+    EXPECT_FALSE(
+        traceFromString("# lfm-trace v1\nevent -1 read 1 0 0 %\n",
+                        &error)
+            .has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("negative thread id"), std::string::npos)
+        << error;
+    EXPECT_FALSE(
+        traceFromString("# lfm-trace v1\nthread -7 worker\n", &error)
+            .has_value());
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+    EXPECT_NE(error.find("negative thread id"), std::string::npos)
+        << error;
+}
+
 TEST(Serialize, KindNamesRoundTrip)
 {
     EXPECT_EQ(eventKindFromName("wait_begin"), EventKind::WaitBegin);

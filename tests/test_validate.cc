@@ -43,6 +43,20 @@ TEST(Validate, CleanTraceHasNoProblems)
     EXPECT_TRUE(validateTrace(t).empty());
 }
 
+TEST(Validate, NegativeThreadIdCaught)
+{
+    // Same gap the text loader had: a negative thread id is not a
+    // trace any recorder produces, so the validator must flag it.
+    Trace t;
+    t.append(mk(-1, EventKind::ThreadBegin, kNoObject, kNoObject,
+                kSpuriousWakeup));
+    t.append(mk(-1, EventKind::Write, 9));
+    auto problems = validateTrace(t);
+    ASSERT_GE(problems.size(), 2u);
+    EXPECT_NE(problems[0].find("negative thread id"),
+              std::string::npos);
+}
+
 TEST(Validate, DoubleAcquisitionCaught)
 {
     Trace t;

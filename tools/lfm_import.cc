@@ -1,0 +1,170 @@
+/**
+ * @file
+ * lfm_import: convert pthread-style event logs recorded from external
+ * programs (trace/replay.hh grammar) into lfm traces.
+ *
+ *     lfm_import [--format text|lfmt|lfmc] [-o OUT] <log|dir> ...
+ *
+ * Each input is either a single interleaved log file or a directory of
+ * one-log-per-thread files (imported as one merged trace). Output:
+ *
+ *     lfmc (default)  all imported traces packed into one LFMC corpus
+ *                     (-o required) — the detector batch input format
+ *     lfmt            exactly one input, written as an LFMT image
+ *                     (-o required)
+ *     text            exactly one input, written as v1 trace text
+ *                     (-o, or stdout when omitted)
+ *
+ * Per-line problems are quarantined, printed to stderr as
+ * "file:line: message", and never abort the import; the summary line
+ * reports how many records were kept vs dropped. Exit codes: 0
+ * success (even with quarantined lines), 1 usage error, 2 when an
+ * input was unreadable or imported zero events.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/journal.hh"
+#include "trace/binary.hh"
+#include "trace/corpus.hh"
+#include "trace/replay.hh"
+#include "trace/serialize.hh"
+
+namespace
+{
+
+constexpr int kOk = 0;
+constexpr int kUsage = 1;
+constexpr int kFormat = 2;
+
+int
+usage()
+{
+    std::cerr << "usage: lfm_import [--format text|lfmt|lfmc] "
+                 "[-o OUT] <log|dir> ...\n";
+    return kUsage;
+}
+
+int
+fail(const std::string &what)
+{
+    std::cerr << "lfm_import: " << what << "\n";
+    return kFormat;
+}
+
+void
+printDiagnostics(const lfm::trace::replay::ImportResult &result)
+{
+    for (const auto &diag : result.diagnostics) {
+        if (diag.line > 0)
+            std::cerr << diag.file << ":" << diag.line << ": "
+                      << diag.message << "\n";
+        else if (!diag.file.empty())
+            std::cerr << diag.file << ": " << diag.message << "\n";
+        else
+            std::cerr << diag.message << "\n";
+    }
+}
+
+void
+printSummary(const std::string &input,
+             const lfm::trace::replay::ImportResult &result)
+{
+    const auto &stats = result.stats;
+    std::cout << input << ": " << stats.events << " events, "
+              << stats.threads << " threads, " << stats.objects
+              << " objects from " << stats.records << "/"
+              << stats.lines << " records";
+    if (stats.quarantined > 0)
+        std::cout << ", " << stats.quarantined << " quarantined";
+    if (stats.stalled > 0)
+        std::cout << ", " << stats.stalled << " stalled";
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string format = "lfmc";
+    std::string out;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--format") {
+            if (++i >= argc)
+                return usage();
+            format = argv[i];
+        } else if (arg == "-o" || arg == "--output") {
+            if (++i >= argc)
+                return usage();
+            out = argv[i];
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return kOk;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty())
+        return usage();
+    if (format != "text" && format != "lfmt" && format != "lfmc")
+        return usage();
+    if (format != "lfmc" && inputs.size() != 1) {
+        std::cerr << "lfm_import: --format " << format
+                  << " takes exactly one input\n";
+        return kUsage;
+    }
+    if (format != "text" && out.empty()) {
+        std::cerr << "lfm_import: --format " << format
+                  << " needs -o OUT\n";
+        return kUsage;
+    }
+
+    std::vector<lfm::trace::Trace> traces;
+    for (const std::string &input : inputs) {
+        auto result = lfm::trace::replay::importPath(input);
+        printDiagnostics(result);
+        if (!result.ok)
+            return fail(input + ": no events imported");
+        printSummary(input, result);
+        traces.push_back(std::move(result.trace));
+    }
+
+    if (format == "lfmc") {
+        lfm::trace::CorpusWriter writer;
+        for (const auto &trace : traces)
+            writer.add(trace);
+        std::string error;
+        if (!writer.writeTo(out, &error))
+            return fail(out + ": " + error);
+        std::cout << "packed " << writer.count() << " trace"
+                  << (writer.count() == 1 ? "" : "s") << " into "
+                  << out << "\n";
+        return kOk;
+    }
+
+    if (format == "lfmt") {
+        std::string error;
+        if (!lfm::trace::saveTraceBinary(traces[0], out, &error))
+            return fail(out + ": " + error);
+        std::cout << "wrote " << out << "\n";
+        return kOk;
+    }
+
+    const std::string text = lfm::trace::traceToString(traces[0]);
+    if (out.empty()) {
+        std::cout << text;
+        return kOk;
+    }
+    if (!lfm::support::atomicWriteFile(out, text))
+        return fail("cannot write " + out);
+    std::cout << "wrote " << out << "\n";
+    return kOk;
+}

@@ -152,16 +152,126 @@ IMPORT_INPUTS="examples/extern_logs/racy_counter
 examples/extern_logs/uaf_teardown.log
 examples/extern_logs/missed_notify.log
 examples/extern_logs/barrier_pipeline.log"
+# missed_notify.log stalls one record by design (that IS the missed
+# notify), so the full set imports as a *partial* corpus: exit 3 and
+# clean:false in the --json summary — asserted, not tolerated.
+IMPORT_RC=0
 # shellcheck disable=SC2086
-./build/tools/lfm_import -o "$IMPORT_DIR/pass1.lfmc" $IMPORT_INPUTS
+./build/tools/lfm_import --json -o "$IMPORT_DIR/pass1.lfmc" \
+    $IMPORT_INPUTS > "$IMPORT_DIR/pass1.json" || IMPORT_RC=$?
+test "$IMPORT_RC" -eq 3 || {
+    echo "FAIL: partial import exited $IMPORT_RC, want 3"; exit 1; }
+grep -qF '"clean": false' "$IMPORT_DIR/pass1.json" || {
+    echo "FAIL: --json summary does not say clean:false"; exit 1; }
+IMPORT_RC=0
 # shellcheck disable=SC2086
-./build/tools/lfm_import -o "$IMPORT_DIR/pass2.lfmc" $IMPORT_INPUTS
+./build/tools/lfm_import -o "$IMPORT_DIR/pass2.lfmc" \
+    $IMPORT_INPUTS || IMPORT_RC=$?
+test "$IMPORT_RC" -eq 3 || {
+    echo "FAIL: second import exited $IMPORT_RC, want 3"; exit 1; }
 cmp "$IMPORT_DIR/pass1.lfmc" "$IMPORT_DIR/pass2.lfmc" || {
     echo "FAIL: lfm_import output differs across two runs"; exit 1; }
+# A stall-free subset is a trustworthy corpus: exit 0, clean:true.
+./build/tools/lfm_import --json -o "$IMPORT_DIR/clean.lfmc" \
+    examples/extern_logs/racy_counter \
+    examples/extern_logs/uaf_teardown.log > "$IMPORT_DIR/clean.json"
+grep -qF '"clean": true' "$IMPORT_DIR/clean.json" || {
+    echo "FAIL: clean import not marked clean:true"; exit 1; }
 ./build/tools/lfm_tracepack info "$IMPORT_DIR/pass1.lfmc"
 (cd "$IMPORT_DIR" && ../bench/perf_detectors --smoke --corpus pass1.lfmc \
     | tail -n 8)
 echo "import ok: byte-identical across runs, heap==view gate passed"
+
+echo "== lfm-serve: daemon end-to-end (stream == batch, drain, resume) =="
+# Start the daemon, upload the example corpus plus a raw pthread log,
+# require the streamed findings to be byte-identical to the --batch
+# generator, drain it with SIGTERM (exit 0), SIGKILL a successor in
+# the middle of a streaming campaign, and check that a restart over
+# the same state directory resumes to byte-identical results.
+SERVE_DIR="build/serve-ci"
+rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"
+SERVED=./build/tools/lfm_served
+./build/tools/lfm_tracepack pack "$SERVE_DIR/examples.lfmc" \
+    examples/traces/*.txt
+"$SERVED" --batch "$SERVE_DIR/examples.lfmc" > "$SERVE_DIR/batch.json"
+
+"$SERVED" --port-file "$SERVE_DIR/port" --state-dir "$SERVE_DIR/state" \
+    > "$SERVE_DIR/daemon1.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SERVE_DIR/port" && break; sleep 0.1; done
+test -s "$SERVE_DIR/port" || {
+    echo "FAIL: lfm_served never published its port"
+    cat "$SERVE_DIR/daemon1.log"; exit 1; }
+PORT=$(cat "$SERVE_DIR/port")
+
+"$SERVED" --client POST "/detect?campaign=ci" \
+    "$SERVE_DIR/examples.lfmc" --port "$PORT" \
+    > "$SERVE_DIR/streamed.json"
+cmp "$SERVE_DIR/batch.json" "$SERVE_DIR/streamed.json" || {
+    echo "FAIL: streamed findings differ from --batch"; exit 1; }
+"$SERVED" --client POST "/detect?campaign=ci-log" \
+    examples/extern_logs/uaf_teardown.log --port "$PORT" > /dev/null
+
+if command -v curl >/dev/null; then
+    curl -fsS "http://127.0.0.1:$PORT/healthz"
+    curl -fsS "http://127.0.0.1:$PORT/metrics" > /dev/null
+else
+    "$SERVED" --client GET /healthz --port "$PORT"
+    "$SERVED" --client GET /metrics --port "$PORT" > /dev/null
+fi
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "FAIL: SIGTERM drain exited non-zero"; exit 1; }
+
+# Successor over the same state: the drained campaign's findings are
+# served from the journal, byte-identical — then a streaming session
+# is SIGKILL'd half-done.
+rm -f "$SERVE_DIR/port"
+"$SERVED" --port-file "$SERVE_DIR/port" --state-dir "$SERVE_DIR/state" \
+    > "$SERVE_DIR/daemon2.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SERVE_DIR/port" && break; sleep 0.1; done
+test -s "$SERVE_DIR/port" || {
+    echo "FAIL: restarted lfm_served never published its port"
+    cat "$SERVE_DIR/daemon2.log"; exit 1; }
+PORT=$(cat "$SERVE_DIR/port")
+"$SERVED" --client GET /campaigns/ci/findings --port "$PORT" \
+    > "$SERVE_DIR/resumed.json"
+cmp "$SERVE_DIR/batch.json" "$SERVE_DIR/resumed.json" || {
+    echo "FAIL: restart served different findings for campaign ci"
+    exit 1; }
+"$SERVED" --client POST /campaigns/ci-session --port "$PORT" > /dev/null
+"$SERVED" --client POST /campaigns/ci-session/traces \
+    examples/traces/racy_counter.txt --port "$PORT" > /dev/null
+"$SERVED" --client POST /campaigns/ci-session/traces \
+    examples/traces/abba_deadlock.txt --port "$PORT" > /dev/null
+kill -KILL "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+rm -f "$SERVE_DIR/port"
+"$SERVED" --port-file "$SERVE_DIR/port" --state-dir "$SERVE_DIR/state" \
+    > "$SERVE_DIR/daemon3.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SERVE_DIR/port" && break; sleep 0.1; done
+test -s "$SERVE_DIR/port" || {
+    echo "FAIL: third lfm_served never published its port"
+    cat "$SERVE_DIR/daemon3.log"; exit 1; }
+PORT=$(cat "$SERVE_DIR/port")
+# The revived session finishes now; its findings must equal a batch
+# run over the same two traces.
+"$SERVED" --client POST /campaigns/ci-session/finish --port "$PORT" \
+    > "$SERVE_DIR/session.json"
+./build/tools/lfm_tracepack pack "$SERVE_DIR/session.lfmc" \
+    examples/traces/racy_counter.txt examples/traces/abba_deadlock.txt
+"$SERVED" --batch "$SERVE_DIR/session.lfmc" \
+    > "$SERVE_DIR/session_batch.json"
+cmp "$SERVE_DIR/session_batch.json" "$SERVE_DIR/session.json" || {
+    echo "FAIL: resumed session findings differ from batch"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "FAIL: final SIGTERM drain exited non-zero"; exit 1; }
+echo "serve ok: stream==batch, drain clean, SIGKILL resume identical"
 
 echo "== bench-perf: SARIF lint =="
 # The emitted findings document must be structurally SARIF 2.1.0:

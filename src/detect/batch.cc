@@ -145,8 +145,10 @@ struct ReportReader
     }
 };
 
+} // namespace
+
 std::vector<std::uint8_t>
-serializeReport(const TraceReport &report)
+serializeTraceReport(const TraceReport &report)
 {
     std::vector<std::uint8_t> buf;
     buf.push_back(static_cast<std::uint8_t>(report.status));
@@ -169,8 +171,8 @@ serializeReport(const TraceReport &report)
 }
 
 bool
-deserializeReport(const std::vector<std::uint8_t> &buf,
-                  TraceReport &report)
+deserializeTraceReport(const std::vector<std::uint8_t> &buf,
+                       TraceReport &report)
 {
     if (buf.empty())
         return false;
@@ -197,6 +199,9 @@ deserializeReport(const std::vector<std::uint8_t> &buf,
     }
     return rd.ok;
 }
+
+namespace
+{
 
 /**
  * The supervisor scaffolding shared by both sandboxed batch flavors
@@ -235,7 +240,7 @@ runSandboxedUnits(
         TraceReport report;
         report.key = unit;
         analyzeUnit(unit, report);
-        return serializeReport(report);
+        return serializeTraceReport(report);
     };
 
     support::SandboxSupervisor supervisor(sandbox);
@@ -245,7 +250,7 @@ runSandboxedUnits(
             const std::vector<std::uint8_t> &payload) {
             if (unit >= reports.size())
                 return;
-            if (deserializeReport(payload, reports[unit]))
+            if (deserializeTraceReport(payload, reports[unit]))
                 delivered[unit] = true;
         },
         [&](const support::CrashInfo &crash) {

@@ -67,6 +67,17 @@ struct TraceReport
 };
 
 /**
+ * Flat byte encoding of one TraceReport (status, error, findings).
+ * This is the sandbox result-pipe payload format; the serve layer's
+ * campaign journal reuses it so per-trace results survive a daemon
+ * SIGKILL byte-for-byte. deserializeTraceReport returns false (and
+ * leaves the report partially filled) on a truncated/corrupt buffer.
+ */
+std::vector<std::uint8_t> serializeTraceReport(const TraceReport &report);
+bool deserializeTraceReport(const std::vector<std::uint8_t> &buf,
+                            TraceReport &report);
+
+/**
  * Failsafe knobs for a batch pass. The defaults change nothing: no
  * validation, one attempt, no cancellation — the classic run.
  */

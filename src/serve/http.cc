@@ -1,0 +1,762 @@
+#include "serve/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "support/metrics.hh"
+#include "support/string_utils.hh"
+
+namespace lfm::serve
+{
+
+namespace
+{
+
+/** Decode %xx escapes and '+' in a query component. */
+std::string
+percentDecode(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '+') {
+            out.push_back(' ');
+        } else if (s[i] == '%' && i + 2 < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+            auto hex = [](char c) -> int {
+                if (c >= '0' && c <= '9')
+                    return c - '0';
+                if (c >= 'a' && c <= 'f')
+                    return c - 'a' + 10;
+                return c - 'A' + 10;
+            };
+            out.push_back(static_cast<char>(hex(s[i + 1]) * 16 +
+                                            hex(s[i + 2])));
+            i += 2;
+        } else {
+            out.push_back(s[i]);
+        }
+    }
+    return out;
+}
+
+/** Send every byte, retrying short writes; false when peer is gone. */
+bool
+sendRaw(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n =
+            ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+std::string
+statusLine(int status)
+{
+    std::ostringstream os;
+    os << "HTTP/1.1 " << status << " " << httpReason(status) << "\r\n";
+    return os.str();
+}
+
+std::string
+headerBlock(const std::string &contentType,
+            const std::vector<std::pair<std::string, std::string>>
+                &extraHeaders)
+{
+    std::string out;
+    out += "Server: lfm-serve\r\n";
+    if (!contentType.empty())
+        out += "Content-Type: " + contentType + "\r\n";
+    for (const auto &[name, value] : extraHeaders)
+        out += name + ": " + value + "\r\n";
+    out += "Connection: close\r\n";
+    return out;
+}
+
+} // namespace
+
+const char *
+httpReason(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 202:
+        return "Accepted";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 408:
+        return "Request Timeout";
+    case 409:
+        return "Conflict";
+    case 411:
+        return "Length Required";
+    case 413:
+        return "Payload Too Large";
+    case 422:
+        return "Unprocessable Entity";
+    case 431:
+        return "Request Header Fields Too Large";
+    case 500:
+        return "Internal Server Error";
+    case 501:
+        return "Not Implemented";
+    case 503:
+        return "Service Unavailable";
+    default:
+        return "Status";
+    }
+}
+
+const std::string *
+HttpRequest::header(const std::string &nameLower) const
+{
+    for (const auto &[name, value] : headers) {
+        if (name == nameLower)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::string
+HttpRequest::queryOr(const std::string &key,
+                     const std::string &dflt) const
+{
+    const auto it = query.find(key);
+    return it == query.end() ? dflt : it->second;
+}
+
+void
+ResponseWriter::sendAll(std::string_view data)
+{
+    if (broken_)
+        return;
+    if (!sendRaw(fd_, data))
+        broken_ = true;
+}
+
+void
+ResponseWriter::respond(const HttpResponse &response)
+{
+    if (started_)
+        return;
+    started_ = true;
+    std::string head = statusLine(response.status);
+    head += headerBlock(response.contentType, response.extraHeaders);
+    head +=
+        "Content-Length: " + std::to_string(response.body.size()) +
+        "\r\n\r\n";
+    sendAll(head);
+    sendAll(response.body);
+    finished_ = true;
+}
+
+void
+ResponseWriter::beginChunked(
+    int status, const std::string &contentType,
+    const std::vector<std::pair<std::string, std::string>>
+        &extraHeaders)
+{
+    if (started_)
+        return;
+    started_ = true;
+    chunked_ = true;
+    std::string head = statusLine(status);
+    head += headerBlock(contentType, extraHeaders);
+    head += "Transfer-Encoding: chunked\r\n\r\n";
+    sendAll(head);
+}
+
+void
+ResponseWriter::chunk(std::string_view data)
+{
+    if (!chunked_ || finished_ || data.empty())
+        return;
+    std::ostringstream frame;
+    frame << std::hex << data.size() << "\r\n";
+    sendAll(frame.str());
+    sendAll(data);
+    sendAll("\r\n");
+}
+
+void
+ResponseWriter::endChunked()
+{
+    if (!chunked_ || finished_)
+        return;
+    sendAll("0\r\n\r\n");
+    finished_ = true;
+}
+
+// ------------------------------------------------------------------
+// Server
+// ------------------------------------------------------------------
+
+struct HttpServer::Impl
+{
+    HttpHandler handler;
+    HttpServerOptions options;
+
+    int listenFd = -1;
+    std::uint16_t port = 0;
+
+    std::atomic<bool> draining{false};
+    std::atomic<std::uint64_t> requests{0};
+
+    /** One tracked connection thread; `done` lets the accept loop
+     * reap finished threads without blocking on live ones. */
+    struct Conn
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    mutable std::mutex m;
+    std::condition_variable cv;
+    unsigned active = 0;  ///< connection threads inside handleConn
+    std::list<Conn> conns;  ///< reaped on accept, joined on drain
+    bool drained = false;
+
+    std::thread acceptThread;
+
+    /**
+     * Parse one request off the socket and dispatch it. Any protocol
+     * problem answers with the right 4xx/5xx and closes; only a fully
+     * parsed request reaches the handler.
+     */
+    void
+    handleConn(int fd)
+    {
+        ResponseWriter writer(fd);
+        HttpRequest request;
+        const int verdict = readRequest(fd, request);
+        if (verdict != 0) {
+            if (verdict > 0)  // protocol error with a status code
+                writer.respond({verdict, "text/plain",
+                                std::string(httpReason(verdict)) +
+                                    "\n",
+                                {}});
+            // verdict < 0: peer vanished / timed out; nothing to say.
+        } else {
+            requests.fetch_add(1, std::memory_order_relaxed);
+            try {
+                handler(request, writer);
+                if (!writer.started())
+                    writer.respond({500, "text/plain",
+                                    "handler produced no response\n",
+                                    {}});
+                else if (!writer.finished())
+                    writer.endChunked();
+            } catch (const std::exception &e) {
+                // A throwing handler degrades one exchange, not the
+                // daemon (the batch layer's quarantine policy).
+                support::metrics::counter("serve.http.handler_errors")
+                    .add();
+                if (!writer.started())
+                    writer.respond({500, "text/plain",
+                                    std::string("internal error: ") +
+                                        e.what() + "\n",
+                                    {}});
+                else if (!writer.finished())
+                    writer.endChunked();
+            }
+        }
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+
+    /**
+     * Read and parse one request. Returns 0 on success, a positive
+     * HTTP status for protocol errors the peer should hear about, or
+     * -1 when the connection died / timed out mid-request.
+     */
+    int
+    readRequest(int fd, HttpRequest &request)
+    {
+        std::string buf;
+        std::size_t headerEnd = std::string::npos;
+        char tmp[4096];
+        while (true) {
+            headerEnd = buf.find("\r\n\r\n");
+            if (headerEnd != std::string::npos)
+                break;
+            if (buf.size() > options.maxHeaderBytes)
+                return 431;
+            const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return -1;  // timeout (SO_RCVTIMEO) or reset
+            }
+            if (n == 0)
+                return buf.empty() ? -1 : 400;
+            buf.append(tmp, static_cast<std::size_t>(n));
+        }
+
+        const std::string head = buf.substr(0, headerEnd);
+        std::string rest = buf.substr(headerEnd + 4);
+
+        // Request line.
+        const std::size_t lineEnd = head.find("\r\n");
+        const std::string line =
+            lineEnd == std::string::npos ? head
+                                         : head.substr(0, lineEnd);
+        std::istringstream ls(line);
+        std::string version;
+        if (!(ls >> request.method >> request.target >> version) ||
+            version.rfind("HTTP/1.", 0) != 0)
+            return 400;
+
+        // Headers (names lower-cased, values trimmed).
+        std::size_t pos = lineEnd == std::string::npos
+                              ? head.size()
+                              : lineEnd + 2;
+        while (pos < head.size()) {
+            std::size_t eol = head.find("\r\n", pos);
+            if (eol == std::string::npos)
+                eol = head.size();
+            const std::string hline = head.substr(pos, eol - pos);
+            pos = eol + 2;
+            const std::size_t colon = hline.find(':');
+            if (colon == std::string::npos)
+                return 400;
+            request.headers.emplace_back(
+                support::toLower(support::trim(hline.substr(0, colon))),
+                support::trim(hline.substr(colon + 1)));
+        }
+
+        // Split target into path + query.
+        const std::size_t q = request.target.find('?');
+        request.path = percentDecode(request.target.substr(0, q));
+        if (q != std::string::npos) {
+            for (const auto &pair :
+                 support::split(request.target.substr(q + 1), '&')) {
+                if (pair.empty())
+                    continue;
+                const std::size_t eq = pair.find('=');
+                if (eq == std::string::npos)
+                    request.query[percentDecode(pair)] = "";
+                else
+                    request.query[percentDecode(pair.substr(0, eq))] =
+                        percentDecode(pair.substr(eq + 1));
+            }
+        }
+
+        // Body framing: explicit Content-Length or nothing. Chunked
+        // uploads are refused rather than half-supported.
+        if (const std::string *te =
+                request.header("transfer-encoding")) {
+            (void)te;
+            return 501;
+        }
+        const std::string *cl = request.header("content-length");
+        if (cl == nullptr) {
+            if (!rest.empty())
+                return 411;
+            return 0;
+        }
+        char *end = nullptr;
+        const unsigned long long want =
+            std::strtoull(cl->c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            return 400;
+        if (want > options.maxBodyBytes)
+            return 413;
+        request.body = std::move(rest);
+        while (request.body.size() < want) {
+            const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return -1;
+            }
+            if (n == 0)
+                return 400;  // peer closed mid-body
+            request.body.append(tmp, static_cast<std::size_t>(n));
+        }
+        if (request.body.size() > want)
+            request.body.resize(want);  // ignore pipelined trailing data
+        return 0;
+    }
+
+    void
+    acceptLoop()
+    {
+        while (true) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                return;  // listen socket closed: drain began
+            }
+            if (draining.load(std::memory_order_acquire)) {
+                ResponseWriter w(fd);
+                w.respond({503, "text/plain", "draining\n",
+                           {{"Retry-After", "1"}}});
+                ::close(fd);
+                continue;
+            }
+
+            struct timeval tv = {};
+            tv.tv_sec = options.recvTimeoutSec;
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+            std::unique_lock lk(m);
+            // Reap finished threads so a long-lived daemon does not
+            // accumulate handles (their connections already closed).
+            for (auto it = conns.begin(); it != conns.end();) {
+                if (it->done->load(std::memory_order_acquire)) {
+                    it->thread.join();
+                    it = conns.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (active >= options.maxConnections) {
+                lk.unlock();
+                support::metrics::counter("serve.http.conn_rejected")
+                    .add();
+                ResponseWriter w(fd);
+                w.respond({503, "text/plain", "overloaded\n",
+                           {{"Retry-After", "1"}}});
+                ::close(fd);
+                continue;
+            }
+            ++active;
+            auto done = std::make_shared<std::atomic<bool>>(false);
+            conns.push_back(
+                {std::thread([this, fd, done] {
+                     handleConn(fd);
+                     std::lock_guard lg(m);
+                     --active;
+                     done->store(true, std::memory_order_release);
+                     cv.notify_all();
+                 }),
+                 done});
+        }
+    }
+};
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->handler = std::move(handler);
+    impl_->options = std::move(options);
+}
+
+HttpServer::~HttpServer()
+{
+    drain();
+}
+
+bool
+HttpServer::start(std::string *error)
+{
+    if (impl_->listenFd >= 0)
+        return true;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(impl_->options.port);
+    if (::inet_pton(AF_INET, impl_->options.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        if (error != nullptr)
+            *error = "bad bind address: " + impl_->options.bindAddress;
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        if (error != nullptr)
+            *error = std::string("bind/listen: ") +
+                     std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    impl_->port = ntohs(addr.sin_port);
+    impl_->listenFd = fd;
+    impl_->acceptThread = std::thread([this] { impl_->acceptLoop(); });
+    return true;
+}
+
+std::uint16_t
+HttpServer::port() const
+{
+    return impl_->port;
+}
+
+void
+HttpServer::beginDrain()
+{
+    impl_->draining.store(true, std::memory_order_release);
+    std::lock_guard lk(impl_->m);
+    if (impl_->listenFd >= 0) {
+        // Closing the listen socket pops the accept loop out of
+        // accept(2); shutdown first for portability.
+        ::shutdown(impl_->listenFd, SHUT_RDWR);
+        ::close(impl_->listenFd);
+        impl_->listenFd = -1;
+    }
+}
+
+void
+HttpServer::drain()
+{
+    beginDrain();
+    if (impl_->acceptThread.joinable())
+        impl_->acceptThread.join();
+    std::unique_lock lk(impl_->m);
+    if (impl_->drained)
+        return;
+    impl_->cv.wait(lk, [this] { return impl_->active == 0; });
+    for (auto &conn : impl_->conns)
+        conn.thread.join();
+    impl_->conns.clear();
+    impl_->drained = true;
+}
+
+bool
+HttpServer::draining() const
+{
+    return impl_->draining.load(std::memory_order_acquire);
+}
+
+unsigned
+HttpServer::activeConnections() const
+{
+    std::lock_guard lk(impl_->m);
+    return impl_->active;
+}
+
+std::uint64_t
+HttpServer::requestsHandled() const
+{
+    return impl_->requests.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------------
+// Client
+// ------------------------------------------------------------------
+
+const std::string *
+ClientResponse::header(const std::string &nameLower) const
+{
+    for (const auto &[name, value] : headers) {
+        if (name == nameLower)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** recv() until the predicate over the accumulated buffer holds. */
+bool
+recvUntil(int fd, std::string &buf,
+          const std::function<bool(const std::string &)> &done)
+{
+    char tmp[4096];
+    while (!done(buf)) {
+        const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return done(buf);
+        buf.append(tmp, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/** De-chunk a complete chunked body; false on framing error. */
+bool
+dechunk(const std::string &in, std::string &out)
+{
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t eol = in.find("\r\n", pos);
+        if (eol == std::string::npos)
+            return false;
+        const unsigned long long size =
+            std::strtoull(in.substr(pos, eol - pos).c_str(), nullptr,
+                          16);
+        pos = eol + 2;
+        if (size == 0)
+            return true;
+        if (pos + size + 2 > in.size())
+            return false;
+        out.append(in, pos, size);
+        pos += size + 2;  // skip chunk + CRLF
+    }
+}
+
+} // namespace
+
+ClientResponse
+httpRequest(std::uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body,
+            const std::vector<std::pair<std::string, std::string>>
+                &headers,
+            unsigned timeoutSec)
+{
+    ClientResponse res;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        res.error = std::string("socket: ") + std::strerror(errno);
+        return res;
+    }
+    struct timeval tv = {};
+    tv.tv_sec = timeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        res.error = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return res;
+    }
+
+    std::string req = method + " " + target + " HTTP/1.1\r\n";
+    req += "Host: 127.0.0.1:" + std::to_string(port) + "\r\n";
+    for (const auto &[name, value] : headers)
+        req += name + ": " + value + "\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT")
+        req += "Content-Length: " + std::to_string(body.size()) +
+               "\r\n";
+    req += "Connection: close\r\n\r\n";
+    req += body;
+    if (!sendRaw(fd, req)) {
+        res.error = "send failed";
+        ::close(fd);
+        return res;
+    }
+
+    std::string buf;
+    if (!recvUntil(fd, buf, [](const std::string &b) {
+            return b.find("\r\n\r\n") != std::string::npos;
+        })) {
+        res.error = "recv failed (headers)";
+        ::close(fd);
+        return res;
+    }
+    const std::size_t headerEnd = buf.find("\r\n\r\n");
+    if (headerEnd == std::string::npos) {
+        res.error = "connection closed before headers completed";
+        ::close(fd);
+        return res;
+    }
+    const std::string head = buf.substr(0, headerEnd);
+    std::string rest = buf.substr(headerEnd + 4);
+
+    std::istringstream hs(head);
+    std::string line;
+    std::getline(hs, line);
+    std::istringstream sl(line);
+    std::string version;
+    sl >> version >> res.status;
+    bool chunked = false;
+    std::size_t contentLength = std::string::npos;
+    while (std::getline(hs, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        const std::string name =
+            support::toLower(support::trim(line.substr(0, colon)));
+        const std::string value =
+            support::trim(line.substr(colon + 1));
+        res.headers.emplace_back(name, value);
+        if (name == "transfer-encoding" &&
+            support::toLower(value).find("chunked") !=
+                std::string::npos)
+            chunked = true;
+        if (name == "content-length")
+            contentLength = std::strtoull(value.c_str(), nullptr, 10);
+    }
+
+    if (chunked) {
+        // Read until the terminating 0-chunk parses.
+        std::string decoded;
+        const bool got =
+            recvUntil(fd, rest, [&decoded](const std::string &b) {
+                decoded.clear();
+                return dechunk(b, decoded);
+            });
+        ::close(fd);
+        if (!got) {
+            res.error = "recv failed (chunked body)";
+            return res;
+        }
+        res.body = std::move(decoded);
+        res.ok = true;
+        return res;
+    }
+
+    if (contentLength != std::string::npos) {
+        if (!recvUntil(fd, rest, [contentLength](const std::string &b) {
+                return b.size() >= contentLength;
+            })) {
+            res.error = "recv failed (body)";
+            ::close(fd);
+            return res;
+        }
+        rest.resize(contentLength);
+    } else {
+        // Connection-close framing: read to EOF.
+        recvUntil(fd, rest,
+                  [](const std::string &) { return false; });
+    }
+    ::close(fd);
+    res.body = std::move(rest);
+    res.ok = true;
+    return res;
+}
+
+} // namespace lfm::serve

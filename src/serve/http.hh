@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 substrate for lfm-serve.
+ *
+ * A deliberately small server: POSIX sockets, blocking I/O, one
+ * accept loop plus one thread per live connection, no TLS, no
+ * keep-alive (every response carries "Connection: close" so drain
+ * semantics stay trivial: no accepted connection is ever parked
+ * half-idle). That is all the detection service needs — the hard
+ * robustness problems (admission, backpressure, deadlines, crash
+ * containment, resume) live a layer up in serve/service.hh, and the
+ * HTTP layer's only jobs are to parse requests defensively and to
+ * let handlers stream responses incrementally.
+ *
+ * Defensive parsing rules (malformed input degrades one connection,
+ * never the daemon — the same quarantine-don't-abort policy the
+ * importer applies per line):
+ *  - request line + headers are capped (431 past the cap);
+ *  - bodies need an explicit Content-Length (411 otherwise when a
+ *    body is present; chunked *uploads* are not accepted: 501);
+ *  - bodies past the configured ceiling are refused (413) without
+ *    reading them in;
+ *  - a connection that stalls mid-request times out and is closed.
+ *
+ * Responses are either fixed (status + body, Content-Length) or
+ * chunked (Transfer-Encoding: chunked) via ResponseWriter, which the
+ * service uses to stream per-trace findings as they are produced.
+ *
+ * The blocking client at the bottom exists for the test suite, the
+ * CI script fallback, and `lfm_served --client` — the daemon is
+ * exercised end-to-end without requiring curl on the host.
+ */
+
+#ifndef LFM_SERVE_HTTP_HH
+#define LFM_SERVE_HTTP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lfm::serve
+{
+
+/** One parsed request. Header names are lower-cased on parse. */
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< raw request target ("/detect?x=1")
+    std::string path;    ///< target up to '?', percent-decoded
+    std::map<std::string, std::string> query;  ///< decoded key=value
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value by lower-case name; nullptr when absent. */
+    const std::string *header(const std::string &nameLower) const;
+
+    /** Query parameter with a default. */
+    std::string queryOr(const std::string &key,
+                        const std::string &dflt) const;
+};
+
+/** A fixed (non-streamed) response. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> extraHeaders;
+};
+
+/** Standard reason phrase for a status code. */
+const char *httpReason(int status);
+
+/**
+ * Per-exchange response channel handed to the handler. Exactly one
+ * of respond() or beginChunked()+chunk()*+endChunked() must be used;
+ * if the handler returns without either, the server sends a 500.
+ * Write errors (peer went away) are sticky and silently swallowed —
+ * the handler finishes its work (journal appends included) and the
+ * connection is torn down afterwards.
+ */
+class ResponseWriter
+{
+  public:
+    explicit ResponseWriter(int fd) : fd_(fd) {}
+
+    ResponseWriter(const ResponseWriter &) = delete;
+    ResponseWriter &operator=(const ResponseWriter &) = delete;
+
+    /** Send a complete fixed response (Content-Length framing). */
+    void respond(const HttpResponse &response);
+
+    /** Start a chunked response; follow with chunk()/endChunked(). */
+    void beginChunked(int status, const std::string &contentType,
+                      const std::vector<std::pair<std::string, std::string>>
+                          &extraHeaders = {});
+
+    /** Send one chunk (empty data is a no-op, not a terminator). */
+    void chunk(std::string_view data);
+
+    /** Terminate the chunked body. */
+    void endChunked();
+
+    /** True once any of the sending entry points ran. */
+    bool started() const { return started_; }
+
+    /** True once the response is complete. */
+    bool finished() const { return finished_; }
+
+  private:
+    void sendAll(std::string_view data);
+
+    int fd_;
+    bool started_ = false;
+    bool finished_ = false;
+    bool chunked_ = false;
+    bool broken_ = false;
+};
+
+/** Request handler; runs on the connection's thread. */
+using HttpHandler =
+    std::function<void(const HttpRequest &, ResponseWriter &)>;
+
+struct HttpServerOptions
+{
+    /** Bind port; 0 picks an ephemeral port (see HttpServer::port). */
+    std::uint16_t port = 0;
+
+    /** Bind address (daemon default: loopback only). */
+    std::string bindAddress = "127.0.0.1";
+
+    /** Request line + headers ceiling (431 above). */
+    std::size_t maxHeaderBytes = 64 * 1024;
+
+    /** Body ceiling (413 above; the body is never read in). */
+    std::size_t maxBodyBytes = 64ull << 20;
+
+    /** Concurrent connection ceiling: connections accepted past this
+     * get an immediate 503 with Retry-After and are closed. This is
+     * the outermost pressure valve; the service's admission layer
+     * applies the real per-tenant policy underneath it. */
+    unsigned maxConnections = 64;
+
+    /** Per-socket receive timeout: a connection that stalls this
+     * long mid-request is closed. */
+    unsigned recvTimeoutSec = 30;
+};
+
+/**
+ * The accept-loop server; see the file comment. start() binds and
+ * spawns the accept thread; beginDrain() stops accepting (in-flight
+ * requests keep running); drain() additionally joins every
+ * connection. The destructor drains.
+ */
+class HttpServer
+{
+  public:
+    explicit HttpServer(HttpHandler handler,
+                        HttpServerOptions options = {});
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind + listen + start accepting; false (with error) on bind
+     * failure. Idempotent once started. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (the kernel's pick when options.port was 0). */
+    std::uint16_t port() const;
+
+    /** Stop accepting new connections; returns immediately. */
+    void beginDrain();
+
+    /** beginDrain() + wait for every in-flight connection to finish
+     * and join all threads. Safe to call twice. */
+    void drain();
+
+    bool draining() const;
+
+    /** Connections currently being served. */
+    unsigned activeConnections() const;
+
+    /** Total requests fully parsed and dispatched to the handler. */
+    std::uint64_t requestsHandled() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+// ------------------------------------------------------------------
+// Minimal blocking client (tests, CI fallback, lfm_served --client)
+// ------------------------------------------------------------------
+
+/** One client-side response; chunked bodies come back de-chunked. */
+struct ClientResponse
+{
+    bool ok = false;     ///< transport + parse succeeded
+    std::string error;   ///< why not, when !ok
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value by lower-case name; nullptr when absent. */
+    const std::string *header(const std::string &nameLower) const;
+};
+
+/**
+ * Perform one blocking HTTP/1.1 request against 127.0.0.1:port.
+ * Sends Content-Length framing, reads either framing back.
+ */
+ClientResponse
+httpRequest(std::uint16_t port, const std::string &method,
+            const std::string &target, const std::string &body = {},
+            const std::vector<std::pair<std::string, std::string>>
+                &headers = {},
+            unsigned timeoutSec = 120);
+
+} // namespace lfm::serve
+
+#endif // LFM_SERVE_HTTP_HH

@@ -1,0 +1,1377 @@
+/**
+ * @file
+ * DetectionService implementation; see serve/service.hh for the
+ * contract. Layout:
+ *
+ *   helpers         format sniffing, findings-document framing
+ *   containment     one trace through the pipeline, crash-contained
+ *   journal codec   campaign record encode/decode
+ *   Impl            state, admission, endpoints, recovery
+ *
+ * Locking: Impl::m guards the campaign map, the tenant table and the
+ * active-token list; each Campaign has its own mutex serializing
+ * submit/finish/read on that campaign, so a long finish() (joining
+ * stream workers) never blocks requests for other campaigns or the
+ * read-only endpoints. Impl::m and a campaign mutex are never held
+ * at the same time.
+ */
+
+#include "serve/service.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "detect/batch.hh"
+#include "detect/context.hh"
+#include "detect/finding.hh"
+#include "report/run_report.hh"
+#include "support/journal.hh"
+#include "support/metrics.hh"
+#include "trace/binary.hh"
+#include "trace/replay.hh"
+#include "trace/serialize.hh"
+
+namespace lfm::serve
+{
+
+using detect::TraceReport;
+using detect::TraceStatus;
+using support::RunOutcome;
+
+namespace
+{
+
+// ------------------------------------------------------------------
+// Small helpers
+// ------------------------------------------------------------------
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Campaign names become journal payloads and URL segments; keep
+ * them to a safe charset instead of trusting the request line. */
+bool
+validCampaignName(const std::string &name)
+{
+    if (name.empty() || name.size() > 128)
+        return false;
+    for (char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '_' && c != '-')
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+parseU64Or(const std::string &s, std::uint64_t dflt)
+{
+    if (s.empty())
+        return dflt;
+    char *end = nullptr;
+    const auto v = std::strtoull(s.c_str(), &end, 10);
+    return (end != nullptr && *end == '\0') ? v : dflt;
+}
+
+/** Seconds to advertise in Retry-After after `rejections` back-to-
+ * back rejections of one tenant: the seeded RetryPolicy delay,
+ * rounded up to whole seconds and clamped to something a client
+ * will actually honor. */
+unsigned
+retryAfterSeconds(const support::RetryPolicy &policy,
+                  std::uint64_t rejections, std::uint64_t key)
+{
+    const unsigned maxIdx =
+        policy.maxAttempts() > 0 ? policy.maxAttempts() - 1 : 0;
+    const unsigned idx = static_cast<unsigned>(std::min<std::uint64_t>(
+        rejections > 0 ? rejections - 1 : 0, maxIdx));
+    const std::uint64_t ns = policy.delayNs(idx, key);
+    std::uint64_t s = (ns + 999'999'999ull) / 1'000'000'000ull;
+    if (s < 1)
+        s = 1;
+    if (s > 3600)
+        s = 3600;
+    return static_cast<unsigned>(s);
+}
+
+// ------------------------------------------------------------------
+// Findings-document framing
+//
+// The service streams per-trace entries as they are produced, but
+// the complete body must be byte-identical to detect::reportsJson
+// (plus the trailing newline every CLI writer emits). DocStream
+// reproduces support::Json::dump's exact framing for the two-member
+// top-level object so the concatenated chunks are that document.
+// ------------------------------------------------------------------
+
+support::Json
+reportEntry(detect::TraceSource trace, const TraceReport &report)
+{
+    support::Json entry =
+        detect::findingsJson(trace, report.findings, report.key);
+    entry.set("status",
+              report.status == TraceStatus::Analyzed
+                  ? "analyzed"
+                  : report.status == TraceStatus::Quarantined
+                        ? "quarantined"
+                        : report.status == TraceStatus::Skipped
+                              ? "skipped"
+                              : "crashed");
+    if (!report.error.empty())
+        entry.set("error", report.error);
+    return entry;
+}
+
+class DocStream
+{
+  public:
+    explicit DocStream(std::function<void(std::string_view)> sink)
+        : sink_(std::move(sink))
+    {
+    }
+
+    void
+    begin()
+    {
+        sink_("{\n  \"tool\": \"lfm-detect\",\n  \"traces\": [");
+    }
+
+    void
+    add(const support::Json &entry)
+    {
+        std::ostringstream os;
+        os << (count_ ? ",\n    " : "\n    ");
+        entry.dump(os, 4);
+        ++count_;
+        sink_(os.str());
+    }
+
+    void
+    end()
+    {
+        sink_(count_ ? "\n  ]\n}\n" : "]\n}\n");
+    }
+
+  private:
+    std::function<void(std::string_view)> sink_;
+    std::size_t count_ = 0;
+};
+
+// ------------------------------------------------------------------
+// Upload parsing: every accepted body becomes heap Traces plus one
+// canonical LFMT image per trace (the journal / resume currency).
+// ------------------------------------------------------------------
+
+struct Upload
+{
+    bool ok = false;
+    int status = 400;       ///< HTTP status when !ok
+    std::string error;
+    std::vector<trace::Trace> traces;
+    bool imported = false;  ///< came through the raw-log importer
+    trace::replay::ImportStats importStats;
+};
+
+Upload
+parseUpload(const std::string &body, std::string format)
+{
+    Upload up;
+    if (format == "auto") {
+        if (body.rfind("LFMC", 0) == 0)
+            format = "lfmc";
+        else if (body.rfind("LFMT", 0) == 0)
+            format = "lfmt";
+        else if (body.rfind("# lfm-trace", 0) == 0)
+            format = "text";
+        else
+            format = "log";
+    }
+    std::string error;
+    if (format == "lfmc") {
+        // CorpusReader wants 8-byte alignment; vector allocations are
+        // max_align_t-aligned, request bodies (std::string) are not
+        // guaranteed to be.
+        std::vector<std::uint8_t> aligned(body.begin(), body.end());
+        auto reader = trace::CorpusReader::fromBuffer(
+            aligned.data(), aligned.size(), &error);
+        if (!reader) {
+            up.status = 422;
+            up.error = "bad corpus: " + error;
+            return up;
+        }
+        for (std::size_t i = 0; i < reader->traceCount(); ++i) {
+            auto t = reader->decodeAt(i, &error);
+            if (!t) {
+                up.status = 422;
+                up.error = "corpus entry " + std::to_string(i) +
+                           ": " + error;
+                return up;
+            }
+            up.traces.push_back(std::move(*t));
+        }
+    } else if (format == "lfmt") {
+        auto t = trace::decodeTrace(body.data(), body.size(), &error);
+        if (!t) {
+            up.status = 422;
+            up.error = "bad trace image: " + error;
+            return up;
+        }
+        up.traces.push_back(std::move(*t));
+    } else if (format == "text") {
+        auto t = trace::traceFromString(body, &error);
+        if (!t) {
+            up.status = 422;
+            up.error = "bad trace text: " + error;
+            return up;
+        }
+        up.traces.push_back(std::move(*t));
+    } else if (format == "log") {
+        auto result = trace::replay::importLogText(body, "<upload>");
+        up.imported = true;
+        up.importStats = result.stats;
+        if (!result.ok) {
+            up.status = 422;
+            up.error = result.diagnostics.empty()
+                           ? "log import produced no events"
+                           : "log import failed: " +
+                                 result.diagnostics.front().message;
+            return up;
+        }
+        up.traces.push_back(std::move(result.trace));
+    } else {
+        up.status = 400;
+        up.error = "unknown format '" + format + "'";
+        return up;
+    }
+    up.ok = true;
+    up.status = 200;
+    return up;
+}
+
+// ------------------------------------------------------------------
+// Crash-contained per-trace analysis
+// ------------------------------------------------------------------
+
+TraceReport
+analyzeContained(const detect::Pipeline &pipeline,
+                 detect::TraceSource trace, std::uint64_t key,
+                 const support::SandboxOptions &sandbox,
+                 const support::CancellationToken *cancel,
+                 detect::ContextScratch *scratch)
+{
+    TraceReport report;
+    report.key = key;
+    if (cancel != nullptr && cancel->cancelled()) {
+        report.status = TraceStatus::Skipped;
+        support::metrics::counter("serve.trace.skipped").add();
+        return report;
+    }
+    const auto analyzeInto = [&](TraceReport &out) {
+        try {
+            out.findings = scratch != nullptr
+                               ? pipeline.run(trace, *scratch)
+                               : pipeline.run(trace);
+            out.status = TraceStatus::Analyzed;
+            out.error.clear();
+        } catch (const std::exception &e) {
+            out.findings.clear();
+            out.status = TraceStatus::Quarantined;
+            out.error = e.what();
+        } catch (...) {
+            out.findings.clear();
+            out.status = TraceStatus::Quarantined;
+            out.error = "non-standard exception";
+        }
+    };
+    if (!sandbox.enabled()) {
+        analyzeInto(report);
+        if (report.status == TraceStatus::Quarantined)
+            support::metrics::counter("serve.trace.quarantined").add();
+        return report;
+    }
+    auto isolated = support::runIsolated(sandbox.limits, [&]() {
+        TraceReport inner;
+        inner.key = key;
+        analyzeInto(inner);
+        return detect::serializeTraceReport(inner);
+    });
+    if (isolated.ok &&
+        detect::deserializeTraceReport(isolated.payload, report)) {
+        report.key = key;
+        if (report.status == TraceStatus::Quarantined)
+            support::metrics::counter("serve.trace.quarantined").add();
+        return report;
+    }
+    report.findings.clear();
+    report.status = TraceStatus::Crashed;
+    report.error =
+        isolated.crashed
+            ? "detection worker crashed: " + isolated.crash.signalName()
+            : "detection worker exited without delivering a result";
+    support::metrics::counter("serve.trace.crashed").add();
+    return report;
+}
+
+// ------------------------------------------------------------------
+// Journal codec. One record per state transition:
+//
+//   kRecBegin   u8 mode, str name            campaign accepted
+//   kRecTrace   str name, u64 idx, image     one canonical LFMT image
+//   kRecResult  str name, u64 idx, report    result (before any chunk
+//                                            leaves the process)
+//   kRecEnd     str name, u8 outcome         campaign finished
+// ------------------------------------------------------------------
+
+constexpr std::uint16_t kRecBegin = 1;
+constexpr std::uint16_t kRecTrace = 2;
+constexpr std::uint16_t kRecResult = 3;
+constexpr std::uint16_t kRecEnd = 4;
+
+/** Journal payload ceiling (support/journal.cc caps records at 16MB;
+ * leave headroom for the name + framing). Uploads whose single trace
+ * would not fit are refused up front — accepted always means
+ * resumable. */
+constexpr std::size_t kMaxJournalImage = (16u << 20) - 4096;
+
+void
+putU64(std::vector<std::uint8_t> &buf, std::uint64_t v)
+{
+    const std::size_t off = buf.size();
+    buf.resize(off + sizeof(v));
+    std::memcpy(buf.data() + off, &v, sizeof(v));
+}
+
+void
+putStr(std::vector<std::uint8_t> &buf, const std::string &s)
+{
+    putU64(buf, s.size());
+    buf.insert(buf.end(), s.begin(), s.end());
+}
+
+struct RecReader
+{
+    const std::vector<std::uint8_t> &buf;
+    std::size_t off = 0;
+    bool ok = true;
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        if (off + sizeof(v) > buf.size()) {
+            ok = false;
+            return 0;
+        }
+        std::memcpy(&v, buf.data() + off, sizeof(v));
+        off += sizeof(v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!ok || off + n > buf.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(buf.data() + off),
+                      static_cast<std::size_t>(n));
+        off += static_cast<std::size_t>(n);
+        return s;
+    }
+
+    /** Everything after the cursor (image / report payloads). */
+    std::vector<std::uint8_t>
+    rest()
+    {
+        return {buf.begin() +
+                    static_cast<std::ptrdiff_t>(std::min(off, buf.size())),
+                buf.end()};
+    }
+};
+
+} // namespace
+
+// ------------------------------------------------------------------
+// Service state
+// ------------------------------------------------------------------
+
+namespace
+{
+
+struct Campaign
+{
+    std::string name;
+    bool session = false;
+    bool done = false;
+    RunOutcome outcome = RunOutcome::Completed;
+
+    /** Canonical LFMT image per accepted trace, indexed by key. */
+    std::vector<std::string> images;
+
+    /** Results by key (complete once done; partial while running). */
+    std::map<std::uint64_t, TraceReport> results;
+
+    /** Live DetectionStream for an unfinished session campaign. */
+    std::unique_ptr<detect::DetectionStream> stream;
+
+    /** Serializes submit/finish/read on this campaign. */
+    std::mutex m;
+};
+
+struct Tenant
+{
+    unsigned inFlight = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t rejected = 0;  ///< consecutive, reset on admit
+};
+
+} // namespace
+
+struct DetectionService::Impl
+{
+    const detect::Pipeline &pipeline;
+    ServiceOptions opt;
+
+    support::Journal journal;
+    bool journaling = false;
+
+    mutable std::mutex m;
+    std::map<std::string, std::shared_ptr<Campaign>> campaigns;
+    std::map<std::string, Tenant> tenants;
+    std::vector<support::CancellationToken *> activeTokens;
+    std::uint64_t uploadSeq = 0;
+
+    std::atomic<bool> draining{false};
+    std::atomic<unsigned> inFlight{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    Impl(const detect::Pipeline &p, ServiceOptions o)
+        : pipeline(p), opt(std::move(o))
+    {
+    }
+
+    // ---- admission ------------------------------------------------
+
+    struct Admission
+    {
+        Impl *impl = nullptr;
+        std::string tenant;
+        std::uint64_t bytes = 0;
+        bool admitted = false;
+        unsigned retryAfterSec = 1;
+
+        Admission() = default;
+        Admission(const Admission &) = delete;
+        Admission &operator=(const Admission &) = delete;
+
+        ~Admission()
+        {
+            if (admitted)
+                impl->release(tenant, bytes);
+        }
+    };
+
+    void
+    tryAdmit(Admission &adm, const std::string &tenant,
+             std::uint64_t bytes)
+    {
+        adm.impl = this;
+        adm.tenant = tenant;
+        adm.bytes = bytes;
+        const support::Budget budget{opt.maxConcurrent,
+                                     opt.maxInFlightBytes, {}};
+        std::lock_guard lk(m);
+        Tenant &t = tenants[tenant];
+        const bool overloaded =
+            draining.load(std::memory_order_relaxed) ||
+            budget.check(t.inFlight, t.bytes + bytes) !=
+                RunOutcome::Completed;
+        if (overloaded) {
+            ++t.rejected;
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            support::metrics::counter("serve.admit.rejected").add();
+            adm.retryAfterSec = retryAfterSeconds(
+                opt.retryAfter, t.rejected, fnv1a(tenant));
+            return;
+        }
+        ++t.inFlight;
+        t.bytes += bytes;
+        t.rejected = 0;
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        inFlight.fetch_add(1, std::memory_order_relaxed);
+        support::metrics::counter("serve.admit.accepted").add();
+        adm.admitted = true;
+    }
+
+    void
+    release(const std::string &tenant, std::uint64_t bytes)
+    {
+        std::lock_guard lk(m);
+        Tenant &t = tenants[tenant];
+        if (t.inFlight > 0)
+            --t.inFlight;
+        t.bytes -= std::min(t.bytes, bytes);
+        inFlight.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Registers a request's token for drain-time cancellation. */
+    struct TokenScope
+    {
+        Impl *impl;
+        support::CancellationToken *token;
+
+        TokenScope(Impl *i, support::CancellationToken *t)
+            : impl(i), token(t)
+        {
+            std::lock_guard lk(impl->m);
+            impl->activeTokens.push_back(token);
+        }
+
+        TokenScope(const TokenScope &) = delete;
+        TokenScope &operator=(const TokenScope &) = delete;
+
+        ~TokenScope()
+        {
+            std::lock_guard lk(impl->m);
+            auto &v = impl->activeTokens;
+            v.erase(std::remove(v.begin(), v.end(), token), v.end());
+        }
+    };
+
+    // ---- journal --------------------------------------------------
+
+    void
+    journalBegin(const Campaign &c)
+    {
+        if (!journaling)
+            return;
+        std::vector<std::uint8_t> payload;
+        payload.push_back(c.session ? 1 : 0);
+        putStr(payload, c.name);
+        appendRecord(kRecBegin, payload);
+    }
+
+    void
+    journalTrace(const std::string &name, std::uint64_t index,
+                 const std::string &image)
+    {
+        if (!journaling)
+            return;
+        std::vector<std::uint8_t> payload;
+        putStr(payload, name);
+        putU64(payload, index);
+        payload.insert(payload.end(), image.begin(), image.end());
+        appendRecord(kRecTrace, payload);
+    }
+
+    void
+    journalResult(const std::string &name, const TraceReport &report)
+    {
+        if (!journaling)
+            return;
+        std::vector<std::uint8_t> payload;
+        putStr(payload, name);
+        putU64(payload, report.key);
+        const auto bytes = detect::serializeTraceReport(report);
+        payload.insert(payload.end(), bytes.begin(), bytes.end());
+        appendRecord(kRecResult, payload);
+    }
+
+    void
+    journalEnd(const Campaign &c)
+    {
+        if (!journaling)
+            return;
+        std::vector<std::uint8_t> payload;
+        payload.push_back(static_cast<std::uint8_t>(c.outcome));
+        putStr(payload, c.name);
+        appendRecord(kRecEnd, payload);
+    }
+
+    void
+    appendRecord(std::uint16_t type,
+                 const std::vector<std::uint8_t> &payload)
+    {
+        if (!journal.append(type, payload.data(), payload.size()))
+            support::metrics::counter("serve.journal.append_failed")
+                .add();
+    }
+
+    // ---- campaigns ------------------------------------------------
+
+    std::shared_ptr<Campaign>
+    findCampaign(const std::string &name) const
+    {
+        std::lock_guard lk(m);
+        auto it = campaigns.find(name);
+        return it == campaigns.end() ? nullptr : it->second;
+    }
+
+    /** Create-or-fail; nullptr when the name is taken. */
+    std::shared_ptr<Campaign>
+    createCampaign(const std::string &name, bool session)
+    {
+        std::lock_guard lk(m);
+        auto [it, fresh] =
+            campaigns.emplace(name, std::make_shared<Campaign>());
+        if (!fresh)
+            return nullptr;
+        it->second->name = name;
+        it->second->session = session;
+        support::metrics::counter("serve.campaign.created").add();
+        return it->second;
+    }
+
+    std::string
+    freshUploadName()
+    {
+        std::lock_guard lk(m);
+        std::string name;
+        do {
+            name = "upload-" + std::to_string(++uploadSeq);
+        } while (campaigns.count(name) != 0);
+        return name;
+    }
+
+    /** The findings document for a campaign (campaign lock held by
+     * the caller). Entries come from journaled/stored results in key
+     * order, rendered from the canonical images — the same bytes an
+     * uninterrupted streaming run produced. */
+    std::string
+    campaignDocLocked(Campaign &c, bool sarif) const
+    {
+        if (sarif) {
+            detect::SarifBuilder builder;
+            for (const auto &[key, report] : c.results) {
+                if (key >= c.images.size())
+                    continue;
+                const std::string &image = c.images[key];
+                auto t = trace::decodeTrace(image.data(), image.size());
+                if (!t)
+                    continue;
+                builder.addTrace(*t, key, report.findings);
+            }
+            return builder.document().str() + "\n";
+        }
+        std::string out;
+        DocStream doc([&out](std::string_view s) { out.append(s); });
+        doc.begin();
+        for (const auto &[key, report] : c.results) {
+            if (key >= c.images.size())
+                continue;
+            const std::string &image = c.images[key];
+            auto t = trace::decodeTrace(image.data(), image.size());
+            if (!t)
+                continue;
+            doc.add(reportEntry(detect::TraceSource(*t), report));
+        }
+        doc.end();
+        return out;
+    }
+
+    // ---- recovery -------------------------------------------------
+
+    std::string
+    journalPath() const
+    {
+        return opt.stateDir + "/serve.journal";
+    }
+
+    std::size_t
+    recover()
+    {
+        if (opt.stateDir.empty())
+            return 0;
+        ::mkdir(opt.stateDir.c_str(), 0755);
+        auto recovered = support::recoverJournal(journalPath());
+        for (const auto &rec : recovered.records)
+            replayRecord(rec);
+        journaling = journal.open(journalPath(), opt.journalFsync);
+
+        // Bump the auto-name sequence past every recovered name so a
+        // restarted daemon never reuses a journaled campaign key.
+        std::size_t count = 0;
+        std::vector<std::shared_ptr<Campaign>> unfinished;
+        {
+            std::lock_guard lk(m);
+            count = campaigns.size();
+            for (auto &[name, c] : campaigns) {
+                if (name.rfind("upload-", 0) == 0)
+                    uploadSeq = std::max(
+                        uploadSeq,
+                        parseU64Or(name.substr(7), 0));
+                if (!c->done)
+                    unfinished.push_back(c);
+            }
+        }
+        for (auto &c : unfinished) {
+            std::lock_guard ck(c->m);
+            if (c->session)
+                reviveSessionLocked(*c);
+            else
+                completeOneShotLocked(*c);
+        }
+        if (count > 0)
+            support::metrics::counter("serve.resume.campaigns")
+                .add(count);
+        return count;
+    }
+
+    void
+    replayRecord(const support::JournalRecord &rec)
+    {
+        RecReader r{rec.payload};
+        switch (rec.type) {
+        case kRecBegin: {
+            if (rec.payload.empty())
+                return;
+            const bool session = rec.payload[0] != 0;
+            r.off = 1;
+            const std::string name = r.str();
+            if (!r.ok || name.empty())
+                return;
+            std::lock_guard lk(m);
+            auto [it, fresh] =
+                campaigns.emplace(name, std::make_shared<Campaign>());
+            if (fresh) {
+                it->second->name = name;
+                it->second->session = session;
+            }
+            return;
+        }
+        case kRecTrace: {
+            const std::string name = r.str();
+            const std::uint64_t index = r.u64();
+            if (!r.ok)
+                return;
+            const auto image = r.rest();
+            auto c = findCampaign(name);
+            if (!c)
+                return;
+            if (c->images.size() <= index)
+                c->images.resize(index + 1);
+            c->images[index].assign(image.begin(), image.end());
+            return;
+        }
+        case kRecResult: {
+            const std::string name = r.str();
+            const std::uint64_t index = r.u64();
+            if (!r.ok)
+                return;
+            TraceReport report;
+            if (!detect::deserializeTraceReport(r.rest(), report))
+                return;
+            report.key = index;
+            auto c = findCampaign(name);
+            if (c)
+                c->results[index] = std::move(report);
+            return;
+        }
+        case kRecEnd: {
+            if (rec.payload.empty())
+                return;
+            const auto outcome =
+                static_cast<RunOutcome>(rec.payload[0]);
+            r.off = 1;
+            const std::string name = r.str();
+            auto c = r.ok ? findCampaign(name) : nullptr;
+            if (c) {
+                c->done = true;
+                c->outcome = outcome;
+            }
+            return;
+        }
+        default:
+            return;
+        }
+    }
+
+    /** Finish a one-shot campaign the previous process was killed
+     * inside: journaled results are reused verbatim, only traces
+     * without one are recomputed. Deterministic per-trace analysis
+     * makes the final document byte-identical either way. */
+    void
+    completeOneShotLocked(Campaign &c)
+    {
+        detect::ContextScratch scratch;
+        std::size_t reused = 0;
+        for (std::uint64_t i = 0; i < c.images.size(); ++i) {
+            if (c.results.count(i) != 0) {
+                ++reused;
+                continue;
+            }
+            const std::string &image = c.images[i];
+            auto t = trace::decodeTrace(image.data(), image.size());
+            TraceReport report;
+            if (t) {
+                report = analyzeContained(pipeline,
+                                          detect::TraceSource(*t), i,
+                                          opt.sandbox, nullptr,
+                                          &scratch);
+            } else {
+                report.key = i;
+                report.status = TraceStatus::Quarantined;
+                report.error = "journaled image failed to decode";
+            }
+            journalResult(c.name, report);
+            c.results[i] = std::move(report);
+        }
+        c.outcome = RunOutcome::Completed;
+        c.done = true;
+        journalEnd(c);
+        if (reused > 0)
+            support::metrics::counter("serve.resume.traces")
+                .add(reused);
+    }
+
+    /** Re-arm an unfinished session: a fresh DetectionStream with
+     * every journaled trace resubmitted under its original key. */
+    void
+    reviveSessionLocked(Campaign &c)
+    {
+        c.stream = std::make_unique<detect::DetectionStream>(
+            pipeline, opt.streamWorkers);
+        for (std::uint64_t i = 0; i < c.images.size(); ++i) {
+            const std::string &image = c.images[i];
+            auto t = trace::decodeTrace(image.data(), image.size());
+            if (t)
+                c.stream->submit(i, std::move(*t));
+        }
+    }
+
+    // ---- endpoint plumbing ----------------------------------------
+
+    void
+    respondJson(ResponseWriter &w, int status, support::Json doc,
+                std::vector<std::pair<std::string, std::string>>
+                    extra = {})
+    {
+        HttpResponse resp;
+        resp.status = status;
+        resp.body = doc.str() + "\n";
+        resp.extraHeaders = std::move(extra);
+        w.respond(resp);
+    }
+
+    void
+    respondError(ResponseWriter &w, int status,
+                 const std::string &message)
+    {
+        support::Json doc;
+        doc.set("error", message);
+        respondJson(w, status, std::move(doc));
+    }
+
+    void
+    respondOverloaded(ResponseWriter &w, unsigned retryAfterSec)
+    {
+        support::Json doc;
+        doc.set("error", "overloaded; retry later");
+        doc.set("retry_after_s", static_cast<std::uint64_t>(
+                                     retryAfterSec));
+        respondJson(w, 503, std::move(doc),
+                    {{"Retry-After", std::to_string(retryAfterSec)}});
+    }
+
+    // ---- endpoints ------------------------------------------------
+
+    void
+    handle(const HttpRequest &req, ResponseWriter &w)
+    {
+        support::metrics::counter("serve.requests").add();
+        const std::string &path = req.path;
+        if (path == "/healthz" && req.method == "GET")
+            return handleHealthz(w);
+        if (path == "/metrics" && req.method == "GET")
+            return handleMetrics(w);
+        if (path == "/detect") {
+            if (req.method != "POST")
+                return respondError(w, 405, "method not allowed");
+            return handleDetect(req, w);
+        }
+        if (path.rfind("/campaigns/", 0) == 0) {
+            std::string rest = path.substr(std::strlen("/campaigns/"));
+            std::string verb;
+            const auto slash = rest.find('/');
+            if (slash != std::string::npos) {
+                verb = rest.substr(slash + 1);
+                rest.resize(slash);
+            }
+            if (!validCampaignName(rest))
+                return respondError(w, 400, "bad campaign name");
+            if (verb.empty()) {
+                if (req.method == "GET")
+                    return handleCampaignReport(rest, w);
+                if (req.method == "POST" || req.method == "PUT")
+                    return handleCampaignCreate(rest, w);
+                return respondError(w, 405, "method not allowed");
+            }
+            if (verb == "traces" && req.method == "POST")
+                return handleCampaignTraces(rest, req, w);
+            if (verb == "finish" && req.method == "POST")
+                return handleCampaignFinish(rest, req, w);
+            if (verb == "findings" && req.method == "GET")
+                return handleCampaignFindings(rest, req, w);
+            return respondError(w, 404, "not found");
+        }
+        respondError(w, 404, "not found");
+    }
+
+    void
+    handleHealthz(ResponseWriter &w)
+    {
+        support::Json doc;
+        const bool drain = draining.load(std::memory_order_relaxed);
+        doc.set("status", drain ? "draining" : "ok");
+        doc.set("in_flight", static_cast<std::uint64_t>(
+                                 inFlight.load()));
+        doc.set("admitted", admitted.load());
+        doc.set("rejected", rejected.load());
+        {
+            std::lock_guard lk(m);
+            doc.set("campaigns",
+                    static_cast<std::uint64_t>(campaigns.size()));
+        }
+        respondJson(w, 200, std::move(doc));
+    }
+
+    void
+    handleMetrics(ResponseWriter &w)
+    {
+        HttpResponse resp;
+        resp.body = support::metrics::Registry::instance()
+                        .snapshotJson()
+                        .str() +
+                    "\n";
+        w.respond(resp);
+    }
+
+    /** Shared admission + parse front half of every upload
+     * endpoint. Returns false after responding. */
+    bool
+    admitUpload(const HttpRequest &req, ResponseWriter &w,
+                Admission &adm, Upload &up)
+    {
+        if (draining.load(std::memory_order_relaxed)) {
+            respondOverloaded(w, 1);
+            return false;
+        }
+        const std::string *tenantHdr = req.header("x-lfm-tenant");
+        const std::string tenant =
+            tenantHdr != nullptr ? *tenantHdr : "default";
+        if (opt.maxBodyBytes != 0 &&
+            req.body.size() > opt.maxBodyBytes) {
+            respondError(w, 413, "body too large");
+            return false;
+        }
+        tryAdmit(adm, tenant, req.body.size());
+        if (!adm.admitted) {
+            respondOverloaded(w, adm.retryAfterSec);
+            return false;
+        }
+        up = parseUpload(req.body, req.queryOr("format", "auto"));
+        if (!up.ok) {
+            respondError(w, up.status, up.error);
+            return false;
+        }
+        if (journaling) {
+            for (const trace::Trace &t : up.traces) {
+                // Bound by the journal record cap so "accepted"
+                // always implies "resumable". Encoded images are
+                // about the size of the upload, so this bites only
+                // near the cap.
+                if (trace::encodeTrace(t).size() > kMaxJournalImage) {
+                    respondError(w, 413,
+                                 "trace too large to journal");
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    std::vector<std::pair<std::string, std::string>>
+    importHeaders(const Upload &up) const
+    {
+        if (!up.imported)
+            return {};
+        const auto &s = up.importStats;
+        return {{"X-LFM-Import-Lines", std::to_string(s.lines)},
+                {"X-LFM-Import-Records", std::to_string(s.records)},
+                {"X-LFM-Import-Quarantined",
+                 std::to_string(s.quarantined)},
+                {"X-LFM-Import-Stalled", std::to_string(s.stalled)}};
+    }
+
+    void
+    handleDetect(const HttpRequest &req, ResponseWriter &w)
+    {
+        Admission adm;
+        Upload up;
+        if (!admitUpload(req, w, adm, up))
+            return;
+
+        std::string name = req.queryOr("campaign", "");
+        if (name.empty())
+            name = freshUploadName();
+        else if (!validCampaignName(name))
+            return respondError(w, 400, "bad campaign name");
+        auto campaign = createCampaign(name, /*session=*/false);
+        if (!campaign)
+            return respondError(w, 409,
+                                "campaign '" + name + "' exists");
+
+        // Accepted: from here on the upload is journaled before any
+        // analysis runs, so a crash of this process can no longer
+        // lose it.
+        std::lock_guard ck(campaign->m);
+        journalBegin(*campaign);
+        for (const trace::Trace &t : up.traces) {
+            campaign->images.push_back(trace::encodeTrace(t));
+            journalTrace(name, campaign->images.size() - 1,
+                         campaign->images.back());
+        }
+
+        // Per-request failsafe: deadline -> watchdog -> token.
+        support::CancellationToken token;
+        TokenScope scope(this, &token);
+        std::uint64_t deadlineMs = parseU64Or(
+            req.queryOr("deadline_ms", ""), opt.defaultDeadlineMs);
+        if (opt.defaultDeadlineMs != 0)
+            deadlineMs = deadlineMs == 0
+                             ? opt.defaultDeadlineMs
+                             : std::min(deadlineMs,
+                                        opt.defaultDeadlineMs);
+        std::optional<support::Watchdog> watchdog;
+        if (deadlineMs != 0)
+            watchdog.emplace(token,
+                             support::Deadline::afterMs(deadlineMs),
+                             "serve: request deadline expired");
+
+        const bool sarif = req.queryOr("output", "") == "sarif";
+        const bool streaming = !sarif &&
+                               req.queryOr("stream", "1") != "0" &&
+                               up.traces.size() > 1;
+
+        std::optional<DocStream> doc;
+        if (streaming) {
+            auto extra = importHeaders(up);
+            extra.emplace_back("X-LFM-Campaign", name);
+            w.beginChunked(200, "application/json", extra);
+            doc.emplace([&w](std::string_view s) { w.chunk(s); });
+            doc->begin();
+        }
+
+        detect::ContextScratch scratch;
+        bool anyCrashed = false;
+        for (std::size_t i = 0; i < up.traces.size(); ++i) {
+            TraceReport report = analyzeContained(
+                pipeline, detect::TraceSource(up.traces[i]), i,
+                opt.sandbox, &token, &scratch);
+            anyCrashed |= report.status == TraceStatus::Crashed;
+            // Journal first, emit second: once a result chunk is on
+            // the wire it is also on disk.
+            journalResult(name, report);
+            if (doc)
+                doc->add(reportEntry(
+                    detect::TraceSource(up.traces[i]), report));
+            campaign->results[i] = std::move(report);
+        }
+
+        campaign->outcome =
+            watchdog && watchdog->fired()
+                ? RunOutcome::DeadlineExpired
+                : token.cancelled() ? RunOutcome::Cancelled
+                                    : RunOutcome::Completed;
+        if (watchdog)
+            watchdog->disarm();
+        campaign->done = true;
+        journalEnd(*campaign);
+
+        if (doc) {
+            doc->end();
+            w.endChunked();
+            return;
+        }
+        HttpResponse resp;
+        resp.status = anyCrashed ? 500 : 200;
+        resp.body = campaignDocLocked(*campaign, sarif);
+        resp.extraHeaders = importHeaders(up);
+        resp.extraHeaders.emplace_back("X-LFM-Campaign", name);
+        resp.extraHeaders.emplace_back(
+            "X-LFM-Outcome", support::outcomeName(campaign->outcome));
+        w.respond(resp);
+    }
+
+    void
+    handleCampaignCreate(const std::string &name, ResponseWriter &w)
+    {
+        if (draining.load(std::memory_order_relaxed))
+            return respondOverloaded(w, 1);
+        auto campaign = createCampaign(name, /*session=*/true);
+        support::Json doc;
+        doc.set("campaign", name);
+        if (!campaign) {
+            auto existing = findCampaign(name);
+            std::lock_guard ck(existing->m);
+            if (!existing->session || existing->done)
+                return respondError(
+                    w, 409, "campaign '" + name + "' exists");
+            doc.set("status", "exists");
+            return respondJson(w, 200, std::move(doc));
+        }
+        std::lock_guard ck(campaign->m);
+        campaign->stream = std::make_unique<detect::DetectionStream>(
+            pipeline, opt.streamWorkers);
+        journalBegin(*campaign);
+        doc.set("status", "created");
+        respondJson(w, 200, std::move(doc));
+    }
+
+    void
+    handleCampaignTraces(const std::string &name,
+                         const HttpRequest &req, ResponseWriter &w)
+    {
+        auto campaign = findCampaign(name);
+        if (!campaign)
+            return respondError(w, 404, "no such campaign");
+        Admission adm;
+        Upload up;
+        if (!admitUpload(req, w, adm, up))
+            return;
+        std::lock_guard ck(campaign->m);
+        if (campaign->done || !campaign->stream)
+            return respondError(w, 409, "campaign finished");
+        std::size_t accepted = 0;
+        for (trace::Trace &t : up.traces) {
+            const std::uint64_t key = campaign->images.size();
+            campaign->images.push_back(trace::encodeTrace(t));
+            journalTrace(name, key, campaign->images.back());
+            if (campaign->stream->submit(key, std::move(t)))
+                ++accepted;
+        }
+        support::Json doc;
+        doc.set("campaign", name);
+        doc.set("accepted", static_cast<std::uint64_t>(accepted));
+        doc.set("total", static_cast<std::uint64_t>(
+                             campaign->images.size()));
+        respondJson(w, 200, std::move(doc), importHeaders(up));
+    }
+
+    void
+    handleCampaignFinish(const std::string &name,
+                         const HttpRequest &req, ResponseWriter &w)
+    {
+        auto campaign = findCampaign(name);
+        if (!campaign)
+            return respondError(w, 404, "no such campaign");
+        const bool sarif = req.queryOr("output", "") == "sarif";
+        std::lock_guard ck(campaign->m);
+        if (!campaign->done) {
+            if (!campaign->session || !campaign->stream)
+                return respondError(w, 409, "not a session campaign");
+            auto reports = campaign->stream->finish();
+            campaign->stream.reset();
+            for (TraceReport &report : reports) {
+                journalResult(name, report);
+                campaign->results[report.key] = std::move(report);
+            }
+            campaign->outcome = RunOutcome::Completed;
+            campaign->done = true;
+            journalEnd(*campaign);
+        }
+        HttpResponse resp;
+        resp.body = campaignDocLocked(*campaign, sarif);
+        resp.extraHeaders.emplace_back("X-LFM-Campaign", name);
+        resp.extraHeaders.emplace_back(
+            "X-LFM-Outcome", support::outcomeName(campaign->outcome));
+        w.respond(resp);
+    }
+
+    void
+    handleCampaignFindings(const std::string &name,
+                           const HttpRequest &req, ResponseWriter &w)
+    {
+        auto campaign = findCampaign(name);
+        if (!campaign)
+            return respondError(w, 404, "no such campaign");
+        const bool sarif = req.queryOr("output", "") == "sarif";
+        std::lock_guard ck(campaign->m);
+        if (!campaign->done)
+            return respondError(w, 409, "campaign still running");
+        HttpResponse resp;
+        resp.body = campaignDocLocked(*campaign, sarif);
+        resp.extraHeaders.emplace_back(
+            "X-LFM-Outcome", support::outcomeName(campaign->outcome));
+        w.respond(resp);
+    }
+
+    void
+    handleCampaignReport(const std::string &name, ResponseWriter &w)
+    {
+        auto campaign = findCampaign(name);
+        if (!campaign)
+            return respondError(w, 404, "no such campaign");
+        report::RunReport run(name);
+        std::vector<TraceReport> reports;
+        bool done = false;
+        std::size_t traces = 0;
+        {
+            std::lock_guard ck(campaign->m);
+            done = campaign->done;
+            traces = campaign->images.size();
+            run.note("mode",
+                     campaign->session ? "session" : "oneshot");
+            run.setOutcome(campaign->outcome);
+            reports.reserve(campaign->results.size());
+            for (const auto &[key, report] : campaign->results)
+                reports.push_back(report);
+        }
+        run.note("status", done ? "complete" : "running");
+        run.note("traces", static_cast<std::uint64_t>(traces));
+        report::recordTraceReports(run, reports);
+        HttpResponse resp;
+        resp.body = run.toJson().str() + "\n";
+        w.respond(resp);
+    }
+};
+
+// ------------------------------------------------------------------
+// Public surface
+// ------------------------------------------------------------------
+
+DetectionService::DetectionService(const detect::Pipeline &pipeline,
+                                   ServiceOptions options)
+    : impl_(std::make_unique<Impl>(pipeline, std::move(options)))
+{
+}
+
+DetectionService::~DetectionService() = default;
+
+std::size_t
+DetectionService::recover()
+{
+    return impl_->recover();
+}
+
+void
+DetectionService::handle(const HttpRequest &request,
+                         ResponseWriter &writer)
+{
+    impl_->handle(request, writer);
+}
+
+HttpHandler
+DetectionService::handler()
+{
+    return [this](const HttpRequest &req, ResponseWriter &w) {
+        impl_->handle(req, w);
+    };
+}
+
+void
+DetectionService::beginDrain()
+{
+    impl_->draining.store(true, std::memory_order_relaxed);
+}
+
+void
+DetectionService::cancelInFlight(const std::string &reason)
+{
+    std::vector<support::CancellationToken *> tokens;
+    {
+        std::lock_guard lk(impl_->m);
+        tokens = impl_->activeTokens;
+    }
+    for (auto *token : tokens)
+        token->requestCancel(reason);
+}
+
+ServiceStats
+DetectionService::stats() const
+{
+    ServiceStats s;
+    s.inFlight = impl_->inFlight.load();
+    s.admitted = impl_->admitted.load();
+    s.rejected = impl_->rejected.load();
+    s.draining = impl_->draining.load();
+    std::lock_guard lk(impl_->m);
+    s.campaigns = impl_->campaigns.size();
+    return s;
+}
+
+std::string
+detectDocumentForCorpus(const detect::Pipeline &pipeline,
+                        const trace::CorpusReader &corpus,
+                        const ServiceOptions &options, bool sarif,
+                        const support::CancellationToken *cancel)
+{
+    detect::ContextScratch scratch;
+    std::vector<TraceReport> reports;
+    std::vector<std::optional<trace::TraceView>> views;
+    reports.reserve(corpus.traceCount());
+    views.reserve(corpus.traceCount());
+    for (std::size_t i = 0; i < corpus.traceCount(); ++i) {
+        std::string error;
+        auto view = corpus.viewAt(i, &error);
+        if (!view) {
+            TraceReport report;
+            report.key = i;
+            report.status = TraceStatus::Quarantined;
+            report.error =
+                "corpus entry " + std::to_string(i) + ": " + error;
+            reports.push_back(std::move(report));
+            views.emplace_back();
+            continue;
+        }
+        reports.push_back(analyzeContained(
+            pipeline, detect::TraceSource(*view), i, options.sandbox,
+            cancel, &scratch));
+        views.push_back(std::move(view));
+    }
+    if (sarif) {
+        detect::SarifBuilder builder;
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            if (!views[i])
+                continue;
+            builder.addTrace(detect::TraceSource(*views[i]),
+                             reports[i].key, reports[i].findings);
+        }
+        return builder.document().str() + "\n";
+    }
+    std::string out;
+    DocStream doc([&out](std::string_view s) { out.append(s); });
+    doc.begin();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (!views[i])
+            continue;
+        doc.add(reportEntry(detect::TraceSource(*views[i]),
+                            reports[i]));
+    }
+    doc.end();
+    return out;
+}
+
+} // namespace lfm::serve

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * lfm-serve: the always-on detection-as-a-service layer.
+ *
+ * DetectionService turns the batch/stream detection stack into a
+ * long-running multi-tenant HTTP service. Robustness is the design
+ * center — every failure mode the failsafe/sandbox/journal layers
+ * already handle per campaign is wired to a service-level contract:
+ *
+ *  - Admission control: per-tenant concurrent-request and in-flight
+ *    byte ceilings expressed as a support::Budget (maxSteps = slots,
+ *    maxTraceBytes = bytes). Work past the ceiling is refused up
+ *    front with 503 + Retry-After — never queued into oblivion, so
+ *    accepted work is never dropped.
+ *  - Backpressure: the Retry-After value follows the service's
+ *    seeded RetryPolicy — a tenant that keeps hammering an
+ *    overloaded daemon is told to back off exponentially (with the
+ *    policy's deterministic jitter), exactly the discipline the
+ *    study found in real-world retry-based fixes.
+ *  - Deadlines: each request gets a CancellationToken; a Watchdog
+ *    armed from the request deadline cancels a stuck analysis, which
+ *    then returns partial results with the remaining traces
+ *    explicitly marked "skipped" — a truncated report, not a hung
+ *    worker.
+ *  - Crash containment: with SandboxPolicy::Fork each trace is
+ *    analyzed in a forked child (support::runIsolated); a genuinely
+ *    segfaulting detector yields a 500 with a crash report while
+ *    every concurrent request completes normally.
+ *  - Crash-resume: accepted campaigns are journaled (canonical LFMT
+ *    image per trace, then one result record per trace, then an end
+ *    record) through support/journal. A SIGKILL'd daemon restarts,
+ *    replays the journal, finishes any half-done campaign, and
+ *    serves findings byte-identical to an uninterrupted run.
+ *  - Graceful drain: beginDrain() refuses new work (503) while
+ *    in-flight requests finish and their journals flush.
+ *
+ * Endpoints (see DESIGN.md §5g for the full contract):
+ *
+ *     GET  /healthz                     liveness + drain state
+ *     GET  /metrics                     metrics registry snapshot
+ *     POST /detect                      one-shot upload → findings
+ *     POST /campaigns/<key>             create a streaming session
+ *     POST /campaigns/<key>/traces      submit traces (DetectionStream)
+ *     POST /campaigns/<key>/finish      close session → findings
+ *     GET  /campaigns/<key>             RunReport JSON
+ *     GET  /campaigns/<key>/findings    the findings document
+ *
+ * Uploads are format-sniffed: LFMC corpora, single LFMT images, v1
+ * trace text, and raw pthread event logs (the PR 8 replay importer;
+ * quarantined lines are surfaced in X-LFM-Import-* headers, honest
+ * partial-parse instead of silent acceptance).
+ *
+ * The one-shot corpus path streams the exact bytes of
+ * detect::reportsJson (chunk boundaries at trace entries), and
+ * detectDocumentForCorpus() exposes the same generator to
+ * `lfm_served --batch` — HTTP findings are byte-identical to the
+ * batch CLI path by construction, and a ctest gate holds both to
+ * detect::reportsJson itself.
+ */
+
+#ifndef LFM_SERVE_SERVICE_HH
+#define LFM_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "detect/pipeline.hh"
+#include "serve/http.hh"
+#include "support/failsafe.hh"
+#include "support/sandbox.hh"
+#include "trace/corpus.hh"
+
+namespace lfm::serve
+{
+
+struct ServiceOptions
+{
+    /** Admission: concurrent requests per tenant (0 = unlimited). */
+    unsigned maxConcurrent = 4;
+
+    /** Admission: in-flight upload bytes per tenant (0 = unlimited). */
+    std::uint64_t maxInFlightBytes = 64ull << 20;
+
+    /** Hard per-request body ceiling (413 above; enforced by the
+     * HTTP layer before the body is read in). */
+    std::uint64_t maxBodyBytes = 16ull << 20;
+
+    /** Default per-request deadline in ms (0 = none); requests may
+     * tighten it with ?deadline_ms= but never exceed it. */
+    std::uint64_t defaultDeadlineMs = 0;
+
+    /** Crash containment for analysis (Fork = forked per-trace
+     * children; the daemon default). Off runs in-process. */
+    support::SandboxOptions sandbox;
+
+    /** Backoff schedule behind Retry-After: rejection n of a tenant
+     * waits delayNs(n) — deterministic, seeded, jittered. */
+    support::RetryPolicy retryAfter{8, 1'000'000'000ull,
+                                    64'000'000'000ull, 0x5eedu};
+
+    /** Journal directory; empty = volatile (no crash-resume). */
+    std::string stateDir;
+
+    /** fsync every journal append (the durable default; tests that
+     * only need SIGKILL-of-the-process durability turn it off). */
+    bool journalFsync = true;
+
+    /** DetectionStream workers per streaming campaign session. */
+    unsigned streamWorkers = 2;
+};
+
+/** Live service counters surfaced by /healthz. */
+struct ServiceStats
+{
+    unsigned inFlight = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::size_t campaigns = 0;
+    bool draining = false;
+};
+
+/** The HTTP-facing detection service; see the file comment. */
+class DetectionService
+{
+  public:
+    /** The pipeline must outlive the service. */
+    DetectionService(const detect::Pipeline &pipeline,
+                     ServiceOptions options);
+    ~DetectionService();
+
+    DetectionService(const DetectionService &) = delete;
+    DetectionService &operator=(const DetectionService &) = delete;
+
+    /**
+     * Replay the journal in stateDir: finished campaigns are served
+     * from their journaled results; a campaign the previous process
+     * was killed in the middle of is completed here (journaled
+     * per-trace results are reused verbatim, only the missing tail
+     * is recomputed — per-trace detection is deterministic, so the
+     * final document is byte-identical to an uninterrupted run).
+     * Call before serving. @return campaigns recovered.
+     */
+    std::size_t recover();
+
+    /** The request entry point (wire into HttpServer). */
+    void handle(const HttpRequest &request, ResponseWriter &writer);
+
+    /** handle() bound as an HttpHandler. */
+    HttpHandler handler();
+
+    /** Refuse new work (503 + Retry-After); read-only endpoints and
+     * in-flight requests keep working. */
+    void beginDrain();
+
+    /** Cancel every in-flight request's token (bounded drain: their
+     * remaining traces come back "skipped" and journals still get
+     * an end record). */
+    void cancelInFlight(const std::string &reason);
+
+    ServiceStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * The batch CLI path: analyze every trace of the corpus exactly the
+ * way the HTTP one-shot path does (same per-trace containment, same
+ * document framing) and return the full findings document — the
+ * bytes `lfm_served --batch` prints and the byte-equality gates
+ * compare against. With `sarif` the SARIF 2.1.0 document is
+ * returned instead.
+ */
+std::string
+detectDocumentForCorpus(const detect::Pipeline &pipeline,
+                        const trace::CorpusReader &corpus,
+                        const ServiceOptions &options = {},
+                        bool sarif = false,
+                        const support::CancellationToken *cancel =
+                            nullptr);
+
+} // namespace lfm::serve
+
+#endif // LFM_SERVE_SERVICE_HH

@@ -133,7 +133,12 @@ Watchdog::Watchdog(CancellationToken &token, Deadline deadline,
             lk, deadline_.when(), [this] { return stop_; });
         if (!timedOut || stop_)
             return;
-        lk.unlock();
+        // Fire while still holding the lock: a disarm() racing this
+        // wake-up blocks on the mutex until the cancellation is
+        // fully delivered, so a disarm that lost the race still
+        // returns strictly after the fire — never interleaved with
+        // it. (requestCancel takes only the token's own mutex, so
+        // holding ours here cannot deadlock.)
         fired_.store(true, std::memory_order_release);
         metrics::counter("failsafe.watchdog.fired").add();
         token_->requestCancel(reason_);
@@ -148,14 +153,26 @@ Watchdog::~Watchdog()
 void
 Watchdog::disarm()
 {
-    if (!thread_.joinable())
-        return;
-    {
-        std::lock_guard lk(m_);
-        stop_ = true;
-    }
+    std::unique_lock lk(m_);
+    stop_ = true;
     cv_.notify_all();
-    thread_.join();
+    if (thread_.joinable()) {
+        // First disarmer: take ownership of the watcher under the
+        // lock (so exactly one caller ever joins), then join outside
+        // it so the watcher can take the lock to observe stop_.
+        std::thread watcher = std::move(thread_);
+        joining_ = true;
+        lk.unlock();
+        watcher.join();
+        lk.lock();
+        joining_ = false;
+        cv_.notify_all();
+        return;
+    }
+    // Late disarmer (or unarmed watchdog): wait out any join still
+    // in flight so every disarm() — the destructor's included —
+    // returns only once the watcher thread is truly gone.
+    cv_.wait(lk, [this] { return !joining_; });
 }
 
 } // namespace lfm::support

@@ -230,7 +230,15 @@ class Watchdog
     Watchdog(const Watchdog &) = delete;
     Watchdog &operator=(const Watchdog &) = delete;
 
-    /** Stop watching without firing (campaign finished in time). */
+    /**
+     * Stop watching without firing (campaign finished in time).
+     * Thread-safe and idempotent: concurrent disarms (say a worker
+     * reporting completion racing the owner's destructor) serialize
+     * on the watchdog lock, exactly one joins the watcher thread,
+     * and every call returns only after the watcher is fully gone —
+     * so no caller can observe a fire delivered after its disarm()
+     * returned, and destruction never detaches a firing thread.
+     */
     void disarm();
 
     /** True once the watchdog cancelled the token. */
@@ -247,6 +255,7 @@ class Watchdog
     std::mutex m_;
     std::condition_variable cv_;
     bool stop_ = false;
+    bool joining_ = false;  ///< a disarm() is joining the watcher
     std::atomic<bool> fired_{false};
     std::thread thread_;
 };

@@ -286,6 +286,56 @@ TEST(WatchdogTest, UnarmedDeadlineIsInert)
     EXPECT_FALSE(token.cancelled());
 }
 
+// The shutdown race: a watchdog being disarmed from several threads
+// at once — a worker reporting completion racing the owner tearing
+// the watchdog down — while the deadline is short enough that the
+// fire path races the disarm path too. Every disarm must return
+// only after the watcher thread is fully gone (exactly one join,
+// never a double join, never a detached firing thread), and a fire
+// observed after disarm() returned would be the shutdown bug this
+// guards against. Run under TSan (test_failsafe is in the TSan CI
+// stage) this also proves the fire/disarm handshake is race-free.
+TEST(WatchdogTest, ConcurrentDisarmStressIsSingleJoinSafe)
+{
+    for (int round = 0; round < 200; ++round) {
+        CancellationToken token;
+        // Deadlines straddle "already expired" and "barely ahead"
+        // so some rounds fire, some disarm in time, and many race.
+        auto dog = std::make_unique<support::Watchdog>(
+            token, Deadline::afterNs((round % 4) * 20'000),
+            "stress watchdog");
+        std::vector<std::thread> disarmers;
+        for (int t = 0; t < 3; ++t)
+            disarmers.emplace_back([&dog] { dog->disarm(); });
+        for (auto &thread : disarmers)
+            thread.join();
+        // All disarms returned: the watcher is gone, so the fired /
+        // cancelled verdict is final and consistent.
+        EXPECT_EQ(dog->fired(), token.cancelled());
+        dog.reset();
+        EXPECT_EQ(token.cancelled() ? "stress watchdog" : "",
+                  token.reason());
+    }
+}
+
+// Destruction immediately after an expired deadline: the destructor
+// must join the in-flight fire, never detach it (a detached fire
+// would touch a destroyed token / watchdog — use-after-free under
+// ASan, a data race under TSan).
+TEST(WatchdogTest, DestructionJoinsAnInFlightFire)
+{
+    for (int round = 0; round < 500; ++round) {
+        CancellationToken token;
+        {
+            support::Watchdog dog(token, Deadline::afterNs(1),
+                                  "fire in flight");
+        }
+        // The watchdog is destroyed; whatever happened is final.
+        if (token.cancelled())
+            EXPECT_EQ(token.reason(), "fire in flight");
+    }
+}
+
 // ---------------------------------------------------------------
 // Executor outcomes
 // ---------------------------------------------------------------

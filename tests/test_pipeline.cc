@@ -14,7 +14,9 @@
 #include <atomic>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "bugs/registry.hh"
 #include "detect/batch.hh"
@@ -26,6 +28,7 @@
 #include "explore/runner.hh"
 #include "sim/faults.hh"
 #include "sim/policy.hh"
+#include "support/metrics.hh"
 
 namespace
 {
@@ -381,6 +384,91 @@ TEST(Batch, StressCampaignStreamsIntoDetection)
                            pipeline.run(rerun.trace),
                            "seed " + std::to_string(i));
     }
+}
+
+TEST(Batch, ConcurrentSubmitRacingFinishLosesNoAcceptedTrace)
+{
+    // Producers hammer submit() while the consumer calls finish()
+    // with no hand-off protocol at all: the race is the point. The
+    // contract under test is exactly the one the serve layer leans
+    // on — every submit() that returned true yields a report, every
+    // submit() that returned false is counted as rejected, and the
+    // two sets partition the attempts.
+    detect::Pipeline pipeline;
+    const auto traces = corpus();
+
+    support::metrics::setEnabled(true);
+    auto &rejected =
+        support::metrics::counter("detect.stream.rejected");
+
+    constexpr unsigned kProducers = 4;
+    constexpr std::uint64_t kPerProducer = 40;
+    for (int round = 0; round < 8; ++round) {
+        const std::uint64_t before = rejected.value();
+        detect::DetectionStream stream(pipeline, 2);
+
+        std::vector<std::vector<std::uint64_t>> accepted(kProducers);
+        std::vector<std::thread> producers;
+        producers.reserve(kProducers);
+        for (unsigned p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                    const std::uint64_t key = p * kPerProducer + i;
+                    if (stream.submit(key,
+                                      traces[key % traces.size()]))
+                        accepted[p].push_back(key);
+                }
+            });
+        }
+        // finish() races the producers: some submissions land before
+        // the queue closes, the rest must be rejected — never lost.
+        const auto reports = stream.finish();
+        for (auto &producer : producers)
+            producer.join();
+
+        std::vector<std::uint64_t> acceptedKeys;
+        for (const auto &keys : accepted)
+            acceptedKeys.insert(acceptedKeys.end(), keys.begin(),
+                                keys.end());
+        std::sort(acceptedKeys.begin(), acceptedKeys.end());
+
+        ASSERT_EQ(reports.size(), acceptedKeys.size()) << round;
+        for (std::size_t i = 0; i < reports.size(); ++i)
+            EXPECT_EQ(reports[i].key, acceptedKeys[i]) << round;
+
+        const std::uint64_t attempts = kProducers * kPerProducer;
+        EXPECT_EQ(rejected.value() - before,
+                  attempts - acceptedKeys.size())
+            << round;
+    }
+    support::metrics::setEnabled(false);
+}
+
+TEST(Batch, SubmitAfterFinishIsRejectedAndCounted)
+{
+    detect::Pipeline pipeline;
+    const auto traces = corpus();
+
+    support::metrics::setEnabled(true);
+    auto &rejected =
+        support::metrics::counter("detect.stream.rejected");
+    const std::uint64_t before = rejected.value();
+
+    detect::DetectionStream stream(pipeline, 1);
+    EXPECT_TRUE(stream.submit(7, traces[0]));
+    const auto reports = stream.finish();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_EQ(reports[0].key, 7u);
+
+    // The queue is closed for good: every later submit is refused
+    // and counted, and a second finish() stays empty rather than
+    // resurrecting the stream.
+    EXPECT_FALSE(stream.submit(8, traces[1 % traces.size()]));
+    EXPECT_FALSE(stream.submit(9, traces[2 % traces.size()]));
+    EXPECT_EQ(rejected.value() - before, 2u);
+    EXPECT_TRUE(stream.finish().empty());
+
+    support::metrics::setEnabled(false);
 }
 
 } // namespace

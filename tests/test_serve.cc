@@ -1,0 +1,649 @@
+/**
+ * @file
+ * End-to-end gates for the lfm-serve daemon layer, driven over real
+ * sockets through the blocking client in serve/http.hh:
+ *
+ *  (a) overload: past the per-tenant admission budget the service
+ *      answers 503 with a Retry-After that follows the seeded
+ *      backoff policy, while every *accepted* upload still runs to
+ *      a complete (or explicitly truncated) report;
+ *  (b) crash containment: a deliberately segfaulting detector under
+ *      SandboxPolicy::Fork yields a 500 carrying a crash report for
+ *      the poisoned trace, while a concurrent benign request — and
+ *      the daemon itself — finish unharmed;
+ *  (c) crash-resume: a service process SIGKILL'd in the middle of an
+ *      accepted campaign is restarted over the same state directory
+ *      and serves findings byte-identical to an uninterrupted run;
+ *  (d) byte-identity: the HTTP findings document (streamed chunked
+ *      or buffered) equals `lfm_served --batch`'s generator, which
+ *      itself equals detect::reportsJson on the same corpus.
+ *
+ * The SIGKILL test forks a real child process, so this suite stays
+ * out of the TSan battery (ci.sh runs it in the plain build only);
+ * the blocking/crashing test detectors are keyed to marker thread
+ * names and emit no findings, so their presence in a pipeline never
+ * changes a findings document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "detect/batch.hh"
+#include "detect/context.hh"
+#include "detect/detector.hh"
+#include "detect/pipeline.hh"
+#include "serve/http.hh"
+#include "serve/service.hh"
+#include "support/sandbox.hh"
+#include "trace/corpus.hh"
+#include "trace/serialize.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+// ------------------------------------------------------------------
+// Fixture traces: two benign examples plus marker traces that flip
+// the test detectors below. Marker traces are ordinary valid traces;
+// only the registered name of thread 1 differs.
+// ------------------------------------------------------------------
+
+const char *const kRacyCounter = "# lfm-trace v1\n"
+                                 "object 1 var 0 counter\n"
+                                 "object 2 mutex 0 m\n"
+                                 "thread 1 worker-a\n"
+                                 "thread 2 worker-b\n"
+                                 "event 1 thread_begin 0 0 0 %\n"
+                                 "event 2 thread_begin 0 0 0 %\n"
+                                 "event 1 read 1 0 0 %\n"
+                                 "event 2 write 1 0 0 %\n"
+                                 "event 1 write 1 0 0 %\n"
+                                 "event 1 lock 2 0 0 %\n"
+                                 "event 1 unlock 2 0 0 %\n"
+                                 "event 1 thread_end 0 0 0 %\n"
+                                 "event 2 thread_end 0 0 0 %\n";
+
+const char *const kAbbaDeadlock = "# lfm-trace v1\n"
+                                  "object 1 mutex 0 lock-a\n"
+                                  "object 2 mutex 0 lock-b\n"
+                                  "thread 1 acquirer-ab\n"
+                                  "thread 2 acquirer-ba\n"
+                                  "event 1 thread_begin 0 0 0 %\n"
+                                  "event 2 thread_begin 0 0 0 %\n"
+                                  "event 1 lock 1 0 0 %\n"
+                                  "event 1 lock 2 0 0 %\n"
+                                  "event 1 unlock 2 0 0 %\n"
+                                  "event 1 unlock 1 0 0 %\n"
+                                  "event 2 lock 2 0 0 %\n"
+                                  "event 2 lock 1 0 0 %\n"
+                                  "event 2 unlock 1 0 0 %\n"
+                                  "event 2 unlock 2 0 0 %\n"
+                                  "event 1 thread_end 0 0 0 %\n"
+                                  "event 2 thread_end 0 0 0 %\n";
+
+trace::Trace
+markerTrace(const std::string &threadOneName)
+{
+    std::string text = kRacyCounter;
+    const std::string from = "thread 1 worker-a";
+    text.replace(text.find(from), from.size(),
+                 "thread 1 " + threadOneName);
+    std::string error;
+    auto parsed = trace::traceFromString(text, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return *parsed;
+}
+
+trace::Trace
+parseTrace(const char *text)
+{
+    std::string error;
+    auto parsed = trace::traceFromString(text, &error);
+    EXPECT_TRUE(parsed.has_value()) << error;
+    return *parsed;
+}
+
+std::vector<trace::Trace>
+benignTraces()
+{
+    std::vector<trace::Trace> traces;
+    traces.push_back(parseTrace(kRacyCounter));
+    traces.push_back(parseTrace(kAbbaDeadlock));
+    traces.push_back(parseTrace(kRacyCounter));
+    return traces;
+}
+
+/** The document every byte-equality gate compares against: the
+ * pipeline's batch reports rendered by detect::reportsJson, plus the
+ * trailing newline every serialized document carries. */
+std::string
+referenceDoc(const detect::Pipeline &pipeline,
+             const std::vector<trace::Trace> &traces)
+{
+    const auto reports = detect::BatchRunner(1).run(pipeline, traces);
+    return detect::reportsJson(traces, reports).str() + "\n";
+}
+
+// ------------------------------------------------------------------
+// Test detectors. Both are keyed to marker thread names and emit no
+// findings, so adding them to a pipeline never changes a document.
+// ------------------------------------------------------------------
+
+/** Parks inside the pipeline while the gate is closed, so a test can
+ * hold a tenant's admission slot at a deterministic point. The wait
+ * is bounded so a broken test fails instead of wedging ctest. */
+class GateDetector : public detect::Detector
+{
+  public:
+    std::vector<detect::Finding>
+    fromContext(const detect::AnalysisContext &ctx) const override
+    {
+        if (ctx.source().threadName(1) != "gate-me")
+            return {};
+        entered().fetch_add(1);
+        if (notifyFd().load() != -1) {
+            const char byte = 'g';
+            (void)!write(notifyFd().load(), &byte, 1);
+            // Resume-test child: park until SIGKILL arrives.
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+        }
+        for (int i = 0; i < 20000 && !opened().load(); ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        return {};
+    }
+
+    const char *name() const override { return "test-gate"; }
+
+    static std::atomic<int> &
+    entered()
+    {
+        static std::atomic<int> count{0};
+        return count;
+    }
+
+    static std::atomic<bool> &
+    opened()
+    {
+        static std::atomic<bool> open{false};
+        return open;
+    }
+
+    /** When set, fromContext writes one byte here and parks forever
+     * (the resume test's "kill me now" signal). */
+    static std::atomic<int> &
+    notifyFd()
+    {
+        static std::atomic<int> fd{-1};
+        return fd;
+    }
+};
+
+/** Segfaults on the marker trace — only ever run under
+ * SandboxPolicy::Fork, where the forked child absorbs the signal. */
+class CrashDetector : public detect::Detector
+{
+  public:
+    std::vector<detect::Finding>
+    fromContext(const detect::AnalysisContext &ctx) const override
+    {
+        if (ctx.source().threadName(1) == "crash-me") {
+            volatile int *null = nullptr;
+            *null = 1;
+        }
+        return {};
+    }
+
+    const char *name() const override { return "test-crash"; }
+};
+
+detect::Pipeline
+pipelineWith(std::unique_ptr<detect::Detector> extra)
+{
+    auto detectors = detect::allDetectors();
+    detectors.push_back(std::move(extra));
+    return detect::Pipeline(std::move(detectors));
+}
+
+/** Service + HTTP server on an ephemeral loopback port. */
+struct TestServer
+{
+    explicit TestServer(const detect::Pipeline &pipeline,
+                        serve::ServiceOptions options = {})
+        : service(pipeline, std::move(options)),
+          server(service.handler())
+    {
+        std::string error;
+        started = server.start(&error);
+        EXPECT_TRUE(started) << error;
+    }
+
+    serve::ClientResponse
+    request(const std::string &method, const std::string &target,
+            const std::string &body = {},
+            const std::vector<std::pair<std::string, std::string>>
+                &headers = {})
+    {
+        return serve::httpRequest(server.port(), method, target,
+                                  body, headers);
+    }
+
+    serve::DetectionService service;
+    serve::HttpServer server;
+    bool started = false;
+};
+
+// ------------------------------------------------------------------
+// Gate (d): HTTP == --batch generator == reportsJson, byte for byte.
+// ------------------------------------------------------------------
+
+TEST(Serve, HttpFindingsMatchBatchCliAndReportsJson)
+{
+    const auto traces = benignTraces();
+    const std::string corpusBytes = trace::encodeCorpus(traces);
+    detect::Pipeline pipeline;
+    const std::string expected = referenceDoc(pipeline, traces);
+
+    // The --batch CLI generator agrees with reportsJson itself.
+    std::vector<std::uint8_t> aligned(corpusBytes.begin(),
+                                      corpusBytes.end());
+    std::string error;
+    auto reader = trace::CorpusReader::fromBuffer(
+        aligned.data(), aligned.size(), &error);
+    ASSERT_TRUE(reader.has_value()) << error;
+    EXPECT_EQ(serve::detectDocumentForCorpus(pipeline, *reader),
+              expected);
+
+    TestServer ts(pipeline);
+    ASSERT_TRUE(ts.started);
+
+    // Streamed (chunked) one-shot upload.
+    auto streamed =
+        ts.request("POST", "/detect?campaign=gate-d", corpusBytes);
+    ASSERT_TRUE(streamed.ok) << streamed.error;
+    EXPECT_EQ(streamed.status, 200);
+    EXPECT_EQ(streamed.body, expected);
+
+    // Buffered one-shot upload.
+    auto buffered = ts.request(
+        "POST", "/detect?campaign=gate-d2&stream=0", corpusBytes);
+    ASSERT_TRUE(buffered.ok) << buffered.error;
+    EXPECT_EQ(buffered.status, 200);
+    EXPECT_EQ(buffered.body, expected);
+    const std::string *outcome = buffered.header("x-lfm-outcome");
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_EQ(*outcome, "completed");
+
+    // The stored findings endpoint serves the same bytes again.
+    auto stored =
+        ts.request("GET", "/campaigns/gate-d/findings");
+    ASSERT_TRUE(stored.ok) << stored.error;
+    EXPECT_EQ(stored.status, 200);
+    EXPECT_EQ(stored.body, expected);
+
+    // A streaming campaign session built trace by trace converges on
+    // the identical document too.
+    EXPECT_EQ(ts.request("POST", "/campaigns/session").status, 200);
+    for (const auto &t : traces) {
+        auto put = ts.request("POST", "/campaigns/session/traces",
+                              trace::traceToString(t));
+        EXPECT_EQ(put.status, 200) << put.body;
+    }
+    auto finished =
+        ts.request("POST", "/campaigns/session/finish");
+    ASSERT_TRUE(finished.ok) << finished.error;
+    EXPECT_EQ(finished.status, 200);
+    EXPECT_EQ(finished.body, expected);
+}
+
+// ------------------------------------------------------------------
+// Gate (a): overload is refused with backoff; accepted work always
+// completes (or is explicitly truncated, below).
+// ------------------------------------------------------------------
+
+TEST(Serve, OverloadIsRefusedWithRetryAfterWhileAcceptedWorkCompletes)
+{
+    GateDetector::opened().store(false);
+    GateDetector::entered().store(0);
+
+    auto pipeline = pipelineWith(std::make_unique<GateDetector>());
+    serve::ServiceOptions options;
+    options.maxConcurrent = 1;  // one slot per tenant
+    TestServer ts(pipeline, options);
+    ASSERT_TRUE(ts.started);
+
+    const std::vector<trace::Trace> gated{markerTrace("gate-me")};
+    const std::string gatedBytes = trace::encodeCorpus(gated);
+    const auto benign = benignTraces();
+    const std::string benignBytes = trace::encodeCorpus(benign);
+
+    // Occupy the default tenant's only slot with a request parked
+    // inside the pipeline.
+    serve::ClientResponse slowResponse;
+    std::thread slow([&] {
+        slowResponse = serve::httpRequest(
+            ts.server.port(), "POST", "/detect?campaign=slow",
+            gatedBytes);
+    });
+    for (int i = 0; i < 20000 && GateDetector::entered().load() == 0;
+         ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GT(GateDetector::entered().load(), 0);
+
+    // The next upload from the same tenant is refused, not queued.
+    auto rejected =
+        ts.request("POST", "/detect?campaign=refused", benignBytes);
+    ASSERT_TRUE(rejected.ok) << rejected.error;
+    EXPECT_EQ(rejected.status, 503);
+    const std::string *retryAfter = rejected.header("retry-after");
+    ASSERT_NE(retryAfter, nullptr);
+    const unsigned firstDelay =
+        static_cast<unsigned>(std::stoul(*retryAfter));
+    EXPECT_GE(firstDelay, 1u);
+    EXPECT_NE(rejected.body.find("retry_after_s"),
+              std::string::npos);
+
+    // Hammering the overloaded daemon earns exponentially longer
+    // waits (the seeded policy is deterministic, so by the sixth
+    // rejection the delay is strictly past the first one).
+    unsigned lastDelay = firstDelay;
+    for (int i = 0; i < 5; ++i) {
+        auto again = ts.request("POST", "/detect?campaign=refused",
+                                benignBytes);
+        EXPECT_EQ(again.status, 503);
+        const std::string *header = again.header("retry-after");
+        ASSERT_NE(header, nullptr);
+        lastDelay = static_cast<unsigned>(std::stoul(*header));
+    }
+    EXPECT_GT(lastDelay, firstDelay);
+
+    // Admission is per tenant: another tenant sails through while
+    // the first one is saturated.
+    auto other = ts.request("POST", "/detect?campaign=other-tenant",
+                            benignBytes,
+                            {{"X-LFM-Tenant", "tenant-b"}});
+    ASSERT_TRUE(other.ok) << other.error;
+    EXPECT_EQ(other.status, 200);
+    EXPECT_EQ(other.body, referenceDoc(pipeline, benign));
+
+    // Open the gate: the accepted slow upload completes normally —
+    // admission refused the excess, it never dropped accepted work.
+    GateDetector::opened().store(true);
+    slow.join();
+    ASSERT_TRUE(slowResponse.ok) << slowResponse.error;
+    EXPECT_EQ(slowResponse.status, 200);
+    EXPECT_EQ(slowResponse.body, referenceDoc(pipeline, gated));
+
+    // With the slot free again the refused tenant gets in (poll a
+    // little: the slot is released just after the response flushes).
+    serve::ClientResponse retried;
+    for (int i = 0; i < 100; ++i) {
+        retried = ts.request("POST", "/detect?campaign=retried",
+                             benignBytes);
+        if (retried.status == 200)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(retried.status, 200);
+    EXPECT_EQ(retried.body, referenceDoc(pipeline, benign));
+}
+
+/** A too-slow analysis is reeled in by the request watchdog and the
+ * response says so: deadline outcome, untouched traces explicitly
+ * "skipped" — a truncated report, never a hung connection. */
+TEST(Serve, DeadlineTruncatesWithExplicitSkippedTail)
+{
+    GateDetector::opened().store(false);
+    GateDetector::entered().store(0);
+
+    auto pipeline = pipelineWith(std::make_unique<GateDetector>());
+    TestServer ts(pipeline);
+    ASSERT_TRUE(ts.started);
+
+    // Trace 0 parks in the gate well past the 50ms deadline; traces
+    // 1..2 must come back skipped once the watchdog fires. The gate
+    // is opened by a helper as soon as the request is inside it, so
+    // the analysis of trace 0 itself still completes.
+    std::vector<trace::Trace> traces{markerTrace("gate-me")};
+    for (auto &t : benignTraces())
+        traces.push_back(std::move(t));
+    std::thread opener([&] {
+        for (int i = 0;
+             i < 20000 && GateDetector::entered().load() == 0; ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        // Hold the gate shut past the deadline, then release.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(200));
+        GateDetector::opened().store(true);
+    });
+    auto resp = ts.request(
+        "POST", "/detect?campaign=late&deadline_ms=50&stream=0",
+        trace::encodeCorpus(traces));
+    opener.join();
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.status, 200);
+    const std::string *outcome = resp.header("x-lfm-outcome");
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_EQ(*outcome, "deadline");
+    EXPECT_NE(resp.body.find("\"status\": \"skipped\""),
+              std::string::npos)
+        << resp.body;
+}
+
+// ------------------------------------------------------------------
+// Gate (b): a segfaulting detector is contained by the fork sandbox.
+// ------------------------------------------------------------------
+
+TEST(Serve, DetectorCrashIsContainedWhileConcurrentRequestsComplete)
+{
+    auto pipeline = pipelineWith(std::make_unique<CrashDetector>());
+    serve::ServiceOptions options;
+    options.sandbox.policy = support::SandboxPolicy::Fork;
+    TestServer ts(pipeline, options);
+    ASSERT_TRUE(ts.started);
+
+    std::vector<trace::Trace> poisoned{parseTrace(kRacyCounter),
+                                       markerTrace("crash-me")};
+    const auto benign = benignTraces();
+
+    // A benign request races the crashing one end to end.
+    serve::ClientResponse benignResponse;
+    std::thread concurrent([&] {
+        benignResponse = serve::httpRequest(
+            ts.server.port(), "POST", "/detect?campaign=benign",
+            trace::encodeCorpus(benign));
+    });
+
+    auto crashed = ts.request(
+        "POST", "/detect?campaign=boom&stream=0",
+        trace::encodeCorpus(poisoned));
+    ASSERT_TRUE(crashed.ok) << crashed.error;
+    EXPECT_EQ(crashed.status, 500);
+    EXPECT_NE(crashed.body.find("\"status\": \"crashed\""),
+              std::string::npos)
+        << crashed.body;
+    EXPECT_NE(crashed.body.find("detection worker crashed: SIGSEGV"),
+              std::string::npos)
+        << crashed.body;
+    // The clean trace in the same upload was still analyzed.
+    EXPECT_NE(crashed.body.find("\"status\": \"analyzed\""),
+              std::string::npos)
+        << crashed.body;
+
+    concurrent.join();
+    ASSERT_TRUE(benignResponse.ok) << benignResponse.error;
+    EXPECT_EQ(benignResponse.status, 200);
+    EXPECT_EQ(benignResponse.body, referenceDoc(pipeline, benign));
+
+    // The daemon itself is unharmed.
+    auto health = ts.request("GET", "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"status\": \"ok\""),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------------
+// Gate (c): SIGKILL mid-campaign, restart, byte-identical findings.
+// ------------------------------------------------------------------
+
+TEST(Serve, SigkillMidCampaignThenRestartServesIdenticalFindings)
+{
+    namespace fs = std::filesystem;
+    const fs::path state =
+        fs::temp_directory_path() / "lfm_serve_sigkill_resume";
+    fs::remove_all(state);
+
+    // Trace 1 carries the gate marker: the child journals all three
+    // images, finishes (and journals) trace 0, then parks inside
+    // trace 1 and tells us so — the moment we SIGKILL it.
+    std::vector<trace::Trace> traces{parseTrace(kRacyCounter),
+                                     markerTrace("gate-me"),
+                                     parseTrace(kAbbaDeadlock)};
+    const std::string corpusBytes = trace::encodeCorpus(traces);
+
+    int pipefd[2];
+    ASSERT_EQ(pipe(pipefd), 0);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: accept the campaign and never return from it.
+        close(pipefd[0]);
+        GateDetector::notifyFd().store(pipefd[1]);
+        auto pipeline =
+            pipelineWith(std::make_unique<GateDetector>());
+        serve::ServiceOptions options;
+        options.stateDir = state.string();
+        // SIGKILL kills the process, not the page cache: skipping
+        // fsync keeps the test fast without weakening the gate.
+        options.journalFsync = false;
+        serve::DetectionService service(pipeline, options);
+        service.recover();
+        serve::HttpServer server(service.handler());
+        if (!server.start())
+            _exit(2);
+        (void)serve::httpRequest(server.port(), "POST",
+                                 "/detect?campaign=victim&stream=0",
+                                 corpusBytes);
+        _exit(3);  // unreachable: the request parks until SIGKILL
+    }
+    close(pipefd[1]);
+    char byte = 0;
+    ASSERT_EQ(read(pipefd[0], &byte, 1), 1);
+    close(pipefd[0]);
+    ASSERT_EQ(kill(child, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Restart over the same state directory with the plain pipeline
+    // (the gate detector emits no findings, so an uninterrupted run
+    // with either pipeline produces the same bytes).
+    detect::Pipeline pipeline;
+    serve::ServiceOptions options;
+    options.stateDir = state.string();
+    serve::DetectionService service(pipeline, options);
+    EXPECT_EQ(service.recover(), 1u);
+    serve::HttpServer server(service.handler());
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    auto resumed = serve::httpRequest(
+        server.port(), "GET", "/campaigns/victim/findings");
+    ASSERT_TRUE(resumed.ok) << resumed.error;
+    EXPECT_EQ(resumed.status, 200);
+    EXPECT_EQ(resumed.body, referenceDoc(pipeline, traces));
+
+    fs::remove_all(state);
+}
+
+// ------------------------------------------------------------------
+// Daemon surface: health, metrics, raw-log ingest, drain, errors.
+// ------------------------------------------------------------------
+
+TEST(Serve, HealthzMetricsRawLogsAndDrainSemantics)
+{
+    detect::Pipeline pipeline;
+    TestServer ts(pipeline);
+    ASSERT_TRUE(ts.started);
+
+    auto health = ts.request("GET", "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("\"status\": \"ok\""),
+              std::string::npos);
+    EXPECT_NE(health.body.find("\"admitted\""), std::string::npos);
+
+    auto metrics = ts.request("GET", "/metrics");
+    EXPECT_EQ(metrics.status, 200);
+
+    // A raw pthread-style log is sniffed, imported (PR 8 grammar),
+    // and analyzed; the import accounting rides back in headers.
+    const std::string rawLog = "10 1 thread_start\n"
+                               "20 1 lock 0x10\n"
+                               "30 1 write 0x100 4\n"
+                               "40 1 unlock 0x10\n"
+                               "50 2 thread_start\n"
+                               "60 2 write 0x100 4\n"
+                               "70 1 thread_exit\n"
+                               "80 2 thread_exit\n";
+    auto imported =
+        ts.request("POST", "/detect?campaign=rawlog", rawLog);
+    ASSERT_TRUE(imported.ok) << imported.error;
+    EXPECT_EQ(imported.status, 200);
+    const std::string *records =
+        imported.header("x-lfm-import-records");
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(*records, "8");
+    const std::string *quarantined =
+        imported.header("x-lfm-import-quarantined");
+    ASSERT_NE(quarantined, nullptr);
+    EXPECT_EQ(*quarantined, "0");
+
+    // Defensive surface.
+    EXPECT_EQ(ts.request("GET", "/nope").status, 404);
+    EXPECT_EQ(ts.request("GET", "/detect").status, 405);
+    EXPECT_EQ(ts.request("POST", "/detect?campaign=bad//name",
+                         rawLog)
+                  .status,
+              400);
+    EXPECT_EQ(ts.request("POST", "/detect?campaign=rawlog",
+                         rawLog)
+                  .status,
+              409);
+    auto garbage = ts.request("POST", "/detect?campaign=garbage",
+                              "LFMC\x01\x02 this is not a corpus");
+    EXPECT_EQ(garbage.status, 422);
+
+    // Draining: new work is refused with Retry-After, read-only
+    // endpoints keep answering and report the drain.
+    ts.service.beginDrain();
+    auto refused = ts.request("POST", "/detect?campaign=late-work",
+                              rawLog);
+    EXPECT_EQ(refused.status, 503);
+    EXPECT_NE(refused.header("retry-after"), nullptr);
+    auto draining = ts.request("GET", "/healthz");
+    EXPECT_EQ(draining.status, 200);
+    EXPECT_NE(draining.body.find("\"status\": \"draining\""),
+              std::string::npos);
+    auto stillThere =
+        ts.request("GET", "/campaigns/rawlog/findings");
+    EXPECT_EQ(stillThere.status, 200);
+}
+
+} // namespace

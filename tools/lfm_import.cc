@@ -3,7 +3,8 @@
  * lfm_import: convert pthread-style event logs recorded from external
  * programs (trace/replay.hh grammar) into lfm traces.
  *
- *     lfm_import [--format text|lfmt|lfmc] [-o OUT] <log|dir> ...
+ *     lfm_import [--format text|lfmt|lfmc] [--json] [-o OUT]
+ *                <log|dir> ...
  *
  * Each input is either a single interleaved log file or a directory of
  * one-log-per-thread files (imported as one merged trace). Output:
@@ -16,10 +17,18 @@
  *                     (-o, or stdout when omitted)
  *
  * Per-line problems are quarantined, printed to stderr as
- * "file:line: message", and never abort the import; the summary line
- * reports how many records were kept vs dropped. Exit codes: 0
- * success (even with quarantined lines), 1 usage error, 2 when an
- * input was unreadable or imported zero events.
+ * "file:line: message", and never abort the import. With --json the
+ * per-input human summary is replaced by one machine-readable JSON
+ * document on stdout (per-input line/record/quarantine/stall counts
+ * plus totals) so scripts consume the import accounting without
+ * scraping text; diagnostics stay on stderr either way (and --json
+ * text output moves the trace text to the -o file requirement).
+ *
+ * Exit codes: 0 clean import, 1 usage error, 2 when an input was
+ * unreadable or imported zero events, 3 when the import succeeded
+ * but lines were quarantined or records dropped by a replay stall —
+ * scripts can tell "trustworthy corpus" from "partial corpus"
+ * without parsing anything.
  */
 
 #include <fstream>
@@ -27,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "support/json.hh"
 #include "support/journal.hh"
 #include "trace/binary.hh"
 #include "trace/corpus.hh"
@@ -39,12 +49,13 @@ namespace
 constexpr int kOk = 0;
 constexpr int kUsage = 1;
 constexpr int kFormat = 2;
+constexpr int kQuarantined = 3;
 
 int
 usage()
 {
     std::cerr << "usage: lfm_import [--format text|lfmt|lfmc] "
-                 "[-o OUT] <log|dir> ...\n";
+                 "[--json] [-o OUT] <log|dir> ...\n";
     return kUsage;
 }
 
@@ -85,6 +96,25 @@ printSummary(const std::string &input,
     std::cout << "\n";
 }
 
+/** One input's accounting for the --json document. */
+lfm::support::Json
+inputJson(const std::string &input,
+          const lfm::trace::replay::ImportStats &stats)
+{
+    lfm::support::Json doc;
+    doc.set("input", input);
+    doc.set("files", static_cast<std::uint64_t>(stats.files));
+    doc.set("lines", static_cast<std::uint64_t>(stats.lines));
+    doc.set("records", static_cast<std::uint64_t>(stats.records));
+    doc.set("quarantined",
+            static_cast<std::uint64_t>(stats.quarantined));
+    doc.set("stalled", static_cast<std::uint64_t>(stats.stalled));
+    doc.set("threads", static_cast<std::uint64_t>(stats.threads));
+    doc.set("objects", static_cast<std::uint64_t>(stats.objects));
+    doc.set("events", static_cast<std::uint64_t>(stats.events));
+    return doc;
+}
+
 } // namespace
 
 int
@@ -92,6 +122,7 @@ main(int argc, char **argv)
 {
     std::string format = "lfmc";
     std::string out;
+    bool json = false;
     std::vector<std::string> inputs;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -99,6 +130,8 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage();
             format = argv[i];
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "-o" || arg == "--output") {
             if (++i >= argc)
                 return usage();
@@ -126,16 +159,34 @@ main(int argc, char **argv)
                   << " needs -o OUT\n";
         return kUsage;
     }
+    if (json && format == "text" && out.empty()) {
+        std::cerr << "lfm_import: --json with --format text needs "
+                     "-o OUT (stdout carries the JSON summary)\n";
+        return kUsage;
+    }
 
     std::vector<lfm::trace::Trace> traces;
+    lfm::support::Json perInput = lfm::support::Json::array();
+    std::size_t quarantined = 0;
+    std::size_t stalled = 0;
     for (const std::string &input : inputs) {
         auto result = lfm::trace::replay::importPath(input);
         printDiagnostics(result);
         if (!result.ok)
             return fail(input + ": no events imported");
-        printSummary(input, result);
+        if (json)
+            perInput.push(inputJson(input, result.stats));
+        else
+            printSummary(input, result);
+        quarantined += result.stats.quarantined;
+        stalled += result.stats.stalled;
         traces.push_back(std::move(result.trace));
     }
+
+    // The import succeeded; anything dropped on the way downgrades
+    // the exit code to "partial" so callers can tell without parsing.
+    const int verdict =
+        quarantined > 0 || stalled > 0 ? kQuarantined : kOk;
 
     if (format == "lfmc") {
         lfm::trace::CorpusWriter writer;
@@ -144,27 +195,41 @@ main(int argc, char **argv)
         std::string error;
         if (!writer.writeTo(out, &error))
             return fail(out + ": " + error);
-        std::cout << "packed " << writer.count() << " trace"
-                  << (writer.count() == 1 ? "" : "s") << " into "
-                  << out << "\n";
-        return kOk;
-    }
-
-    if (format == "lfmt") {
+        if (!json)
+            std::cout << "packed " << writer.count() << " trace"
+                      << (writer.count() == 1 ? "" : "s") << " into "
+                      << out << "\n";
+    } else if (format == "lfmt") {
         std::string error;
         if (!lfm::trace::saveTraceBinary(traces[0], out, &error))
             return fail(out + ": " + error);
-        std::cout << "wrote " << out << "\n";
-        return kOk;
+        if (!json)
+            std::cout << "wrote " << out << "\n";
+    } else {
+        const std::string text = lfm::trace::traceToString(traces[0]);
+        if (out.empty()) {
+            std::cout << text;
+            return verdict;
+        }
+        if (!lfm::support::atomicWriteFile(out, text))
+            return fail("cannot write " + out);
+        if (!json)
+            std::cout << "wrote " << out << "\n";
     }
 
-    const std::string text = lfm::trace::traceToString(traces[0]);
-    if (out.empty()) {
-        std::cout << text;
-        return kOk;
+    if (json) {
+        lfm::support::Json doc;
+        doc.set("tool", "lfm-import");
+        doc.set("format", format);
+        if (!out.empty())
+            doc.set("output", out);
+        doc.set("traces", static_cast<std::uint64_t>(traces.size()));
+        doc.set("quarantined",
+                static_cast<std::uint64_t>(quarantined));
+        doc.set("stalled", static_cast<std::uint64_t>(stalled));
+        doc.set("clean", verdict == kOk);
+        doc.set("inputs", std::move(perInput));
+        std::cout << doc.str() << "\n";
     }
-    if (!lfm::support::atomicWriteFile(out, text))
-        return fail("cannot write " + out);
-    std::cout << "wrote " << out << "\n";
-    return kOk;
+    return verdict;
 }

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * lfm_served: the always-on detection daemon (serve/service.hh).
+ *
+ *     lfm_served [--port N] [--port-file PATH] [--state-dir DIR]
+ *                [--no-sandbox] [--deadline-ms N] [--max-concurrent N]
+ *                [--max-body-bytes N] [--stream-workers N]
+ *                [--drain-grace-ms N] [--no-fsync]
+ *
+ * Binds 127.0.0.1 (an ephemeral port when --port is 0/absent; the
+ * bound port is printed and, with --port-file, atomically published
+ * to a file for scripts to pick up). With --state-dir the campaign
+ * journal lives there and a killed daemon resumes every accepted
+ * campaign on restart. SIGTERM/SIGINT drain gracefully: new work is
+ * refused with 503, in-flight requests get a bounded grace period,
+ * then their cancellation tokens fire and the daemon exits 0 with
+ * every journal flushed.
+ *
+ * Two non-daemon modes share the daemon's code paths:
+ *
+ *     lfm_served --batch CORPUS [--sarif] [--no-sandbox]
+ *         Analyze an LFMC corpus and print the findings document to
+ *         stdout — byte-identical to what the HTTP upload path
+ *         streams for the same corpus (the CI gate diffs the two).
+ *
+ *     lfm_served --client METHOD TARGET [BODY-FILE] --port N
+ *         One blocking HTTP request against a running daemon (body
+ *         read from BODY-FILE or empty); response body to stdout,
+ *         status line to stderr. Exits 0 on 2xx. A curl-free
+ *         fallback for scripts and tests.
+ */
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "detect/pipeline.hh"
+#include "serve/http.hh"
+#include "serve/service.hh"
+#include "support/journal.hh"
+#include "support/metrics.hh"
+#include "trace/corpus.hh"
+
+namespace
+{
+
+constexpr int kOk = 0;
+constexpr int kUsage = 1;
+constexpr int kFailure = 2;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: lfm_served [--port N] [--port-file PATH]\n"
+           "                  [--state-dir DIR] [--no-sandbox]\n"
+           "                  [--deadline-ms N] [--max-concurrent N]\n"
+           "                  [--max-body-bytes N] [--stream-workers N]\n"
+           "                  [--drain-grace-ms N] [--no-fsync]\n"
+           "       lfm_served --batch CORPUS [--sarif] [--no-sandbox]\n"
+           "       lfm_served --client METHOD TARGET [BODY-FILE] "
+           "--port N\n";
+    return kUsage;
+}
+
+int
+fail(const std::string &what)
+{
+    std::cerr << "lfm_served: " << what << "\n";
+    return kFailure;
+}
+
+/** Self-pipe the signal handlers write one byte into; the main
+ * thread blocks reading it. The only async-signal-safe thing the
+ * handler does is write(2). */
+int gSignalPipe[2] = {-1, -1};
+
+extern "C" void
+onTermSignal(int)
+{
+    const char byte = 1;
+    // Failure is fine (pipe full means a wakeup is already queued).
+    [[maybe_unused]] const auto n =
+        ::write(gSignalPipe[1], &byte, 1);
+}
+
+std::uint64_t
+parseU64Arg(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    const auto v = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+        std::cerr << "lfm_served: bad value for " << flag << ": "
+                  << value << "\n";
+        std::exit(kUsage);
+    }
+    return v;
+}
+
+int
+runBatch(const std::string &corpusPath,
+         const lfm::serve::ServiceOptions &options, bool sarif)
+{
+    std::string error;
+    auto corpus = lfm::trace::CorpusReader::open(corpusPath, &error);
+    if (!corpus)
+        return fail(corpusPath + ": " + error);
+    lfm::detect::Pipeline pipeline;
+    std::cout << lfm::serve::detectDocumentForCorpus(
+        pipeline, *corpus, options, sarif);
+    return kOk;
+}
+
+int
+runClient(std::uint16_t port, const std::string &method,
+          const std::string &target, const std::string &bodyFile)
+{
+    if (port == 0)
+        return fail("--client needs --port N of a running daemon");
+    std::string body;
+    if (!bodyFile.empty()) {
+        std::ifstream in(bodyFile, std::ios::binary);
+        if (!in)
+            return fail("cannot read " + bodyFile);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        body = buf.str();
+    }
+    const auto resp =
+        lfm::serve::httpRequest(port, method, target, body);
+    if (!resp.ok)
+        return fail("request failed: " + resp.error);
+    std::cerr << "HTTP " << resp.status << "\n";
+    std::cout << resp.body;
+    return resp.status >= 200 && resp.status < 300 ? kOk : kFailure;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    lfm::serve::ServiceOptions options;
+    options.sandbox.policy = lfm::support::SandboxPolicy::Fork;
+    lfm::serve::HttpServerOptions http;
+    std::string portFile;
+    std::string batchCorpus;
+    bool sarif = false;
+    std::string clientMethod;
+    std::string clientTarget;
+    std::string clientBodyFile;
+    std::uint64_t drainGraceMs = 5000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (++i >= argc) {
+                std::exit(usage());
+            }
+            return argv[i];
+        };
+        if (arg == "--port")
+            http.port = static_cast<std::uint16_t>(
+                parseU64Arg("--port", next()));
+        else if (arg == "--port-file")
+            portFile = next();
+        else if (arg == "--state-dir")
+            options.stateDir = next();
+        else if (arg == "--no-sandbox")
+            options.sandbox.policy = lfm::support::SandboxPolicy::Off;
+        else if (arg == "--deadline-ms")
+            options.defaultDeadlineMs =
+                parseU64Arg("--deadline-ms", next());
+        else if (arg == "--max-concurrent")
+            options.maxConcurrent = static_cast<unsigned>(
+                parseU64Arg("--max-concurrent", next()));
+        else if (arg == "--max-body-bytes")
+            options.maxBodyBytes =
+                parseU64Arg("--max-body-bytes", next());
+        else if (arg == "--stream-workers")
+            options.streamWorkers = static_cast<unsigned>(
+                parseU64Arg("--stream-workers", next()));
+        else if (arg == "--drain-grace-ms")
+            drainGraceMs = parseU64Arg("--drain-grace-ms", next());
+        else if (arg == "--no-fsync")
+            options.journalFsync = false;
+        else if (arg == "--batch")
+            batchCorpus = next();
+        else if (arg == "--sarif")
+            sarif = true;
+        else if (arg == "--client") {
+            clientMethod = next();
+            clientTarget = next();
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                clientBodyFile = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return kOk;
+        } else {
+            return usage();
+        }
+    }
+
+    if (!batchCorpus.empty())
+        return runBatch(batchCorpus, options, sarif);
+    if (!clientMethod.empty())
+        return runClient(http.port, clientMethod, clientTarget,
+                         clientBodyFile);
+
+    lfm::support::metrics::setEnabled(true);
+    lfm::detect::Pipeline pipeline;
+    http.maxBodyBytes = options.maxBodyBytes;
+    lfm::serve::DetectionService service(pipeline, options);
+    const std::size_t resumed = service.recover();
+    if (resumed > 0)
+        std::cout << "lfm-served: resumed " << resumed
+                  << " campaign" << (resumed == 1 ? "" : "s")
+                  << " from " << options.stateDir << "\n";
+
+    lfm::serve::HttpServer server(service.handler(), http);
+    std::string error;
+    if (!server.start(&error))
+        return fail(error);
+    std::cout << "lfm-served: listening on 127.0.0.1:"
+              << server.port() << std::endl;
+    if (!portFile.empty() &&
+        !lfm::support::atomicWriteFile(
+            portFile, std::to_string(server.port()) + "\n"))
+        return fail("cannot write " + portFile);
+
+    if (::pipe(gSignalPipe) != 0)
+        return fail("pipe failed");
+    struct sigaction sa = {};
+    sa.sa_handler = onTermSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    // Block until a termination signal arrives.
+    char byte = 0;
+    while (::read(gSignalPipe[0], &byte, 1) < 0) {
+    }
+
+    // Graceful drain: refuse new work, give in-flight requests a
+    // bounded grace period, then cancel their tokens (they unwind
+    // with explicitly-truncated journaled results) and join.
+    std::cout << "lfm-served: draining" << std::endl;
+    service.beginDrain();
+    server.beginDrain();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(drainGraceMs);
+    while (server.activeConnections() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (server.activeConnections() > 0)
+        service.cancelInFlight("daemon drain");
+    server.drain();
+    std::cout << "lfm-served: drained, exiting" << std::endl;
+    return kOk;
+}

@@ -207,11 +207,16 @@ ResponseWriter::chunk(std::string_view data)
 }
 
 void
-ResponseWriter::endChunked()
+ResponseWriter::endChunked(
+    const std::vector<std::pair<std::string, std::string>> &trailers)
 {
     if (!chunked_ || finished_)
         return;
-    sendAll("0\r\n\r\n");
+    std::string tail = "0\r\n";
+    for (const auto &[name, value] : trailers)
+        tail += name + ": " + value + "\r\n";
+    tail += "\r\n";
+    sendAll(tail);
     finished_ = true;
 }
 
@@ -406,15 +411,21 @@ struct HttpServer::Impl
         return 0;
     }
 
+    /** The accept loop owns its copy of the listen fd: beginDrain()
+     * only shutdown(2)s the socket to pop accept(2) (accept then
+     * fails with EINVAL and the loop exits); the fd itself is closed
+     * by drain() after this thread is joined, so the fd number can
+     * never be recycled into a connection socket while a stale
+     * accept(2) still references it. */
     void
-    acceptLoop()
+    acceptLoop(const int lfd)
     {
         while (true) {
-            const int fd = ::accept(listenFd, nullptr, nullptr);
+            const int fd = ::accept(lfd, nullptr, nullptr);
             if (fd < 0) {
                 if (errno == EINTR)
                     continue;
-                return;  // listen socket closed: drain began
+                return;  // listen socket shut down: drain began
             }
             if (draining.load(std::memory_order_acquire)) {
                 ResponseWriter w(fd);
@@ -427,6 +438,10 @@ struct HttpServer::Impl
             struct timeval tv = {};
             tv.tv_sec = options.recvTimeoutSec;
             ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+            struct timeval stv = {};
+            stv.tv_sec = options.sendTimeoutSec;
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &stv,
+                         sizeof(stv));
 
             std::unique_lock lk(m);
             // Reap finished threads so a long-lived daemon does not
@@ -513,7 +528,8 @@ HttpServer::start(std::string *error)
     ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
     impl_->port = ntohs(addr.sin_port);
     impl_->listenFd = fd;
-    impl_->acceptThread = std::thread([this] { impl_->acceptLoop(); });
+    impl_->acceptThread =
+        std::thread([this, fd] { impl_->acceptLoop(fd); });
     return true;
 }
 
@@ -529,11 +545,12 @@ HttpServer::beginDrain()
     impl_->draining.store(true, std::memory_order_release);
     std::lock_guard lk(impl_->m);
     if (impl_->listenFd >= 0) {
-        // Closing the listen socket pops the accept loop out of
-        // accept(2); shutdown first for portability.
+        // shutdown(2) pops the accept loop out of accept(2) with
+        // EINVAL but keeps the fd alive — drain() closes it after
+        // joining the accept thread, so the loop never races a
+        // close (and the fd number cannot be recycled under a
+        // blocked accept).
         ::shutdown(impl_->listenFd, SHUT_RDWR);
-        ::close(impl_->listenFd);
-        impl_->listenFd = -1;
     }
 }
 
@@ -544,6 +561,10 @@ HttpServer::drain()
     if (impl_->acceptThread.joinable())
         impl_->acceptThread.join();
     std::unique_lock lk(impl_->m);
+    if (impl_->listenFd >= 0) {
+        ::close(impl_->listenFd);
+        impl_->listenFd = -1;
+    }
     if (impl_->drained)
         return;
     impl_->cv.wait(lk, [this] { return impl_->active == 0; });
@@ -609,9 +630,12 @@ recvUntil(int fd, std::string &buf,
     return true;
 }
 
-/** De-chunk a complete chunked body; false on framing error. */
+/** De-chunk a complete chunked body (terminating 0-chunk, trailer
+ * section and final blank line included); false while incomplete or
+ * on framing error. Trailers are collected into `trailers`. */
 bool
-dechunk(const std::string &in, std::string &out)
+dechunk(const std::string &in, std::string &out,
+        std::vector<std::pair<std::string, std::string>> &trailers)
 {
     std::size_t pos = 0;
     while (true) {
@@ -623,11 +647,27 @@ dechunk(const std::string &in, std::string &out)
                           16);
         pos = eol + 2;
         if (size == 0)
-            return true;
+            break;
         if (pos + size + 2 > in.size())
             return false;
         out.append(in, pos, size);
         pos += size + 2;  // skip chunk + CRLF
+    }
+    // Trailer section: zero or more header lines, then a blank line.
+    while (true) {
+        const std::size_t eol = in.find("\r\n", pos);
+        if (eol == std::string::npos)
+            return false;  // trailer section still incomplete
+        if (eol == pos)
+            return true;  // blank line: message complete
+        const std::string line = in.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        trailers.emplace_back(
+            support::toLower(support::trim(line.substr(0, colon))),
+            support::trim(line.substr(colon + 1)));
     }
 }
 
@@ -722,12 +762,15 @@ httpRequest(std::uint16_t port, const std::string &method,
     }
 
     if (chunked) {
-        // Read until the terminating 0-chunk parses.
+        // Read until the terminating 0-chunk (trailers included)
+        // parses.
         std::string decoded;
-        const bool got =
-            recvUntil(fd, rest, [&decoded](const std::string &b) {
+        std::vector<std::pair<std::string, std::string>> trailers;
+        const bool got = recvUntil(
+            fd, rest, [&decoded, &trailers](const std::string &b) {
                 decoded.clear();
-                return dechunk(b, decoded);
+                trailers.clear();
+                return dechunk(b, decoded, trailers);
             });
         ::close(fd);
         if (!got) {
@@ -735,6 +778,8 @@ httpRequest(std::uint16_t port, const std::string &method,
             return res;
         }
         res.body = std::move(decoded);
+        for (auto &trailer : trailers)
+            res.headers.push_back(std::move(trailer));
         res.ok = true;
         return res;
     }

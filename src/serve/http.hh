@@ -20,7 +20,11 @@
  *    body is present; chunked *uploads* are not accepted: 501);
  *  - bodies past the configured ceiling are refused (413) without
  *    reading them in;
- *  - a connection that stalls mid-request times out and is closed.
+ *  - a connection that stalls mid-request times out and is closed;
+ *  - a peer that stops *reading* is bounded too: accepted sockets
+ *    carry a send timeout, so a stalled client of a streamed
+ *    response breaks the connection instead of pinning its handler
+ *    thread (and the admission slot it holds) forever.
  *
  * Responses are either fixed (status + body, Content-Length) or
  * chunked (Transfer-Encoding: chunked) via ResponseWriter, which the
@@ -103,8 +107,14 @@ class ResponseWriter
     /** Send one chunk (empty data is a no-op, not a terminator). */
     void chunk(std::string_view data);
 
-    /** Terminate the chunked body. */
-    void endChunked();
+    /** Terminate the chunked body, optionally with HTTP trailers
+     * (announce their names in a "Trailer" header at beginChunked
+     * time). Trailers let a streamed response report facts that are
+     * only known at the end — outcome, crash containment — after
+     * the status line is long gone. */
+    void endChunked(
+        const std::vector<std::pair<std::string, std::string>>
+            &trailers = {});
 
     /** True once any of the sending entry points ran. */
     bool started() const { return started_; }
@@ -149,6 +159,14 @@ struct HttpServerOptions
     /** Per-socket receive timeout: a connection that stalls this
      * long mid-request is closed. */
     unsigned recvTimeoutSec = 30;
+
+    /** Per-socket send timeout: a peer that stops reading for this
+     * long breaks the connection (sticky write error) instead of
+     * blocking the handler thread indefinitely — without it a
+     * stalled client of a chunked response would hold its campaign
+     * mutex and admission slot forever and drain() could never
+     * finish. */
+    unsigned sendTimeoutSec = 30;
 };
 
 /**
@@ -198,7 +216,9 @@ class HttpServer
 // Minimal blocking client (tests, CI fallback, lfm_served --client)
 // ------------------------------------------------------------------
 
-/** One client-side response; chunked bodies come back de-chunked. */
+/** One client-side response; chunked bodies come back de-chunked and
+ * any chunked trailers are appended to `headers` (lower-cased like
+ * every other header). */
 struct ClientResponse
 {
     bool ok = false;     ///< transport + parse succeeded

@@ -8,12 +8,20 @@
  *   journal codec   campaign record encode/decode
  *   Impl            state, admission, endpoints, recovery
  *
- * Locking: Impl::m guards the campaign map, the tenant table and the
- * active-token list; each Campaign has its own mutex serializing
- * submit/finish/read on that campaign, so a long finish() (joining
- * stream workers) never blocks requests for other campaigns or the
- * read-only endpoints. Impl::m and a campaign mutex are never held
- * at the same time.
+ * Locking: Impl::m guards the campaign map, the tenant table, the
+ * active-token list and the eviction queue; each Campaign has its
+ * own mutex serializing submit/finish/read on that campaign, so a
+ * long finish() (joining stream workers) never blocks requests for
+ * other campaigns or the read-only endpoints. Lock order: a campaign
+ * mutex may be held while taking Impl::m (TokenScope registration,
+ * noteCompleted), never the reverse — every path that holds Impl::m
+ * releases it before touching a campaign mutex.
+ * cancelInFlight() holds Impl::m across the
+ * requestCancel calls — tokens live on handler stack frames and are
+ * unregistered (under m) before they are destroyed, so the lock is
+ * what keeps a drain-time cancel from dereferencing a token whose
+ * request just completed; a token's own mutex nests inside m and
+ * token holders never take m, so there is no ordering cycle.
  */
 
 #include "serve/service.hh"
@@ -25,9 +33,11 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -462,6 +472,15 @@ struct DetectionService::Impl
     std::vector<support::CancellationToken *> activeTokens;
     std::uint64_t uploadSeq = 0;
 
+    /** Campaign names in completion order; the eviction queue. */
+    std::deque<std::string> completedOrder;
+
+    /** Names of evicted campaigns. Reuse is refused (409) so a
+     * journal replay never merges two campaigns' records under one
+     * name; a name costs bytes where a retained campaign costs its
+     * full trace images and results. */
+    std::set<std::string> retired;
+
     std::atomic<bool> draining{false};
     std::atomic<unsigned> inFlight{0};
     std::atomic<std::uint64_t> admitted{0};
@@ -514,6 +533,13 @@ struct DetectionService::Impl
             support::metrics::counter("serve.admit.rejected").add();
             adm.retryAfterSec = retryAfterSeconds(
                 opt.retryAfter, t.rejected, fnv1a(tenant));
+            // An idle tenant's rejection holds no resources; drop
+            // the entry right away so attacker-chosen tenant names
+            // cannot grow the table. Backoff escalation state only
+            // lives while the tenant has admitted work in flight —
+            // which is exactly when consecutive rejections happen.
+            if (t.inFlight == 0 && t.bytes == 0)
+                tenants.erase(tenant);
             return;
         }
         ++t.inFlight;
@@ -529,10 +555,19 @@ struct DetectionService::Impl
     release(const std::string &tenant, std::uint64_t bytes)
     {
         std::lock_guard lk(m);
-        Tenant &t = tenants[tenant];
-        if (t.inFlight > 0)
-            --t.inFlight;
-        t.bytes -= std::min(t.bytes, bytes);
+        auto it = tenants.find(tenant);
+        if (it != tenants.end()) {
+            Tenant &t = it->second;
+            if (t.inFlight > 0)
+                --t.inFlight;
+            t.bytes -= std::min(t.bytes, bytes);
+            // Last in-flight request done: retire the entry (and
+            // with it any rejection streak — the pressure that
+            // caused it is gone). The tenant table stays bounded by
+            // concurrently admitted work, not by request history.
+            if (t.inFlight == 0 && t.bytes == 0)
+                tenants.erase(it);
+        }
         inFlight.fetch_sub(1, std::memory_order_relaxed);
     }
 
@@ -629,11 +664,14 @@ struct DetectionService::Impl
         return it == campaigns.end() ? nullptr : it->second;
     }
 
-    /** Create-or-fail; nullptr when the name is taken. */
+    /** Create-or-fail; nullptr when the name is taken (live or
+     * evicted — an evicted name still owns journal records). */
     std::shared_ptr<Campaign>
     createCampaign(const std::string &name, bool session)
     {
         std::lock_guard lk(m);
+        if (retired.count(name) != 0)
+            return nullptr;
         auto [it, fresh] =
             campaigns.emplace(name, std::make_shared<Campaign>());
         if (!fresh)
@@ -644,6 +682,39 @@ struct DetectionService::Impl
         return it->second;
     }
 
+    /** Record a campaign's completion and evict past the retention
+     * cap. Takes Impl::m; safe to call with the completing
+     * campaign's mutex held (the campaign→Impl::m lock order).
+     * Callers invoke it before the final response bytes flush so
+     * the eviction queue follows client-observable completion
+     * order. */
+    void
+    noteCompleted(const std::string &name)
+    {
+        std::lock_guard lk(m);
+        completedOrder.push_back(name);
+        evictCompletedLocked();
+    }
+
+    /** Oldest-finished completed campaigns past the cap are dropped
+     * from memory (m held). Results stay replayable from the
+     * journal; only the name is kept, to refuse reuse. */
+    void
+    evictCompletedLocked()
+    {
+        if (opt.maxCompletedCampaigns == 0)
+            return;
+        while (completedOrder.size() > opt.maxCompletedCampaigns) {
+            const std::string victim =
+                std::move(completedOrder.front());
+            completedOrder.pop_front();
+            if (campaigns.erase(victim) == 0)
+                continue;
+            retired.insert(victim);
+            support::metrics::counter("serve.campaign.evicted").add();
+        }
+    }
+
     std::string
     freshUploadName()
     {
@@ -651,7 +722,8 @@ struct DetectionService::Impl
         std::string name;
         do {
             name = "upload-" + std::to_string(++uploadSeq);
-        } while (campaigns.count(name) != 0);
+        } while (campaigns.count(name) != 0 ||
+                 retired.count(name) != 0);
         return name;
     }
 
@@ -732,6 +804,18 @@ struct DetectionService::Impl
                 reviveSessionLocked(*c);
             else
                 completeOneShotLocked(*c);
+        }
+        // Recovered completed campaigns enter the eviction queue in
+        // name order (deterministic across restarts) and the cap is
+        // applied, so a restarted daemon's memory is bounded the
+        // same way a long-running one's is.
+        {
+            std::lock_guard lk(m);
+            for (auto &[cname, c] : campaigns) {
+                if (c->done)
+                    completedOrder.push_back(cname);
+            }
+            evictCompletedLocked();
         }
         if (count > 0)
             support::metrics::counter("serve.resume.campaigns")
@@ -953,6 +1037,8 @@ struct DetectionService::Impl
             std::lock_guard lk(m);
             doc.set("campaigns",
                     static_cast<std::uint64_t>(campaigns.size()));
+            doc.set("tenants",
+                    static_cast<std::uint64_t>(tenants.size()));
         }
         respondJson(w, 200, std::move(doc));
     }
@@ -1046,7 +1132,7 @@ struct DetectionService::Impl
         // Accepted: from here on the upload is journaled before any
         // analysis runs, so a crash of this process can no longer
         // lose it.
-        std::lock_guard ck(campaign->m);
+        std::unique_lock ck(campaign->m);
         journalBegin(*campaign);
         for (const trace::Trace &t : up.traces) {
             campaign->images.push_back(trace::encodeTrace(t));
@@ -1071,19 +1157,16 @@ struct DetectionService::Impl
                              "serve: request deadline expired");
 
         const bool sarif = req.queryOr("output", "") == "sarif";
-        const bool streaming = !sarif &&
-                               req.queryOr("stream", "1") != "0" &&
-                               up.traces.size() > 1;
+        const bool wantStream = !sarif &&
+                                req.queryOr("stream", "1") != "0" &&
+                                up.traces.size() > 1;
 
+        // The streamed status line is committed only once the first
+        // result exists, so a crash on trace 0 still picks a 500;
+        // crashes after the status is on the wire — and the final
+        // outcome — are reported in chunked trailers instead (the
+        // buffered path below stays fully authoritative).
         std::optional<DocStream> doc;
-        if (streaming) {
-            auto extra = importHeaders(up);
-            extra.emplace_back("X-LFM-Campaign", name);
-            w.beginChunked(200, "application/json", extra);
-            doc.emplace([&w](std::string_view s) { w.chunk(s); });
-            doc->begin();
-        }
-
         detect::ContextScratch scratch;
         bool anyCrashed = false;
         for (std::size_t i = 0; i < up.traces.size(); ++i) {
@@ -1094,6 +1177,17 @@ struct DetectionService::Impl
             // Journal first, emit second: once a result chunk is on
             // the wire it is also on disk.
             journalResult(name, report);
+            if (wantStream && !doc) {
+                auto extra = importHeaders(up);
+                extra.emplace_back("X-LFM-Campaign", name);
+                extra.emplace_back("Trailer",
+                                   "X-LFM-Outcome, X-LFM-Crashed");
+                w.beginChunked(anyCrashed ? 500 : 200,
+                               "application/json", extra);
+                doc.emplace(
+                    [&w](std::string_view s) { w.chunk(s); });
+                doc->begin();
+            }
             if (doc)
                 doc->add(reportEntry(
                     detect::TraceSource(up.traces[i]), report));
@@ -1109,20 +1203,24 @@ struct DetectionService::Impl
             watchdog->disarm();
         campaign->done = true;
         journalEnd(*campaign);
+        noteCompleted(name);
 
         if (doc) {
             doc->end();
-            w.endChunked();
-            return;
+            w.endChunked({{"X-LFM-Outcome",
+                           support::outcomeName(campaign->outcome)},
+                          {"X-LFM-Crashed", anyCrashed ? "1" : "0"}});
+        } else {
+            HttpResponse resp;
+            resp.status = anyCrashed ? 500 : 200;
+            resp.body = campaignDocLocked(*campaign, sarif);
+            resp.extraHeaders = importHeaders(up);
+            resp.extraHeaders.emplace_back("X-LFM-Campaign", name);
+            resp.extraHeaders.emplace_back(
+                "X-LFM-Outcome",
+                support::outcomeName(campaign->outcome));
+            w.respond(resp);
         }
-        HttpResponse resp;
-        resp.status = anyCrashed ? 500 : 200;
-        resp.body = campaignDocLocked(*campaign, sarif);
-        resp.extraHeaders = importHeaders(up);
-        resp.extraHeaders.emplace_back("X-LFM-Campaign", name);
-        resp.extraHeaders.emplace_back(
-            "X-LFM-Outcome", support::outcomeName(campaign->outcome));
-        w.respond(resp);
     }
 
     void
@@ -1135,6 +1233,11 @@ struct DetectionService::Impl
         doc.set("campaign", name);
         if (!campaign) {
             auto existing = findCampaign(name);
+            // No live entry means the name is retired (evicted): it
+            // still owns journal records, so reuse is refused.
+            if (!existing)
+                return respondError(
+                    w, 409, "campaign '" + name + "' exists");
             std::lock_guard ck(existing->m);
             if (!existing->session || existing->done)
                 return respondError(
@@ -1201,6 +1304,7 @@ struct DetectionService::Impl
             campaign->outcome = RunOutcome::Completed;
             campaign->done = true;
             journalEnd(*campaign);
+            noteCompleted(name);
         }
         HttpResponse resp;
         resp.body = campaignDocLocked(*campaign, sarif);
@@ -1300,12 +1404,14 @@ DetectionService::beginDrain()
 void
 DetectionService::cancelInFlight(const std::string &reason)
 {
-    std::vector<support::CancellationToken *> tokens;
-    {
-        std::lock_guard lk(impl_->m);
-        tokens = impl_->activeTokens;
-    }
-    for (auto *token : tokens)
+    // Hold the lock across the cancels: tokens are handler-stack
+    // objects whose TokenScope unregisters them under this same
+    // mutex strictly before destruction, so a snapshot-then-cancel
+    // would race a completing request and dereference a dead token.
+    // requestCancel only takes the token's own (leaf) mutex, so
+    // holding impl_->m here cannot deadlock.
+    std::lock_guard lk(impl_->m);
+    for (auto *token : impl_->activeTokens)
         token->requestCancel(reason);
 }
 
@@ -1319,6 +1425,7 @@ DetectionService::stats() const
     s.draining = impl_->draining.load();
     std::lock_guard lk(impl_->m);
     s.campaigns = impl_->campaigns.size();
+    s.tenants = impl_->tenants.size();
     return s;
 }
 

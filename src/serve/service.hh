@@ -33,6 +33,19 @@
  *    serves findings byte-identical to an uninterrupted run.
  *  - Graceful drain: beginDrain() refuses new work (503) while
  *    in-flight requests finish and their journals flush.
+ *  - Bounded memory: completed campaigns past maxCompletedCampaigns
+ *    are evicted oldest-first (they stay replayable from the
+ *    journal; their names answer 409 rather than silently forking a
+ *    second history), and a tenant's admission entry lives only
+ *    while it has work in flight — attacker-chosen X-LFM-Tenant
+ *    values cannot grow the table without holding real slots.
+ *
+ * Streamed /detect responses commit their status line at the FIRST
+ * result: a crash on trace 0 still yields a 500, but a crash after
+ * the 200 is on the wire is reported in the `X-LFM-Crashed` chunked
+ * trailer instead (alongside `X-LFM-Outcome`); the buffered path
+ * (?stream=0, single-trace uploads, SARIF) always carries the
+ * authoritative status and headers.
  *
  * Endpoints (see DESIGN.md §5g for the full contract):
  *
@@ -99,6 +112,12 @@ struct ServiceOptions
     support::RetryPolicy retryAfter{8, 1'000'000'000ull,
                                     64'000'000'000ull, 0x5eedu};
 
+    /** Completed campaigns kept in memory; past the cap the oldest-
+     * finished ones are evicted (still replayable from the journal;
+     * their names stay reserved and answer 409 on reuse so a resume
+     * never merges two campaigns' records). 0 = unlimited. */
+    std::size_t maxCompletedCampaigns = 256;
+
     /** Journal directory; empty = volatile (no crash-resume). */
     std::string stateDir;
 
@@ -117,6 +136,7 @@ struct ServiceStats
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
     std::size_t campaigns = 0;
+    std::size_t tenants = 0;  ///< tenants with live admission state
     bool draining = false;
 };
 

@@ -27,6 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -272,12 +275,22 @@ TEST(Serve, HttpFindingsMatchBatchCliAndReportsJson)
     TestServer ts(pipeline);
     ASSERT_TRUE(ts.started);
 
-    // Streamed (chunked) one-shot upload.
+    // Streamed (chunked) one-shot upload. The outcome rides in a
+    // chunked trailer (the status line is long gone by the time the
+    // outcome is known).
     auto streamed =
         ts.request("POST", "/detect?campaign=gate-d", corpusBytes);
     ASSERT_TRUE(streamed.ok) << streamed.error;
     EXPECT_EQ(streamed.status, 200);
     EXPECT_EQ(streamed.body, expected);
+    const std::string *streamOutcome =
+        streamed.header("x-lfm-outcome");
+    ASSERT_NE(streamOutcome, nullptr);
+    EXPECT_EQ(*streamOutcome, "completed");
+    const std::string *streamCrashed =
+        streamed.header("x-lfm-crashed");
+    ASSERT_NE(streamCrashed, nullptr);
+    EXPECT_EQ(*streamCrashed, "0");
 
     // Buffered one-shot upload.
     auto buffered = ts.request(
@@ -491,6 +504,38 @@ TEST(Serve, DetectorCrashIsContainedWhileConcurrentRequestsComplete)
     EXPECT_EQ(benignResponse.status, 200);
     EXPECT_EQ(benignResponse.body, referenceDoc(pipeline, benign));
 
+    // Streamed multi-trace upload whose FIRST trace crashes: the
+    // status line is deferred until the first result, so the crash
+    // still picks a 500, and the trailer confirms it.
+    std::vector<trace::Trace> crashFirst{markerTrace("crash-me"),
+                                         parseTrace(kRacyCounter)};
+    auto streamedCrash =
+        ts.request("POST", "/detect?campaign=boom-first",
+                   trace::encodeCorpus(crashFirst));
+    ASSERT_TRUE(streamedCrash.ok) << streamedCrash.error;
+    EXPECT_EQ(streamedCrash.status, 500);
+    const std::string *crashTrailer =
+        streamedCrash.header("x-lfm-crashed");
+    ASSERT_NE(crashTrailer, nullptr);
+    EXPECT_EQ(*crashTrailer, "1");
+
+    // A crash AFTER the streamed 200 is committed cannot rewrite the
+    // status line — the trailer is the honest channel for it.
+    std::vector<trace::Trace> crashLater{parseTrace(kRacyCounter),
+                                         markerTrace("crash-me")};
+    auto lateCrash =
+        ts.request("POST", "/detect?campaign=boom-late",
+                   trace::encodeCorpus(crashLater));
+    ASSERT_TRUE(lateCrash.ok) << lateCrash.error;
+    EXPECT_EQ(lateCrash.status, 200);
+    const std::string *lateTrailer =
+        lateCrash.header("x-lfm-crashed");
+    ASSERT_NE(lateTrailer, nullptr);
+    EXPECT_EQ(*lateTrailer, "1");
+    EXPECT_NE(lateCrash.body.find("\"status\": \"crashed\""),
+              std::string::npos)
+        << lateCrash.body;
+
     // The daemon itself is unharmed.
     auto health = ts.request("GET", "/healthz");
     EXPECT_EQ(health.status, 200);
@@ -571,6 +616,113 @@ TEST(Serve, SigkillMidCampaignThenRestartServesIdenticalFindings)
     EXPECT_EQ(resumed.body, referenceDoc(pipeline, traces));
 
     fs::remove_all(state);
+}
+
+// ------------------------------------------------------------------
+// A peer that stops reading must not pin a handler thread: the send
+// timeout breaks the connection and drain() still terminates.
+// ------------------------------------------------------------------
+
+TEST(Serve, StalledReaderIsBoundedBySendTimeout)
+{
+    serve::HttpServerOptions options;
+    options.sendTimeoutSec = 1;
+    std::atomic<bool> handlerDone{false};
+    serve::HttpServer server(
+        [&](const serve::HttpRequest &, serve::ResponseWriter &w) {
+            // Stream far more than any socket buffer holds; once the
+            // peer's window is full the send times out, the writer
+            // turns sticky-broken, and the rest is discarded fast.
+            w.beginChunked(200, "text/plain");
+            const std::string blob(1 << 20, 'x');
+            for (int i = 0; i < 64; ++i)
+                w.chunk(blob);
+            w.endChunked();
+            handlerDone.store(true);
+        },
+        options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // A raw client that sends its request and then never reads.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string req =
+        "GET /stall HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+
+    // The handler must come back on its own — well before the 20s a
+    // wedged send would take to fail this assert.
+    for (int i = 0; i < 20000 && !handlerDone.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(handlerDone.load());
+    ::close(fd);
+
+    // And drain terminates instead of waiting on the stalled writer.
+    server.drain();
+    EXPECT_EQ(server.activeConnections(), 0u);
+}
+
+// ------------------------------------------------------------------
+// Bounded memory: completed campaigns are evicted past the cap and
+// the tenant admission table only holds tenants with work in flight.
+// ------------------------------------------------------------------
+
+TEST(Serve, CompletedCampaignsEvictAndTenantTableStaysBounded)
+{
+    detect::Pipeline pipeline;
+    serve::ServiceOptions options;
+    options.maxCompletedCampaigns = 2;
+    TestServer ts(pipeline, options);
+    ASSERT_TRUE(ts.started);
+
+    const std::string body = trace::encodeCorpus(benignTraces());
+    for (const char *name : {"ev-1", "ev-2", "ev-3"}) {
+        auto resp = ts.request(
+            "POST",
+            std::string("/detect?campaign=") + name + "&stream=0",
+            body, {{"X-LFM-Tenant", std::string("tenant-") + name}});
+        ASSERT_TRUE(resp.ok) << resp.error;
+        EXPECT_EQ(resp.status, 200);
+    }
+
+    // Oldest-finished campaign is gone from memory; the newer two
+    // are still served.
+    EXPECT_EQ(ts.request("GET", "/campaigns/ev-1/findings").status,
+              404);
+    EXPECT_EQ(ts.request("GET", "/campaigns/ev-2/findings").status,
+              200);
+    EXPECT_EQ(ts.request("GET", "/campaigns/ev-3/findings").status,
+              200);
+
+    // The evicted name stays reserved: reusing it would fork a
+    // second history onto its journal records.
+    EXPECT_EQ(
+        ts.request("POST", "/detect?campaign=ev-1&stream=0", body)
+            .status,
+        409);
+    EXPECT_EQ(ts.request("POST", "/campaigns/ev-1").status, 409);
+
+    // Every upload above used a distinct tenant; once their requests
+    // released, no admission state is retained (release runs just
+    // after the response flushes, so poll briefly).
+    serve::ServiceStats stats;
+    for (int i = 0; i < 500; ++i) {
+        stats = ts.service.stats();
+        if (stats.tenants == 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(stats.tenants, 0u);
+    EXPECT_EQ(stats.campaigns, 2u);
 }
 
 // ------------------------------------------------------------------

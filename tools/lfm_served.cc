@@ -5,7 +5,8 @@
  *     lfm_served [--port N] [--port-file PATH] [--state-dir DIR]
  *                [--no-sandbox] [--deadline-ms N] [--max-concurrent N]
  *                [--max-body-bytes N] [--stream-workers N]
- *                [--drain-grace-ms N] [--no-fsync]
+ *                [--max-campaigns N] [--drain-grace-ms N]
+ *                [--no-fsync]
  *
  * Binds 127.0.0.1 (an ephemeral port when --port is 0/absent; the
  * bound port is printed and, with --port-file, atomically published
@@ -64,7 +65,8 @@ usage()
            "                  [--state-dir DIR] [--no-sandbox]\n"
            "                  [--deadline-ms N] [--max-concurrent N]\n"
            "                  [--max-body-bytes N] [--stream-workers N]\n"
-           "                  [--drain-grace-ms N] [--no-fsync]\n"
+           "                  [--max-campaigns N] [--drain-grace-ms N]\n"
+           "                  [--no-fsync]\n"
            "       lfm_served --batch CORPUS [--sarif] [--no-sandbox]\n"
            "       lfm_served --client METHOD TARGET [BODY-FILE] "
            "--port N\n";
@@ -188,6 +190,9 @@ main(int argc, char **argv)
         else if (arg == "--stream-workers")
             options.streamWorkers = static_cast<unsigned>(
                 parseU64Arg("--stream-workers", next()));
+        else if (arg == "--max-campaigns")
+            options.maxCompletedCampaigns = static_cast<std::size_t>(
+                parseU64Arg("--max-campaigns", next()));
         else if (arg == "--drain-grace-ms")
             drainGraceMs = parseU64Arg("--drain-grace-ms", next());
         else if (arg == "--no-fsync")

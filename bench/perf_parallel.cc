@@ -8,12 +8,20 @@
  *               atomic-baton fast path (executor steps/sec);
  *  - recording: full trace collection vs count-only execution
  *               (stress runs/sec, single worker);
- *  - scaling:   stress campaign throughput by worker count.
+ *  - scaling:   stress campaign throughput by worker count;
+ *  - sharding:  the multi-process sharded backend at shard counts
+ *               {1, 2, 4}, each gated on producing the classic
+ *               single-worker result exactly (equals_classic).
  *
- * On a single-core host the scaling section honestly reports ~1x:
- * worker threads only help when the OS can run them simultaneously.
- * The handoff and recording speedups are core-count independent.
- * Results go to stdout and to BENCH_perf.json.
+ * On a single-core host the scaling and sharding sections honestly
+ * report ~1x or below: worker threads only help when the OS can run
+ * them simultaneously, and shard processes additionally pay fork +
+ * fsync'd journaling per seed. The handoff and recording speedups
+ * are core-count independent. Results go to stdout and to
+ * BENCH_perf.json; --smoke shrinks the campaigns for CI, where the
+ * document is diffed against the committed baseline
+ * (scripts/bench_compare.py — timings advisory, equals_classic
+ * gates hard).
  */
 
 #include "bench_common.hh"
@@ -23,6 +31,7 @@
 #include <memory>
 #include <thread>
 
+#include "explore/sharded.hh"
 #include "sim/shared.hh"
 #include "sim/sync.hh"
 
@@ -103,17 +112,72 @@ measure(unsigned workers, std::size_t runs, bool legacyHandoff,
     return rate;
 }
 
+/** One sharded campaign's throughput plus its correctness gate:
+ * the merged result must equal the classic single-worker result. */
+struct ShardRate
+{
+    double runsPerSec = 0.0;
+    bool equalsClassic = false;
+};
+
+ShardRate
+measureSharded(unsigned shards, std::size_t runs,
+               const explore::StressResult &reference)
+{
+    explore::StressOptions opt;
+    opt.runs = runs;
+    opt.exec.maxDecisions = 20000;
+    opt.countOnly = true;
+    const auto factory = [] { return counterProgram(4, 8); };
+
+    explore::ShardedOptions so;
+    so.shards = shards;
+    so.stateDir = ".";
+    so.campaignName = "perf_sharded_" + std::to_string(shards);
+
+    ShardRate rate;
+    rate.equalsClassic = true;
+    for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = explore::shardedStress(
+            factory, explore::makePolicy<sim::RandomPolicy>(), opt,
+            so);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        rate.equalsClassic &=
+            result.runs == reference.runs &&
+            result.manifestations == reference.manifestations &&
+            result.firstManifestSeed == reference.firstManifestSeed &&
+            result.avgDecisions == reference.avgDecisions &&
+            result.truncatedRuns == reference.truncatedRuns &&
+            result.manifestedSeeds == reference.manifestedSeeds;
+
+        const double secs = seconds(t0, t1);
+        if (secs <= 0.0)
+            continue;
+        rate.runsPerSec = std::max(
+            rate.runsPerSec,
+            static_cast<double>(result.runs) / secs);
+    }
+    return rate;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::applyBenchFlags(argc, argv);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke")
+            smoke = true;
+    }
     bench::banner("Perf: parallel engine + executor hot path",
                   "exploration throughput is an engineering baseline, "
                   "not a paper claim");
 
-    constexpr std::size_t kRuns = 400;
+    const std::size_t kRuns = smoke ? 120 : 400;
     const unsigned hw = std::max(
         1u, std::thread::hardware_concurrency());
 
@@ -192,6 +256,54 @@ main(int argc, char **argv)
                      "the portable wins.\n\n";
     }
 
+    // --- sharded backend: correctness-gated throughput ------------
+    auto shardedStage =
+        std::make_optional(runReport.stage("sharded_scaling"));
+    explore::StressResult shardedReference;
+    {
+        explore::StressOptions opt;
+        opt.runs = kRuns;
+        opt.exec.maxDecisions = 20000;
+        opt.countOnly = true;
+        shardedReference = explore::ParallelRunner(1).stress(
+            [] { return counterProgram(4, 8); },
+            explore::makePolicy<sim::RandomPolicy>(), opt);
+    }
+    report::Table shardTable(
+        "Sharded multi-process campaigns (count-only, fsync'd "
+        "journals)");
+    shardTable.setColumns(
+        {"shards", "runs/sec", "vs classic", "equals classic"});
+    bench::Json shardsJson = bench::Json::array();
+    bool shardsEqual = true;
+    for (unsigned shards : {1u, 2u, 4u}) {
+        const ShardRate r =
+            measureSharded(shards, kRuns, shardedReference);
+        shardsEqual &= r.equalsClassic;
+        const double vsClassic =
+            countOnly.runsPerSec > 0.0
+                ? r.runsPerSec / countOnly.runsPerSec
+                : 0.0;
+        shardTable.addRow(
+            {report::Table::cell(std::size_t{shards}),
+             report::Table::cell(r.runsPerSec, 0),
+             report::Table::cell(vsClassic, 2),
+             r.equalsClassic ? "yes" : "NO"});
+        bench::Json row;
+        row.set("shards", shards)
+            .set("runs_per_sec", r.runsPerSec)
+            .set("equals_classic", r.equalsClassic);
+        shardsJson.push(std::move(row));
+    }
+    shardedStage.reset();
+    std::cout << shardTable.ascii() << "\n";
+    std::cout << "note: each shard is a supervised process with an "
+                 "fsync'd per-seed journal;\n"
+                 "on this host the column above prices that "
+                 "durability honestly — it is not a\n"
+                 "speedup claim. equals-classic is the gate that "
+                 "matters.\n\n";
+
     bench::Json doc;
     doc.set("bench", "perf_parallel")
         .set("machine", bench::machineJson())
@@ -206,11 +318,14 @@ main(int argc, char **argv)
         .set("count_only_speedup", countOnlySpeedup);
     doc.set("executor", std::move(executor));
     doc.set("stress_scaling", std::move(workersJson));
+    doc.set("sharded_scaling", std::move(shardsJson));
     bench::writeBenchJson("BENCH_perf.json", doc);
     bench::writeRunReport(runReport);
 
-    // Sanity, not a perf assertion: both hot-path variants must
-    // still complete the campaign.
-    return (fast.runsPerSec > 0.0 && countOnly.runsPerSec > 0.0) ? 0
-                                                                 : 1;
+    // Sanity plus the one hard gate: every sharded campaign must
+    // have reproduced the classic result exactly.
+    return (fast.runsPerSec > 0.0 && countOnly.runsPerSec > 0.0 &&
+            shardsEqual)
+               ? 0
+               : 1;
 }

@@ -139,6 +139,74 @@ else
     echo "bench-trajectory skipped (python3 unavailable)"
 fi
 
+echo "== bench-perf (parallel engine: sharded equals-classic gates) =="
+# perf_parallel --smoke from a scratch directory: exit 0 asserts that
+# the multi-process sharded backend reproduced the classic
+# single-worker stress result exactly at shard counts {1, 2, 4}
+# (equals_classic), on top of the executor hot-path sanity checks.
+PAR_PERF_DIR="build/bench-parallel-ci"
+rm -rf "$PAR_PERF_DIR" && mkdir -p "$PAR_PERF_DIR"
+(cd "$PAR_PERF_DIR" && ../bench/perf_parallel --smoke)
+
+echo "== bench-trajectory: perf_parallel vs committed baseline =="
+# Same contract as the detector trajectory above: timing deltas are
+# advisory (smoke vs full-length runs, arbitrary hosts); a regression
+# in any boolean gate — equals_classic above all — exits non-zero.
+if command -v python3 >/dev/null; then
+    python3 scripts/bench_compare.py BENCH_perf.json \
+        "$PAR_PERF_DIR/BENCH_perf.json"
+else
+    echo "bench-trajectory skipped (python3 unavailable)"
+fi
+
+echo "== lfm_campaign: chaos drill (SIGKILL + corrupt tail + resume) =="
+# The sharded backend's end-to-end robustness contract, driven from
+# the shell like an operator would: an uninterrupted single-shard
+# reference run, then a 4-shard campaign that (a) has shard 0
+# SIGKILLed by chaos injection after one journaled seed, (b) loses
+# its supervisor to a bash-side SIGKILL mid-run, and (c) has one
+# shard journal's tail corrupted on disk — and after --resume the
+# canonical results and replayed findings documents must both be
+# byte-identical to the reference (cmp, no normalisation).
+CHAOS_DIR="build/campaign-chaos-ci"
+rm -rf "$CHAOS_DIR" && mkdir -p "$CHAOS_DIR/ref" "$CHAOS_DIR/chaos"
+CAMPAIGN=./build/tools/lfm_campaign
+CHAOS_KERNEL=apache-25520
+"$CAMPAIGN" --kernel "$CHAOS_KERNEL" --runs 400 --shards 1 \
+    --state "$CHAOS_DIR/ref" --name drill \
+    --results "$CHAOS_DIR/ref.json" \
+    --findings "$CHAOS_DIR/ref_findings.json"
+"$CAMPAIGN" --kernel "$CHAOS_KERNEL" --runs 400 --shards 4 \
+    --chaos-kill 0:1 --state "$CHAOS_DIR/chaos" --name drill \
+    > "$CHAOS_DIR/chaos_run1.log" 2>&1 &
+CHAOS_PID=$!
+# Kill the supervisor as soon as shard journals exist; if the whole
+# campaign beat us to the finish line the resume below still has to
+# restore every seed, so either way the gate is meaningful.
+for _ in $(seq 1 200); do
+    if ls "$CHAOS_DIR"/chaos/drill.shard*.lfmj >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.01
+done
+kill -KILL "$CHAOS_PID" 2>/dev/null || echo "chaos run finished early"
+wait "$CHAOS_PID" 2>/dev/null || true
+# Corrupt one survivor's tail: 5 bytes torn off mid-record, as a
+# crash during append would leave it.
+CORRUPT=$(ls -S "$CHAOS_DIR"/chaos/drill.shard*.lfmj | head -n 1)
+truncate -s -5 "$CORRUPT"
+"$CAMPAIGN" --kernel "$CHAOS_KERNEL" --runs 400 --shards 4 \
+    --chaos-kill 0:1 --resume --state "$CHAOS_DIR/chaos" --name drill \
+    --results "$CHAOS_DIR/chaos.json" \
+    --findings "$CHAOS_DIR/chaos_findings.json" --report
+cmp "$CHAOS_DIR/ref.json" "$CHAOS_DIR/chaos.json" || {
+    echo "FAIL: chaos campaign results differ from reference"; exit 1; }
+cmp "$CHAOS_DIR/ref_findings.json" "$CHAOS_DIR/chaos_findings.json" || {
+    echo "FAIL: chaos campaign findings differ from reference"; exit 1; }
+test -f "$CHAOS_DIR/chaos/RUN_drill.json" || {
+    echo "FAIL: --report did not write RUN_drill.json"; exit 1; }
+echo "campaign chaos ok: kill + corrupt + resume == reference (cmp)"
+
 echo "== lfm_import: external log ingest (determinism + detectors) =="
 # Import the committed example pthread logs twice into separate LFMC
 # corpora — the outputs must be byte-identical (the importer's
@@ -305,14 +373,18 @@ echo "== TSan build (sim + explore + parallel + pool/stream tests) =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_TSAN=ON
 cmake --build build-tsan -j "$JOBS" \
     --target test_sim test_parallel test_support test_pipeline \
-    test_failsafe
+    test_failsafe test_sharded
 
 echo "== TSan: executor + parallel engine + pool + detection =="
+# test_sharded's executor-concept tests run under TSan; its fork-based
+# shard tests skip themselves (TSan cannot follow a multi-threaded
+# child through fork) and get their sanitizer pass under ASan below.
 ./build-tsan/tests/test_sim
 ./build-tsan/tests/test_parallel
 ./build-tsan/tests/test_support
 ./build-tsan/tests/test_pipeline
 ./build-tsan/tests/test_failsafe
+./build-tsan/tests/test_sharded
 
 echo "== crash-handler lint (async-signal-safety) =="
 # Everything in crash_handler.cc can run inside a signal handler, so
@@ -335,7 +407,7 @@ echo "== ASan+UBSan build (sandbox: forked crashing children) =="
 # layer gets its memory-safety pass under ASan+UBSan instead.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLFM_ASAN=ON
 cmake --build build-asan -j "$JOBS" \
-    --target test_sandbox crash_recovery_demo
+    --target test_sandbox crash_recovery_demo sharded_campaign_demo
 
 echo "== ASan: crash containment + kill/resume demo =="
 # handle_segv=0/handle_abort=0: the child's own crash reporter — not
@@ -349,5 +421,8 @@ ASAN_OPTIONS="$ASAN_OPTS" UBSAN_OPTIONS="$UBSAN_OPTS" \
 (cd build-asan/examples &&
     ASAN_OPTIONS="$ASAN_OPTS" UBSAN_OPTIONS="$UBSAN_OPTS" \
     ./crash_recovery_demo)
+(cd build-asan/examples &&
+    ASAN_OPTIONS="$ASAN_OPTS" UBSAN_OPTIONS="$UBSAN_OPTS" \
+    ./sharded_campaign_demo)
 
 echo "CI OK"

@@ -13,6 +13,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/executor.hh"
 #include "support/metrics.hh"
 #include "support/spans.hh"
 #include "trace/validate.hh"
@@ -243,28 +244,29 @@ runSandboxedUnits(
         return serializeTraceReport(report);
     };
 
-    support::SandboxSupervisor supervisor(sandbox);
-    supervisor.run(
-        units, childRun,
-        [&](std::uint64_t unit,
-            const std::vector<std::uint8_t> &payload) {
-            if (unit >= reports.size())
-                return;
-            if (deserializeTraceReport(payload, reports[unit]))
-                delivered[unit] = true;
-        },
-        [&](const support::CrashInfo &crash) {
-            if (crash.unit >= reports.size())
-                return;
-            TraceReport &report = reports[crash.unit];
-            report.status = TraceStatus::Crashed;
-            report.findings.clear();
-            report.error =
-                "detection worker crashed: " + crash.signalName();
-            delivered[crash.unit] = true;
-            support::metrics::counter("detect.batch.crashed").add();
-        },
-        options.cancel, support::Deadline{});
+    support::UnitCampaign campaign;
+    campaign.units = std::move(units);
+    campaign.run = childRun;
+    campaign.onResult = [&](std::uint64_t unit,
+                            const std::vector<std::uint8_t> &payload) {
+        if (unit >= reports.size())
+            return;
+        if (deserializeTraceReport(payload, reports[unit]))
+            delivered[unit] = true;
+    };
+    campaign.onCrash = [&](const support::CrashInfo &crash) {
+        if (crash.unit >= reports.size())
+            return;
+        TraceReport &report = reports[crash.unit];
+        report.status = TraceStatus::Crashed;
+        report.findings.clear();
+        report.error =
+            "detection worker crashed: " + crash.signalName();
+        delivered[crash.unit] = true;
+        support::metrics::counter("detect.batch.crashed").add();
+    };
+    campaign.cancel = options.cancel;
+    support::makeUnitExecutor(sandbox)->runUnits(campaign);
 
     for (std::size_t i = 0; i < reports.size(); ++i) {
         if (!delivered[i]) {
@@ -330,19 +332,18 @@ BatchRunner::run(const Pipeline &pipeline,
     // worker id the pool passes to the task (stealing moves the task,
     // not the scratch), so every trace after a worker's first reuses
     // its context/HB allocations.
-    std::vector<ContextScratch> scratches(workers_);
-    support::WorkStealingPool pool(workers_);
-    for (std::size_t i = 0; i < corpus.size(); ++i) {
-        pool.push(static_cast<unsigned>(i % workers_),
-                  [&pipeline, &corpus, &reports, &options,
-                   &scratches, i](unsigned worker) {
-                      reports[i].key = i;
-                      analyzeOne(pipeline, corpus[i], options,
-                                 reports[i], &scratches[worker]);
-                  });
-    }
-    pool.run();
-    poolStats_ = pool.lastRunStats();
+    const auto exec = support::makeExecutorFor(workers_);
+    std::vector<ContextScratch> scratches(exec->concurrency());
+    exec->bulkExecute(
+        corpus.size(),
+        [&pipeline, &corpus, &reports, &options, &scratches](
+            std::size_t i, unsigned worker) {
+            reports[i].key = i;
+            analyzeOne(pipeline, corpus[i], options, reports[i],
+                       &scratches[worker]);
+        });
+    exec->run();
+    poolStats_ = exec->lastRunStats();
     return reports;
 }
 
@@ -378,25 +379,24 @@ BatchRunner::run(const Pipeline &pipeline,
     support::spans::Scope span("detect.batch.corpus", "detect");
     support::metrics::counter("detect.batch.traces").add(count);
 
-    std::vector<ContextScratch> scratches(workers_);
-    support::WorkStealingPool pool(workers_);
-    for (std::size_t i = 0; i < count; ++i) {
-        pool.push(static_cast<unsigned>(i % workers_),
-                  [&pipeline, &corpus, &reports, &options, &scratches,
-                   i](unsigned worker) {
-                      reports[i].key = i;
-                      std::string error;
-                      auto view = corpus.viewAt(i, &error);
-                      if (!view) {
-                          quarantineCorpusEntry(reports[i], i, error);
-                          return;
-                      }
-                      analyzeOne(pipeline, TraceSource(*view), options,
-                                 reports[i], &scratches[worker]);
-                  });
-    }
-    pool.run();
-    poolStats_ = pool.lastRunStats();
+    const auto exec = support::makeExecutorFor(workers_);
+    std::vector<ContextScratch> scratches(exec->concurrency());
+    exec->bulkExecute(
+        count,
+        [&pipeline, &corpus, &reports, &options, &scratches](
+            std::size_t i, unsigned worker) {
+            reports[i].key = i;
+            std::string error;
+            auto view = corpus.viewAt(i, &error);
+            if (!view) {
+                quarantineCorpusEntry(reports[i], i, error);
+                return;
+            }
+            analyzeOne(pipeline, TraceSource(*view), options,
+                       reports[i], &scratches[worker]);
+        });
+    exec->run();
+    poolStats_ = exec->lastRunStats();
     return reports;
 }
 

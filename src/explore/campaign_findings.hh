@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The findings surface of a stress campaign: replay every manifesting
+ * seed deterministically in-process, run the detection pipeline over
+ * the replayed traces, and serialize the findings JSON.
+ *
+ * This is deliberately a *function of the campaign result*, not of
+ * the campaign's execution history: StressResult::manifestedSeeds is
+ * identical across backends, worker counts, shard counts, crashes,
+ * retries and resumes, so two campaigns that agree on their result
+ * produce byte-identical findings documents — the equality the chaos
+ * gates compare with cmp(1).
+ *
+ * Header-only: the only consumers are the campaign CLI, the demo and
+ * the tests, and keeping it out of lfm_explore avoids an explore ->
+ * detect layering edge in the library graph.
+ */
+
+#ifndef LFM_EXPLORE_CAMPAIGN_FINDINGS_HH
+#define LFM_EXPLORE_CAMPAIGN_FINDINGS_HH
+
+#include <memory>
+#include <vector>
+
+#include "detect/batch.hh"
+#include "detect/pipeline.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace lfm::explore
+{
+
+/** Replay the campaign's manifesting seeds and return their traces
+ * in seed order. Trace collection is forced on (the campaign itself
+ * may have run countOnly). */
+inline std::vector<trace::Trace>
+replayManifestedSeeds(const sim::ProgramFactory &factory,
+                      const PolicyFactory &makePolicy,
+                      const StressOptions &options,
+                      const StressResult &result)
+{
+    std::vector<trace::Trace> traces;
+    traces.reserve(result.manifestedSeeds.size());
+    std::shared_ptr<sim::SchedulePolicy> policy;
+    for (const std::uint64_t seed : result.manifestedSeeds) {
+        if (policy == nullptr) {
+            policy = makePolicy();
+            LFM_ASSERT(policy != nullptr,
+                       "policy factory returned null");
+        }
+        sim::ExecOptions exec = options.exec;
+        exec.seed = seed;
+        exec.collectTrace = true;
+        auto execution = sim::runProgram(factory, *policy, exec);
+        traces.push_back(std::move(execution.trace));
+    }
+    return traces;
+}
+
+/** The canonical findings document for a campaign result. */
+inline support::Json
+campaignFindingsJson(const sim::ProgramFactory &factory,
+                     const PolicyFactory &makePolicy,
+                     const StressOptions &options,
+                     const StressResult &result)
+{
+    const std::vector<trace::Trace> corpus =
+        replayManifestedSeeds(factory, makePolicy, options, result);
+    detect::Pipeline pipeline;
+    const std::vector<detect::TraceReport> reports =
+        detect::BatchRunner(1).run(pipeline, corpus);
+    return detect::reportsJson(corpus, reports);
+}
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_CAMPAIGN_FINDINGS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Internal helpers shared by every stress backend (classic in
+ * parallel.cc, fork-sandbox in sandboxed.cc, multi-process sharded in
+ * sharded.cc): resume restoration from a recovered campaign journal
+ * and the canonical seed-order merge. Keeping the merge in one place
+ * is what makes "inline == pool == sandbox == sharded" an identity
+ * instead of three parallel reimplementations that drift.
+ */
+
+#ifndef LFM_EXPLORE_MERGE_HH
+#define LFM_EXPLORE_MERGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "explore/runner.hh"
+#include "support/failsafe.hh"
+
+namespace lfm::explore::detail
+{
+
+/** Per-seed bookkeeping slot; one per seed index, merge reads them
+ * in seed order so the result is worker-count-invariant. */
+struct SeedRec
+{
+    std::uint64_t steps = 0;
+    bool manifested = false;
+    bool ran = false;
+    bool truncated = false;
+    bool resumed = false;
+    bool crashed = false;
+};
+
+/**
+ * Restore journaled seeds of options.campaignId into records (sized
+ * to the campaign's run count) and push resumed crash records onto
+ * result.crashes. Journaled crashes stay crashes — a deterministic
+ * executor would just die again. Returns the smallest resumed seed
+ * index that manifested (for stopAtFirst short-circuiting), or
+ * ~0ull when none did.
+ */
+inline std::uint64_t
+restoreResumed(const StressOptions &options,
+               std::vector<SeedRec> &records, StressResult &result)
+{
+    std::uint64_t firstManifest = ~std::uint64_t{0};
+    if (options.resume == nullptr)
+        return firstManifest;
+    const auto *prior = options.resume->campaign(options.campaignId);
+    if (prior == nullptr)
+        return firstManifest;
+    for (const auto &[index, rec] : *prior) {
+        if (index >= records.size())
+            continue;
+        SeedRec &r = records[index];
+        r.resumed = true;
+        r.steps = rec.steps;
+        r.manifested = rec.manifested();
+        r.truncated = rec.truncated();
+        if (rec.crashed()) {
+            r.crashed = true;
+            support::CrashInfo info;
+            info.unit = index;
+            info.signal = rec.signal;
+            info.steps = rec.steps;
+            result.crashes.push_back(info);
+        } else {
+            r.ran = true;
+        }
+        if (r.manifested && index < firstManifest)
+            firstManifest = index;
+    }
+    return firstManifest;
+}
+
+/**
+ * The canonical seed-order merge, replicating the sequential loop so
+ * the result is bit-identical for every worker/shard count. Seeds a
+ * failsafe cut abandoned never ran and are skipped — partial harvest,
+ * not zeroes. Callers set result.outcome to the campaign-level cut
+ * BEFORE calling; crashes (already collected in result.crashes)
+ * worsen it to Crashed here.
+ */
+inline void
+mergeSeedOrder(const std::vector<SeedRec> &records,
+               const StressOptions &options, StressResult &result)
+{
+    double totalDecisions = 0.0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (records[i].resumed)
+            ++result.resumedRuns;
+        if (!records[i].ran)
+            continue;
+        ++result.runs;
+        totalDecisions += static_cast<double>(records[i].steps);
+        if (records[i].truncated)
+            ++result.truncatedRuns;
+        if (records[i].manifested) {
+            ++result.manifestations;
+            result.manifestedSeeds.push_back(options.firstSeed + i);
+            if (!result.firstManifestSeed)
+                result.firstManifestSeed = options.firstSeed + i;
+            if (options.stopAtFirst)
+                break;
+        }
+    }
+    result.crashedRuns = result.crashes.size();
+    if (result.crashedRuns > 0)
+        result.outcome = support::worseOutcome(
+            result.outcome, support::RunOutcome::Crashed);
+    if (result.runs > 0)
+        result.avgDecisions =
+            totalDecisions / static_cast<double>(result.runs);
+}
+
+} // namespace lfm::explore::detail
+
+#endif // LFM_EXPLORE_MERGE_HH

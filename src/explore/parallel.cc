@@ -1,22 +1,23 @@
 #include "explore/parallel.hh"
 
+#include "explore/merge.hh"
 #include "explore/sandboxed.hh"
 
 #include <algorithm>
 #include <atomic>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "support/executor.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/spans.hh"
-#include "support/workpool.hh"
 
 namespace lfm::explore
 {
@@ -26,7 +27,6 @@ namespace
 
 using support::resolveWorkers;
 using support::RunOutcome;
-using support::WorkStealingPool;
 
 /** Merge an outcome into an atomic worse-of accumulator. */
 void
@@ -65,7 +65,7 @@ struct DfsEngine
     const sim::ProgramFactory &factory;
     const DfsOptions &opt;
     const ManifestPredicate &manifest;
-    WorkStealingPool pool;
+    std::unique_ptr<support::Executor> exec;
 
     std::mutex m;
     std::size_t started = 0;
@@ -79,7 +79,8 @@ struct DfsEngine
 
     DfsEngine(const sim::ProgramFactory &f, const DfsOptions &o,
               const ManifestPredicate &mp, unsigned workers)
-        : factory(f), opt(o), manifest(mp), pool(workers)
+        : factory(f), opt(o), manifest(mp),
+          exec(support::makeExecutorFor(workers))
     {
     }
 
@@ -102,8 +103,8 @@ struct DfsEngine
 
     void enqueue(unsigned worker, std::vector<std::size_t> prefix)
     {
-        pool.push(worker, [this, prefix = std::move(prefix)](
-                              unsigned w) { runOne(w, prefix); });
+        exec->execute(worker, [this, prefix = std::move(prefix)](
+                                  unsigned w) { runOne(w, prefix); });
     }
 
     void runOne(unsigned worker, const std::vector<std::size_t> &prefix)
@@ -237,7 +238,7 @@ struct DporEngine
     const sim::ProgramFactory &factory;
     const DporOptions &opt;
     const ManifestPredicate &manifest;
-    WorkStealingPool pool;
+    std::unique_ptr<support::Executor> exec;
 
     std::mutex m;
     std::map<std::vector<sim::ThreadId>, NodeSets> trie;
@@ -253,7 +254,8 @@ struct DporEngine
 
     DporEngine(const sim::ProgramFactory &f, const DporOptions &o,
                const ManifestPredicate &mp, unsigned workers)
-        : factory(f), opt(o), manifest(mp), pool(workers)
+        : factory(f), opt(o), manifest(mp),
+          exec(support::makeExecutorFor(workers))
     {
     }
 
@@ -276,10 +278,10 @@ struct DporEngine
 
     void enqueue(unsigned worker, std::vector<sim::ThreadId> plan)
     {
-        pool.push(worker,
-                  [this, plan = std::move(plan)](unsigned w) {
-                      runOne(w, plan);
-                  });
+        exec->execute(worker,
+                      [this, plan = std::move(plan)](unsigned w) {
+                          runOne(w, plan);
+                      });
     }
 
     void runOne(unsigned worker, const std::vector<sim::ThreadId> &plan)
@@ -486,46 +488,14 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         metrics::enabled() ? &metrics::timer("explore.stress.exec")
                            : nullptr;
 
-    struct RunRecord
-    {
-        std::uint64_t steps = 0;
-        bool manifested = false;
-        bool ran = false;
-        bool truncated = false;
-        bool resumed = false;
-        bool crashed = false;
-    };
-    std::vector<RunRecord> records(runs);
+    std::vector<detail::SeedRec> records(runs);
 
     // Resume: seeds already journaled by a previous (killed) run of
     // this campaign are restored, not re-executed. Journaled crashes
     // stay crashes — a deterministic executor would just die again
     // (and here, outside the sandbox, take the process with it).
-    if (options.resume != nullptr) {
-        const auto *prior =
-            options.resume->campaign(options.campaignId);
-        if (prior != nullptr) {
-            for (const auto &[index, rec] : *prior) {
-                if (index >= runs)
-                    continue;
-                RunRecord &r = records[index];
-                r.resumed = true;
-                r.steps = rec.steps;
-                r.manifested = rec.manifested();
-                r.truncated = rec.truncated();
-                if (rec.crashed()) {
-                    r.crashed = true;
-                    support::CrashInfo info;
-                    info.unit = index;
-                    info.signal = rec.signal;
-                    info.steps = rec.steps;
-                    result.crashes.push_back(info);
-                } else {
-                    r.ran = true;
-                }
-            }
-        }
-    }
+    const std::uint64_t resumedManifest =
+        detail::restoreResumed(options, records, result);
 
     // Blocks of consecutive seeds are handed out atomically; with
     // stopAtFirst, stopIndex is the earliest manifesting seed index
@@ -535,14 +505,8 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         1, std::min<std::size_t>(64, runs / (workers_ * 4) + 1));
     std::atomic<std::size_t> nextBlock{0};
     std::atomic<std::uint64_t> stopIndex{~std::uint64_t{0}};
-    if (options.stopAtFirst) {
-        for (std::size_t i = 0; i < runs; ++i) {
-            if (records[i].resumed && records[i].manifested) {
-                stopIndex.store(i, std::memory_order_relaxed);
-                break;
-            }
-        }
-    }
+    if (options.stopAtFirst)
+        stopIndex.store(resumedManifest, std::memory_order_relaxed);
 
     // Failsafe state: the campaign-level cut. bounded is false on the
     // default options, collapsing every per-run check to one branch.
@@ -682,48 +646,22 @@ ParallelRunner::stress(const sim::ProgramFactory &factory,
         }
     };
 
-    if (workers_ <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> team;
-        team.reserve(workers_);
-        for (unsigned w = 0; w < workers_; ++w)
-            team.emplace_back(worker);
-        for (auto &t : team)
-            t.join();
-    }
+    // One long-lived task per worker slot, each draining blocks until
+    // the seed space is exhausted. The executor routes the 1-worker
+    // case through the inline backend — the sequential path IS the
+    // parallel path with an inline executor, not a separate loop.
+    auto exec = support::makeExecutorFor(workers_);
+    exec->bulkExecute(exec->concurrency(),
+                      [&](std::size_t, unsigned) { worker(); });
+    exec->run();
 
     // Merge in seed order, replicating the sequential loop: the
     // result is bit-identical for every worker count. Seeds a
     // failsafe cut abandoned never ran and are skipped — partial
     // harvest, not zeroes.
-    double totalDecisions = 0.0;
-    for (std::size_t i = 0; i < runs; ++i) {
-        if (records[i].resumed)
-            ++result.resumedRuns;
-        if (!records[i].ran)
-            continue;
-        ++result.runs;
-        totalDecisions += static_cast<double>(records[i].steps);
-        if (records[i].truncated)
-            ++result.truncatedRuns;
-        if (records[i].manifested) {
-            ++result.manifestations;
-            if (!result.firstManifestSeed)
-                result.firstManifestSeed = options.firstSeed + i;
-            if (options.stopAtFirst)
-                break;
-        }
-    }
-    result.crashedRuns = result.crashes.size();
     result.outcome = static_cast<RunOutcome>(
         outcomeSlot.load(std::memory_order_acquire));
-    if (result.crashedRuns > 0)
-        result.outcome = support::worseOutcome(result.outcome,
-                                               RunOutcome::Crashed);
-    if (result.runs > 0)
-        result.avgDecisions =
-            totalDecisions / static_cast<double>(result.runs);
+    detail::mergeSeedOrder(records, options, result);
     return result;
 }
 
@@ -738,7 +676,7 @@ ParallelRunner::dfs(const sim::ProgramFactory &factory,
     support::spans::Scope span("explore.dfs", "explore");
     DfsEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});
-    engine.pool.run();
+    engine.exec->run();
     auto result = engine.finish();
     if (support::metrics::enabled()) {
         support::metrics::counter("explore.dfs.executions")
@@ -760,7 +698,7 @@ ParallelRunner::dpor(const sim::ProgramFactory &factory,
     support::spans::Scope span("explore.dpor", "explore");
     DporEngine engine(factory, options, manifest, workers_);
     engine.enqueue(0, {});
-    engine.pool.run();
+    engine.exec->run();
     auto result = engine.finish();
     if (support::metrics::enabled()) {
         support::metrics::counter("explore.dpor.executions")

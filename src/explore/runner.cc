@@ -91,8 +91,13 @@ parseRecords(const std::uint8_t *data, std::size_t len,
 RecoveredCampaigns
 RecoveredCampaigns::load(const std::string &path)
 {
+    return fromRaw(support::recoverJournal(path));
+}
+
+RecoveredCampaigns
+RecoveredCampaigns::fromRaw(const support::RecoveredJournal &raw)
+{
     RecoveredCampaigns out;
-    support::RecoveredJournal raw = support::recoverJournal(path);
     out.corruptTail = raw.corruptTail;
     out.warning = raw.warning;
     if (raw.hasCheckpoint)

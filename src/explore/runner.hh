@@ -125,6 +125,11 @@ struct RecoveredCampaigns
 
     static RecoveredCampaigns load(const std::string &path);
 
+    /** Build from an already-recovered raw journal (shard children
+     * recover + repair the tail first, then parse). */
+    static RecoveredCampaigns
+    fromRaw(const support::RecoveredJournal &raw);
+
     /** The records of one campaign; null when none. */
     const std::map<std::uint64_t, SeedRecord> *
     campaign(std::uint64_t id) const;
@@ -184,6 +189,12 @@ struct StressResult
     /** Harvested crash records (signal, responsible seed, schedule
      * prefix), one per crashed seed, including resumed ones. */
     std::vector<support::CrashInfo> crashes;
+
+    /** Every manifesting seed (firstSeed + index) in seed order —
+     * the campaign's findings surface: replaying these seeds
+     * deterministically reproduces every detection the campaign saw,
+     * which is how sharded/resumed runs prove result equivalence. */
+    std::vector<std::uint64_t> manifestedSeeds;
 
     double
     rate() const

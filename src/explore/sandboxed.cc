@@ -1,9 +1,12 @@
 #include "explore/sandboxed.hh"
 
+#include "explore/merge.hh"
+
 #include <algorithm>
 #include <cstring>
 #include <memory>
 
+#include "support/executor.hh"
 #include "support/logging.hh"
 
 namespace lfm::explore
@@ -91,52 +94,15 @@ sandboxedStress(unsigned workers, const sim::ProgramFactory &factory,
     if (runs == 0)
         return result;
 
-    struct Rec
-    {
-        std::uint64_t steps = 0;
-        bool manifested = false;
-        bool ran = false;
-        bool truncated = false;
-        bool crashed = false;
-        bool resumed = false;
-    };
-    std::vector<Rec> records(runs);
-
-    // With stopAtFirst, seeds past the earliest known manifesting
-    // index are skipped at dispatch — same partial-harvest semantics
-    // as the classic path.
-    std::uint64_t stopIndex = ~std::uint64_t{0};
+    std::vector<detail::SeedRec> records(runs);
 
     // Resume: restore journaled seeds (completed AND crashed — a
-    // crash is deterministic, re-running it buys nothing).
-    if (options.resume != nullptr) {
-        const auto *prior =
-            options.resume->campaign(options.campaignId);
-        if (prior != nullptr) {
-            for (const auto &[index, rec] : *prior) {
-                if (index >= runs)
-                    continue;
-                Rec &r = records[index];
-                r.resumed = true;
-                r.steps = rec.steps;
-                r.manifested = rec.manifested();
-                r.truncated = rec.truncated();
-                if (rec.crashed()) {
-                    r.crashed = true;
-                    support::CrashInfo info;
-                    info.unit = index;
-                    info.signal = rec.signal;
-                    info.steps = rec.steps;
-                    result.crashes.push_back(info);
-                } else {
-                    r.ran = true;
-                }
-                if (r.manifested && options.stopAtFirst)
-                    stopIndex = std::min(stopIndex,
-                                         std::uint64_t{index});
-            }
-        }
-    }
+    // crash is deterministic, re-running it buys nothing). With
+    // stopAtFirst, seeds past the earliest known manifesting index
+    // are skipped at dispatch — same partial-harvest semantics as
+    // the classic path.
+    std::uint64_t stopIndex =
+        detail::restoreResumed(options, records, result);
 
     std::vector<std::uint64_t> units;
     units.reserve(runs);
@@ -209,7 +175,7 @@ sandboxedStress(unsigned workers, const sim::ProgramFactory &factory,
                 return;
             StressWire wire;
             std::memcpy(&wire, payload.data(), sizeof(wire));
-            Rec &r = records[unit];
+            detail::SeedRec &r = records[unit];
             r.ran = true;
             r.steps = wire.steps;
             r.manifested = (wire.flags & SeedRecord::kManifested) != 0;
@@ -233,10 +199,17 @@ sandboxedStress(unsigned workers, const sim::ProgramFactory &factory,
             return options.stopAtFirst && unit > stopIndex;
         };
 
-    support::SandboxSupervisor supervisor(sandbox);
-    const support::SandboxSupervisor::Stats stats =
-        supervisor.run(units, childRun, onResult, onCrash,
-                       options.cancel, effDeadline, skipUnit);
+    support::UnitCampaign campaign;
+    campaign.units = std::move(units);
+    campaign.run = childRun;
+    campaign.onResult = onResult;
+    campaign.onCrash = onCrash;
+    campaign.skip = skipUnit;
+    campaign.cancel = options.cancel;
+    campaign.deadline = effDeadline;
+    const auto unitExec = support::makeUnitExecutor(sandbox);
+    const support::UnitExecutor::Stats stats =
+        unitExec->runUnits(campaign);
 
     result.workerRestarts = stats.restarts;
     result.benchedWorkers = stats.benched;
@@ -244,32 +217,7 @@ sandboxedStress(unsigned workers, const sim::ProgramFactory &factory,
 
     // Merge in seed order — the same loop as the classic path, so a
     // sandbox-on campaign reports identical numbers.
-    double totalDecisions = 0.0;
-    for (std::size_t i = 0; i < runs; ++i) {
-        const Rec &r = records[i];
-        if (r.resumed)
-            ++result.resumedRuns;
-        if (!r.ran)
-            continue;
-        ++result.runs;
-        totalDecisions += static_cast<double>(r.steps);
-        if (r.truncated)
-            ++result.truncatedRuns;
-        if (r.manifested) {
-            ++result.manifestations;
-            if (!result.firstManifestSeed)
-                result.firstManifestSeed = options.firstSeed + i;
-            if (options.stopAtFirst)
-                break;
-        }
-    }
-    result.crashedRuns = result.crashes.size();
-    if (result.crashedRuns > 0)
-        result.outcome = support::worseOutcome(result.outcome,
-                                               RunOutcome::Crashed);
-    if (result.runs > 0)
-        result.avgDecisions =
-            totalDecisions / static_cast<double>(result.runs);
+    detail::mergeSeedOrder(records, options, result);
     return result;
 }
 

@@ -1,0 +1,801 @@
+#include "explore/sharded.hh"
+
+#include <dirent.h>
+#include <poll.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+
+#include "explore/merge.hh"
+#include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/sandbox_wire.hh"
+
+namespace lfm::explore
+{
+
+namespace
+{
+
+using namespace support::sandbox_wire;
+using support::RunOutcome;
+using Clock = std::chrono::steady_clock;
+
+/** Result-frame payload: the journaled record plus the crash prefix
+ * (only crashes carry one; the journal drops it by design, so the
+ * live frame is the only place it survives). */
+struct ResultWire
+{
+    SeedRecord rec;
+    std::uint32_t prefixLen = 0;
+    std::uint16_t prefix[32] = {};
+};
+static_assert(sizeof(ResultWire) == 32 + 4 + 64 + 4,
+              "keep the result frame layout stable");
+
+std::string
+shardFileName(const std::string &campaignName, unsigned shard)
+{
+    return campaignName + ".shard" + std::to_string(shard) + ".lfmj";
+}
+
+/** Everything the shard child needs, captured before fork. */
+struct ChildCtx
+{
+    const sim::ProgramFactory &factory;
+    const PolicyFactory &makePolicy;
+    const StressOptions &opt;  // campaignId already resolved
+    const ManifestPredicate &manifest;
+    const ShardedOptions &sharded;
+    support::Deadline effDeadline;
+};
+
+/** One seed, exactly the classic in-process path (lazy per-child
+ * policy; per-seed determinism comes from the seed itself). */
+SeedRecord
+runSeedInline(const ChildCtx &ctx,
+              std::shared_ptr<sim::SchedulePolicy> &policy,
+              std::uint64_t unit)
+{
+    if (policy == nullptr) {
+        policy = ctx.makePolicy();
+        LFM_ASSERT(policy != nullptr, "policy factory returned null");
+    }
+    sim::ExecOptions exec = ctx.opt.exec;
+    exec.seed = ctx.opt.firstSeed + unit;
+    if (ctx.opt.countOnly) {
+        exec.collectTrace = false;
+        exec.recordDecisions = false;
+    }
+    exec.deadline =
+        support::Deadline::earlier(exec.deadline, ctx.effDeadline);
+    support::processProbe().reset(unit);
+    exec.probe = &support::processProbe();
+    auto execution = sim::runProgram(ctx.factory, *policy, exec);
+    SeedRecord rec;
+    rec.campaignId = ctx.opt.campaignId;
+    rec.seedIndex = unit;
+    rec.steps = execution.steps();
+    if (ctx.manifest(execution))
+        rec.flags |= SeedRecord::kManifested;
+    if (execution.stepLimitHit)
+        rec.flags |= SeedRecord::kTruncated;
+    return rec;
+}
+
+/**
+ * The shard child: recover + repair + reopen the shard journal, then
+ * serve units off the command pipe, journaling each result BEFORE
+ * reporting it (write-ahead: the supervisor can always harvest the
+ * journal when the report never arrives). Exit codes: 0 = clean EOF,
+ * 3 = chaos exit, 4 = journal failure (the satellite-1 contract — a
+ * failed append fails the shard cleanly instead of carrying on with
+ * results that would not survive a resume). noexcept for the same
+ * reason as the sandbox child: never unwind a forked stack.
+ */
+[[noreturn]] void
+shardChildMain(int cmdFd, int resFd, unsigned shard, unsigned attempt,
+               const std::string &journalPath,
+               const ChildCtx &ctx) noexcept
+{
+    const ShardChaos &chaos = ctx.sharded.chaos;
+    if (chaos.exitShard == shard)
+        ::_exit(3);
+    support::armCrashReporter(resFd);
+
+    support::RecoveredJournal raw =
+        support::recoverJournal(journalPath);
+    if (raw.corruptTail &&
+        !support::repairJournalTail(journalPath, raw))
+        ::_exit(4);
+    const RecoveredCampaigns prior = RecoveredCampaigns::fromRaw(raw);
+    CampaignJournal journal;
+    if (!journal.open(journalPath))
+        ::_exit(4);
+    journal.seedSnapshot(prior.all);
+
+    std::shared_ptr<sim::SchedulePolicy> policy;
+    std::size_t completed = 0;
+    for (;;) {
+        std::uint64_t unit = 0;
+        if (!readAll(cmdFd, &unit, sizeof(unit)))
+            break;  // command pipe closed: no more work
+        if (attempt == 0 && chaos.stallShard == shard) {
+            for (;;)
+                ::pause();  // straggler until SIGKILLed
+        }
+        (void)writeFrame(resFd, kUnitStart, &unit, sizeof(unit));
+
+        ResultWire wire;
+        if (ctx.sharded.sandboxSeeds) {
+            // Fork-isolated seed: a crashing seed costs a grandchild,
+            // not this shard (and not this shard's failure budget).
+            const auto iso = support::runIsolated(
+                ctx.sharded.limits,
+                [&]() -> std::vector<std::uint8_t> {
+                    const SeedRecord rec =
+                        runSeedInline(ctx, policy, unit);
+                    std::vector<std::uint8_t> out(sizeof(rec));
+                    std::memcpy(out.data(), &rec, sizeof(rec));
+                    return out;
+                });
+            if (iso.ok && iso.payload.size() >= sizeof(SeedRecord)) {
+                std::memcpy(&wire.rec, iso.payload.data(),
+                            sizeof(wire.rec));
+            } else {
+                wire.rec.campaignId = ctx.opt.campaignId;
+                wire.rec.seedIndex = unit;
+                wire.rec.steps = iso.crash.steps;
+                wire.rec.flags = SeedRecord::kCrashed;
+                wire.rec.signal = iso.crash.signal;
+                wire.prefixLen = static_cast<std::uint32_t>(
+                    std::min<std::size_t>(iso.crash.prefix.size(),
+                                          32));
+                for (std::uint32_t i = 0; i < wire.prefixLen; ++i)
+                    wire.prefix[i] = iso.crash.prefix[i];
+            }
+        } else {
+            // In-process: a crashing seed takes this shard down and
+            // the armed reporter frames it for the supervisor.
+            wire.rec = runSeedInline(ctx, policy, unit);
+        }
+
+        if (!journal.append(wire.rec))
+            ::_exit(4);
+
+        if (attempt == 0 && chaos.killShard == shard &&
+            completed++ == chaos.killAfterSeeds) {
+            // Journaled but never reported: the harvest path's moment.
+            ::kill(::getpid(), SIGKILL);
+        }
+
+        std::vector<std::uint8_t> body(sizeof(unit) + sizeof(wire));
+        std::memcpy(body.data(), &unit, sizeof(unit));
+        std::memcpy(body.data() + sizeof(unit), &wire, sizeof(wire));
+        (void)writeFrame(resFd, kUnitResult, body.data(),
+                         body.size());
+    }
+    (void)writeFrame(resFd, kDone, nullptr, 0);
+    ::_exit(0);
+}
+
+struct ShardSlot
+{
+    pid_t pid = -1;
+    int cmdFd = -1;
+    int resFd = -1;
+    bool hasInflight = false;
+    std::uint64_t inflight = 0;
+    unsigned failures = 0;  ///< consecutive; reset on a result
+    unsigned attempts = 0;  ///< incarnations spawned so far
+    bool benched = false;
+    bool cmdClosed = false;
+    FrameBuffer frames;
+    bool sawCrashFrame = false;
+    support::CrashInfo crashFrame;
+    bool pendingRestart = false;
+    Clock::time_point restartAt{};
+    Clock::time_point lastProgress{};
+    std::string journalPath;
+
+    bool live() const { return pid >= 0; }
+
+    void
+    closeFds()
+    {
+        if (cmdFd >= 0) {
+            ::close(cmdFd);
+            cmdFd = -1;
+        }
+        if (resFd >= 0) {
+            ::close(resFd);
+            resFd = -1;
+        }
+        cmdClosed = true;
+    }
+};
+
+/** Append one record to a (currently writer-less) shard journal,
+ * repairing a torn tail first. Used by the supervisor to journal a
+ * crash blamed on a dead shard's in-flight seed. */
+void
+appendToShardJournal(const std::string &path, const SeedRecord &rec)
+{
+    support::RecoveredJournal raw = support::recoverJournal(path);
+    if (raw.corruptTail && !support::repairJournalTail(path, raw))
+        return;  // resume will re-run the seed; never corrupt further
+    const RecoveredCampaigns prior = RecoveredCampaigns::fromRaw(raw);
+    CampaignJournal journal;
+    if (!journal.open(path))
+        return;
+    journal.seedSnapshot(prior.all);
+    (void)journal.append(rec);
+    journal.close();
+}
+
+} // namespace
+
+std::string
+shardJournalPath(const std::string &stateDir,
+                 const std::string &campaignName, unsigned shard)
+{
+    return stateDir + "/" + shardFileName(campaignName, shard);
+}
+
+RecoveredCampaigns
+loadShardJournals(const std::string &stateDir,
+                  const std::string &campaignName,
+                  bool *sawCorruptTail)
+{
+    RecoveredCampaigns merged;
+    std::vector<std::string> files;
+    if (DIR *dir = ::opendir(stateDir.c_str())) {
+        const std::string prefix = campaignName + ".shard";
+        while (const dirent *entry = ::readdir(dir)) {
+            const std::string name = entry->d_name;
+            if (name.size() <= prefix.size() + 5)
+                continue;
+            if (name.compare(0, prefix.size(), prefix) != 0)
+                continue;
+            if (name.compare(name.size() - 5, 5, ".lfmj") != 0)
+                continue;
+            files.push_back(stateDir + "/" + name);
+        }
+        ::closedir(dir);
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string &path : files) {
+        support::RecoveredJournal raw = support::recoverJournal(path);
+        if (raw.corruptTail) {
+            if (sawCorruptTail != nullptr)
+                *sawCorruptTail = true;
+            (void)support::repairJournalTail(path, raw);
+        }
+        const RecoveredCampaigns one =
+            RecoveredCampaigns::fromRaw(raw);
+        if (one.corruptTail)
+            merged.corruptTail = true;
+        if (!one.warning.empty()) {
+            if (!merged.warning.empty())
+                merged.warning += "; ";
+            merged.warning += path + ": " + one.warning;
+        }
+        for (const SeedRecord &rec : one.all) {
+            merged.byCampaign[rec.campaignId][rec.seedIndex] = rec;
+            merged.all.push_back(rec);
+        }
+    }
+    return merged;
+}
+
+StressResult
+shardedStress(const sim::ProgramFactory &factory,
+              const PolicyFactory &makePolicy,
+              const StressOptions &options,
+              const ShardedOptions &sharded,
+              const ManifestPredicate &manifest,
+              ShardedStats *statsOut)
+{
+    LFM_ASSERT(!options.onExecution,
+               "onExecution cannot stream traces across the shard "
+               "process boundary");
+    LFM_ASSERT(options.journal == nullptr && options.resume == nullptr,
+               "sharded campaigns own their journals and resume state "
+               "(ShardedOptions.stateDir/campaignName/resume)");
+    LFM_ASSERT(!options.sandbox.enabled(),
+               "sharded already isolates in processes; use "
+               "ShardedOptions.sandboxSeeds for per-seed containment");
+
+    ShardedStats stats;
+    StressResult result;
+    const std::size_t runs = options.runs;
+    const auto publish = [&] {
+        if (statsOut != nullptr)
+            *statsOut = stats;
+    };
+    if (runs == 0) {
+        publish();
+        return result;
+    }
+    ignoreSigpipeOnce();
+
+    StressOptions opt = options;
+    opt.campaignId = campaignKey(sharded.campaignName);
+
+    // Fresh runs clear stale shard state; resume loads and repairs it.
+    RecoveredCampaigns recovered;
+    if (sharded.resume) {
+        recovered = loadShardJournals(sharded.stateDir,
+                                      sharded.campaignName,
+                                      &stats.sawCorruptTail);
+        opt.resume = &recovered;
+    } else {
+        for (unsigned i = 0; i < sharded.shards; ++i) {
+            const std::string path = shardJournalPath(
+                sharded.stateDir, sharded.campaignName, i);
+            (void)::remove(path.c_str());
+            (void)::remove(
+                support::journalCheckpointPath(path).c_str());
+        }
+    }
+
+    std::vector<detail::SeedRec> records(runs);
+    std::uint64_t stopIndex =
+        detail::restoreResumed(opt, records, result);
+
+    std::deque<std::uint64_t> queue;
+    for (std::size_t i = 0; i < runs; ++i)
+        if (!records[i].resumed)
+            queue.push_back(i);
+
+    const support::Deadline effDeadline = support::Deadline::earlier(
+        opt.deadline, opt.budget.deadline);
+    const ChildCtx ctx{factory, makePolicy, opt,
+                       manifest, sharded,   effDeadline};
+
+    /** Apply one journaled/reported record to the merge slots; the
+     * first application wins (values are deterministic — a duplicate
+     * from harvest-then-requeue races carries identical bytes). */
+    const auto applyRecord = [&](const SeedRecord &rec,
+                                 const std::uint16_t *prefix,
+                                 std::uint32_t prefixLen) -> bool {
+        if (rec.campaignId != opt.campaignId ||
+            rec.seedIndex >= runs)
+            return false;
+        detail::SeedRec &r = records[rec.seedIndex];
+        if (r.ran || r.crashed || r.resumed)
+            return false;
+        r.steps = rec.steps;
+        r.manifested = rec.manifested();
+        r.truncated = rec.truncated();
+        if (rec.crashed()) {
+            r.crashed = true;
+            support::CrashInfo info;
+            info.unit = rec.seedIndex;
+            info.signal = rec.signal;
+            info.steps = rec.steps;
+            if (prefix != nullptr)
+                info.prefix.assign(prefix, prefix + prefixLen);
+            result.crashes.push_back(info);
+        } else {
+            r.ran = true;
+            if (r.manifested && opt.stopAtFirst)
+                stopIndex = std::min(stopIndex, rec.seedIndex);
+        }
+        return true;
+    };
+
+    const std::size_t slotCount = std::max<std::size_t>(
+        1, std::min<std::size_t>(sharded.shards == 0
+                                     ? 1
+                                     : sharded.shards,
+                                 queue.size()));
+    std::vector<ShardSlot> slots(slotCount);
+    stats.shards = static_cast<unsigned>(slotCount);
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        slots[i].journalPath = shardJournalPath(
+            sharded.stateDir, sharded.campaignName,
+            static_cast<unsigned>(i));
+
+    const pid_t supervisorPid = ::getpid();
+    const auto spawn = [&](ShardSlot &slot,
+                           std::size_t slotIndex) -> bool {
+        int cmd[2];
+        int res[2];
+        if (::pipe(cmd) != 0)
+            return false;
+        if (::pipe(res) != 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            return false;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(cmd[0]);
+            ::close(cmd[1]);
+            ::close(res[0]);
+            ::close(res[1]);
+            return false;
+        }
+        if (pid == 0) {
+            // A shard must never outlive its supervisor: without
+            // this, SIGKILLing the supervisor would leak a stalled
+            // shard that keeps every inherited fd (the caller's
+            // stdout included) open forever. The getppid() check
+            // closes the fork-to-prctl window where the supervisor
+            // already died and the signal would never arrive.
+#if defined(__linux__)
+            ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+            if (::getppid() != supervisorPid)
+                ::_exit(0);
+#endif
+            ::close(cmd[1]);
+            ::close(res[0]);
+            for (const ShardSlot &other : slots) {
+                if (other.cmdFd >= 0)
+                    ::close(other.cmdFd);
+                if (other.resFd >= 0)
+                    ::close(other.resFd);
+            }
+            shardChildMain(cmd[0], res[1],
+                           static_cast<unsigned>(slotIndex),
+                           slot.attempts, slot.journalPath, ctx);
+        }
+        ::close(cmd[0]);
+        ::close(res[1]);
+        slot.pid = pid;
+        slot.cmdFd = cmd[1];
+        slot.resFd = res[0];
+        slot.cmdClosed = false;
+        slot.hasInflight = false;
+        slot.frames.buf.clear();
+        slot.sawCrashFrame = false;
+        slot.pendingRestart = false;
+        slot.lastProgress = Clock::now();
+        ++slot.attempts;
+        ++stats.spawns;
+        return true;
+    };
+
+    const auto dispatch = [&](ShardSlot &slot) {
+        while (!queue.empty()) {
+            const std::uint64_t unit = queue.front();
+            queue.pop_front();
+            if (opt.stopAtFirst && unit > stopIndex)
+                continue;  // semantic cut past the earliest manifest
+            if (!writeAll(slot.cmdFd, &unit, sizeof(unit))) {
+                queue.push_front(unit);
+                return;
+            }
+            slot.hasInflight = true;
+            slot.inflight = unit;
+            slot.lastProgress = Clock::now();
+            return;
+        }
+        if (!slot.cmdClosed && slot.cmdFd >= 0) {
+            ::close(slot.cmdFd);
+            slot.cmdFd = -1;
+            slot.cmdClosed = true;
+        }
+    };
+
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!spawn(slots[i], i)) {
+            LFM_WARN("sharded: could not fork shard ", i,
+                     "; continuing with fewer shards");
+            continue;
+        }
+        dispatch(slots[i]);
+    }
+
+    /** Re-read a dead shard's journal and credit records that never
+     * made it across the pipe (write-ahead harvest). Returns whether
+     * the in-flight unit was among them. */
+    const auto harvest = [&](ShardSlot &slot) -> bool {
+        support::RecoveredJournal raw =
+            support::recoverJournal(slot.journalPath);
+        if (raw.corruptTail) {
+            stats.sawCorruptTail = true;
+            (void)support::repairJournalTail(slot.journalPath, raw);
+        }
+        const RecoveredCampaigns rc =
+            RecoveredCampaigns::fromRaw(raw);
+        bool inflightCredited = false;
+        const auto *prior = rc.campaign(opt.campaignId);
+        if (prior != nullptr) {
+            for (const auto &[index, rec] : *prior) {
+                if (applyRecord(rec, nullptr, 0)) {
+                    ++stats.harvestedRecords;
+                    if (slot.hasInflight && index == slot.inflight)
+                        inflightCredited = true;
+                }
+            }
+        }
+        return inflightCredited;
+    };
+
+    const auto handleDeath = [&](ShardSlot &slot,
+                                 std::size_t slotIndex) {
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        slot.pid = -1;
+        slot.closeFds();
+        const bool cleanExit =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+        if (slot.hasInflight && slot.sawCrashFrame &&
+            slot.crashFrame.unit == slot.inflight) {
+            // The in-flight seed crashed the shard (in-process seed
+            // path). Blame the seed, journal it on the dead shard's
+            // journal so resume never re-runs it, keep the prefix.
+            SeedRecord rec;
+            rec.campaignId = opt.campaignId;
+            rec.seedIndex = slot.inflight;
+            rec.steps = slot.crashFrame.steps;
+            rec.flags = SeedRecord::kCrashed;
+            rec.signal = slot.crashFrame.signal;
+            if (rec.signal == 0 && WIFSIGNALED(status))
+                rec.signal = WTERMSIG(status);
+            if (applyRecord(rec, slot.crashFrame.prefix.data(),
+                            static_cast<std::uint32_t>(
+                                slot.crashFrame.prefix.size())))
+                appendToShardJournal(slot.journalPath, rec);
+            slot.hasInflight = false;
+        } else {
+            // Environment death (chaos SIGKILL, straggler kill, OOM,
+            // journal failure): harvest the journal, requeue only a
+            // genuinely unfinished in-flight seed.
+            const bool credited = harvest(slot);
+            if (slot.hasInflight && !credited)
+                queue.push_front(slot.inflight);
+            slot.hasInflight = false;
+            if (cleanExit)
+                return;  // normal EOF shutdown
+        }
+
+        ++slot.failures;
+        if (slot.failures >= sharded.maxShardFailures) {
+            slot.benched = true;
+            ++stats.benchedShards;
+            LFM_WARN("sharded: shard ", slotIndex, " benched after ",
+                     slot.failures, " consecutive failures; seeds "
+                     "reassigned to surviving shards");
+            return;
+        }
+        if (!queue.empty() ||
+            std::any_of(slots.begin(), slots.end(),
+                        [](const ShardSlot &s) {
+                            return s.hasInflight;
+                        })) {
+            const std::uint64_t delayNs = sharded.retry.delayNs(
+                std::min<unsigned>(slot.failures - 1, 16),
+                static_cast<std::uint64_t>(slotIndex));
+            slot.pendingRestart = true;
+            slot.restartAt =
+                Clock::now() + std::chrono::nanoseconds(delayNs);
+        }
+    };
+
+    std::vector<std::uint8_t> payload;
+    RunOutcome outcome = RunOutcome::Completed;
+    for (;;) {
+        RunOutcome cut = RunOutcome::Completed;
+        if (opt.cancel != nullptr && opt.cancel->cancelled())
+            cut = RunOutcome::Cancelled;
+        else if (effDeadline.armed() && effDeadline.expired())
+            cut = RunOutcome::DeadlineExpired;
+        if (cut != RunOutcome::Completed) {
+            for (auto &slot : slots) {
+                if (slot.live()) {
+                    ::kill(slot.pid, SIGKILL);
+                    int status = 0;
+                    while (::waitpid(slot.pid, &status, 0) < 0 &&
+                           errno == EINTR) {
+                    }
+                    if (slot.hasInflight)
+                        ++stats.abandonedSeeds;
+                    slot.pid = -1;
+                    slot.closeFds();
+                }
+            }
+            stats.abandonedSeeds += queue.size();
+            outcome = cut;
+            break;
+        }
+
+        const auto now = Clock::now();
+
+        // Straggler watchdog: a shard sitting on one seed past the
+        // deadline is killed; death handling requeues the seed.
+        if (sharded.stragglerTimeoutMs > 0) {
+            for (auto &slot : slots) {
+                if (!slot.live() || !slot.hasInflight)
+                    continue;
+                const auto idleMs =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        now - slot.lastProgress)
+                        .count();
+                if (idleMs >= 0 &&
+                    static_cast<std::uint64_t>(idleMs) >
+                        sharded.stragglerTimeoutMs) {
+                    ::kill(slot.pid, SIGKILL);
+                    ++stats.stragglersCancelled;
+                    slot.lastProgress = now;  // await the EOF
+                }
+            }
+        }
+
+        bool anyLive = false;
+        bool anyPending = false;
+        Clock::time_point nextRestart = now;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            ShardSlot &slot = slots[i];
+            if (slot.pendingRestart) {
+                if (slot.restartAt <= now) {
+                    slot.pendingRestart = false;
+                    if (spawn(slot, i)) {
+                        ++stats.shardRetries;
+                        dispatch(slot);
+                    } else {
+                        slot.benched = true;
+                        ++stats.benchedShards;
+                    }
+                } else {
+                    if (!anyPending || slot.restartAt < nextRestart)
+                        nextRestart = slot.restartAt;
+                    anyPending = true;
+                }
+            }
+            anyLive = anyLive || slot.live();
+        }
+
+        if (!anyLive && !anyPending) {
+            stats.abandonedSeeds += queue.size();
+            queue.clear();
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::size_t> fdSlot;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].live()) {
+                fds.push_back({slots[i].resFd, POLLIN, 0});
+                fdSlot.push_back(i);
+            }
+        }
+        int timeoutMs = 20;
+        if (anyPending) {
+            const auto delta =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(nextRestart - now)
+                    .count();
+            timeoutMs = static_cast<int>(std::max<long long>(
+                1, std::min<long long>(delta, 20)));
+        }
+        if (!fds.empty()) {
+            while (::poll(fds.data(), fds.size(), timeoutMs) < 0 &&
+                   errno == EINTR) {
+            }
+        }
+
+        for (std::size_t k = 0; k < fds.size(); ++k) {
+            if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            ShardSlot &slot = slots[fdSlot[k]];
+            if (!slot.live())
+                continue;
+            std::uint8_t chunk[4096];
+            const ssize_t n =
+                ::read(slot.resFd, chunk, sizeof(chunk));
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN)
+                    continue;
+            }
+            if (n > 0) {
+                slot.frames.feed(chunk,
+                                 static_cast<std::size_t>(n));
+                slot.lastProgress = Clock::now();
+            }
+
+            FrameHeader header{};
+            while (slot.frames.next(header, payload)) {
+                switch (header.type) {
+                case kUnitStart:
+                    break;
+                case kUnitResult: {
+                    if (payload.size() <
+                        sizeof(std::uint64_t) + sizeof(ResultWire))
+                        break;
+                    std::uint64_t unit = 0;
+                    std::memcpy(&unit, payload.data(),
+                                sizeof(unit));
+                    ResultWire wire;
+                    std::memcpy(&wire,
+                                payload.data() + sizeof(unit),
+                                sizeof(wire));
+                    (void)applyRecord(
+                        wire.rec, wire.prefix,
+                        std::min<std::uint32_t>(wire.prefixLen, 32));
+                    slot.hasInflight = false;
+                    slot.failures = 0;
+                    dispatch(slot);
+                    break;
+                }
+                case kCrash:
+                    slot.sawCrashFrame = true;
+                    slot.crashFrame = crashFromWire(payload);
+                    break;
+                case kDone:
+                    break;
+                default:
+                    break;
+                }
+            }
+
+            if (n == 0)
+                handleDeath(slot, fdSlot[k]);
+        }
+
+        if (queue.empty()) {
+            bool busy = false;
+            for (auto &slot : slots) {
+                if (slot.live()) {
+                    if (slot.hasInflight)
+                        busy = true;
+                    else
+                        dispatch(slot);  // closes the command pipe
+                }
+                busy = busy || slot.pendingRestart;
+            }
+            if (!busy) {
+                bool allGone = true;
+                for (const auto &slot : slots)
+                    allGone = allGone && !slot.live();
+                if (allGone)
+                    break;
+            }
+        }
+    }
+
+    result.workerRestarts = stats.shardRetries;
+    result.benchedWorkers = stats.benchedShards;
+    result.outcome = outcome;
+    detail::mergeSeedOrder(records, opt, result);
+    stats.resumedSeeds = result.resumedRuns;
+
+    // Crash order is harvest order (nondeterministic under retries);
+    // canonicalize so chaos runs compare equal to the reference.
+    std::sort(result.crashes.begin(), result.crashes.end(),
+              [](const support::CrashInfo &a,
+                 const support::CrashInfo &b) {
+                  return a.unit < b.unit;
+              });
+
+    if (support::metrics::enabled()) {
+        support::metrics::counter("explore.sharded.spawns")
+            .add(stats.spawns);
+        support::metrics::counter("explore.sharded.retries")
+            .add(stats.shardRetries);
+        support::metrics::counter("explore.sharded.harvested")
+            .add(stats.harvestedRecords);
+    }
+    publish();
+    return result;
+}
+
+} // namespace lfm::explore

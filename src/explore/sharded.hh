@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Multi-process sharded stress campaigns: the third backend of the
+ * executor concept's unit face (support/executor.hh).
+ *
+ * The fork-sandbox backend contains *seed* crashes; this backend
+ * additionally survives *shard* failures. The seed space is dealt
+ * dynamically to N supervised shard child processes, each of which
+ * owns a private fsync'd CRC journal (`<state>/<name>.shard<I>.lfmj`)
+ * and appends every completed seed BEFORE reporting it over the
+ * result pipe. That write-ahead ordering is the whole fault-tolerance
+ * story:
+ *
+ *  - a shard SIGKILLed mid-campaign loses nothing that reached its
+ *    journal: the supervisor harvests the journal tail (records
+ *    appended but never reported), requeues only the genuinely
+ *    unfinished seed, and respawns the shard under a seeded
+ *    RetryPolicy backoff;
+ *  - a shard that keeps dying is benched after maxShardFailures
+ *    consecutive failures and its remaining seeds flow to survivors;
+ *  - a shard stalled past the straggler deadline is SIGKILLed and its
+ *    seed re-dispatched;
+ *  - a shard journal with a torn/corrupt tail is truncated back to
+ *    its valid prefix (support::repairJournalTail) and only the lost
+ *    suffix re-runs — sibling shards merge untouched;
+ *  - killing the *supervisor process itself* is just the resume path:
+ *    a --resume run loads every shard journal, restores recovered
+ *    seeds, and runs only the remainder.
+ *
+ * Per-seed execution is deterministic, and the final merge is the
+ * canonical seed-order loop shared with every other backend
+ * (explore/merge.hh), so the merged StressResult is identical for
+ * every shard count and every failure/retry/resume history — the
+ * property the chaos tests assert byte for byte.
+ */
+
+#ifndef LFM_EXPLORE_SHARDED_HH
+#define LFM_EXPLORE_SHARDED_HH
+
+#include <cstdint>
+#include <string>
+
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "support/failsafe.hh"
+#include "support/sandbox.hh"
+
+namespace lfm::explore
+{
+
+/**
+ * Deterministic fault injection for the robustness tests. Each knob
+ * targets one shard index and fires on that shard's FIRST incarnation
+ * only (attempt 0), so a retried shard makes progress and the
+ * campaign still converges to the reference result.
+ */
+struct ShardChaos
+{
+    static constexpr unsigned kNone = ~0u;
+
+    /** SIGKILL this shard right after it journals (but before it
+     * reports) its (killAfterSeeds+1)-th seed: exercises the
+     * harvested-not-discarded path — the record is on disk, the
+     * result frame never arrives. */
+    unsigned killShard = kNone;
+    std::size_t killAfterSeeds = 0;
+
+    /** This shard hangs forever on its first dispatched seed:
+     * exercises the straggler deadline (requires a nonzero
+     * stragglerTimeoutMs). */
+    unsigned stallShard = kNone;
+
+    /** This shard _exit(3)s at startup on EVERY attempt: exercises
+     * benching + seed reassignment to the surviving shards. */
+    unsigned exitShard = kNone;
+};
+
+/** Campaign-level options of the sharded backend. */
+struct ShardedOptions
+{
+    /** Shard child processes (clamped to the unit count; >= 1). */
+    unsigned shards = 1;
+
+    /** Directory holding the per-shard journals. */
+    std::string stateDir = ".";
+
+    /** Campaign name: journal file prefix AND the campaign identity
+     * (campaignKey(campaignName) keys every journal record). */
+    std::string campaignName = "campaign";
+
+    /** Load existing shard journals and run only what they miss. A
+     * fresh run (false) deletes stale shard journals first. */
+    bool resume = false;
+
+    /** Consecutive failures before a shard is benched. */
+    unsigned maxShardFailures = 3;
+
+    /** Seeded deterministic backoff between shard respawns. */
+    support::RetryPolicy retry{6, 1'000'000, 32'000'000, 0};
+
+    /** SIGKILL a shard whose in-flight seed made no observable
+     * progress for this long; 0 disables the straggler watchdog. */
+    std::uint64_t stragglerTimeoutMs = 0;
+
+    /** Run each seed in a fork-isolated grandchild (runIsolated) so a
+     * crashing seed costs one fork instead of one shard respawn. Off,
+     * a crashing seed takes its shard down and is blamed via the
+     * crash reporter — both paths journal the crash either way. */
+    bool sandboxSeeds = false;
+
+    /** Resource limits for sandboxSeeds grandchildren. */
+    support::SandboxLimits limits;
+
+    ShardChaos chaos;
+};
+
+/** Operational counters of one sharded campaign (the robustness
+ * ledger; the merged StressResult is invariant to all of these). */
+struct ShardedStats
+{
+    unsigned shards = 0;              ///< shard slots actually used
+    std::uint64_t spawns = 0;         ///< total shard processes forked
+    std::uint64_t shardRetries = 0;   ///< respawns after a failure
+    std::uint64_t benchedShards = 0;  ///< slots permanently retired
+    std::uint64_t stragglersCancelled = 0;
+    std::uint64_t harvestedRecords = 0;  ///< journaled-but-unreported
+    std::uint64_t resumedSeeds = 0;      ///< restored from journals
+    std::uint64_t abandonedSeeds = 0;    ///< lost to a cut / all-bench
+    bool sawCorruptTail = false;  ///< any shard journal needed repair
+};
+
+/** The journal path of one shard of a named campaign. */
+std::string shardJournalPath(const std::string &stateDir,
+                             const std::string &campaignName,
+                             unsigned shard);
+
+/**
+ * Load and merge every shard journal of a named campaign (sorted
+ * filename order; last write wins per seed), repairing torn tails in
+ * place so the files stay appendable. Missing directory or no
+ * matching files recover as empty.
+ */
+RecoveredCampaigns loadShardJournals(const std::string &stateDir,
+                                     const std::string &campaignName,
+                                     bool *sawCorruptTail = nullptr);
+
+/**
+ * Run a stress campaign on the sharded backend. options.journal,
+ * options.resume, options.campaignId and options.sandbox are owned by
+ * this backend (shards journal for themselves; identity comes from
+ * sharded.campaignName) and must be unset; onExecution cannot cross
+ * the process boundary. options.budget is not enforced across shards
+ * (use cancel/deadline), matching the fork-sandbox contract.
+ */
+StressResult shardedStress(const sim::ProgramFactory &factory,
+                           const PolicyFactory &makePolicy,
+                           const StressOptions &options,
+                           const ShardedOptions &sharded,
+                           const ManifestPredicate &manifest =
+                               defaultManifest,
+                           ShardedStats *statsOut = nullptr);
+
+} // namespace lfm::explore
+
+#endif // LFM_EXPLORE_SHARDED_HH

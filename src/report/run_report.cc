@@ -174,6 +174,41 @@ RunReport::addResumed(std::size_t n)
     hasSandbox_ = hasSandbox_ || n != 0;
 }
 
+void
+RunReport::setShards(unsigned shards)
+{
+    shards_ = shards;
+    hasSharded_ = true;
+}
+
+void
+RunReport::addShardRetries(std::size_t n)
+{
+    shardRetries_ += n;
+    hasSharded_ = hasSharded_ || n != 0;
+}
+
+void
+RunReport::addBenchedShards(std::size_t n)
+{
+    benchedShards_ += n;
+    hasSharded_ = hasSharded_ || n != 0;
+}
+
+void
+RunReport::addStragglers(std::size_t n)
+{
+    stragglers_ += n;
+    hasSharded_ = hasSharded_ || n != 0;
+}
+
+void
+RunReport::addHarvested(std::size_t n)
+{
+    harvested_ += n;
+    hasSharded_ = hasSharded_ || n != 0;
+}
+
 RunReport::Stage::Stage(RunReport &report, std::string name)
     : report_(&report), name_(std::move(name)),
       wallStartNs_(wallNowNs()), cpuStartNs_(cpuNowNs())
@@ -267,6 +302,16 @@ RunReport::toJson() const
             .set("benched_workers", benchedWorkers_)
             .set("resumed", resumed_);
         doc.set("sandbox", std::move(sandbox));
+    }
+
+    if (hasSharded_) {
+        support::Json sharded;
+        sharded.set("shards", static_cast<std::size_t>(shards_))
+            .set("shard_retries", shardRetries_)
+            .set("benched_shards", benchedShards_)
+            .set("stragglers_cancelled", stragglers_)
+            .set("harvested_records", harvested_);
+        doc.set("sharded", std::move(sharded));
     }
 
     doc.set("metrics",

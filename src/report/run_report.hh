@@ -117,6 +117,30 @@ class RunReport
 
     /// @}
 
+    /// @name Sharded-campaign evidence (emitted as a "sharded" object
+    /// once setShards() is called; absent otherwise). The merged
+    /// study numbers are invariant to every one of these counters —
+    /// they are the robustness ledger, not results.
+    /// @{
+
+    /** Record the shard count; switches the "sharded" object on. */
+    void setShards(unsigned shards);
+
+    /** Count shard respawns after a failure. */
+    void addShardRetries(std::size_t n);
+
+    /** Count shard slots permanently benched. */
+    void addBenchedShards(std::size_t n);
+
+    /** Count stalled shards SIGKILLed past the straggler deadline. */
+    void addStragglers(std::size_t n);
+
+    /** Count journaled-but-unreported records harvested from dead
+     * shards' journals. */
+    void addHarvested(std::size_t n);
+
+    /// @}
+
     /**
      * RAII stage timer: measures wall time (steady clock) and CPU
      * time (process clock) from construction to destruction and adds
@@ -191,6 +215,13 @@ class RunReport
     std::size_t benchedWorkers_ = 0;
     std::size_t resumed_ = 0;
     bool hasSandbox_ = false;
+
+    unsigned shards_ = 0;
+    std::size_t shardRetries_ = 0;
+    std::size_t benchedShards_ = 0;
+    std::size_t stragglers_ = 0;
+    std::size_t harvested_ = 0;
+    bool hasSharded_ = false;
 };
 
 /** Fold a batch/stream result into the report: Analyzed traces count

@@ -1,0 +1,180 @@
+#include "support/executor.hh"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace lfm::support
+{
+
+void
+Executor::execute(unsigned worker, Task task)
+{
+    if (cancel_ != nullptr) {
+        const CancellationToken *cancel = cancel_;
+        task = [this, cancel,
+                inner = std::move(task)](unsigned w) mutable {
+            if (cancel->cancelled()) {
+                noteCancelDrained();
+                return;
+            }
+            inner(w);
+        };
+    }
+    submit(worker, std::move(task));
+}
+
+void
+Executor::bulkExecute(std::size_t n, BulkTask fn)
+{
+    const unsigned workers = concurrency();
+    for (std::size_t i = 0; i < n; ++i) {
+        execute(static_cast<unsigned>(i % workers),
+                [fn, i](unsigned worker) { fn(i, worker); });
+    }
+}
+
+// ------------------------------------------------------------------
+// InlineExecutor
+// ------------------------------------------------------------------
+
+void
+InlineExecutor::submit(unsigned, Task task)
+{
+    stack_.push_back(std::move(task));
+}
+
+void
+InlineExecutor::run()
+{
+    stats_ = {};
+    std::exception_ptr first;
+    // LIFO drain on the calling thread: identical visit order to a
+    // 1-worker pool's own-deque back-pop, including for tasks pushed
+    // by running tasks (DFS/DPOR frontiers).
+    while (!stack_.empty()) {
+        Task task = std::move(stack_.back());
+        stack_.pop_back();
+        if (first) {
+            ++stats_.drained;
+            continue;
+        }
+        ++stats_.executed;
+        try {
+            task(0);
+        } catch (...) {
+            first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+// ------------------------------------------------------------------
+// PoolExecutor
+// ------------------------------------------------------------------
+
+PoolExecutor::PoolExecutor(unsigned workers)
+    : pool_(resolveWorkers(workers))
+{
+}
+
+void
+PoolExecutor::submit(unsigned worker, Task task)
+{
+    pool_.push(worker % pool_.workers(), std::move(task));
+}
+
+void
+PoolExecutor::noteCancelDrained()
+{
+    cancelDrained_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+PoolExecutor::run()
+{
+    cancelDrained_.store(0, std::memory_order_relaxed);
+    pool_.run();
+}
+
+const Executor::Stats &
+PoolExecutor::lastRunStats() const
+{
+    // Cancellation-skipped tasks still pass through the pool as
+    // no-op wrappers; reclassify them from executed to drained so
+    // both backends report the same thing for the same campaign.
+    merged_ = pool_.lastRunStats();
+    const std::uint64_t drained =
+        cancelDrained_.load(std::memory_order_relaxed);
+    merged_.drained += drained;
+    merged_.executed -= std::min(merged_.executed, drained);
+    return merged_;
+}
+
+std::unique_ptr<Executor>
+makeExecutor(ExecBackend backend, unsigned workers)
+{
+    if (backend == ExecBackend::Inline)
+        return std::make_unique<InlineExecutor>();
+    return std::make_unique<PoolExecutor>(workers);
+}
+
+std::unique_ptr<Executor>
+makeExecutorFor(unsigned workers)
+{
+    const unsigned resolved = resolveWorkers(workers);
+    if (resolved <= 1)
+        return std::make_unique<InlineExecutor>();
+    return std::make_unique<PoolExecutor>(resolved);
+}
+
+// ------------------------------------------------------------------
+// Unit face
+// ------------------------------------------------------------------
+
+UnitExecutor::Stats
+InlineUnitExecutor::runUnits(const UnitCampaign &campaign)
+{
+    Stats stats;
+    for (const std::uint64_t unit : campaign.units) {
+        RunOutcome cut = RunOutcome::Completed;
+        if (campaign.cancel != nullptr && campaign.cancel->cancelled())
+            cut = RunOutcome::Cancelled;
+        else if (campaign.deadline.armed() &&
+                 campaign.deadline.expired())
+            cut = RunOutcome::DeadlineExpired;
+        if (cut != RunOutcome::Completed) {
+            ++stats.abandoned;
+            stats.outcome = worseOutcome(stats.outcome, cut);
+            continue;
+        }
+        if (campaign.skip && campaign.skip(unit))
+            continue;
+        const std::vector<std::uint8_t> payload = campaign.run(unit);
+        ++stats.completed;
+        if (campaign.onResult)
+            campaign.onResult(unit, payload);
+    }
+    return stats;
+}
+
+UnitExecutor::Stats
+ForkUnitExecutor::runUnits(const UnitCampaign &campaign)
+{
+    SandboxSupervisor supervisor(options_);
+    return supervisor.run(campaign.units, campaign.run,
+                          campaign.onResult, campaign.onCrash,
+                          campaign.cancel, campaign.deadline,
+                          campaign.skip);
+}
+
+std::unique_ptr<UnitExecutor>
+makeUnitExecutor(const SandboxOptions &sandbox)
+{
+    if (sandbox.enabled())
+        return std::make_unique<ForkUnitExecutor>(sandbox);
+    return std::make_unique<InlineUnitExecutor>();
+}
+
+} // namespace lfm::support

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unified executor concept (P0443-style `execute`/`bulk_execute`).
+ *
+ * Before this layer, three schedulers coexisted: the work-stealing
+ * pool, the fork-sandbox supervisor, and ad-hoc sequential fallbacks
+ * (`workers_ <= 1` branches and raw std::thread teams). Engines had
+ * to know which one they were running on. The executor concept splits
+ * the world along the natural seam instead:
+ *
+ *  - the **task face** (`Executor`): submit closures that share this
+ *    process's memory. Backends: InlineExecutor (a LIFO stack drained
+ *    on the calling thread — byte-identical visit order to a 1-worker
+ *    pool, so sequential entry points and parallel engines share one
+ *    code path) and PoolExecutor (WorkStealingPool).
+ *  - the **unit face** (`UnitExecutor`): dispatch opaque u64 work
+ *    units whose results come back as bytes, which is the strongest
+ *    contract that survives a process boundary. Backends:
+ *    InlineUnitExecutor (same process, no containment),
+ *    ForkUnitExecutor (the crash-contained SandboxSupervisor), and —
+ *    in explore/sharded.hh, where seed records and campaign journals
+ *    live — the multi-process sharded campaign backend.
+ *
+ * Both faces share the cancellation token and the pool's Stats
+ * vocabulary, so a caller can swap backends without changing its
+ * bookkeeping. Engines written against these two faces (stress, DFS,
+ * DPOR, detect::BatchRunner) no longer branch on worker counts or
+ * sandbox flags — they pick a backend via the factories below.
+ */
+
+#ifndef LFM_SUPPORT_EXECUTOR_HH
+#define LFM_SUPPORT_EXECUTOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/failsafe.hh"
+#include "support/sandbox.hh"
+#include "support/workpool.hh"
+
+namespace lfm::support
+{
+
+/** Task-face backends selectable via makeExecutor(). */
+enum class ExecBackend : std::uint8_t
+{
+    Inline,  ///< LIFO stack on the calling thread
+    Pool,    ///< work-stealing thread pool
+};
+
+/**
+ * The task face of the executor concept; see the file comment.
+ *
+ * Usage is two-phase like the pool it generalizes: submit work with
+ * execute()/bulkExecute() (tasks may submit more tasks while
+ * running), then run() blocks until everything has drained. The
+ * first exception a task throws is rethrown from run() after the
+ * remaining tasks were drained unrun (counted in Stats::drained);
+ * the executor stays reusable. An installed cancellation token is
+ * checked before each task: once cancelled, submitted tasks drain
+ * unrun instead of executing.
+ */
+class Executor
+{
+  public:
+    /** A task receives the index of the worker executing it. */
+    using Task = WorkStealingPool::Task;
+
+    /** A bulk task receives its item index and the executing worker. */
+    using BulkTask = std::function<void(std::size_t, unsigned)>;
+
+    /** Shared stats vocabulary across backends. */
+    using Stats = WorkStealingPool::Stats;
+
+    virtual ~Executor() = default;
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** P0443 execute: submit one task for the next run(). */
+    void execute(Task task) { execute(0, std::move(task)); }
+
+    /** execute with a worker placement hint (deque affinity); the
+     * inline backend ignores the hint. */
+    void execute(unsigned worker, Task task);
+
+    /** P0443 bulk_execute: submit n tasks indexed 0..n-1, dealt
+     * round-robin across workers. */
+    void bulkExecute(std::size_t n, BulkTask fn);
+
+    /** Drain every submitted task (including tasks submitted by
+     * running tasks); blocks the calling thread; rethrows the first
+     * task exception after quiescing. */
+    virtual void run() = 0;
+
+    /** Workers this backend executes on (1 for inline). */
+    virtual unsigned concurrency() const = 0;
+
+    /** Statistics of the most recent run(). */
+    virtual const Stats &lastRunStats() const = 0;
+
+    /** Stable backend identifier ("inline", "workpool"). */
+    virtual const char *backendName() const = 0;
+
+    /** Install a campaign cancellation token (null = never); checked
+     * immediately before each task executes. */
+    void setCancel(const CancellationToken *cancel) { cancel_ = cancel; }
+
+  protected:
+    Executor() = default;
+
+    /** Backend submission after cancellation wrapping. */
+    virtual void submit(unsigned worker, Task task) = 0;
+
+    /** A task was skipped because the token fired. */
+    virtual void noteCancelDrained() = 0;
+
+  private:
+    const CancellationToken *cancel_ = nullptr;
+};
+
+/**
+ * Calling-thread backend: a LIFO stack drained by run(). With one
+ * worker the work-stealing pool degenerates to exactly this loop, so
+ * engines routed through InlineExecutor reproduce their sequential
+ * visit order step for step — that equivalence is ctest-gated
+ * (inline == pool == sharded(1) in test_parallel / test_sharded).
+ */
+class InlineExecutor final : public Executor
+{
+  public:
+    void run() override;
+    unsigned concurrency() const override { return 1; }
+    const Stats &lastRunStats() const override { return stats_; }
+    const char *backendName() const override { return "inline"; }
+
+  protected:
+    void submit(unsigned worker, Task task) override;
+
+    /** Reclassify the wrapper no-op from executed to drained, same
+     * as the pool backend's accounting. */
+    void noteCancelDrained() override
+    {
+        ++stats_.drained;
+        if (stats_.executed > 0)
+            --stats_.executed;
+    }
+
+  private:
+    std::vector<Task> stack_;
+    Stats stats_;
+};
+
+/** WorkStealingPool backend. */
+class PoolExecutor final : public Executor
+{
+  public:
+    explicit PoolExecutor(unsigned workers);
+
+    void run() override;
+    unsigned concurrency() const override { return pool_.workers(); }
+    const Stats &lastRunStats() const override;
+    const char *backendName() const override { return "workpool"; }
+
+  protected:
+    void submit(unsigned worker, Task task) override;
+    void noteCancelDrained() override;
+
+  private:
+    WorkStealingPool pool_;
+    std::atomic<std::uint64_t> cancelDrained_{0};
+    mutable Stats merged_;
+};
+
+/** Construct a task-face backend explicitly. */
+std::unique_ptr<Executor> makeExecutor(ExecBackend backend,
+                                       unsigned workers = 0);
+
+/**
+ * The default backend policy every engine routes through: inline for
+ * a resolved worker count of 1 (sequential entry points, 1-worker
+ * campaigns), the pool otherwise. This is the single place the
+ * "sequential fallback" decision lives.
+ */
+std::unique_ptr<Executor> makeExecutorFor(unsigned workers);
+
+// ------------------------------------------------------------------
+// Unit face: work units that survive a process boundary
+// ------------------------------------------------------------------
+
+/**
+ * One campaign on the unit face: opaque u64 units, a child-side
+ * runner producing result bytes, parent-side completion/crash
+ * callbacks, and the usual failsafe surface. The vocabulary is the
+ * SandboxSupervisor's — the fork backend forwards verbatim — and the
+ * inline backend honors the same contract minus crash containment
+ * (a crashing unit takes the process; that is the inline trade).
+ */
+struct UnitCampaign
+{
+    std::vector<std::uint64_t> units;
+    SandboxSupervisor::ChildRun run;
+    SandboxSupervisor::OnResult onResult;
+    SandboxSupervisor::OnCrash onCrash;
+    SandboxSupervisor::SkipUnit skip;
+    const CancellationToken *cancel = nullptr;
+    Deadline deadline;
+};
+
+/** The unit face of the executor concept; see the file comment. */
+class UnitExecutor
+{
+  public:
+    using Stats = SandboxSupervisor::Stats;
+
+    virtual ~UnitExecutor() = default;
+
+    /** Run every unit; blocks until completed/abandoned or cut. */
+    virtual Stats runUnits(const UnitCampaign &campaign) = 0;
+
+    /** Stable backend identifier ("inline", "fork-sandbox"). */
+    virtual const char *backendName() const = 0;
+};
+
+/** Same-process unit loop (no crash containment). */
+class InlineUnitExecutor final : public UnitExecutor
+{
+  public:
+    Stats runUnits(const UnitCampaign &campaign) override;
+    const char *backendName() const override { return "inline"; }
+};
+
+/** Forked-worker backend over the crash-contained supervisor. */
+class ForkUnitExecutor final : public UnitExecutor
+{
+  public:
+    explicit ForkUnitExecutor(const SandboxOptions &options)
+        : options_(options)
+    {
+    }
+
+    Stats runUnits(const UnitCampaign &campaign) override;
+    const char *backendName() const override { return "fork-sandbox"; }
+
+  private:
+    SandboxOptions options_;
+};
+
+/** Fork backend when the sandbox is enabled, inline otherwise. */
+std::unique_ptr<UnitExecutor>
+makeUnitExecutor(const SandboxOptions &sandbox);
+
+} // namespace lfm::support
+
+#endif // LFM_SUPPORT_EXECUTOR_HH

@@ -243,7 +243,28 @@ Journal::open(const std::string &path, bool fsyncEveryAppend)
     path_ = path;
     fd_ = fd;
     fsyncEveryAppend_ = fsyncEveryAppend;
+    failed_ = false;
     offset_ = offset;
+    return true;
+}
+
+bool
+Journal::writeRaw(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = writeHook_ ? writeHook_(fd_, p, len)
+                                     : ::write(fd_, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
     return true;
 }
 
@@ -252,7 +273,7 @@ Journal::append(std::uint16_t type, const void *payload,
                 std::size_t len)
 {
     std::lock_guard<std::mutex> guard(m_);
-    if (fd_ < 0 || len > kMaxPayload)
+    if (fd_ < 0 || failed_ || len > kMaxPayload)
         return false;
 
     RecordHeader header{};
@@ -267,13 +288,40 @@ Journal::append(std::uint16_t type, const void *payload,
     std::memcpy(frame.data(), &header, sizeof(header));
     if (len > 0)
         std::memcpy(frame.data() + sizeof(header), payload, len);
-    if (!writeAll(fd_, frame.data(), frame.size()))
+    const bool wrote = writeRaw(frame.data(), frame.size()) &&
+                       (!fsyncEveryAppend_ || ::fsync(fd_) == 0);
+    if (!wrote) {
+        // ENOSPC / EIO / short write: roll the file back to the last
+        // committed record so the torn frame is never persisted as
+        // "committed" (and never wedges a later reopen-for-append).
+        // A failed rollback poisons the handle: the file's tail is
+        // undefined, so no further appends may land behind it.
+        if (::ftruncate(fd_, static_cast<off_t>(offset_)) != 0 ||
+            ::fsync(fd_) != 0) {
+            failed_ = true;
+            LFM_WARN("journal ", path_,
+                     ": append failed and rollback failed; "
+                     "journal handle poisoned");
+        }
         return false;
-    if (fsyncEveryAppend_ && ::fsync(fd_) != 0)
-        return false;
+    }
     offset_ += frame.size();
     ++appended_;
     return true;
+}
+
+bool
+Journal::failed() const
+{
+    std::lock_guard<std::mutex> guard(m_);
+    return failed_;
+}
+
+void
+Journal::setWriteHookForTest(WriteHook hook)
+{
+    std::lock_guard<std::mutex> guard(m_);
+    writeHook_ = std::move(hook);
 }
 
 bool
@@ -340,6 +388,7 @@ recoverJournal(const std::string &path)
         out.warning = "journal header invalid; treating " + path +
                       " as empty";
         out.corruptTail = true;
+        out.goodOffset = 0;
         LFM_WARN(out.warning);
         ::close(fd);
         return out;
@@ -381,6 +430,7 @@ recoverJournal(const std::string &path)
     }
 
     if (::lseek(fd, static_cast<off_t>(start), SEEK_SET) < 0) {
+        out.goodOffset = start;
         ::close(fd);
         return out;
     }
@@ -407,6 +457,7 @@ recoverJournal(const std::string &path)
         out.records.push_back({rh.type, std::move(payload)});
         offset += sizeof(rh) + rh.len;
     }
+    out.goodOffset = offset;
     // Distinguish "file ends exactly at a record boundary" (clean)
     // from "bytes remain but no record parses" (truncated tail).
     if (!out.corruptTail && offset < fileSize)
@@ -422,6 +473,26 @@ recoverJournal(const std::string &path)
     }
     ::close(fd);
     return out;
+}
+
+bool
+repairJournalTail(const std::string &path,
+                  const RecoveredJournal &recovered)
+{
+    if (!recovered.corruptTail)
+        return true;
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0)
+        return false;
+    const bool ok =
+        ::ftruncate(fd,
+                    static_cast<off_t>(recovered.goodOffset)) == 0 &&
+        ::fsync(fd) == 0;
+    ::close(fd);
+    if (ok)
+        LFM_WARN("journal ", path, ": corrupt tail truncated to ",
+                 recovered.goodOffset, " bytes");
+    return ok;
 }
 
 } // namespace lfm::support

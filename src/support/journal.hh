@@ -35,9 +35,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include <sys/types.h>
 
 namespace lfm::support
 {
@@ -82,7 +85,30 @@ struct RecoveredJournal
 
     /** Human-readable account of anything skipped; empty = clean. */
     std::string warning;
+
+    /**
+     * Byte offset where the valid prefix of the journal file ends:
+     * the first byte past the last record that parsed (and past the
+     * checkpoint-covered region), the header size for an empty-but-
+     * valid journal, 0 when the header itself was invalid or the
+     * file is missing. repairJournalTail() truncates to this offset
+     * so the file can be reopened for appending — critical for shard
+     * journals, where O_APPEND after a torn tail would strand every
+     * later record behind bytes recovery refuses to cross.
+     */
+    std::uint64_t goodOffset = 0;
 };
+
+/**
+ * Truncate a journal with a corrupt/truncated tail back to its valid
+ * prefix (recovered.goodOffset) so new appends land where recovery
+ * will find them. No-op (true) when the tail is clean; false when
+ * the truncate or its fsync failed. A goodOffset of 0 (invalid
+ * header) truncates to empty, and the next open() rewrites a fresh
+ * header.
+ */
+bool repairJournalTail(const std::string &path,
+                       const RecoveredJournal &recovered);
 
 /**
  * Append-side handle; see the file comment. Thread-safe: appends and
@@ -112,9 +138,33 @@ class Journal
 
     const std::string &path() const { return path_; }
 
-    /** Append one record (write + CRC + fsync). False on I/O error. */
+    /**
+     * Append one record (write + CRC + fsync). False on I/O error —
+     * and on failure (ENOSPC, EIO, a short write) the file is rolled
+     * back (ftruncate) to the last committed record, so a torn frame
+     * is never left behind to be mistaken for — or to wedge —
+     * anything. If the rollback itself fails the handle is poisoned
+     * (failed() turns true) and every further append refuses, which
+     * is what lets a shard fail *cleanly* instead of journaling onto
+     * an undefined tail.
+     */
     bool append(std::uint16_t type, const void *payload,
                 std::size_t len);
+
+    /** True once an append failed *and* the rollback could not
+     * restore the file to its last committed record. */
+    bool failed() const;
+
+    /**
+     * Test hook: replaces the write(2) used by append() so ENOSPC /
+     * EIO / short writes can be injected deterministically (the hook
+     * decides how many bytes actually land in the file before the
+     * error). Null restores the real write. Not for production use.
+     */
+    using WriteHook =
+        std::function<ssize_t(int fd, const void *data,
+                              std::size_t len)>;
+    void setWriteHookForTest(WriteHook hook);
 
     /**
      * Atomically publish a checkpoint snapshot covering everything
@@ -130,13 +180,18 @@ class Journal
     void close();
 
   private:
+    /** writeAll through the injectable hook; caller holds m_. */
+    bool writeRaw(const void *data, std::size_t len);
+
     mutable std::mutex m_;
     std::string path_;
     int fd_ = -1;
     bool fsyncEveryAppend_ = true;
+    bool failed_ = false;
     std::uint64_t appended_ = 0;
     /** Byte offset of the next record (for checkpoint coverage). */
     std::uint64_t offset_ = 0;
+    WriteHook writeHook_;
 };
 
 /**

@@ -26,59 +26,6 @@ namespace
 using namespace sandbox_wire;
 using Clock = std::chrono::steady_clock;
 
-bool
-writeAll(int fd, const void *data, std::size_t len)
-{
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    while (len > 0) {
-        const ssize_t n = ::write(fd, p, len);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-readAll(int fd, void *data, std::size_t len)
-{
-    auto *p = static_cast<std::uint8_t *>(data);
-    while (len > 0) {
-        const ssize_t n = ::read(fd, p, len);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false;
-        p += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-writeFrame(int fd, std::uint16_t type, const void *payload,
-           std::size_t len)
-{
-    if (len > 0x7FFFFFFFu)
-        return false;  // frames are length-prefixed with a u32
-    FrameHeader header{};
-    header.magic = kMagic;
-    header.type = type;
-    header.len = static_cast<std::uint32_t>(len);
-    std::vector<std::uint8_t> frame(sizeof(header) + len);
-    std::memcpy(frame.data(), &header, sizeof(header));
-    if (len > 0)
-        std::memcpy(frame.data() + sizeof(header), payload, len);
-    return writeAll(fd, frame.data(), frame.size());
-}
-
 void
 applyLimits(const SandboxLimits &limits)
 {
@@ -94,15 +41,6 @@ applyLimits(const SandboxLimits &limits)
         rl.rlim_max = limits.addressSpaceBytes;
         (void)::setrlimit(RLIMIT_AS, &rl);
     }
-}
-
-/** Parent pipes never deliver SIGPIPE; a dead child surfaces as an
- * EPIPE write error the supervisor handles explicitly. */
-void
-ignoreSigpipeOnce()
-{
-    static std::once_flag once;
-    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
 }
 
 /**
@@ -140,61 +78,6 @@ childMain(int cmdFd, int resFd, const SandboxLimits &limits,
     ::_exit(0);
 }
 
-/** Incremental frame parser over a slot's read buffer. */
-struct FrameBuffer
-{
-    std::vector<std::uint8_t> buf;
-
-    void
-    feed(const std::uint8_t *data, std::size_t len)
-    {
-        buf.insert(buf.end(), data, data + len);
-    }
-
-    /** Pop one complete frame; false when more bytes are needed.
-     * A corrupt magic clears the buffer (stream is unrecoverable —
-     * the child will die or finish and the supervisor resyncs via
-     * waitpid). */
-    bool
-    next(FrameHeader &header, std::vector<std::uint8_t> &payload)
-    {
-        if (buf.size() < sizeof(FrameHeader))
-            return false;
-        std::memcpy(&header, buf.data(), sizeof(header));
-        if (header.magic != kMagic) {
-            buf.clear();
-            return false;
-        }
-        const std::size_t total = sizeof(FrameHeader) + header.len;
-        if (buf.size() < total)
-            return false;
-        payload.assign(buf.begin() +
-                           static_cast<std::ptrdiff_t>(
-                               sizeof(FrameHeader)),
-                       buf.begin() + static_cast<std::ptrdiff_t>(total));
-        buf.erase(buf.begin(),
-                  buf.begin() + static_cast<std::ptrdiff_t>(total));
-        return true;
-    }
-};
-
-CrashInfo
-crashFromWire(const std::vector<std::uint8_t> &payload)
-{
-    CrashInfo info;
-    if (payload.size() < sizeof(CrashWire))
-        return info;
-    CrashWire wire{};
-    std::memcpy(&wire, payload.data(), sizeof(wire));
-    info.unit = wire.unit;
-    info.signal = wire.signal;
-    info.steps = wire.steps;
-    const std::uint32_t n =
-        std::min<std::uint32_t>(wire.prefixLen, 32);
-    info.prefix.assign(wire.prefix, wire.prefix + n);
-    return info;
-}
-
 struct Slot
 {
     pid_t pid = -1;
@@ -229,6 +112,18 @@ struct Slot
 };
 
 } // namespace
+
+namespace sandbox_wire
+{
+
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+} // namespace sandbox_wire
 
 ScheduleProbe &
 processProbe()

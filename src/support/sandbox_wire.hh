@@ -13,7 +13,15 @@
 #ifndef LFM_SUPPORT_SANDBOX_WIRE_HH
 #define LFM_SUPPORT_SANDBOX_WIRE_HH
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/sandbox.hh"
 
 namespace lfm::support::sandbox_wire
 {
@@ -47,6 +55,130 @@ struct CrashWire
     std::uint16_t prefix[32];
 };
 static_assert(sizeof(CrashWire) == 88);
+
+// ------------------------------------------------------------------
+// Shared pipe plumbing: one implementation for every supervisor
+// (the fork-sandbox one in sandbox.cc and the shard supervisor in
+// explore/sharded.cc). Inline so the crash reporter's TU never links
+// anything new.
+// ------------------------------------------------------------------
+
+/** write(2) until done; EINTR-retried; false on error. */
+inline bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read exactly len bytes; short read (EOF) returns false. */
+inline bool
+readAll(int fd, void *data, std::size_t len)
+{
+    auto *p = static_cast<std::uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One framed record: header + payload in a single writeAll. */
+inline bool
+writeFrame(int fd, std::uint16_t type, const void *payload,
+           std::size_t len)
+{
+    if (len > 0x7FFFFFFFu)
+        return false;  // frames are length-prefixed with a u32
+    FrameHeader header{};
+    header.magic = kMagic;
+    header.type = type;
+    header.len = static_cast<std::uint32_t>(len);
+    std::vector<std::uint8_t> frame(sizeof(header) + len);
+    std::memcpy(frame.data(), &header, sizeof(header));
+    if (len > 0)
+        std::memcpy(frame.data() + sizeof(header), payload, len);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+/** Incremental frame parser over a slot's read buffer. */
+struct FrameBuffer
+{
+    std::vector<std::uint8_t> buf;
+
+    void
+    feed(const std::uint8_t *data, std::size_t len)
+    {
+        buf.insert(buf.end(), data, data + len);
+    }
+
+    /** Pop one complete frame; false when more bytes are needed.
+     * A corrupt magic clears the buffer (stream is unrecoverable —
+     * the child will die or finish and the supervisor resyncs via
+     * waitpid). */
+    bool
+    next(FrameHeader &header, std::vector<std::uint8_t> &payload)
+    {
+        if (buf.size() < sizeof(FrameHeader))
+            return false;
+        std::memcpy(&header, buf.data(), sizeof(header));
+        if (header.magic != kMagic) {
+            buf.clear();
+            return false;
+        }
+        const std::size_t total = sizeof(FrameHeader) + header.len;
+        if (buf.size() < total)
+            return false;
+        payload.assign(
+            buf.begin() +
+                static_cast<std::ptrdiff_t>(sizeof(FrameHeader)),
+            buf.begin() + static_cast<std::ptrdiff_t>(total));
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(total));
+        return true;
+    }
+};
+
+/** Parent-side decode of a kCrash payload. */
+inline CrashInfo
+crashFromWire(const std::vector<std::uint8_t> &payload)
+{
+    CrashInfo info;
+    if (payload.size() < sizeof(CrashWire))
+        return info;
+    CrashWire wire{};
+    std::memcpy(&wire, payload.data(), sizeof(wire));
+    info.unit = wire.unit;
+    info.signal = wire.signal;
+    info.steps = wire.steps;
+    const std::uint32_t n =
+        std::min<std::uint32_t>(wire.prefixLen, 32);
+    info.prefix.assign(wire.prefix, wire.prefix + n);
+    return info;
+}
+
+/** Parent pipes never deliver SIGPIPE; a dead child surfaces as an
+ * EPIPE write error the supervisor handles explicitly. Declared here,
+ * defined in sandbox.cc (needs <csignal> + std::once machinery). */
+void ignoreSigpipeOnce();
 
 } // namespace lfm::support::sandbox_wire
 

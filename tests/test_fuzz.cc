@@ -9,9 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <vector>
+
+#include <unistd.h>
 
 #include "detect/batch.hh"
 #include "detect/detector.hh"
@@ -266,6 +271,101 @@ TEST_P(JournalCorruptionTest, RecoveryYieldsAValidPrefix)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalCorruptionTest,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+/**
+ * Append-failure sweep: when the backing device fails mid-append
+ * (ENOSPC/EIO after 0..N bytes of the frame reached the file), the
+ * append must report failure, the torn frame must be rolled back —
+ * never persisted as "committed" — and the journal must stay usable:
+ * the next append lands exactly behind the last committed record and
+ * recovery sees a clean file with no corrupt tail.
+ */
+class JournalWriteFailureTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(JournalWriteFailureTest, FailedAppendNeverPersistsATornRecord)
+{
+    const std::size_t allow = GetParam();
+    const std::string path =
+        "test_fuzz_enospc_" + std::to_string(allow) + ".lfmj";
+    std::remove(path.c_str());
+
+    support::Journal journal;
+    ASSERT_TRUE(journal.open(path));
+    const std::vector<std::uint8_t> a(8, 0xAA);
+    const std::vector<std::uint8_t> b(16, 0xBB);
+    ASSERT_TRUE(journal.append(1, a.data(), a.size()));
+    ASSERT_TRUE(journal.append(2, nullptr, 0));
+    ASSERT_TRUE(journal.append(3, b.data(), b.size()));
+
+    // Let `allow` bytes of the next frame reach the file, then fail
+    // every further write with ENOSPC.
+    std::size_t budget = allow;
+    journal.setWriteHookForTest(
+        [&budget](int fd, const void *data, std::size_t len)
+            -> ssize_t {
+            if (budget == 0) {
+                errno = ENOSPC;
+                return -1;
+            }
+            const std::size_t n = std::min(len, budget);
+            budget -= n;
+            return ::write(fd, data, n);
+        });
+    const std::vector<std::uint8_t> torn(32, 0xCC);
+    EXPECT_FALSE(journal.append(4, torn.data(), torn.size()));
+    // The rollback succeeded, so the handle is NOT poisoned ...
+    EXPECT_FALSE(journal.failed());
+
+    // ... and with the device healthy again the journal accepts the
+    // next record in place of the torn one.
+    journal.setWriteHookForTest({});
+    const std::vector<std::uint8_t> c(4, 0xDD);
+    EXPECT_TRUE(journal.append(5, c.data(), c.size()));
+    journal.close();
+
+    const auto recovered = support::recoverJournal(path);
+    EXPECT_FALSE(recovered.corruptTail) << recovered.warning;
+    ASSERT_EQ(recovered.records.size(), 4u);
+    EXPECT_EQ(recovered.records[0].type, 1u);
+    EXPECT_EQ(recovered.records[0].payload, a);
+    EXPECT_EQ(recovered.records[1].type, 2u);
+    EXPECT_EQ(recovered.records[2].type, 3u);
+    EXPECT_EQ(recovered.records[2].payload, b);
+    EXPECT_EQ(recovered.records[3].type, 5u);
+    EXPECT_EQ(recovered.records[3].payload, c);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(PartialBytes, JournalWriteFailureTest,
+                         ::testing::Values(0u, 1u, 7u, 12u, 19u,
+                                           43u));
+
+TEST(JournalWriteFailure, ShortWritesAreRetriedToCompletion)
+{
+    const std::string path = "test_fuzz_shortwrite.lfmj";
+    std::remove(path.c_str());
+    support::Journal journal;
+    ASSERT_TRUE(journal.open(path));
+    // A device that accepts at most 5 bytes per call but never
+    // fails: appends must be completed by the retry loop.
+    journal.setWriteHookForTest(
+        [](int fd, const void *data, std::size_t len) -> ssize_t {
+            return ::write(fd, data, std::min<std::size_t>(len, 5));
+        });
+    const std::vector<std::uint8_t> payload(57, 0x5A);
+    ASSERT_TRUE(journal.append(9, payload.data(), payload.size()));
+    journal.close();
+
+    const auto recovered = support::recoverJournal(path);
+    EXPECT_FALSE(recovered.corruptTail) << recovered.warning;
+    ASSERT_EQ(recovered.records.size(), 1u);
+    EXPECT_EQ(recovered.records[0].type, 9u);
+    EXPECT_EQ(recovered.records[0].payload, payload);
+    std::remove(path.c_str());
+}
 
 /**
  * LFMT corruption sweep: bit-flipped or truncated binary trace

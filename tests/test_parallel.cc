@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bugs/registry.hh"
 #include "explore/parallel.hh"
+#include "explore/sharded.hh"
 #include "sim/policy.hh"
 #include "sim/shared.hh"
 #include "sim/sync.hh"
@@ -23,6 +26,18 @@ namespace
 {
 
 using namespace lfm;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
 
 /** Two threads, each: one unlocked increment on a shared counter. */
 sim::ProgramFactory
@@ -104,6 +119,8 @@ expectSameStress(const explore::StressResult &a,
     EXPECT_EQ(a.manifestations, b.manifestations);
     EXPECT_EQ(a.firstManifestSeed, b.firstManifestSeed);
     EXPECT_DOUBLE_EQ(a.avgDecisions, b.avgDecisions);
+    EXPECT_EQ(a.truncatedRuns, b.truncatedRuns);
+    EXPECT_EQ(a.manifestedSeeds, b.manifestedSeeds);
 }
 
 TEST(ParallelStress, WorkerCountInvariantOnKernelSample)
@@ -146,6 +163,33 @@ TEST(ParallelStress, CountOnlyAgreesWithTraced)
         expectSameStress(stressWith(factory, 1, false),
                          stressWith(factory, 1, true));
     }
+}
+
+TEST(ParallelStress, InlinePoolAndShardedOneWorkerAgree)
+{
+    // The sequential-fallback gate: a 1-worker campaign routes
+    // through the inline executor backend, a multi-worker one
+    // through the pool, and shards=1 through the multi-process
+    // backend — all three must merge to the same result.
+    auto factory = racyFactory();
+    const auto inlineResult = stressWith(factory, 1);
+    const auto poolResult = stressWith(factory, 4);
+    expectSameStress(inlineResult, poolResult);
+
+    if (kTsan)
+        return;  // shard children respawn sim threads after fork()
+    explore::StressOptions opt;
+    opt.runs = 25;
+    opt.exec.maxDecisions = 4000;
+    explore::ShardedOptions sharded;
+    sharded.shards = 1;
+    sharded.stateDir = testing::TempDir();
+    sharded.campaignName =
+        "parallel_equiv_" + std::to_string(::getpid());
+    const auto shardedResult = explore::shardedStress(
+        factory, explore::makePolicy<sim::RandomPolicy>(), opt,
+        sharded);
+    expectSameStress(inlineResult, shardedResult);
 }
 
 explore::DfsResult

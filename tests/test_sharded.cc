@@ -1,0 +1,698 @@
+/**
+ * @file
+ * Executor-concept and sharded-campaign robustness tests: backend
+ * equivalence of the task face (inline == 1-worker pool), unit-face
+ * contract checks, shard-count invariance of the merged study
+ * numbers, and the chaos gates — SIGKILLed shards, stragglers,
+ * benched shards, torn journal tails and resume all converge to the
+ * uninterrupted reference result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "bugs/registry.hh"
+#include "explore/parallel.hh"
+#include "explore/runner.hh"
+#include "explore/sharded.hh"
+#include "sim/policy.hh"
+#include "sim/shared.hh"
+#include "support/executor.hh"
+#include "support/failsafe.hh"
+#include "support/sandbox.hh"
+
+namespace
+{
+
+using namespace lfm;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+/** Shard children re-spawn simulator threads after fork(), which
+ * TSan does not support after a multi-threaded fork; the fork-based
+ * gates run under the plain and ASan ctest stages instead. */
+#define SKIP_FORK_TESTS_UNDER_TSAN()                                   \
+    do {                                                               \
+        if (kTsan)                                                     \
+            GTEST_SKIP()                                               \
+                << "fork-based shard children not run under TSan";     \
+    } while (0)
+
+/** Two threads, each: one unlocked increment on a shared counter. */
+sim::ProgramFactory
+racyFactory()
+{
+    return [] {
+        auto v =
+            std::make_shared<std::unique_ptr<sim::SharedVar<int>>>();
+        *v = std::make_unique<sim::SharedVar<int>>("c", 0);
+        sim::Program p;
+        auto body = [v] { (*v)->add(1); };
+        p.threads.push_back({"a", body});
+        p.threads.push_back({"b", body});
+        p.oracle = [v]() -> std::optional<std::string> {
+            if ((*v)->peek() != 2)
+                return "lost update";
+            return std::nullopt;
+        };
+        return p;
+    };
+}
+
+/** Writer publishes a flag before its payload; reader dereferences
+ * null when it observes the torn state — some seeds genuinely
+ * SIGSEGV the executing process. */
+sim::ProgramFactory
+crashyFactory()
+{
+    return [] {
+        struct State
+        {
+            std::unique_ptr<sim::SharedVar<int>> ready;
+            std::unique_ptr<sim::SharedVar<int>> data;
+        };
+        auto s = std::make_shared<State>();
+        s->ready = std::make_unique<sim::SharedVar<int>>("ready", 0);
+        s->data = std::make_unique<sim::SharedVar<int>>("data", 0);
+        sim::Program p;
+        p.threads.push_back({"writer", [s] {
+                                 s->ready->set(1);
+                                 s->data->set(42);
+                             }});
+        p.threads.push_back({"reader", [s] {
+                                 if (s->ready->get() == 1 &&
+                                     s->data->get() != 42) {
+                                     volatile int *null = nullptr;
+                                     *null = 1;
+                                 }
+                             }});
+        return p;
+    };
+}
+
+/** A slice of the kernel suite for the shard-count invariance sweep. */
+std::vector<const bugs::BugKernel *>
+kernelSample(std::size_t count)
+{
+    const auto &all = bugs::allKernels();
+    std::vector<const bugs::BugKernel *> sample;
+    for (const auto *kernel : all) {
+        sample.push_back(kernel);
+        if (sample.size() == count)
+            break;
+    }
+    return sample;
+}
+
+explore::StressOptions
+baseOptions(std::size_t runs = 25)
+{
+    explore::StressOptions opt;
+    opt.runs = runs;
+    opt.exec.maxDecisions = 4000;
+    return opt;
+}
+
+/** Classic single-worker reference campaign. */
+explore::StressResult
+classicStress(const sim::ProgramFactory &factory,
+              const explore::StressOptions &opt)
+{
+    return explore::ParallelRunner(1).stress(
+        factory, explore::makePolicy<sim::RandomPolicy>(), opt);
+}
+
+/** A fresh per-test state directory under the gtest temp root. */
+std::string
+freshStateDir(const std::string &name)
+{
+    const std::string dir = testing::TempDir() + "lfm_sharded_" + name +
+                            "_" + std::to_string(::getpid());
+    std::remove(dir.c_str());
+    // shardedStress creates journals inside; the directory itself
+    // must exist.
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+explore::StressResult
+shardedStress(const sim::ProgramFactory &factory,
+              const explore::StressOptions &opt,
+              const explore::ShardedOptions &sharded,
+              explore::ShardedStats *stats = nullptr)
+{
+    return explore::shardedStress(
+        factory, explore::makePolicy<sim::RandomPolicy>(), opt,
+        sharded, explore::defaultManifest, stats);
+}
+
+/** The canonical result fields every backend / failure history must
+ * agree on (crash prefixes excluded: journals drop them by design). */
+void
+expectSameCampaign(const explore::StressResult &a,
+                   const explore::StressResult &b)
+{
+    EXPECT_EQ(a.runs, b.runs);
+    EXPECT_EQ(a.manifestations, b.manifestations);
+    EXPECT_EQ(a.firstManifestSeed, b.firstManifestSeed);
+    EXPECT_DOUBLE_EQ(a.avgDecisions, b.avgDecisions);
+    EXPECT_EQ(a.truncatedRuns, b.truncatedRuns);
+    EXPECT_EQ(a.manifestedSeeds, b.manifestedSeeds);
+    EXPECT_EQ(a.crashedRuns, b.crashedRuns);
+    ASSERT_EQ(a.crashes.size(), b.crashes.size());
+    for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+        EXPECT_EQ(a.crashes[i].unit, b.crashes[i].unit);
+        EXPECT_EQ(a.crashes[i].signal, b.crashes[i].signal);
+    }
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+// ---------------------------------------------------------------
+// Task face: inline == pool, bulk coverage, cancellation, policy
+// ---------------------------------------------------------------
+
+TEST(ExecutorTaskFace, InlineMatchesOneWorkerPoolVisitOrder)
+{
+    const auto inlineExec =
+        support::makeExecutor(support::ExecBackend::Inline);
+    const auto poolExec =
+        support::makeExecutor(support::ExecBackend::Pool, 1);
+
+    auto record = [](support::Executor &exec) {
+        std::vector<int> order;
+        for (int i = 0; i < 6; ++i)
+            exec.execute([&order, i](unsigned) { order.push_back(i); });
+        exec.run();
+        return order;
+    };
+
+    const auto a = record(*inlineExec);
+    const auto b = record(*poolExec);
+    EXPECT_EQ(a, b);
+    // Both drain the private deque LIFO.
+    EXPECT_EQ(a, (std::vector<int>{5, 4, 3, 2, 1, 0}));
+    EXPECT_EQ(inlineExec->lastRunStats().executed, 6u);
+    EXPECT_EQ(poolExec->lastRunStats().executed, 6u);
+}
+
+TEST(ExecutorTaskFace, NestedSubmissionDrainsInSameRun)
+{
+    support::InlineExecutor exec;
+    std::vector<int> order;
+    exec.execute([&](unsigned) {
+        order.push_back(0);
+        exec.execute([&](unsigned) { order.push_back(1); });
+    });
+    exec.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(exec.lastRunStats().executed, 2u);
+}
+
+TEST(ExecutorTaskFace, BulkExecuteCoversEveryIndexOnce)
+{
+    for (const unsigned workers : {1u, 4u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        const auto exec = support::makeExecutorFor(workers);
+        std::vector<std::atomic<int>> hits(97);
+        exec->bulkExecute(hits.size(),
+                          [&](std::size_t i, unsigned worker) {
+                              ASSERT_LT(worker, exec->concurrency());
+                              hits[i].fetch_add(1);
+                          });
+        exec->run();
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+        EXPECT_EQ(exec->lastRunStats().executed, hits.size());
+    }
+}
+
+TEST(ExecutorTaskFace, CancelledTokenDrainsTasksUnrun)
+{
+    support::CancellationToken token;
+    token.requestCancel("test");
+    for (const auto backend :
+         {support::ExecBackend::Inline, support::ExecBackend::Pool}) {
+        SCOPED_TRACE(backend == support::ExecBackend::Inline
+                         ? "inline"
+                         : "pool");
+        const auto exec = support::makeExecutor(backend, 2);
+        exec->setCancel(&token);
+        std::atomic<int> ran{0};
+        for (int i = 0; i < 10; ++i)
+            exec->execute([&ran](unsigned) { ran.fetch_add(1); });
+        exec->run();
+        EXPECT_EQ(ran.load(), 0);
+        EXPECT_EQ(exec->lastRunStats().executed, 0u);
+        EXPECT_EQ(exec->lastRunStats().drained, 10u);
+    }
+}
+
+TEST(ExecutorTaskFace, FirstExceptionRethrownAfterDrain)
+{
+    support::InlineExecutor exec;
+    int ran = 0;
+    // LIFO: task 2 runs first and throws; 1 and 0 drain unrun.
+    for (int i = 0; i < 3; ++i) {
+        exec.execute([&ran, i](unsigned) {
+            ++ran;
+            if (i == 2)
+                throw std::runtime_error("boom");
+        });
+    }
+    EXPECT_THROW(exec.run(), std::runtime_error);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(exec.lastRunStats().executed, 1u);
+    EXPECT_EQ(exec.lastRunStats().drained, 2u);
+    // The executor stays reusable after a throw.
+    exec.execute([&ran](unsigned) { ++ran; });
+    exec.run();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(ExecutorTaskFace, FactoryRoutesSequentialWorkInline)
+{
+    EXPECT_STREQ(support::makeExecutorFor(1)->backendName(), "inline");
+    EXPECT_STREQ(support::makeExecutorFor(2)->backendName(),
+                 "workpool");
+    EXPECT_STREQ(
+        support::makeExecutor(support::ExecBackend::Inline)
+            ->backendName(),
+        "inline");
+    EXPECT_EQ(support::makeExecutorFor(4)->concurrency(), 4u);
+}
+
+// ---------------------------------------------------------------
+// Unit face
+// ---------------------------------------------------------------
+
+TEST(ExecutorUnitFace, InlineRunsUnitsAndHonorsSkip)
+{
+    support::UnitCampaign campaign;
+    campaign.units = {0, 1, 2, 3, 4, 5};
+    campaign.run = [](std::uint64_t unit) {
+        return std::vector<std::uint8_t>{
+            static_cast<std::uint8_t>(unit * 2)};
+    };
+    std::vector<std::uint64_t> done;
+    campaign.onResult = [&done](std::uint64_t unit,
+                                const std::vector<std::uint8_t> &p) {
+        ASSERT_EQ(p.size(), 1u);
+        EXPECT_EQ(p[0], unit * 2);
+        done.push_back(unit);
+    };
+    campaign.skip = [](std::uint64_t unit) { return unit % 2 == 1; };
+
+    support::InlineUnitExecutor exec;
+    const auto stats = exec.runUnits(campaign);
+    EXPECT_EQ(stats.completed, 3u);
+    EXPECT_EQ(stats.crashed, 0u);
+    EXPECT_EQ(done, (std::vector<std::uint64_t>{0, 2, 4}));
+    EXPECT_EQ(stats.outcome, support::RunOutcome::Completed);
+}
+
+TEST(ExecutorUnitFace, InlineCancellationAbandonsRemainingUnits)
+{
+    support::CancellationToken token;
+    support::UnitCampaign campaign;
+    campaign.units = {0, 1, 2, 3};
+    campaign.cancel = &token;
+    std::size_t ran = 0;
+    campaign.run = [&](std::uint64_t) {
+        if (++ran == 2)
+            token.requestCancel("enough");
+        return std::vector<std::uint8_t>{};
+    };
+    support::InlineUnitExecutor exec;
+    const auto stats = exec.runUnits(campaign);
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.abandoned, 2u);
+    EXPECT_EQ(stats.outcome, support::RunOutcome::Cancelled);
+}
+
+TEST(ExecutorUnitFace, FactorySelectsBackendFromSandboxPolicy)
+{
+    support::SandboxOptions off;
+    EXPECT_STREQ(support::makeUnitExecutor(off)->backendName(),
+                 "inline");
+    support::SandboxOptions fork;
+    fork.policy = support::SandboxPolicy::Fork;
+    EXPECT_STREQ(support::makeUnitExecutor(fork)->backendName(),
+                 "fork-sandbox");
+}
+
+// ---------------------------------------------------------------
+// Sharded backend: shard-count invariance of the study numbers
+// ---------------------------------------------------------------
+
+TEST(ShardedStress, ShardCountInvariantOnKernelSample)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const auto sample = kernelSample(6);
+    ASSERT_GE(sample.size(), 4u);
+    const std::string dir = freshStateDir("invariance");
+    for (const auto *kernel : sample) {
+        auto factory = kernel->factory(bugs::Variant::Buggy);
+        const auto opt = baseOptions();
+        const auto base = classicStress(factory, opt);
+        for (const unsigned shards : {1u, 2u, 4u}) {
+            SCOPED_TRACE(kernel->info().id +
+                         " shards=" + std::to_string(shards));
+            explore::ShardedOptions so;
+            so.shards = shards;
+            so.stateDir = dir;
+            so.campaignName = "inv_" + kernel->info().id + "_" +
+                              std::to_string(shards);
+            explore::ShardedStats stats;
+            const auto result =
+                shardedStress(factory, opt, so, &stats);
+            expectSameCampaign(base, result);
+            EXPECT_EQ(result.outcome, support::RunOutcome::Completed);
+            EXPECT_EQ(stats.shards,
+                      std::min<std::size_t>(shards, opt.runs));
+            EXPECT_EQ(stats.shardRetries, 0u);
+            EXPECT_EQ(stats.benchedShards, 0u);
+            EXPECT_FALSE(stats.sawCorruptTail);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Chaos gates
+// ---------------------------------------------------------------
+
+TEST(ShardedChaos, KilledShardIsHarvestedAndRetriedAtEveryShardCount)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("chaos_kill");
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+    const auto reference = classicStress(factory, opt);
+    ASSERT_GT(reference.manifestations, 0u);
+
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        explore::ShardedOptions so;
+        so.shards = shards;
+        so.stateDir = dir;
+        so.campaignName = "kill_" + std::to_string(shards);
+        // Shard 0 journals its second seed, then SIGKILLs itself
+        // before reporting it: the record must be harvested from the
+        // journal, the shard respawned, and the merged result must
+        // not change.
+        so.chaos.killShard = 0;
+        so.chaos.killAfterSeeds = 1;
+        explore::ShardedStats stats;
+        const auto result = shardedStress(factory, opt, so, &stats);
+        expectSameCampaign(reference, result);
+        EXPECT_EQ(result.outcome, support::RunOutcome::Completed);
+        EXPECT_GE(stats.shardRetries, 1u);
+        EXPECT_GE(stats.harvestedRecords, 1u);
+        EXPECT_GE(stats.spawns, shards + 1u);
+        EXPECT_EQ(stats.abandonedSeeds, 0u);
+    }
+}
+
+TEST(ShardedChaos, StalledShardIsCancelledAndRedispatched)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("chaos_stall");
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+    const auto reference = classicStress(factory, opt);
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "stall";
+    so.chaos.stallShard = 0;
+    so.stragglerTimeoutMs = 200;
+    explore::ShardedStats stats;
+    const auto result = shardedStress(factory, opt, so, &stats);
+    expectSameCampaign(reference, result);
+    EXPECT_EQ(result.outcome, support::RunOutcome::Completed);
+    EXPECT_GE(stats.stragglersCancelled, 1u);
+    EXPECT_GE(stats.shardRetries, 1u);
+}
+
+TEST(ShardedChaos, RepeatedlyDyingShardIsBenchedAndSeedsReassigned)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("chaos_bench");
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+    const auto reference = classicStress(factory, opt);
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "bench";
+    so.chaos.exitShard = 1;  // dies at startup on every attempt
+    so.maxShardFailures = 2;
+    so.retry = support::RetryPolicy{8, 100'000, 1'000'000, 0};
+    explore::ShardedStats stats;
+    const auto result = shardedStress(factory, opt, so, &stats);
+    expectSameCampaign(reference, result);
+    EXPECT_EQ(result.outcome, support::RunOutcome::Completed);
+    EXPECT_EQ(stats.benchedShards, 1u);
+    EXPECT_GE(stats.shardRetries, 1u);
+    EXPECT_EQ(stats.abandonedSeeds, 0u);
+}
+
+// ---------------------------------------------------------------
+// Journal corruption + resume
+// ---------------------------------------------------------------
+
+TEST(ShardedResume, CorruptShardTailReplaysOnlyThatShardsLoss)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+    const auto reference = classicStress(factory, opt);
+
+    struct Variant
+    {
+        const char *name;
+        void (*corrupt)(const std::string &path);
+    };
+    const Variant variants[] = {
+        {"truncate",
+         [](const std::string &path) {
+             // Tear the last record: a partial suffix remains.
+             std::string bytes = readFileBytes(path);
+             ASSERT_GT(bytes.size(), 5u);
+             ASSERT_EQ(0,
+                       ::truncate(path.c_str(),
+                                  static_cast<off_t>(bytes.size() - 5)));
+         }},
+        {"bitflip",
+         [](const std::string &path) {
+             // Flip a bit inside the last record's checksum.
+             std::string bytes = readFileBytes(path);
+             ASSERT_GT(bytes.size(), 2u);
+             std::fstream f(path,
+                            std::ios::binary | std::ios::in |
+                                std::ios::out);
+             f.seekp(static_cast<std::streamoff>(bytes.size() - 2));
+             char byte = bytes[bytes.size() - 2];
+             byte = static_cast<char>(byte ^ 0x40);
+             f.write(&byte, 1);
+         }},
+    };
+
+    for (const auto &variant : variants) {
+        SCOPED_TRACE(variant.name);
+        const std::string dir =
+            freshStateDir(std::string("corrupt_") + variant.name);
+        explore::ShardedOptions so;
+        so.shards = 2;
+        so.stateDir = dir;
+        so.campaignName = std::string("corrupt_") + variant.name;
+
+        // Complete the campaign cleanly first.
+        const auto first = shardedStress(factory, opt, so);
+        expectSameCampaign(reference, first);
+
+        const std::string shard0 =
+            explore::shardJournalPath(dir, so.campaignName, 0);
+        const std::string shard1 =
+            explore::shardJournalPath(dir, so.campaignName, 1);
+        const std::string shard1Before = readFileBytes(shard1);
+        ASSERT_FALSE(shard1Before.empty());
+
+        variant.corrupt(shard0);
+
+        // Resume: only the torn-off suffix of shard 0 re-runs; the
+        // sibling journal is read but never rewritten.
+        explore::ShardedOptions resume = so;
+        resume.resume = true;
+        explore::ShardedStats stats;
+        const auto resumed =
+            shardedStress(factory, opt, resume, &stats);
+        expectSameCampaign(reference, resumed);
+        EXPECT_TRUE(stats.sawCorruptTail);
+        EXPECT_GT(stats.resumedSeeds, 0u);
+        EXPECT_LT(stats.resumedSeeds, opt.runs);
+        EXPECT_EQ(resumed.resumedRuns, stats.resumedSeeds);
+        EXPECT_EQ(readFileBytes(shard1), shard1Before);
+    }
+}
+
+TEST(ShardedResume, CompletedCampaignRestoresEverySeed)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("resume_full");
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "resume_full";
+    const auto first = shardedStress(factory, opt, so);
+
+    explore::ShardedOptions resume = so;
+    resume.resume = true;
+    explore::ShardedStats stats;
+    const auto resumed = shardedStress(factory, opt, resume, &stats);
+    expectSameCampaign(first, resumed);
+    EXPECT_EQ(stats.resumedSeeds, opt.runs);
+    EXPECT_EQ(resumed.resumedRuns, opt.runs);
+}
+
+TEST(ShardedResume, FreshRunIgnoresStaleJournals)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("fresh");
+    const auto opt = baseOptions();
+    const auto factory = racyFactory();
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "fresh";
+    const auto first = shardedStress(factory, opt, so);
+
+    // Same name, resume=false: stale journals are deleted, the full
+    // campaign re-runs and nothing is "resumed".
+    explore::ShardedStats stats;
+    const auto again = shardedStress(factory, opt, so, &stats);
+    expectSameCampaign(first, again);
+    EXPECT_EQ(stats.resumedSeeds, 0u);
+    EXPECT_EQ(again.resumedRuns, 0u);
+}
+
+// ---------------------------------------------------------------
+// Genuinely crashing seeds
+// ---------------------------------------------------------------
+
+TEST(ShardedCrashes, SandboxedSeedsMatchForkSandboxReference)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("crash_sandboxed");
+    explore::StressOptions opt = baseOptions(40);
+
+    explore::StressOptions sandboxed = opt;
+    sandboxed.sandbox.policy = support::SandboxPolicy::Fork;
+    sandboxed.sandbox.workers = 2;
+    const auto reference = explore::ParallelRunner(2).stress(
+        crashyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        sandboxed);
+    ASSERT_GT(reference.crashedRuns, 0u);
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "crash_sandboxed";
+    so.sandboxSeeds = true;
+    explore::ShardedStats stats;
+    const auto result =
+        shardedStress(crashyFactory(), opt, so, &stats);
+    expectSameCampaign(reference, result);
+    EXPECT_EQ(result.outcome, support::RunOutcome::Crashed);
+    EXPECT_EQ(result.runs + result.crashedRuns, opt.runs);
+    // Seed crashes cost one grandchild fork each, never a shard.
+    EXPECT_EQ(stats.shardRetries, 0u);
+    for (const auto &crash : result.crashes) {
+        EXPECT_EQ(crash.signal, SIGSEGV);
+        EXPECT_GT(crash.steps, 0u);
+    }
+}
+
+TEST(ShardedCrashes, UnsandboxedCrashIsBlamedJournaledAndSkipped)
+{
+    SKIP_FORK_TESTS_UNDER_TSAN();
+    const std::string dir = freshStateDir("crash_blame");
+    explore::StressOptions opt = baseOptions(40);
+
+    explore::StressOptions sandboxed = opt;
+    sandboxed.sandbox.policy = support::SandboxPolicy::Fork;
+    sandboxed.sandbox.workers = 2;
+    const auto reference = explore::ParallelRunner(2).stress(
+        crashyFactory(), explore::makePolicy<sim::RandomPolicy>(),
+        sandboxed);
+    ASSERT_GT(reference.crashedRuns, 0u);
+
+    explore::ShardedOptions so;
+    so.shards = 2;
+    so.stateDir = dir;
+    so.campaignName = "crash_blame";
+    so.sandboxSeeds = false;
+    // A crashing seed takes its shard down each time; give the
+    // campaign enough respawn headroom to ride out every crash.
+    so.maxShardFailures = 100;
+    so.retry = support::RetryPolicy{200, 100'000, 1'000'000, 0};
+    explore::ShardedStats stats;
+    const auto result =
+        shardedStress(crashyFactory(), opt, so, &stats);
+    expectSameCampaign(reference, result);
+    EXPECT_EQ(result.outcome, support::RunOutcome::Crashed);
+    EXPECT_GE(stats.shardRetries, reference.crashedRuns);
+    EXPECT_EQ(stats.abandonedSeeds, 0u);
+
+    // Resume: the crashed seeds were journaled as kCrashed and must
+    // restore as crashes without being re-executed.
+    explore::ShardedOptions resume = so;
+    resume.resume = true;
+    explore::ShardedStats resumeStats;
+    const auto resumed =
+        shardedStress(crashyFactory(), opt, resume, &resumeStats);
+    expectSameCampaign(reference, resumed);
+    EXPECT_EQ(resumeStats.resumedSeeds, opt.runs);
+    EXPECT_EQ(resumeStats.shardRetries, 0u);
+    EXPECT_EQ(resumed.outcome, support::RunOutcome::Crashed);
+}
+
+} // namespace

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * lfm_campaign: run one bug-kernel stress campaign on the sharded
+ * multi-process backend, with crash-safe per-shard journals, chaos
+ * injection for robustness drills, and machine-comparable outputs.
+ *
+ *     lfm_campaign --list
+ *     lfm_campaign --kernel ID [--variant buggy|fixed|tmfixed]
+ *                  [--runs N] [--seed N] [--max-decisions N]
+ *                  [--shards N] [--state DIR] [--name NAME]
+ *                  [--resume] [--sandbox-seeds]
+ *                  [--max-shard-failures N] [--straggler-ms N]
+ *                  [--chaos-kill SHARD:AFTER] [--chaos-stall SHARD]
+ *                  [--chaos-exit SHARD]
+ *                  [--results PATH] [--findings PATH] [--report]
+ *
+ * The --results document contains ONLY the canonical campaign result
+ * (study numbers, manifested seeds, sorted crash records) — no
+ * timings, no operational counters — so two runs of the same
+ * campaign compare with cmp(1) regardless of shard count, chaos, or
+ * how many times the campaign was killed and resumed. That equality
+ * is exercised by scripts/ci.sh's chaos stage. --findings replays
+ * the manifesting seeds through the detection pipeline and writes
+ * the findings JSON (same invariance). --report writes the
+ * operational RUN_<name>.json (retries, benched shards, harvested
+ * records...) into the state directory — the robustness ledger,
+ * deliberately separate from the canonical result.
+ *
+ * Exit codes: 0 campaign converged (crashing seeds contained count
+ * as converged), 1 usage error, 2 setup/runtime failure, 3 campaign
+ * cut early (cancelled / deadline / seeds abandoned).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bugs/registry.hh"
+#include "explore/campaign_findings.hh"
+#include "explore/parallel.hh"
+#include "explore/sharded.hh"
+#include "report/run_report.hh"
+#include "sim/policy.hh"
+#include "support/json.hh"
+
+namespace
+{
+
+constexpr int kOk = 0;
+constexpr int kUsage = 1;
+constexpr int kFailure = 2;
+constexpr int kCut = 3;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: lfm_campaign --list\n"
+           "       lfm_campaign --kernel ID [--variant "
+           "buggy|fixed|tmfixed]\n"
+           "           [--runs N] [--seed N] [--max-decisions N]\n"
+           "           [--shards N] [--state DIR] [--name NAME]\n"
+           "           [--resume] [--sandbox-seeds]\n"
+           "           [--max-shard-failures N] [--straggler-ms N]\n"
+           "           [--chaos-kill SHARD:AFTER] [--chaos-stall "
+           "SHARD] [--chaos-exit SHARD]\n"
+           "           [--results PATH] [--findings PATH] "
+           "[--report]\n";
+    return kUsage;
+}
+
+int
+fail(const std::string &what)
+{
+    std::cerr << "lfm_campaign: " << what << "\n";
+    return kFailure;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** The canonical, operationally-invariant campaign result document. */
+lfm::support::Json
+canonicalResultJson(const std::string &name, const std::string &kernel,
+                    const std::string &variant,
+                    const lfm::explore::StressOptions &opt,
+                    const lfm::explore::StressResult &result)
+{
+    using lfm::support::Json;
+    Json doc;
+    doc.set("campaign", name)
+        .set("kernel", kernel)
+        .set("variant", variant)
+        .set("first_seed", opt.firstSeed)
+        .set("requested_runs", opt.runs)
+        .set("runs", result.runs)
+        .set("manifestations", result.manifestations)
+        .set("avg_decisions", result.avgDecisions)
+        .set("truncated_runs", result.truncatedRuns)
+        .set("crashed_runs", result.crashedRuns)
+        .set("outcome",
+             lfm::support::outcomeName(result.outcome));
+    if (result.firstManifestSeed)
+        doc.set("first_manifest_seed", *result.firstManifestSeed);
+
+    Json seeds = Json::array();
+    for (const std::uint64_t seed : result.manifestedSeeds)
+        seeds.push(seed);
+    doc.set("manifested_seeds", std::move(seeds));
+
+    // Crash records sorted by unit; prefixes are excluded on purpose
+    // (journals drop them, so they are not resume-invariant).
+    Json crashes = Json::array();
+    for (const auto &crash : result.crashes) {
+        Json row;
+        row.set("unit", crash.unit)
+            .set("signal", crash.signal)
+            .set("steps", crash.steps);
+        crashes.push(std::move(row));
+    }
+    doc.set("crashes", std::move(crashes));
+    return doc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lfm;
+
+    std::string kernelId;
+    std::string variantName = "buggy";
+    std::string stateDir = ".";
+    std::string name;
+    std::string resultsPath;
+    std::string findingsPath;
+    bool wantReport = false;
+    bool list = false;
+
+    explore::StressOptions opt;
+    opt.runs = 100;
+    opt.exec.maxDecisions = 4000;
+    explore::ShardedOptions sharded;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](std::string &out) {
+            if (i + 1 >= argc)
+                return false;
+            out = argv[++i];
+            return true;
+        };
+        auto nextU64 = [&](std::uint64_t &out) {
+            std::string text;
+            return next(text) && parseU64(text, out);
+        };
+        std::uint64_t u = 0;
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--kernel") {
+            if (!next(kernelId))
+                return usage();
+        } else if (arg == "--variant") {
+            if (!next(variantName))
+                return usage();
+        } else if (arg == "--runs") {
+            if (!nextU64(u))
+                return usage();
+            opt.runs = static_cast<std::size_t>(u);
+        } else if (arg == "--seed") {
+            if (!nextU64(u))
+                return usage();
+            opt.firstSeed = u;
+        } else if (arg == "--max-decisions") {
+            if (!nextU64(u))
+                return usage();
+            opt.exec.maxDecisions = u;
+        } else if (arg == "--shards") {
+            if (!nextU64(u) || u == 0)
+                return usage();
+            sharded.shards = static_cast<unsigned>(u);
+        } else if (arg == "--state") {
+            if (!next(stateDir))
+                return usage();
+        } else if (arg == "--name") {
+            if (!next(name))
+                return usage();
+        } else if (arg == "--resume") {
+            sharded.resume = true;
+        } else if (arg == "--sandbox-seeds") {
+            sharded.sandboxSeeds = true;
+        } else if (arg == "--max-shard-failures") {
+            if (!nextU64(u))
+                return usage();
+            sharded.maxShardFailures = static_cast<unsigned>(u);
+        } else if (arg == "--straggler-ms") {
+            if (!nextU64(u))
+                return usage();
+            sharded.stragglerTimeoutMs = u;
+        } else if (arg == "--chaos-kill") {
+            std::string spec;
+            if (!next(spec))
+                return usage();
+            const auto colon = spec.find(':');
+            std::uint64_t shard = 0;
+            std::uint64_t after = 0;
+            if (colon == std::string::npos ||
+                !parseU64(spec.substr(0, colon), shard) ||
+                !parseU64(spec.substr(colon + 1), after))
+                return usage();
+            sharded.chaos.killShard = static_cast<unsigned>(shard);
+            sharded.chaos.killAfterSeeds =
+                static_cast<std::size_t>(after);
+        } else if (arg == "--chaos-stall") {
+            if (!nextU64(u))
+                return usage();
+            sharded.chaos.stallShard = static_cast<unsigned>(u);
+        } else if (arg == "--chaos-exit") {
+            if (!nextU64(u))
+                return usage();
+            sharded.chaos.exitShard = static_cast<unsigned>(u);
+        } else if (arg == "--results") {
+            if (!next(resultsPath))
+                return usage();
+        } else if (arg == "--findings") {
+            if (!next(findingsPath))
+                return usage();
+        } else if (arg == "--report") {
+            wantReport = true;
+        } else {
+            return usage();
+        }
+    }
+
+    if (list) {
+        for (const auto *kernel : bugs::allKernels())
+            std::cout << kernel->info().id << "\n";
+        return kOk;
+    }
+    if (kernelId.empty())
+        return usage();
+
+    const bugs::BugKernel *kernel = bugs::findKernel(kernelId);
+    if (kernel == nullptr)
+        return fail("unknown kernel '" + kernelId +
+                    "' (try --list)");
+    bugs::Variant variant = bugs::Variant::Buggy;
+    if (variantName == "fixed")
+        variant = bugs::Variant::Fixed;
+    else if (variantName == "tmfixed")
+        variant = bugs::Variant::TmFixed;
+    else if (variantName != "buggy")
+        return usage();
+
+    if (name.empty())
+        name = kernelId + "-" + variantName;
+    sharded.stateDir = stateDir;
+    sharded.campaignName = name;
+
+    const auto factory = kernel->factory(variant);
+    const auto makePolicy = explore::makePolicy<sim::RandomPolicy>();
+
+    explore::ShardedStats stats;
+    const explore::StressResult result = explore::shardedStress(
+        factory, makePolicy, opt, sharded, explore::defaultManifest,
+        &stats);
+
+    std::cout << "campaign " << name << ": " << result.runs
+              << " runs, " << result.manifestations
+              << " manifestations, " << result.crashedRuns
+              << " crashed, " << stats.resumedSeeds << " resumed ("
+              << stats.shards << " shards, " << stats.shardRetries
+              << " retries, " << stats.benchedShards << " benched, "
+              << stats.harvestedRecords << " harvested)\n";
+
+    if (!resultsPath.empty()) {
+        const auto doc = canonicalResultJson(name, kernelId,
+                                             variantName, opt, result);
+        if (!support::writeJsonFile(resultsPath, doc))
+            return fail("cannot write results to " + resultsPath);
+    }
+
+    if (!findingsPath.empty()) {
+        const auto doc = explore::campaignFindingsJson(
+            factory, makePolicy, opt, result);
+        if (!support::writeJsonFile(findingsPath, doc))
+            return fail("cannot write findings to " + findingsPath);
+    }
+
+    if (wantReport) {
+        report::RunReport report(name);
+        report.note("kernel", support::Json(kernelId));
+        report.note("variant", support::Json(variantName));
+        report.note("backend", support::Json(std::string("sharded")));
+        report.setSeeds(opt.firstSeed, opt.runs);
+        report.setOutcome(result.outcome);
+        report.setShards(stats.shards);
+        report.addShardRetries(stats.shardRetries);
+        report.addBenchedShards(stats.benchedShards);
+        report.addStragglers(stats.stragglersCancelled);
+        report.addHarvested(stats.harvestedRecords);
+        report.addCrashes(result.crashedRuns);
+        report.addResumed(stats.resumedSeeds);
+        const std::string path =
+            stateDir + "/" + report::runReportPath(name);
+        if (!report.writeTo(path))
+            return fail("cannot write run report to " + path);
+    }
+
+    const bool cut = result.outcome != support::RunOutcome::Completed &&
+                     result.outcome != support::RunOutcome::Crashed;
+    if (cut || stats.abandonedSeeds != 0)
+        return kCut;
+    return kOk;
+}
